@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark regenerates one paper artifact (table or figure),
+asserts the *shape* the paper reports (who wins, orderings,
+concavity, crossovers) and prints the measured series so the run's
+output is a full experimental record (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import SwapParameters
+
+
+@pytest.fixture(scope="session")
+def params() -> SwapParameters:
+    """The paper's Table III defaults."""
+    return SwapParameters.default()
+
+
+def emit(title: str, text: str) -> None:
+    """Print an artifact block (visible with ``pytest -s`` and in logs)."""
+    print(f"\n[{title}]")
+    print(text)

@@ -1,0 +1,85 @@
+"""Benchmarks for the Section IV collateral figures (7, 8, 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.figures import (
+    figure7_bob_t2_collateral,
+    figure8_t1_collateral,
+    figure9_sr_collateral,
+)
+from repro.core.collateral import CollateralBackwardInduction
+
+
+def test_figure7_bob_t2_collateral(benchmark, params):
+    fig = benchmark(figure7_bob_t2_collateral, params)
+    emit("Figure 7", fig.render())
+    for _pstar, _q, _cont, region in fig.curves:
+        # collateralised Bob continues at near-zero prices (intuition 2)
+        assert region.bounds()[0] < 0.05
+        # and still defects when Token_b is expensive enough
+        assert region.bounds()[1] < 50.0
+
+
+def test_figure7_indifference_point_count(benchmark, params):
+    """Section IV: the indifference equation has an odd number of roots."""
+
+    def count_roots():
+        counts = {}
+        for pstar, q in ((2.0, 0.1), (2.0, 0.5), (2.5, 0.2), (3.0, 0.05)):
+            solver = CollateralBackwardInduction(params, pstar, q)
+            region = solver.bob_t2_region()
+            # pieces touching the lower scan edge contribute 1 boundary each;
+            # finite roots = 2 * pieces - 1 (region always starts at ~0)
+            counts[(pstar, q)] = 2 * len(region) - 1
+        return counts
+
+    counts = benchmark(count_roots)
+    emit("Figure 7 roots", str(counts))
+    assert all(n in (1, 3) for n in counts.values())
+
+
+def test_figure8_t1_collateral(benchmark, params):
+    fig = benchmark.pedantic(
+        figure8_t1_collateral, args=(params,), rounds=1, iterations=1
+    )
+    emit("Figure 8", fig.render())
+    assert not fig.alice_region.is_empty
+    assert not fig.bob_region.is_empty
+    joint = fig.alice_region.intersect(fig.bob_region)
+    assert not joint.is_empty
+    # the reference rate is mutually acceptable
+    assert 2.0 in joint
+
+
+def test_figure9_sr_collateral(benchmark, params):
+    fig = benchmark.pedantic(
+        figure9_sr_collateral, args=(params,), rounds=1, iterations=1
+    )
+    emit("Figure 9", fig.render())
+    emit("Figure 9 maxima", str(fig.max_rates()))
+    # headline claim: SR increases with Q, pointwise and at the max
+    arrays = [np.asarray(rates) for _q, rates in fig.curves]
+    for lower, higher in zip(arrays, arrays[1:]):
+        assert np.all(higher >= lower - 1e-9)
+    maxima = [rate for _q, rate in fig.max_rates()]
+    assert maxima == sorted(maxima)
+
+
+def test_figure9_q0_reduces_to_figure6(benchmark, params):
+    """The Q=0 curve of Figure 9 is the baseline Figure 6 curve."""
+    from repro.core.backward_induction import BackwardInduction
+
+    def compare():
+        diffs = []
+        for k in (1.7, 2.0, 2.3):
+            basic = BackwardInduction(params, k).success_rate()
+            collateralised = CollateralBackwardInduction(params, k, 0.0).success_rate()
+            diffs.append(abs(basic - collateralised))
+        return diffs
+
+    diffs = benchmark(compare)
+    assert max(diffs) < 1e-9

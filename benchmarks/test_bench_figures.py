@@ -1,0 +1,169 @@
+"""Benchmarks for Figures 3-6 and Eq. (29) of the basic model.
+
+Each benchmark regenerates the figure's data series, prints it, and
+asserts the qualitative shape the paper reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.figures import (
+    figure3_alice_t3,
+    figure4_bob_t2,
+    figure5_alice_t1,
+    figure6_success_rate,
+)
+from repro.core.feasible_range import feasible_pstar_range
+from repro.core.success_rate import max_success_rate
+
+
+def test_figure3_alice_t3_utility(benchmark, params):
+    fig = benchmark(figure3_alice_t3, params)
+    emit("Figure 3", fig.render())
+    # shape: cont is increasing/linear, stop flat; threshold grows with P*
+    thresholds = [thr for *_rest, thr in fig.curves]
+    assert thresholds == sorted(thresholds)
+    for _pstar, cont, stop, thr in fig.curves:
+        below = [c for x, c in zip(fig.p3_grid, cont) if x < thr]
+        above = [c for x, c in zip(fig.p3_grid, cont) if x > thr]
+        assert all(c < stop + 1e-9 for c in below)
+        assert all(c > stop - 1e-9 for c in above)
+
+
+def test_figure4_bob_t2_utility(benchmark, params):
+    fig = benchmark(figure4_bob_t2, params)
+    emit("Figure 4", fig.render())
+    ranges = [rng for _p, _c, rng in fig.curves]
+    assert all(rng is not None for rng in ranges)
+    # "this range expands and shifts to the higher end with larger P*"
+    widths = [hi - lo for lo, hi in ranges]
+    lows = [lo for lo, _hi in ranges]
+    assert widths == sorted(widths)
+    assert lows == sorted(lows)
+
+
+def test_figure5_alice_t1_utility(benchmark, params):
+    fig = benchmark(figure5_alice_t1, params)
+    emit("Figure 5", fig.render())
+    lo, hi = fig.feasible_range
+    # cont > stop exactly inside the feasible window
+    inside = [
+        cont > stop
+        for k, cont, stop in zip(fig.pstar_grid, fig.cont_values, fig.stop_values)
+        if lo * 1.02 < k < hi * 0.98
+    ]
+    assert inside and all(inside)
+
+
+def test_eq29_feasible_range(benchmark, params):
+    bounds = benchmark(feasible_pstar_range, params)
+    emit("Eq. (29)", f"P* feasible in ({bounds[0]:.4f}, {bounds[1]:.4f}); paper: (1.5, 2.5)")
+    assert bounds[0] == pytest.approx(1.5, abs=0.05)
+    assert bounds[1] == pytest.approx(2.5, abs=0.05)
+
+
+class TestFigure6:
+    """SR(P*) panels: concavity plus all Section III-F comparative statics."""
+
+    @pytest.fixture(scope="class")
+    def fig(self, params):
+        return figure6_success_rate(params, n_points=13)
+
+    def test_figure6_generation(self, benchmark, params):
+        fig = benchmark.pedantic(
+            figure6_success_rate,
+            args=(params,),
+            kwargs={"n_points": 9},
+            rounds=1,
+            iterations=1,
+        )
+        emit("Figure 6", fig.render())
+
+    def test_figure6_shape(self, fig):
+        """Unimodal on the window; concave on its central portion.
+
+        The paper states the curve "is always concave"; at fine
+        resolution we find the claim holds in the bulk but the left
+        tail of *wide* feasible windows (high alpha) is locally convex
+        (an S-shaped rise from SR ~ 0 at P̲*). The substantive shape
+        claims -- a single interior maximum, concavity where the mass
+        of the curve lives -- hold everywhere (see EXPERIMENTS.md).
+        """
+        for panel in fig.panels:
+            for curve in panel.curves:
+                if not curve.viable:
+                    continue
+                rates = np.asarray(curve.rates)
+                peak = int(np.argmax(rates))
+                assert np.all(np.diff(rates[: peak + 1]) > -1e-9)
+                assert np.all(np.diff(rates[peak:]) < 1e-9)
+                n = len(rates)
+                central = rates[n // 5 : n - n // 5]
+                second_diff = np.diff(central, 2)
+                assert np.all(second_diff < 1e-6), (panel.parameter, curve.value)
+
+    @pytest.mark.parametrize("parameter", ["alpha_a", "alpha_b"])
+    def test_figure6_alpha_raises_sr(self, fig, parameter):
+        panel = fig.panel(parameter)
+        viable = [c for c in panel.curves if c.viable]
+        maxima = [c.max_rate for c in viable]
+        assert maxima == sorted(maxima)
+
+    def test_figure6_impatience_lowers_sr(self, fig, params):
+        """The paper's statement concerns the agents' impatience jointly.
+
+        Per-agent, the directions differ: Bob's ``r_b`` alone lowers max
+        SR, but *raising Alice's* ``r_a`` alone can raise it -- her
+        refund (t8) lies further in the future than the swap proceeds
+        (t5), so impatience favours completing (the Eq. 18 exponent
+        ``tau_b - (eps_b + 2 tau_a)`` is negative under Table III).
+        Either rate too high still kills the window.
+        """
+        from repro.core.success_rate import max_success_rate
+
+        # joint sweep: monotone decreasing (the paper's claim)
+        joint = [
+            max_success_rate(params.replace(r_a=r, r_b=r))[1]
+            for r in (0.005, 0.01, 0.015)
+        ]
+        assert joint == sorted(joint, reverse=True)
+        # per-agent panels from the figure
+        r_b_maxima = [
+            c.max_rate for c in fig.panel("r_b").curves if c.viable
+        ]
+        assert r_b_maxima == sorted(r_b_maxima, reverse=True)
+        r_a_viability = [c.viable for c in fig.panel("r_a").curves]
+        assert r_a_viability == [True, True, False]  # too-high r_a kills it
+
+    @pytest.mark.parametrize("parameter", ["tau_a", "tau_b"])
+    def test_figure6_slow_chains_lower_sr(self, fig, parameter):
+        panel = fig.panel(parameter)
+        viable = [c for c in panel.curves if c.viable]
+        maxima = [c.max_rate for c in viable]
+        assert maxima == sorted(maxima, reverse=True)
+
+    def test_figure6_trend_raises_sr(self, fig):
+        panel = fig.panel("mu")
+        viable = [c for c in panel.curves if c.viable]
+        maxima = [c.max_rate for c in viable]
+        assert maxima == sorted(maxima)
+
+    def test_figure6_volatility_lowers_max_sr(self, fig):
+        panel = fig.panel("sigma")
+        viable = [c for c in panel.curves if c.viable]
+        maxima = [c.max_rate for c in viable]
+        assert maxima == sorted(maxima, reverse=True)
+        # sigma = 0.2 is non-viable under defaults (paper: swap never initiated)
+        assert not panel.curve_for(0.2).viable
+
+    def test_figure6_interior_maximum(self, params):
+        bounds = feasible_pstar_range(params)
+        k_opt, rate = max_success_rate(params)
+        assert bounds[0] < k_opt < bounds[1]
+        emit(
+            "Figure 6 (baseline max)",
+            f"SR maximised at P* = {k_opt:.4f}, SR = {rate:.4f}",
+        )

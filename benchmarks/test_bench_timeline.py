@@ -1,0 +1,32 @@
+"""Benchmark for Figure 2: the swap timeline.
+
+Regenerates the idealized Eq. (13) schedule and verifies the full
+Eq. (12) constraint chain (Figure 2a's partial order).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.figures import figure2_timeline
+from repro.core.timeline import idealized_timeline
+
+
+def test_figure2_timeline(benchmark, params):
+    fig = benchmark(figure2_timeline, params)
+    emit("Figure 2(b)", fig.render())
+    times = dict(fig.events)
+    # Eq. (13) under Table III: t2=3, t3=7, t4=8, t5=t6=11, t7=15, t8=14
+    assert times["t2 (Bob locks)"] == 3.0
+    assert times["t3 (Alice reveals)"] == 7.0
+    assert times["t4 (Bob redeems)"] == 8.0
+    assert times["t5 = t_b (Alice receives)"] == 11.0
+    assert times["t6 = t_a (Bob receives)"] == 11.0
+    assert times["t7 (Bob refunded on fail)"] == 15.0
+    assert times["t8 (Alice refunded on fail)"] == 14.0
+
+
+def test_figure2a_constraints(benchmark, params):
+    timeline = benchmark(idealized_timeline, params)
+    report = timeline.constraint_report()
+    assert all(ok for _name, ok in report)
+    assert timeline.is_idealized

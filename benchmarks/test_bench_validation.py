@@ -1,0 +1,72 @@
+"""Benchmark X1: Monte Carlo validation of the analytic success rate.
+
+Not a paper artifact -- the paper derives SR analytically -- but the
+reproduction's correctness argument: strategy-level and protocol-level
+simulation must land inside the CI around Eq. (31)/(40).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.simulation import empirical_success_rate, validate_against_analytic
+
+
+def test_strategy_level_validation(benchmark, params):
+    empirical, analytic = benchmark.pedantic(
+        validate_against_analytic,
+        args=(params, 2.0),
+        kwargs={"n_paths": 200_000, "seed": 42},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "X1 strategy-level",
+        f"analytic={analytic:.4f} empirical={empirical.success_rate:.4f} "
+        f"CI=[{empirical.ci_low:.4f}, {empirical.ci_high:.4f}]",
+    )
+    assert empirical.contains(analytic)
+
+
+def test_protocol_level_validation(benchmark, params):
+    empirical, analytic = benchmark.pedantic(
+        validate_against_analytic,
+        args=(params, 2.0),
+        kwargs={"n_paths": 2_000, "seed": 42, "protocol_level": True},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "X1 protocol-level",
+        f"analytic={analytic:.4f} empirical={empirical.success_rate:.4f} "
+        f"CI=[{empirical.ci_low:.4f}, {empirical.ci_high:.4f}]",
+    )
+    assert empirical.contains(analytic)
+
+
+def test_collateral_validation(benchmark, params):
+    empirical, analytic = benchmark.pedantic(
+        validate_against_analytic,
+        args=(params, 2.0),
+        kwargs={"n_paths": 100_000, "seed": 43, "collateral": 0.5},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "X1 collateral",
+        f"analytic={analytic:.4f} empirical={empirical.success_rate:.4f}",
+    )
+    assert empirical.contains(analytic)
+
+
+def test_episode_throughput(benchmark, params):
+    """Protocol-level episode throughput (full chain substrate per episode)."""
+    result = benchmark.pedantic(
+        empirical_success_rate,
+        args=(params, 2.0),
+        kwargs={"n_paths": 300, "seed": 44, "protocol_level": True},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.n_initiated == 300

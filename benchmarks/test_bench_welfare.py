@@ -1,0 +1,39 @@
+"""Benchmark X10: welfare analysis of the exchange rate choice."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.welfare import optimal_rates, welfare_curve
+
+
+def test_x10_optimal_rates(benchmark, params):
+    rates = benchmark.pedantic(optimal_rates, args=(params,), rounds=1, iterations=1)
+    emit("X10 rate comparison", rates.describe())
+    # P* is the Token_a price Alice pays per Token_b: her optimal rate
+    # is below Bob's
+    assert rates.alice_optimal[0] < rates.bob_optimal[0]
+    # the welfare optimum mediates between them
+    lo = min(rates.alice_optimal[0], rates.bob_optimal[0])
+    hi = max(rates.alice_optimal[0], rates.bob_optimal[0])
+    assert lo <= rates.welfare_optimal[0] <= hi
+    # under the symmetric Table III defaults, the SR-optimal rate is close
+    # to (but not identical with) the welfare-optimal one
+    assert rates.sr_optimal[0] == pytest.approx(rates.welfare_optimal[0], abs=0.3)
+
+
+def test_x10_gains_from_trade_concave(benchmark, params):
+    def curve():
+        return welfare_curve(params, [1.6, 1.8, 2.0, 2.2, 2.4])
+
+    points = benchmark(curve)
+    gains = [p.gains_from_trade for p in points]
+    emit(
+        "X10 gains from trade",
+        "  ".join(f"GFT({p.pstar:g})={g:.4f}" for p, g in zip(points, gains)),
+    )
+    assert all(g > 0.0 for g in gains)
+    # interior maximum
+    assert max(gains) > gains[0]
+    assert max(gains) > gains[-1]

@@ -1,0 +1,77 @@
+"""What is Assumption 7 worth? Uncertainty about the counterparty.
+
+The paper assumes each agent *knows* the other's success premium
+(complete information) and announces, among its contributions, a study
+of "the game with uncertainty in counterparties' success premium".
+This example runs that study:
+
+1. success rate as the belief about the counterparty widens (mean-
+   preserving spreads around the true alpha = 0.3);
+2. the information value: complete-info SR minus incomplete-info SR;
+3. how pessimistic beliefs kill initiation entirely -- an anonymous
+   P2P environment (no reputation signal) can fail to trade even
+   between two honest parties.
+
+Run: ``python examples/bayesian_uncertainty.py``
+"""
+
+from repro import SwapParameters
+from repro.analysis.report import format_table
+from repro.core.backward_induction import BackwardInduction
+from repro.core.bayesian import BayesianSwapGame, TypeDistribution
+
+
+def main() -> None:
+    params = SwapParameters.default()
+    pstar = 2.0
+    complete_sr = BackwardInduction(params, pstar).success_rate()
+    print(f"complete-information SR at P* = {pstar}: {complete_sr:.4f}\n")
+
+    print("=== Mean-preserving spreads of the belief around alpha = 0.3 ===")
+    rows = []
+    for half_width in (0.0, 0.1, 0.2, 0.3):
+        if half_width == 0.0:
+            belief = TypeDistribution.point(0.3)
+        else:
+            belief = TypeDistribution.uniform(
+                [0.3 - half_width, 0.3, 0.3 + half_width]
+            )
+        game = BayesianSwapGame(params, pstar, belief, belief)
+        realised = game.realised_success_rate()
+        rows.append(
+            [
+                f"alpha in {{{', '.join(f'{v:.1f}' for v in belief.values)}}}",
+                realised,
+                game.ex_ante_success_rate(),
+                complete_sr - realised,
+                "yes" if game.alice_initiates() else "no",
+            ]
+        )
+    print(
+        format_table(
+            ["belief support", "realised SR", "ex-ante SR", "info value", "initiates"],
+            rows,
+        )
+    )
+
+    print("\n=== A market without reputation ===")
+    pessimistic = TypeDistribution.uniform([0.0, 0.1, 0.2])
+    game = BayesianSwapGame(
+        params, pstar, TypeDistribution.point(0.3), pessimistic
+    )
+    print(
+        "Alice (alpha = 0.3, honest) facing an anonymous Bob she believes\n"
+        f"has alpha in {{0.0, 0.1, 0.2}}: initiates? "
+        f"{'yes' if game.alice_initiates() else 'NO'}"
+    )
+    print(
+        "\nReading: the success premium partly encodes reputation\n"
+        "(Section III-F1). Removing the mutual-knowledge assumption makes\n"
+        "Bob hedge against dishonest Alices (narrower t2 region) and can\n"
+        "stop trade altogether -- quantifying why reputation systems and\n"
+        "collateral matter in anonymous P2P swaps."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Collateral sizing: how much deposit buys how much reliability?
+
+Section IV shows collateral deposits raise the success rate (Figure 9)
+and argues deposits "can be dynamically adjusted depending on the terms
+of the swap and optimization goal". This example does that design
+exercise:
+
+1. SR as a function of Q at a fixed rate (Figure 9's vertical reading),
+2. the minimal Q achieving a target SR (e.g. 99%),
+3. a comparison against the initiator-only *premium* mechanism of
+   Han et al. (the paper's Section II-C baseline) at equal stake.
+
+Run: ``python examples/collateral_design.py``
+"""
+
+import numpy as np
+
+from repro import SwapParameters
+from repro.analysis.report import format_table
+from repro.core.collateral import collateral_success_rate
+from repro.core.premium import PremiumBackwardInduction
+
+
+def minimal_collateral(
+    params: SwapParameters, pstar: float, target: float, hi: float = 5.0
+) -> float:
+    """Smallest Q with SR >= target (bisection; SR is increasing in Q)."""
+    if collateral_success_rate(params, pstar, hi) < target:
+        raise ValueError(f"target SR {target} unreachable even with Q = {hi}")
+    lo = 0.0
+    for _ in range(40):
+        mid = 0.5 * (lo + hi)
+        if collateral_success_rate(params, pstar, mid) >= target:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def main() -> None:
+    params = SwapParameters.default()
+    pstar = 2.0
+
+    print(f"=== SR vs collateral at P* = {pstar} (Figure 9, vertical cut) ===")
+    rows = []
+    for q in (0.0, 0.1, 0.2, 0.5, 1.0, 2.0):
+        rows.append([q, collateral_success_rate(params, pstar, q)])
+    print(format_table(["Q (Token_a each)", "SR"], rows))
+
+    print("\n=== Minimal deposit for a target reliability ===")
+    rows = []
+    for target in (0.8, 0.9, 0.95, 0.99):
+        q_needed = minimal_collateral(params, pstar, target)
+        rows.append([f"{target:.0%}", q_needed, f"{q_needed / pstar:.1%} of notional"])
+    print(format_table(["target SR", "minimal Q", "relative size"], rows))
+
+    print("\n=== Collateral vs premium mechanism at equal stake ===")
+    rows = []
+    for stake in (0.2, 0.5, 1.0):
+        sr_collateral = collateral_success_rate(params, pstar, stake)
+        sr_premium = PremiumBackwardInduction(params, pstar, stake).success_rate()
+        rows.append([stake, sr_collateral, sr_premium])
+    print(
+        format_table(
+            ["stake", "SR symmetric collateral", "SR initiator premium"],
+            rows,
+        )
+    )
+    print(
+        "\nReading: the premium mechanism only disciplines Alice's t3\n"
+        "optionality; Bob can still walk away at t2 when Token_b rallies,\n"
+        "so symmetric collateral dominates at every stake level -- the\n"
+        "motivation for the paper's Section IV design."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Walk-forward backtest of the swap model across market regimes.
+
+The paper's first future-work direction: "simulation studies can be
+performed based on our model framework ... using real market data".
+Offline, we substitute synthetic markets with the statistical features
+that matter (see DESIGN.md):
+
+* plain GBM -- the model's own world; predictions should be calibrated;
+* regime-switching volatility -- clustering, the Bisq-anecdote regime;
+* Merton jump-diffusion -- tails the model does not assume.
+
+At each attempt the backtester estimates (mu, sigma) from trailing
+data only, picks the SR-maximising exchange rate, predicts the success
+probability, and plays the swap against the realized path.
+
+Run: ``python examples/market_backtest.py``
+"""
+
+from repro import SwapParameters
+from repro.analysis.report import format_table
+from repro.marketdata import (
+    JumpDiffusionGenerator,
+    PlainGBMGenerator,
+    RegimeSwitchingGenerator,
+    SwapBacktester,
+)
+from repro.stochastic.rng import RandomState
+
+
+def main() -> None:
+    base = SwapParameters.default()
+    backtester = SwapBacktester(base, window=168, step=12)
+    n_hours = 1500
+
+    markets = {
+        "plain GBM (sigma=0.08)": PlainGBMGenerator(mu=0.002, sigma=0.08).generate(
+            2.0, n_hours, RandomState(101)
+        ),
+        "regime-switching": RegimeSwitchingGenerator().generate(
+            2.0, n_hours, RandomState(102)
+        )[0],
+        "jump-diffusion": JumpDiffusionGenerator().generate(
+            2.0, n_hours, RandomState(103)
+        ),
+    }
+
+    rows = []
+    for name, series in markets.items():
+        report = backtester.run(series)
+        rows.append(
+            [
+                name,
+                f"{report.viability_rate:.0%}",
+                report.mean_predicted_success_rate,
+                report.realized_success_rate,
+                report.calibration_gap,
+                report.brier_score,
+            ]
+        )
+
+    print(
+        format_table(
+            ["market", "viable", "predicted SR", "realized SR", "gap", "Brier"],
+            rows,
+            title=f"Walk-forward backtest ({n_hours}h hourly series, "
+            "168h estimation window)",
+        )
+    )
+    print(
+        "\nReading: on GBM data (the model's own assumption) the prediction\n"
+        "gap is sampling noise that shrinks with more attempts; regime\n"
+        "switches and jumps add systematic miscalibration on top -- the\n"
+        "model risk a production deployment of this analysis would carry."
+    )
+
+
+if __name__ == "__main__":
+    main()

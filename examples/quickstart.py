@@ -1,0 +1,50 @@
+"""Quickstart: solve the paper's default swap game end to end.
+
+Reproduces, in one run:
+* the equilibrium structure at ``P* = 2`` (thresholds, regions,
+  Figure 3-5 quantities),
+* the feasible exchange-rate window of Eq. (29) -- ``(1.5, 2.5)`` under
+  Table III defaults,
+* the success-rate curve of Eq. (31) and its maximiser (Figure 6's
+  baseline curve).
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import (
+    SwapParameters,
+    feasible_pstar_range,
+    max_success_rate,
+    solve_swap_game,
+    success_rate_curve,
+)
+
+
+def main() -> None:
+    params = SwapParameters.default()
+
+    print("=== The swap game at the agreed rate P* = 2 ===")
+    equilibrium = solve_swap_game(params, pstar=2.0)
+    print(equilibrium.summary())
+
+    print("\n=== Feasible exchange-rate window (paper Eq. 29) ===")
+    bounds = feasible_pstar_range(params)
+    assert bounds is not None
+    print(f"Alice initiates for P* in ({bounds[0]:.4f}, {bounds[1]:.4f})")
+    print("(the paper reports (1.5, 2.5) under Table III defaults)")
+
+    print("\n=== Success rate across the window (Eq. 31) ===")
+    grid = [1.6, 1.8, 2.0, 2.2, 2.4]
+    for point in success_rate_curve(params, grid):
+        tag = "feasible" if point.feasible else "infeasible"
+        print(f"  SR({point.pstar:.2f}) = {point.rate:.4f}  [{tag}]")
+
+    located = max_success_rate(params)
+    assert located is not None
+    best_pstar, best_rate = located
+    print(f"\nSR is maximised at P* = {best_pstar:.4f} with SR = {best_rate:.4f}")
+    print("(concave in P*, interior maximum -- Figure 6's headline shape)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""How much timelock padding does an HTLC swap need?
+
+The paper's timeline (Eq. 13) assumes constant confirmation times; real
+chains confirm with variance. This example injects confirmation jitter
+into the executable substrate and measures, with *honest* agents on a
+flat price (so every failure is a timing artifact):
+
+* completion rate,
+* handshake failures (a deploy confirmed after the counterparty's
+  verification time -- a clean abort),
+* **atomicity violations** (the dangerous case: Alice's claim confirms
+  after t_b while her revealed secret already let Bob redeem Token_a).
+
+Two defences are swept: an *expiry margin* padding both timelocks, and
+a *waiting slack* padding the decision schedule. The finding: each one
+alone is insufficient -- waiting without padded timelocks even
+increases violations -- but together they restore full atomicity at the
+cost of a longer worst-case lock time.
+
+Run: ``python examples/timeout_safety.py``
+"""
+
+from repro import SwapParameters
+from repro.analysis.report import format_table
+from repro.simulation.robustness import timing_robustness_sweep
+
+
+def main() -> None:
+    params = SwapParameters.default()
+    points = timing_robustness_sweep(
+        params,
+        jitters=(0.0, 0.1, 0.25),
+        margins=(0.0, 2.0),
+        wait_slacks=(0.0, 1.0),
+        n_runs=250,
+        seed=2021,
+    )
+
+    rows = []
+    for point in points:
+        rows.append(
+            [
+                f"{point.jitter:.0%}",
+                point.margin,
+                point.wait_slack,
+                f"{point.completion_rate:.1%}",
+                f"{point.handshake_failure_rate:.1%}",
+                f"{point.violation_rate:.2%}",
+            ]
+        )
+    print(
+        format_table(
+            ["jitter", "expiry margin (h)", "wait slack (h)",
+             "completed", "handshake fail", "ATOMICITY VIOLATION"],
+            rows,
+            title="Timing robustness (honest agents, flat price, 250 runs/cell)",
+        )
+    )
+
+    base = max(params.grid.t7, params.grid.t8)
+    padded = base + 2.0 + 2 * 1.0 + params.tau_a  # margins + two waits
+    print(
+        f"\nCost of safety: worst-case lock time grows from {base:.0f}h "
+        f"(paper's zero-slack schedule) to ~{padded:.0f}h with "
+        "margin 2h + wait 1h."
+    )
+    print(
+        "Reading: the paper's Eq. (13) schedule leaves zero slack, so any\n"
+        "confirmation variance either aborts the handshake or -- far worse --\n"
+        "lets a revealed secret be redeemed while the revealer's own claim\n"
+        "misses its timelock. Pad BOTH the schedule and the timelocks."
+    )
+
+
+if __name__ == "__main__":
+    main()

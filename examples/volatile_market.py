@@ -1,0 +1,90 @@
+"""Volatility study: when does an HTLC swap stop being viable?
+
+The paper's Section III-F4 finds that higher volatility reduces the
+maximum achievable success rate, and the Bisq anecdote in Section II-A
+("3-5% of transactions fail ... the percentage increases during periods
+of higher market volatility") matches the model's prediction. This
+example quantifies both effects:
+
+1. max-SR as a function of sigma,
+2. the critical volatility above which *no* exchange rate makes the
+   swap worth initiating,
+3. the failure-rate band the model implies for calm vs turbulent
+   markets.
+
+Run: ``python examples/volatile_market.py``
+"""
+
+import numpy as np
+
+from repro import SwapParameters, max_success_rate
+from repro.analysis.report import format_table
+from repro.core.feasible_range import feasible_pstar_range
+from repro.simulation.scenarios import scenario
+
+
+def critical_sigma(params: SwapParameters, lo: float = 0.01, hi: float = 0.5) -> float:
+    """Largest volatility with a non-empty feasible P* window (bisection)."""
+    if feasible_pstar_range(params.replace(sigma=hi)) is not None:
+        return hi
+    for _ in range(40):
+        mid = 0.5 * (lo + hi)
+        if feasible_pstar_range(params.replace(sigma=mid)) is not None:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def main() -> None:
+    base = SwapParameters.default()
+
+    print("=== Max success rate vs volatility (Section III-F4) ===")
+    rows = []
+    for sigma in np.linspace(0.02, 0.18, 9):
+        params = base.replace(sigma=float(sigma))
+        located = max_success_rate(params)
+        if located is None:
+            rows.append([float(sigma), "non-viable", "non-viable", "-"])
+        else:
+            best_pstar, best_rate = located
+            rows.append(
+                [float(sigma), best_pstar, best_rate, f"{(1 - best_rate):.1%} fail"]
+            )
+    print(
+        format_table(
+            ["sigma", "SR-max P*", "max SR", "implied failure rate"],
+            rows,
+            title="volatility sweep",
+        )
+    )
+
+    sigma_crit = critical_sigma(base)
+    print(f"\ncritical volatility (no viable P* beyond): sigma ~= {sigma_crit:.4f}")
+
+    print("\n=== Named market scenarios ===")
+    rows = []
+    for name in ("calm_market", "default", "volatile_market"):
+        params = scenario(name)
+        located = max_success_rate(params)
+        if located is None:
+            rows.append([name, params.sigma, "non-viable", "-"])
+        else:
+            rows.append([name, params.sigma, located[1], f"{1 - located[1]:.1%}"])
+    print(
+        format_table(
+            ["scenario", "sigma", "max SR", "failure rate"],
+            rows,
+        )
+    )
+    print(
+        "\nReading: in a calm market (sigma ~= 0.05/sqrt(hour)) the model\n"
+        "predicts a few-percent failure rate -- the same order as the 3-5%\n"
+        "arbitration rate Bisq reports -- and, matching the Bisq anecdote,\n"
+        "failures climb steeply with volatility until, near the critical\n"
+        "sigma above, the swap market disappears entirely."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""repro -- reproduction of "A Game-Theoretic Analysis of Cross-Chain
+Atomic Swaps with HTLCs" (Xu, Ackerer, Dubovitskaya; ICDCS 2021).
+
+The package has three layers:
+
+* **analytics** (:mod:`repro.core`, :mod:`repro.stochastic`,
+  :mod:`repro.games`): the paper's backward-induction model, its
+  collateral extension, a premium-mechanism baseline, and a generic
+  extensive-form-game substrate used as an independent cross-check;
+* **system** (:mod:`repro.chain`, :mod:`repro.protocol`,
+  :mod:`repro.agents`): a simulated two-chain environment with real
+  hashlock semantics, the HTLC swap protocol state machine, and agent
+  implementations (rational/honest/adversarial/crashing);
+* **experiments** (:mod:`repro.simulation`, :mod:`repro.analysis`):
+  Monte Carlo validation of the analytics against protocol-level
+  simulation, and generators for every table and figure in the paper.
+
+Quickstart::
+
+    from repro import SwapParameters, solve_swap_game
+
+    eq = solve_swap_game(SwapParameters.default(), pstar=2.0)
+    print(eq.summary())
+"""
+
+from repro.core import (
+    AgentParameters,
+    SwapParameters,
+    SwapEquilibrium,
+    solve_swap_game,
+    solve_collateral_game,
+    solve_premium_game,
+    success_rate,
+    success_rate_curve,
+    max_success_rate,
+    feasible_pstar_range,
+    equilibrium_strategies,
+)
+from repro.stochastic import GeometricBrownianMotion, RandomState
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AgentParameters",
+    "SwapParameters",
+    "SwapEquilibrium",
+    "solve_swap_game",
+    "solve_collateral_game",
+    "solve_premium_game",
+    "success_rate",
+    "success_rate_curve",
+    "max_success_rate",
+    "feasible_pstar_range",
+    "equilibrium_strategies",
+    "GeometricBrownianMotion",
+    "RandomState",
+    "__version__",
+]

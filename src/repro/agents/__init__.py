@@ -1,0 +1,31 @@
+"""Agent implementations for protocol-level simulation.
+
+* :class:`~repro.agents.rational.RationalAlice` /
+  :class:`~repro.agents.rational.RationalBob` execute the equilibrium
+  threshold strategies derived by :mod:`repro.core` -- these are the
+  paper's players;
+* :class:`~repro.agents.honest.HonestAgent` always follows the
+  protocol;
+* :mod:`repro.agents.adversarial` contains always-defect and
+  myopic price-trigger deviators;
+* :class:`~repro.agents.crash.CrashingAgent` stops responding at a
+  chosen stage (the Zakhary-style crash-failure discussion in
+  Section II-C).
+"""
+
+from repro.agents.adversarial import AlwaysStopAgent, MyopicAgent
+from repro.agents.base import SwapAgent
+from repro.agents.crash import CrashingAgent
+from repro.agents.honest import HonestAgent
+from repro.agents.rational import RationalAlice, RationalBob, rational_pair
+
+__all__ = [
+    "SwapAgent",
+    "HonestAgent",
+    "RationalAlice",
+    "RationalBob",
+    "rational_pair",
+    "AlwaysStopAgent",
+    "MyopicAgent",
+    "CrashingAgent",
+]

@@ -1,0 +1,73 @@
+"""Deviating agents.
+
+* :class:`AlwaysStopAgent` defects at a chosen stage unconditionally --
+  the classic griefing counterparty;
+* :class:`MyopicAgent` compares only the *instantaneous* token values
+  (no look-ahead, no discounting): it continues whenever the swap is
+  pointwise profitable right now. The gap between its behaviour and
+  the rational agents' quantifies the value of the paper's dynamic
+  analysis (benchmarked in the ablation suite).
+"""
+
+from __future__ import annotations
+
+from repro.agents.base import SwapAgent
+from repro.core.strategy import Action
+from repro.protocol.messages import DecisionContext, Stage
+
+__all__ = ["AlwaysStopAgent", "MyopicAgent"]
+
+
+class AlwaysStopAgent(SwapAgent):
+    """Follows the protocol until ``stop_stage``, then withdraws."""
+
+    def __init__(self, stop_stage: Stage, name: str = "defector") -> None:
+        self.stop_stage = stop_stage
+        self.name = name
+
+    def _act(self, ctx: DecisionContext) -> Action:
+        return Action.STOP if ctx.stage is self.stop_stage else Action.CONT
+
+    def decide_initiate(self, ctx: DecisionContext) -> Action:
+        return self._act(ctx)
+
+    def decide_lock(self, ctx: DecisionContext) -> Action:
+        return self._act(ctx)
+
+    def decide_reveal(self, ctx: DecisionContext) -> Action:
+        return self._act(ctx)
+
+    def decide_redeem(self, ctx: DecisionContext) -> Action:
+        return self._act(ctx)
+
+
+class MyopicAgent(SwapAgent):
+    """Continues iff swapping at today's price beats holding, pointwise.
+
+    As Alice (``role='alice'``): continue while 1 Token_b is worth at
+    least the ``P*`` Token_a she gives up, i.e. ``price >= pstar``.
+    As Bob (``role='bob'``): continue while ``P*`` Token_a is worth at
+    least his 1 Token_b, i.e. ``price <= pstar``.
+    """
+
+    def __init__(self, role: str) -> None:
+        if role not in ("alice", "bob"):
+            raise ValueError(f"role must be 'alice' or 'bob', got {role!r}")
+        self.role = role
+        self.name = f"myopic-{role}"
+
+    def _wants_swap(self, ctx: DecisionContext) -> Action:
+        if self.role == "alice":
+            profitable = ctx.price >= ctx.pstar
+        else:
+            profitable = ctx.price <= ctx.pstar
+        return Action.CONT if profitable else Action.STOP
+
+    def decide_initiate(self, ctx: DecisionContext) -> Action:
+        return self._wants_swap(ctx)
+
+    def decide_lock(self, ctx: DecisionContext) -> Action:
+        return self._wants_swap(ctx)
+
+    def decide_reveal(self, ctx: DecisionContext) -> Action:
+        return self._wants_swap(ctx)

@@ -1,0 +1,44 @@
+"""The agent interface the protocol engine drives.
+
+Each of the four protocol stages maps to one method; every method
+receives a :class:`~repro.protocol.messages.DecisionContext` and
+returns an :class:`~repro.core.strategy.Action`. Agents that model
+crash failures raise
+:class:`~repro.protocol.errors.AgentCrashed` instead -- the engine
+translates that into silence (timeouts fire).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.strategy import Action
+from repro.protocol.messages import DecisionContext
+
+__all__ = ["SwapAgent"]
+
+
+class SwapAgent(abc.ABC):
+    """A participant in the swap protocol."""
+
+    name: str = "agent"
+
+    @abc.abstractmethod
+    def decide_initiate(self, ctx: DecisionContext) -> Action:
+        """Alice's ``t1`` move: write the Chain_a HTLC or keep Token_a."""
+
+    @abc.abstractmethod
+    def decide_lock(self, ctx: DecisionContext) -> Action:
+        """Bob's ``t2`` move: write the Chain_b HTLC or walk away."""
+
+    @abc.abstractmethod
+    def decide_reveal(self, ctx: DecisionContext) -> Action:
+        """Alice's ``t3`` move: reveal the secret or waive."""
+
+    def decide_redeem(self, ctx: DecisionContext) -> Action:
+        """Bob's ``t4`` move. Continuing is strictly dominant
+        (Section III-E1), so the default always redeems."""
+        return Action.CONT
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

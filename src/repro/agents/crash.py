@@ -1,0 +1,57 @@
+"""Crash-failure injection.
+
+Zakhary et al. (discussed in the paper's Section II-C) point out that
+HTLC atomicity can break under *crash failures* even between honest
+parties. :class:`CrashingAgent` wraps any agent and stops responding
+from a chosen stage onward; the engine treats the crash as silence, so
+timeouts fire -- and, in the nastiest case (Bob crashing at ``t4``
+after Alice revealed), the run ends with Alice holding both assets.
+"""
+
+from __future__ import annotations
+
+
+from repro.agents.base import SwapAgent
+from repro.core.strategy import Action
+from repro.protocol.errors import AgentCrashed
+from repro.protocol.messages import DecisionContext, Stage
+
+__all__ = ["CrashingAgent"]
+
+_STAGE_ORDER = {
+    Stage.T1_INITIATE: 0,
+    Stage.T2_LOCK: 1,
+    Stage.T3_REVEAL: 2,
+    Stage.T4_REDEEM: 3,
+}
+
+
+class CrashingAgent(SwapAgent):
+    """Delegates to ``inner`` until ``crash_stage``, then goes silent."""
+
+    def __init__(self, inner: SwapAgent, crash_stage: Stage) -> None:
+        self.inner = inner
+        self.crash_stage = crash_stage
+        self.name = f"crashing-{inner.name}"
+
+    def _maybe_crash(self, ctx: DecisionContext) -> None:
+        if _STAGE_ORDER[ctx.stage] >= _STAGE_ORDER[self.crash_stage]:
+            raise AgentCrashed(
+                f"{self.name} crashed at {ctx.stage.value} (t={ctx.time})"
+            )
+
+    def decide_initiate(self, ctx: DecisionContext) -> Action:
+        self._maybe_crash(ctx)
+        return self.inner.decide_initiate(ctx)
+
+    def decide_lock(self, ctx: DecisionContext) -> Action:
+        self._maybe_crash(ctx)
+        return self.inner.decide_lock(ctx)
+
+    def decide_reveal(self, ctx: DecisionContext) -> Action:
+        self._maybe_crash(ctx)
+        return self.inner.decide_reveal(ctx)
+
+    def decide_redeem(self, ctx: DecisionContext) -> Action:
+        self._maybe_crash(ctx)
+        return self.inner.decide_redeem(ctx)

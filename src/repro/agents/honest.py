@@ -1,0 +1,30 @@
+"""An agent that always follows the protocol.
+
+Useful as a baseline: with two honest agents every initiated swap
+completes, so the protocol engine's success path can be tested in
+isolation from strategic behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.agents.base import SwapAgent
+from repro.core.strategy import Action
+from repro.protocol.messages import DecisionContext
+
+__all__ = ["HonestAgent"]
+
+
+class HonestAgent(SwapAgent):
+    """Continues at every stage regardless of prices."""
+
+    def __init__(self, name: str = "honest") -> None:
+        self.name = name
+
+    def decide_initiate(self, ctx: DecisionContext) -> Action:
+        return Action.CONT
+
+    def decide_lock(self, ctx: DecisionContext) -> Action:
+        return Action.CONT
+
+    def decide_reveal(self, ctx: DecisionContext) -> Action:
+        return Action.CONT

@@ -1,0 +1,50 @@
+"""Experiment generators: every table and figure in the paper.
+
+* :mod:`repro.analysis.tables` -- Tables I and III;
+* :mod:`repro.analysis.figures` -- Figures 2-9 data series;
+* :mod:`repro.analysis.sweep` -- generic parameter sweeps (Figure 6's
+  panels);
+* :mod:`repro.analysis.sensitivity` -- local comparative statics;
+* :mod:`repro.analysis.report` -- plain-text rendering (ASCII tables
+  and line charts) so every artifact prints in a terminal.
+"""
+
+from repro.analysis.figures import (
+    figure2_timeline,
+    figure3_alice_t3,
+    figure4_bob_t2,
+    figure5_alice_t1,
+    figure6_success_rate,
+    figure7_bob_t2_collateral,
+    figure8_t1_collateral,
+    figure9_sr_collateral,
+)
+from repro.analysis.report import ascii_chart, format_table
+from repro.analysis.sensitivity import sr_sensitivity
+from repro.analysis.sweep import sweep_parameter
+from repro.analysis.tables import table1_balance_change, table3_default_parameters
+from repro.analysis.welfare import optimal_rates, welfare_curve
+from repro.analysis.export import export_all_figures
+from repro.analysis.experiments import render_markdown, run_all_experiments
+
+__all__ = [
+    "figure2_timeline",
+    "figure3_alice_t3",
+    "figure4_bob_t2",
+    "figure5_alice_t1",
+    "figure6_success_rate",
+    "figure7_bob_t2_collateral",
+    "figure8_t1_collateral",
+    "figure9_sr_collateral",
+    "table1_balance_change",
+    "table3_default_parameters",
+    "sweep_parameter",
+    "sr_sensitivity",
+    "optimal_rates",
+    "welfare_curve",
+    "export_all_figures",
+    "run_all_experiments",
+    "render_markdown",
+    "ascii_chart",
+    "format_table",
+]

@@ -1,0 +1,140 @@
+"""CSV export of every figure's data series.
+
+Downstream users plot with their own tools; :func:`export_all_figures`
+writes one tidy CSV per paper figure into a results directory. Files
+are plain ``csv`` module output -- no extra dependencies -- with a
+header row and long-format columns (one observation per row).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.figures import (
+    figure3_alice_t3,
+    figure4_bob_t2,
+    figure5_alice_t1,
+    figure6_success_rate,
+    figure7_bob_t2_collateral,
+    figure9_sr_collateral,
+)
+from repro.core.parameters import SwapParameters
+
+__all__ = ["write_csv", "export_all_figures"]
+
+
+def write_csv(path: Path, header: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Write one CSV file, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def _figure3_rows(params) -> List[List]:
+    fig = figure3_alice_t3(params)
+    rows: List[List] = []
+    for pstar, cont, stop, threshold in fig.curves:
+        for p3, value in zip(fig.p3_grid, cont):
+            rows.append([pstar, p3, value, stop, threshold])
+    return rows
+
+
+def _figure4_rows(params) -> List[List]:
+    fig = figure4_bob_t2(params)
+    rows: List[List] = []
+    for pstar, cont, bounds in fig.curves:
+        lo, hi = bounds if bounds else (float("nan"), float("nan"))
+        for p2, value in zip(fig.p2_grid, cont):
+            rows.append([pstar, p2, value, p2, lo, hi])
+    return rows
+
+
+def _figure5_rows(params) -> List[List]:
+    fig = figure5_alice_t1(params)
+    lo, hi = fig.feasible_range if fig.feasible_range else (float("nan"),) * 2
+    return [
+        [k, cont, stop, lo, hi]
+        for k, cont, stop in zip(fig.pstar_grid, fig.cont_values, fig.stop_values)
+    ]
+
+
+def _figure6_rows(params) -> List[List]:
+    fig = figure6_success_rate(params, n_points=15)
+    rows: List[List] = []
+    for panel in fig.panels:
+        for curve in panel.curves:
+            if not curve.viable:
+                rows.append([panel.parameter, curve.value, float("nan"),
+                             float("nan"), False])
+                continue
+            for k, rate in zip(curve.pstars, curve.rates):
+                rows.append([panel.parameter, curve.value, k, rate, True])
+    return rows
+
+
+def _figure7_rows(params) -> List[List]:
+    fig = figure7_bob_t2_collateral(params)
+    rows: List[List] = []
+    for pstar, q, cont, region in fig.curves:
+        pieces = ";".join(f"{lo:.6g}:{hi:.6g}" for lo, hi in region.intervals)
+        for p2, value in zip(fig.p2_grid, cont):
+            rows.append([pstar, q, p2, value, pieces])
+    return rows
+
+
+def _figure9_rows(params) -> List[List]:
+    fig = figure9_sr_collateral(params)
+    rows: List[List] = []
+    for q, rates in fig.curves:
+        for k, rate in zip(fig.pstar_grid, rates):
+            rows.append([q, k, rate])
+    return rows
+
+
+_EXPORTERS = {
+    "figure3.csv": (
+        ["pstar", "p3", "u_cont", "u_stop", "threshold"],
+        _figure3_rows,
+    ),
+    "figure4.csv": (
+        ["pstar", "p2", "u_cont", "u_stop", "region_low", "region_high"],
+        _figure4_rows,
+    ),
+    "figure5.csv": (
+        ["pstar", "u_cont", "u_stop", "feasible_low", "feasible_high"],
+        _figure5_rows,
+    ),
+    "figure6.csv": (
+        ["parameter", "value", "pstar", "success_rate", "viable"],
+        _figure6_rows,
+    ),
+    "figure7.csv": (
+        ["pstar", "collateral", "p2", "u_cont", "continuation_region"],
+        _figure7_rows,
+    ),
+    "figure9.csv": (
+        ["collateral", "pstar", "success_rate"],
+        _figure9_rows,
+    ),
+}
+
+
+def export_all_figures(
+    out_dir: Path,
+    params: Optional[SwapParameters] = None,
+) -> Dict[str, Path]:
+    """Write every figure's CSV into ``out_dir``; returns name -> path."""
+    if params is None:
+        params = SwapParameters.default()
+    out_dir = Path(out_dir)
+    written: Dict[str, Path] = {}
+    for name, (header, producer) in _EXPORTERS.items():
+        path = out_dir / name
+        write_csv(path, header, producer(params))
+        written[name] = path
+    return written

@@ -1,0 +1,495 @@
+"""Data generators for every figure in the paper.
+
+Each ``figureN_*`` function computes the exact series the corresponding
+paper figure plots and returns a small dataclass with a ``render()``
+method producing terminal output. Numeric assertions about the shapes
+(concavity, orderings, crossings) live in the benchmark/test suites;
+these generators are pure data producers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.report import ascii_chart, format_table
+from repro.analysis.sweep import SweepResult, sweep_parameter
+from repro.core.backward_induction import BackwardInduction
+from repro.core.collateral import CollateralBackwardInduction
+from repro.core.feasible_range import feasible_pstar_range
+from repro.core.parameters import SwapParameters
+from repro.core.timeline import idealized_timeline
+from repro.stochastic.rootfind import IntervalUnion
+
+__all__ = [
+    "figure2_timeline",
+    "figure3_alice_t3",
+    "figure4_bob_t2",
+    "figure5_alice_t1",
+    "figure6_success_rate",
+    "figure7_bob_t2_collateral",
+    "figure8_t1_collateral",
+    "figure9_sr_collateral",
+]
+
+DEFAULT_PSTARS = (1.5, 2.0, 2.5)
+DEFAULT_QS = (0.0, 0.2, 0.5, 1.0)
+
+
+# --------------------------------------------------------------------- #
+# Figure 2: the swap timeline
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class TimelineFigure:
+    """Figure 2(b): the idealized event schedule."""
+
+    events: Tuple[Tuple[str, float], ...]
+
+    def render(self) -> str:
+        rows = [[name, when] for name, when in self.events]
+        return format_table(
+            headers=["event", "time (hours)"],
+            rows=rows,
+            title="Figure 2(b): idealized timeline (zero waiting time)",
+            float_fmt="{:.2f}",
+        )
+
+
+def figure2_timeline(params: Optional[SwapParameters] = None) -> TimelineFigure:
+    """The Eq. (13) schedule under the given parameters."""
+    if params is None:
+        params = SwapParameters.default()
+    tl = idealized_timeline(params)
+    events = (
+        ("t0 = t1 (agree + Alice locks)", tl.t1),
+        ("t2 (Bob locks)", tl.t2),
+        ("t3 (Alice reveals)", tl.t3),
+        ("t4 (Bob redeems)", tl.t4),
+        ("t5 = t_b (Alice receives)", tl.t5),
+        ("t6 = t_a (Bob receives)", tl.t6),
+        ("t7 (Bob refunded on fail)", tl.t7),
+        ("t8 (Alice refunded on fail)", tl.t8),
+    )
+    return TimelineFigure(events=events)
+
+
+# --------------------------------------------------------------------- #
+# Figure 3: Alice's utility at t3
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class AliceT3Figure:
+    """Figure 3 series: one (cont, stop, threshold) triple per ``P*``."""
+
+    p3_grid: Tuple[float, ...]
+    curves: Tuple[Tuple[float, Tuple[float, ...], float, float], ...]
+    # each curve: (pstar, cont_values, stop_value, threshold)
+
+    def render(self) -> str:
+        series: Dict[str, Tuple[Sequence[float], Sequence[float]]] = {}
+        for pstar, cont, stop, _thr in self.curves:
+            series[f"cont P*={pstar}"] = (self.p3_grid, cont)
+            series[f"stop P*={pstar}"] = (
+                self.p3_grid,
+                [stop] * len(self.p3_grid),
+            )
+        chart = ascii_chart(
+            series,
+            title="Figure 3: Alice's utility at t3",
+            x_label="P_t3",
+            y_label="U^A_t3",
+        )
+        rows = [[pstar, thr] for pstar, _c, _s, thr in self.curves]
+        table = format_table(
+            ["P*", "threshold P̲_t3 (Eq. 18)"], rows, title="thresholds"
+        )
+        return chart + "\n" + table
+
+
+def figure3_alice_t3(
+    params: Optional[SwapParameters] = None,
+    pstars: Sequence[float] = DEFAULT_PSTARS,
+    n_points: int = 41,
+    p3_max: float = 4.0,
+) -> AliceT3Figure:
+    """Alice's Eq. (14)/(16) utilities across ``P_{t3}`` and ``P*``."""
+    if params is None:
+        params = SwapParameters.default()
+    grid = tuple(float(x) for x in np.linspace(0.05, p3_max, n_points))
+    curves = []
+    for pstar in pstars:
+        solver = BackwardInduction(params, pstar)
+        cont = tuple(float(solver.alice_t3_cont(x)) for x in grid)
+        curves.append((float(pstar), cont, solver.alice_t3_stop(), solver.p3_threshold()))
+    return AliceT3Figure(p3_grid=grid, curves=tuple(curves))
+
+
+# --------------------------------------------------------------------- #
+# Figure 4: Bob's utility at t2
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class BobT2Figure:
+    """Figure 4 series: Bob's cont/stop utilities and feasible range per ``P*``."""
+
+    p2_grid: Tuple[float, ...]
+    curves: Tuple[
+        Tuple[float, Tuple[float, ...], Optional[Tuple[float, float]]], ...
+    ]
+    # each curve: (pstar, cont_values, feasible_range)
+
+    def render(self) -> str:
+        series: Dict[str, Tuple[Sequence[float], Sequence[float]]] = {
+            "stop (= P_t2)": (self.p2_grid, self.p2_grid)
+        }
+        for pstar, cont, _rng in self.curves:
+            series[f"cont P*={pstar}"] = (self.p2_grid, cont)
+        chart = ascii_chart(
+            series,
+            title="Figure 4: Bob's utility at t2",
+            x_label="P_t2",
+            y_label="U^B_t2",
+        )
+        rows = [
+            [pstar, rng[0] if rng else float("nan"), rng[1] if rng else float("nan")]
+            for pstar, _c, rng in self.curves
+        ]
+        table = format_table(
+            ["P*", "P̲_t2", "P̄_t2"], rows, title="feasible ranges (Eq. 24)"
+        )
+        return chart + "\n" + table
+
+
+def figure4_bob_t2(
+    params: Optional[SwapParameters] = None,
+    pstars: Sequence[float] = DEFAULT_PSTARS,
+    n_points: int = 41,
+    p2_max: float = 4.0,
+) -> BobT2Figure:
+    """Bob's Eq. (21)/(23) utilities across ``P_{t2}`` and ``P*``."""
+    if params is None:
+        params = SwapParameters.default()
+    grid = tuple(float(x) for x in np.linspace(0.05, p2_max, n_points))
+    curves = []
+    for pstar in pstars:
+        solver = BackwardInduction(params, pstar)
+        cont = tuple(float(v) for v in solver.bob_t2_cont(np.asarray(grid)))
+        region = solver.bob_t2_region()
+        bounds = None if region.is_empty else region.bounds()
+        curves.append((float(pstar), cont, bounds))
+    return BobT2Figure(p2_grid=grid, curves=tuple(curves))
+
+
+# --------------------------------------------------------------------- #
+# Figure 5: Alice's utility at t1
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class AliceT1Figure:
+    """Figure 5 series: Alice's t1 cont/stop utilities vs ``P*``."""
+
+    pstar_grid: Tuple[float, ...]
+    cont_values: Tuple[float, ...]
+    stop_values: Tuple[float, ...]
+    feasible_range: Optional[Tuple[float, float]]
+
+    def render(self) -> str:
+        chart = ascii_chart(
+            {
+                "cont": (self.pstar_grid, self.cont_values),
+                "stop (= P*)": (self.pstar_grid, self.stop_values),
+            },
+            title="Figure 5: Alice's utility at t1",
+            x_label="P*",
+            y_label="U^A_t1",
+        )
+        if self.feasible_range:
+            lo, hi = self.feasible_range
+            chart += f"\nfeasible P* range (Eq. 29): ({lo:.4f}, {hi:.4f})"
+        else:
+            chart += "\nno feasible P* range"
+        return chart
+
+
+def figure5_alice_t1(
+    params: Optional[SwapParameters] = None,
+    pstar_min: float = 1.0,
+    pstar_max: float = 3.2,
+    n_points: int = 23,
+) -> AliceT1Figure:
+    """Alice's Eq. (25)/(27) utilities across ``P*``."""
+    if params is None:
+        params = SwapParameters.default()
+    grid = tuple(float(x) for x in np.linspace(pstar_min, pstar_max, n_points))
+    cont = tuple(BackwardInduction(params, k).alice_t1_cont() for k in grid)
+    return AliceT1Figure(
+        pstar_grid=grid,
+        cont_values=cont,
+        stop_values=grid,
+        feasible_range=feasible_pstar_range(params),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figure 6: SR(P*) parameter sweeps
+# --------------------------------------------------------------------- #
+
+FIGURE6_SWEEPS: Dict[str, Tuple[float, ...]] = {
+    "alpha_a": (0.1, 0.3, 0.6),
+    "alpha_b": (0.1, 0.3, 0.6),
+    "r_a": (0.005, 0.01, 0.03),
+    "r_b": (0.005, 0.01, 0.03),
+    "tau_a": (1.0, 3.0, 6.0),
+    "tau_b": (2.0, 4.0, 8.0),
+    "mu": (-0.01, 0.002, 0.01),
+    "sigma": (0.05, 0.1, 0.15, 0.2),
+}
+
+
+@dataclass(frozen=True)
+class SuccessRateFigure:
+    """Figure 6: one sweep panel per parameter."""
+
+    panels: Tuple[SweepResult, ...]
+
+    def panel(self, parameter: str) -> SweepResult:
+        """The sweep for one parameter."""
+        for sweep in self.panels:
+            if sweep.parameter == parameter:
+                return sweep
+        raise KeyError(f"no panel for {parameter!r}")
+
+    def render(self) -> str:
+        blocks: List[str] = []
+        for sweep in self.panels:
+            series: Dict[str, Tuple[Sequence[float], Sequence[float]]] = {}
+            for curve in sweep.curves:
+                label = f"{sweep.parameter}={curve.value:g}"
+                if not curve.viable:
+                    label += " (non-viable)"
+                    continue
+                series[label] = (curve.pstars, curve.rates)
+            if series:
+                blocks.append(
+                    ascii_chart(
+                        series,
+                        title=f"Figure 6 panel: SR(P*) vs {sweep.parameter}",
+                        x_label="P*",
+                        y_label="SR",
+                        height=14,
+                    )
+                )
+            non_viable = [c.value for c in sweep.curves if not c.viable]
+            if non_viable:
+                blocks.append(
+                    f"  non-viable {sweep.parameter} values (no feasible P*): "
+                    + ", ".join(f"{v:g}" for v in non_viable)
+                )
+        return "\n\n".join(blocks)
+
+
+def figure6_success_rate(
+    params: Optional[SwapParameters] = None,
+    sweeps: Optional[Dict[str, Tuple[float, ...]]] = None,
+    n_points: int = 21,
+) -> SuccessRateFigure:
+    """All Figure 6 panels: ``SR(P*)`` as each parameter varies."""
+    if params is None:
+        params = SwapParameters.default()
+    if sweeps is None:
+        sweeps = FIGURE6_SWEEPS
+    panels = tuple(
+        sweep_parameter(params, name, values, n_points=n_points, locate_max=False)
+        for name, values in sweeps.items()
+    )
+    return SuccessRateFigure(panels=panels)
+
+
+# --------------------------------------------------------------------- #
+# Figure 7: Bob's t2 utility with collateral
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class BobT2CollateralFigure:
+    """Figure 7: Bob's collateralised cont utility and indifference points."""
+
+    p2_grid: Tuple[float, ...]
+    curves: Tuple[Tuple[float, float, Tuple[float, ...], IntervalUnion], ...]
+    # each curve: (pstar, collateral, cont_values, continuation_region)
+
+    def render(self) -> str:
+        series: Dict[str, Tuple[Sequence[float], Sequence[float]]] = {
+            "stop (= P_t2)": (self.p2_grid, self.p2_grid)
+        }
+        for pstar, q, cont, _region in self.curves:
+            series[f"cont P*={pstar} Q={q}"] = (self.p2_grid, cont)
+        chart = ascii_chart(
+            series,
+            title="Figure 7: Bob's utility at t2 with collateral",
+            x_label="P_t2",
+            y_label="U^B_t2,c",
+        )
+        rows = []
+        for pstar, q, _cont, region in self.curves:
+            pieces = "; ".join(f"({lo:.3f}, {hi:.3f})" for lo, hi in region.intervals)
+            rows.append([pstar, q, len(region), pieces or "empty"])
+        table = format_table(
+            ["P*", "Q", "pieces", "continuation region 𝔓_t2"],
+            rows,
+            title="indifference structure (1 or 3 roots)",
+        )
+        return chart + "\n" + table
+
+
+def figure7_bob_t2_collateral(
+    params: Optional[SwapParameters] = None,
+    settings: Sequence[Tuple[float, float]] = ((2.0, 0.2), (2.0, 0.5), (2.5, 0.2)),
+    n_points: int = 41,
+    p2_max: float = 4.0,
+) -> BobT2CollateralFigure:
+    """Bob's Eq. (35) cont utility for several ``(P*, Q)`` pairs."""
+    if params is None:
+        params = SwapParameters.default()
+    grid = tuple(float(x) for x in np.linspace(0.02, p2_max, n_points))
+    curves = []
+    for pstar, q in settings:
+        solver = CollateralBackwardInduction(params, pstar, q)
+        cont = tuple(float(v) for v in solver.bob_t2_cont(np.asarray(grid)))
+        curves.append((float(pstar), float(q), cont, solver.bob_t2_region()))
+    return BobT2CollateralFigure(p2_grid=grid, curves=tuple(curves))
+
+
+# --------------------------------------------------------------------- #
+# Figure 8: t1 utilities with collateral
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class T1CollateralFigure:
+    """Figure 8: both agents' t1 cont/stop utilities vs ``P*``."""
+
+    collateral: float
+    pstar_grid: Tuple[float, ...]
+    alice_cont: Tuple[float, ...]
+    alice_stop: Tuple[float, ...]
+    bob_cont: Tuple[float, ...]
+    bob_stop: Tuple[float, ...]
+    alice_region: IntervalUnion
+    bob_region: IntervalUnion
+
+    def render(self) -> str:
+        chart = ascii_chart(
+            {
+                "A cont": (self.pstar_grid, self.alice_cont),
+                "A stop": (self.pstar_grid, self.alice_stop),
+                "B cont": (self.pstar_grid, self.bob_cont),
+                "B stop": (self.pstar_grid, self.bob_stop),
+            },
+            title=f"Figure 8: t1 utilities with collateral Q={self.collateral}",
+            x_label="P*",
+            y_label="U_t1,c",
+        )
+
+        def show(region: IntervalUnion) -> str:
+            if region.is_empty:
+                return "empty"
+            return "; ".join(f"({lo:.3f}, {hi:.3f})" for lo, hi in region.intervals)
+
+        joint = self.alice_region.intersect(self.bob_region)
+        union = self.alice_region.union(self.bob_region)
+        return (
+            chart
+            + f"\nAlice-feasible P*: {show(self.alice_region)}"
+            + f"\nBob-feasible   P*: {show(self.bob_region)}"
+            + f"\nintersection (ours): {show(joint)}"
+            + f"\nunion (paper's literal 𝔓*): {show(union)}"
+        )
+
+
+def figure8_t1_collateral(
+    params: Optional[SwapParameters] = None,
+    collateral: float = 0.5,
+    pstar_min: float = 1.0,
+    pstar_max: float = 3.2,
+    n_points: int = 19,
+) -> T1CollateralFigure:
+    """Eq. (36)-(39) series for both agents."""
+    from repro.core.collateral import feasible_pstar_region_with_collateral
+
+    if params is None:
+        params = SwapParameters.default()
+    grid = tuple(float(x) for x in np.linspace(pstar_min, pstar_max, n_points))
+    alice_cont, bob_cont = [], []
+    for k in grid:
+        solver = CollateralBackwardInduction(params, k, collateral)
+        alice_cont.append(solver.alice_t1_cont())
+        bob_cont.append(solver.bob_t1_cont())
+    alice_region, bob_region = feasible_pstar_region_with_collateral(
+        params, collateral
+    )
+    return T1CollateralFigure(
+        collateral=float(collateral),
+        pstar_grid=grid,
+        alice_cont=tuple(alice_cont),
+        alice_stop=tuple(k + collateral for k in grid),
+        bob_cont=tuple(bob_cont),
+        bob_stop=tuple(params.p0 + collateral for _ in grid),
+        alice_region=alice_region,
+        bob_region=bob_region,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figure 9: SR(P*) for different collateral levels
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SRCollateralFigure:
+    """Figure 9: one ``SR(P*)`` curve per collateral ``Q``."""
+
+    pstar_grid: Tuple[float, ...]
+    curves: Tuple[Tuple[float, Tuple[float, ...]], ...]  # (Q, rates)
+
+    def render(self) -> str:
+        series = {
+            f"Q={q:g}": (self.pstar_grid, rates) for q, rates in self.curves
+        }
+        return ascii_chart(
+            series,
+            title="Figure 9: SR(P*) with collateral",
+            x_label="P*",
+            y_label="SR",
+        )
+
+    def max_rates(self) -> List[Tuple[float, float]]:
+        """Peak SR per collateral level (should increase with Q)."""
+        return [(q, max(rates)) for q, rates in self.curves]
+
+
+def figure9_sr_collateral(
+    params: Optional[SwapParameters] = None,
+    collaterals: Sequence[float] = DEFAULT_QS,
+    pstar_min: float = 1.55,
+    pstar_max: float = 2.5,
+    n_points: int = 21,
+) -> SRCollateralFigure:
+    """Eq. (40) success-rate curves per deposit level."""
+    if params is None:
+        params = SwapParameters.default()
+    grid = tuple(float(x) for x in np.linspace(pstar_min, pstar_max, n_points))
+    curves = []
+    for q in collaterals:
+        rates = tuple(
+            CollateralBackwardInduction(params, k, q).success_rate() for k in grid
+        )
+        curves.append((float(q), rates))
+    return SRCollateralFigure(pstar_grid=grid, curves=tuple(curves))

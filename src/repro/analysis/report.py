@@ -1,0 +1,109 @@
+"""Plain-text rendering for tables and curves.
+
+Every experiment artifact in this repository prints to a terminal:
+:func:`format_table` renders aligned ASCII tables,
+:func:`ascii_chart` renders one-or-more ``(x, y)`` series as a compact
+character plot (enough to eyeball concavity, crossings and ordering --
+the properties the paper's figures communicate).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["format_table", "ascii_chart"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.4f}",
+) -> str:
+    """Render rows as an aligned ASCII table."""
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
+
+    def hline() -> str:
+        return "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(hline())
+    lines.append(render_row(headers))
+    lines.append(hline())
+    for row in str_rows:
+        lines.append(render_row(row))
+    lines.append(hline())
+    return "\n".join(lines)
+
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 20,
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render labelled ``(xs, ys)`` series on a character canvas.
+
+    NaN points are skipped (used for infeasible segments, matching the
+    paper's convention of only plotting viable parameter values).
+    """
+    points: List[Tuple[float, float, str]] = []
+    legend: List[Tuple[str, str]] = []
+    for idx, (label, (xs, ys)) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        legend.append((marker, label))
+        for x, y in zip(xs, ys):
+            if math.isnan(x) or math.isnan(y):
+                continue
+            points.append((float(x), float(y), marker))
+    if not points:
+        return (title + "\n" if title else "") + "(no finite data)"
+
+    x_min = min(p[0] for p in points)
+    x_max = max(p[0] for p in points)
+    y_min = min(p[1] for p in points)
+    y_max = max(p[1] for p in points)
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        col = int((x - x_min) / x_span * (width - 1))
+        row = height - 1 - int((y - y_min) / y_span * (height - 1))
+        canvas[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} in [{y_min:.4g}, {y_max:.4g}]")
+    for row in canvas:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"{x_label} in [{x_min:.4g}, {x_max:.4g}]")
+    lines.append("legend: " + "  ".join(f"{m} {label}" for m, label in legend))
+    return "\n".join(lines)

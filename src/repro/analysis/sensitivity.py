@@ -1,0 +1,89 @@
+"""Local comparative statics of the success rate.
+
+Central finite differences of ``SR`` (at a fixed ``P*`` or at the
+SR-maximising ``P*``) with respect to each model parameter; the signs
+reproduce the paper's Section III-F statements (e.g. ``dSR/d alpha >
+0``, ``dSR/d sigma < 0`` at the optimum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.core.parameters import SwapParameters
+from repro.core.success_rate import max_success_rate, success_rate
+
+__all__ = ["SensitivityEntry", "sr_sensitivity"]
+
+DEFAULT_STEPS: Dict[str, float] = {
+    "alpha_a": 0.02,
+    "alpha_b": 0.02,
+    "r_a": 0.001,
+    "r_b": 0.001,
+    "tau_a": 0.25,
+    "tau_b": 0.25,
+    "mu": 0.0005,
+    "sigma": 0.005,
+}
+
+
+@dataclass(frozen=True)
+class SensitivityEntry:
+    """One parameter's local effect on SR."""
+
+    parameter: str
+    step: float
+    sr_minus: float
+    sr_plus: float
+
+    @property
+    def derivative(self) -> float:
+        """Central-difference estimate of ``dSR/d parameter``."""
+        return (self.sr_plus - self.sr_minus) / (2.0 * self.step)
+
+    @property
+    def sign(self) -> int:
+        """-1, 0 or +1."""
+        d = self.derivative
+        return (d > 0) - (d < 0)
+
+
+def sr_sensitivity(
+    params: Optional[SwapParameters] = None,
+    pstar: Optional[float] = None,
+    parameters: Optional[Sequence[str]] = None,
+    steps: Optional[Dict[str, float]] = None,
+) -> Dict[str, SensitivityEntry]:
+    """Central-difference SR sensitivities.
+
+    With ``pstar=None``, SR is evaluated at each perturbed model's *own*
+    optimal rate (the paper's "when P* is chosen optimally" convention,
+    Section III-F3); otherwise at the fixed ``pstar``.
+    """
+    if params is None:
+        params = SwapParameters.default()
+    if steps is None:
+        steps = DEFAULT_STEPS
+    if parameters is None:
+        parameters = tuple(steps)
+
+    def evaluate(p: SwapParameters) -> float:
+        if pstar is not None:
+            return success_rate(p, pstar)
+        located = max_success_rate(p)
+        return located[1] if located is not None else 0.0
+
+    out: Dict[str, SensitivityEntry] = {}
+    base_values = params.as_dict()
+    for name in parameters:
+        h = steps[name]
+        lo = params.replace(**{name: base_values[name] - h})
+        hi = params.replace(**{name: base_values[name] + h})
+        out[name] = SensitivityEntry(
+            parameter=name,
+            step=h,
+            sr_minus=evaluate(lo),
+            sr_plus=evaluate(hi),
+        )
+    return out

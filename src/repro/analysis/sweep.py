@@ -1,0 +1,117 @@
+"""Parameter sweeps over the success-rate curve.
+
+The machinery behind Figure 6: vary one model parameter across a set
+of values and compute ``SR(P*)`` curves (plus feasible ranges and the
+SR-maximising point) for each. Non-viable parameter values -- those
+with an empty feasible ``P*`` range, which the paper marks with an
+empty-square symbol -- are flagged rather than dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.feasible_range import feasible_pstar_range
+from repro.core.parameters import SwapParameters
+from repro.core.success_rate import max_success_rate, success_rate
+
+__all__ = ["SweepCurve", "SweepResult", "sweep_parameter", "sr_curve_on_grid"]
+
+
+@dataclass(frozen=True)
+class SweepCurve:
+    """One ``SR(P*)`` curve for one parameter value."""
+
+    parameter: str
+    value: float
+    viable: bool
+    feasible_range: Optional[Tuple[float, float]]
+    pstars: Tuple[float, ...]
+    rates: Tuple[float, ...]
+    best_pstar: Optional[float]
+    best_rate: Optional[float]
+
+    @property
+    def max_rate(self) -> float:
+        """Peak SR over the evaluated grid (nan when not viable)."""
+        finite = [r for r in self.rates if not np.isnan(r)]
+        return max(finite) if finite else float("nan")
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All curves of one parameter sweep."""
+
+    parameter: str
+    curves: Tuple[SweepCurve, ...]
+
+    def curve_for(self, value: float) -> SweepCurve:
+        """The curve at a specific parameter value."""
+        for curve in self.curves:
+            if curve.value == value:
+                return curve
+        raise KeyError(f"no curve for {self.parameter}={value}")
+
+    def viable_values(self) -> List[float]:
+        """Parameter values with a non-empty feasible ``P*`` range."""
+        return [c.value for c in self.curves if c.viable]
+
+
+def sr_curve_on_grid(
+    params: SwapParameters,
+    n_points: int = 25,
+    pad: float = 1e-4,
+) -> Tuple[Optional[Tuple[float, float]], Tuple[float, ...], Tuple[float, ...]]:
+    """``SR`` on an evenly spaced grid spanning the feasible ``P*`` range.
+
+    Returns ``(feasible_range, pstars, rates)``; with no feasible range
+    the grids are empty.
+    """
+    bounds = feasible_pstar_range(params)
+    if bounds is None:
+        return None, (), ()
+    lo, hi = bounds
+    grid = np.linspace(lo * (1.0 + pad), hi * (1.0 - pad), n_points)
+    rates = tuple(success_rate(params, float(k)) for k in grid)
+    return bounds, tuple(float(k) for k in grid), rates
+
+
+def sweep_parameter(
+    base: SwapParameters,
+    parameter: str,
+    values: Sequence[float],
+    n_points: int = 25,
+    locate_max: bool = True,
+) -> SweepResult:
+    """Sweep ``parameter`` over ``values`` (Figure 6's panel generator).
+
+    ``parameter`` accepts the flat keys of
+    :meth:`SwapParameters.replace` (``alpha_a``, ``r_b``, ``tau_a``,
+    ``mu``, ``sigma``, ...).
+    """
+    curves: List[SweepCurve] = []
+    for value in values:
+        params = base.replace(**{parameter: float(value)})
+        bounds, pstars, rates = sr_curve_on_grid(params, n_points=n_points)
+        viable = bounds is not None
+        best_pstar = best_rate = None
+        if viable and locate_max:
+            located = max_success_rate(params)
+            if located is not None:
+                best_pstar, best_rate = located
+        curves.append(
+            SweepCurve(
+                parameter=parameter,
+                value=float(value),
+                viable=viable,
+                feasible_range=bounds,
+                pstars=pstars,
+                rates=rates,
+                best_pstar=best_pstar,
+                best_rate=best_rate,
+            )
+        )
+    return SweepResult(parameter=parameter, curves=tuple(curves))

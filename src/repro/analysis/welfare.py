@@ -1,0 +1,143 @@
+"""Welfare analysis: whose rate is the right rate?
+
+The paper studies the *success rate*; market designers also care about
+*welfare* -- the agents' combined expected utility. Because utilities
+are denominated in the same numéraire (Assumption 3), they can be
+summed:
+
+* ``welfare(P*) = U^A_{t1}(eq) + U^B_{t1}(eq)`` where each agent's
+  equilibrium value is ``max(cont, stop)``;
+* the *gains from trade* are welfare minus the no-trade outside option
+  ``P* + p0``... careful: Alice's outside option is ``P*`` only in the
+  sense of Eq. (27) -- she keeps the Token_a she would have swapped --
+  so the natural baseline is ``U^A(stop) + U^B(stop)``;
+* the SR-maximising, Alice-optimal, Bob-optimal and welfare-optimal
+  rates generally differ; this module computes all four and the
+  welfare cost of picking each.
+
+Used by the ablation benchmarks to show the SR-optimal rate is *not*
+the welfare-optimal one in general (they are close under the symmetric
+Table III defaults).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.backward_induction import BackwardInduction
+from repro.core.feasible_range import feasible_pstar_range
+from repro.core.parameters import SwapParameters
+from repro.core.success_rate import max_success_rate
+
+__all__ = ["WelfarePoint", "welfare_curve", "optimal_rates", "RateComparison"]
+
+
+@dataclass(frozen=True)
+class WelfarePoint:
+    """Welfare decomposition at one exchange rate."""
+
+    pstar: float
+    alice_value: float
+    bob_value: float
+    alice_outside: float
+    bob_outside: float
+    success_rate: float
+
+    @property
+    def welfare(self) -> float:
+        """Combined equilibrium value."""
+        return self.alice_value + self.bob_value
+
+    @property
+    def gains_from_trade(self) -> float:
+        """Welfare in excess of both agents' stop values."""
+        return self.welfare - self.alice_outside - self.bob_outside
+
+
+def welfare_point(params: SwapParameters, pstar: float) -> WelfarePoint:
+    """Evaluate welfare at one rate."""
+    solver = BackwardInduction(params, pstar)
+    alice_cont = solver.alice_t1_cont()
+    alice_stop = solver.alice_t1_stop()
+    bob_value = (
+        solver.bob_t1_cont() if alice_cont > alice_stop else solver.bob_t1_stop()
+    )
+    return WelfarePoint(
+        pstar=float(pstar),
+        alice_value=max(alice_cont, alice_stop),
+        bob_value=bob_value,
+        alice_outside=alice_stop,
+        bob_outside=solver.bob_t1_stop(),
+        success_rate=solver.success_rate() if alice_cont > alice_stop else 0.0,
+    )
+
+
+def welfare_curve(
+    params: SwapParameters, pstars: Sequence[float]
+) -> List[WelfarePoint]:
+    """Welfare across a grid of rates."""
+    return [welfare_point(params, float(k)) for k in pstars]
+
+
+@dataclass(frozen=True)
+class RateComparison:
+    """The four natural choices of exchange rate and their trade-offs.
+
+    All objective values are *surpluses* over the no-trade outside
+    option (levels are not comparable across P*: the rate itself sets
+    Alice's Token_a endowment).
+    """
+
+    sr_optimal: Tuple[float, float]          # (pstar, SR)
+    welfare_optimal: Tuple[float, float]     # (pstar, gains from trade)
+    alice_optimal: Tuple[float, float]       # (pstar, Alice surplus)
+    bob_optimal: Tuple[float, float]         # (pstar, Bob surplus)
+
+    def describe(self) -> str:
+        """Four-line summary."""
+        return "\n".join(
+            [
+                f"SR-optimal      P* = {self.sr_optimal[0]:.4f}"
+                f" (SR = {self.sr_optimal[1]:.4f})",
+                f"welfare-optimal P* = {self.welfare_optimal[0]:.4f}"
+                f" (GFT = {self.welfare_optimal[1]:.4f})",
+                f"Alice-optimal   P* = {self.alice_optimal[0]:.4f}"
+                f" (U^A = {self.alice_optimal[1]:.4f})",
+                f"Bob-optimal     P* = {self.bob_optimal[0]:.4f}"
+                f" (U^B = {self.bob_optimal[1]:.4f})",
+            ]
+        )
+
+
+def optimal_rates(
+    params: SwapParameters, n_grid: int = 60
+) -> Optional[RateComparison]:
+    """Locate the four optima over the feasible window.
+
+    Returns ``None`` when no feasible rate exists.
+    """
+    bounds = feasible_pstar_range(params)
+    if bounds is None:
+        return None
+    lo, hi = bounds
+    grid = np.linspace(lo * 1.001, hi * 0.999, n_grid)
+    points = welfare_curve(params, grid)
+
+    # levels are ill-posed across P* (Alice's endowment IS P* Token_a),
+    # so optimise surpluses: gains-from-trade and per-agent advantages
+    best_welfare = max(points, key=lambda p: p.gains_from_trade)
+    best_alice = max(points, key=lambda p: p.alice_value - p.alice_outside)
+    best_bob = max(points, key=lambda p: p.bob_value - p.bob_outside)
+    located = max_success_rate(params)
+    assert located is not None  # feasible range exists
+    return RateComparison(
+        sr_optimal=located,
+        welfare_optimal=(best_welfare.pstar, best_welfare.gains_from_trade),
+        alice_optimal=(
+            best_alice.pstar, best_alice.alice_value - best_alice.alice_outside
+        ),
+        bob_optimal=(best_bob.pstar, best_bob.bob_value - best_bob.bob_outside),
+    )

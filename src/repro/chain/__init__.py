@@ -1,0 +1,62 @@
+"""Simulated two-chain blockchain substrate.
+
+The analysis in :mod:`repro.core` assumes an execution environment with
+three timing constants per chain -- confirmation time ``tau``, mempool
+visibility delay ``eps`` -- and HTLC smart contracts with hashlock +
+timelock semantics. This package implements that environment faithfully
+enough that the protocol engine (:mod:`repro.protocol`) can *execute*
+swaps and the Monte Carlo layer can measure outcomes:
+
+* :mod:`repro.chain.events` -- discrete-event simulation clock;
+* :mod:`repro.chain.crypto` -- secrets, SHA-256 hashlocks, preimage
+  verification;
+* :mod:`repro.chain.ledger` -- per-chain account balances;
+* :mod:`repro.chain.transaction` / :mod:`repro.chain.block` /
+  :mod:`repro.chain.mempool` -- transaction lifecycle: submitted ->
+  visible in the mempool (after ``eps``) -> confirmed in a block
+  (after ``tau``);
+* :mod:`repro.chain.htlc` -- hash time lock contracts with automatic
+  refund at expiry (paper Section II-B);
+* :mod:`repro.chain.chain` -- a chain tying the above together;
+* :mod:`repro.chain.oracle` -- the Section IV collateral escrow with a
+  (simulated, trusted) cross-chain Oracle;
+* :mod:`repro.chain.network` -- the two-chain world the protocol runs
+  in.
+"""
+
+from repro.chain.chain import Blockchain
+from repro.chain.crypto import Secret, hashlock_of, new_secret, verify_preimage
+from repro.chain.errors import (
+    ChainError,
+    ContractStateError,
+    InsufficientFunds,
+    UnknownAccount,
+)
+from repro.chain.events import SimulationClock
+from repro.chain.htlc import HTLC, HTLCState
+from repro.chain.ledger import Ledger
+from repro.chain.network import TwoChainNetwork
+from repro.chain.oracle import CollateralEscrow, EscrowState, Oracle
+from repro.chain.transaction import Transaction, TxStatus
+
+__all__ = [
+    "Blockchain",
+    "Secret",
+    "new_secret",
+    "hashlock_of",
+    "verify_preimage",
+    "SimulationClock",
+    "HTLC",
+    "HTLCState",
+    "Ledger",
+    "TwoChainNetwork",
+    "CollateralEscrow",
+    "EscrowState",
+    "Oracle",
+    "Transaction",
+    "TxStatus",
+    "ChainError",
+    "InsufficientFunds",
+    "UnknownAccount",
+    "ContractStateError",
+]

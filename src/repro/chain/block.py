@@ -1,0 +1,35 @@
+"""Blocks: confirmed-transaction bookkeeping.
+
+The simulator does not need proof-of-work detail, but grouping
+confirmations into height-ordered blocks gives the chain an auditable
+history and lets tests assert ordering/finality properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.chain.transaction import Transaction
+
+__all__ = ["Block"]
+
+
+@dataclass
+class Block:
+    """A batch of transactions finalised at one confirmation instant."""
+
+    height: int
+    timestamp: float
+    transactions: Tuple[Transaction, ...]
+
+    def __post_init__(self) -> None:
+        if self.height < 0:
+            raise ValueError(f"block height must be non-negative, got {self.height}")
+        if not self.transactions:
+            raise ValueError("a block must contain at least one transaction")
+
+    @property
+    def txids(self) -> Tuple[int, ...]:
+        """Transaction ids in the block."""
+        return tuple(tx.txid for tx in self.transactions)

@@ -1,0 +1,262 @@
+"""A simulated blockchain with deterministic timing.
+
+One :class:`Blockchain` owns a ledger, a mempool, an HTLC registry and
+a block history, and is driven by the shared
+:class:`~repro.chain.events.SimulationClock`:
+
+* a transaction submitted at ``t`` becomes **visible** in the mempool
+  at ``t + mempool_delay`` and **confirms** at
+  ``t + confirmation_time`` (the paper's Assumption 1: constant
+  confirmation times);
+* on confirmation the transaction's operation executes atomically; a
+  raised :class:`~repro.chain.errors.ChainError` fails the transaction
+  with no side effects;
+* when an HTLC's expiry passes with no confirmed claim, the chain
+  automatically initiates a refund transaction (the paper's "the smart
+  contract expires and the assets are unlocked and returned").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.chain.block import Block
+from repro.chain.errors import ChainError
+from repro.chain.events import SimulationClock
+from repro.chain.htlc import HTLC, ClaimOp, DeployHTLCOp, HTLCState, RefundOp
+from repro.chain.ledger import Ledger
+from repro.chain.mempool import Mempool
+from repro.chain.transaction import Operation, Transaction, TxStatus
+
+__all__ = ["Blockchain", "FEE_SINK", "SYSTEM_SENDER"]
+
+SYSTEM_SENDER = "system"
+FEE_SINK = "fees"
+
+
+class Blockchain:
+    """One chain: ledger + mempool + contracts + timing rules."""
+
+    def __init__(
+        self,
+        name: str,
+        token: str,
+        clock: SimulationClock,
+        confirmation_time: float,
+        mempool_delay: float,
+        fee: float = 0.0,
+        confirmation_jitter: float = 0.0,
+        jitter_rng=None,
+    ) -> None:
+        if not confirmation_time > 0.0:
+            raise ValueError(
+                f"confirmation_time must be positive, got {confirmation_time}"
+            )
+        if not 0.0 < mempool_delay < confirmation_time:
+            raise ValueError(
+                "need 0 < mempool_delay < confirmation_time, got "
+                f"{mempool_delay} vs {confirmation_time}"
+            )
+        if fee < 0.0:
+            raise ValueError(f"fee must be non-negative, got {fee}")
+        if confirmation_jitter < 0.0:
+            raise ValueError(
+                f"confirmation_jitter must be non-negative, got {confirmation_jitter}"
+            )
+        if confirmation_jitter > 0.0 and jitter_rng is None:
+            raise ValueError("confirmation_jitter requires a jitter_rng")
+        self.confirmation_jitter = confirmation_jitter
+        self._jitter_rng = jitter_rng
+        self.name = name
+        self.clock = clock
+        self.confirmation_time = confirmation_time
+        self.mempool_delay = mempool_delay
+        self.fee = fee
+        self.ledger = Ledger(token)
+        self.mempool = Mempool()
+        self.blocks: List[Block] = []
+        self.transactions: List[Transaction] = []
+        self._htlcs: Dict[int, HTLC] = {}
+        if fee > 0.0:
+            self.ledger.open_account(FEE_SINK)
+
+    # ------------------------------------------------------------------ #
+    # accounts
+    # ------------------------------------------------------------------ #
+
+    def open_account(self, name: str, balance: float = 0.0) -> None:
+        """Create an account with an initial balance."""
+        self.ledger.open_account(name, balance)
+
+    def balance(self, name: str) -> float:
+        """Current confirmed balance of ``name``."""
+        return self.ledger.balance(name)
+
+    # ------------------------------------------------------------------ #
+    # transaction lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _draw_confirmation_time(self) -> float:
+        """The (possibly random) confirmation delay for one transaction.
+
+        With jitter ``j``, the delay is ``tau * (1 + j * u)`` with
+        ``u ~ Uniform(-1, 1)``, floored just above the mempool delay so
+        visibility always precedes confirmation. Relaxes the paper's
+        Assumption 1 (constant confirmation time) for robustness
+        studies.
+        """
+        if self.confirmation_jitter <= 0.0:
+            return self.confirmation_time
+        u = float(self._jitter_rng.uniform(-1.0, 1.0))
+        delay = self.confirmation_time * (1.0 + self.confirmation_jitter * u)
+        return max(delay, self.mempool_delay * 1.000001)
+
+    def submit(self, sender: str, operation: Operation) -> Transaction:
+        """Submit an operation; visibility and confirmation are scheduled."""
+        now = self.clock.now
+        tx = Transaction(
+            sender=sender,
+            operation=operation,
+            submitted_at=now,
+            visible_at=now + self.mempool_delay,
+            confirm_at=now + self._draw_confirmation_time(),
+        )
+        self.transactions.append(tx)
+        self.clock.schedule(tx.visible_at, lambda: self._make_visible(tx))
+        self.clock.schedule(tx.confirm_at, lambda: self._confirm(tx))
+        return tx
+
+    def _make_visible(self, tx: Transaction) -> None:
+        if tx.status is TxStatus.SUBMITTED:
+            tx.mark_visible()
+            self.mempool.add(tx)
+
+    def _confirm(self, tx: Transaction) -> None:
+        if tx.status is not TxStatus.VISIBLE:
+            return  # already failed through some other path
+        self.mempool.remove(tx)
+        if not self._charge_fee(tx):
+            tx.mark_failed(
+                f"{tx.sender!r} cannot cover the {self.fee} {self.ledger.token} fee"
+            )
+            return
+        try:
+            tx.operation.apply(self, self.clock.now)
+        except ChainError as exc:
+            # the fee is consumed even when the operation fails, as on a
+            # real chain; only the operation's own effects are rolled back
+            tx.mark_failed(str(exc))
+            return
+        tx.mark_confirmed()
+        self._append_block(tx)
+
+    def _charge_fee(self, tx: Transaction) -> bool:
+        """Collect the flat fee from the sender; system txs are exempt."""
+        if self.fee <= 0.0 or tx.sender == SYSTEM_SENDER:
+            return True
+        try:
+            self.ledger.transfer(tx.sender, FEE_SINK, self.fee)
+        except ChainError:
+            return False
+        return True
+
+    def _append_block(self, tx: Transaction) -> None:
+        height = self.blocks[-1].height + 1 if self.blocks else 0
+        self.blocks.append(
+            Block(height=height, timestamp=self.clock.now, transactions=(tx,))
+        )
+
+    # ------------------------------------------------------------------ #
+    # HTLC conveniences
+    # ------------------------------------------------------------------ #
+
+    def deploy_htlc(
+        self,
+        sender: str,
+        recipient: str,
+        amount: float,
+        hashlock: bytes,
+        expiry: float,
+    ) -> "tuple[Transaction, HTLC]":
+        """Submit an HTLC deployment; funds lock when the tx confirms."""
+        contract = HTLC(
+            sender=sender,
+            recipient=recipient,
+            amount=amount,
+            hashlock=hashlock,
+            expiry=expiry,
+        )
+        tx = self.submit(sender, DeployHTLCOp(contract))
+        return tx, contract
+
+    def claim_htlc(self, contract: HTLC, claimer: str, preimage: bytes) -> Transaction:
+        """Submit a claim revealing ``preimage``."""
+        return self.submit(claimer, ClaimOp(contract, preimage))
+
+    def register_htlc(self, contract: HTLC) -> None:
+        """Index a contract once its deployment confirmed."""
+        self._htlcs[contract.contract_id] = contract
+
+    def htlc(self, contract_id: int) -> HTLC:
+        """Look up a confirmed contract."""
+        return self._htlcs[contract_id]
+
+    def schedule_refund_check(self, contract: HTLC) -> None:
+        """Arrange the automatic refund of ``contract`` at its expiry.
+
+        The check re-arms itself while a claim that could still confirm
+        in time is pending (a claim confirming *exactly at* expiry is
+        valid, Eqs. (8)-(9)); once no such claim exists and the
+        contract is still locked, a refund transaction is initiated.
+        """
+        self.clock.schedule(contract.expiry, lambda: self._refund_check(contract))
+
+    def _refund_check(self, contract: HTLC) -> None:
+        if contract.state is not HTLCState.LOCKED:
+            return
+        pending_claim = self._pending_claim_deadline(contract)
+        if pending_claim is not None:
+            # re-check right after the in-flight claim resolves; the new
+            # event sorts after the claim's confirmation at equal time
+            self.clock.schedule(
+                max(pending_claim, contract.expiry),
+                lambda: self._refund_check(contract),
+            )
+            return
+        self.submit(SYSTEM_SENDER, RefundOp(contract))
+
+    def _pending_claim_deadline(self, contract: HTLC) -> Optional[float]:
+        """Latest confirm time of any in-flight claim that could beat expiry."""
+        deadline = None
+        for tx in self.transactions:
+            if tx.is_final:
+                continue
+            op = tx.operation
+            if (
+                isinstance(op, ClaimOp)
+                and op.contract.contract_id == contract.contract_id
+                and tx.confirm_at <= contract.expiry
+            ):
+                deadline = tx.confirm_at if deadline is None else max(deadline, tx.confirm_at)
+        return deadline
+
+    # ------------------------------------------------------------------ #
+    # observation
+    # ------------------------------------------------------------------ #
+
+    def observe_preimage(self, hashlock: bytes) -> Optional[bytes]:
+        """Look for a preimage of ``hashlock`` revealed on this chain.
+
+        Checks confirmed contracts first, then the mempool (the paper's
+        early observation channel).
+        """
+        for contract in self._htlcs.values():
+            if contract.hashlock == hashlock and contract.revealed_preimage:
+                return contract.revealed_preimage
+        return self.mempool.find_revealed_preimage(hashlock)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Blockchain({self.name!r}, token={self.ledger.token!r}, "
+            f"now={self.clock.now}, blocks={len(self.blocks)})"
+        )

@@ -1,0 +1,53 @@
+"""Secrets and hashlocks (paper Section II-B).
+
+An HTLC locks funds under ``H = sha256(secret)``; revealing the
+preimage in a claim transaction unlocks them. The secret generator
+draws from the library's seeded RNG so episodes stay reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.stochastic.rng import RandomState
+
+__all__ = ["Secret", "new_secret", "hashlock_of", "verify_preimage"]
+
+SECRET_NUM_BYTES = 32
+
+
+@dataclass(frozen=True)
+class Secret:
+    """A swap secret and its hashlock."""
+
+    preimage: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.preimage) != SECRET_NUM_BYTES:
+            raise ValueError(
+                f"secret must be {SECRET_NUM_BYTES} bytes, got {len(self.preimage)}"
+            )
+
+    @property
+    def hashlock(self) -> bytes:
+        """``sha256(preimage)``."""
+        return hashlib.sha256(self.preimage).digest()
+
+    def __repr__(self) -> str:  # pragma: no cover - avoid leaking the preimage
+        return f"Secret(hashlock={self.hashlock.hex()[:16]}...)"
+
+
+def new_secret(rng: RandomState) -> Secret:
+    """Generate a fresh random secret."""
+    return Secret(preimage=rng.token_bytes(SECRET_NUM_BYTES))
+
+
+def hashlock_of(preimage: bytes) -> bytes:
+    """The hashlock a given preimage opens."""
+    return hashlib.sha256(preimage).digest()
+
+
+def verify_preimage(preimage: bytes, hashlock: bytes) -> bool:
+    """Whether ``preimage`` opens ``hashlock``."""
+    return hashlib.sha256(preimage).digest() == hashlock

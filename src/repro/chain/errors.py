@@ -1,0 +1,31 @@
+"""Exception hierarchy of the chain substrate."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ChainError",
+    "UnknownAccount",
+    "InsufficientFunds",
+    "ContractStateError",
+    "ClockError",
+]
+
+
+class ChainError(Exception):
+    """Base class for all substrate errors."""
+
+
+class UnknownAccount(ChainError):
+    """An operation referenced an account that does not exist."""
+
+
+class InsufficientFunds(ChainError):
+    """An account's balance cannot cover a transfer or lock."""
+
+
+class ContractStateError(ChainError):
+    """A contract method was invoked in an invalid state or with bad inputs."""
+
+
+class ClockError(ChainError):
+    """The simulation clock was asked to move backwards."""

@@ -1,0 +1,79 @@
+"""Discrete-event simulation clock.
+
+A single :class:`SimulationClock` is shared by both chains and the
+protocol engine. Callbacks are scheduled at absolute times and fired in
+``(time, insertion order)`` order when the clock advances, which keeps
+episodes fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Tuple
+
+from repro.chain.errors import ClockError
+
+__all__ = ["SimulationClock"]
+
+
+class SimulationClock:
+    """Monotonically advancing simulation time with scheduled callbacks."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (hours)."""
+        return self._now
+
+    def schedule(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` when the clock reaches ``when``.
+
+        Scheduling in the past is an error; scheduling exactly at the
+        current time fires on the next :meth:`advance_to` call (events
+        are processed only while advancing, never re-entrantly).
+        """
+        if when < self._now:
+            raise ClockError(
+                f"cannot schedule at {when}; clock is already at {self._now}"
+            )
+        heapq.heappush(self._queue, (float(when), next(self._counter), callback))
+
+    def advance_to(self, when: float) -> None:
+        """Advance time to ``when``, firing every due callback in order.
+
+        Callbacks may schedule further events (at or after their own
+        fire time); those are honoured within the same advance when due.
+        """
+        if when < self._now:
+            raise ClockError(f"cannot rewind clock from {self._now} to {when}")
+        while self._queue and self._queue[0][0] <= when:
+            fire_at, _seq, callback = heapq.heappop(self._queue)
+            self._now = max(self._now, fire_at)
+            callback()
+        self._now = float(when)
+
+    def advance_by(self, delta: float) -> None:
+        """Advance time by a non-negative ``delta``."""
+        if delta < 0.0:
+            raise ClockError(f"cannot advance by negative delta {delta}")
+        self.advance_to(self._now + delta)
+
+    def run_until_idle(self, horizon: float = float("inf")) -> None:
+        """Advance through all pending events (bounded by ``horizon``)."""
+        while self._queue and self._queue[0][0] <= horizon:
+            self.advance_to(self._queue[0][0])
+        if horizon != float("inf"):
+            self.advance_to(horizon)
+
+    @property
+    def pending_events(self) -> int:
+        """Number of callbacks not yet fired."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimulationClock(now={self._now}, pending={self.pending_events})"

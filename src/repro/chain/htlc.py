@@ -1,0 +1,162 @@
+"""Hash time lock contracts (paper Section II-B).
+
+An :class:`HTLC` locks ``amount`` of the chain's token from ``sender``
+to ``recipient`` under a hashlock ``H`` and an absolute expiry ``t_exp``:
+
+* ``claim`` -- the recipient presents a preimage of ``H``; valid while
+  the contract is LOCKED and the claim *confirms* no later than
+  ``t_exp`` (the paper's Eqs. (8)-(9) are exactly this constraint);
+* refund -- if no claim has confirmed by ``t_exp``, the chain
+  automatically initiates a refund transaction returning the funds to
+  the sender, which lands one confirmation time later (the paper's
+  ``t7``/``t8``).
+
+The contract holds the locked funds in its own ledger account, so value
+is conserved and observable at every instant.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.chain.crypto import verify_preimage
+from repro.chain.errors import ContractStateError
+from repro.chain.transaction import Operation
+
+__all__ = ["HTLCState", "HTLC", "DeployHTLCOp", "ClaimOp", "RefundOp"]
+
+_CONTRACT_COUNTER = itertools.count(1)
+
+
+class HTLCState(str, enum.Enum):
+    """Contract lifecycle."""
+
+    PENDING = "pending"  # deploy submitted, not yet confirmed
+    LOCKED = "locked"
+    CLAIMED = "claimed"
+    REFUNDED = "refunded"
+
+
+@dataclass
+class HTLC:
+    """One hash time lock contract instance."""
+
+    sender: str
+    recipient: str
+    amount: float
+    hashlock: bytes
+    expiry: float
+    contract_id: int = field(default_factory=lambda: next(_CONTRACT_COUNTER))
+    state: HTLCState = HTLCState.PENDING
+    revealed_preimage: Optional[bytes] = None
+    locked_at: Optional[float] = None
+    resolved_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.amount <= 0.0:
+            raise ContractStateError(f"HTLC amount must be positive, got {self.amount}")
+        if self.sender == self.recipient:
+            raise ContractStateError("HTLC sender and recipient must differ")
+
+    @property
+    def account(self) -> str:
+        """Ledger account holding the locked funds."""
+        return f"htlc:{self.contract_id}"
+
+
+class DeployHTLCOp(Operation):
+    """Lock the sender's funds into a fresh HTLC on confirmation."""
+
+    def __init__(self, contract: HTLC) -> None:
+        self.contract = contract
+
+    def apply(self, chain, now: float) -> None:
+        contract = self.contract
+        if contract.state is not HTLCState.PENDING:
+            raise ContractStateError(
+                f"HTLC {contract.contract_id} already {contract.state}"
+            )
+        if now > contract.expiry:
+            raise ContractStateError(
+                f"HTLC {contract.contract_id} would confirm after its own expiry"
+            )
+        chain.ledger.open_account(contract.account)
+        chain.ledger.transfer(contract.sender, contract.account, contract.amount)
+        contract.state = HTLCState.LOCKED
+        contract.locked_at = now
+        chain.register_htlc(contract)
+        chain.schedule_refund_check(contract)
+
+    def describe(self) -> str:
+        return (
+            f"deploy HTLC {self.contract.contract_id}: "
+            f"{self.contract.amount} from {self.contract.sender} to "
+            f"{self.contract.recipient}, expiry {self.contract.expiry}"
+        )
+
+
+class ClaimOp(Operation):
+    """Unlock an HTLC by revealing the preimage."""
+
+    def __init__(self, contract: HTLC, preimage: bytes) -> None:
+        self.contract = contract
+        self.preimage = preimage
+
+    def reveals(self, hashlock: bytes) -> bool:
+        """Whether this claim's preimage opens ``hashlock``.
+
+        Used by mempool observers (the secret leaks at visibility time,
+        before confirmation).
+        """
+        return verify_preimage(self.preimage, hashlock)
+
+    def apply(self, chain, now: float) -> None:
+        contract = self.contract
+        if contract.state is not HTLCState.LOCKED:
+            raise ContractStateError(
+                f"cannot claim HTLC {contract.contract_id} in state {contract.state}"
+            )
+        if not verify_preimage(self.preimage, contract.hashlock):
+            raise ContractStateError(
+                f"invalid preimage for HTLC {contract.contract_id}"
+            )
+        if now > contract.expiry:
+            raise ContractStateError(
+                f"claim of HTLC {contract.contract_id} confirmed at {now}, "
+                f"after expiry {contract.expiry}"
+            )
+        chain.ledger.transfer(contract.account, contract.recipient, contract.amount)
+        contract.state = HTLCState.CLAIMED
+        contract.revealed_preimage = self.preimage
+        contract.resolved_at = now
+
+    def describe(self) -> str:
+        return f"claim HTLC {self.contract.contract_id}"
+
+
+class RefundOp(Operation):
+    """Return expired-HTLC funds to the sender (chain-initiated)."""
+
+    def __init__(self, contract: HTLC) -> None:
+        self.contract = contract
+
+    def apply(self, chain, now: float) -> None:
+        contract = self.contract
+        if contract.state is not HTLCState.LOCKED:
+            raise ContractStateError(
+                f"cannot refund HTLC {contract.contract_id} in state {contract.state}"
+            )
+        if now <= contract.expiry:
+            raise ContractStateError(
+                f"refund of HTLC {contract.contract_id} applied at {now}, "
+                f"before expiry {contract.expiry}"
+            )
+        chain.ledger.transfer(contract.account, contract.sender, contract.amount)
+        contract.state = HTLCState.REFUNDED
+        contract.resolved_at = now
+
+    def describe(self) -> str:
+        return f"refund HTLC {self.contract.contract_id}"

@@ -1,0 +1,83 @@
+"""Per-chain account balances.
+
+A :class:`Ledger` tracks one token's balances for named accounts, with
+explicit account creation, non-negative balances, and conservation
+checks. Contracts (HTLCs, escrows) hold funds in their own accounts, so
+"locked" value is always visible on the ledger.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.chain.errors import InsufficientFunds, UnknownAccount
+
+__all__ = ["Ledger"]
+
+_AMOUNT_TOL = 1e-12
+
+
+class Ledger:
+    """Balances of a single token on a single chain."""
+
+    def __init__(self, token: str) -> None:
+        if not token:
+            raise ValueError("token symbol must be non-empty")
+        self.token = token
+        self._balances: Dict[str, float] = {}
+
+    def open_account(self, name: str, balance: float = 0.0) -> None:
+        """Create an account; idempotent only for zero-balance re-opens."""
+        if not name:
+            raise ValueError("account name must be non-empty")
+        if balance < 0.0:
+            raise ValueError(f"initial balance must be non-negative, got {balance}")
+        if name in self._balances:
+            raise ValueError(f"account {name!r} already exists")
+        self._balances[name] = float(balance)
+
+    def has_account(self, name: str) -> bool:
+        """Whether the account exists."""
+        return name in self._balances
+
+    def balance(self, name: str) -> float:
+        """Current balance of ``name``."""
+        try:
+            return self._balances[name]
+        except KeyError:
+            raise UnknownAccount(f"no account {name!r} on {self.token} ledger") from None
+
+    def deposit(self, name: str, amount: float) -> None:
+        """Credit ``amount`` (used only by tests/genesis; swaps transfer)."""
+        if amount < 0.0:
+            raise ValueError(f"deposit amount must be non-negative, got {amount}")
+        if name not in self._balances:
+            raise UnknownAccount(f"no account {name!r} on {self.token} ledger")
+        self._balances[name] += amount
+
+    def transfer(self, sender: str, recipient: str, amount: float) -> None:
+        """Move ``amount`` from ``sender`` to ``recipient`` atomically."""
+        if amount < 0.0:
+            raise ValueError(f"transfer amount must be non-negative, got {amount}")
+        if sender not in self._balances:
+            raise UnknownAccount(f"no account {sender!r} on {self.token} ledger")
+        if recipient not in self._balances:
+            raise UnknownAccount(f"no account {recipient!r} on {self.token} ledger")
+        if self._balances[sender] < amount - _AMOUNT_TOL:
+            raise InsufficientFunds(
+                f"{sender!r} has {self._balances[sender]} {self.token}, "
+                f"needs {amount}"
+            )
+        self._balances[sender] -= amount
+        self._balances[recipient] += amount
+        # clamp tiny float residue so balances stay exactly non-negative
+        if -_AMOUNT_TOL < self._balances[sender] < 0.0:
+            self._balances[sender] = 0.0
+
+    def total_supply(self) -> float:
+        """Sum of all balances (conserved by transfers; checked in tests)."""
+        return sum(self._balances.values())
+
+    def snapshot(self) -> Dict[str, float]:
+        """Copy of all balances."""
+        return dict(self._balances)

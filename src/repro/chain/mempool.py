@@ -1,0 +1,57 @@
+"""The mempool: pre-confirmation transaction visibility.
+
+The paper's ``eps_b`` is the delay after which an initiated transaction
+can be *looked up* in Chain_b's mempool -- crucially before it
+confirms, which is what lets Bob extract Alice's revealed secret at
+``t4 = t3 + eps_b`` (Section II-B, III-B).
+
+:class:`Mempool` indexes transactions that are visible but not yet
+final, and supports scanning for revealed preimages.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.chain.transaction import Transaction, TxStatus
+
+__all__ = ["Mempool"]
+
+
+class Mempool:
+    """Visible, not-yet-confirmed transactions on one chain."""
+
+    def __init__(self) -> None:
+        self._visible: List[Transaction] = []
+
+    def add(self, tx: Transaction) -> None:
+        """Register a transaction that just became visible."""
+        if tx.status is not TxStatus.VISIBLE:
+            raise ValueError(f"tx {tx.txid} is {tx.status}, not visible")
+        self._visible.append(tx)
+
+    def remove(self, tx: Transaction) -> None:
+        """Drop a transaction that confirmed or failed."""
+        self._visible = [t for t in self._visible if t.txid != tx.txid]
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(list(self._visible))
+
+    def __len__(self) -> int:
+        return len(self._visible)
+
+    def find_revealed_preimage(self, hashlock: bytes) -> Optional[bytes]:
+        """Scan visible claim operations for a preimage opening ``hashlock``.
+
+        This is the observation primitive behind the paper's step 4:
+        "as early as when the secret is revealed in the mempool of
+        Chain_b (even before the transfer is confirmed), Bob can use
+        the secret".
+        """
+        from repro.chain.htlc import ClaimOp  # local import to avoid a cycle
+
+        for tx in self._visible:
+            op = tx.operation
+            if isinstance(op, ClaimOp) and op.reveals(hashlock):
+                return op.preimage
+        return None

@@ -1,0 +1,109 @@
+"""The two-chain world a swap runs in.
+
+:class:`TwoChainNetwork` wires Chain_a and Chain_b to one shared
+simulation clock, opens the agents' accounts, and exposes the timing
+constants in the paper's notation (``tau_a``, ``tau_b``, ``eps_b``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.chain.chain import Blockchain
+from repro.chain.events import SimulationClock
+from repro.core.parameters import SwapParameters
+
+__all__ = ["TwoChainNetwork"]
+
+ALICE = "alice"
+BOB = "bob"
+TOKEN_A = "TOKEN_A"
+TOKEN_B = "TOKEN_B"
+
+
+class TwoChainNetwork:
+    """Chain_a + Chain_b + shared clock, configured from SwapParameters.
+
+    Chain_a's mempool delay has no role in the paper's timeline (only
+    ``eps_b`` appears); it is set to half the confirmation time simply
+    to satisfy the substrate's ``0 < eps < tau`` invariant.
+    """
+
+    def __init__(
+        self,
+        params: SwapParameters,
+        clock: "SimulationClock | None" = None,
+        fee_a: float = 0.0,
+        fee_b: float = 0.0,
+        confirmation_jitter: float = 0.0,
+        jitter_rng=None,
+    ) -> None:
+        self.params = params
+        self.clock = clock if clock is not None else SimulationClock()
+        jitter_a = jitter_b = None
+        if confirmation_jitter > 0.0:
+            if jitter_rng is None:
+                raise ValueError("confirmation_jitter requires a jitter_rng")
+            jitter_a, jitter_b = jitter_rng.spawn(2)
+        self.chain_a = Blockchain(
+            name="chain_a",
+            token=TOKEN_A,
+            clock=self.clock,
+            confirmation_time=params.tau_a,
+            mempool_delay=0.5 * params.tau_a,
+            fee=fee_a,
+            confirmation_jitter=confirmation_jitter,
+            jitter_rng=jitter_a,
+        )
+        self.chain_b = Blockchain(
+            name="chain_b",
+            token=TOKEN_B,
+            clock=self.clock,
+            confirmation_time=params.tau_b,
+            mempool_delay=params.eps_b,
+            fee=fee_b,
+            confirmation_jitter=confirmation_jitter,
+            jitter_rng=jitter_b,
+        )
+
+    def fund_agents(
+        self,
+        pstar: float,
+        collateral: float = 0.0,
+        slack: float = 0.0,
+    ) -> None:
+        """Open both agents' accounts with exactly the balances a swap needs.
+
+        Alice holds ``pstar (+ collateral + slack)`` Token_a; Bob holds
+        1 Token_b and ``collateral + slack`` Token_a (deposits live on
+        Chain_a for both agents, per Section IV assumption 1). When the
+        chains charge fees, pass ``slack`` covering each agent's worst-
+        case fee bill -- fees are reserved out of pocket at confirmation.
+        """
+        slack_b = slack if (self.chain_b.fee > 0.0 or self.chain_a.fee > 0.0) else 0.0
+        self.chain_a.open_account(ALICE, pstar + collateral + slack)
+        self.chain_a.open_account(BOB, collateral + slack)
+        self.chain_b.open_account(ALICE, slack_b)
+        self.chain_b.open_account(BOB, 1.0 + slack_b)
+
+    def balances(self) -> Dict[str, Dict[str, float]]:
+        """Both agents' balances on both chains."""
+        return {
+            ALICE: {
+                TOKEN_A: self.chain_a.balance(ALICE),
+                TOKEN_B: self.chain_b.balance(ALICE),
+            },
+            BOB: {
+                TOKEN_A: self.chain_a.balance(BOB),
+                TOKEN_B: self.chain_b.balance(BOB),
+            },
+        }
+
+    def advance_to(self, when: float) -> None:
+        """Advance the shared clock (drives both chains)."""
+        self.clock.advance_to(when)
+
+    def settle_all(self, horizon: float) -> None:
+        """Run every pending event up to ``horizon`` (refunds included)."""
+        self.clock.run_until_idle(horizon)

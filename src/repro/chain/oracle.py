@@ -1,0 +1,195 @@
+"""Collateral escrow with a trusted cross-chain Oracle (paper Section IV).
+
+Section IV assumes a smart contract on Chain_a that
+
+1. charges both agents the same collateral ``Q`` before the swap,
+2. is connected to an Oracle observing outcomes on both chains, and
+3. settles: on success each agent's deposit returns; a deviating
+   agent's deposit is forfeited to the counterparty.
+
+The paper itself notes this Oracle is "purely theoretical"; here it is
+a perfect observer implemented as part of the simulation (see DESIGN.md
+substitutions). Settlement transfers are ordinary Chain_a transactions,
+so they take ``tau_a`` to land -- matching the discounting conventions
+in Eqs. (33)-(39).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.chain.chain import SYSTEM_SENDER, Blockchain
+from repro.chain.errors import ContractStateError
+from repro.chain.transaction import Operation
+
+__all__ = ["EscrowState", "CollateralEscrow", "Oracle"]
+
+_ESCROW_COUNTER = itertools.count(1)
+
+
+class EscrowState(str, enum.Enum):
+    """Escrow lifecycle."""
+
+    OPEN = "open"  # deposits being collected
+    ACTIVE = "active"  # both deposits locked, swap in progress
+    SETTLED = "settled"
+
+
+@dataclass
+class CollateralEscrow:
+    """The deposit-holding contract on Chain_a."""
+
+    alice: str
+    bob: str
+    amount: float
+    escrow_id: int = field(default_factory=lambda: next(_ESCROW_COUNTER))
+    state: EscrowState = EscrowState.OPEN
+    deposits: Dict[str, float] = field(default_factory=dict)
+    released: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.amount < 0.0:
+            raise ContractStateError(
+                f"collateral amount must be non-negative, got {self.amount}"
+            )
+
+    @property
+    def account(self) -> str:
+        """Ledger account holding the deposits."""
+        return f"escrow:{self.escrow_id}"
+
+    @property
+    def fully_funded(self) -> bool:
+        """Whether both agents have deposited."""
+        return (
+            self.deposits.get(self.alice, 0.0) >= self.amount
+            and self.deposits.get(self.bob, 0.0) >= self.amount
+        )
+
+
+class DepositOp(Operation):
+    """One agent's collateral deposit confirming into the escrow."""
+
+    def __init__(self, escrow: CollateralEscrow, depositor: str) -> None:
+        self.escrow = escrow
+        self.depositor = depositor
+
+    def apply(self, chain: Blockchain, now: float) -> None:
+        escrow = self.escrow
+        if escrow.state is not EscrowState.OPEN:
+            raise ContractStateError(
+                f"escrow {escrow.escrow_id} not accepting deposits ({escrow.state})"
+            )
+        if self.depositor not in (escrow.alice, escrow.bob):
+            raise ContractStateError(
+                f"{self.depositor!r} is not a party to escrow {escrow.escrow_id}"
+            )
+        if not chain.ledger.has_account(escrow.account):
+            chain.ledger.open_account(escrow.account)
+        chain.ledger.transfer(self.depositor, escrow.account, escrow.amount)
+        escrow.deposits[self.depositor] = (
+            escrow.deposits.get(self.depositor, 0.0) + escrow.amount
+        )
+        if escrow.fully_funded:
+            escrow.state = EscrowState.ACTIVE
+
+    def describe(self) -> str:
+        return f"deposit {self.escrow.amount} into escrow {self.escrow.escrow_id}"
+
+
+class PayoutOp(Operation):
+    """An Oracle-directed release from the escrow."""
+
+    def __init__(self, escrow: CollateralEscrow, recipient: str, amount: float) -> None:
+        self.escrow = escrow
+        self.recipient = recipient
+        self.amount = amount
+
+    def apply(self, chain: Blockchain, now: float) -> None:
+        if self.amount <= 0.0:
+            return
+        chain.ledger.transfer(self.escrow.account, self.recipient, self.amount)
+        self.escrow.released[self.recipient] = (
+            self.escrow.released.get(self.recipient, 0.0) + self.amount
+        )
+
+    def describe(self) -> str:
+        return (
+            f"escrow {self.escrow.escrow_id} pays {self.amount} to {self.recipient}"
+        )
+
+
+class Oracle:
+    """Perfect cross-chain observer settling the escrow per Section IV.
+
+    The protocol engine reports the observable events; the Oracle turns
+    them into Chain_a payout transactions:
+
+    * Bob locks the Chain_b HTLC -> Bob's deposit returns (decided at
+      ``t3``, lands at ``t3 + tau_a``);
+    * Alice reveals the secret -> Alice's deposit returns (decided at
+      ``t4``, lands at ``t4 + tau_a``);
+    * Alice waives at ``t3`` -> her deposit goes to Bob;
+    * Bob walks away at ``t2`` -> both deposits go to Alice (decided at
+      ``t3``, when the Oracle can be sure no Chain_b HTLC appeared);
+    * neither engages at ``t1`` -> both deposits return.
+    """
+
+    def __init__(self, chain_a: Blockchain, escrow: CollateralEscrow) -> None:
+        self.chain_a = chain_a
+        self.escrow = escrow
+        self._alice_settled = False
+        self._bob_settled = False
+
+    def _payout(self, recipient: str, amount: float) -> None:
+        self.chain_a.submit(SYSTEM_SENDER, PayoutOp(self.escrow, recipient, amount))
+
+    def _maybe_close(self) -> None:
+        if self._alice_settled and self._bob_settled:
+            self.escrow.state = EscrowState.SETTLED
+
+    def release_bob_deposit(self) -> None:
+        """Bob discharged his obligation (Chain_b HTLC observed)."""
+        if self._bob_settled:
+            raise ContractStateError("Bob's deposit already settled")
+        self._payout(self.escrow.bob, self.escrow.amount)
+        self._bob_settled = True
+        self._maybe_close()
+
+    def release_alice_deposit(self) -> None:
+        """Alice discharged her obligation (secret revealed)."""
+        if self._alice_settled:
+            raise ContractStateError("Alice's deposit already settled")
+        self._payout(self.escrow.alice, self.escrow.amount)
+        self._alice_settled = True
+        self._maybe_close()
+
+    def forfeit_alice_to_bob(self) -> None:
+        """Alice waived at ``t3``; her deposit compensates Bob."""
+        if self._alice_settled:
+            raise ContractStateError("Alice's deposit already settled")
+        self._payout(self.escrow.bob, self.escrow.amount)
+        self._alice_settled = True
+        self._maybe_close()
+
+    def forfeit_bob_to_alice(self) -> None:
+        """Bob walked away at ``t2``; both deposits go to Alice."""
+        if self._bob_settled or self._alice_settled:
+            raise ContractStateError("escrow already partially settled")
+        self._payout(self.escrow.alice, 2.0 * self.escrow.amount)
+        self._bob_settled = True
+        self._alice_settled = True
+        self._maybe_close()
+
+    def return_both(self) -> None:
+        """Swap never engaged; both deposits return."""
+        if self._bob_settled or self._alice_settled:
+            raise ContractStateError("escrow already partially settled")
+        self._payout(self.escrow.alice, self.escrow.amount)
+        self._payout(self.escrow.bob, self.escrow.amount)
+        self._alice_settled = True
+        self._bob_settled = True
+        self._maybe_close()

@@ -1,0 +1,97 @@
+"""Transactions and their lifecycle.
+
+A transaction wraps one *operation* (a contract call or transfer) and
+moves through the states::
+
+    SUBMITTED --(eps)--> VISIBLE --(tau)--> CONFIRMED | FAILED
+
+``VISIBLE`` models the mempool: other participants can read the
+transaction's payload -- including a revealed preimage -- before it
+confirms (this is exactly how Bob learns Alice's secret at
+``t4 = t3 + eps_b`` in the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["TxStatus", "Operation", "Transaction"]
+
+_TXID_COUNTER = itertools.count(1)
+
+
+class TxStatus(str, enum.Enum):
+    """Lifecycle states of a transaction."""
+
+    SUBMITTED = "submitted"
+    VISIBLE = "visible"
+    CONFIRMED = "confirmed"
+    FAILED = "failed"
+
+
+class Operation:
+    """Base class for on-chain operations.
+
+    Subclasses implement :meth:`apply`, which runs at confirmation time
+    against the chain state and may raise a
+    :class:`~repro.chain.errors.ChainError` (the transaction then
+    fails without side effects -- operations must validate before
+    mutating).
+    """
+
+    def apply(self, chain, now: float) -> None:  # pragma: no cover - interface
+        """Execute the operation against ``chain`` at time ``now``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable label used in logs and error messages."""
+        return type(self).__name__
+
+
+@dataclass
+class Transaction:
+    """One submitted operation with its timing metadata."""
+
+    sender: str
+    operation: Operation
+    submitted_at: float
+    visible_at: float
+    confirm_at: float
+    txid: int = field(default_factory=lambda: next(_TXID_COUNTER))
+    status: TxStatus = TxStatus.SUBMITTED
+    failure_reason: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.submitted_at <= self.visible_at <= self.confirm_at:
+            raise ValueError(
+                "transaction timing must satisfy "
+                f"submitted <= visible <= confirm; got {self.submitted_at}, "
+                f"{self.visible_at}, {self.confirm_at}"
+            )
+
+    @property
+    def is_final(self) -> bool:
+        """Whether the transaction reached a terminal state."""
+        return self.status in (TxStatus.CONFIRMED, TxStatus.FAILED)
+
+    def mark_visible(self) -> None:
+        """Transition SUBMITTED -> VISIBLE."""
+        if self.status is not TxStatus.SUBMITTED:
+            raise ValueError(f"tx {self.txid} is {self.status}, cannot become visible")
+        self.status = TxStatus.VISIBLE
+
+    def mark_confirmed(self) -> None:
+        """Transition VISIBLE -> CONFIRMED."""
+        if self.status is not TxStatus.VISIBLE:
+            raise ValueError(f"tx {self.txid} is {self.status}, cannot confirm")
+        self.status = TxStatus.CONFIRMED
+
+    def mark_failed(self, reason: str) -> None:
+        """Transition to FAILED with a reason."""
+        if self.is_final:
+            raise ValueError(f"tx {self.txid} already final ({self.status})")
+        self.status = TxStatus.FAILED
+        self.failure_reason = reason

@@ -1,0 +1,254 @@
+"""Command-line entry point: regenerate any paper artifact.
+
+Usage::
+
+    repro-swaps table1
+    repro-swaps table3
+    repro-swaps figure3 ... figure9
+    repro-swaps solve --pstar 2.0 [--collateral 0.5]
+    repro-swaps validate --pstar 2.0 --paths 50000
+    repro-swaps all
+
+(or ``python -m repro.cli ...``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis import (
+    figure2_timeline,
+    figure3_alice_t3,
+    figure4_bob_t2,
+    figure5_alice_t1,
+    figure6_success_rate,
+    figure7_bob_t2_collateral,
+    figure8_t1_collateral,
+    figure9_sr_collateral,
+    table1_balance_change,
+    table3_default_parameters,
+)
+from repro.core import (
+    SwapParameters,
+    solve_collateral_game,
+    solve_swap_game,
+)
+from repro.simulation import validate_against_analytic
+
+__all__ = ["main"]
+
+
+def _artifact_commands() -> Dict[str, Callable[[], str]]:
+    return {
+        "table1": lambda: table1_balance_change()[1],
+        "table3": lambda: table3_default_parameters()[1],
+        "figure2": lambda: figure2_timeline().render(),
+        "figure3": lambda: figure3_alice_t3().render(),
+        "figure4": lambda: figure4_bob_t2().render(),
+        "figure5": lambda: figure5_alice_t1().render(),
+        "figure6": lambda: figure6_success_rate().render(),
+        "figure7": lambda: figure7_bob_t2_collateral().render(),
+        "figure8": lambda: figure8_t1_collateral().render(),
+        "figure9": lambda: figure9_sr_collateral().render(),
+    }
+
+
+def _cmd_solve(args: argparse.Namespace) -> str:
+    params = SwapParameters.default()
+    if args.collateral > 0.0:
+        eq = solve_collateral_game(params, args.pstar, args.collateral)
+        region = "; ".join(
+            f"({lo:.4f}, {hi:.4f})" for lo, hi in eq.bob_t2_region.intervals
+        )
+        return (
+            f"Collateral game at P* = {eq.pstar}, Q = {eq.collateral}\n"
+            f"  Alice reveal threshold : {eq.p3_threshold:.4f}\n"
+            f"  Bob continuation region: {region or 'empty'}\n"
+            f"  Alice t1 cont/stop     : {eq.alice_t1.cont:.4f} / {eq.alice_t1.stop:.4f}\n"
+            f"  Bob   t1 cont/stop     : {eq.bob_t1.cont:.4f} / {eq.bob_t1.stop:.4f}\n"
+            f"  engaged                : {eq.engaged}\n"
+            f"  success rate (Eq. 40)  : {eq.success_rate:.4f}"
+        )
+    return solve_swap_game(params, args.pstar).summary()
+
+
+def _cmd_validate(args: argparse.Namespace) -> str:
+    params = SwapParameters.default()
+    empirical, analytic = validate_against_analytic(
+        params,
+        args.pstar,
+        n_paths=args.paths,
+        seed=args.seed,
+        collateral=args.collateral,
+        protocol_level=args.protocol_level,
+    )
+    level = "protocol" if args.protocol_level else "strategy"
+    verdict = "PASS" if empirical.contains(analytic) else "MISMATCH"
+    return (
+        f"Monte Carlo validation ({level} level, {args.paths} paths)\n"
+        f"  analytic SR : {analytic:.4f}\n"
+        f"  empirical SR: {empirical.success_rate:.4f} "
+        f"(95% CI [{empirical.ci_low:.4f}, {empirical.ci_high:.4f}])\n"
+        f"  {verdict}: analytic value "
+        f"{'inside' if empirical.contains(analytic) else 'outside'} the CI"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-swaps",
+        description="Regenerate artifacts from the HTLC atomic-swap paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in list(_artifact_commands()) + ["all"]:
+        sub.add_parser(name, help=f"print {name}")
+
+    solve = sub.add_parser("solve", help="solve one swap game")
+    solve.add_argument("--pstar", type=float, default=2.0)
+    solve.add_argument("--collateral", type=float, default=0.0)
+
+    validate = sub.add_parser("validate", help="Monte Carlo vs analytic SR")
+    validate.add_argument("--pstar", type=float, default=2.0)
+    validate.add_argument("--paths", type=int, default=50_000)
+    validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument("--collateral", type=float, default=0.0)
+    validate.add_argument("--protocol-level", action="store_true")
+
+    backtest = sub.add_parser(
+        "backtest", help="walk-forward backtest on a synthetic market"
+    )
+    backtest.add_argument(
+        "--market", choices=["gbm", "regime", "jumps"], default="gbm"
+    )
+    backtest.add_argument("--hours", type=int, default=1200)
+    backtest.add_argument("--seed", type=int, default=0)
+
+    market = sub.add_parser(
+        "market", help="heterogeneous-population failure rate vs volatility"
+    )
+    market.add_argument("--pairs", type=int, default=30)
+    market.add_argument("--seed", type=int, default=0)
+
+    uncertainty = sub.add_parser(
+        "uncertainty", help="success rate under belief uncertainty about alpha"
+    )
+    uncertainty.add_argument("--pstar", type=float, default=2.0)
+    uncertainty.add_argument("--spread", type=float, default=0.2)
+
+    sub.add_parser(
+        "experiments", help="run the full reproduction record (EXPERIMENTS.md)"
+    )
+
+    export = sub.add_parser("export", help="write per-figure CSV data files")
+    export.add_argument("--out", default="results")
+
+    return parser
+
+
+def _cmd_backtest(args: argparse.Namespace) -> str:
+    from repro.marketdata import (
+        JumpDiffusionGenerator,
+        PlainGBMGenerator,
+        RegimeSwitchingGenerator,
+        SwapBacktester,
+    )
+    from repro.stochastic.rng import RandomState
+
+    rng = RandomState(args.seed)
+    if args.market == "gbm":
+        series = PlainGBMGenerator(mu=0.002, sigma=0.08).generate(
+            2.0, args.hours, rng
+        )
+    elif args.market == "regime":
+        series, _regimes = RegimeSwitchingGenerator().generate(2.0, args.hours, rng)
+    else:
+        series = JumpDiffusionGenerator().generate(2.0, args.hours, rng)
+    report = SwapBacktester(SwapParameters.default(), window=168, step=24).run(series)
+    return f"backtest on {args.market} market:\n{report.describe()}"
+
+
+def _cmd_market(args: argparse.Namespace) -> str:
+    from repro.simulation.population import PopulationSpec, volatility_failure_curve
+
+    curve = volatility_failure_curve(
+        SwapParameters.default(),
+        PopulationSpec(),
+        sigmas=(0.03, 0.06, 0.1, 0.15),
+        n_pairs=args.pairs,
+        seed=args.seed,
+    )
+    lines = ["sigma  participation  failure"]
+    for outcome in curve:
+        lines.append(
+            f"{outcome.sigma:5.2f}  {outcome.participation_rate:13.1%}  "
+            f"{outcome.failure_rate:7.1%}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_uncertainty(args: argparse.Namespace) -> str:
+    from repro.core.bayesian import BayesianSwapGame, TypeDistribution
+    from repro.core.backward_induction import BackwardInduction
+
+    params = SwapParameters.default()
+    complete = BackwardInduction(params, args.pstar).success_rate()
+    centre = params.alice.alpha
+    if args.spread <= 0.0:
+        belief = TypeDistribution.point(centre)
+    else:
+        belief = TypeDistribution.uniform(
+            [max(centre - args.spread, 0.0), centre, centre + args.spread]
+        )
+    game = BayesianSwapGame(params, args.pstar, belief, belief)
+    return (
+        f"complete-information SR : {complete:.4f}\n"
+        f"realised SR (belief +/- {args.spread:g}) : "
+        f"{game.realised_success_rate():.4f}\n"
+        f"ex-ante SR              : {game.ex_ante_success_rate():.4f}\n"
+        f"Alice initiates         : {game.alice_initiates()}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    artifacts = _artifact_commands()
+    if args.command in artifacts:
+        print(artifacts[args.command]())
+    elif args.command == "all":
+        for name, producer in artifacts.items():
+            print(f"\n===== {name} =====")
+            print(producer())
+    elif args.command == "solve":
+        print(_cmd_solve(args))
+    elif args.command == "validate":
+        print(_cmd_validate(args))
+    elif args.command == "backtest":
+        print(_cmd_backtest(args))
+    elif args.command == "market":
+        print(_cmd_market(args))
+    elif args.command == "uncertainty":
+        print(_cmd_uncertainty(args))
+    elif args.command == "experiments":
+        from repro.analysis.experiments import render_markdown, run_all_experiments
+
+        results = run_all_experiments()
+        print(render_markdown(results))
+        print(f"\n{sum(r.holds for r in results)}/{len(results)} claims hold")
+    elif args.command == "export":
+        from pathlib import Path
+
+        from repro.analysis.export import export_all_figures
+
+        written = export_all_figures(Path(args.out))
+        for name, path in written.items():
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

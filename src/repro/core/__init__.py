@@ -1,0 +1,106 @@
+"""The paper's primary contribution: the swap game and its solution.
+
+Public surface:
+
+* :class:`~repro.core.parameters.SwapParameters` /
+  :class:`~repro.core.parameters.AgentParameters` -- configuration
+  (paper Table III);
+* :func:`~repro.core.solver.solve_swap_game` -- full backward induction
+  (Section III-E) returning a
+  :class:`~repro.core.equilibrium.SwapEquilibrium`;
+* :func:`~repro.core.success_rate.success_rate` and friends --
+  Eq. (31) / Figure 6;
+* :func:`~repro.core.feasible_range.feasible_pstar_range` -- Eq. (29);
+* :func:`~repro.core.collateral.solve_collateral_game` -- the
+  Section IV extension;
+* :func:`~repro.core.premium.solve_premium_game` -- the Han-et-al.
+  premium baseline.
+"""
+
+from repro.core.backward_induction import BackwardInduction
+from repro.core.bayesian import BayesianSwapGame, TypeDistribution, information_value
+from repro.core.carry import CarryBackwardInduction
+from repro.core.fees import FeeBackwardInduction
+from repro.core.optionality import (
+    CommittedAliceSolver,
+    CommittedBobSolver,
+    OptionalityReport,
+    optionality_report,
+)
+from repro.core.splitting import SplitPlan, plan_full_exit
+from repro.core.collateral import (
+    CollateralBackwardInduction,
+    CollateralEquilibrium,
+    collateral_success_rate,
+    feasible_pstar_region_with_collateral,
+    solve_collateral_game,
+)
+from repro.core.equilibrium import StageUtilities, SwapEquilibrium
+from repro.core.feasible_range import (
+    PStarRange,
+    alice_t1_advantage,
+    bob_t1_advantage,
+    bob_t2_range,
+    feasible_pstar_range,
+    feasible_pstar_region,
+)
+from repro.core.parameters import AgentParameters, SwapParameters
+from repro.core.premium import (
+    PremiumBackwardInduction,
+    PremiumEquilibrium,
+    solve_premium_game,
+)
+from repro.core.solver import solve_swap_game
+from repro.core.strategy import Action, AliceStrategy, BobStrategy, equilibrium_strategies
+from repro.core.success_rate import (
+    SuccessRatePoint,
+    max_success_rate,
+    success_rate,
+    success_rate_curve,
+)
+from repro.core.timeline import SwapTimeline, TimelineViolation, idealized_timeline
+
+__all__ = [
+    "AgentParameters",
+    "BayesianSwapGame",
+    "TypeDistribution",
+    "information_value",
+    "CarryBackwardInduction",
+    "FeeBackwardInduction",
+    "CommittedAliceSolver",
+    "CommittedBobSolver",
+    "OptionalityReport",
+    "optionality_report",
+    "SplitPlan",
+    "plan_full_exit",
+    "SwapParameters",
+    "BackwardInduction",
+    "StageUtilities",
+    "SwapEquilibrium",
+    "solve_swap_game",
+    "Action",
+    "AliceStrategy",
+    "BobStrategy",
+    "equilibrium_strategies",
+    "success_rate",
+    "success_rate_curve",
+    "max_success_rate",
+    "SuccessRatePoint",
+    "bob_t2_range",
+    "alice_t1_advantage",
+    "bob_t1_advantage",
+    "feasible_pstar_range",
+    "feasible_pstar_region",
+    "PStarRange",
+    "CollateralBackwardInduction",
+    "CollateralEquilibrium",
+    "solve_collateral_game",
+    "collateral_success_rate",
+    "feasible_pstar_region_with_collateral",
+    "PremiumBackwardInduction",
+    "PremiumEquilibrium",
+    "solve_premium_game",
+    "SwapTimeline",
+    "TimelineViolation",
+    "idealized_timeline",
+]

@@ -1,0 +1,370 @@
+"""Backward induction over the HTLC swap game (paper Section III-E).
+
+The game has four decision points on the idealized timeline:
+
+* ``t4`` -- Bob redeems Token_a; continuing is strictly dominant
+  (Section III-E1), so ``t4`` needs no computation.
+* ``t3`` -- Alice chooses to reveal the secret (*cont*) or waive
+  (*stop*); Eqs. (14)-(19).
+* ``t2`` -- Bob chooses to lock Token_b (*cont*) or walk away (*stop*);
+  Eqs. (20)-(24).
+* ``t1`` -- Alice chooses to initiate (*cont*) or not (*stop*);
+  Eqs. (25)-(30).
+
+All ``t3`` and ``t2`` utilities are closed form in terms of lognormal
+CDFs and partial expectations; ``t1`` requires one layer of quadrature
+over Bob's continuation region. :class:`BackwardInduction` lazily
+computes and caches the threshold structure for a fixed exchange rate
+``pstar``.
+
+Utility convention: every ``U_{t_k}`` is measured *at* ``t_k``, i.e.
+discounting is always back to the decision time, exactly as in the
+paper's equations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.parameters import SwapParameters
+from repro.stochastic.lognormal import LognormalLaw, norm_cdf
+from repro.stochastic.quadrature import DEFAULT_QUAD_ORDER, expectation_on_interval
+from repro.stochastic.rootfind import IntervalUnion, bracketed_root
+
+__all__ = ["BackwardInduction"]
+
+
+def _as_array(x) -> np.ndarray:
+    return np.asarray(x, dtype=float)
+
+
+class BackwardInduction:
+    """Solver for the basic (no-collateral) swap game at a fixed ``pstar``.
+
+    Parameters
+    ----------
+    params:
+        The model parameters (Table III).
+    pstar:
+        The agreed exchange rate ``P*`` (Token_a per Token_b).
+    quad_order:
+        Gauss--Legendre order for the ``t1`` integrals.
+    scan_points:
+        Grid resolution of the sign-change scan that locates Bob's
+        ``t2`` continuation region.
+    """
+
+    def __init__(
+        self,
+        params: SwapParameters,
+        pstar: float,
+        quad_order: int = DEFAULT_QUAD_ORDER,
+        scan_points: int = 512,
+    ) -> None:
+        if not pstar > 0.0:
+            raise ValueError(f"pstar must be positive, got {pstar}")
+        self.params = params
+        self.pstar = float(pstar)
+        self.quad_order = quad_order
+        self.scan_points = scan_points
+        self._bob_t2_region: Optional[IntervalUnion] = None
+
+    # ------------------------------------------------------------------ #
+    # shared shorthands
+    # ------------------------------------------------------------------ #
+
+    @property
+    def _alice(self):
+        return self.params.alice
+
+    @property
+    def _bob(self):
+        return self.params.bob
+
+    def _law(self, spot: float, tau: float) -> LognormalLaw:
+        return LognormalLaw(spot=spot, mu=self.params.mu, sigma=self.params.sigma, tau=tau)
+
+    # ------------------------------------------------------------------ #
+    # stage t3: Alice reveals the secret or waives (Eqs. (14)-(19))
+    # ------------------------------------------------------------------ #
+
+    def alice_t3_cont(self, p3):
+        """Eq. (14): Alice continues, receiving Token_b at ``t5 = t3 + tau_b``.
+
+        ``(1 + alpha_A) * E(P_{t3}, tau_b) * e^{-r_A tau_b}`` -- linear
+        in the current price ``p3``. Vectorised over ``p3``.
+        """
+        p = self.params
+        factor = (
+            (1.0 + self._alice.alpha)
+            * math.exp((p.mu - self._alice.r) * p.tau_b)
+        )
+        out = factor * _as_array(p3)
+        return out if out.ndim else float(out)
+
+    def alice_t3_stop(self) -> float:
+        """Eq. (16): Alice waives; Token_a refunded at ``t8 = t3 + eps_b + 2 tau_a``."""
+        p = self.params
+        return self.pstar * math.exp(-self._alice.r * (p.eps_b + 2.0 * p.tau_a))
+
+    def bob_t3_cont(self) -> float:
+        """Eq. (15): swap succeeds; Bob gets Token_a at ``t6 = t3 + eps_b + tau_a``."""
+        p = self.params
+        return (
+            (1.0 + self._bob.alpha)
+            * self.pstar
+            * math.exp(-self._bob.r * (p.eps_b + p.tau_a))
+        )
+
+    def bob_t3_stop(self, p3):
+        """Eq. (17): Alice waived; Bob gets Token_b back at ``t7 = t3 + 2 tau_b``."""
+        p = self.params
+        factor = math.exp(2.0 * (p.mu - self._bob.r) * p.tau_b)
+        out = factor * _as_array(p3)
+        return out if out.ndim else float(out)
+
+    def p3_threshold(self) -> float:
+        """Eq. (18): the cut-off price ``P̲_{t3}``.
+
+        Alice continues at ``t3`` iff ``P_{t3} > P̲_{t3}``.
+        """
+        p = self.params
+        a = self._alice
+        exponent = (a.r - p.mu) * p.tau_b - a.r * (p.eps_b + 2.0 * p.tau_a)
+        return math.exp(exponent) * self.pstar / (1.0 + a.alpha)
+
+    def alice_t3_value(self, p3):
+        """Alice's equilibrium value at ``t3``: max of cont and stop."""
+        return np.maximum(self.alice_t3_cont(p3), self.alice_t3_stop())
+
+    def bob_t3_value(self, p3):
+        """Bob's value at ``t3`` given Alice plays her threshold strategy."""
+        p3 = _as_array(p3)
+        cont_mask = p3 > self.p3_threshold()
+        out = np.where(cont_mask, self.bob_t3_cont(), self.bob_t3_stop(p3))
+        return out if out.ndim else float(out)
+
+    # ------------------------------------------------------------------ #
+    # stage t2: Bob locks Token_b or walks away (Eqs. (20)-(24))
+    # ------------------------------------------------------------------ #
+
+    def _t2_law_pieces(self, p2):
+        """Vectorised lognormal pieces for the ``t2 -> t3`` transition.
+
+        Returns ``(cdf_at_threshold, survival, partial_below)`` of the
+        price at ``t3`` given ``P_{t2} = p2``, all evaluated at the
+        ``t3`` threshold, vectorised over ``p2``.
+        """
+        p = self.params
+        p2 = _as_array(p2)
+        k = self.p3_threshold()
+        mean = p2 * math.exp(p.mu * p.tau_b)
+        if k <= 0.0:
+            # collateral extension: Alice continues at any price
+            zeros = np.zeros_like(p2)
+            ones = np.ones_like(p2)
+            return zeros, ones, zeros
+        s = p.sigma * math.sqrt(p.tau_b)
+        log_mean = np.log(p2) + (p.mu - 0.5 * p.sigma**2) * p.tau_b
+        z = (math.log(k) - log_mean) / s
+        cdf = norm_cdf(z)
+        survival = norm_cdf(-z)
+        d1 = (log_mean + s * s - math.log(k)) / s
+        partial_above = mean * norm_cdf(d1)
+        partial_below = np.maximum(mean - partial_above, 0.0)
+        return cdf, survival, partial_below
+
+    def alice_t2_cont(self, p2):
+        """Eq. (20): Alice's expected utility at ``t2`` if Bob continues.
+
+        Closed form. On the upper branch Alice continues at ``t3`` and
+        her Eq. (14) payoff is linear in the ``t3`` price, so its
+        expectation is the partial expectation
+        ``E[P_{t3} 1{P_{t3} > P̲_{t3}} | P_{t2}]`` scaled by
+        ``(1 + alpha_A) e^{(mu - r_A) tau_b}``; on the lower branch she
+        receives the constant Eq. (16) refund value weighted by the
+        threshold CDF. Vectorised over ``p2``.
+        """
+        p = self.params
+        a = self._alice
+        cdf, _, partial_below = self._t2_law_pieces(p2)
+        p2 = _as_array(p2)
+        mean = p2 * math.exp(p.mu * p.tau_b)
+        partial_above = np.maximum(mean - partial_below, 0.0)
+        upper = (1.0 + a.alpha) * math.exp((p.mu - a.r) * p.tau_b) * partial_above
+        lower = cdf * self.alice_t3_stop()
+        out = (upper + lower) * math.exp(-a.r * p.tau_b)
+        return out if out.ndim else float(out)
+
+    def alice_t2_stop(self) -> float:
+        """Eq. (22): Bob walked away; Alice refunded at ``t8 = t2 + tau_b + eps_b + 2 tau_a``."""
+        p = self.params
+        horizon = p.tau_b + p.eps_b + 2.0 * p.tau_a
+        return self.pstar * math.exp(-self._alice.r * horizon)
+
+    def bob_t2_cont(self, p2):
+        """Eq. (21): Bob's expected utility at ``t2`` if he locks Token_b.
+
+        With probability ``1 - C(P̲_{t3})`` Alice completes and Bob
+        receives the constant Eq. (15) payoff; otherwise Bob's Token_b
+        is refunded, a payoff linear in the ``t3`` price (Eq. (17)) --
+        a lower partial expectation. Vectorised over ``p2``.
+        """
+        p = self.params
+        b = self._bob
+        _, survival, partial_below = self._t2_law_pieces(p2)
+        upper = survival * self.bob_t3_cont()
+        # Eq. (17) payoff is x * e^{2(mu - r_B) tau_b} in the t3 price x,
+        # so its truncated expectation is the lower partial expectation
+        # E[P_{t3} 1{P_{t3} <= P̲_{t3}} | P_{t2}] times that coefficient.
+        lower = math.exp(2.0 * (p.mu - b.r) * p.tau_b) * partial_below
+        out = (upper + lower) * math.exp(-b.r * p.tau_b)
+        return out if out.ndim else float(out)
+
+    def bob_t2_stop(self, p2):
+        """Eq. (23): Bob keeps his 1 Token_b, worth ``P_{t2}`` now."""
+        out = _as_array(p2).copy()
+        return out if out.ndim else float(out)
+
+    def bob_t2_advantage(self, p2):
+        """``U^B_{t2}(cont) - U^B_{t2}(stop)``; positive where Bob continues."""
+        out = _as_array(self.bob_t2_cont(p2)) - _as_array(self.bob_t2_stop(p2))
+        return out if out.ndim else float(out)
+
+    def bob_t2_region(self) -> IntervalUnion:
+        """Bob's continuation region ``(P̲_{t2}, P̄_{t2})`` (Eq. (24)).
+
+        Located by a vectorised sign-change scan of
+        :meth:`bob_t2_advantage` on a log grid spanning far beyond any
+        price the ``t1`` law can reach, refined with Brent's method.
+        Empty when ``U(cont) < U(stop)`` everywhere (the paper's
+        "swap always fails" case).
+        """
+        if self._bob_t2_region is None:
+            scale = max(self.pstar, self.params.p0, self.p3_threshold())
+            lo = 1e-6 * min(self.pstar, self.params.p0)
+            hi = 1e4 * scale
+            grid = np.exp(np.linspace(math.log(lo), math.log(hi), self.scan_points))
+            values = self.bob_t2_advantage(grid)
+            roots = []
+            for i in range(len(grid) - 1):
+                va, vb = values[i], values[i + 1]
+                if va == 0.0:
+                    continue
+                if vb == 0.0 or va * vb < 0.0:
+                    roots.append(
+                        bracketed_root(
+                            lambda q: float(self.bob_t2_advantage(q)),
+                            float(grid[i]),
+                            float(grid[i + 1]),
+                        )
+                    )
+            edges = [lo] + sorted(roots) + [hi]
+            keep = []
+            for a, b in zip(edges[:-1], edges[1:]):
+                if b <= a:
+                    continue
+                mid = math.sqrt(a * b)
+                if float(self.bob_t2_advantage(mid)) > 0.0:
+                    keep.append((a, b))
+            self._bob_t2_region = IntervalUnion.from_intervals(keep)
+        return self._bob_t2_region
+
+    # ------------------------------------------------------------------ #
+    # stage t1: Alice initiates or not (Eqs. (25)-(30))
+    # ------------------------------------------------------------------ #
+
+    def alice_t1_cont(self) -> float:
+        """Eq. (25): Alice's expected utility of initiating the swap.
+
+        Integrates :meth:`alice_t2_cont` over Bob's continuation region
+        and assigns the Eq. (22) refund value to its complement.
+        """
+        p = self.params
+        a = self._alice
+        law = self._law(p.p0, p.tau_a)
+        region = self.bob_t2_region()
+        inside = sum(
+            expectation_on_interval(law, self.alice_t2_cont, lo, hi, self.quad_order)
+            for lo, hi in region.intervals
+        )
+        prob_inside = region.probability(law)
+        outside = (1.0 - prob_inside) * self.alice_t2_stop()
+        return (inside + outside) * math.exp(-a.r * p.tau_a)
+
+    def alice_t1_stop(self) -> float:
+        """Eq. (27): Alice keeps her ``P*`` Token_a."""
+        return self.pstar
+
+    def bob_t1_cont(self) -> float:
+        """Eq. (26): Bob's expected utility if Alice initiates.
+
+        Inside his own continuation region Bob locks and receives
+        Eq. (21) value; outside he keeps Token_b, worth the ``t2``
+        price (Eqs. (23), (26)).
+        """
+        p = self.params
+        b = self._bob
+        law = self._law(p.p0, p.tau_a)
+        region = self.bob_t2_region()
+        inside = sum(
+            expectation_on_interval(law, self.bob_t2_cont, lo, hi, self.quad_order)
+            for lo, hi in region.intervals
+        )
+        # outside: Bob keeps Token_b worth x (a partial expectation)
+        inside_price_mass = sum(
+            law.partial_expectation_between(lo, hi) for lo, hi in region.intervals
+        )
+        outside = law.mean() - inside_price_mass
+        return (inside + outside) * math.exp(-b.r * p.tau_a)
+
+    def bob_t1_stop(self) -> float:
+        """Eq. (28): Bob keeps his 1 Token_b, worth ``P_{t1} = p0``."""
+        return self.params.p0
+
+    def alice_initiates(self) -> bool:
+        """Alice's ``t1`` decision (Eq. (30)): initiate iff cont beats stop."""
+        return self.alice_t1_cont() > self.alice_t1_stop()
+
+    def bob_would_agree(self) -> bool:
+        """Whether Bob prefers the swap game to keeping his token at ``t0``.
+
+        Not part of the paper's Eq. (30) (which conditions on Alice
+        only) but needed for a swap to be *agreed* in the first place;
+        exposed separately so both conventions are available.
+        """
+        return self.bob_t1_cont() > self.bob_t1_stop()
+
+    # ------------------------------------------------------------------ #
+    # success rate (Eq. (31))
+    # ------------------------------------------------------------------ #
+
+    def success_rate(self) -> float:
+        """Eq. (31): probability the swap completes once initiated.
+
+        The ``t2`` price must land in Bob's continuation region and the
+        ``t3`` price must then exceed Alice's threshold.
+        """
+        p = self.params
+        law = self._law(p.p0, p.tau_a)
+        region = self.bob_t2_region()
+        if region.is_empty:
+            return 0.0
+        k = self.p3_threshold()
+        if k <= 0.0:
+            # Alice continues at any t3 price: SR is just the region mass
+            return region.probability(law)
+        s = p.sigma * math.sqrt(p.tau_b)
+        drift = (p.mu - 0.5 * p.sigma**2) * p.tau_b
+
+        def survive(x: np.ndarray) -> np.ndarray:
+            z = (math.log(k) - np.log(x) - drift) / s
+            return norm_cdf(-z)
+
+        return sum(
+            expectation_on_interval(law, survive, lo, hi, self.quad_order)
+            for lo, hi in region.intervals
+        )

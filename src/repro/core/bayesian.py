@@ -1,0 +1,296 @@
+"""Incomplete information: uncertainty in the counterparty's success premium.
+
+The paper's contributions section announces a study of "the game with
+uncertainty in counterparties' success premium" -- relaxing
+Assumption 7 (each agent knows the other's ``(r, alpha)``). This module
+implements that Bayesian variant:
+
+* each agent holds a discrete *belief* (a :class:`TypeDistribution`)
+  over the counterparty's ``alpha``;
+* **Bob at t2** anticipates Alice's ``t3`` reveal threshold, which
+  depends on ``alpha_A``; under uncertainty his continuation utility is
+  the belief-weighted mixture of the per-type Eq. (21) values, and his
+  continuation region is where that mixture beats ``P_{t2}``;
+* **Alice at t1** anticipates Bob's region, which depends on
+  ``alpha_B`` (and on Bob's belief about *her*); her initiation utility
+  is the belief-weighted mixture of the per-Bob-type Eq. (25) values;
+* the **realised success rate** pairs the *true* types' behaviour:
+  true-type Bob's (belief-driven) region with true-type Alice's
+  threshold;
+* the **ex-ante success rate** averages the realised rate over type
+  profiles drawn from the beliefs.
+
+Degenerate (point-mass) beliefs at the true types reproduce the
+complete-information game exactly (property-tested).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.backward_induction import BackwardInduction, _as_array
+from repro.core.parameters import SwapParameters
+from repro.stochastic.quadrature import DEFAULT_QUAD_ORDER, expectation_on_interval
+from repro.stochastic.rootfind import IntervalUnion, bracketed_root
+
+__all__ = ["TypeDistribution", "BayesianSwapGame", "information_value"]
+
+
+@dataclass(frozen=True)
+class TypeDistribution:
+    """A discrete belief over a scalar type (here: a success premium)."""
+
+    values: Tuple[float, ...]
+    probabilities: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.probabilities):
+            raise ValueError("values and probabilities must have equal length")
+        if not self.values:
+            raise ValueError("a type distribution needs at least one type")
+        if any(p < 0.0 for p in self.probabilities):
+            raise ValueError("probabilities must be non-negative")
+        total = sum(self.probabilities)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"probabilities sum to {total}, not 1")
+
+    @staticmethod
+    def point(value: float) -> "TypeDistribution":
+        """A degenerate belief (complete information)."""
+        return TypeDistribution(values=(float(value),), probabilities=(1.0,))
+
+    @staticmethod
+    def uniform(values: Sequence[float]) -> "TypeDistribution":
+        """Equal weight on each candidate type."""
+        n = len(values)
+        if n == 0:
+            raise ValueError("need at least one type")
+        return TypeDistribution(
+            values=tuple(float(v) for v in values),
+            probabilities=tuple(1.0 / n for _ in values),
+        )
+
+    @property
+    def mean(self) -> float:
+        """First moment of the belief."""
+        return sum(v * p for v, p in zip(self.values, self.probabilities))
+
+    def items(self) -> List[Tuple[float, float]]:
+        """``(value, probability)`` pairs."""
+        return list(zip(self.values, self.probabilities))
+
+
+class BayesianSwapGame:
+    """The swap game with two-sided uncertainty over success premiums.
+
+    Parameters
+    ----------
+    params:
+        The *true* parameter set (``params.alice.alpha`` and
+        ``params.bob.alpha`` are the realised types). Discount rates
+        and timing constants are common knowledge, as in the paper.
+    pstar:
+        Agreed exchange rate.
+    belief_about_alice:
+        Bob's belief over ``alpha_A``.
+    belief_about_bob:
+        Alice's belief over ``alpha_B``.
+    """
+
+    def __init__(
+        self,
+        params: SwapParameters,
+        pstar: float,
+        belief_about_alice: TypeDistribution,
+        belief_about_bob: TypeDistribution,
+        quad_order: int = DEFAULT_QUAD_ORDER,
+        scan_points: int = 512,
+    ) -> None:
+        if not pstar > 0.0:
+            raise ValueError(f"pstar must be positive, got {pstar}")
+        self.params = params
+        self.pstar = float(pstar)
+        self.belief_about_alice = belief_about_alice
+        self.belief_about_bob = belief_about_bob
+        self.quad_order = quad_order
+        self.scan_points = scan_points
+        # per-Alice-type solvers with Bob's TRUE premium (used by Bob's
+        # own stage payoffs, which depend on alpha_B, and the per-type
+        # Alice thresholds, which depend on alpha_A)
+        self._alice_type_solvers: Dict[float, BackwardInduction] = {
+            a: BackwardInduction(
+                params.replace(alpha_a=a), pstar, quad_order, scan_points
+            )
+            for a in belief_about_alice.values
+        }
+        self._true_solver = BackwardInduction(params, pstar, quad_order, scan_points)
+        self._bob_regions: Dict[float, IntervalUnion] = {}
+
+    # ------------------------------------------------------------------ #
+    # Bob at t2 under uncertainty about alpha_A
+    # ------------------------------------------------------------------ #
+
+    def bob_t2_cont(self, p2, bob_alpha: float = None):
+        """Belief-weighted Eq. (21) for a Bob of premium ``bob_alpha``.
+
+        Alice's threshold enters Eq. (21) through the branch split; the
+        mixture over her types is exact by linearity of expectation.
+        Defaults to the true ``alpha_B``.
+        """
+        if bob_alpha is None:
+            bob_alpha = self.params.bob.alpha
+        total = np.zeros_like(_as_array(p2), dtype=float)
+        for alpha_a, weight in self.belief_about_alice.items():
+            solver = BackwardInduction(
+                self.params.replace(alpha_a=alpha_a, alpha_b=bob_alpha),
+                self.pstar,
+                self.quad_order,
+                self.scan_points,
+            )
+            total = total + weight * _as_array(solver.bob_t2_cont(p2))
+        return total if total.ndim else float(total)
+
+    def bob_t2_region(self, bob_alpha: float = None) -> IntervalUnion:
+        """Continuation region of a Bob type under his belief about Alice."""
+        if bob_alpha is None:
+            bob_alpha = self.params.bob.alpha
+        if bob_alpha in self._bob_regions:
+            return self._bob_regions[bob_alpha]
+
+        def advantage(q: float) -> float:
+            return float(self.bob_t2_cont(q, bob_alpha)) - q
+
+        scale = max(self.pstar, self.params.p0)
+        lo, hi = 1e-6 * scale, 1e4 * scale
+        grid = np.exp(np.linspace(math.log(lo), math.log(hi), self.scan_points))
+        values = np.asarray(self.bob_t2_cont(grid, bob_alpha)) - grid
+        roots: List[float] = []
+        for i in range(len(grid) - 1):
+            va, vb = values[i], values[i + 1]
+            if va == 0.0:
+                continue
+            if vb == 0.0 or va * vb < 0.0:
+                roots.append(bracketed_root(advantage, float(grid[i]), float(grid[i + 1])))
+        edges = [lo] + sorted(roots) + [hi]
+        keep = []
+        for a, b in zip(edges[:-1], edges[1:]):
+            if b <= a:
+                continue
+            if advantage(math.sqrt(a * b)) > 0.0:
+                keep.append((a, b))
+        region = IntervalUnion.from_intervals(keep)
+        self._bob_regions[bob_alpha] = region
+        return region
+
+    # ------------------------------------------------------------------ #
+    # Alice at t1 under uncertainty about alpha_B
+    # ------------------------------------------------------------------ #
+
+    def alice_t1_cont(self) -> float:
+        """Belief-weighted Eq. (25) over Bob's types.
+
+        Alice's own branch values use her *true* premium; only the
+        continuation region she anticipates varies with Bob's type.
+        """
+        p = self.params
+        law = p.process.law(p.p0, p.tau_a)
+        total = 0.0
+        for alpha_b, weight in self.belief_about_bob.items():
+            region = self.bob_t2_region(alpha_b)
+            inside = sum(
+                expectation_on_interval(
+                    law, self._true_solver.alice_t2_cont, lo, hi, self.quad_order
+                )
+                for lo, hi in region.intervals
+            )
+            outside = (1.0 - region.probability(law)) * self._true_solver.alice_t2_stop()
+            total += weight * (inside + outside)
+        return total * math.exp(-p.alice.r * p.tau_a)
+
+    def alice_t1_stop(self) -> float:
+        """Eq. (27)."""
+        return self.pstar
+
+    def alice_initiates(self) -> bool:
+        """Alice's t1 decision under her belief."""
+        return self.alice_t1_cont() > self.alice_t1_stop()
+
+    # ------------------------------------------------------------------ #
+    # success rates
+    # ------------------------------------------------------------------ #
+
+    def realised_success_rate(self) -> float:
+        """SR with the *true* types acting on their beliefs.
+
+        Bob's region is his belief-driven one; Alice's reveal threshold
+        is her true Eq. (18) threshold.
+        """
+        p = self.params
+        law = p.process.law(p.p0, p.tau_a)
+        region = self.bob_t2_region()
+        if region.is_empty:
+            return 0.0
+        threshold = self._true_solver.p3_threshold()
+        s = p.sigma * math.sqrt(p.tau_b)
+        drift = (p.mu - 0.5 * p.sigma**2) * p.tau_b
+
+        from repro.stochastic.lognormal import norm_cdf
+
+        def survive(x: np.ndarray) -> np.ndarray:
+            z = (math.log(threshold) - np.log(x) - drift) / s
+            return norm_cdf(-z)
+
+        return sum(
+            expectation_on_interval(law, survive, lo, hi, self.quad_order)
+            for lo, hi in region.intervals
+        )
+
+    def ex_ante_success_rate(self) -> float:
+        """Expected SR before types realise, averaging over both beliefs."""
+        total = 0.0
+        for alpha_a, wa in self.belief_about_alice.items():
+            solver_a = self._alice_type_solvers[alpha_a]
+            threshold = solver_a.p3_threshold()
+            for alpha_b, wb in self.belief_about_bob.items():
+                region = self.bob_t2_region(alpha_b)
+                total += wa * wb * self._conditional_sr(region, threshold)
+        return total
+
+    def _conditional_sr(self, region: IntervalUnion, threshold: float) -> float:
+        p = self.params
+        law = p.process.law(p.p0, p.tau_a)
+        if region.is_empty:
+            return 0.0
+        s = p.sigma * math.sqrt(p.tau_b)
+        drift = (p.mu - 0.5 * p.sigma**2) * p.tau_b
+
+        from repro.stochastic.lognormal import norm_cdf
+
+        def survive(x: np.ndarray) -> np.ndarray:
+            z = (math.log(threshold) - np.log(x) - drift) / s
+            return norm_cdf(-z)
+
+        return sum(
+            expectation_on_interval(law, survive, lo, hi, self.quad_order)
+            for lo, hi in region.intervals
+        )
+
+
+def information_value(
+    params: SwapParameters,
+    pstar: float,
+    belief_about_alice: TypeDistribution,
+    belief_about_bob: TypeDistribution,
+) -> Tuple[float, float]:
+    """``(complete_info_sr, incomplete_info_sr)`` at the true types.
+
+    The gap quantifies what Assumption 7 (mutual knowledge of
+    preferences) is worth to the protocol's reliability.
+    """
+    complete = BackwardInduction(params, pstar).success_rate()
+    game = BayesianSwapGame(params, pstar, belief_about_alice, belief_about_bob)
+    return complete, game.realised_success_rate()

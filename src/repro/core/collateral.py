@@ -1,0 +1,314 @@
+"""HTLC swap with collateral deposits (paper Section IV).
+
+Both agents escrow ``Q`` Token_a with an Oracle-connected contract on
+Chain_a before the swap. The Oracle returns an agent's collateral once
+that agent has discharged all obligations, and forfeits a deviating
+agent's collateral to the counterparty:
+
+* Alice's collateral is released when she reveals the secret (received
+  at ``t4 + tau_a``) and forfeited to Bob if she waives at ``t3``;
+* Bob's collateral is released when he writes the Chain_b HTLC
+  (decided at ``t3``, received at ``t3 + tau_a``) and both deposits go
+  to Alice if he walks away at ``t2``;
+* if the swap is never engaged at ``t1``, both keep their deposits.
+
+Timing/discount conventions follow the paper's Eqs. (33)-(39) read
+literally, with the typo normalisations listed in DESIGN.md ("tau_e"
+:= ``eps_b``; Eq. (37)'s outer discount uses Bob's own rate).
+
+Setting ``Q = 0`` reproduces the basic model exactly (property-tested).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.backward_induction import BackwardInduction, _as_array
+from repro.core.equilibrium import StageUtilities
+from repro.core.parameters import SwapParameters
+from repro.core.strategy import AliceStrategy, BobStrategy
+from repro.stochastic.quadrature import expectation_on_interval
+from repro.stochastic.rootfind import IntervalUnion, bracketed_root
+
+__all__ = [
+    "CollateralBackwardInduction",
+    "t1_engagement_game",
+    "CollateralEquilibrium",
+    "solve_collateral_game",
+    "collateral_success_rate",
+    "feasible_pstar_region_with_collateral",
+]
+
+
+class CollateralBackwardInduction(BackwardInduction):
+    """Backward induction for the collateralised game (Section IV).
+
+    Parameters
+    ----------
+    collateral:
+        Deposit ``Q`` (in Token_a) escrowed by *each* agent. ``Q = 0``
+        degenerates to the basic game.
+    """
+
+    def __init__(
+        self,
+        params: SwapParameters,
+        pstar: float,
+        collateral: float,
+        **kwargs,
+    ) -> None:
+        if collateral < 0.0:
+            raise ValueError(f"collateral must be non-negative, got {collateral}")
+        super().__init__(params, pstar, **kwargs)
+        self.collateral = float(collateral)
+
+    # ------------------------------------------------------------------ #
+    # t3: Alice's threshold shifts down (Eqs. (33)-(34))
+    # ------------------------------------------------------------------ #
+
+    def p3_threshold(self) -> float:
+        """Eq. (34): ``P̲_{t3,c}``, zero when the collateral dominates.
+
+        Continuing now also recovers Alice's own deposit (received at
+        ``t4 + tau_a``), so the stop branch must beat the refund value
+        *minus* the discounted deposit.
+        """
+        p = self.params
+        a = self._alice
+        stop_value = self.pstar * math.exp(-a.r * (p.eps_b + 2.0 * p.tau_a))
+        deposit_value = self.collateral * math.exp(-a.r * (p.eps_b + p.tau_a))
+        net = max(stop_value - deposit_value, 0.0)
+        return math.exp((a.r - p.mu) * p.tau_b) * net / (1.0 + a.alpha)
+
+    # ------------------------------------------------------------------ #
+    # t2 utilities (Eq. (35))
+    # ------------------------------------------------------------------ #
+
+    def alice_t2_cont(self, p2):
+        """Eq. (35, first): basic Eq. (20) plus Alice's recovered deposit.
+
+        The deposit flows back only on the continuation branch; when
+        Alice waives at ``t3`` it is forfeited to Bob.
+        """
+        base = _as_array(super().alice_t2_cont(p2))
+        p = self.params
+        a = self._alice
+        _, survival, _ = self._t2_law_pieces(p2)
+        deposit = (
+            self.collateral
+            * math.exp(-a.r * (p.eps_b + p.tau_a))
+            * survival
+            * math.exp(-a.r * p.tau_b)
+        )
+        out = base + deposit
+        return out if out.ndim else float(out)
+
+    def bob_t2_cont(self, p2):
+        """Eq. (35, second): locking recovers Bob's deposit, and if Alice
+        then waives Bob additionally receives *her* forfeited deposit.
+        """
+        base = _as_array(super().bob_t2_cont(p2))
+        p = self.params
+        b = self._bob
+        cdf, _, _ = self._t2_law_pieces(p2)
+        own_deposit = self.collateral * math.exp(-b.r * p.tau_a)
+        alices_deposit = (
+            self.collateral * math.exp(-b.r * (p.eps_b + p.tau_a)) * cdf
+        )
+        out = base + (own_deposit + alices_deposit) * math.exp(-b.r * p.tau_b)
+        return out if out.ndim else float(out)
+
+    def alice_t2_stop_value(self) -> float:
+        """Alice's ``t2`` value when Bob walks away: refund plus both deposits.
+
+        The Oracle hands her ``2Q`` at ``t3``, received at
+        ``t3 + tau_a`` (Eq. (36)'s stop branch).
+        """
+        p = self.params
+        a = self._alice
+        return self.alice_t2_stop() + 2.0 * self.collateral * math.exp(
+            -a.r * (p.tau_b + p.tau_a)
+        )
+
+    # ------------------------------------------------------------------ #
+    # t1 utilities (Eqs. (36)-(39))
+    # ------------------------------------------------------------------ #
+
+    def alice_t1_cont(self) -> float:
+        """Eq. (36): like Eq. (25) but with collateral-adjusted branch values."""
+        p = self.params
+        a = self._alice
+        law = self._law(p.p0, p.tau_a)
+        region = self.bob_t2_region()
+        inside = sum(
+            expectation_on_interval(law, self.alice_t2_cont, lo, hi, self.quad_order)
+            for lo, hi in region.intervals
+        )
+        prob_inside = region.probability(law)
+        outside = (1.0 - prob_inside) * self.alice_t2_stop_value()
+        return (inside + outside) * math.exp(-a.r * p.tau_a)
+
+    def alice_t1_stop(self) -> float:
+        """Eq. (38): walk away with ``P*`` Token_a and the deposit."""
+        return self.pstar + self.collateral
+
+    def bob_t1_stop(self) -> float:
+        """Eq. (39): keep Token_b (worth ``p0``) and the deposit."""
+        return self.params.p0 + self.collateral
+
+    # bob_t1_cont is inherited: Eq. (37) has the same structure as Eq. (26)
+    # with the collateral-adjusted bob_t2_cont on the inside branch and the
+    # unadjusted "keep Token_b" value outside (Bob's deposit is forfeited
+    # there, so no extra term appears).
+
+
+@dataclass(frozen=True)
+class CollateralEquilibrium:
+    """Solved collateralised game (Section IV analogue of SwapEquilibrium)."""
+
+    params: SwapParameters
+    pstar: float
+    collateral: float
+    p3_threshold: float
+    bob_t2_region: IntervalUnion
+    alice_t1: StageUtilities
+    bob_t1: StageUtilities
+    success_rate: float
+    alice_engages: bool
+    bob_engages: bool
+    alice_strategy: AliceStrategy
+    bob_strategy: BobStrategy
+
+    @property
+    def engaged(self) -> bool:
+        """Both agents prefer the game to their outside option at ``t1``.
+
+        The ``t1`` decision is simultaneous in Section IV-4; the paper's
+        ``𝔓* = 𝔓^A ∪ 𝔓^B`` is read as the intersection (see DESIGN.md).
+        """
+        return self.alice_engages and self.bob_engages
+
+    @property
+    def unconditional_success_rate(self) -> float:
+        """Success probability including the engagement decision."""
+        return self.success_rate if self.engaged else 0.0
+
+
+def solve_collateral_game(
+    params: SwapParameters, pstar: float, collateral: float
+) -> CollateralEquilibrium:
+    """Solve the Section IV game at a fixed rate and deposit."""
+    solver = CollateralBackwardInduction(params, pstar, collateral)
+    region = solver.bob_t2_region()
+    alice_t1 = StageUtilities(cont=solver.alice_t1_cont(), stop=solver.alice_t1_stop())
+    bob_t1 = StageUtilities(cont=solver.bob_t1_cont(), stop=solver.bob_t1_stop())
+    alice_engages = alice_t1.advantage > 0.0
+    return CollateralEquilibrium(
+        params=params,
+        pstar=float(pstar),
+        collateral=float(collateral),
+        p3_threshold=solver.p3_threshold(),
+        bob_t2_region=region,
+        alice_t1=alice_t1,
+        bob_t1=bob_t1,
+        success_rate=solver.success_rate(),
+        alice_engages=alice_engages,
+        bob_engages=bob_t1.advantage > 0.0,
+        alice_strategy=AliceStrategy(
+            initiate_at_t1=alice_engages, p3_threshold=solver.p3_threshold()
+        ),
+        bob_strategy=BobStrategy(t2_region=region),
+    )
+
+
+def collateral_success_rate(
+    params: SwapParameters, pstar: float, collateral: float
+) -> float:
+    """Eq. (40): success rate of an initiated collateralised swap."""
+    return CollateralBackwardInduction(params, pstar, collateral).success_rate()
+
+
+def feasible_pstar_region_with_collateral(
+    params: SwapParameters,
+    collateral: float,
+    rel_lo: float = 0.05,
+    rel_hi: float = 20.0,
+    n_scan: int = 96,
+) -> "Tuple[IntervalUnion, IntervalUnion]":
+    """Feasible ``P*`` regions ``(alice, bob)`` for the Section IV game.
+
+    ``alice`` is where ``U^A_{t1,c}(cont) > P* + Q``; ``bob`` where
+    ``U^B_{t1,c}(cont) > p0 + Q``. Combine with
+    :meth:`IntervalUnion.intersect` (our reading) or
+    :meth:`IntervalUnion.union` (the paper's literal ``𝔓*``).
+    """
+    lo = rel_lo * params.p0
+    hi = rel_hi * params.p0
+
+    def alice_adv(k: float) -> float:
+        s = CollateralBackwardInduction(params, k, collateral)
+        return s.alice_t1_cont() - s.alice_t1_stop()
+
+    def bob_adv(k: float) -> float:
+        s = CollateralBackwardInduction(params, k, collateral)
+        return s.bob_t1_cont() - s.bob_t1_stop()
+
+    return (
+        _scan_positive_region(alice_adv, lo, hi, n_scan),
+        _scan_positive_region(bob_adv, lo, hi, n_scan),
+    )
+
+
+def t1_engagement_game(
+    params: SwapParameters, pstar: float, collateral: float
+) -> "BimatrixGame":
+    """The simultaneous ``t1`` decision as an explicit 2x2 game.
+
+    Section IV-4 has both agents decide *simultaneously* whether to
+    engage. A swap needs both: if either refuses, both keep their token
+    and deposit, so the off-diagonal and (stop, stop) cells coincide.
+    The game therefore always has the no-trade coordination equilibrium;
+    trade is the (payoff-dominant) second equilibrium exactly when both
+    continuation values beat the outside options -- the condition
+    :func:`solve_collateral_game` reports as ``engaged``.
+    """
+    from repro.games.matrix import BimatrixGame
+
+    solver = CollateralBackwardInduction(params, pstar, collateral)
+    alice_cont = solver.alice_t1_cont()
+    alice_stop = solver.alice_t1_stop()
+    bob_cont = solver.bob_t1_cont()
+    bob_stop = solver.bob_t1_stop()
+    row = [[alice_cont, alice_stop], [alice_stop, alice_stop]]
+    col = [[bob_cont, bob_stop], [bob_stop, bob_stop]]
+    return BimatrixGame(
+        row_payoffs=row,
+        col_payoffs=col,
+        row_actions=("engage", "stay_out"),
+        col_actions=("engage", "stay_out"),
+    )
+
+
+def _scan_positive_region(f, lo: float, hi: float, n_scan: int) -> IntervalUnion:
+    """Region where scalar ``f`` is positive, via log-grid scan + Brent."""
+    grid = np.exp(np.linspace(math.log(lo), math.log(hi), n_scan))
+    values = np.array([f(float(x)) for x in grid])
+    roots = []
+    for i in range(len(grid) - 1):
+        va, vb = values[i], values[i + 1]
+        if va == 0.0:
+            continue
+        if vb == 0.0 or va * vb < 0.0:
+            roots.append(bracketed_root(f, float(grid[i]), float(grid[i + 1])))
+    edges = [lo] + sorted(roots) + [hi]
+    keep = []
+    for a, b in zip(edges[:-1], edges[1:]):
+        if b <= a:
+            continue
+        if f(math.sqrt(a * b)) > 0.0:
+            keep.append((a, b))
+    return IntervalUnion.from_intervals(keep)

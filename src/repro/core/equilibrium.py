@@ -1,0 +1,108 @@
+"""A complete solved description of one swap game.
+
+:class:`SwapEquilibrium` is the result object of
+:func:`repro.core.solver.solve_swap_game`: thresholds, continuation
+regions, stage utilities at the initial price, the success rate, and
+the derived strategies -- everything the paper's Figures 3-6 read off
+the model, in one immutable record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.parameters import SwapParameters
+from repro.core.strategy import AliceStrategy, BobStrategy
+from repro.stochastic.rootfind import IntervalUnion
+
+__all__ = ["StageUtilities", "SwapEquilibrium"]
+
+
+@dataclass(frozen=True)
+class StageUtilities:
+    """cont/stop utilities of one agent at one decision point."""
+
+    cont: float
+    stop: float
+
+    @property
+    def best_action(self) -> str:
+        """The utility-maximising action."""
+        return "cont" if self.cont > self.stop else "stop"
+
+    @property
+    def advantage(self) -> float:
+        """``U(cont) - U(stop)``."""
+        return self.cont - self.stop
+
+
+@dataclass(frozen=True)
+class SwapEquilibrium:
+    """Solved swap game at a fixed exchange rate.
+
+    Attributes
+    ----------
+    params, pstar:
+        The game being solved.
+    p3_threshold:
+        Alice's reveal threshold ``P̲_{t3}`` (Eq. (18)).
+    bob_t2_region:
+        Bob's ``t2`` continuation region (Eq. (24)).
+    alice_t1, bob_t1:
+        Stage utilities at ``t1`` (Eqs. (25)-(28)), evaluated at
+        ``P_{t1} = p0``.
+    success_rate:
+        Eq. (31), conditional on initiation.
+    initiated:
+        Whether Alice initiates at ``t1`` (Eq. (30)).
+    alice_strategy, bob_strategy:
+        Executable equilibrium policies.
+    """
+
+    params: SwapParameters
+    pstar: float
+    p3_threshold: float
+    bob_t2_region: IntervalUnion
+    alice_t1: StageUtilities
+    bob_t1: StageUtilities
+    success_rate: float
+    initiated: bool
+    alice_strategy: AliceStrategy
+    bob_strategy: BobStrategy
+
+    @property
+    def bob_t2_bounds(self) -> Optional[Tuple[float, float]]:
+        """Endpoints ``(P̲_{t2}, P̄_{t2})`` or ``None`` if Bob never locks."""
+        if self.bob_t2_region.is_empty:
+            return None
+        return self.bob_t2_region.bounds()
+
+    @property
+    def unconditional_success_rate(self) -> float:
+        """Success probability including the initiation decision."""
+        return self.success_rate if self.initiated else 0.0
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph description."""
+        lines = [
+            f"Swap game at P* = {self.pstar:.4f} (spot p0 = {self.params.p0:.4f})",
+            f"  Alice reveal threshold  P̲_t3 = {self.p3_threshold:.4f}",
+        ]
+        bounds = self.bob_t2_bounds
+        if bounds is None:
+            lines.append("  Bob continuation region : empty (swap cannot succeed)")
+        else:
+            lines.append(
+                f"  Bob continuation region : ({bounds[0]:.4f}, {bounds[1]:.4f})"
+                + (f" in {len(self.bob_t2_region)} piece(s)" if len(self.bob_t2_region) > 1 else "")
+            )
+        lines.append(
+            f"  Alice t1: cont={self.alice_t1.cont:.4f} stop={self.alice_t1.stop:.4f}"
+            f" -> {'initiates' if self.initiated else 'does not initiate'}"
+        )
+        lines.append(
+            f"  Bob   t1: cont={self.bob_t1.cont:.4f} stop={self.bob_t1.stop:.4f}"
+        )
+        lines.append(f"  Success rate (Eq. 31)   : {self.success_rate:.4f}")
+        return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""Feasible ranges of the exchange rate and of Bob's ``t2`` price.
+
+Two questions from the paper:
+
+* For a given ``P*``, over which ``P_{t2}`` prices does Bob continue?
+  (Eq. (24), Figure 4.) Answered by
+  :meth:`repro.core.backward_induction.BackwardInduction.bob_t2_region`;
+  re-exported here as :func:`bob_t2_range` in the two-endpoint form the
+  paper uses.
+* Over which exchange rates ``P*`` does Alice initiate at all?
+  (Eqs. (29)-(30), Figure 5.) Answered by
+  :func:`feasible_pstar_range`, numerically ``(1.5, 2.5)`` under the
+  Table III defaults.
+
+Both regions are computed by sign-change scans over a log grid followed
+by Brent refinement, so non-interval cases (empty, or touching the scan
+boundary) are handled uniformly via :class:`IntervalUnion`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.backward_induction import BackwardInduction
+from repro.core.parameters import SwapParameters
+from repro.stochastic.rootfind import IntervalUnion, bracketed_root
+
+__all__ = [
+    "bob_t2_range",
+    "alice_t1_advantage",
+    "bob_t1_advantage",
+    "feasible_pstar_region",
+    "feasible_pstar_range",
+    "PStarRange",
+]
+
+
+def bob_t2_range(
+    params: SwapParameters, pstar: float
+) -> Optional[Tuple[float, float]]:
+    """Bob's continuation range ``(P̲_{t2}, P̄_{t2})`` (Eq. (24)).
+
+    Returns ``None`` when Bob never continues (the paper's
+    "``alpha_B`` too small" degenerate case). When the continuation
+    region is a union of intervals (possible only in the collateral
+    extension), the basic model guarantees a single interval and this
+    function returns its endpoints.
+    """
+    region = BackwardInduction(params, pstar).bob_t2_region()
+    if region.is_empty:
+        return None
+    return region.bounds()
+
+
+def alice_t1_advantage(params: SwapParameters, pstar: float) -> float:
+    """``U^A_{t1}(cont) - U^A_{t1}(stop)`` as a function of ``P*``.
+
+    Positive where Alice initiates (Eq. (30)).
+    """
+    solver = BackwardInduction(params, pstar)
+    return solver.alice_t1_cont() - solver.alice_t1_stop()
+
+
+def bob_t1_advantage(params: SwapParameters, pstar: float) -> float:
+    """``U^B_{t1}(cont) - U^B_{t1}(stop)`` as a function of ``P*``.
+
+    Positive where Bob prefers the swap to be initiated. The paper's
+    Eq. (30) conditions on Alice only; Bob's side is exposed for the
+    joint-agreement analysis.
+    """
+    solver = BackwardInduction(params, pstar)
+    return solver.bob_t1_cont() - solver.bob_t1_stop()
+
+
+@dataclass(frozen=True)
+class PStarRange:
+    """The feasible exchange-rate window for initiating a swap.
+
+    ``alice`` is the region where Alice initiates (the paper's
+    Eq. (29)-(30) object); ``bob`` the region where Bob prefers the
+    game; ``joint`` their intersection.
+    """
+
+    alice: IntervalUnion
+    bob: IntervalUnion
+
+    @property
+    def joint(self) -> IntervalUnion:
+        """Exchange rates acceptable to both agents."""
+        return self.alice.intersect(self.bob)
+
+    def alice_bounds(self) -> Optional[Tuple[float, float]]:
+        """Endpoints ``(P̲*, P̄*)`` of Alice's region, or ``None``."""
+        if self.alice.is_empty:
+            return None
+        return self.alice.bounds()
+
+
+def _scan_region(
+    f,
+    lo: float,
+    hi: float,
+    n_scan: int,
+) -> IntervalUnion:
+    """Region where scalar function ``f`` is positive on ``(lo, hi)``."""
+    grid = np.exp(np.linspace(math.log(lo), math.log(hi), n_scan))
+    values = np.array([f(float(x)) for x in grid])
+    roots = []
+    for i in range(len(grid) - 1):
+        va, vb = values[i], values[i + 1]
+        if va == 0.0:
+            continue
+        if vb == 0.0 or va * vb < 0.0:
+            roots.append(bracketed_root(f, float(grid[i]), float(grid[i + 1])))
+    edges = [lo] + sorted(roots) + [hi]
+    keep = []
+    for a, b in zip(edges[:-1], edges[1:]):
+        if b <= a:
+            continue
+        if f(math.sqrt(a * b)) > 0.0:
+            keep.append((a, b))
+    return IntervalUnion.from_intervals(keep)
+
+
+def feasible_pstar_region(
+    params: SwapParameters,
+    rel_lo: float = 0.05,
+    rel_hi: float = 20.0,
+    n_scan: int = 96,
+) -> PStarRange:
+    """Both agents' feasible ``P*`` regions.
+
+    The scan window is ``(rel_lo * p0, rel_hi * p0)``; rates an order of
+    magnitude away from the spot are never individually rational, so the
+    default window is generous.
+    """
+    lo = rel_lo * params.p0
+    hi = rel_hi * params.p0
+    alice = _scan_region(lambda k: alice_t1_advantage(params, k), lo, hi, n_scan)
+    bob = _scan_region(lambda k: bob_t1_advantage(params, k), lo, hi, n_scan)
+    return PStarRange(alice=alice, bob=bob)
+
+
+def feasible_pstar_range(
+    params: SwapParameters,
+    n_scan: int = 96,
+) -> Optional[Tuple[float, float]]:
+    """The paper's Eq. (29) object: endpoints of Alice's feasible ``P*``.
+
+    Under Table III defaults this is numerically ``(1.5, 2.5)``.
+    Returns ``None`` when no feasible rate exists (e.g. ``alpha`` too
+    small or ``r`` too large, Section III-F).
+    """
+    region = feasible_pstar_region(params, n_scan=n_scan).alice
+    if region.is_empty:
+        return None
+    return region.bounds()

@@ -1,0 +1,147 @@
+"""Transaction fees (paper future work; relaxes Assumption 2).
+
+The basic model assumes "transaction fees are negligible". This
+extension prices them in:
+
+* every Chain_a transaction costs ``fee_a`` Token_a, every Chain_b
+  transaction costs ``fee_b`` Token_b;
+* claim/refund fees are *deducted from the transferred amount* (the
+  transaction spends part of its output on fees), so Alice's claim
+  yields ``1 - fee_b`` Token_b, her refund nets ``P* - fee_a``, Bob's
+  redemption nets ``P* - fee_a``, his refund ``1 - fee_b`` Token_b;
+* lock deployments are paid out of pocket at submission time
+  (Alice's ``fee_a`` at ``t1``, Bob's ``fee_b`` -- worth
+  ``fee_b * P_{t2}`` -- at ``t2``);
+* walking away costs nothing (no transaction is sent).
+
+All stage payoffs stay linear in the price, so the closed forms carry
+over with shifted coefficients. ``fee_a = fee_b = 0`` reduces exactly
+to the basic model.
+
+Economics: fees act as a *commitment tax* -- they lower every
+continuation branch but leave the stop branches mostly untouched, so
+(unlike collateral, which penalises stopping) fees strictly *reduce*
+the success rate and shrink the feasible window. The benchmark suite
+quantifies this contrast.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.backward_induction import BackwardInduction, _as_array
+from repro.core.parameters import SwapParameters
+from repro.stochastic.quadrature import expectation_on_interval
+
+__all__ = ["FeeBackwardInduction"]
+
+
+class FeeBackwardInduction(BackwardInduction):
+    """Backward induction with per-transaction fees ``(fee_a, fee_b)``."""
+
+    def __init__(
+        self,
+        params: SwapParameters,
+        pstar: float,
+        fee_a: float = 0.0,
+        fee_b: float = 0.0,
+        **kwargs,
+    ) -> None:
+        if fee_a < 0.0 or fee_b < 0.0:
+            raise ValueError("fees must be non-negative")
+        if fee_a >= pstar:
+            raise ValueError(
+                f"fee_a={fee_a} must be below the swap notional P*={pstar}"
+            )
+        if fee_b >= 1.0:
+            raise ValueError(f"fee_b={fee_b} must be below the 1 Token_b notional")
+        super().__init__(params, pstar, **kwargs)
+        self.fee_a = float(fee_a)
+        self.fee_b = float(fee_b)
+
+    # ------------------------------------------------------------------ #
+    # t3 stage (fee-adjusted Eqs. (14)-(18))
+    # ------------------------------------------------------------------ #
+
+    def alice_t3_cont(self, p3):
+        """Claiming yields ``1 - fee_b`` Token_b at ``t5``."""
+        out = _as_array(super().alice_t3_cont(p3)) * (1.0 - self.fee_b)
+        return out if out.ndim else float(out)
+
+    def alice_t3_stop(self) -> float:
+        """The refund nets ``P* - fee_a`` at ``t8``."""
+        p = self.params
+        return (self.pstar - self.fee_a) * math.exp(
+            -p.alice.r * (p.eps_b + 2.0 * p.tau_a)
+        )
+
+    def bob_t3_cont(self) -> float:
+        """Redeeming nets ``P* - fee_a`` Token_a at ``t6``."""
+        p = self.params
+        return (
+            (1.0 + p.bob.alpha)
+            * (self.pstar - self.fee_a)
+            * math.exp(-p.bob.r * (p.eps_b + p.tau_a))
+        )
+
+    def bob_t3_stop(self, p3):
+        """The refund nets ``1 - fee_b`` Token_b at ``t7``."""
+        out = _as_array(super().bob_t3_stop(p3)) * (1.0 - self.fee_b)
+        return out if out.ndim else float(out)
+
+    def p3_threshold(self) -> float:
+        """Fee-adjusted cut-off price (cf. Eq. (18))."""
+        slope = float(self.alice_t3_cont(1.0))
+        return self.alice_t3_stop() / slope
+
+    # ------------------------------------------------------------------ #
+    # t2 stage
+    # ------------------------------------------------------------------ #
+
+    def alice_t2_cont(self, p2):
+        """Eq. (20) from the fee-adjusted branch values."""
+        p = self.params
+        cdf, _, partial_below = self._t2_law_pieces(p2)
+        p2 = _as_array(p2)
+        mean = p2 * math.exp(p.mu * p.tau_b)
+        partial_above = np.maximum(mean - partial_below, 0.0)
+        slope = float(self.alice_t3_cont(1.0))
+        out = (slope * partial_above + cdf * self.alice_t3_stop()) * math.exp(
+            -p.alice.r * p.tau_b
+        )
+        return out if out.ndim else float(out)
+
+    def bob_t2_cont(self, p2):
+        """Eq. (21) minus the out-of-pocket deploy fee ``fee_b * P_{t2}``."""
+        p = self.params
+        _, survival, partial_below = self._t2_law_pieces(p2)
+        slope_stop = float(self.bob_t3_stop(1.0))
+        value = (survival * self.bob_t3_cont() + slope_stop * partial_below) * math.exp(
+            -p.bob.r * p.tau_b
+        )
+        out = value - self.fee_b * _as_array(p2)
+        return out if out.ndim else float(out)
+
+    def alice_t2_stop(self) -> float:
+        """Eq. (22) with the refund netted of ``fee_a``."""
+        p = self.params
+        horizon = p.tau_b + p.eps_b + 2.0 * p.tau_a
+        return (self.pstar - self.fee_a) * math.exp(-p.alice.r * horizon)
+
+    # ------------------------------------------------------------------ #
+    # t1 stage
+    # ------------------------------------------------------------------ #
+
+    def alice_t1_cont(self) -> float:
+        """Eq. (25) minus the out-of-pocket ``fee_a`` paid at ``t1``."""
+        p = self.params
+        law = self._law(p.p0, p.tau_a)
+        region = self.bob_t2_region()
+        inside = sum(
+            expectation_on_interval(law, self.alice_t2_cont, lo, hi, self.quad_order)
+            for lo, hi in region.intervals
+        )
+        outside = (1.0 - region.probability(law)) * self.alice_t2_stop()
+        return (inside + outside) * math.exp(-p.alice.r * p.tau_a) - self.fee_a

@@ -1,0 +1,133 @@
+"""Quantifying the swap's embedded optionality.
+
+Han et al. (cited in Section II-C) view the atomic swap as a *free
+American option* held by the initiator: Alice can watch the price and
+decide at ``t3`` whether to complete. The paper's own contribution is
+that *Bob too* holds optionality -- he can walk away at ``t2``. This
+module makes both statements quantitative by comparing the equilibrium
+against *committed* variants:
+
+* ``alice_option_value`` -- Alice's ``t1`` continuation value minus her
+  value when she is committed to revealing at ``t3`` whatever the
+  price (Bob best-responds to the commitment: with a committed Alice
+  his lock decision changes too);
+* ``bob_option_value`` -- Bob's ``t1`` value minus his value when he is
+  committed to locking at ``t2`` whatever the price;
+* the *counterparty cost* of each option: how much the other agent's
+  value falls because the option exists.
+
+Everything reuses the closed-form stage utilities; commitment variants
+are tiny solver subclasses that pin one decision to *cont*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.backward_induction import BackwardInduction
+from repro.core.parameters import SwapParameters
+from repro.stochastic.rootfind import IntervalUnion
+
+__all__ = [
+    "CommittedAliceSolver",
+    "CommittedBobSolver",
+    "OptionalityReport",
+    "optionality_report",
+]
+
+
+class CommittedAliceSolver(BackwardInduction):
+    """Alice is bound to reveal at ``t3`` regardless of the price.
+
+    Equivalent to a zero reveal threshold: the swap completes whenever
+    Bob locks. Bob best-responds to the commitment -- his ``t2`` region
+    is recomputed under ``P̲_{t3} = 0``.
+    """
+
+    def p3_threshold(self) -> float:
+        return 0.0
+
+
+class CommittedBobSolver(BackwardInduction):
+    """Bob is bound to lock at ``t2`` regardless of the price.
+
+    His continuation region is all of ``(0, inf)``; Alice keeps her
+    ``t3`` optionality.
+    """
+
+    def bob_t2_region(self) -> IntervalUnion:
+        scale = max(self.pstar, self.params.p0, self.p3_threshold())
+        return IntervalUnion.single(1e-9 * scale, 1e6 * scale)
+
+
+@dataclass(frozen=True)
+class OptionalityReport:
+    """Value decomposition of both agents' options at one ``(params, P*)``.
+
+    All quantities are ``t1`` expected utilities in Token_a.
+    """
+
+    pstar: float
+    alice_equilibrium: float
+    bob_equilibrium: float
+    alice_committed_alice: float  # Alice's value when she is committed
+    bob_committed_alice: float    # Bob's value when Alice is committed
+    alice_committed_bob: float    # Alice's value when Bob is committed
+    bob_committed_bob: float      # Bob's value when Bob is committed
+    sr_equilibrium: float
+    sr_committed_alice: float
+    sr_committed_bob: float
+
+    @property
+    def alice_option_value(self) -> float:
+        """What Alice's right to waive at ``t3`` is worth to her."""
+        return self.alice_equilibrium - self.alice_committed_alice
+
+    @property
+    def bob_option_value(self) -> float:
+        """What Bob's right to walk at ``t2`` is worth to him."""
+        return self.bob_equilibrium - self.bob_committed_bob
+
+    @property
+    def alice_option_cost_to_bob(self) -> float:
+        """How much Bob's value rises if Alice gives up her option."""
+        return self.bob_committed_alice - self.bob_equilibrium
+
+    @property
+    def bob_option_cost_to_alice(self) -> float:
+        """How much Alice's value rises if Bob gives up his option."""
+        return self.alice_committed_bob - self.alice_equilibrium
+
+    def describe(self) -> str:
+        """Multi-line report."""
+        return "\n".join(
+            [
+                f"optionality at P* = {self.pstar}",
+                f"  Alice option value          : {self.alice_option_value:+.4f}"
+                f" (costs Bob {self.alice_option_cost_to_bob:+.4f})",
+                f"  Bob   option value          : {self.bob_option_value:+.4f}"
+                f" (costs Alice {self.bob_option_cost_to_alice:+.4f})",
+                f"  SR: equilibrium {self.sr_equilibrium:.4f}"
+                f" | Alice committed {self.sr_committed_alice:.4f}"
+                f" | Bob committed {self.sr_committed_bob:.4f}",
+            ]
+        )
+
+
+def optionality_report(params: SwapParameters, pstar: float) -> OptionalityReport:
+    """Compute the full option-value decomposition."""
+    equilibrium = BackwardInduction(params, pstar)
+    committed_alice = CommittedAliceSolver(params, pstar)
+    committed_bob = CommittedBobSolver(params, pstar)
+    return OptionalityReport(
+        pstar=float(pstar),
+        alice_equilibrium=equilibrium.alice_t1_cont(),
+        bob_equilibrium=equilibrium.bob_t1_cont(),
+        alice_committed_alice=committed_alice.alice_t1_cont(),
+        bob_committed_alice=committed_alice.bob_t1_cont(),
+        alice_committed_bob=committed_bob.alice_t1_cont(),
+        bob_committed_bob=committed_bob.bob_t1_cont(),
+        sr_equilibrium=equilibrium.success_rate(),
+        sr_committed_alice=committed_alice.success_rate(),
+        sr_committed_bob=committed_bob.success_rate(),
+    )

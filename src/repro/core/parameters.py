@@ -1,0 +1,168 @@
+"""Model parameters (paper Table III) and their validation.
+
+:class:`AgentParameters` holds one agent's preference pair
+``(alpha, r)`` -- the success premium and the discount rate of the
+utility function (paper Eq. (2)). :class:`SwapParameters` bundles both
+agents, the two chains' timing constants, and the price process, and is
+the single configuration object every solver, simulator and benchmark
+consumes.
+
+All time quantities are in hours, matching the paper's unit choices.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.stochastic.gbm import GeometricBrownianMotion
+from repro.stochastic.paths import DecisionTimeGrid
+
+__all__ = ["AgentParameters", "SwapParameters"]
+
+
+@dataclass(frozen=True)
+class AgentParameters:
+    """One agent's preferences.
+
+    Parameters
+    ----------
+    alpha:
+        Success premium: extra fraction of utility earned when the swap
+        succeeds. ``alpha >= 0``; higher values make the agent behave
+        more "honestly" (paper Section III-F1).
+    r:
+        Discount rate per hour, strictly positive (paper assumes
+        ``r > 0``); higher values mean more impatience.
+    """
+
+    alpha: float
+    r: float
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0.0 or not math.isfinite(self.alpha):
+            raise ValueError(f"alpha must be finite and >= 0, got {self.alpha}")
+        if not self.r > 0.0 or not math.isfinite(self.r):
+            raise ValueError(f"r must be finite and > 0, got {self.r}")
+
+    def discount(self, horizon: float) -> float:
+        """Discount factor ``e^{-r * horizon}`` for a non-negative horizon."""
+        if horizon < 0.0:
+            raise ValueError(f"horizon must be non-negative, got {horizon}")
+        return math.exp(-self.r * horizon)
+
+
+@dataclass(frozen=True)
+class SwapParameters:
+    """Full parameterisation of the swap game (paper Table III).
+
+    Attributes
+    ----------
+    alice, bob:
+        The agents' ``(alpha, r)`` preferences.
+    tau_a, tau_b:
+        Transaction confirmation times on Chain_a / Chain_b (hours).
+    eps_b:
+        Mempool visibility delay on Chain_b; must satisfy
+        ``0 < eps_b < tau_b`` (paper Eq. (3)).
+    p0:
+        Token_b price at ``t0 = t1`` in units of Token_a.
+    mu, sigma:
+        GBM drift (per hour) and volatility (per sqrt-hour) of the
+        Token_b price (paper Eq. (1)).
+    """
+
+    alice: AgentParameters
+    bob: AgentParameters
+    tau_a: float
+    tau_b: float
+    eps_b: float
+    p0: float
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if not self.tau_a > 0.0:
+            raise ValueError(f"tau_a must be positive, got {self.tau_a}")
+        if not self.tau_b > 0.0:
+            raise ValueError(f"tau_b must be positive, got {self.tau_b}")
+        if not 0.0 < self.eps_b < self.tau_b:
+            raise ValueError(
+                f"need 0 < eps_b < tau_b (paper Eq. (3)); got "
+                f"eps_b={self.eps_b}, tau_b={self.tau_b}"
+            )
+        if not self.p0 > 0.0:
+            raise ValueError(f"p0 must be positive, got {self.p0}")
+        if not self.sigma > 0.0:
+            raise ValueError(f"sigma must be positive, got {self.sigma}")
+        if not math.isfinite(self.mu):
+            raise ValueError(f"mu must be finite, got {self.mu}")
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def default() -> "SwapParameters":
+        """The paper's Table III defaults."""
+        return SwapParameters(
+            alice=AgentParameters(alpha=0.3, r=0.01),
+            bob=AgentParameters(alpha=0.3, r=0.01),
+            tau_a=3.0,
+            tau_b=4.0,
+            eps_b=1.0,
+            p0=2.0,
+            mu=0.002,
+            sigma=0.1,
+        )
+
+    def replace(self, **overrides) -> "SwapParameters":
+        """A copy with top-level fields replaced.
+
+        Agent fields can be overridden with the shorthand keys
+        ``alpha_a``, ``alpha_b``, ``r_a``, ``r_b``.
+        """
+        agent_keys = {"alpha_a", "alpha_b", "r_a", "r_b"}
+        plain = {k: v for k, v in overrides.items() if k not in agent_keys}
+        params = dataclasses.replace(self, **plain)
+        alice, bob = params.alice, params.bob
+        if "alpha_a" in overrides:
+            alice = dataclasses.replace(alice, alpha=overrides["alpha_a"])
+        if "r_a" in overrides:
+            alice = dataclasses.replace(alice, r=overrides["r_a"])
+        if "alpha_b" in overrides:
+            bob = dataclasses.replace(bob, alpha=overrides["alpha_b"])
+        if "r_b" in overrides:
+            bob = dataclasses.replace(bob, r=overrides["r_b"])
+        return dataclasses.replace(params, alice=alice, bob=bob)
+
+    # ------------------------------------------------------------------ #
+    # derived objects
+    # ------------------------------------------------------------------ #
+
+    @property
+    def process(self) -> GeometricBrownianMotion:
+        """The Token_b price process."""
+        return GeometricBrownianMotion(mu=self.mu, sigma=self.sigma)
+
+    @property
+    def grid(self) -> DecisionTimeGrid:
+        """The idealized event-time grid (paper Eq. (13))."""
+        return DecisionTimeGrid(tau_a=self.tau_a, tau_b=self.tau_b, eps_b=self.eps_b)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary view (used by reports and sweeps)."""
+        return {
+            "alpha_a": self.alice.alpha,
+            "alpha_b": self.bob.alpha,
+            "r_a": self.alice.r,
+            "r_b": self.bob.r,
+            "tau_a": self.tau_a,
+            "tau_b": self.tau_b,
+            "eps_b": self.eps_b,
+            "p0": self.p0,
+            "mu": self.mu,
+            "sigma": self.sigma,
+        }

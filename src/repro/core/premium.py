@@ -1,0 +1,166 @@
+"""Baseline: premium mechanism à la Han, Lin and Yu (AFT 2019).
+
+The paper's related work (Section II-C) discusses the *premium*
+mechanism: the swap initiator escrows a premium that is forfeited to
+the counterparty if she aborts, compensating Bob for the American
+option she otherwise holds for free. We implement it in the same
+utility framework so it can be benchmarked against the Section IV
+symmetric-collateral design:
+
+* Alice escrows ``W`` Token_a alongside her HTLC at ``t1``;
+* on success the premium returns to her with Bob's redemption
+  (received at ``t4 + tau_a``);
+* if Alice waives at ``t3``, Bob collects ``W`` when the Chain_a lock
+  expires (received at ``t_a + tau_a = t3 + eps_b + 2 tau_a``);
+* if Bob walks away at ``t2``, the premium returns to Alice with her
+  refund at ``t8``;
+* if the swap is never initiated, Alice keeps ``W``.
+
+Only Alice posts anything, so the mechanism disciplines her ``t3``
+optionality (the Han et al. concern) but leaves Bob's ``t2``
+optionality untouched -- exactly the asymmetry the paper's collateral
+extension removes. ``W = 0`` reproduces the basic model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.backward_induction import BackwardInduction, _as_array
+from repro.core.equilibrium import StageUtilities
+from repro.core.parameters import SwapParameters
+from repro.core.strategy import AliceStrategy, BobStrategy
+from repro.stochastic.quadrature import expectation_on_interval
+from repro.stochastic.rootfind import IntervalUnion
+
+__all__ = ["PremiumBackwardInduction", "PremiumEquilibrium", "solve_premium_game"]
+
+
+class PremiumBackwardInduction(BackwardInduction):
+    """Backward induction with an initiator-only premium ``W``."""
+
+    def __init__(
+        self, params: SwapParameters, pstar: float, premium: float, **kwargs
+    ) -> None:
+        if premium < 0.0:
+            raise ValueError(f"premium must be non-negative, got {premium}")
+        super().__init__(params, pstar, **kwargs)
+        self.premium = float(premium)
+
+    def p3_threshold(self) -> float:
+        """Alice's reveal threshold, lowered by the at-stake premium.
+
+        Continuing recovers the premium; stopping forfeits it, so the
+        cut-off price solves
+        ``(1+alpha_A) p e^{(mu-r_A) tau_b} + W e^{-r_A (eps_b + tau_a)}
+        = P* e^{-r_A (eps_b + 2 tau_a)}``.
+        """
+        p = self.params
+        a = self._alice
+        stop_value = self.pstar * math.exp(-a.r * (p.eps_b + 2.0 * p.tau_a))
+        premium_value = self.premium * math.exp(-a.r * (p.eps_b + p.tau_a))
+        net = max(stop_value - premium_value, 0.0)
+        return math.exp((a.r - p.mu) * p.tau_b) * net / (1.0 + a.alpha)
+
+    def alice_t2_cont(self, p2):
+        """Eq. (20) plus the premium recovered on the continuation branch."""
+        base = _as_array(super().alice_t2_cont(p2))
+        p = self.params
+        a = self._alice
+        _, survival, _ = self._t2_law_pieces(p2)
+        recovered = (
+            self.premium
+            * math.exp(-a.r * (p.eps_b + p.tau_a))
+            * survival
+            * math.exp(-a.r * p.tau_b)
+        )
+        out = base + recovered
+        return out if out.ndim else float(out)
+
+    def bob_t2_cont(self, p2):
+        """Eq. (21) plus Alice's forfeited premium on her abort branch."""
+        base = _as_array(super().bob_t2_cont(p2))
+        p = self.params
+        b = self._bob
+        cdf, _, _ = self._t2_law_pieces(p2)
+        forfeit = (
+            self.premium
+            * math.exp(-b.r * (p.eps_b + 2.0 * p.tau_a))
+            * cdf
+            * math.exp(-b.r * p.tau_b)
+        )
+        out = base + forfeit
+        return out if out.ndim else float(out)
+
+    def alice_t2_stop_value(self) -> float:
+        """Bob walked away: refund plus the returned premium at ``t8``."""
+        p = self.params
+        a = self._alice
+        horizon = p.tau_b + p.eps_b + 2.0 * p.tau_a
+        return (self.pstar + self.premium) * math.exp(-a.r * horizon)
+
+    def alice_t1_cont(self) -> float:
+        """Eq. (25) with the premium-adjusted branch values."""
+        p = self.params
+        a = self._alice
+        law = self._law(p.p0, p.tau_a)
+        region = self.bob_t2_region()
+        inside = sum(
+            expectation_on_interval(law, self.alice_t2_cont, lo, hi, self.quad_order)
+            for lo, hi in region.intervals
+        )
+        outside = (1.0 - region.probability(law)) * self.alice_t2_stop_value()
+        return (inside + outside) * math.exp(-a.r * p.tau_a)
+
+    def alice_t1_stop(self) -> float:
+        """Not initiating keeps both the ``P*`` Token_a and the premium."""
+        return self.pstar + self.premium
+
+
+@dataclass(frozen=True)
+class PremiumEquilibrium:
+    """Solved premium game."""
+
+    params: SwapParameters
+    pstar: float
+    premium: float
+    p3_threshold: float
+    bob_t2_region: IntervalUnion
+    alice_t1: StageUtilities
+    bob_t1: StageUtilities
+    success_rate: float
+    initiated: bool
+    alice_strategy: AliceStrategy
+    bob_strategy: BobStrategy
+
+    @property
+    def unconditional_success_rate(self) -> float:
+        """Success probability including the initiation decision."""
+        return self.success_rate if self.initiated else 0.0
+
+
+def solve_premium_game(
+    params: SwapParameters, pstar: float, premium: float
+) -> PremiumEquilibrium:
+    """Solve the premium-mechanism game at a fixed rate and premium."""
+    solver = PremiumBackwardInduction(params, pstar, premium)
+    region = solver.bob_t2_region()
+    alice_t1 = StageUtilities(cont=solver.alice_t1_cont(), stop=solver.alice_t1_stop())
+    bob_t1 = StageUtilities(cont=solver.bob_t1_cont(), stop=solver.bob_t1_stop())
+    initiated = alice_t1.advantage > 0.0
+    return PremiumEquilibrium(
+        params=params,
+        pstar=float(pstar),
+        premium=float(premium),
+        p3_threshold=solver.p3_threshold(),
+        bob_t2_region=region,
+        alice_t1=alice_t1,
+        bob_t1=bob_t1,
+        success_rate=solver.success_rate(),
+        initiated=initiated,
+        alice_strategy=AliceStrategy(
+            initiate_at_t1=initiated, p3_threshold=solver.p3_threshold()
+        ),
+        bob_strategy=BobStrategy(t2_region=region),
+    )

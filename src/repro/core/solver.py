@@ -1,0 +1,58 @@
+"""Facade: solve a swap game in one call.
+
+:func:`solve_swap_game` runs the full backward induction for a
+parameter set and exchange rate and returns a
+:class:`~repro.core.equilibrium.SwapEquilibrium`. This is the main
+entry point of the library's analytical side; the examples and the
+benchmark harness go through it.
+"""
+
+from __future__ import annotations
+
+from repro.core.backward_induction import BackwardInduction
+from repro.core.equilibrium import StageUtilities, SwapEquilibrium
+from repro.core.parameters import SwapParameters
+from repro.core.strategy import AliceStrategy, BobStrategy
+
+__all__ = ["solve_swap_game"]
+
+
+def solve_swap_game(params: SwapParameters, pstar: float) -> SwapEquilibrium:
+    """Solve the basic HTLC swap game (paper Section III).
+
+    Parameters
+    ----------
+    params:
+        Model parameters (defaults: ``SwapParameters.default()``,
+        the paper's Table III).
+    pstar:
+        Agreed exchange rate ``P*``.
+
+    Returns
+    -------
+    SwapEquilibrium
+        Thresholds, regions, ``t1`` utilities, success rate and
+        executable strategies.
+    """
+    solver = BackwardInduction(params, pstar)
+    region = solver.bob_t2_region()
+    alice_t1 = StageUtilities(cont=solver.alice_t1_cont(), stop=solver.alice_t1_stop())
+    bob_t1 = StageUtilities(cont=solver.bob_t1_cont(), stop=solver.bob_t1_stop())
+    initiated = alice_t1.advantage > 0.0
+    alice_strategy = AliceStrategy(
+        initiate_at_t1=initiated,
+        p3_threshold=solver.p3_threshold(),
+    )
+    bob_strategy = BobStrategy(t2_region=region)
+    return SwapEquilibrium(
+        params=params,
+        pstar=float(pstar),
+        p3_threshold=solver.p3_threshold(),
+        bob_t2_region=region,
+        alice_t1=alice_t1,
+        bob_t1=bob_t1,
+        success_rate=solver.success_rate(),
+        initiated=initiated,
+        alice_strategy=alice_strategy,
+        bob_strategy=bob_strategy,
+    )

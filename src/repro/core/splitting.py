@@ -1,0 +1,158 @@
+"""The cost of splitting a large transfer into collateralised swaps.
+
+Section II-C discusses Zamyatin et al.'s proposal of posting collateral
+"at least equal to the assets locked", and objects: an agent who wants
+to move *all* his holdings must then run multiple transactions, "each
+with an amount (approximately) equal to half the amount of the assets
+he currently possesses" -- the collateral must come out of the same
+pot being transferred.
+
+This module turns that remark into a planner. An agent holding ``W``
+Token_a wants to swap all of it into Token_b using collateralised
+swaps with a collateral *ratio* ``c`` (deposit = ``c`` x notional):
+
+* each round can move at most ``W_k / (1 + c)`` of the current
+  remainder ``W_k`` (the rest is tied up as the deposit);
+* after the round settles the deposit returns, so the remainder
+  shrinks geometrically: ``W_{k+1} = W_k * c / (1 + c)``;
+* each round costs one full swap timeline (``t8`` hours) and succeeds
+  with the collateral model's ``SR(P*, Q)``.
+
+The planner reports the number of rounds needed to move a target
+fraction of the wealth, the total time spent, and the probability all
+rounds complete -- quantifying the paper's objection that heavier
+collateral buys per-swap reliability at the cost of more, slower
+rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.collateral import CollateralBackwardInduction
+from repro.core.parameters import SwapParameters
+
+__all__ = ["SplitPlan", "RoundPlan", "plan_full_exit"]
+
+
+@dataclass(frozen=True)
+class RoundPlan:
+    """One round of the sequential exit."""
+
+    index: int
+    notional: float
+    deposit: float
+    remaining_after: float
+    success_rate: float
+
+
+@dataclass(frozen=True)
+class SplitPlan:
+    """The full sequential-exit schedule."""
+
+    wealth: float
+    collateral_ratio: float
+    target_fraction: float
+    rounds: Tuple[RoundPlan, ...]
+    round_duration: float
+
+    @property
+    def n_rounds(self) -> int:
+        """Number of swap rounds."""
+        return len(self.rounds)
+
+    @property
+    def total_time(self) -> float:
+        """Wall-clock hours if rounds run back to back."""
+        return self.n_rounds * self.round_duration
+
+    @property
+    def moved_fraction(self) -> float:
+        """Fraction of the wealth moved when all rounds complete."""
+        if not self.rounds:
+            return 0.0
+        return 1.0 - self.rounds[-1].remaining_after / self.wealth
+
+    @property
+    def all_rounds_succeed_probability(self) -> float:
+        """Probability every round completes (independent price windows)."""
+        prob = 1.0
+        for round_plan in self.rounds:
+            prob *= round_plan.success_rate
+        return prob
+
+    def describe(self) -> str:
+        """One-paragraph report."""
+        return (
+            f"exit {self.target_fraction:.0%} of {self.wealth:g} Token_a at "
+            f"collateral ratio {self.collateral_ratio:g}: "
+            f"{self.n_rounds} rounds, {self.total_time:.0f}h total, "
+            f"P(all succeed) = {self.all_rounds_succeed_probability:.4f}"
+        )
+
+
+def plan_full_exit(
+    params: SwapParameters,
+    pstar: float,
+    wealth: float,
+    collateral_ratio: float,
+    target_fraction: float = 0.99,
+    max_rounds: int = 64,
+) -> SplitPlan:
+    """Plan a sequential collateralised exit of ``wealth`` Token_a.
+
+    Parameters
+    ----------
+    pstar:
+        Exchange rate assumed constant across rounds (each round swaps
+        ``notional`` Token_a for ``notional / pstar`` Token_b).
+    collateral_ratio:
+        Deposit per unit of notional (Zamyatin et al. suggest >= 1).
+    target_fraction:
+        Stop once this share of the wealth has been scheduled.
+    """
+    if not wealth > 0.0:
+        raise ValueError(f"wealth must be positive, got {wealth}")
+    if collateral_ratio < 0.0:
+        raise ValueError(f"collateral_ratio must be >= 0, got {collateral_ratio}")
+    if not 0.0 < target_fraction < 1.0:
+        raise ValueError(
+            f"target_fraction must be in (0, 1), got {target_fraction}"
+        )
+
+    grid = params.grid
+    round_duration = max(grid.t7, grid.t8)
+
+    rounds: List[RoundPlan] = []
+    remaining = wealth
+    index = 0
+    while remaining > (1.0 - target_fraction) * wealth and index < max_rounds:
+        notional = remaining / (1.0 + collateral_ratio)
+        deposit = collateral_ratio * notional
+        # the collateral model prices deposits in absolute Token_a; a
+        # notional of `notional` at rate pstar corresponds to scaling the
+        # reference game by notional / pstar
+        scale = notional / pstar
+        q_absolute = deposit / scale if scale > 0 else 0.0
+        solver = CollateralBackwardInduction(params, pstar, q_absolute)
+        sr = solver.success_rate()
+        remaining = remaining - notional
+        rounds.append(
+            RoundPlan(
+                index=index,
+                notional=notional,
+                deposit=deposit,
+                remaining_after=remaining,
+                success_rate=sr,
+            )
+        )
+        index += 1
+
+    return SplitPlan(
+        wealth=wealth,
+        collateral_ratio=collateral_ratio,
+        target_fraction=target_fraction,
+        rounds=tuple(rounds),
+        round_duration=round_duration,
+    )

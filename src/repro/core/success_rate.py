@@ -1,0 +1,101 @@
+"""Swap success rate (paper Eq. (31) and Figure 6).
+
+``SR(P*)`` is the probability that, *after Alice initiates*, the ``t2``
+price lands in Bob's continuation region and the ``t3`` price then
+exceeds Alice's reveal threshold. The paper shows the curve is concave
+in ``P*`` with an interior maximum; :func:`max_success_rate` locates it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.backward_induction import BackwardInduction
+from repro.core.feasible_range import feasible_pstar_range
+from repro.core.parameters import SwapParameters
+
+__all__ = ["success_rate", "success_rate_curve", "max_success_rate", "SuccessRatePoint"]
+
+
+def success_rate(params: SwapParameters, pstar: float) -> float:
+    """Eq. (31): success probability of an initiated swap at rate ``pstar``."""
+    return BackwardInduction(params, pstar).success_rate()
+
+
+@dataclass(frozen=True)
+class SuccessRatePoint:
+    """One point of an ``SR(P*)`` curve."""
+
+    pstar: float
+    rate: float
+    feasible: bool
+
+
+def success_rate_curve(
+    params: SwapParameters,
+    pstars: Sequence[float],
+    restrict_to_feasible: bool = False,
+) -> List[SuccessRatePoint]:
+    """Evaluate ``SR`` on a grid of exchange rates (Figure 6 series).
+
+    Each point is tagged with whether it lies in Alice's feasible
+    ``P*`` range; with ``restrict_to_feasible`` infeasible points get
+    ``rate = nan`` (the paper only plots feasible segments).
+    """
+    bounds = feasible_pstar_range(params)
+    out: List[SuccessRatePoint] = []
+    for k in pstars:
+        feasible = bounds is not None and bounds[0] < k <= bounds[1]
+        if restrict_to_feasible and not feasible:
+            out.append(SuccessRatePoint(pstar=float(k), rate=float("nan"), feasible=False))
+            continue
+        out.append(
+            SuccessRatePoint(pstar=float(k), rate=success_rate(params, k), feasible=feasible)
+        )
+    return out
+
+
+def max_success_rate(
+    params: SwapParameters,
+    n_grid: int = 48,
+    refine_iters: int = 40,
+    n_scan: int = 96,
+) -> Optional[Tuple[float, float]]:
+    """The SR-maximising exchange rate and its success rate.
+
+    Coarse grid over the feasible range followed by golden-section
+    refinement (the curve is concave per Section III-F, so a unimodal
+    search is justified). Returns ``None`` if no feasible rate exists.
+    """
+    bounds = feasible_pstar_range(params, n_scan=n_scan)
+    if bounds is None:
+        return None
+    lo, hi = bounds
+    grid = np.linspace(lo * 1.0001, hi * 0.9999, n_grid)
+    rates = [success_rate(params, float(k)) for k in grid]
+    i_best = int(np.argmax(rates))
+    a = float(grid[max(i_best - 1, 0)])
+    b = float(grid[min(i_best + 1, n_grid - 1)])
+
+    inv_phi = (math.sqrt(5.0) - 1.0) / 2.0
+    c = b - inv_phi * (b - a)
+    d = a + inv_phi * (b - a)
+    fc = success_rate(params, c)
+    fd = success_rate(params, d)
+    for _ in range(refine_iters):
+        if fc > fd:
+            b, d, fd = d, c, fc
+            c = b - inv_phi * (b - a)
+            fc = success_rate(params, c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + inv_phi * (b - a)
+            fd = success_rate(params, d)
+        if b - a < 1e-10:
+            break
+    k_opt = 0.5 * (a + b)
+    return k_opt, success_rate(params, k_opt)

@@ -1,0 +1,147 @@
+"""The swap timeline (paper Section III-B and Figure 2).
+
+Two views are provided:
+
+* :class:`SwapTimeline` -- an *arbitrary* assignment of the event times
+  ``t0..t8`` plus the expiries ``t_a``, ``t_b``, validated against the
+  full constraint chain of the paper's Eq. (12) (Figure 2a). Useful for
+  reasoning about non-idealized schedules and for the protocol engine's
+  timeout bookkeeping.
+* :func:`idealized_timeline` -- the zero-waiting-time schedule of
+  Eq. (13) (Figure 2b), produced from a
+  :class:`~repro.core.parameters.SwapParameters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.parameters import SwapParameters
+from repro.stochastic.paths import DecisionTimeGrid
+
+__all__ = ["SwapTimeline", "idealized_timeline", "TimelineViolation"]
+
+
+class TimelineViolation(ValueError):
+    """A proposed schedule violates the paper's Eq. (12) constraints."""
+
+
+@dataclass(frozen=True)
+class SwapTimeline:
+    """A concrete schedule for one swap attempt.
+
+    All fields are absolute times in hours. ``t0`` is the agreement
+    time; ``t1``..``t4`` the action times; ``t5``/``t6`` the success
+    receipt times; ``t7``/``t8`` the refund receipt times; ``t_a`` and
+    ``t_b`` the HTLC expiries on Chain_a and Chain_b.
+    """
+
+    tau_a: float
+    tau_b: float
+    eps_b: float
+    t0: float
+    t1: float
+    t2: float
+    t3: float
+    t4: float
+    t_a: float
+    t_b: float
+
+    # ------------------------------------------------------------------ #
+    # derived receipt times (paper Eqs. (8)-(11))
+    # ------------------------------------------------------------------ #
+
+    @property
+    def t5(self) -> float:
+        """Alice receives Token_b on success."""
+        return self.t3 + self.tau_b
+
+    @property
+    def t6(self) -> float:
+        """Bob receives Token_a on success."""
+        return self.t4 + self.tau_a
+
+    @property
+    def t7(self) -> float:
+        """Bob's refund lands on failure."""
+        return self.t_b + self.tau_b
+
+    @property
+    def t8(self) -> float:
+        """Alice's refund lands on failure."""
+        return self.t_a + self.tau_a
+
+    # ------------------------------------------------------------------ #
+    # validation: Eq. (12)
+    # ------------------------------------------------------------------ #
+
+    def constraint_report(self) -> List[Tuple[str, bool]]:
+        """Each constraint of Eqs. (3)-(11) with its truth value."""
+        return [
+            ("eps_b < tau_b            (Eq. 3)", self.eps_b < self.tau_b),
+            ("t1 >= t0                 (Eq. 4)", self.t1 >= self.t0),
+            ("t2 >= t1 + tau_a         (Eq. 5)", self.t2 >= self.t1 + self.tau_a),
+            ("t3 >= t2 + tau_b         (Eq. 6)", self.t3 >= self.t2 + self.tau_b),
+            ("t4 >= t3 + eps_b         (Eq. 7)", self.t4 >= self.t3 + self.eps_b),
+            ("t5 = t3 + tau_b <= t_b   (Eq. 8)", self.t5 <= self.t_b),
+            ("t6 = t4 + tau_a <= t_a   (Eq. 9)", self.t6 <= self.t_a),
+            ("t7 = t_b + tau_b         (Eq. 10)", True),
+            ("t8 = t_a + tau_a         (Eq. 11)", True),
+        ]
+
+    def validate(self) -> None:
+        """Raise :class:`TimelineViolation` if any Eq. (12) constraint fails."""
+        failures = [name for name, ok in self.constraint_report() if not ok]
+        if failures:
+            raise TimelineViolation(
+                "timeline violates paper Eq. (12): " + "; ".join(failures)
+            )
+
+    @property
+    def is_valid(self) -> bool:
+        """Whether all Eq. (12) constraints hold."""
+        return all(ok for _, ok in self.constraint_report())
+
+    @property
+    def is_idealized(self) -> bool:
+        """Whether the schedule matches the zero-waiting-time Eq. (13)."""
+        tol = 1e-12
+        return (
+            abs(self.t1 - self.t0) <= tol
+            and abs(self.t2 - (self.t1 + self.tau_a)) <= tol
+            and abs(self.t3 - (self.t2 + self.tau_b)) <= tol
+            and abs(self.t4 - (self.t3 + self.eps_b)) <= tol
+            and abs(self.t_b - (self.t3 + self.tau_b)) <= tol
+            and abs(self.t_a - (self.t4 + self.tau_a)) <= tol
+        )
+
+    def total_lock_time_alice(self) -> float:
+        """Worst-case time Alice's Token_a stays locked (until ``t8``)."""
+        return self.t8 - self.t1
+
+    def total_lock_time_bob(self) -> float:
+        """Worst-case time Bob's Token_b stays locked (until ``t7``)."""
+        return self.t7 - self.t2
+
+
+def idealized_timeline(params: SwapParameters, start: float = 0.0) -> SwapTimeline:
+    """Construct the Eq. (13) zero-waiting-time schedule.
+
+    ``start`` shifts the whole schedule; the structure is unchanged.
+    """
+    grid: DecisionTimeGrid = params.grid
+    timeline = SwapTimeline(
+        tau_a=params.tau_a,
+        tau_b=params.tau_b,
+        eps_b=params.eps_b,
+        t0=start,
+        t1=start + grid.t1,
+        t2=start + grid.t2,
+        t3=start + grid.t3,
+        t4=start + grid.t4,
+        t_a=start + grid.t_a,
+        t_b=start + grid.t_b,
+    )
+    timeline.validate()
+    return timeline

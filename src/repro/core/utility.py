@@ -1,0 +1,66 @@
+"""Utility primitives (paper Equation (2)).
+
+An agent's utility for receiving asset value ``V`` after horizon ``T``
+in a game whose success indicator is ``S`` is
+
+    U = E[ (1 + alpha * S) * V * e^{-r T} ]
+
+This module provides small composable helpers for that expression; the
+stage-by-stage expectations live in
+:mod:`repro.core.backward_induction`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.parameters import AgentParameters
+
+__all__ = ["discounted_value", "utility_term", "UtilityComponents"]
+
+
+def discounted_value(value: float, rate: float, horizon: float) -> float:
+    """``value * e^{-rate * horizon}`` with input validation."""
+    if horizon < 0.0:
+        raise ValueError(f"horizon must be non-negative, got {horizon}")
+    if not math.isfinite(value):
+        raise ValueError(f"value must be finite, got {value}")
+    return value * math.exp(-rate * horizon)
+
+
+def utility_term(
+    agent: AgentParameters,
+    value: float,
+    horizon: float,
+    success: bool,
+) -> float:
+    """One realised term of Eq. (2): ``(1 + alpha S) V e^{-r T}``."""
+    premium = 1.0 + agent.alpha if success else 1.0
+    return premium * discounted_value(value, agent.r, horizon)
+
+
+@dataclass(frozen=True)
+class UtilityComponents:
+    """A decomposed utility value, useful for reports and debugging.
+
+    ``base`` is the discounted asset value, ``premium`` the extra
+    success-premium part, ``collateral`` any discounted collateral
+    flows. ``total`` is their sum.
+    """
+
+    base: float
+    premium: float = 0.0
+    collateral: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Sum of all components."""
+        return self.base + self.premium + self.collateral
+
+    def __add__(self, other: "UtilityComponents") -> "UtilityComponents":
+        return UtilityComponents(
+            base=self.base + other.base,
+            premium=self.premium + other.premium,
+            collateral=self.collateral + other.collateral,
+        )

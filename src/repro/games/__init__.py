@@ -1,0 +1,39 @@
+"""Generic finite extensive-form games with chance moves.
+
+The paper frames the swap as a finite extensive-form game (Osborne &
+Rubinstein). This package provides the general machinery --
+
+* :mod:`repro.games.tree` -- decision, chance and terminal nodes;
+* :mod:`repro.games.solver` -- generic backward induction (subgame-
+  perfect equilibrium for perfect-information games with chance moves);
+* :mod:`repro.games.lattice` -- moment-matched discretisation of a
+  lognormal price transition;
+* :mod:`repro.games.builders` -- the HTLC swap game expressed as an
+  explicit tree on a price lattice --
+
+and serves as an *independent cross-check* of the continuous solver in
+:mod:`repro.core`: the lattice equilibrium's thresholds must converge
+to the closed-form ones as the lattice is refined (tested).
+"""
+
+from repro.games.builders import build_swap_game, lattice_equilibrium_summary
+from repro.games.lattice import LatticeTransition, discretize_law
+from repro.games.matrix import BimatrixGame, MixedEquilibrium, PureEquilibrium
+from repro.games.solver import SolvedGame, solve_game
+from repro.games.tree import ChanceNode, DecisionNode, GameValidationError, TerminalNode
+
+__all__ = [
+    "ChanceNode",
+    "DecisionNode",
+    "TerminalNode",
+    "GameValidationError",
+    "SolvedGame",
+    "solve_game",
+    "BimatrixGame",
+    "PureEquilibrium",
+    "MixedEquilibrium",
+    "LatticeTransition",
+    "discretize_law",
+    "build_swap_game",
+    "lattice_equilibrium_summary",
+]

@@ -1,0 +1,248 @@
+"""The HTLC swap game as an explicit extensive-form tree.
+
+This builder expresses the paper's Section III game on an ``n``-point
+price lattice and solves it with the *generic* backward-induction
+solver -- a fully independent implementation path from the closed-form
+:mod:`repro.core` solver. The two must agree (and do, see
+``tests/games/test_cross_check.py``):
+
+* Alice's lattice ``t3`` policy flips from stop to cont at the Eq. (18)
+  threshold;
+* Bob's lattice ``t2`` continuation set approximates the Eq. (24)
+  interval;
+* the root value approximates ``U^A_{t1}`` / ``U^B_{t1}``.
+
+All terminal payoffs are discounted to ``t1`` (a common positive factor
+per decision time, so the induced preferences are identical to the
+paper's decision-time convention).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.parameters import SwapParameters
+from repro.games.lattice import LatticeTransition, discretize_law
+from repro.games.solver import SolvedGame, solve_game
+from repro.games.tree import ChanceNode, DecisionNode, GameNode, TerminalNode
+from repro.stochastic.lognormal import LognormalLaw
+
+__all__ = ["SwapGameTree", "build_swap_game", "lattice_equilibrium_summary"]
+
+ALICE = "alice"
+BOB = "bob"
+
+
+@dataclass(frozen=True)
+class SwapGameTree:
+    """The built tree plus the lattice bookkeeping needed to read it."""
+
+    root: DecisionNode
+    params: SwapParameters
+    pstar: float
+    t2_lattice: LatticeTransition
+    t3_lattices: Tuple[LatticeTransition, ...]
+    bob_nodes: Tuple[DecisionNode, ...]
+    alice_t3_nodes: Tuple[Tuple[DecisionNode, ...], ...]
+
+    def solve(self) -> SolvedGame:
+        """Run generic backward induction on the tree."""
+        return solve_game(self.root)
+
+
+def _terminal_success(params: SwapParameters, pstar: float, p3: float) -> TerminalNode:
+    """Both continue: Alice's Eq. (14) / Bob's Eq. (15), discounted to t1."""
+    g = params.grid
+    alice = (
+        (1.0 + params.alice.alpha)
+        * p3
+        * math.exp(params.mu * params.tau_b)
+        * math.exp(-params.alice.r * g.t5)
+    )
+    bob = (1.0 + params.bob.alpha) * pstar * math.exp(-params.bob.r * g.t6)
+    return TerminalNode({ALICE: alice, BOB: bob}, label="success")
+
+
+def _terminal_alice_stops_t3(
+    params: SwapParameters, pstar: float, p3: float
+) -> TerminalNode:
+    """Alice waives at t3: Eq. (16) / Eq. (17), discounted to t1."""
+    g = params.grid
+    alice = pstar * math.exp(-params.alice.r * g.t8)
+    bob = (
+        p3
+        * math.exp(2.0 * params.mu * params.tau_b)
+        * math.exp(-params.bob.r * g.t7)
+    )
+    return TerminalNode({ALICE: alice, BOB: bob}, label="alice_stops_t3")
+
+
+def _terminal_bob_stops_t2(
+    params: SwapParameters, pstar: float, p2: float
+) -> TerminalNode:
+    """Bob walks away at t2: Eq. (22) / Eq. (23), discounted to t1."""
+    g = params.grid
+    alice = pstar * math.exp(-params.alice.r * g.t8)
+    bob = p2 * math.exp(-params.bob.r * g.t2)
+    return TerminalNode({ALICE: alice, BOB: bob}, label="bob_stops_t2")
+
+
+def _terminal_alice_stops_t1(params: SwapParameters, pstar: float) -> TerminalNode:
+    """Alice never initiates: Eq. (27) / Eq. (28)."""
+    return TerminalNode({ALICE: pstar, BOB: params.p0}, label="alice_stops_t1")
+
+
+def build_swap_game(
+    params: SwapParameters,
+    pstar: float,
+    n_lattice: int = 64,
+) -> SwapGameTree:
+    """Build the Section III game on an ``n_lattice``-point price grid.
+
+    The tree has one ``t2`` chance node (lattice of ``P_{t2}``), one
+    Bob decision per ``t2`` price, one ``t3`` chance node per continued
+    branch (lattice of ``P_{t3}`` conditional on that ``P_{t2}``), and
+    one Alice decision per ``t3`` price -- ``O(n_lattice^2)`` nodes.
+    """
+    if not pstar > 0.0:
+        raise ValueError(f"pstar must be positive, got {pstar}")
+    law_t2 = LognormalLaw(
+        spot=params.p0, mu=params.mu, sigma=params.sigma, tau=params.tau_a
+    )
+    t2_lattice = discretize_law(law_t2, n_lattice)
+
+    bob_nodes: List[DecisionNode] = []
+    alice_t3_nodes: List[Tuple[DecisionNode, ...]] = []
+    t3_lattices: List[LatticeTransition] = []
+    t2_branches: List[Tuple[float, GameNode]] = []
+
+    for p2, prob2 in zip(t2_lattice.points, t2_lattice.probabilities):
+        law_t3 = LognormalLaw(
+            spot=p2, mu=params.mu, sigma=params.sigma, tau=params.tau_b
+        )
+        t3_lattice = discretize_law(law_t3, n_lattice)
+        t3_lattices.append(t3_lattice)
+
+        alice_nodes_here: List[DecisionNode] = []
+        t3_branches: List[Tuple[float, GameNode]] = []
+        for p3, prob3 in zip(t3_lattice.points, t3_lattice.probabilities):
+            alice_node = DecisionNode(
+                player=ALICE,
+                actions={
+                    "cont": _terminal_success(params, pstar, p3),
+                    "stop": _terminal_alice_stops_t3(params, pstar, p3),
+                },
+                label=f"alice_t3@{p3:.6g}",
+            )
+            alice_nodes_here.append(alice_node)
+            t3_branches.append((prob3, alice_node))
+
+        chance_t3 = ChanceNode(tuple(t3_branches), label=f"nature_t3@{p2:.6g}")
+        bob_node = DecisionNode(
+            player=BOB,
+            actions={
+                "cont": chance_t3,
+                "stop": _terminal_bob_stops_t2(params, pstar, p2),
+            },
+            label=f"bob_t2@{p2:.6g}",
+        )
+        bob_nodes.append(bob_node)
+        alice_t3_nodes.append(tuple(alice_nodes_here))
+        t2_branches.append((prob2, bob_node))
+
+    chance_t2 = ChanceNode(tuple(t2_branches), label="nature_t2")
+    root = DecisionNode(
+        player=ALICE,
+        actions={
+            "cont": chance_t2,
+            "stop": _terminal_alice_stops_t1(params, pstar),
+        },
+        label="alice_t1",
+    )
+    return SwapGameTree(
+        root=root,
+        params=params,
+        pstar=pstar,
+        t2_lattice=t2_lattice,
+        t3_lattices=tuple(t3_lattices),
+        bob_nodes=tuple(bob_nodes),
+        alice_t3_nodes=tuple(alice_t3_nodes),
+    )
+
+
+@dataclass(frozen=True)
+class LatticeEquilibrium:
+    """Summary of a solved lattice game, aligned with the continuous solver."""
+
+    initiated: bool
+    alice_root_value: float
+    bob_root_value: float
+    p3_threshold_bracket: Optional[Tuple[float, float]]
+    bob_cont_prices: Tuple[float, ...]
+    success_rate: float
+
+
+def lattice_equilibrium_summary(
+    tree: SwapGameTree, solved: Optional[SolvedGame] = None
+) -> LatticeEquilibrium:
+    """Read thresholds and the success rate off a solved lattice game.
+
+    * ``p3_threshold_bracket``: consecutive lattice prices between which
+      Alice's ``t3`` policy flips from stop to cont (averaged over all
+      ``t2`` branches -- the policy is price-monotone so the bracket is
+      well-defined; ``None`` when she never/always continues).
+    * ``bob_cont_prices``: the ``t2`` lattice prices where Bob locks.
+    * ``success_rate``: lattice analogue of Eq. (31).
+    """
+    if solved is None:
+        solved = tree.solve()
+
+    # Alice t3 policy flip: scan the first continued bob branch
+    bracket: Optional[Tuple[float, float]] = None
+    for branch_idx, bob_node in enumerate(tree.bob_nodes):
+        lattice = tree.t3_lattices[branch_idx]
+        policies = [
+            solved.action_at(node) for node in tree.alice_t3_nodes[branch_idx]
+        ]
+        for i in range(len(policies) - 1):
+            if policies[i] == "stop" and policies[i + 1] == "cont":
+                candidate = (lattice.points[i], lattice.points[i + 1])
+                if bracket is None:
+                    bracket = candidate
+                else:
+                    bracket = (
+                        min(bracket[0], candidate[0]),
+                        max(bracket[1], candidate[1]),
+                    )
+        del bob_node
+
+    bob_cont_prices = tuple(
+        p2
+        for p2, node in zip(tree.t2_lattice.points, tree.bob_nodes)
+        if solved.action_at(node) == "cont"
+    )
+
+    # lattice success rate: P(bob continues and alice then continues)
+    rate = 0.0
+    for branch_idx, (prob2, bob_node) in enumerate(
+        zip(tree.t2_lattice.probabilities, tree.bob_nodes)
+    ):
+        if solved.action_at(bob_node) != "cont":
+            continue
+        lattice = tree.t3_lattices[branch_idx]
+        for prob3, alice_node in zip(
+            lattice.probabilities, tree.alice_t3_nodes[branch_idx]
+        ):
+            if solved.action_at(alice_node) == "cont":
+                rate += prob2 * prob3
+
+    return LatticeEquilibrium(
+        initiated=solved.action_at(tree.root) == "cont",
+        alice_root_value=solved.root_value(ALICE),
+        bob_root_value=solved.root_value(BOB),
+        p3_threshold_bracket=bracket,
+        bob_cont_prices=bob_cont_prices,
+        success_rate=rate,
+    )

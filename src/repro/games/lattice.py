@@ -1,0 +1,94 @@
+"""Moment-matched discretisation of a lognormal transition.
+
+To express the swap game as a *finite* tree, the continuous price
+transition ``P_t -> P_{t+tau}`` is replaced by an ``n``-point lattice:
+
+* bucket the law into ``n`` equal-probability (or tail-padded)
+  quantile bins,
+* give each bin its exact probability mass, and
+* represent it by its *conditional mean* (a ratio of partial
+  expectations), so the discrete transition matches ``E[P_{t+tau}]``
+  exactly and every payoff linear in price is priced without bias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.stochastic.lognormal import LognormalLaw
+
+__all__ = ["LatticeTransition", "discretize_law"]
+
+
+@dataclass(frozen=True)
+class LatticeTransition:
+    """A discrete approximation of one price transition.
+
+    ``points`` are the representative prices, ``probabilities`` their
+    masses (sum to 1), ``edges`` the ``n + 1`` bucket boundaries.
+    """
+
+    points: Tuple[float, ...]
+    probabilities: Tuple[float, ...]
+    edges: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) != len(self.probabilities):
+            raise ValueError("points and probabilities must have equal length")
+        if len(self.edges) != len(self.points) + 1:
+            raise ValueError("need exactly n + 1 edges for n points")
+        total = sum(self.probabilities)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"probabilities sum to {total}, not 1")
+
+    @property
+    def mean(self) -> float:
+        """First moment of the discrete law."""
+        return float(
+            np.dot(np.asarray(self.points), np.asarray(self.probabilities))
+        )
+
+
+def discretize_law(
+    law: LognormalLaw,
+    n: int,
+    tail_mass: float = 1e-6,
+) -> LatticeTransition:
+    """Discretise ``law`` into ``n`` conditional-mean buckets.
+
+    The two extreme buckets absorb the tails beyond the
+    ``tail_mass`` / ``1 - tail_mass`` quantiles, so no probability is
+    discarded.
+    """
+    if n < 2:
+        raise ValueError(f"need at least 2 lattice points, got {n}")
+    if not 0.0 < tail_mass < 0.5:
+        raise ValueError(f"tail_mass must be in (0, 0.5), got {tail_mass}")
+
+    # interior quantile edges; outermost edges at 0 and +inf conceptually
+    qs = np.linspace(tail_mass, 1.0 - tail_mass, n - 1)
+    inner_edges = np.asarray(law.quantile(qs), dtype=float)
+    edges = np.concatenate(([0.0], inner_edges, [np.inf]))
+
+    points = []
+    probs = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        cdf_hi = 1.0 if np.isinf(hi) else float(law.cdf(hi))
+        cdf_lo = float(law.cdf(lo)) if lo > 0.0 else 0.0
+        mass = max(cdf_hi - cdf_lo, 1e-300)
+        pe_hi = law.mean() if np.isinf(hi) else float(law.partial_expectation_below(hi))
+        pe_lo = float(law.partial_expectation_below(lo)) if lo > 0.0 else 0.0
+        conditional_mean = max((pe_hi - pe_lo) / mass, 1e-300)
+        points.append(conditional_mean)
+        probs.append(mass)
+
+    total = sum(probs)
+    probs = [p / total for p in probs]
+    return LatticeTransition(
+        points=tuple(points),
+        probabilities=tuple(probs),
+        edges=tuple(float(e) for e in edges),
+    )

@@ -1,0 +1,178 @@
+"""Two-player bimatrix games (for simultaneous moves).
+
+Section IV-4 has Alice and Bob decide *simultaneously* at ``t1``
+whether to engage. That stage is a 2x2 bimatrix game whose payoffs are
+the continuation values computed by the backward induction; this module
+provides the general machinery:
+
+* :class:`BimatrixGame` -- payoff matrices for both players with named
+  actions;
+* pure Nash equilibria by best-response enumeration;
+* the mixed equilibrium of a 2x2 game (indifference conditions) when no
+  pure one exists or when all four cells are strategically relevant;
+* dominance checks used by tests and reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["BimatrixGame", "PureEquilibrium", "MixedEquilibrium"]
+
+
+@dataclass(frozen=True)
+class PureEquilibrium:
+    """A pure-strategy Nash equilibrium (action indices and names)."""
+
+    row_action: str
+    col_action: str
+    row_payoff: float
+    col_payoff: float
+
+
+@dataclass(frozen=True)
+class MixedEquilibrium:
+    """A (possibly degenerate) mixed equilibrium of a 2x2 game.
+
+    ``row_prob`` is the probability the row player plays their *first*
+    action; likewise ``col_prob``.
+    """
+
+    row_prob: float
+    col_prob: float
+    row_payoff: float
+    col_payoff: float
+
+
+class BimatrixGame:
+    """A finite two-player simultaneous-move game.
+
+    Parameters
+    ----------
+    row_payoffs, col_payoffs:
+        ``(n_row, n_col)`` arrays; entry ``[i, j]`` is the payoff when
+        the row player picks action ``i`` and the column player ``j``.
+    row_actions, col_actions:
+        Action labels.
+    """
+
+    def __init__(
+        self,
+        row_payoffs,
+        col_payoffs,
+        row_actions: Sequence[str],
+        col_actions: Sequence[str],
+    ) -> None:
+        self.row_payoffs = np.asarray(row_payoffs, dtype=float)
+        self.col_payoffs = np.asarray(col_payoffs, dtype=float)
+        if self.row_payoffs.shape != self.col_payoffs.shape:
+            raise ValueError("payoff matrices must share a shape")
+        if self.row_payoffs.shape != (len(row_actions), len(col_actions)):
+            raise ValueError(
+                f"payoff shape {self.row_payoffs.shape} does not match "
+                f"{len(row_actions)} x {len(col_actions)} actions"
+            )
+        if not np.all(np.isfinite(self.row_payoffs)) or not np.all(
+            np.isfinite(self.col_payoffs)
+        ):
+            raise ValueError("payoffs must be finite")
+        self.row_actions = tuple(row_actions)
+        self.col_actions = tuple(col_actions)
+
+    # ------------------------------------------------------------------ #
+    # best responses and pure equilibria
+    # ------------------------------------------------------------------ #
+
+    def row_best_responses(self, col_index: int) -> List[int]:
+        """Row actions maximising the row payoff against ``col_index``."""
+        column = self.row_payoffs[:, col_index]
+        best = column.max()
+        return [int(i) for i in np.flatnonzero(column >= best - 1e-12)]
+
+    def col_best_responses(self, row_index: int) -> List[int]:
+        """Column actions maximising the column payoff against ``row_index``."""
+        row = self.col_payoffs[row_index, :]
+        best = row.max()
+        return [int(j) for j in np.flatnonzero(row >= best - 1e-12)]
+
+    def pure_equilibria(self) -> List[PureEquilibrium]:
+        """All pure Nash equilibria."""
+        out: List[PureEquilibrium] = []
+        n_row, n_col = self.row_payoffs.shape
+        for i in range(n_row):
+            for j in range(n_col):
+                if i in self.row_best_responses(j) and j in self.col_best_responses(i):
+                    out.append(
+                        PureEquilibrium(
+                            row_action=self.row_actions[i],
+                            col_action=self.col_actions[j],
+                            row_payoff=float(self.row_payoffs[i, j]),
+                            col_payoff=float(self.col_payoffs[i, j]),
+                        )
+                    )
+        return out
+
+    # ------------------------------------------------------------------ #
+    # dominance
+    # ------------------------------------------------------------------ #
+
+    def row_dominant_action(self) -> Optional[str]:
+        """A strictly dominant row action, if one exists."""
+        n_row = self.row_payoffs.shape[0]
+        for i in range(n_row):
+            others = [k for k in range(n_row) if k != i]
+            if all(
+                np.all(self.row_payoffs[i, :] > self.row_payoffs[k, :])
+                for k in others
+            ):
+                return self.row_actions[i]
+        return None
+
+    def col_dominant_action(self) -> Optional[str]:
+        """A strictly dominant column action, if one exists."""
+        n_col = self.col_payoffs.shape[1]
+        for j in range(n_col):
+            others = [k for k in range(n_col) if k != j]
+            if all(
+                np.all(self.col_payoffs[:, j] > self.col_payoffs[:, k])
+                for k in others
+            ):
+                return self.col_actions[j]
+        return None
+
+    # ------------------------------------------------------------------ #
+    # 2x2 mixed equilibrium
+    # ------------------------------------------------------------------ #
+
+    def mixed_equilibrium_2x2(self) -> Optional[MixedEquilibrium]:
+        """The interior mixed equilibrium of a 2x2 game, if it exists.
+
+        Solves the standard indifference conditions; returns ``None``
+        when the indifference probabilities fall outside ``[0, 1]``
+        (then only pure equilibria exist).
+        """
+        if self.row_payoffs.shape != (2, 2):
+            raise ValueError("mixed_equilibrium_2x2 requires a 2x2 game")
+        a = self.row_payoffs
+        b = self.col_payoffs
+        # column player mixes q on their first action so the row player
+        # is indifferent: q a00 + (1-q) a01 = q a10 + (1-q) a11
+        denom_q = (a[0, 0] - a[1, 0]) + (a[1, 1] - a[0, 1])
+        denom_p = (b[0, 0] - b[0, 1]) + (b[1, 1] - b[1, 0])
+        if abs(denom_q) < 1e-15 or abs(denom_p) < 1e-15:
+            return None
+        q = (a[1, 1] - a[0, 1]) / denom_q
+        p = (b[1, 1] - b[1, 0]) / denom_p
+        if not (0.0 <= p <= 1.0 and 0.0 <= q <= 1.0):
+            return None
+        row_value = q * a[0, 0] + (1 - q) * a[0, 1]
+        col_value = p * b[0, 0] + (1 - p) * b[1, 0]
+        return MixedEquilibrium(
+            row_prob=float(p),
+            col_prob=float(q),
+            row_payoff=float(row_value),
+            col_payoff=float(col_value),
+        )

@@ -1,0 +1,103 @@
+"""Generic backward induction for perfect-information games with chance.
+
+:func:`solve_game` computes, for every node, the expected payoff vector
+under subgame-perfect play: at a :class:`DecisionNode` the moving
+player picks the action maximising *their own* expected payoff (ties
+broken by the first action in insertion order, making results
+deterministic); at a :class:`ChanceNode` payoffs are averaged; at a
+:class:`TerminalNode` they are read off.
+
+The traversal is an explicit post-order stack, so lattice games with
+hundreds of thousands of nodes solve without recursion issues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.games.tree import ChanceNode, DecisionNode, GameNode, TerminalNode
+
+__all__ = ["SolvedGame", "solve_game"]
+
+
+@dataclass(frozen=True)
+class SolvedGame:
+    """Result of backward induction.
+
+    Attributes
+    ----------
+    root:
+        The game that was solved.
+    values:
+        Node-id -> expected payoff per player under equilibrium play.
+    policy:
+        Node-id of each decision node -> chosen action label.
+    """
+
+    root: GameNode
+    values: Mapping[int, Mapping[str, float]]
+    policy: Mapping[int, str]
+
+    def value_of(self, node: GameNode) -> Mapping[str, float]:
+        """Equilibrium payoff vector at ``node``."""
+        return self.values[id(node)]
+
+    def action_at(self, node: DecisionNode) -> str:
+        """Equilibrium action at a decision node."""
+        return self.policy[id(node)]
+
+    def root_value(self, player: str) -> float:
+        """Equilibrium expected payoff of ``player`` at the root."""
+        return self.values[id(self.root)][player]
+
+
+def _children(node: GameNode) -> Tuple[GameNode, ...]:
+    if isinstance(node, DecisionNode):
+        return tuple(node.actions.values())
+    if isinstance(node, ChanceNode):
+        return tuple(child for _p, child in node.branches)
+    return ()
+
+
+def solve_game(root: GameNode) -> SolvedGame:
+    """Backward induction over the whole tree (iterative post-order)."""
+    values: Dict[int, Dict[str, float]] = {}
+    policy: Dict[int, str] = {}
+
+    stack = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if id(node) in values:
+            continue
+        if isinstance(node, TerminalNode):
+            values[id(node)] = dict(node.payoffs)
+            continue
+        if not expanded:
+            stack.append((node, True))
+            for child in _children(node):
+                if id(child) not in values:
+                    stack.append((child, False))
+            continue
+
+        if isinstance(node, DecisionNode):
+            best_action = None
+            best_value: Dict[str, float] = {}
+            best_own = float("-inf")
+            for action, child in node.actions.items():
+                child_value = values[id(child)]
+                own = child_value.get(node.player, 0.0)
+                if own > best_own:
+                    best_own = own
+                    best_action = action
+                    best_value = dict(child_value)
+            values[id(node)] = best_value
+            policy[id(node)] = best_action  # type: ignore[assignment]
+        else:  # ChanceNode
+            acc: Dict[str, float] = {}
+            for prob, child in node.branches:
+                for player, value in values[id(child)].items():
+                    acc[player] = acc.get(player, 0.0) + prob * value
+            values[id(node)] = acc
+
+    return SolvedGame(root=root, values=values, policy=policy)

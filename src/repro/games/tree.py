@@ -1,0 +1,134 @@
+"""Game-tree node types for finite extensive-form games.
+
+Three node kinds, modelled as plain frozen dataclasses:
+
+* :class:`DecisionNode` -- one player picks among labelled actions;
+* :class:`ChanceNode` -- nature picks a branch with given
+  probabilities (must sum to 1);
+* :class:`TerminalNode` -- the game ends with a payoff per player.
+
+Trees are immutable once built; traversal helpers are iterative so very
+deep or very wide trees (fine price lattices) do not hit Python's
+recursion limit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Sequence, Tuple, Union
+
+__all__ = [
+    "GameNode",
+    "DecisionNode",
+    "ChanceNode",
+    "TerminalNode",
+    "GameValidationError",
+    "iter_nodes",
+    "count_nodes",
+    "tree_depth",
+]
+
+_PROB_TOL = 1e-9
+
+
+class GameValidationError(ValueError):
+    """The game tree is structurally invalid."""
+
+
+@dataclass(frozen=True)
+class TerminalNode:
+    """Game over; ``payoffs`` maps player name to utility."""
+
+    payoffs: Mapping[str, float]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        for player, value in self.payoffs.items():
+            if not math.isfinite(value):
+                raise GameValidationError(
+                    f"non-finite payoff {value} for player {player!r}"
+                )
+
+
+@dataclass(frozen=True)
+class DecisionNode:
+    """``player`` chooses one of ``actions`` (label -> child)."""
+
+    player: str
+    actions: Mapping[str, "GameNode"]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.actions:
+            raise GameValidationError(f"decision node {self.label!r} has no actions")
+        if not self.player:
+            raise GameValidationError("decision node needs a player name")
+
+
+@dataclass(frozen=True)
+class ChanceNode:
+    """Nature branches with fixed probabilities.
+
+    ``branches`` is a sequence of ``(probability, child)`` pairs whose
+    probabilities must be non-negative and sum to one.
+    """
+
+    branches: Sequence[Tuple[float, "GameNode"]]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.branches:
+            raise GameValidationError(f"chance node {self.label!r} has no branches")
+        total = 0.0
+        for prob, _child in self.branches:
+            if prob < -_PROB_TOL:
+                raise GameValidationError(f"negative branch probability {prob}")
+            total += prob
+        if abs(total - 1.0) > 1e-6:
+            raise GameValidationError(
+                f"chance node {self.label!r} probabilities sum to {total}, not 1"
+            )
+
+
+GameNode = Union[DecisionNode, ChanceNode, TerminalNode]
+
+
+def iter_nodes(root: GameNode) -> Iterator[GameNode]:
+    """Pre-order iteration over all nodes (iterative)."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, DecisionNode):
+            stack.extend(node.actions.values())
+        elif isinstance(node, ChanceNode):
+            stack.extend(child for _p, child in node.branches)
+
+
+def count_nodes(root: GameNode) -> Dict[str, int]:
+    """Node counts by kind: ``{'decision': ..., 'chance': ..., 'terminal': ...}``."""
+    counts = {"decision": 0, "chance": 0, "terminal": 0}
+    for node in iter_nodes(root):
+        if isinstance(node, DecisionNode):
+            counts["decision"] += 1
+        elif isinstance(node, ChanceNode):
+            counts["chance"] += 1
+        else:
+            counts["terminal"] += 1
+    return counts
+
+
+def tree_depth(root: GameNode) -> int:
+    """Longest root-to-terminal path length in edges (iterative)."""
+    best = 0
+    stack = [(root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        if isinstance(node, TerminalNode):
+            best = max(best, depth)
+        elif isinstance(node, DecisionNode):
+            stack.extend((child, depth + 1) for child in node.actions.values())
+        else:
+            stack.extend((child, depth + 1) for _p, child in node.branches)
+    return best

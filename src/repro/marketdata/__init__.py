@@ -1,0 +1,36 @@
+"""Market-data simulation studies (paper future work, direction 1).
+
+The conclusion proposes "simulation studies ... based on our model
+framework and its derivation using real market data". Real exchange
+feeds are not available offline, so this package substitutes *synthetic
+market regimes* that reproduce the statistical features the model cares
+about (see DESIGN.md, substitutions):
+
+* :mod:`repro.marketdata.series` -- price-series container with
+  log-returns, rolling realized volatility and drift estimation;
+* :mod:`repro.marketdata.synthetic` -- seeded generators: plain GBM,
+  regime-switching GBM (calm/turbulent), and Merton jump-diffusion;
+* :mod:`repro.marketdata.backtest` -- a walk-forward backtester: at
+  each decision time it estimates ``(mu, sigma)`` from trailing data,
+  picks the SR-maximising ``P*``, predicts the success rate, then
+  plays the swap out against the *realized* future prices and compares
+  prediction with outcome.
+"""
+
+from repro.marketdata.backtest import BacktestReport, SwapBacktester
+from repro.marketdata.series import PriceSeries, estimate_gbm_parameters
+from repro.marketdata.synthetic import (
+    JumpDiffusionGenerator,
+    PlainGBMGenerator,
+    RegimeSwitchingGenerator,
+)
+
+__all__ = [
+    "PriceSeries",
+    "estimate_gbm_parameters",
+    "PlainGBMGenerator",
+    "RegimeSwitchingGenerator",
+    "JumpDiffusionGenerator",
+    "SwapBacktester",
+    "BacktestReport",
+]

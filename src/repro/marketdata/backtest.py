@@ -1,0 +1,208 @@
+"""Walk-forward backtesting of the swap model on a price series.
+
+For each attempt time ``t`` along the series, the backtester
+
+1. estimates ``(mu, sigma)`` from the trailing estimation window
+   (information available at ``t`` only -- no look-ahead);
+2. solves the swap game at ``P_t``: feasible ``P*`` window, the
+   SR-maximising rate, and the *predicted* success rate;
+3. plays the swap forward against the realized prices at
+   ``t + tau_a`` and ``t + tau_a + tau_b`` using the equilibrium
+   threshold strategies;
+4. records prediction vs outcome.
+
+The aggregate report compares predicted and realized success rates
+(calibration) and the Brier score of the per-attempt predictions. On
+GBM data the model is correctly specified and should be calibrated; on
+regime-switching or jumpy data the gap measures model risk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.backward_induction import BackwardInduction
+from repro.core.parameters import SwapParameters
+from repro.core.success_rate import max_success_rate
+from repro.marketdata.series import PriceSeries, estimate_gbm_parameters
+
+__all__ = ["AttemptRecord", "BacktestReport", "SwapBacktester"]
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One walk-forward swap attempt."""
+
+    index: int
+    spot: float
+    mu_hat: float
+    sigma_hat: float
+    viable: bool
+    pstar: Optional[float]
+    predicted_sr: Optional[float]
+    succeeded: Optional[bool]
+    p2: Optional[float]
+    p3: Optional[float]
+
+
+@dataclass(frozen=True)
+class BacktestReport:
+    """Aggregate results of a backtest run."""
+
+    attempts: Tuple[AttemptRecord, ...]
+
+    @property
+    def n_attempts(self) -> int:
+        """Number of time points evaluated."""
+        return len(self.attempts)
+
+    @property
+    def viable_attempts(self) -> Tuple[AttemptRecord, ...]:
+        """Attempts where a feasible exchange rate existed."""
+        return tuple(a for a in self.attempts if a.viable)
+
+    @property
+    def viability_rate(self) -> float:
+        """Share of time points where the market admitted a swap."""
+        if not self.attempts:
+            return 0.0
+        return len(self.viable_attempts) / len(self.attempts)
+
+    @property
+    def realized_success_rate(self) -> float:
+        """Fraction of viable attempts that completed."""
+        viable = self.viable_attempts
+        if not viable:
+            return 0.0
+        return sum(1 for a in viable if a.succeeded) / len(viable)
+
+    @property
+    def mean_predicted_success_rate(self) -> float:
+        """Average model-predicted SR across viable attempts."""
+        viable = self.viable_attempts
+        if not viable:
+            return 0.0
+        return sum(a.predicted_sr for a in viable) / len(viable)
+
+    @property
+    def brier_score(self) -> float:
+        """Mean squared error of the per-attempt SR predictions."""
+        viable = self.viable_attempts
+        if not viable:
+            return 0.0
+        return sum(
+            (a.predicted_sr - (1.0 if a.succeeded else 0.0)) ** 2 for a in viable
+        ) / len(viable)
+
+    @property
+    def calibration_gap(self) -> float:
+        """``|mean predicted - realized|`` success rate."""
+        return abs(self.mean_predicted_success_rate - self.realized_success_rate)
+
+    def describe(self) -> str:
+        """One-paragraph report."""
+        return (
+            f"attempts: {self.n_attempts} "
+            f"(viable: {len(self.viable_attempts)}, "
+            f"viability {self.viability_rate:.1%})\n"
+            f"predicted SR: {self.mean_predicted_success_rate:.4f}; "
+            f"realized SR: {self.realized_success_rate:.4f}; "
+            f"gap {self.calibration_gap:.4f}; "
+            f"Brier {self.brier_score:.4f}"
+        )
+
+
+class SwapBacktester:
+    """Walk-forward evaluation of the swap model on one price series.
+
+    Parameters
+    ----------
+    base_params:
+        Agent preferences and timing constants; ``(p0, mu, sigma)`` are
+        replaced per attempt from the data.
+    window:
+        Trailing estimation window length in observations.
+    step:
+        Stride between attempts, in observations.
+    rate_policy:
+        ``"optimal"`` picks the SR-maximising ``P*`` per attempt;
+        ``"spot"`` uses the current price as the rate when feasible.
+    """
+
+    def __init__(
+        self,
+        base_params: SwapParameters,
+        window: int = 168,
+        step: int = 24,
+        rate_policy: str = "optimal",
+    ) -> None:
+        if window < 8:
+            raise ValueError(f"window must be >= 8 observations, got {window}")
+        if step < 1:
+            raise ValueError(f"step must be >= 1, got {step}")
+        if rate_policy not in ("optimal", "spot"):
+            raise ValueError(f"unknown rate_policy {rate_policy!r}")
+        self.base_params = base_params
+        self.window = window
+        self.step = step
+        self.rate_policy = rate_policy
+
+    def _offsets(self, dt: float) -> Tuple[int, int]:
+        """Observation offsets of ``t2`` and ``t3`` from the attempt time."""
+        off2 = max(int(round(self.base_params.tau_a / dt)), 1)
+        off3 = off2 + max(int(round(self.base_params.tau_b / dt)), 1)
+        return off2, off3
+
+    def run(self, series: PriceSeries) -> BacktestReport:
+        """Backtest the whole series."""
+        off2, off3 = self._offsets(series.dt)
+        last_start = len(series) - off3 - 1
+        if last_start < self.window:
+            raise ValueError(
+                "series too short: need at least "
+                f"{self.window + off3 + 1} observations, got {len(series)}"
+            )
+        attempts: List[AttemptRecord] = []
+        for i in range(self.window, last_start + 1, self.step):
+            attempts.append(self._attempt(series, i, off2, off3))
+        return BacktestReport(attempts=tuple(attempts))
+
+    def _attempt(
+        self, series: PriceSeries, i: int, off2: int, off3: int
+    ) -> AttemptRecord:
+        estimate = estimate_gbm_parameters(series.window(i - self.window, self.window))
+        spot = series.price_at(i)
+        params = self.base_params.replace(
+            p0=spot, mu=estimate.mu, sigma=estimate.sigma
+        )
+
+        pstar = self._choose_rate(params)
+        if pstar is None:
+            return AttemptRecord(
+                index=i, spot=spot, mu_hat=estimate.mu, sigma_hat=estimate.sigma,
+                viable=False, pstar=None, predicted_sr=None,
+                succeeded=None, p2=None, p3=None,
+            )
+
+        solver = BackwardInduction(params, pstar)
+        predicted = solver.success_rate()
+        p2 = series.price_at(i + off2)
+        p3 = series.price_at(i + off3)
+        succeeded = (p2 in solver.bob_t2_region()) and (p3 > solver.p3_threshold())
+        return AttemptRecord(
+            index=i, spot=spot, mu_hat=estimate.mu, sigma_hat=estimate.sigma,
+            viable=True, pstar=pstar, predicted_sr=predicted,
+            succeeded=succeeded, p2=p2, p3=p3,
+        )
+
+    def _choose_rate(self, params: SwapParameters) -> Optional[float]:
+        if self.rate_policy == "optimal":
+            located = max_success_rate(params)
+            return located[0] if located is not None else None
+        # "spot": trade at the current price if that rate is individually
+        # rational for Alice
+        solver = BackwardInduction(params, params.p0)
+        if solver.alice_initiates():
+            return params.p0
+        return None

@@ -1,0 +1,100 @@
+"""Price series and GBM parameter estimation.
+
+:class:`PriceSeries` holds an hourly (or any fixed-step) price history;
+:func:`estimate_gbm_parameters` recovers the ``(mu, sigma)`` a GBM
+would need to produce the observed log-returns -- the standard
+maximum-likelihood estimators
+
+    sigma_hat^2 = Var[log-returns] / dt
+    mu_hat      = Mean[log-returns] / dt + sigma_hat^2 / 2
+
+which the backtester feeds into :class:`SwapParameters` windows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["PriceSeries", "GBMEstimate", "estimate_gbm_parameters"]
+
+
+@dataclass(frozen=True)
+class PriceSeries:
+    """A fixed-step price history.
+
+    Attributes
+    ----------
+    prices:
+        Strictly positive prices.
+    dt:
+        Time step between observations, in hours.
+    """
+
+    prices: Tuple[float, ...]
+    dt: float = 1.0
+
+    def __post_init__(self) -> None:
+        if len(self.prices) < 2:
+            raise ValueError("a price series needs at least two observations")
+        if any(p <= 0.0 for p in self.prices):
+            raise ValueError("prices must be strictly positive")
+        if not self.dt > 0.0:
+            raise ValueError(f"dt must be positive, got {self.dt}")
+
+    def __len__(self) -> int:
+        return len(self.prices)
+
+    @property
+    def as_array(self) -> np.ndarray:
+        """Prices as a numpy array."""
+        return np.asarray(self.prices, dtype=float)
+
+    def log_returns(self) -> np.ndarray:
+        """Per-step log returns ``ln(P_{i+1} / P_i)``."""
+        arr = self.as_array
+        return np.diff(np.log(arr))
+
+    def window(self, start: int, length: int) -> "PriceSeries":
+        """A contiguous sub-series ``[start, start + length)``."""
+        if start < 0 or length < 2 or start + length > len(self.prices):
+            raise ValueError(
+                f"invalid window [{start}, {start + length}) of a "
+                f"{len(self.prices)}-point series"
+            )
+        return PriceSeries(prices=self.prices[start : start + length], dt=self.dt)
+
+    def price_at(self, index: int) -> float:
+        """Price at observation ``index``."""
+        return self.prices[index]
+
+    def realized_volatility(self) -> float:
+        """Annualisation-free realized volatility (per sqrt hour)."""
+        returns = self.log_returns()
+        return float(returns.std(ddof=1) / math.sqrt(self.dt))
+
+
+@dataclass(frozen=True)
+class GBMEstimate:
+    """Estimated GBM parameters with the sample size used."""
+
+    mu: float
+    sigma: float
+    n_observations: int
+
+
+def estimate_gbm_parameters(series: PriceSeries, min_sigma: float = 1e-4) -> GBMEstimate:
+    """Maximum-likelihood ``(mu, sigma)`` from a price window.
+
+    ``min_sigma`` floors the volatility estimate so downstream solvers
+    (which require ``sigma > 0``) stay well-posed on degenerate windows.
+    """
+    returns = series.log_returns()
+    dt = series.dt
+    sigma2 = float(returns.var(ddof=1)) / dt
+    sigma = max(math.sqrt(max(sigma2, 0.0)), min_sigma)
+    mu = float(returns.mean()) / dt + 0.5 * sigma * sigma
+    return GBMEstimate(mu=mu, sigma=sigma, n_observations=len(returns))

@@ -1,0 +1,138 @@
+"""Synthetic market generators.
+
+Offline substitutes for "real market data" (see DESIGN.md): three
+generators producing hourly :class:`~repro.marketdata.series.PriceSeries`
+with the stylised features that stress the swap model differently --
+
+* :class:`PlainGBMGenerator` -- the model's own assumption; the
+  backtester should be near-perfectly calibrated here;
+* :class:`RegimeSwitchingGenerator` -- a two-state (calm/turbulent)
+  Markov chain over volatilities; reproduces volatility clustering, the
+  feature behind the Bisq "failures rise in volatile periods" anecdote;
+* :class:`JumpDiffusionGenerator` -- Merton-style lognormal jumps on
+  top of a GBM; stresses the model with tails it does not assume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.marketdata.series import PriceSeries
+from repro.stochastic.rng import RandomState
+
+__all__ = [
+    "PlainGBMGenerator",
+    "RegimeSwitchingGenerator",
+    "JumpDiffusionGenerator",
+]
+
+
+@dataclass(frozen=True)
+class PlainGBMGenerator:
+    """Exact GBM sampling at a fixed step."""
+
+    mu: float = 0.002
+    sigma: float = 0.1
+    dt: float = 1.0
+
+    def generate(self, spot: float, n_steps: int, rng: RandomState) -> PriceSeries:
+        """An ``n_steps + 1``-point series starting at ``spot``."""
+        if not spot > 0.0:
+            raise ValueError(f"spot must be positive, got {spot}")
+        if n_steps < 1:
+            raise ValueError(f"n_steps must be >= 1, got {n_steps}")
+        z = rng.standard_normal(n_steps)
+        increments = (self.mu - 0.5 * self.sigma**2) * self.dt + self.sigma * math.sqrt(
+            self.dt
+        ) * z
+        log_prices = math.log(spot) + np.concatenate(([0.0], np.cumsum(increments)))
+        return PriceSeries(prices=tuple(np.exp(log_prices)), dt=self.dt)
+
+
+@dataclass(frozen=True)
+class RegimeSwitchingGenerator:
+    """Two-regime GBM: calm and turbulent volatility states.
+
+    The regime follows a two-state Markov chain with the given per-step
+    switching probabilities; drift is shared, volatility differs.
+    """
+
+    mu: float = 0.002
+    sigma_calm: float = 0.05
+    sigma_turbulent: float = 0.2
+    p_calm_to_turbulent: float = 0.02
+    p_turbulent_to_calm: float = 0.1
+    dt: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("p_calm_to_turbulent", "p_turbulent_to_calm"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+
+    def generate(
+        self, spot: float, n_steps: int, rng: RandomState
+    ) -> Tuple[PriceSeries, Tuple[int, ...]]:
+        """Series plus the regime path (0 = calm, 1 = turbulent)."""
+        if not spot > 0.0:
+            raise ValueError(f"spot must be positive, got {spot}")
+        if n_steps < 1:
+            raise ValueError(f"n_steps must be >= 1, got {n_steps}")
+        z = rng.standard_normal(n_steps)
+        switches = rng.uniform(size=n_steps)
+        regimes = np.zeros(n_steps, dtype=int)
+        state = 0
+        for i in range(n_steps):
+            threshold = (
+                self.p_calm_to_turbulent if state == 0 else self.p_turbulent_to_calm
+            )
+            if switches[i] < threshold:
+                state = 1 - state
+            regimes[i] = state
+        sigmas = np.where(regimes == 0, self.sigma_calm, self.sigma_turbulent)
+        increments = (self.mu - 0.5 * sigmas**2) * self.dt + sigmas * math.sqrt(
+            self.dt
+        ) * z
+        log_prices = math.log(spot) + np.concatenate(([0.0], np.cumsum(increments)))
+        series = PriceSeries(prices=tuple(np.exp(log_prices)), dt=self.dt)
+        return series, tuple(int(r) for r in regimes)
+
+
+@dataclass(frozen=True)
+class JumpDiffusionGenerator:
+    """Merton jump-diffusion: GBM plus Poisson lognormal jumps."""
+
+    mu: float = 0.002
+    sigma: float = 0.08
+    jump_intensity: float = 0.02  # expected jumps per hour
+    jump_mean: float = -0.05     # mean log-jump size
+    jump_std: float = 0.1
+    dt: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.jump_intensity < 0.0:
+            raise ValueError("jump_intensity must be non-negative")
+        if self.jump_std < 0.0:
+            raise ValueError("jump_std must be non-negative")
+
+    def generate(self, spot: float, n_steps: int, rng: RandomState) -> PriceSeries:
+        """An ``n_steps + 1``-point series with jumps."""
+        if not spot > 0.0:
+            raise ValueError(f"spot must be positive, got {spot}")
+        if n_steps < 1:
+            raise ValueError(f"n_steps must be >= 1, got {n_steps}")
+        z = rng.standard_normal(n_steps)
+        n_jumps = rng.generator.poisson(self.jump_intensity * self.dt, size=n_steps)
+        jump_z = rng.standard_normal(n_steps)
+        jumps = n_jumps * self.jump_mean + np.sqrt(n_jumps) * self.jump_std * jump_z
+        increments = (
+            (self.mu - 0.5 * self.sigma**2) * self.dt
+            + self.sigma * math.sqrt(self.dt) * z
+            + jumps
+        )
+        log_prices = math.log(spot) + np.concatenate(([0.0], np.cumsum(increments)))
+        return PriceSeries(prices=tuple(np.exp(log_prices)), dt=self.dt)

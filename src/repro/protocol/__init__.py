@@ -1,0 +1,23 @@
+"""The HTLC atomic-swap protocol engine.
+
+:mod:`repro.protocol.swap` drives the paper's Section II-B / III-B
+step sequence on the simulated two-chain substrate, delegating each
+decision to pluggable agents; :mod:`repro.protocol.collateral_swap`
+adds the Section IV escrow + Oracle around it.
+"""
+
+from repro.protocol.errors import ProtocolError, ProtocolStateError
+from repro.protocol.messages import DecisionContext, Stage, SwapOutcome, SwapRecord
+from repro.protocol.swap import SwapProtocol
+from repro.protocol.collateral_swap import CollateralSwapProtocol
+
+__all__ = [
+    "ProtocolError",
+    "ProtocolStateError",
+    "DecisionContext",
+    "Stage",
+    "SwapOutcome",
+    "SwapRecord",
+    "SwapProtocol",
+    "CollateralSwapProtocol",
+]

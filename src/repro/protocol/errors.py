@@ -1,0 +1,21 @@
+"""Protocol-level exceptions."""
+
+from __future__ import annotations
+
+__all__ = ["ProtocolError", "ProtocolStateError", "AgentCrashed"]
+
+
+class ProtocolError(Exception):
+    """Base class for protocol failures."""
+
+
+class ProtocolStateError(ProtocolError):
+    """The engine was driven out of order or reused."""
+
+
+class AgentCrashed(ProtocolError):
+    """An agent stopped responding mid-swap (crash-failure injection).
+
+    Raised by crash agents; the engine treats it as silence -- the
+    on-chain effect is identical to never acting, i.e. timeouts fire.
+    """

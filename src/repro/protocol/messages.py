@@ -1,0 +1,128 @@
+"""Protocol stage/outcome vocabulary and the per-swap record.
+
+:class:`SwapRecord` is the audit trail of one protocol run: which
+decisions were taken at which price, every on-chain timestamp, the
+outcome, and the agents' final balance changes -- everything the
+Monte Carlo layer aggregates and the atomicity checker inspects.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.parameters import SwapParameters
+from repro.core.strategy import Action
+
+__all__ = ["Stage", "SwapOutcome", "DecisionContext", "DecisionLogEntry", "SwapRecord"]
+
+
+class Stage(str, enum.Enum):
+    """The four decision points of the idealized timeline."""
+
+    T1_INITIATE = "t1_initiate"
+    T2_LOCK = "t2_lock"
+    T3_REVEAL = "t3_reveal"
+    T4_REDEEM = "t4_redeem"
+
+
+class SwapOutcome(str, enum.Enum):
+    """Terminal classification of a protocol run."""
+
+    NOT_INITIATED = "not_initiated"
+    ABORTED_AT_T2 = "aborted_at_t2"  # Bob never locked
+    ABORTED_AT_T3 = "aborted_at_t3"  # Alice never revealed
+    COMPLETED = "completed"
+    BOB_FORFEITED = "bob_forfeited"  # secret revealed but Bob never redeemed
+    ALICE_FORFEITED = "alice_forfeited"  # Alice's claim confirmed too late:
+    # her reveal leaked through the mempool, Bob redeemed Token_a, but her
+    # own Token_b claim missed the expiry (only possible with confirmation
+    # jitter -- the atomicity violation Zakhary et al. warn about)
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether the swap's balance changes followed the paper's Table I."""
+        return self is SwapOutcome.COMPLETED
+
+
+@dataclass(frozen=True)
+class DecisionContext:
+    """Everything an agent may condition on at a decision point.
+
+    ``price`` is the current Token_b price (in Token_a); agents see the
+    same information set the paper's players do -- current price,
+    agreed rate, parameters and the clock.
+    """
+
+    stage: Stage
+    time: float
+    price: float
+    pstar: float
+    params: SwapParameters
+    collateral: float = 0.0
+
+
+@dataclass(frozen=True)
+class DecisionLogEntry:
+    """One decision taken during a run."""
+
+    stage: Stage
+    agent: str
+    time: float
+    price: float
+    action: Action
+    crashed: bool = False
+
+
+@dataclass
+class SwapRecord:
+    """Full audit trail of one protocol run."""
+
+    pstar: float
+    collateral: float = 0.0
+    decisions: List[DecisionLogEntry] = field(default_factory=list)
+    outcome: Optional[SwapOutcome] = None
+    htlc_a_locked_at: Optional[float] = None
+    htlc_b_locked_at: Optional[float] = None
+    secret_revealed_at: Optional[float] = None
+    alice_received_at: Optional[float] = None
+    bob_received_at: Optional[float] = None
+    final_balances: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    initial_balances: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def log(self, entry: DecisionLogEntry) -> None:
+        """Append one decision."""
+        self.decisions.append(entry)
+
+    def balance_change(self, agent: str, token: str) -> float:
+        """Net balance change of ``agent`` in ``token`` over the run."""
+        before = self.initial_balances.get(agent, {}).get(token, 0.0)
+        after = self.final_balances.get(agent, {}).get(token, 0.0)
+        return after - before
+
+    def matches_table1(self) -> bool:
+        """Whether balance changes match the paper's Table I success row."""
+        tol = 1e-9
+        return (
+            abs(self.balance_change("alice", "TOKEN_A") + self.pstar) <= tol
+            and abs(self.balance_change("alice", "TOKEN_B") - 1.0) <= tol
+            and abs(self.balance_change("bob", "TOKEN_A") - self.pstar) <= tol
+            and abs(self.balance_change("bob", "TOKEN_B") + 1.0) <= tol
+        )
+
+    def is_no_op(self) -> bool:
+        """Whether every balance is unchanged (clean abort)."""
+        tol = 1e-9
+        return all(
+            abs(self.balance_change(agent, token)) <= tol
+            for agent in ("alice", "bob")
+            for token in ("TOKEN_A", "TOKEN_B")
+        )
+
+    def decision_at(self, stage: Stage) -> Optional[DecisionLogEntry]:
+        """The logged decision at ``stage``, if it was reached."""
+        for entry in self.decisions:
+            if entry.stage is stage:
+                return entry
+        return None

@@ -1,0 +1,293 @@
+"""The HTLC atomic-swap state machine (paper Sections II-B, III-B).
+
+:class:`SwapProtocol` executes one swap attempt on a
+:class:`~repro.chain.network.TwoChainNetwork`, delegating the four
+decisions to agents and letting the chain substrate enforce every
+timing rule (confirmation delays, mempool visibility, automatic
+refunds at expiry). The engine itself never moves funds -- it only
+submits the transactions a real participant would submit.
+
+Timeline (idealized, Eq. (13); all offsets from ``t1 = 0``)::
+
+    t1 = 0            Alice decides; on cont deploys HTLC_a
+                      (expiry t_a = tau_a + tau_b + eps_b + tau_a)
+    t2 = tau_a        HTLC_a confirmed; Bob verifies + decides; on cont
+                      deploys HTLC_b (expiry t_b = t3 + tau_b)
+    t3 = t2 + tau_b   HTLC_b confirmed; Alice verifies + decides; on
+                      cont claims HTLC_b, revealing the secret
+    t4 = t3 + eps_b   Bob reads the secret from Chain_b's mempool and
+                      claims HTLC_a
+    ... timeouts: HTLC_b refunds at t_b (+tau_b), HTLC_a at t_a (+tau_a)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.chain.crypto import Secret, new_secret
+from repro.chain.htlc import HTLC, HTLCState
+from repro.chain.network import ALICE, BOB, TwoChainNetwork
+from repro.core.parameters import SwapParameters
+from repro.core.strategy import Action
+from repro.protocol.errors import AgentCrashed, ProtocolStateError
+from repro.protocol.messages import (
+    DecisionContext,
+    DecisionLogEntry,
+    Stage,
+    SwapOutcome,
+    SwapRecord,
+)
+from repro.stochastic.rng import RandomState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (agents -> protocol)
+    from repro.agents.base import SwapAgent
+
+__all__ = ["SwapProtocol"]
+
+
+class SwapProtocol:
+    """One swap attempt between two agents.
+
+    Parameters
+    ----------
+    params, pstar:
+        The game configuration.
+    alice, bob:
+        Agents driving the four decisions.
+    rng:
+        Source of the swap secret.
+    network:
+        Optionally a pre-built network (must be freshly funded);
+        by default one is created and funded.
+    """
+
+    def __init__(
+        self,
+        params: SwapParameters,
+        pstar: float,
+        alice: "SwapAgent",
+        bob: "SwapAgent",
+        rng: RandomState,
+        network: Optional[TwoChainNetwork] = None,
+        expiry_margin: float = 0.0,
+        wait_slack: float = 0.0,
+    ) -> None:
+        if not pstar > 0.0:
+            raise ValueError(f"pstar must be positive, got {pstar}")
+        if expiry_margin < 0.0:
+            raise ValueError(f"expiry_margin must be >= 0, got {expiry_margin}")
+        if wait_slack < 0.0:
+            raise ValueError(f"wait_slack must be >= 0, got {wait_slack}")
+        self.params = params
+        self.pstar = float(pstar)
+        self.alice = alice
+        self.bob = bob
+        self.rng = rng
+        self.expiry_margin = float(expiry_margin)
+        self.wait_slack = float(wait_slack)
+        if network is None:
+            network = TwoChainNetwork(params)
+            network.fund_agents(pstar)
+        self.network = network
+        self._ran = False
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    def _ask(self, agent: "SwapAgent", method: str, ctx: DecisionContext, record: SwapRecord) -> Action:
+        """Invoke an agent decision, translating crashes into silence."""
+        try:
+            action: Action = getattr(agent, method)(ctx)
+            crashed = False
+        except AgentCrashed:
+            action = Action.STOP
+            crashed = True
+        record.log(
+            DecisionLogEntry(
+                stage=ctx.stage,
+                agent=agent.name,
+                time=ctx.time,
+                price=ctx.price,
+                action=action,
+                crashed=crashed,
+            )
+        )
+        return action
+
+    def _verify_htlc(
+        self,
+        contract: HTLC,
+        sender: str,
+        recipient: str,
+        amount: float,
+        hashlock: bytes,
+        min_expiry: float,
+    ) -> bool:
+        """The paper's "verify that the contract is in order" step."""
+        return (
+            contract.state is HTLCState.LOCKED
+            and contract.sender == sender
+            and contract.recipient == recipient
+            and abs(contract.amount - amount) <= 1e-12
+            and contract.hashlock == hashlock
+            and contract.expiry >= min_expiry
+        )
+
+    def _finalise(self, record: SwapRecord, horizon: float) -> SwapRecord:
+        """Run out all pending events and snapshot final balances."""
+        self.network.settle_all(horizon)
+        record.final_balances = self.network.balances()
+        return record
+
+    # ------------------------------------------------------------------ #
+    # the protocol run
+    # ------------------------------------------------------------------ #
+
+    def run(self, decision_prices: Sequence[float]) -> SwapRecord:
+        """Execute one swap attempt.
+
+        ``decision_prices`` are the Token_b prices observed at
+        ``(t1, t2, t3)`` -- typically one row of
+        :func:`repro.stochastic.paths.sample_decision_prices`.
+        """
+        if self._ran:
+            raise ProtocolStateError("a SwapProtocol instance runs exactly once")
+        self._ran = True
+        if len(decision_prices) != 3:
+            raise ValueError(
+                f"need prices at (t1, t2, t3); got {len(decision_prices)} values"
+            )
+        p1, p2, p3 = (float(x) for x in decision_prices)
+
+        params = self.params
+        grid = params.grid
+        net = self.network
+        record = SwapRecord(pstar=self.pstar)
+        record.initial_balances = net.balances()
+        margin = self.expiry_margin
+        wait = self.wait_slack
+        # effective decision times: waiting `wait` extra hours after each
+        # nominal confirmation instant tolerates late confirmations at the
+        # cost of a longer schedule (a departure from the paper's
+        # zero-waiting-time idealization, used by the robustness study)
+        t2_eff = grid.t2 + wait
+        t3_eff = t2_eff + params.tau_b + wait
+        t4_eff = t3_eff + params.eps_b
+        expiry_b = t3_eff + params.tau_b + margin
+        expiry_a = t4_eff + params.tau_a + margin
+        # jittered chains can push refunds past the nominal t7/t8
+        jitter_slack = (
+            self.params.tau_a * net.chain_a.confirmation_jitter
+            + self.params.tau_b * net.chain_b.confirmation_jitter
+        )
+        horizon = (
+            max(expiry_b + params.tau_b, expiry_a + params.tau_a)
+            + jitter_slack
+            + 1e-9
+        )
+
+        # ---- t1: Alice initiates or not -------------------------------- #
+        ctx1 = DecisionContext(
+            stage=Stage.T1_INITIATE, time=grid.t1, price=p1,
+            pstar=self.pstar, params=params,
+        )
+        if self._ask(self.alice, "decide_initiate", ctx1, record) is Action.STOP:
+            record.outcome = SwapOutcome.NOT_INITIATED
+            return self._finalise(record, horizon)
+
+        secret: Secret = new_secret(self.rng)
+        _tx_a, htlc_a = net.chain_a.deploy_htlc(
+            sender=ALICE,
+            recipient=BOB,
+            amount=self.pstar,
+            hashlock=secret.hashlock,
+            expiry=expiry_a,
+        )
+
+        # ---- t2: Bob verifies and locks or walks away ------------------- #
+        net.advance_to(t2_eff)
+        record.htlc_a_locked_at = htlc_a.locked_at
+        bob_verified = self._verify_htlc(
+            htlc_a,
+            sender=ALICE,
+            recipient=BOB,
+            amount=self.pstar,
+            hashlock=secret.hashlock,
+            min_expiry=expiry_a,
+        )
+        ctx2 = DecisionContext(
+            stage=Stage.T2_LOCK, time=t2_eff, price=p2,
+            pstar=self.pstar, params=params,
+        )
+        if (
+            not bob_verified
+            or self._ask(self.bob, "decide_lock", ctx2, record) is Action.STOP
+        ):
+            record.outcome = SwapOutcome.ABORTED_AT_T2
+            return self._finalise(record, horizon)
+
+        _tx_b, htlc_b = net.chain_b.deploy_htlc(
+            sender=BOB,
+            recipient=ALICE,
+            amount=1.0,
+            hashlock=secret.hashlock,
+            expiry=expiry_b,
+        )
+
+        # ---- t3: Alice verifies and reveals or waives ------------------- #
+        net.advance_to(t3_eff)
+        record.htlc_b_locked_at = htlc_b.locked_at
+        alice_verified = self._verify_htlc(
+            htlc_b,
+            sender=BOB,
+            recipient=ALICE,
+            amount=1.0,
+            hashlock=secret.hashlock,
+            min_expiry=expiry_b,
+        )
+        ctx3 = DecisionContext(
+            stage=Stage.T3_REVEAL, time=t3_eff, price=p3,
+            pstar=self.pstar, params=params,
+        )
+        if (
+            not alice_verified
+            or self._ask(self.alice, "decide_reveal", ctx3, record) is Action.STOP
+        ):
+            record.outcome = SwapOutcome.ABORTED_AT_T3
+            return self._finalise(record, horizon)
+
+        net.chain_b.claim_htlc(htlc_b, claimer=ALICE, preimage=secret.preimage)
+        record.secret_revealed_at = t3_eff
+
+        # ---- t4: Bob reads the secret from the mempool and redeems ------ #
+        net.advance_to(t4_eff)
+        observed = net.chain_b.observe_preimage(secret.hashlock)
+        ctx4 = DecisionContext(
+            stage=Stage.T4_REDEEM, time=t4_eff, price=p3,
+            pstar=self.pstar, params=params,
+        )
+        if (
+            observed is not None
+            and self._ask(self.bob, "decide_redeem", ctx4, record) is Action.CONT
+        ):
+            net.chain_a.claim_htlc(htlc_a, claimer=BOB, preimage=observed)
+
+        # ---- settle and classify ---------------------------------------- #
+        self._finalise(record, horizon)
+        if htlc_a.state is HTLCState.CLAIMED and htlc_b.state is HTLCState.CLAIMED:
+            record.outcome = SwapOutcome.COMPLETED
+            record.alice_received_at = htlc_b.resolved_at
+            record.bob_received_at = htlc_a.resolved_at
+        elif htlc_b.state is HTLCState.CLAIMED:
+            record.outcome = SwapOutcome.BOB_FORFEITED
+            record.alice_received_at = htlc_b.resolved_at
+        elif htlc_a.state is HTLCState.CLAIMED:
+            # Alice revealed (leaking the secret through the mempool) but
+            # her own claim confirmed after t_b: Bob redeemed Token_a AND
+            # got Token_b back -- atomicity broken by timing, not malice
+            record.outcome = SwapOutcome.ALICE_FORFEITED
+            record.bob_received_at = htlc_a.resolved_at
+        else:
+            record.outcome = SwapOutcome.ABORTED_AT_T3
+        return record

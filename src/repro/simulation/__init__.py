@@ -1,0 +1,45 @@
+"""Monte Carlo validation of the analytics.
+
+* :mod:`repro.simulation.engine` runs single swap *episodes*: sampled
+  GBM decision prices + agents + the full protocol engine on the chain
+  substrate;
+* :mod:`repro.simulation.montecarlo` aggregates batches into empirical
+  success rates with Wilson confidence intervals and compares them to
+  the closed-form Eq. (31)/(40) values;
+* :mod:`repro.simulation.scenarios` names the parameter settings used
+  across examples and benchmarks.
+"""
+
+from repro.simulation.engine import EpisodeConfig, run_episode
+from repro.simulation.montecarlo import (
+    MonteCarloResult,
+    empirical_success_rate,
+    validate_against_analytic,
+)
+from repro.simulation.results import BatchSummary, wilson_interval
+from repro.simulation.population import (
+    MarketOutcome,
+    PopulationSpec,
+    simulate_market,
+    volatility_failure_curve,
+)
+from repro.simulation.robustness import RobustnessPoint, timing_robustness_sweep
+from repro.simulation.scenarios import SCENARIOS, scenario
+
+__all__ = [
+    "EpisodeConfig",
+    "run_episode",
+    "MonteCarloResult",
+    "empirical_success_rate",
+    "validate_against_analytic",
+    "BatchSummary",
+    "wilson_interval",
+    "MarketOutcome",
+    "PopulationSpec",
+    "simulate_market",
+    "volatility_failure_curve",
+    "RobustnessPoint",
+    "timing_robustness_sweep",
+    "SCENARIOS",
+    "scenario",
+]

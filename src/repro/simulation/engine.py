@@ -1,0 +1,88 @@
+"""Single-episode runner.
+
+One *episode* = one sampled price realisation + one full protocol run
+on a fresh two-chain network. Agents default to the rational
+equilibrium pair; any :class:`~repro.agents.base.SwapAgent` can be
+substituted (honest, adversarial, crashing) for counterfactual studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.agents.base import SwapAgent
+from repro.agents.rational import rational_pair
+from repro.core.parameters import SwapParameters
+from repro.protocol.collateral_swap import CollateralSwapProtocol
+from repro.protocol.messages import SwapRecord
+from repro.protocol.swap import SwapProtocol
+from repro.stochastic.paths import sample_decision_prices
+from repro.stochastic.rng import RandomState
+
+__all__ = ["EpisodeConfig", "run_episode"]
+
+
+@dataclass(frozen=True)
+class EpisodeConfig:
+    """Everything one episode needs besides randomness."""
+
+    params: SwapParameters
+    pstar: float
+    collateral: float = 0.0
+    alice: Optional[SwapAgent] = None
+    bob: Optional[SwapAgent] = None
+
+    def __post_init__(self) -> None:
+        if not self.pstar > 0.0:
+            raise ValueError(f"pstar must be positive, got {self.pstar}")
+        if self.collateral < 0.0:
+            raise ValueError(
+                f"collateral must be non-negative, got {self.collateral}"
+            )
+
+    def agents(self) -> Tuple[SwapAgent, SwapAgent]:
+        """The configured agents, defaulting to the equilibrium pair."""
+        if self.alice is not None and self.bob is not None:
+            return self.alice, self.bob
+        rational_alice, rational_bob = rational_pair(
+            self.params, self.pstar, collateral=self.collateral
+        )
+        return (
+            self.alice if self.alice is not None else rational_alice,
+            self.bob if self.bob is not None else rational_bob,
+        )
+
+
+def run_episode(
+    config: EpisodeConfig,
+    rng: RandomState,
+    decision_prices: Optional[Sequence[float]] = None,
+) -> SwapRecord:
+    """Run one episode.
+
+    ``decision_prices`` overrides the sampled ``(P_{t1}, P_{t2},
+    P_{t3})`` -- useful for deterministic tests; by default one GBM
+    realisation is drawn from ``rng``.
+    """
+    params = config.params
+    if decision_prices is None:
+        prices = sample_decision_prices(
+            params.process, params.p0, params.grid, rng, n_paths=1
+        )[0]
+    else:
+        prices = [float(x) for x in decision_prices]
+
+    alice, bob = config.agents()
+    if config.collateral > 0.0:
+        protocol: "SwapProtocol | CollateralSwapProtocol" = CollateralSwapProtocol(
+            params,
+            config.pstar,
+            config.collateral,
+            alice,
+            bob,
+            rng=rng,
+        )
+    else:
+        protocol = SwapProtocol(params, config.pstar, alice, bob, rng=rng)
+    return protocol.run(list(prices))

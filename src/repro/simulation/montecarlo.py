@@ -1,0 +1,162 @@
+"""Batch Monte Carlo and analytic-vs-empirical validation.
+
+Two fidelity levels:
+
+* **strategy level** (default): sample decision-price triples and apply
+  the equilibrium threshold strategies vectorised -- millions of
+  episodes per second; validates the probability calculus behind
+  Eq. (31)/(40);
+* **protocol level** (``protocol_level=True``): run every episode
+  through the full chain substrate (HTLCs, mempool, refunds); validates
+  that the *executable system* realises the same outcome the strategy
+  algebra predicts (asserted in integration tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.agents.rational import rational_pair
+from repro.core.collateral import CollateralBackwardInduction
+from repro.core.backward_induction import BackwardInduction
+from repro.core.parameters import SwapParameters
+from repro.simulation.engine import EpisodeConfig, run_episode
+from repro.simulation.results import BatchSummary, wilson_interval
+from repro.stochastic.paths import sample_decision_prices
+from repro.stochastic.rng import RandomState
+
+__all__ = ["MonteCarloResult", "empirical_success_rate", "validate_against_analytic"]
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Empirical success statistics for one ``(params, pstar, Q)`` point."""
+
+    pstar: float
+    collateral: float
+    n_paths: int
+    n_initiated: int
+    n_completed: int
+    success_rate: float
+    ci_low: float
+    ci_high: float
+
+    def contains(self, analytic_rate: float) -> bool:
+        """Whether the analytic rate falls inside the 95% CI."""
+        return self.ci_low <= analytic_rate <= self.ci_high
+
+
+def _strategy_level_counts(
+    params: SwapParameters,
+    pstar: float,
+    collateral: float,
+    n_paths: int,
+    rng: RandomState,
+    antithetic: bool,
+) -> Tuple[int, int, int]:
+    """Vectorised (initiated, completed, total) under threshold strategies."""
+    if collateral > 0.0:
+        solver: BackwardInduction = CollateralBackwardInduction(
+            params, pstar, collateral
+        )
+    else:
+        solver = BackwardInduction(params, pstar)
+    initiate = solver.alice_t1_cont() > solver.alice_t1_stop()
+    if not initiate:
+        return 0, 0, n_paths
+
+    prices = sample_decision_prices(
+        params.process, params.p0, params.grid, rng, n_paths, antithetic=antithetic
+    )
+    p2 = prices[:, 1]
+    p3 = prices[:, 2]
+    region = solver.bob_t2_region()
+    bob_locks = np.zeros(n_paths, dtype=bool)
+    for lo, hi in region.intervals:
+        bob_locks |= (p2 > lo) & (p2 <= hi)
+    alice_reveals = p3 > solver.p3_threshold()
+    completed = int(np.count_nonzero(bob_locks & alice_reveals))
+    return n_paths, completed, n_paths
+
+
+def empirical_success_rate(
+    params: SwapParameters,
+    pstar: float,
+    n_paths: int = 20_000,
+    seed: int = 0,
+    collateral: float = 0.0,
+    protocol_level: bool = False,
+    antithetic: bool = False,
+) -> MonteCarloResult:
+    """Empirical SR (completed / initiated) over ``n_paths`` episodes."""
+    if n_paths < 1:
+        raise ValueError(f"n_paths must be >= 1, got {n_paths}")
+    rng = RandomState(seed)
+
+    if protocol_level:
+        alice, bob = rational_pair(params, pstar, collateral=collateral)
+        config = EpisodeConfig(
+            params=params,
+            pstar=pstar,
+            collateral=collateral,
+            alice=alice,
+            bob=bob,
+        )
+        price_rng, secret_rng = rng.spawn(2)
+        prices = sample_decision_prices(
+            params.process, params.p0, params.grid, price_rng, n_paths,
+            antithetic=antithetic,
+        )
+        summary = BatchSummary()
+        for i in range(n_paths):
+            record = run_episode(config, secret_rng, decision_prices=prices[i])
+            summary.add(record)
+        n_initiated = summary.n_initiated
+        n_completed = summary.n_completed
+    else:
+        n_initiated, n_completed, _total = _strategy_level_counts(
+            params, pstar, collateral, n_paths, rng, antithetic
+        )
+
+    if n_initiated == 0:
+        return MonteCarloResult(
+            pstar=pstar, collateral=collateral, n_paths=n_paths,
+            n_initiated=0, n_completed=0,
+            success_rate=0.0, ci_low=0.0, ci_high=1.0,
+        )
+    rate = n_completed / n_initiated
+    lo, hi = wilson_interval(n_completed, n_initiated)
+    return MonteCarloResult(
+        pstar=pstar, collateral=collateral, n_paths=n_paths,
+        n_initiated=n_initiated, n_completed=n_completed,
+        success_rate=rate, ci_low=lo, ci_high=hi,
+    )
+
+
+def validate_against_analytic(
+    params: SwapParameters,
+    pstar: float,
+    n_paths: int = 20_000,
+    seed: int = 0,
+    collateral: float = 0.0,
+    protocol_level: bool = False,
+) -> Tuple[MonteCarloResult, float]:
+    """Run the Monte Carlo and return it with the matching analytic SR."""
+    if collateral > 0.0:
+        analytic = CollateralBackwardInduction(
+            params, pstar, collateral
+        ).success_rate()
+    else:
+        analytic = BackwardInduction(params, pstar).success_rate()
+    empirical = empirical_success_rate(
+        params,
+        pstar,
+        n_paths=n_paths,
+        seed=seed,
+        collateral=collateral,
+        protocol_level=protocol_level,
+    )
+    return empirical, analytic

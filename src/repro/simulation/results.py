@@ -1,0 +1,102 @@
+"""Aggregation of protocol outcomes.
+
+:class:`BatchSummary` counts outcomes over a batch of episodes and
+provides the empirical success rate with a Wilson score confidence
+interval (well-behaved near 0 and 1, unlike the normal approximation).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+from repro.protocol.messages import SwapOutcome, SwapRecord
+
+__all__ = ["wilson_interval", "BatchSummary"]
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.959963984540054
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion (default 95%)."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"need 0 <= successes <= trials, got {successes}/{trials}")
+    phat = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (phat + z * z / (2.0 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(phat * (1.0 - phat) / trials + z * z / (4.0 * trials * trials))
+        / denom
+    )
+    return max(centre - half, 0.0), min(centre + half, 1.0)
+
+
+@dataclass
+class BatchSummary:
+    """Outcome statistics over a batch of swap episodes."""
+
+    outcomes: Counter = field(default_factory=Counter)
+    n_initiated: int = 0
+    n_completed: int = 0
+    n_total: int = 0
+
+    @staticmethod
+    def from_records(records: Iterable[SwapRecord]) -> "BatchSummary":
+        """Tally a batch."""
+        summary = BatchSummary()
+        for record in records:
+            summary.add(record)
+        return summary
+
+    def add(self, record: SwapRecord) -> None:
+        """Tally one episode."""
+        if record.outcome is None:
+            raise ValueError("record has no outcome; did the protocol run?")
+        self.outcomes[record.outcome] += 1
+        self.n_total += 1
+        if record.outcome is not SwapOutcome.NOT_INITIATED:
+            self.n_initiated += 1
+        if record.outcome is SwapOutcome.COMPLETED:
+            self.n_completed += 1
+
+    @property
+    def success_rate(self) -> float:
+        """Completed / initiated -- the paper's SR definition (Eq. (31))."""
+        if self.n_initiated == 0:
+            return 0.0
+        return self.n_completed / self.n_initiated
+
+    @property
+    def unconditional_success_rate(self) -> float:
+        """Completed / all episodes (includes never-initiated)."""
+        if self.n_total == 0:
+            return 0.0
+        return self.n_completed / self.n_total
+
+    def success_rate_ci(self) -> Tuple[float, float]:
+        """95% Wilson interval around :attr:`success_rate`."""
+        if self.n_initiated == 0:
+            return (0.0, 1.0)
+        return wilson_interval(self.n_completed, self.n_initiated)
+
+    def outcome_fractions(self) -> Dict[SwapOutcome, float]:
+        """Share of each terminal outcome among all episodes."""
+        if self.n_total == 0:
+            return {}
+        return {k: v / self.n_total for k, v in self.outcomes.items()}
+
+    def describe(self) -> str:
+        """One-paragraph report."""
+        lines = [f"episodes: {self.n_total} (initiated: {self.n_initiated})"]
+        for outcome, count in sorted(self.outcomes.items(), key=lambda kv: kv[0].value):
+            lines.append(f"  {outcome.value:>16}: {count}")
+        lo, hi = self.success_rate_ci()
+        lines.append(
+            f"  success rate: {self.success_rate:.4f} (95% CI [{lo:.4f}, {hi:.4f}])"
+        )
+        return "\n".join(lines)

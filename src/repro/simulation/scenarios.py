@@ -1,0 +1,50 @@
+"""Named parameter scenarios used by examples, tests and benchmarks.
+
+Each scenario is a :class:`~repro.core.parameters.SwapParameters`
+variation motivated by the paper's Section III-F discussion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.parameters import SwapParameters
+
+__all__ = ["SCENARIOS", "scenario"]
+
+
+def _build_scenarios() -> Dict[str, SwapParameters]:
+    base = SwapParameters.default()
+    return {
+        # the paper's Table III
+        "default": base,
+        # Section III-F4: sigma drives failures -- a calm and a turbulent market
+        "calm_market": base.replace(sigma=0.05),
+        "volatile_market": base.replace(sigma=0.2),
+        # Section III-F4: trend direction
+        "deflationary_b": base.replace(mu=0.005),
+        "inflationary_b": base.replace(mu=-0.005),
+        "driftless": base.replace(mu=0.0),
+        # Section III-F1: low success premium -> near-degenerate game
+        "distrustful": base.replace(alpha_a=0.1, alpha_b=0.1),
+        "reputable": base.replace(alpha_a=0.5, alpha_b=0.5),
+        # Section III-F2: impatient agents
+        "impatient": base.replace(r_a=0.02, r_b=0.02),
+        "patient": base.replace(r_a=0.005, r_b=0.005),
+        # Section III-F3: slow chains (hour-long PoW finality on both legs)
+        "slow_chains": base.replace(tau_a=6.0, tau_b=8.0, eps_b=2.0),
+        "fast_chains": base.replace(tau_a=1.0, tau_b=1.5, eps_b=0.25),
+    }
+
+
+SCENARIOS: Dict[str, SwapParameters] = _build_scenarios()
+
+
+def scenario(name: str) -> SwapParameters:
+    """Look up a named scenario."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None

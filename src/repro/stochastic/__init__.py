@@ -1,0 +1,46 @@
+"""Stochastic substrate: price processes, distributions, numerics.
+
+This package provides everything the game-theoretic solver and the
+Monte Carlo engine need from probability theory and numerical analysis:
+
+* :mod:`repro.stochastic.lognormal` -- the lognormal law of a GBM
+  increment, with closed-form CDF, PDF, mean and *partial expectations*
+  (the Black--Scholes-style building blocks of the paper's utilities).
+* :mod:`repro.stochastic.gbm` -- the geometric Brownian motion of
+  Equation (1) of the paper: analytic conditional moments and exact
+  sampling of terminal values and paths.
+* :mod:`repro.stochastic.quadrature` -- Gauss--Legendre expectation
+  integrals over truncated price ranges.
+* :mod:`repro.stochastic.rootfind` -- bracketed root finding, all-roots
+  scans, and interval unions used to characterise continuation regions.
+* :mod:`repro.stochastic.paths` -- vectorised simulation of the price at
+  the swap's decision times.
+* :mod:`repro.stochastic.rng` -- reproducible random number streams.
+"""
+
+from repro.stochastic.gbm import GeometricBrownianMotion
+from repro.stochastic.lognormal import LognormalLaw
+from repro.stochastic.paths import DecisionTimeGrid, sample_decision_prices
+from repro.stochastic.quadrature import expectation_on_interval, gauss_legendre_nodes
+from repro.stochastic.rng import RandomState, spawn_streams
+from repro.stochastic.rootfind import (
+    IntervalUnion,
+    bracketed_root,
+    find_all_roots,
+    sign_change_brackets,
+)
+
+__all__ = [
+    "GeometricBrownianMotion",
+    "LognormalLaw",
+    "DecisionTimeGrid",
+    "sample_decision_prices",
+    "expectation_on_interval",
+    "gauss_legendre_nodes",
+    "RandomState",
+    "spawn_streams",
+    "IntervalUnion",
+    "bracketed_root",
+    "find_all_roots",
+    "sign_change_brackets",
+]

@@ -1,0 +1,213 @@
+"""The lognormal law of a GBM increment.
+
+Under the paper's Assumption 4 (Equation (1)), the Token_b price at
+``t + tau`` given its time-``t`` value ``P_t`` is lognormal:
+
+    ln P_{t+tau} ~ Normal(m, s^2)
+    m = ln P_t + (mu - sigma^2 / 2) * tau
+    s = sigma * sqrt(tau)
+
+This module wraps that law with the exact quantities the backward
+induction needs:
+
+* ``pdf`` and ``cdf`` -- the paper's :math:`\\mathcal{P}` and
+  :math:`\\mathcal{C}`;
+* ``mean`` -- the paper's :math:`\\mathcal{E}(P_t, tau) = P_t e^{mu tau}`;
+* ``partial_expectation_above``/``below`` --
+  :math:`E[P 1\\{P > K\\}]` and :math:`E[P 1\\{P \\le K\\}]`,
+  the Black--Scholes style terms that make every stage utility closed
+  form;
+* ``quantile`` and ``truncate`` helpers used by the quadrature and the
+  root bracketing.
+
+Everything is vectorised over the evaluation point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import erfc, erfcinv
+
+__all__ = ["LognormalLaw", "norm_cdf", "norm_ppf"]
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def norm_cdf(x):
+    """Standard normal CDF, vectorised, via the complementary error function.
+
+    The paper writes its price CDF (Section III-A) directly in terms of
+    ``erfc``; we keep the same formulation.
+    """
+    return 0.5 * erfc(-np.asarray(x, dtype=float) / _SQRT2)
+
+
+def norm_ppf(q):
+    """Standard normal quantile function (inverse of :func:`norm_cdf`)."""
+    q = np.asarray(q, dtype=float)
+    if np.any((q <= 0.0) | (q >= 1.0)):
+        raise ValueError("quantile argument must lie strictly in (0, 1)")
+    return -_SQRT2 * erfcinv(2.0 * q)
+
+
+@dataclass(frozen=True)
+class LognormalLaw:
+    """Law of ``P_{t+tau}`` given ``P_t`` under GBM.
+
+    Parameters
+    ----------
+    spot:
+        Current price ``P_t`` (must be positive).
+    mu:
+        GBM drift per unit time.
+    sigma:
+        GBM volatility per square-root unit time (must be positive).
+    tau:
+        Horizon (must be positive).
+    """
+
+    spot: float
+    mu: float
+    sigma: float
+    tau: float
+
+    def __post_init__(self) -> None:
+        if not self.spot > 0.0:
+            raise ValueError(f"spot must be positive, got {self.spot}")
+        if not self.sigma > 0.0:
+            raise ValueError(f"sigma must be positive, got {self.sigma}")
+        if not self.tau > 0.0:
+            raise ValueError(f"tau must be positive, got {self.tau}")
+
+    # ----------------------------------------------------------------- #
+    # log-space parameters
+    # ----------------------------------------------------------------- #
+
+    @property
+    def log_mean(self) -> float:
+        """Mean of ``ln P_{t+tau}``."""
+        return math.log(self.spot) + (self.mu - 0.5 * self.sigma**2) * self.tau
+
+    @property
+    def log_std(self) -> float:
+        """Standard deviation of ``ln P_{t+tau}``."""
+        return self.sigma * math.sqrt(self.tau)
+
+    # ----------------------------------------------------------------- #
+    # the paper's E / P / C
+    # ----------------------------------------------------------------- #
+
+    def mean(self) -> float:
+        """:math:`\\mathcal{E}(P_t, tau) = P_t e^{mu tau}` (paper, Sec. III-A)."""
+        return self.spot * math.exp(self.mu * self.tau)
+
+    def pdf(self, x):
+        """:math:`\\mathcal{P}(x, P_t, tau)`, the lognormal density at ``x``.
+
+        Zero for ``x <= 0``.
+        """
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        pos = x > 0.0
+        if np.any(pos):
+            z = (np.log(x[pos]) - self.log_mean) / self.log_std
+            out[pos] = np.exp(-0.5 * z * z) / (
+                x[pos] * self.log_std * math.sqrt(2.0 * math.pi)
+            )
+        return out if out.ndim else float(out)
+
+    def cdf(self, x):
+        """:math:`\\mathcal{C}(x, P_t, tau) = P[P_{t+tau} \\le x | P_t]`."""
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        pos = x > 0.0
+        if np.any(pos):
+            z = (np.log(x[pos]) - self.log_mean) / self.log_std
+            out[pos] = norm_cdf(z)
+        return out if out.ndim else float(out)
+
+    def survival(self, x):
+        """:math:`P[P_{t+tau} > x | P_t] = 1 - \\mathcal{C}(x, ...)`."""
+        x = np.asarray(x, dtype=float)
+        out = np.ones_like(x)
+        pos = x > 0.0
+        if np.any(pos):
+            z = (np.log(x[pos]) - self.log_mean) / self.log_std
+            out[pos] = norm_cdf(-z)
+        return out if out.ndim else float(out)
+
+    # ----------------------------------------------------------------- #
+    # partial expectations (the closed-form workhorses)
+    # ----------------------------------------------------------------- #
+
+    def partial_expectation_above(self, k) -> np.ndarray:
+        """:math:`E[P_{t+tau} 1\\{P_{t+tau} > k\\} | P_t]`.
+
+        Equals ``mean() * Phi(d1)`` with
+        ``d1 = (ln(spot/k) + (mu + sigma^2/2) tau) / (sigma sqrt(tau))``,
+        the familiar Black--Scholes first term. For ``k <= 0`` this is
+        the full mean.
+        """
+        k = np.asarray(k, dtype=float)
+        out = np.full_like(k, self.mean())
+        pos = k > 0.0
+        if np.any(pos):
+            d1 = (self.log_mean + self.log_std**2 - np.log(k[pos])) / self.log_std
+            out[pos] = self.mean() * norm_cdf(d1)
+        return out if out.ndim else float(out)
+
+    def partial_expectation_below(self, k) -> np.ndarray:
+        """:math:`E[P_{t+tau} 1\\{P_{t+tau} \\le k\\} | P_t]`."""
+        k = np.asarray(k, dtype=float)
+        out = self.mean() - np.asarray(self.partial_expectation_above(k))
+        # guard tiny negative values from cancellation
+        out = np.maximum(out, 0.0)
+        return out if out.ndim else float(out)
+
+    def partial_expectation_between(self, lo, hi) -> float:
+        """:math:`E[P 1\\{lo < P \\le hi\\}]`; requires ``lo <= hi``."""
+        lo_f = float(lo)
+        hi_f = float(hi)
+        if lo_f > hi_f:
+            raise ValueError(f"empty interval: lo={lo_f} > hi={hi_f}")
+        return max(
+            float(self.partial_expectation_above(lo_f))
+            - float(self.partial_expectation_above(hi_f)),
+            0.0,
+        )
+
+    def probability_between(self, lo, hi) -> float:
+        """:math:`P[lo < P_{t+tau} \\le hi]`; requires ``lo <= hi``."""
+        lo_f = float(lo)
+        hi_f = float(hi)
+        if lo_f > hi_f:
+            raise ValueError(f"empty interval: lo={lo_f} > hi={hi_f}")
+        return max(float(self.cdf(hi_f)) - float(self.cdf(lo_f)), 0.0)
+
+    # ----------------------------------------------------------------- #
+    # quantiles and support truncation
+    # ----------------------------------------------------------------- #
+
+    def quantile(self, q) -> np.ndarray:
+        """Inverse CDF."""
+        z = norm_ppf(q)
+        return np.exp(self.log_mean + self.log_std * z)
+
+    def effective_support(self, tail_mass: float = 1e-12):
+        """A ``(lo, hi)`` interval carrying all but ``2 * tail_mass`` mass.
+
+        Used to truncate semi-infinite expectation integrals.
+        """
+        if not 0.0 < tail_mass < 0.5:
+            raise ValueError(f"tail_mass must be in (0, 0.5), got {tail_mass}")
+        lo = float(self.quantile(tail_mass))
+        hi = float(self.quantile(1.0 - tail_mass))
+        return lo, hi
+
+    def sample(self, rng, size=None) -> np.ndarray:
+        """Draw exact samples of ``P_{t+tau}``."""
+        z = rng.standard_normal(size)
+        return np.exp(self.log_mean + self.log_std * z)

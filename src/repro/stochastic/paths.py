@@ -1,0 +1,148 @@
+"""Price observations at the swap's decision times.
+
+The idealized timeline (paper Eq. (13)) pins every event to an offset
+from ``t1 = t0``:
+
+    t1 = 0
+    t2 = t1 + tau_a          (Bob decides)
+    t3 = t2 + tau_b          (Alice decides)
+    t4 = t3 + eps_b          (Bob redeems)
+    t5 = t3 + tau_b = t_b    (Alice receives Token_b on success)
+    t6 = t4 + tau_a = t_a    (Bob receives Token_a on success)
+    t7 = t_b + tau_b         (Bob refunded on failure)
+    t8 = t_a + tau_a         (Alice refunded on failure)
+
+:class:`DecisionTimeGrid` materialises those offsets for a given
+parameter set, and :func:`sample_decision_prices` draws the joint price
+vector ``(P_{t1}, P_{t2}, P_{t3}, ...)`` exactly from the GBM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.stochastic.gbm import GeometricBrownianMotion
+from repro.stochastic.rng import RandomState
+
+__all__ = ["DecisionTimeGrid", "sample_decision_prices"]
+
+
+@dataclass(frozen=True)
+class DecisionTimeGrid:
+    """Event times of the idealized swap, as offsets from ``t1 = 0``."""
+
+    tau_a: float
+    tau_b: float
+    eps_b: float
+
+    def __post_init__(self) -> None:
+        if not self.tau_a > 0.0:
+            raise ValueError(f"tau_a must be positive, got {self.tau_a}")
+        if not self.tau_b > 0.0:
+            raise ValueError(f"tau_b must be positive, got {self.tau_b}")
+        if not 0.0 < self.eps_b < self.tau_b:
+            raise ValueError(
+                f"need 0 < eps_b < tau_b (paper Eq. (3)), got "
+                f"eps_b={self.eps_b}, tau_b={self.tau_b}"
+            )
+
+    @property
+    def t1(self) -> float:
+        """Alice initiates (also ``t0``)."""
+        return 0.0
+
+    @property
+    def t2(self) -> float:
+        """Bob decides whether to lock Token_b."""
+        return self.tau_a
+
+    @property
+    def t3(self) -> float:
+        """Alice decides whether to reveal the secret."""
+        return self.tau_a + self.tau_b
+
+    @property
+    def t4(self) -> float:
+        """Bob sees the secret in the mempool and redeems."""
+        return self.t3 + self.eps_b
+
+    @property
+    def t5(self) -> float:
+        """Alice receives Token_b on success; equals ``t_b``."""
+        return self.t3 + self.tau_b
+
+    @property
+    def t6(self) -> float:
+        """Bob receives Token_a on success; equals ``t_a``."""
+        return self.t4 + self.tau_a
+
+    @property
+    def t_a(self) -> float:
+        """Expiry of the HTLC on Chain_a."""
+        return self.t6
+
+    @property
+    def t_b(self) -> float:
+        """Expiry of the HTLC on Chain_b."""
+        return self.t5
+
+    @property
+    def t7(self) -> float:
+        """Bob refunded on failure (``t_b + tau_b``)."""
+        return self.t_b + self.tau_b
+
+    @property
+    def t8(self) -> float:
+        """Alice refunded on failure (``t_a + tau_a``)."""
+        return self.t_a + self.tau_a
+
+    def decision_times(self) -> Tuple[float, float, float]:
+        """The three strategic decision times ``(t1, t2, t3)``."""
+        return (self.t1, self.t2, self.t3)
+
+    def all_times(self) -> Tuple[float, ...]:
+        """All event times ``t1..t8`` in chronological order."""
+        return tuple(
+            sorted({self.t1, self.t2, self.t3, self.t4, self.t5, self.t6, self.t7, self.t8})
+        )
+
+    def validate_ordering(self) -> None:
+        """Assert the chain of inequalities in the paper's Eq. (12)."""
+        checks = [
+            self.t1 < self.t2,
+            self.t2 < self.t3,
+            self.t3 < self.t4,
+            self.t4 < self.t5 or self.eps_b < self.tau_b,
+            self.t5 <= self.t_b,
+            self.t6 <= self.t_a,
+            self.t_b < self.t7,
+            self.t_a < self.t8,
+        ]
+        if not all(checks):
+            raise AssertionError("timeline ordering violated")
+
+
+def sample_decision_prices(
+    process: GeometricBrownianMotion,
+    spot: float,
+    grid: DecisionTimeGrid,
+    rng: RandomState,
+    n_paths: int,
+    antithetic: bool = False,
+) -> np.ndarray:
+    """Sample ``(P_{t1}, P_{t2}, P_{t3})`` for ``n_paths`` episodes.
+
+    Returns an array of shape ``(n_paths, 3)``. ``P_{t1}`` equals the
+    spot on every path (``t1 = 0``); the later columns are exact GBM
+    samples at ``t2`` and ``t3``.
+    """
+    t1, t2, t3 = grid.decision_times()
+    paths = process.sample_path(
+        spot, [t2, t3], rng, n_paths=n_paths, antithetic=antithetic
+    )
+    first = np.full((paths.shape[0], 1), float(spot))
+    del t1  # always zero by construction
+    return np.hstack([first, paths])

@@ -1,0 +1,235 @@
+"""Root finding and continuation regions.
+
+The backward induction characterises each agent's continuation region as
+the set of prices where ``U(cont) - U(stop) > 0``. In the basic model
+that set is a single interval (0 or 2 roots); in the collateral model
+Section IV shows the indifference equation has an *odd* number of roots
+(1 or 3), so the region is a union of intervals.
+
+This module provides
+
+* :func:`sign_change_brackets` -- scan a log-spaced grid for sign
+  changes;
+* :func:`bracketed_root` -- Brent's method on a verified bracket;
+* :func:`find_all_roots` -- all roots on an interval via scan + Brent;
+* :class:`IntervalUnion` -- a normalised union of disjoint open
+  intervals with membership, measure-under-a-law, and set algebra. The
+  continuation regions :math:`\\mathfrak{P}_{t_2}` of the paper are
+  represented with this class.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import brentq
+
+__all__ = [
+    "sign_change_brackets",
+    "bracketed_root",
+    "find_all_roots",
+    "IntervalUnion",
+]
+
+
+def _log_grid(lo: float, hi: float, n: int) -> np.ndarray:
+    return np.exp(np.linspace(math.log(lo), math.log(hi), n))
+
+
+def sign_change_brackets(
+    f: Callable[[float], float],
+    lo: float,
+    hi: float,
+    n_scan: int = 400,
+) -> List[Tuple[float, float]]:
+    """Find sub-intervals of ``(lo, hi)`` where ``f`` changes sign.
+
+    The scan grid is log-spaced (prices live on a multiplicative scale).
+    Exact zeros on grid points are attributed to the bracket on their
+    left. Returns a list of ``(a, b)`` brackets with ``f(a) f(b) < 0``
+    or ``f(b) == 0``.
+    """
+    if not (lo > 0.0 and hi > lo):
+        raise ValueError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
+    if n_scan < 2:
+        raise ValueError(f"n_scan must be >= 2, got {n_scan}")
+    xs = _log_grid(lo, hi, n_scan)
+    values = np.array([f(float(x)) for x in xs])
+    brackets: List[Tuple[float, float]] = []
+    for i in range(len(xs) - 1):
+        a, b = float(xs[i]), float(xs[i + 1])
+        fa, fb = values[i], values[i + 1]
+        if fa == 0.0:
+            # zero exactly on a grid point: skip, the previous bracket
+            # (if any) already captured it
+            continue
+        if fb == 0.0 or fa * fb < 0.0:
+            brackets.append((a, b))
+    return brackets
+
+
+def bracketed_root(
+    f: Callable[[float], float],
+    lo: float,
+    hi: float,
+    xtol: float = 1e-12,
+    rtol: float = 1e-12,
+) -> float:
+    """Brent's method on a bracket known to contain a root."""
+    return float(brentq(f, lo, hi, xtol=xtol, rtol=rtol))
+
+
+def find_all_roots(
+    f: Callable[[float], float],
+    lo: float,
+    hi: float,
+    n_scan: int = 400,
+) -> List[float]:
+    """All roots of ``f`` on ``(lo, hi)`` resolvable at the scan resolution.
+
+    Roots closer together than the grid spacing may be merged or missed;
+    callers choose ``n_scan`` generously relative to the expected number
+    of roots (the swap games have at most 3).
+    """
+    roots = []
+    for a, b in sign_change_brackets(f, lo, hi, n_scan):
+        roots.append(bracketed_root(f, a, b))
+    return sorted(roots)
+
+
+@dataclass(frozen=True)
+class IntervalUnion:
+    """A finite union of disjoint intervals of positive prices.
+
+    Intervals are stored half-open ``(lo, hi]``-style for membership
+    checks, but the distinction carries no probability mass under a
+    continuous law; what matters is the set algebra and measure.
+    """
+
+    intervals: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        prev_hi = -math.inf
+        for lo, hi in self.intervals:
+            if not lo < hi:
+                raise ValueError(f"degenerate interval ({lo}, {hi})")
+            if lo < prev_hi:
+                raise ValueError("intervals must be disjoint and sorted")
+            prev_hi = hi
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def empty() -> "IntervalUnion":
+        """The empty region."""
+        return IntervalUnion(())
+
+    @staticmethod
+    def single(lo: float, hi: float) -> "IntervalUnion":
+        """A single interval ``(lo, hi)``."""
+        return IntervalUnion(((lo, hi),))
+
+    @staticmethod
+    def from_intervals(pairs: Sequence[Tuple[float, float]]) -> "IntervalUnion":
+        """Normalise arbitrary (possibly overlapping/unsorted) pairs."""
+        cleaned = sorted((lo, hi) for lo, hi in pairs if lo < hi)
+        merged: List[Tuple[float, float]] = []
+        for lo, hi in cleaned:
+            if merged and lo <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+            else:
+                merged.append((lo, hi))
+        return IntervalUnion(tuple(merged))
+
+    @staticmethod
+    def where_positive(
+        f: Callable[[float], float],
+        lo: float,
+        hi: float,
+        n_scan: int = 400,
+    ) -> "IntervalUnion":
+        """The region of ``(lo, hi)`` where ``f > 0``.
+
+        Built from the roots of ``f`` plus the sign of ``f`` between
+        consecutive roots (evaluated at the geometric midpoint).
+        """
+        roots = find_all_roots(f, lo, hi, n_scan)
+        edges = [lo] + roots + [hi]
+        keep: List[Tuple[float, float]] = []
+        for a, b in zip(edges[:-1], edges[1:]):
+            if b <= a:
+                continue
+            mid = math.sqrt(a * b)
+            if f(mid) > 0.0:
+                keep.append((a, b))
+        return IntervalUnion.from_intervals(keep)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the region contains no interval."""
+        return not self.intervals
+
+    def __contains__(self, x: float) -> bool:
+        return any(lo < x <= hi for lo, hi in self.intervals)
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    def total_length(self) -> float:
+        """Lebesgue measure of the region."""
+        return sum(hi - lo for lo, hi in self.intervals)
+
+    def bounds(self) -> Tuple[float, float]:
+        """Smallest interval containing the region."""
+        if self.is_empty:
+            raise ValueError("empty region has no bounds")
+        return self.intervals[0][0], self.intervals[-1][1]
+
+    def probability(self, law) -> float:
+        """Mass the lognormal ``law`` assigns to the region."""
+        return sum(law.probability_between(lo, hi) for lo, hi in self.intervals)
+
+    # ------------------------------------------------------------------ #
+    # set algebra
+    # ------------------------------------------------------------------ #
+
+    def intersect(self, other: "IntervalUnion") -> "IntervalUnion":
+        """Set intersection."""
+        out: List[Tuple[float, float]] = []
+        for a_lo, a_hi in self.intervals:
+            for b_lo, b_hi in other.intervals:
+                lo, hi = max(a_lo, b_lo), min(a_hi, b_hi)
+                if lo < hi:
+                    out.append((lo, hi))
+        return IntervalUnion.from_intervals(out)
+
+    def union(self, other: "IntervalUnion") -> "IntervalUnion":
+        """Set union."""
+        return IntervalUnion.from_intervals(
+            list(self.intervals) + list(other.intervals)
+        )
+
+    def complement_within(self, lo: float, hi: float) -> "IntervalUnion":
+        """Complement of the region inside the window ``(lo, hi)``."""
+        if not lo < hi:
+            raise ValueError(f"need lo < hi, got {lo}, {hi}")
+        gaps: List[Tuple[float, float]] = []
+        cursor = lo
+        for a, b in self.intervals:
+            if b <= lo or a >= hi:
+                continue
+            if a > cursor:
+                gaps.append((cursor, min(a, hi)))
+            cursor = max(cursor, b)
+        if cursor < hi:
+            gaps.append((cursor, hi))
+        return IntervalUnion.from_intervals(gaps)

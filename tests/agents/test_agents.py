@@ -1,0 +1,131 @@
+"""Tests for all agent implementations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import (
+    AlwaysStopAgent,
+    CrashingAgent,
+    HonestAgent,
+    MyopicAgent,
+    RationalAlice,
+    RationalBob,
+    rational_pair,
+)
+from repro.core.backward_induction import BackwardInduction
+from repro.core.collateral import CollateralBackwardInduction
+from repro.core.strategy import Action
+from repro.protocol.errors import AgentCrashed
+from repro.protocol.messages import DecisionContext, Stage
+
+
+def ctx(stage: Stage, price: float = 2.0, pstar: float = 2.0, params=None):
+    from repro.core.parameters import SwapParameters
+
+    return DecisionContext(
+        stage=stage,
+        time=0.0,
+        price=price,
+        pstar=pstar,
+        params=params if params is not None else SwapParameters.default(),
+    )
+
+
+class TestHonest:
+    def test_always_continues(self):
+        agent = HonestAgent()
+        assert agent.decide_initiate(ctx(Stage.T1_INITIATE)) is Action.CONT
+        assert agent.decide_lock(ctx(Stage.T2_LOCK)) is Action.CONT
+        assert agent.decide_reveal(ctx(Stage.T3_REVEAL)) is Action.CONT
+        assert agent.decide_redeem(ctx(Stage.T4_REDEEM)) is Action.CONT
+
+
+class TestAlwaysStop:
+    def test_stops_only_at_target_stage(self):
+        agent = AlwaysStopAgent(Stage.T3_REVEAL)
+        assert agent.decide_initiate(ctx(Stage.T1_INITIATE)) is Action.CONT
+        assert agent.decide_lock(ctx(Stage.T2_LOCK)) is Action.CONT
+        assert agent.decide_reveal(ctx(Stage.T3_REVEAL)) is Action.STOP
+
+
+class TestMyopic:
+    def test_alice_wants_cheap_token_b(self):
+        agent = MyopicAgent("alice")
+        assert agent.decide_reveal(ctx(Stage.T3_REVEAL, price=2.5)) is Action.CONT
+        assert agent.decide_reveal(ctx(Stage.T3_REVEAL, price=1.5)) is Action.STOP
+
+    def test_bob_wants_expensive_token_a(self):
+        agent = MyopicAgent("bob")
+        assert agent.decide_lock(ctx(Stage.T2_LOCK, price=1.5)) is Action.CONT
+        assert agent.decide_lock(ctx(Stage.T2_LOCK, price=2.5)) is Action.STOP
+
+    def test_rejects_bad_role(self):
+        with pytest.raises(ValueError):
+            MyopicAgent("carol")
+
+    def test_myopic_differs_from_rational(self, params):
+        """The myopic rule ignores Alice's optionality: at prices just
+        above P* but below Alice's dynamic threshold region boundary the
+        two policies diverge -- the ablation the benchmarks quantify."""
+        solver = BackwardInduction(params, 2.0)
+        hi = solver.bob_t2_region().bounds()[1]
+        price = (2.0 + hi) / 2.0  # above P*, inside rational Bob's region
+        myopic = MyopicAgent("bob")
+        rational = rational_pair(params, 2.0)[1]
+        assert myopic.decide_lock(ctx(Stage.T2_LOCK, price=price)) is Action.STOP
+        assert rational.decide_lock(ctx(Stage.T2_LOCK, price=price)) is Action.CONT
+
+
+class TestCrashing:
+    def test_crashes_from_stage_onward(self):
+        agent = CrashingAgent(HonestAgent(), Stage.T3_REVEAL)
+        assert agent.decide_initiate(ctx(Stage.T1_INITIATE)) is Action.CONT
+        assert agent.decide_lock(ctx(Stage.T2_LOCK)) is Action.CONT
+        with pytest.raises(AgentCrashed):
+            agent.decide_reveal(ctx(Stage.T3_REVEAL))
+        with pytest.raises(AgentCrashed):
+            agent.decide_redeem(ctx(Stage.T4_REDEEM))
+
+    def test_name_derived_from_inner(self):
+        agent = CrashingAgent(HonestAgent("inner"), Stage.T2_LOCK)
+        assert "inner" in agent.name
+
+
+class TestRational:
+    def test_pair_matches_solver(self, params):
+        alice, bob = rational_pair(params, 2.0)
+        solver = BackwardInduction(params, 2.0)
+        thr = solver.p3_threshold()
+        assert alice.decide_reveal(ctx(Stage.T3_REVEAL, price=thr * 1.01)) is Action.CONT
+        assert alice.decide_reveal(ctx(Stage.T3_REVEAL, price=thr * 0.99)) is Action.STOP
+        lo, hi = solver.bob_t2_region().bounds()
+        assert bob.decide_lock(ctx(Stage.T2_LOCK, price=(lo + hi) / 2)) is Action.CONT
+        assert bob.decide_lock(ctx(Stage.T2_LOCK, price=hi * 1.05)) is Action.STOP
+
+    def test_collateral_pair_uses_section4_thresholds(self, params):
+        alice, bob = rational_pair(params, 2.0, collateral=0.5)
+        solver = CollateralBackwardInduction(params, 2.0, 0.5)
+        assert alice.strategy.p3_threshold == pytest.approx(solver.p3_threshold())
+        # collateralised Bob locks at very low prices
+        assert bob.decide_lock(ctx(Stage.T2_LOCK, price=0.2)) is Action.CONT
+
+    def test_role_guards(self, params):
+        alice, bob = rational_pair(params, 2.0)
+        with pytest.raises(NotImplementedError):
+            alice.decide_lock(ctx(Stage.T2_LOCK))
+        with pytest.raises(NotImplementedError):
+            bob.decide_initiate(ctx(Stage.T1_INITIATE))
+        with pytest.raises(NotImplementedError):
+            bob.decide_reveal(ctx(Stage.T3_REVEAL))
+
+    def test_bob_always_redeems(self, params):
+        _alice, bob = rational_pair(params, 2.0)
+        assert bob.decide_redeem(ctx(Stage.T4_REDEEM)) is Action.CONT
+
+    def test_constructable_from_strategies(self, params):
+        from repro.core.strategy import equilibrium_strategies
+
+        a_strat, b_strat = equilibrium_strategies(params, 2.0)
+        assert RationalAlice(a_strat).strategy is a_strat
+        assert RationalBob(b_strat).strategy is b_strat

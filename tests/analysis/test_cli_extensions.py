@@ -1,0 +1,53 @@
+"""Tests for the extension CLI commands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestUncertaintyCommand:
+    def test_with_spread(self, capsys):
+        assert main(["uncertainty", "--spread", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "complete-information SR" in out
+        assert "ex-ante SR" in out
+
+    def test_zero_spread_matches_complete(self, capsys):
+        assert main(["uncertainty", "--spread", "0"]) == 0
+        out = capsys.readouterr().out
+        lines = {
+            line.split(":")[0].strip(): line.split(":")[1].strip()
+            for line in out.splitlines()
+            if ":" in line
+        }
+        complete = float(lines["complete-information SR"])
+        realised = float(lines[next(k for k in lines if k.startswith("realised"))])
+        assert realised == pytest.approx(complete, abs=1e-9)
+
+
+class TestMarketCommand:
+    def test_output_shape(self, capsys):
+        assert main(["market", "--pairs", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "participation" in out
+        # four sigma rows plus the header
+        assert len(out.strip().splitlines()) == 5
+
+
+class TestBacktestCommand:
+    @pytest.mark.parametrize("market", ["gbm", "regime", "jumps"])
+    def test_runs_each_market(self, capsys, market):
+        assert main(["backtest", "--market", market, "--hours", "420"]) == 0
+        out = capsys.readouterr().out
+        assert f"backtest on {market} market" in out
+        assert "predicted SR" in out
+
+
+class TestExportCommand:
+    def test_writes_files(self, capsys, tmp_path):
+        assert main(["export", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "figure9.csv" in out
+        assert (tmp_path / "figure6.csv").exists()

@@ -1,0 +1,216 @@
+"""Tests for the figure data generators (shapes, not pixels)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    figure2_timeline,
+    figure3_alice_t3,
+    figure4_bob_t2,
+    figure5_alice_t1,
+    figure6_success_rate,
+    figure7_bob_t2_collateral,
+    figure8_t1_collateral,
+    figure9_sr_collateral,
+)
+
+
+class TestFigure2:
+    def test_events_match_eq13(self, params):
+        fig = figure2_timeline(params)
+        times = dict(fig.events)
+        assert times["t2 (Bob locks)"] == 3.0
+        assert times["t3 (Alice reveals)"] == 7.0
+        assert times["t5 = t_b (Alice receives)"] == 11.0
+        assert times["t8 (Alice refunded on fail)"] == 14.0
+
+    def test_render(self, params):
+        assert "Figure 2(b)" in figure2_timeline(params).render()
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure3_alice_t3(n_points=21)
+
+    def test_one_curve_per_pstar(self, fig):
+        assert len(fig.curves) == 3
+
+    def test_cont_linear_and_increasing(self, fig):
+        for _pstar, cont, _stop, _thr in fig.curves:
+            diffs = np.diff(cont)
+            assert np.all(diffs > 0)
+            assert np.allclose(diffs, diffs[0])  # linearity
+
+    def test_stop_constant_increases_with_pstar(self, fig):
+        stops = [stop for _p, _c, stop, _t in fig.curves]
+        assert stops[0] < stops[1] < stops[2]
+
+    def test_threshold_increases_with_pstar(self, fig):
+        # Figure 3's annotation of Eq. (18)
+        thresholds = [thr for *_rest, thr in fig.curves]
+        assert thresholds[0] < thresholds[1] < thresholds[2]
+
+    def test_render(self, fig):
+        text = fig.render()
+        assert "Figure 3" in text
+        assert "threshold" in text
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure4_bob_t2(n_points=21)
+
+    def test_ranges_shift_up_with_pstar(self, fig):
+        ranges = [rng for _p, _c, rng in fig.curves]
+        assert all(r is not None for r in ranges)
+        lows = [r[0] for r in ranges]
+        highs = [r[1] for r in ranges]
+        assert lows == sorted(lows)
+        assert highs == sorted(highs)
+
+    def test_cont_curves_positive(self, fig):
+        for _pstar, cont, _rng in fig.curves:
+            assert all(v > 0 for v in cont)
+
+    def test_render(self, fig):
+        assert "Figure 4" in fig.render()
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure5_alice_t1(n_points=13)
+
+    def test_feasible_range_near_paper_values(self, fig):
+        lo, hi = fig.feasible_range
+        assert lo == pytest.approx(1.5, abs=0.05)
+        assert hi == pytest.approx(2.5, abs=0.05)
+
+    def test_cont_beats_stop_inside_range_only(self, fig):
+        lo, hi = fig.feasible_range
+        for k, cont, stop in zip(fig.pstar_grid, fig.cont_values, fig.stop_values):
+            if lo * 1.02 < k < hi * 0.98:
+                assert cont > stop
+            elif k < lo * 0.98 or k > hi * 1.02:
+                assert cont < stop
+
+    def test_render(self, fig):
+        assert "Eq. 29" in fig.render()
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        # small sweep set to keep the suite fast
+        return figure6_success_rate(
+            sweeps={"alpha_b": (0.1, 0.3, 0.6), "sigma": (0.05, 0.1, 0.2)},
+            n_points=9,
+        )
+
+    def test_panels_present(self, fig):
+        assert {p.parameter for p in fig.panels} == {"alpha_b", "sigma"}
+
+    def test_higher_alpha_b_higher_max_sr(self, fig):
+        panel = fig.panel("alpha_b")
+        viable = [c for c in panel.curves if c.viable]
+        maxima = [c.max_rate for c in viable]
+        assert maxima == sorted(maxima)
+
+    def test_sigma_02_non_viable(self, fig):
+        panel = fig.panel("sigma")
+        curve = panel.curve_for(0.2)
+        assert not curve.viable
+
+    def test_low_sigma_beats_default(self, fig):
+        panel = fig.panel("sigma")
+        assert panel.curve_for(0.05).max_rate > panel.curve_for(0.1).max_rate
+
+    def test_curves_unimodal_and_centrally_concave(self, fig):
+        # the paper claims global concavity; at fine resolution wide
+        # windows are S-shaped at the left edge, so we assert the
+        # substantive properties: unimodality + central concavity
+        for panel in fig.panels:
+            for curve in panel.curves:
+                if not curve.viable or len(curve.rates) < 3:
+                    continue
+                rates = np.asarray(curve.rates)
+                peak = int(np.argmax(rates))
+                assert np.all(np.diff(rates[: peak + 1]) > -1e-9)
+                assert np.all(np.diff(rates[peak:]) < 1e-9)
+                n = len(rates)
+                central = rates[n // 5 : n - n // 5]
+                if len(central) >= 3:
+                    second_diff = np.diff(central, 2)
+                    assert np.all(second_diff < 1e-6), (panel.parameter, curve.value)
+
+    def test_render(self, fig):
+        text = fig.render()
+        assert "Figure 6" in text
+        assert "non-viable" in text
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure7_bob_t2_collateral(n_points=21)
+
+    def test_regions_nonempty(self, fig):
+        for _pstar, _q, _cont, region in fig.curves:
+            assert not region.is_empty
+
+    def test_regions_reach_low_prices(self, fig):
+        # Section IV intuition 2: cont preferred near zero price
+        for _pstar, _q, _cont, region in fig.curves:
+            assert region.bounds()[0] < 0.05
+
+    def test_render_shows_pieces(self, fig):
+        assert "pieces" in fig.render()
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure8_t1_collateral(n_points=9)
+
+    def test_stop_lines_include_deposit(self, fig):
+        assert fig.alice_stop[0] == pytest.approx(fig.pstar_grid[0] + fig.collateral)
+        assert all(v == fig.bob_stop[0] for v in fig.bob_stop)
+
+    def test_regions_nonempty(self, fig):
+        assert not fig.alice_region.is_empty
+        assert not fig.bob_region.is_empty
+
+    def test_intersection_subset_of_union(self, fig):
+        joint = fig.alice_region.intersect(fig.bob_region)
+        union = fig.alice_region.union(fig.bob_region)
+        assert joint.total_length() <= union.total_length()
+
+    def test_render(self, fig):
+        text = fig.render()
+        assert "intersection" in text
+        assert "union" in text
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure9_sr_collateral(collaterals=(0.0, 0.2, 0.5), n_points=9)
+
+    def test_sr_increases_with_q_pointwise(self, fig):
+        rates_by_q = [np.asarray(rates) for _q, rates in fig.curves]
+        assert np.all(rates_by_q[1] >= rates_by_q[0] - 1e-9)
+        assert np.all(rates_by_q[2] >= rates_by_q[1] - 1e-9)
+
+    def test_max_rates_ordered(self, fig):
+        maxima = fig.max_rates()
+        values = [rate for _q, rate in maxima]
+        assert values == sorted(values)
+
+    def test_render(self, fig):
+        assert "Figure 9" in fig.render()

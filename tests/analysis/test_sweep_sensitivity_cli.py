@@ -1,0 +1,102 @@
+"""Tests for sweeps, sensitivities and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import sr_sensitivity
+from repro.analysis.sweep import sr_curve_on_grid, sweep_parameter
+from repro.cli import main
+
+
+class TestSweep:
+    def test_curve_on_grid(self, params):
+        bounds, pstars, rates = sr_curve_on_grid(params, n_points=7)
+        assert bounds is not None
+        assert len(pstars) == 7
+        assert all(0.0 <= r <= 1.0 for r in rates)
+        assert bounds[0] <= pstars[0] and pstars[-1] <= bounds[1]
+
+    def test_curve_empty_when_infeasible(self, params):
+        bounds, pstars, rates = sr_curve_on_grid(
+            params.replace(alpha_a=0.0, alpha_b=0.0)
+        )
+        assert bounds is None
+        assert pstars == ()
+        assert rates == ()
+
+    def test_sweep_tags_viability(self, params):
+        result = sweep_parameter(
+            params, "sigma", (0.05, 0.25), n_points=5, locate_max=False
+        )
+        assert result.curve_for(0.05).viable
+        assert not result.curve_for(0.25).viable
+        assert result.viable_values() == [0.05]
+
+    def test_sweep_locates_max(self, params):
+        result = sweep_parameter(params, "mu", (0.002,), n_points=5)
+        curve = result.curve_for(0.002)
+        assert curve.best_pstar is not None
+        assert curve.best_rate == pytest.approx(0.722, abs=0.01)
+
+    def test_unknown_value_raises(self, params):
+        result = sweep_parameter(params, "mu", (0.002,), n_points=3, locate_max=False)
+        with pytest.raises(KeyError):
+            result.curve_for(0.5)
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def sens(self):
+        from repro.core.parameters import SwapParameters
+
+        return sr_sensitivity(
+            SwapParameters.default(),
+            parameters=("alpha_a", "sigma", "mu", "tau_a"),
+        )
+
+    def test_signs_match_section_iii_f(self, sens):
+        assert sens["alpha_a"].sign == 1     # premium helps
+        assert sens["sigma"].sign == -1      # volatility hurts
+        assert sens["mu"].sign == 1          # upward trend helps
+        assert sens["tau_a"].sign == -1      # slow chains hurt
+
+    def test_derivative_definition(self, sens):
+        entry = sens["sigma"]
+        expected = (entry.sr_plus - entry.sr_minus) / (2 * entry.step)
+        assert entry.derivative == pytest.approx(expected)
+
+    def test_fixed_pstar_mode(self, params):
+        sens = sr_sensitivity(params, pstar=2.0, parameters=("alpha_a",))
+        assert sens["alpha_a"].sign == 1
+
+
+class TestCLI:
+    def test_table_commands(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+        assert main(["table3"]) == 0
+        assert "Table III" in capsys.readouterr().out
+
+    def test_figure_command(self, capsys):
+        assert main(["figure3"]) == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_solve_basic(self, capsys):
+        assert main(["solve", "--pstar", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "Success rate" in out
+
+    def test_solve_collateral(self, capsys):
+        assert main(["solve", "--pstar", "2.0", "--collateral", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "Eq. 40" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate", "--paths", "20000", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

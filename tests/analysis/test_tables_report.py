@@ -1,0 +1,108 @@
+"""Tests for table generators and text rendering."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.report import ascii_chart, format_table
+from repro.analysis.tables import table1_balance_change, table3_default_parameters
+
+
+class TestTable1:
+    def test_rows_match_paper(self):
+        rows, _text = table1_balance_change(pstar=2.0)
+        alice_row, bob_row = rows
+        assert alice_row[1] == pytest.approx(-2.0)  # -P* Token_a
+        assert alice_row[2] == pytest.approx(1.0)   # +1 Token_b
+        assert bob_row[1] == pytest.approx(2.0)
+        assert bob_row[2] == pytest.approx(-1.0)
+
+    def test_scales_with_pstar(self):
+        rows, _text = table1_balance_change(pstar=3.5)
+        assert rows[0][1] == pytest.approx(-3.5)
+        assert rows[1][1] == pytest.approx(3.5)
+
+    def test_rendered_output(self):
+        _rows, text = table1_balance_change()
+        assert "Table I" in text
+        assert "Alice" in text
+        assert "+1.0000" in text
+
+
+class TestTable3:
+    def test_all_parameters_present(self):
+        rows, _text = table3_default_parameters()
+        names = {row[0] for row in rows}
+        assert names == {
+            "alpha_a", "alpha_b", "r_a", "r_b", "tau_a", "tau_b",
+            "eps_b", "p0", "mu", "sigma",
+        }
+
+    def test_values_match_paper(self):
+        rows, _text = table3_default_parameters()
+        values = {row[0]: row[1] for row in rows}
+        assert values["alpha_a"] == 0.3
+        assert values["r_b"] == 0.01
+        assert values["tau_a"] == 3.0
+        assert values["tau_b"] == 4.0
+        assert values["eps_b"] == 1.0
+        assert values["p0"] == 2.0
+        assert values["mu"] == 0.002
+        assert values["sigma"] == 0.1
+
+    def test_units_included(self):
+        rows, _text = table3_default_parameters()
+        units = {row[0]: row[2] for row in rows}
+        assert units["r_a"] == "/hour"
+        assert units["sigma"] == "/sqrt(hour)"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1.5], ["yy", 2.25]])
+        lines = text.splitlines()
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_title(self):
+        text = format_table(["a"], [["x"]], title="My Title")
+        assert text.startswith("My Title")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1.23456789]], float_fmt="{:.2f}")
+        assert "1.23" in text
+        assert "1.2345" not in text
+
+
+class TestAsciiChart:
+    def test_renders_series(self):
+        text = ascii_chart(
+            {"linear": ([0, 1, 2], [0, 1, 2])}, width=20, height=5, title="t"
+        )
+        assert "t" in text
+        assert "legend" in text
+        assert "*" in text
+
+    def test_multiple_series_markers(self):
+        text = ascii_chart(
+            {"one": ([0, 1], [0, 1]), "two": ([0, 1], [1, 0])},
+            width=10, height=5,
+        )
+        assert "*" in text and "o" in text
+
+    def test_skips_nan(self):
+        text = ascii_chart({"s": ([0, 1, 2], [0, math.nan, 2])}, width=10, height=5)
+        assert "legend" in text
+
+    def test_all_nan_handled(self):
+        text = ascii_chart({"s": ([0], [math.nan])})
+        assert "no finite data" in text
+
+    def test_constant_series(self):
+        text = ascii_chart({"s": ([0, 1], [3.0, 3.0])}, width=10, height=4)
+        assert "*" in text

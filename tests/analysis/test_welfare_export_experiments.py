@@ -1,0 +1,128 @@
+"""Tests for welfare analysis, CSV export and the experiment registry."""
+
+from __future__ import annotations
+
+import csv
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentResult,
+    render_markdown,
+    run_all_experiments,
+)
+from repro.analysis.export import export_all_figures, write_csv
+from repro.analysis.welfare import (
+    optimal_rates,
+    welfare_curve,
+    welfare_point,
+)
+from repro.core.backward_induction import BackwardInduction
+
+
+class TestWelfarePoint:
+    def test_components(self, params):
+        point = welfare_point(params, 2.0)
+        solver = BackwardInduction(params, 2.0)
+        assert point.alice_value == pytest.approx(solver.alice_t1_cont())
+        assert point.bob_value == pytest.approx(solver.bob_t1_cont())
+        assert point.welfare == pytest.approx(
+            point.alice_value + point.bob_value
+        )
+
+    def test_gains_from_trade_positive_inside_window(self, params):
+        assert welfare_point(params, 2.0).gains_from_trade > 0.0
+
+    def test_no_trade_at_infeasible_rate(self, params):
+        point = welfare_point(params, 4.0)
+        # Alice stops: everyone keeps their outside option
+        assert point.alice_value == point.alice_outside
+        assert point.bob_value == point.bob_outside
+        assert point.gains_from_trade == pytest.approx(0.0)
+        assert point.success_rate == 0.0
+
+    def test_curve(self, params):
+        points = welfare_curve(params, [1.8, 2.0, 2.2])
+        assert [p.pstar for p in points] == [1.8, 2.0, 2.2]
+
+
+class TestOptimalRates:
+    @pytest.fixture(scope="class")
+    def rates(self):
+        from repro.core.parameters import SwapParameters
+
+        return optimal_rates(SwapParameters.default())
+
+    def test_all_located(self, rates):
+        assert rates is not None
+
+    def test_alice_prefers_lower_rate_than_bob(self, rates):
+        # P* is the Token_a price Alice PAYS per Token_b: she likes it
+        # low, Bob (who receives it) likes it high
+        assert rates.alice_optimal[0] < rates.bob_optimal[0]
+
+    def test_welfare_optimum_between_individual_optima(self, rates):
+        lo = min(rates.alice_optimal[0], rates.bob_optimal[0])
+        hi = max(rates.alice_optimal[0], rates.bob_optimal[0])
+        assert lo <= rates.welfare_optimal[0] <= hi
+
+    def test_none_when_infeasible(self, params):
+        assert optimal_rates(params.replace(alpha_a=0.01, alpha_b=0.01)) is None
+
+    def test_describe(self, rates):
+        text = rates.describe()
+        assert "SR-optimal" in text
+        assert "welfare-optimal" in text
+
+
+class TestCSVExport:
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "sub" / "out.csv"
+        write_csv(path, ["a", "b"], [[1, 2], [3, 4]])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_export_all_figures(self, tmp_path, params):
+        written = export_all_figures(tmp_path, params)
+        assert set(written) == {
+            "figure3.csv", "figure4.csv", "figure5.csv",
+            "figure6.csv", "figure7.csv", "figure9.csv",
+        }
+        for path in written.values():
+            assert path.exists()
+            with path.open() as handle:
+                rows = list(csv.reader(handle))
+            assert len(rows) > 2  # header + data
+
+    def test_figure9_csv_content(self, tmp_path, params):
+        written = export_all_figures(tmp_path, params)
+        with written["figure9.csv"].open() as handle:
+            reader = csv.DictReader(handle)
+            rows = list(reader)
+        rates_q0 = [
+            float(r["success_rate"]) for r in rows if float(r["collateral"]) == 0.0
+        ]
+        rates_q1 = [
+            float(r["success_rate"]) for r in rows if float(r["collateral"]) == 1.0
+        ]
+        assert max(rates_q1) > max(rates_q0)
+
+
+class TestExperimentRegistry:
+    def test_render_markdown(self):
+        results = [
+            ExperimentResult("E1", "claim", "measured", True),
+            ExperimentResult("E2", "claim2", "measured2", False),
+        ]
+        text = render_markdown(results)
+        assert "| E1 |" in text
+        assert "**NO**" in text
+
+    @pytest.mark.slow
+    def test_full_registry_holds(self):
+        results = run_all_experiments()
+        failing = [r for r in results if not r.holds]
+        assert not failing, failing

@@ -1,0 +1,151 @@
+"""Tests for hashlocks and the ledger."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.crypto import Secret, hashlock_of, new_secret, verify_preimage
+from repro.chain.errors import InsufficientFunds, UnknownAccount
+from repro.chain.ledger import Ledger
+from repro.stochastic.rng import RandomState
+
+
+class TestSecret:
+    def test_hashlock_is_sha256(self, rng):
+        secret = new_secret(rng)
+        assert secret.hashlock == hashlib.sha256(secret.preimage).digest()
+
+    def test_requires_32_bytes(self):
+        with pytest.raises(ValueError):
+            Secret(preimage=b"short")
+
+    def test_verify_roundtrip(self, rng):
+        secret = new_secret(rng)
+        assert verify_preimage(secret.preimage, secret.hashlock)
+
+    def test_verify_rejects_wrong_preimage(self, rng):
+        secret = new_secret(rng)
+        other = new_secret(rng)
+        assert not verify_preimage(other.preimage, secret.hashlock)
+
+    def test_hashlock_of(self):
+        data = b"x" * 32
+        assert hashlock_of(data) == hashlib.sha256(data).digest()
+
+    def test_deterministic_from_seed(self):
+        a = new_secret(RandomState(9))
+        b = new_secret(RandomState(9))
+        assert a.preimage == b.preimage
+
+    def test_repr_hides_preimage(self, rng):
+        secret = new_secret(rng)
+        assert secret.preimage.hex() not in repr(secret)
+
+
+class TestLedgerBasics:
+    def test_open_and_balance(self):
+        ledger = Ledger("TOK")
+        ledger.open_account("alice", 5.0)
+        assert ledger.balance("alice") == 5.0
+
+    def test_rejects_empty_token(self):
+        with pytest.raises(ValueError):
+            Ledger("")
+
+    def test_rejects_duplicate_account(self):
+        ledger = Ledger("TOK")
+        ledger.open_account("alice")
+        with pytest.raises(ValueError, match="exists"):
+            ledger.open_account("alice")
+
+    def test_rejects_negative_opening_balance(self):
+        with pytest.raises(ValueError):
+            Ledger("TOK").open_account("alice", -1.0)
+
+    def test_unknown_account(self):
+        with pytest.raises(UnknownAccount):
+            Ledger("TOK").balance("ghost")
+
+    def test_has_account(self):
+        ledger = Ledger("TOK")
+        ledger.open_account("alice")
+        assert ledger.has_account("alice")
+        assert not ledger.has_account("bob")
+
+
+class TestTransfers:
+    @pytest.fixture()
+    def ledger(self) -> Ledger:
+        ledger = Ledger("TOK")
+        ledger.open_account("alice", 10.0)
+        ledger.open_account("bob", 1.0)
+        return ledger
+
+    def test_transfer_moves_funds(self, ledger):
+        ledger.transfer("alice", "bob", 4.0)
+        assert ledger.balance("alice") == 6.0
+        assert ledger.balance("bob") == 5.0
+
+    def test_insufficient_funds(self, ledger):
+        with pytest.raises(InsufficientFunds):
+            ledger.transfer("bob", "alice", 2.0)
+
+    def test_insufficient_leaves_state_untouched(self, ledger):
+        before = ledger.snapshot()
+        with pytest.raises(InsufficientFunds):
+            ledger.transfer("bob", "alice", 2.0)
+        assert ledger.snapshot() == before
+
+    def test_unknown_sender(self, ledger):
+        with pytest.raises(UnknownAccount):
+            ledger.transfer("ghost", "bob", 1.0)
+
+    def test_unknown_recipient(self, ledger):
+        with pytest.raises(UnknownAccount):
+            ledger.transfer("alice", "ghost", 1.0)
+
+    def test_negative_amount_rejected(self, ledger):
+        with pytest.raises(ValueError):
+            ledger.transfer("alice", "bob", -1.0)
+
+    def test_full_balance_transfer(self, ledger):
+        ledger.transfer("alice", "bob", 10.0)
+        assert ledger.balance("alice") == 0.0
+
+    def test_deposit(self, ledger):
+        ledger.deposit("bob", 2.5)
+        assert ledger.balance("bob") == 3.5
+
+    def test_deposit_unknown_account(self, ledger):
+        with pytest.raises(UnknownAccount):
+            ledger.deposit("ghost", 1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    transfers=st.lists(
+        st.tuples(
+            st.sampled_from(["alice", "bob", "carol"]),
+            st.sampled_from(["alice", "bob", "carol"]),
+            st.floats(min_value=0.0, max_value=5.0),
+        ),
+        max_size=20,
+    )
+)
+def test_property_supply_conserved(transfers):
+    """No sequence of (possibly failing) transfers changes total supply."""
+    ledger = Ledger("TOK")
+    for name in ("alice", "bob", "carol"):
+        ledger.open_account(name, 10.0)
+    initial = ledger.total_supply()
+    for sender, recipient, amount in transfers:
+        try:
+            ledger.transfer(sender, recipient, amount)
+        except InsufficientFunds:
+            pass
+    assert ledger.total_supply() == pytest.approx(initial, abs=1e-9)
+    assert all(v >= 0.0 for v in ledger.snapshot().values())

@@ -1,0 +1,137 @@
+"""Tests for the discrete-event clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.errors import ClockError
+from repro.chain.events import SimulationClock
+
+
+class TestBasics:
+    def test_starts_at_zero(self):
+        assert SimulationClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimulationClock(start=5.0).now == 5.0
+
+    def test_advance(self):
+        clock = SimulationClock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_by(self):
+        clock = SimulationClock()
+        clock.advance_by(1.5)
+        clock.advance_by(1.5)
+        assert clock.now == 3.0
+
+    def test_cannot_rewind(self):
+        clock = SimulationClock()
+        clock.advance_to(3.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(2.0)
+
+    def test_cannot_advance_negative(self):
+        with pytest.raises(ClockError):
+            SimulationClock().advance_by(-1.0)
+
+    def test_cannot_schedule_in_past(self):
+        clock = SimulationClock()
+        clock.advance_to(5.0)
+        with pytest.raises(ClockError):
+            clock.schedule(4.0, lambda: None)
+
+
+class TestEventOrdering:
+    def test_fires_in_time_order(self):
+        clock = SimulationClock()
+        fired = []
+        clock.schedule(2.0, lambda: fired.append("b"))
+        clock.schedule(1.0, lambda: fired.append("a"))
+        clock.schedule(3.0, lambda: fired.append("c"))
+        clock.advance_to(10.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        clock = SimulationClock()
+        fired = []
+        clock.schedule(1.0, lambda: fired.append("first"))
+        clock.schedule(1.0, lambda: fired.append("second"))
+        clock.advance_to(1.0)
+        assert fired == ["first", "second"]
+
+    def test_due_events_only(self):
+        clock = SimulationClock()
+        fired = []
+        clock.schedule(1.0, lambda: fired.append("early"))
+        clock.schedule(5.0, lambda: fired.append("late"))
+        clock.advance_to(2.0)
+        assert fired == ["early"]
+        assert clock.pending_events == 1
+
+    def test_callback_time_visible(self):
+        clock = SimulationClock()
+        seen = []
+        clock.schedule(1.5, lambda: seen.append(clock.now))
+        clock.advance_to(4.0)
+        assert seen == [1.5]
+        assert clock.now == 4.0
+
+
+class TestCascades:
+    def test_callback_schedules_followup_within_advance(self):
+        clock = SimulationClock()
+        fired = []
+
+        def first():
+            fired.append("first")
+            clock.schedule(2.0, lambda: fired.append("second"))
+
+        clock.schedule(1.0, first)
+        clock.advance_to(3.0)
+        assert fired == ["first", "second"]
+
+    def test_followup_beyond_horizon_deferred(self):
+        clock = SimulationClock()
+        fired = []
+
+        def first():
+            clock.schedule(9.0, lambda: fired.append("late"))
+
+        clock.schedule(1.0, first)
+        clock.advance_to(2.0)
+        assert fired == []
+        clock.advance_to(9.0)
+        assert fired == ["late"]
+
+    def test_run_until_idle(self):
+        clock = SimulationClock()
+        fired = []
+
+        def chain(n: int):
+            fired.append(n)
+            if n < 5:
+                clock.schedule(clock.now + 1.0, lambda: chain(n + 1))
+
+        clock.schedule(0.5, lambda: chain(0))
+        clock.run_until_idle(horizon=100.0)
+        assert fired == [0, 1, 2, 3, 4, 5]
+        assert clock.pending_events == 0
+
+    def test_same_time_reschedule_runs_after_queued(self):
+        """A callback re-scheduling itself at the current time runs after
+        events already queued for that time (the refund-check pattern)."""
+        clock = SimulationClock()
+        fired = []
+        clock.schedule(1.0, lambda: fired.append("check"))
+        clock.schedule(1.0, lambda: fired.append("claim"))
+
+        def recheck():
+            fired.append("recheck-armed")
+            clock.schedule(1.0, lambda: fired.append("recheck"))
+
+        clock.schedule(1.0, recheck)
+        # replace "check" semantics: order is check, claim, recheck-armed, recheck
+        clock.advance_to(1.0)
+        assert fired == ["check", "claim", "recheck-armed", "recheck"]

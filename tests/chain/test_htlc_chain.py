@@ -1,0 +1,189 @@
+"""Tests for the blockchain + HTLC lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.chain import Blockchain
+from repro.chain.crypto import new_secret
+from repro.chain.events import SimulationClock
+from repro.chain.htlc import ClaimOp, HTLCState
+from repro.chain.transaction import TxStatus
+from repro.stochastic.rng import RandomState
+
+
+@pytest.fixture()
+def chain() -> Blockchain:
+    clock = SimulationClock()
+    chain = Blockchain(
+        name="test", token="TOK", clock=clock,
+        confirmation_time=3.0, mempool_delay=1.0,
+    )
+    chain.open_account("alice", 10.0)
+    chain.open_account("bob", 0.0)
+    return chain
+
+
+@pytest.fixture()
+def secret():
+    return new_secret(RandomState(1))
+
+
+class TestChainValidation:
+    def test_rejects_bad_confirmation_time(self):
+        with pytest.raises(ValueError):
+            Blockchain("x", "TOK", SimulationClock(), confirmation_time=0.0,
+                       mempool_delay=0.0)
+
+    def test_rejects_mempool_delay_geq_confirmation(self):
+        with pytest.raises(ValueError):
+            Blockchain("x", "TOK", SimulationClock(), confirmation_time=3.0,
+                       mempool_delay=3.0)
+
+
+class TestTransactionLifecycle:
+    def test_visibility_then_confirmation(self, chain, secret):
+        tx, _contract = chain.deploy_htlc("alice", "bob", 2.0, secret.hashlock, 20.0)
+        assert tx.status is TxStatus.SUBMITTED
+        chain.clock.advance_to(1.0)
+        assert tx.status is TxStatus.VISIBLE
+        assert len(chain.mempool) == 1
+        chain.clock.advance_to(3.0)
+        assert tx.status is TxStatus.CONFIRMED
+        assert len(chain.mempool) == 0
+
+    def test_confirmed_tx_in_block(self, chain, secret):
+        tx, _ = chain.deploy_htlc("alice", "bob", 2.0, secret.hashlock, 20.0)
+        chain.clock.advance_to(3.0)
+        assert chain.blocks[-1].txids == (tx.txid,)
+        assert chain.blocks[-1].timestamp == 3.0
+
+    def test_block_heights_increase(self, chain, secret):
+        chain.deploy_htlc("alice", "bob", 1.0, secret.hashlock, 20.0)
+        chain.clock.advance_to(3.0)
+        chain.deploy_htlc("alice", "bob", 1.0, new_secret(RandomState(2)).hashlock, 20.0)
+        chain.clock.advance_to(6.0)
+        assert [b.height for b in chain.blocks] == [0, 1]
+
+    def test_failed_op_fails_tx_without_side_effects(self, chain, secret):
+        # claim of a never-deployed (still pending) HTLC fails
+        _tx, contract = chain.deploy_htlc("alice", "bob", 2.0, secret.hashlock, 20.0)
+        claim_tx = chain.submit("bob", ClaimOp(contract, secret.preimage))
+        # claim confirms at t=3, same moment deploy confirms; deploy was
+        # submitted first so it applies first and the claim succeeds --
+        # instead test a claim with a WRONG preimage
+        chain.clock.advance_to(3.0)
+        assert claim_tx.status is TxStatus.CONFIRMED
+        # now a second claim on an already-claimed contract must fail
+        second = chain.submit("bob", ClaimOp(contract, secret.preimage))
+        chain.clock.advance_to(6.0)
+        assert second.status is TxStatus.FAILED
+        assert "state" in second.failure_reason
+
+
+class TestHTLCLifecycle:
+    def test_deploy_locks_funds(self, chain, secret):
+        _tx, contract = chain.deploy_htlc("alice", "bob", 2.0, secret.hashlock, 20.0)
+        assert contract.state is HTLCState.PENDING
+        chain.clock.advance_to(3.0)
+        assert contract.state is HTLCState.LOCKED
+        assert chain.balance("alice") == 8.0
+        assert chain.balance(contract.account) == 2.0
+
+    def test_deploy_fails_on_insufficient_funds(self, chain, secret):
+        tx, contract = chain.deploy_htlc("alice", "bob", 100.0, secret.hashlock, 20.0)
+        chain.clock.advance_to(3.0)
+        assert tx.status is TxStatus.FAILED
+        assert contract.state is HTLCState.PENDING
+
+    def test_claim_with_correct_preimage(self, chain, secret):
+        _tx, contract = chain.deploy_htlc("alice", "bob", 2.0, secret.hashlock, 20.0)
+        chain.clock.advance_to(3.0)
+        chain.claim_htlc(contract, "bob", secret.preimage)
+        chain.clock.advance_to(6.0)
+        assert contract.state is HTLCState.CLAIMED
+        assert chain.balance("bob") == 2.0
+        assert contract.revealed_preimage == secret.preimage
+
+    def test_claim_with_wrong_preimage_fails(self, chain, secret):
+        _tx, contract = chain.deploy_htlc("alice", "bob", 2.0, secret.hashlock, 20.0)
+        chain.clock.advance_to(3.0)
+        bad = new_secret(RandomState(99))
+        claim_tx = chain.claim_htlc(contract, "bob", bad.preimage)
+        chain.clock.advance_to(6.0)
+        assert claim_tx.status is TxStatus.FAILED
+        assert contract.state is HTLCState.LOCKED
+        assert chain.balance("bob") == 0.0
+
+    def test_claim_confirming_after_expiry_fails(self, chain, secret):
+        _tx, contract = chain.deploy_htlc("alice", "bob", 2.0, secret.hashlock, 6.0)
+        chain.clock.advance_to(3.0)
+        chain.clock.advance_to(5.0)  # claim will confirm at 8 > 6
+        claim_tx = chain.claim_htlc(contract, "bob", secret.preimage)
+        chain.clock.advance_to(8.0)
+        assert claim_tx.status is TxStatus.FAILED
+        assert contract.state in (HTLCState.LOCKED, HTLCState.REFUNDED)
+
+    def test_claim_confirming_exactly_at_expiry_succeeds(self, chain, secret):
+        # the paper's Eq. (8)/(9) boundary: t5 <= t_b
+        _tx, contract = chain.deploy_htlc("alice", "bob", 2.0, secret.hashlock, 6.0)
+        chain.clock.advance_to(3.0)
+        chain.claim_htlc(contract, "bob", secret.preimage)  # confirms at 6.0
+        chain.clock.run_until_idle(20.0)
+        assert contract.state is HTLCState.CLAIMED
+        assert chain.balance("bob") == 2.0
+
+    def test_auto_refund_after_expiry(self, chain, secret):
+        _tx, contract = chain.deploy_htlc("alice", "bob", 2.0, secret.hashlock, 6.0)
+        chain.clock.run_until_idle(20.0)
+        assert contract.state is HTLCState.REFUNDED
+        assert chain.balance("alice") == 10.0
+        # refund lands one confirmation time after expiry
+        assert contract.resolved_at == pytest.approx(6.0 + 3.0)
+
+    def test_refund_after_failed_boundary_claim(self, chain):
+        # claim with a wrong preimage confirming exactly at expiry: the
+        # re-armed refund check must still fire
+        good = new_secret(RandomState(1))
+        bad = new_secret(RandomState(2))
+        _tx, contract = chain.deploy_htlc("alice", "bob", 2.0, good.hashlock, 6.0)
+        chain.clock.advance_to(3.0)
+        chain.claim_htlc(contract, "bob", bad.preimage)  # confirms at 6.0, fails
+        chain.clock.run_until_idle(20.0)
+        assert contract.state is HTLCState.REFUNDED
+        assert chain.balance("alice") == 10.0
+
+    def test_supply_conserved_through_lifecycle(self, chain, secret):
+        initial = chain.ledger.total_supply()
+        _tx, contract = chain.deploy_htlc("alice", "bob", 2.0, secret.hashlock, 20.0)
+        chain.clock.advance_to(3.0)
+        chain.claim_htlc(contract, "bob", secret.preimage)
+        chain.clock.run_until_idle(30.0)
+        assert chain.ledger.total_supply() == pytest.approx(initial)
+
+
+class TestMempoolObservation:
+    def test_preimage_visible_before_confirmation(self, chain, secret):
+        """The paper's step 4: the secret leaks via the mempool at eps."""
+        _tx, contract = chain.deploy_htlc("alice", "bob", 2.0, secret.hashlock, 20.0)
+        chain.clock.advance_to(3.0)
+        chain.claim_htlc(contract, "bob", secret.preimage)  # visible at 4, confirms 6
+        assert chain.observe_preimage(secret.hashlock) is None
+        chain.clock.advance_to(4.0)
+        assert chain.observe_preimage(secret.hashlock) == secret.preimage
+        assert contract.state is HTLCState.LOCKED  # not yet confirmed
+
+    def test_preimage_visible_after_confirmation(self, chain, secret):
+        _tx, contract = chain.deploy_htlc("alice", "bob", 2.0, secret.hashlock, 20.0)
+        chain.clock.advance_to(3.0)
+        chain.claim_htlc(contract, "bob", secret.preimage)
+        chain.clock.advance_to(6.0)
+        assert chain.observe_preimage(secret.hashlock) == secret.preimage
+
+    def test_unrelated_hashlock_not_observed(self, chain, secret):
+        other = new_secret(RandomState(50))
+        _tx, contract = chain.deploy_htlc("alice", "bob", 2.0, secret.hashlock, 20.0)
+        chain.clock.advance_to(3.0)
+        chain.claim_htlc(contract, "bob", secret.preimage)
+        chain.clock.advance_to(4.0)
+        assert chain.observe_preimage(other.hashlock) is None

@@ -1,0 +1,144 @@
+"""Tests for the collateral escrow/Oracle and the two-chain network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.chain import Blockchain
+from repro.chain.errors import ContractStateError
+from repro.chain.events import SimulationClock
+from repro.chain.network import ALICE, BOB, TOKEN_A, TOKEN_B, TwoChainNetwork
+from repro.chain.oracle import CollateralEscrow, DepositOp, EscrowState, Oracle
+from repro.core.parameters import SwapParameters
+
+
+@pytest.fixture()
+def setup():
+    clock = SimulationClock()
+    chain = Blockchain("a", "TOK", clock, confirmation_time=3.0, mempool_delay=1.0)
+    chain.open_account("alice", 5.0)
+    chain.open_account("bob", 5.0)
+    escrow = CollateralEscrow(alice="alice", bob="bob", amount=1.0)
+    oracle = Oracle(chain, escrow)
+    return chain, escrow, oracle
+
+
+def fund(chain, escrow):
+    chain.submit("alice", DepositOp(escrow, "alice"))
+    chain.submit("bob", DepositOp(escrow, "bob"))
+    chain.clock.advance_to(3.0)
+
+
+class TestEscrowDeposits:
+    def test_deposits_lock_funds(self, setup):
+        chain, escrow, _oracle = setup
+        fund(chain, escrow)
+        assert escrow.state is EscrowState.ACTIVE
+        assert chain.balance("alice") == 4.0
+        assert chain.balance(escrow.account) == 2.0
+
+    def test_partial_funding_stays_open(self, setup):
+        chain, escrow, _oracle = setup
+        chain.submit("alice", DepositOp(escrow, "alice"))
+        chain.clock.advance_to(3.0)
+        assert escrow.state is EscrowState.OPEN
+        assert not escrow.fully_funded
+
+    def test_outsider_cannot_deposit(self, setup):
+        chain, escrow, _oracle = setup
+        chain.open_account("mallory", 5.0)
+        tx = chain.submit("mallory", DepositOp(escrow, "mallory"))
+        chain.clock.advance_to(3.0)
+        assert tx.status.value == "failed"
+
+    def test_rejects_negative_amount(self):
+        with pytest.raises(ContractStateError):
+            CollateralEscrow(alice="a", bob="b", amount=-1.0)
+
+
+class TestOracleSettlement:
+    def test_success_returns_both(self, setup):
+        chain, escrow, oracle = setup
+        fund(chain, escrow)
+        oracle.release_bob_deposit()
+        oracle.release_alice_deposit()
+        chain.clock.run_until_idle(20.0)
+        assert chain.balance("alice") == 5.0
+        assert chain.balance("bob") == 5.0
+        assert escrow.state is EscrowState.SETTLED
+
+    def test_alice_waive_forfeits_to_bob(self, setup):
+        chain, escrow, oracle = setup
+        fund(chain, escrow)
+        oracle.release_bob_deposit()
+        oracle.forfeit_alice_to_bob()
+        chain.clock.run_until_idle(20.0)
+        assert chain.balance("alice") == 4.0
+        assert chain.balance("bob") == 6.0
+
+    def test_bob_walk_forfeits_both_to_alice(self, setup):
+        chain, escrow, oracle = setup
+        fund(chain, escrow)
+        oracle.forfeit_bob_to_alice()
+        chain.clock.run_until_idle(20.0)
+        assert chain.balance("alice") == 6.0
+        assert chain.balance("bob") == 4.0
+
+    def test_return_both_on_no_engagement(self, setup):
+        chain, escrow, oracle = setup
+        fund(chain, escrow)
+        oracle.return_both()
+        chain.clock.run_until_idle(20.0)
+        assert chain.balance("alice") == 5.0
+        assert chain.balance("bob") == 5.0
+
+    def test_double_settlement_rejected(self, setup):
+        chain, escrow, oracle = setup
+        fund(chain, escrow)
+        oracle.release_alice_deposit()
+        with pytest.raises(ContractStateError):
+            oracle.release_alice_deposit()
+        with pytest.raises(ContractStateError):
+            oracle.forfeit_alice_to_bob()
+
+    def test_forfeit_bob_after_partial_settlement_rejected(self, setup):
+        chain, escrow, oracle = setup
+        fund(chain, escrow)
+        oracle.release_bob_deposit()
+        with pytest.raises(ContractStateError):
+            oracle.forfeit_bob_to_alice()
+
+    def test_payout_timing(self, setup):
+        chain, escrow, oracle = setup
+        fund(chain, escrow)  # now = 3
+        oracle.release_bob_deposit()
+        chain.clock.advance_to(5.9)
+        assert chain.balance("bob") == 4.0  # payout not yet confirmed
+        chain.clock.advance_to(6.0)
+        assert chain.balance("bob") == 5.0  # lands one tau after decision
+
+
+class TestTwoChainNetwork:
+    def test_construction_from_params(self, params):
+        net = TwoChainNetwork(params)
+        assert net.chain_a.confirmation_time == params.tau_a
+        assert net.chain_b.confirmation_time == params.tau_b
+        assert net.chain_b.mempool_delay == params.eps_b
+
+    def test_shared_clock(self, params):
+        net = TwoChainNetwork(params)
+        assert net.chain_a.clock is net.chain_b.clock is net.clock
+
+    def test_fund_agents(self, params):
+        net = TwoChainNetwork(params)
+        net.fund_agents(pstar=2.0, collateral=0.5)
+        balances = net.balances()
+        assert balances[ALICE][TOKEN_A] == 2.5
+        assert balances[ALICE][TOKEN_B] == 0.0
+        assert balances[BOB][TOKEN_A] == 0.5
+        assert balances[BOB][TOKEN_B] == 1.0
+
+    def test_advance(self, params):
+        net = TwoChainNetwork(params)
+        net.advance_to(7.5)
+        assert net.clock.now == 7.5

@@ -1,0 +1,118 @@
+"""Tests for transaction state transitions and the mempool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.crypto import new_secret
+from repro.chain.htlc import HTLC, ClaimOp
+from repro.chain.mempool import Mempool
+from repro.chain.transaction import Operation, Transaction, TxStatus
+from repro.stochastic.rng import RandomState
+
+
+class NoopOp(Operation):
+    def apply(self, chain, now: float) -> None:
+        pass
+
+
+def make_tx(**overrides) -> Transaction:
+    fields = dict(
+        sender="alice", operation=NoopOp(),
+        submitted_at=0.0, visible_at=1.0, confirm_at=3.0,
+    )
+    fields.update(overrides)
+    return Transaction(**fields)
+
+
+class TestTransitions:
+    def test_initial_state(self):
+        assert make_tx().status is TxStatus.SUBMITTED
+
+    def test_happy_path(self):
+        tx = make_tx()
+        tx.mark_visible()
+        assert tx.status is TxStatus.VISIBLE
+        tx.mark_confirmed()
+        assert tx.status is TxStatus.CONFIRMED
+        assert tx.is_final
+
+    def test_cannot_confirm_from_submitted(self):
+        with pytest.raises(ValueError):
+            make_tx().mark_confirmed()
+
+    def test_cannot_double_visible(self):
+        tx = make_tx()
+        tx.mark_visible()
+        with pytest.raises(ValueError):
+            tx.mark_visible()
+
+    def test_fail_records_reason(self):
+        tx = make_tx()
+        tx.mark_visible()
+        tx.mark_failed("bad preimage")
+        assert tx.status is TxStatus.FAILED
+        assert tx.failure_reason == "bad preimage"
+        assert tx.is_final
+
+    def test_cannot_fail_twice(self):
+        tx = make_tx()
+        tx.mark_failed("x")
+        with pytest.raises(ValueError):
+            tx.mark_failed("y")
+
+    def test_timing_invariant(self):
+        with pytest.raises(ValueError, match="timing"):
+            make_tx(visible_at=5.0)
+
+    def test_unique_txids(self):
+        assert make_tx().txid != make_tx().txid
+
+
+class TestMempool:
+    def test_only_visible_txs_accepted(self):
+        pool = Mempool()
+        with pytest.raises(ValueError):
+            pool.add(make_tx())
+
+    def test_add_remove(self):
+        pool = Mempool()
+        tx = make_tx()
+        tx.mark_visible()
+        pool.add(tx)
+        assert len(pool) == 1
+        pool.remove(tx)
+        assert len(pool) == 0
+
+    def test_find_revealed_preimage(self):
+        secret = new_secret(RandomState(3))
+        contract = HTLC(
+            sender="alice", recipient="bob", amount=1.0,
+            hashlock=secret.hashlock, expiry=10.0,
+        )
+        tx = make_tx(operation=ClaimOp(contract, secret.preimage))
+        tx.mark_visible()
+        pool = Mempool()
+        pool.add(tx)
+        assert pool.find_revealed_preimage(secret.hashlock) == secret.preimage
+
+    def test_find_ignores_wrong_hashlock(self):
+        secret = new_secret(RandomState(3))
+        other = new_secret(RandomState(4))
+        contract = HTLC(
+            sender="alice", recipient="bob", amount=1.0,
+            hashlock=secret.hashlock, expiry=10.0,
+        )
+        tx = make_tx(operation=ClaimOp(contract, secret.preimage))
+        tx.mark_visible()
+        pool = Mempool()
+        pool.add(tx)
+        assert pool.find_revealed_preimage(other.hashlock) is None
+
+    def test_find_ignores_non_claim_ops(self):
+        secret = new_secret(RandomState(3))
+        tx = make_tx(operation=NoopOp())
+        tx.mark_visible()
+        pool = Mempool()
+        pool.add(tx)
+        assert pool.find_revealed_preimage(secret.hashlock) is None

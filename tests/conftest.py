@@ -1,0 +1,32 @@
+"""Shared fixtures.
+
+Solvers for the default parameters are session-scoped: they are
+immutable and moderately expensive to build, and dozens of tests read
+the same thresholds/regions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backward_induction import BackwardInduction
+from repro.core.parameters import SwapParameters
+from repro.stochastic.rng import RandomState
+
+
+@pytest.fixture(scope="session")
+def params() -> SwapParameters:
+    """The paper's Table III defaults."""
+    return SwapParameters.default()
+
+
+@pytest.fixture(scope="session")
+def solver(params: SwapParameters) -> BackwardInduction:
+    """Basic-game solver at the reference rate P* = 2."""
+    return BackwardInduction(params, pstar=2.0)
+
+
+@pytest.fixture()
+def rng() -> RandomState:
+    """A fresh deterministic random stream per test."""
+    return RandomState(20210701)

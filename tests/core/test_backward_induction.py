@@ -1,0 +1,299 @@
+"""Tests for the basic-game backward induction (Eqs. (14)-(31)).
+
+The closed-form stage utilities are checked against the paper's
+formulas term by term, against brute-force quadrature, and for the
+comparative-statics directions Section III-E derives.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backward_induction import BackwardInduction
+from repro.core.parameters import SwapParameters
+from repro.stochastic.lognormal import LognormalLaw
+from repro.stochastic.quadrature import expectation_above, expectation_below
+
+PSTARS = st.floats(min_value=1.0, max_value=4.0)
+
+
+class TestConstruction:
+    def test_rejects_bad_pstar(self, params):
+        with pytest.raises(ValueError, match="pstar"):
+            BackwardInduction(params, pstar=0.0)
+
+
+class TestStageT3:
+    """Eqs. (14)-(19)."""
+
+    def test_alice_cont_formula(self, params, solver):
+        # Eq. (14): (1 + alpha) E(P, tau_b) e^{-r tau_b}
+        p3 = 1.8
+        expected = (
+            1.3 * p3 * math.exp(0.002 * 4.0) * math.exp(-0.01 * 4.0)
+        )
+        assert solver.alice_t3_cont(p3) == pytest.approx(expected, rel=1e-12)
+
+    def test_alice_cont_linear_in_price(self, solver):
+        assert solver.alice_t3_cont(2.0) == pytest.approx(
+            2.0 * solver.alice_t3_cont(1.0), rel=1e-12
+        )
+
+    def test_alice_stop_formula(self, params, solver):
+        # Eq. (16): P* e^{-r (eps_b + 2 tau_a)}
+        expected = 2.0 * math.exp(-0.01 * (1.0 + 6.0))
+        assert solver.alice_t3_stop() == pytest.approx(expected, rel=1e-12)
+
+    def test_bob_cont_formula(self, params, solver):
+        # Eq. (15): (1 + alpha) P* e^{-r (eps_b + tau_a)}
+        expected = 1.3 * 2.0 * math.exp(-0.01 * 4.0)
+        assert solver.bob_t3_cont() == pytest.approx(expected, rel=1e-12)
+
+    def test_bob_stop_formula(self, params, solver):
+        # Eq. (17): E(P, 2 tau_b) e^{-2 r tau_b}
+        p3 = 2.2
+        expected = p3 * math.exp(2 * 0.002 * 4.0) * math.exp(-2 * 0.01 * 4.0)
+        assert solver.bob_t3_stop(p3) == pytest.approx(expected, rel=1e-12)
+
+    def test_threshold_eq18(self, params, solver):
+        # Eq. (18) evaluated explicitly
+        expected = (
+            math.exp((0.01 - 0.002) * 4.0 - 0.01 * (1.0 + 6.0)) * 2.0 / 1.3
+        )
+        assert solver.p3_threshold() == pytest.approx(expected, rel=1e-12)
+
+    def test_threshold_equates_utilities(self, solver):
+        k = solver.p3_threshold()
+        assert solver.alice_t3_cont(k) == pytest.approx(
+            solver.alice_t3_stop(), rel=1e-12
+        )
+
+    def test_threshold_increases_with_pstar(self, params):
+        # stated under Eq. (18): "P3 increases with P*"
+        thresholds = [
+            BackwardInduction(params, k).p3_threshold() for k in (1.5, 2.0, 2.5)
+        ]
+        assert thresholds[0] < thresholds[1] < thresholds[2]
+
+    def test_threshold_decreases_with_alpha(self, params):
+        base = BackwardInduction(params, 2.0).p3_threshold()
+        generous = BackwardInduction(
+            params.replace(alpha_a=0.6), 2.0
+        ).p3_threshold()
+        assert generous < base
+
+    def test_alice_value_is_max(self, solver):
+        for p3 in (0.5, solver.p3_threshold(), 3.0):
+            assert solver.alice_t3_value(p3) == pytest.approx(
+                max(float(solver.alice_t3_cont(p3)), solver.alice_t3_stop())
+            )
+
+    def test_bob_value_follows_alice_policy(self, solver):
+        thr = solver.p3_threshold()
+        assert solver.bob_t3_value(thr * 1.01) == pytest.approx(solver.bob_t3_cont())
+        assert solver.bob_t3_value(thr * 0.99) == pytest.approx(
+            float(solver.bob_t3_stop(thr * 0.99))
+        )
+
+
+class TestStageT2:
+    """Eqs. (20)-(24)."""
+
+    def test_alice_cont_matches_quadrature(self, params, solver):
+        # brute-force Eq. (20) with generic quadrature
+        p2 = 2.1
+        law = LognormalLaw(spot=p2, mu=params.mu, sigma=params.sigma, tau=params.tau_b)
+        thr = solver.p3_threshold()
+        upper = expectation_above(law, lambda x: solver.alice_t3_cont(x), thr)
+        lower = float(law.cdf(thr)) * solver.alice_t3_stop()
+        expected = (upper + lower) * math.exp(-params.alice.r * params.tau_b)
+        assert float(solver.alice_t2_cont(p2)) == pytest.approx(expected, rel=1e-9)
+
+    def test_bob_cont_matches_quadrature(self, params, solver):
+        p2 = 1.7
+        law = LognormalLaw(spot=p2, mu=params.mu, sigma=params.sigma, tau=params.tau_b)
+        thr = solver.p3_threshold()
+        upper = float(law.survival(thr)) * solver.bob_t3_cont()
+        lower = expectation_below(law, lambda x: solver.bob_t3_stop(x), thr)
+        expected = (upper + lower) * math.exp(-params.bob.r * params.tau_b)
+        assert float(solver.bob_t2_cont(p2)) == pytest.approx(expected, rel=1e-9)
+
+    def test_alice_stop_formula(self, params, solver):
+        # Eq. (22)
+        expected = 2.0 * math.exp(-0.01 * (4.0 + 1.0 + 6.0))
+        assert solver.alice_t2_stop() == pytest.approx(expected, rel=1e-12)
+
+    def test_bob_stop_is_price(self, solver):
+        assert solver.bob_t2_stop(1.234) == 1.234
+
+    def test_region_is_single_interval(self, solver):
+        region = solver.bob_t2_region()
+        assert len(region) == 1
+
+    def test_region_brackets_equilibrium_price(self, solver):
+        lo, hi = solver.bob_t2_region().bounds()
+        assert lo < 2.0 < hi
+
+    def test_region_boundary_is_indifference(self, solver):
+        lo, hi = solver.bob_t2_region().bounds()
+        assert float(solver.bob_t2_advantage(lo)) == pytest.approx(0.0, abs=1e-8)
+        assert float(solver.bob_t2_advantage(hi)) == pytest.approx(0.0, abs=1e-8)
+
+    def test_region_cached(self, solver):
+        assert solver.bob_t2_region() is solver.bob_t2_region()
+
+    def test_region_widens_with_alpha_b(self, params):
+        # Section III-E3: "the lower alpha_B, the narrower the feasible range"
+        narrow = BackwardInduction(params.replace(alpha_b=0.15), 2.0).bob_t2_region()
+        wide = BackwardInduction(params.replace(alpha_b=0.45), 2.0).bob_t2_region()
+        assert wide.total_length() > narrow.total_length()
+
+    def test_region_empty_for_tiny_alpha_b(self, params):
+        # "when alpha_B is sufficiently small ... the swap always fails"
+        region = BackwardInduction(
+            params.replace(alpha_b=0.0, alpha_a=0.0), 2.0
+        ).bob_t2_region()
+        assert region.is_empty
+
+    def test_region_shifts_up_with_pstar(self, params):
+        # Figure 4: "this range expands and shifts to the higher end with larger P*"
+        low = BackwardInduction(params, 1.6).bob_t2_region().bounds()
+        high = BackwardInduction(params, 2.4).bob_t2_region().bounds()
+        assert high[0] > low[0]
+        assert high[1] > low[1]
+
+
+class TestStageT1:
+    """Eqs. (25)-(30)."""
+
+    def test_alice_stop_is_pstar(self, solver):
+        assert solver.alice_t1_stop() == 2.0
+
+    def test_bob_stop_is_spot(self, params, solver):
+        assert solver.bob_t1_stop() == params.p0
+
+    def test_alice_cont_between_bounds(self, solver):
+        # expected discounted value must lie between the worst and best branch
+        cont = solver.alice_t1_cont()
+        assert 0.0 < cont
+        # at P*=2 (inside the feasible range) Alice strictly prefers cont
+        assert cont > solver.alice_t1_stop()
+
+    def test_alice_initiates_at_reference_rate(self, solver):
+        assert solver.alice_initiates()
+
+    def test_alice_declines_extreme_rates(self, params):
+        assert not BackwardInduction(params, 1.2).alice_initiates()
+        assert not BackwardInduction(params, 3.5).alice_initiates()
+
+    def test_bob_agrees_at_reference_rate(self, solver):
+        assert solver.bob_would_agree()
+
+    def test_alice_cont_matches_quadrature(self, params, solver):
+        # brute-force Eq. (25)
+        law = LognormalLaw(
+            spot=params.p0, mu=params.mu, sigma=params.sigma, tau=params.tau_a
+        )
+        lo, hi = solver.bob_t2_region().bounds()
+        from repro.stochastic.quadrature import expectation_on_interval
+
+        inside = expectation_on_interval(
+            law, lambda x: solver.alice_t2_cont(x), lo, hi
+        )
+        outside = (1.0 - law.probability_between(lo, hi)) * solver.alice_t2_stop()
+        expected = (inside + outside) * math.exp(-params.alice.r * params.tau_a)
+        assert solver.alice_t1_cont() == pytest.approx(expected, rel=1e-9)
+
+    def test_bob_cont_matches_quadrature(self, params, solver):
+        # brute-force Eq. (26): stop branches integrate the identity payoff
+        law = LognormalLaw(
+            spot=params.p0, mu=params.mu, sigma=params.sigma, tau=params.tau_a
+        )
+        lo, hi = solver.bob_t2_region().bounds()
+        from repro.stochastic.quadrature import (
+            expectation_above,
+            expectation_below,
+            expectation_on_interval,
+        )
+
+        inside = expectation_on_interval(law, lambda x: solver.bob_t2_cont(x), lo, hi)
+        below = expectation_below(law, lambda x: x, lo)
+        above = expectation_above(law, lambda x: x, hi)
+        expected = (inside + below + above) * math.exp(-params.bob.r * params.tau_a)
+        assert solver.bob_t1_cont() == pytest.approx(expected, rel=1e-9)
+
+
+class TestSuccessRate:
+    """Eq. (31)."""
+
+    def test_probability_bounds(self, solver):
+        assert 0.0 <= solver.success_rate() <= 1.0
+
+    def test_zero_when_region_empty(self, params):
+        solver = BackwardInduction(params.replace(alpha_a=0.0, alpha_b=0.0), 2.0)
+        assert solver.success_rate() == 0.0
+
+    def test_matches_direct_double_integral(self, params, solver):
+        # brute-force Eq. (31) with nested generic quadrature
+        law = LognormalLaw(
+            spot=params.p0, mu=params.mu, sigma=params.sigma, tau=params.tau_a
+        )
+        lo, hi = solver.bob_t2_region().bounds()
+        thr = solver.p3_threshold()
+        from repro.stochastic.quadrature import expectation_on_interval
+
+        def alice_survives(x: np.ndarray) -> np.ndarray:
+            out = []
+            for spot in np.atleast_1d(x):
+                inner = LognormalLaw(
+                    spot=float(spot), mu=params.mu, sigma=params.sigma,
+                    tau=params.tau_b,
+                )
+                out.append(float(inner.survival(thr)))
+            return np.asarray(out)
+
+        expected = expectation_on_interval(law, alice_survives, lo, hi)
+        assert solver.success_rate() == pytest.approx(expected, rel=1e-9)
+
+    def test_dominated_by_region_mass(self, params, solver):
+        # SR can never exceed P(P_t2 in Bob's region)
+        law = LognormalLaw(
+            spot=params.p0, mu=params.mu, sigma=params.sigma, tau=params.tau_a
+        )
+        assert solver.success_rate() <= solver.bob_t2_region().probability(law)
+
+
+@settings(max_examples=25, deadline=None)
+@given(pstar=PSTARS)
+def test_property_t3_threshold_positive(pstar):
+    solver = BackwardInduction(SwapParameters.default(), pstar)
+    assert solver.p3_threshold() > 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(pstar=PSTARS)
+def test_property_success_rate_in_unit_interval(pstar):
+    solver = BackwardInduction(SwapParameters.default(), pstar)
+    assert 0.0 <= solver.success_rate() <= 1.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(pstar=PSTARS, scale=st.floats(min_value=0.5, max_value=2.0))
+def test_property_scale_invariance(pstar, scale):
+    """Scaling (p0, P*) together rescales all value quantities linearly.
+
+    The game is homogeneous of degree one in the numeraire: thresholds
+    and utilities scale, probabilities (SR) are invariant.
+    """
+    base = SwapParameters.default()
+    scaled = base.replace(p0=base.p0 * scale)
+    a = BackwardInduction(base, pstar)
+    b = BackwardInduction(scaled, pstar * scale)
+    assert b.p3_threshold() == pytest.approx(scale * a.p3_threshold(), rel=1e-9)
+    assert b.success_rate() == pytest.approx(a.success_rate(), abs=1e-6)
+    assert b.alice_t1_cont() == pytest.approx(scale * a.alice_t1_cont(), rel=1e-6)

@@ -1,0 +1,176 @@
+"""Tests for the carry (staking-yield) and transaction-fee extensions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backward_induction import BackwardInduction
+from repro.core.carry import CarryBackwardInduction
+from repro.core.fees import FeeBackwardInduction
+from repro.core.parameters import SwapParameters
+
+
+class TestCarryReduction:
+    """Zero yields reproduce the basic model exactly."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        params = SwapParameters.default()
+        return BackwardInduction(params, 2.0), CarryBackwardInduction(params, 2.0)
+
+    def test_threshold(self, pair):
+        base, carry = pair
+        assert carry.p3_threshold() == pytest.approx(base.p3_threshold(), rel=1e-12)
+
+    def test_t2_utilities(self, pair):
+        base, carry = pair
+        grid = np.linspace(0.5, 4.0, 11)
+        assert np.allclose(carry.alice_t2_cont(grid), base.alice_t2_cont(grid))
+        assert np.allclose(carry.bob_t2_cont(grid), base.bob_t2_cont(grid))
+        assert np.allclose(carry.bob_t2_stop(grid), base.bob_t2_stop(grid))
+
+    def test_t1_and_sr(self, pair):
+        base, carry = pair
+        assert carry.alice_t1_cont() == pytest.approx(base.alice_t1_cont())
+        assert carry.bob_t1_cont() == pytest.approx(base.bob_t1_cont())
+        assert carry.success_rate() == pytest.approx(base.success_rate())
+
+
+class TestCarryEconomics:
+    def test_token_b_yield_narrows_bob_region(self, params):
+        """Staking Token_b competes with swapping it away."""
+        plain = CarryBackwardInduction(params, 2.0).bob_t2_region().total_length()
+        yielding = (
+            CarryBackwardInduction(params, 2.0, yield_b=0.004)
+            .bob_t2_region()
+            .total_length()
+        )
+        assert yielding < plain
+
+    def test_token_b_yield_lowers_sr(self, params):
+        rates = [
+            CarryBackwardInduction(params, 2.0, yield_b=q).success_rate()
+            for q in (0.0, 0.002, 0.005)
+        ]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_token_a_yield_raises_sr(self, params):
+        rates = [
+            CarryBackwardInduction(params, 2.0, yield_a=q).success_rate()
+            for q in (0.0, 0.002, 0.005)
+        ]
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_token_b_yield_lowers_alice_threshold(self, params):
+        """Early receipt of Token_b earns more staking time."""
+        plain = CarryBackwardInduction(params, 2.0).p3_threshold()
+        yielding = CarryBackwardInduction(params, 2.0, yield_b=0.005).p3_threshold()
+        assert yielding < plain
+
+    def test_stop_values_include_full_carry(self, params):
+        import math
+
+        model = CarryBackwardInduction(params, 2.0, yield_a=0.003, yield_b=0.001)
+        t_end = max(params.grid.t7, params.grid.t8)
+        assert model.alice_t1_stop() == pytest.approx(2.0 * math.exp(0.003 * t_end))
+        assert model.bob_t1_stop() == pytest.approx(
+            params.p0 * math.exp(0.001 * t_end)
+        )
+
+    def test_rejects_nonfinite_yields(self, params):
+        with pytest.raises(ValueError):
+            CarryBackwardInduction(params, 2.0, yield_a=float("nan"))
+
+
+class TestFeeReduction:
+    """Zero fees reproduce the basic model exactly."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        params = SwapParameters.default()
+        return BackwardInduction(params, 2.0), FeeBackwardInduction(params, 2.0)
+
+    def test_threshold(self, pair):
+        base, fee = pair
+        assert fee.p3_threshold() == pytest.approx(base.p3_threshold(), rel=1e-12)
+
+    def test_t2_utilities(self, pair):
+        base, fee = pair
+        grid = np.linspace(0.5, 4.0, 11)
+        assert np.allclose(fee.alice_t2_cont(grid), base.alice_t2_cont(grid))
+        assert np.allclose(fee.bob_t2_cont(grid), base.bob_t2_cont(grid))
+
+    def test_t1_and_sr(self, pair):
+        base, fee = pair
+        assert fee.alice_t1_cont() == pytest.approx(base.alice_t1_cont())
+        assert fee.success_rate() == pytest.approx(base.success_rate())
+
+
+class TestFeeEconomics:
+    def test_fees_lower_sr(self, params):
+        rates = [
+            FeeBackwardInduction(params, 2.0, fee_a=f, fee_b=f / 4).success_rate()
+            for f in (0.0, 0.02, 0.08)
+        ]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_fees_shrink_bob_region(self, params):
+        plain = FeeBackwardInduction(params, 2.0).bob_t2_region().total_length()
+        taxed = (
+            FeeBackwardInduction(params, 2.0, fee_a=0.05, fee_b=0.02)
+            .bob_t2_region()
+            .total_length()
+        )
+        assert taxed < plain
+
+    def test_large_fees_block_initiation(self, params):
+        model = FeeBackwardInduction(params, 2.0, fee_a=0.15, fee_b=0.05)
+        assert model.alice_t1_cont() < model.alice_t1_stop()
+
+    def test_fee_validation(self, params):
+        with pytest.raises(ValueError, match="non-negative"):
+            FeeBackwardInduction(params, 2.0, fee_a=-0.1)
+        with pytest.raises(ValueError, match="notional"):
+            FeeBackwardInduction(params, 2.0, fee_a=2.5)
+        with pytest.raises(ValueError, match="notional"):
+            FeeBackwardInduction(params, 2.0, fee_b=1.0)
+
+    def test_claim_fee_shifts_threshold(self, params):
+        """A Chain_b claim fee makes revealing less attractive."""
+        base = FeeBackwardInduction(params, 2.0).p3_threshold()
+        taxed = FeeBackwardInduction(params, 2.0, fee_b=0.05).p3_threshold()
+        assert taxed > base
+
+    def test_refund_fee_lowers_threshold(self, params):
+        """A Chain_a refund fee makes waiving less attractive."""
+        base = FeeBackwardInduction(params, 2.0).p3_threshold()
+        taxed = FeeBackwardInduction(params, 2.0, fee_a=0.1).p3_threshold()
+        assert taxed < base
+
+
+class TestFeesVsCollateral:
+    def test_fees_hurt_collateral_helps(self, params):
+        """Fees tax continuation; collateral taxes defection."""
+        from repro.core.collateral import collateral_success_rate
+
+        base = BackwardInduction(params, 2.0).success_rate()
+        with_fees = FeeBackwardInduction(
+            params, 2.0, fee_a=0.05, fee_b=0.02
+        ).success_rate()
+        with_collateral = collateral_success_rate(params, 2.0, 0.05)
+        assert with_fees < base < with_collateral
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    fee_a=st.floats(min_value=0.0, max_value=0.3),
+    fee_b=st.floats(min_value=0.0, max_value=0.3),
+)
+def test_property_fees_never_raise_sr(fee_a, fee_b):
+    params = SwapParameters.default()
+    base = BackwardInduction(params, 2.0).success_rate()
+    taxed = FeeBackwardInduction(params, 2.0, fee_a=fee_a, fee_b=fee_b).success_rate()
+    assert taxed <= base + 1e-9

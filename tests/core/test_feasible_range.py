@@ -1,0 +1,106 @@
+"""Tests for the feasible ranges (Eqs. (24), (29)-(30))."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backward_induction import BackwardInduction
+from repro.core.feasible_range import (
+    alice_t1_advantage,
+    bob_t1_advantage,
+    bob_t2_range,
+    feasible_pstar_range,
+    feasible_pstar_region,
+)
+
+
+class TestBobT2Range:
+    def test_matches_solver_region(self, params):
+        assert bob_t2_range(params, 2.0) == pytest.approx(
+            BackwardInduction(params, 2.0).bob_t2_region().bounds()
+        )
+
+    def test_none_when_degenerate(self, params):
+        assert bob_t2_range(params.replace(alpha_a=0.0, alpha_b=0.0), 2.0) is None
+
+
+class TestEquation29:
+    """The paper's headline numeric result: P* feasible in (1.5, 2.5)."""
+
+    def test_lower_bound_matches_paper(self, params):
+        bounds = feasible_pstar_range(params)
+        assert bounds is not None
+        # paper reports 1.5 (2 significant figures)
+        assert bounds[0] == pytest.approx(1.5, abs=0.05)
+
+    def test_upper_bound_matches_paper(self, params):
+        bounds = feasible_pstar_range(params)
+        assert bounds is not None
+        assert bounds[1] == pytest.approx(2.5, abs=0.05)
+
+    def test_spot_price_inside_range(self, params):
+        bounds = feasible_pstar_range(params)
+        assert bounds[0] < params.p0 <= bounds[1]
+
+    def test_advantage_sign_flips_at_bounds(self, params):
+        lo, hi = feasible_pstar_range(params)
+        assert alice_t1_advantage(params, lo * 0.98) < 0.0
+        assert alice_t1_advantage(params, (lo + hi) / 2.0) > 0.0
+        assert alice_t1_advantage(params, hi * 1.02) < 0.0
+
+
+class TestComparativeStatics:
+    """Section III-F's statements about the viable range of P*."""
+
+    def test_higher_alpha_widens_range(self, params):
+        lo1, hi1 = feasible_pstar_range(params.replace(alpha_a=0.25, alpha_b=0.25))
+        lo2, hi2 = feasible_pstar_range(params.replace(alpha_a=0.5, alpha_b=0.5))
+        assert (hi2 - lo2) > (hi1 - lo1)
+
+    def test_tiny_alpha_kills_range(self, params):
+        # "when alpha is too small ... the swap would never be initiated"
+        assert feasible_pstar_range(params.replace(alpha_a=0.2, alpha_b=0.2)) is None
+
+    def test_long_confirmation_kills_range(self, params):
+        assert feasible_pstar_range(params.replace(tau_a=6.0)) is None
+
+    def test_higher_r_narrows_range(self, params):
+        lo1, hi1 = feasible_pstar_range(params)
+        bounds = feasible_pstar_range(params.replace(r_a=0.015, r_b=0.015))
+        assert bounds is not None
+        lo2, hi2 = bounds
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_huge_r_kills_range(self, params):
+        # "when r is too high, no feasible value for P* can be found"
+        assert feasible_pstar_range(params.replace(r_a=0.02, r_b=0.02)) is None
+
+    def test_longer_confirmation_narrows_range(self, params):
+        lo1, hi1 = feasible_pstar_range(params)
+        lo2, hi2 = feasible_pstar_range(params.replace(tau_a=5.0))
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_high_volatility_kills_range(self, params):
+        assert feasible_pstar_range(params.replace(sigma=0.25)) is None
+
+
+class TestJointRegion:
+    def test_bob_also_has_a_region(self, params):
+        ranges = feasible_pstar_region(params)
+        assert not ranges.bob.is_empty
+
+    def test_joint_is_intersection(self, params):
+        ranges = feasible_pstar_region(params)
+        joint = ranges.joint
+        assert joint.total_length() <= ranges.alice.total_length() + 1e-12
+        assert joint.total_length() <= ranges.bob.total_length() + 1e-12
+
+    def test_reference_rate_in_joint_region(self, params):
+        assert 2.0 in feasible_pstar_region(params).joint
+
+    def test_bob_advantage_positive_at_reference(self, params):
+        assert bob_t1_advantage(params, 2.0) > 0.0
+
+    def test_alice_bounds_helper(self, params):
+        ranges = feasible_pstar_region(params)
+        assert ranges.alice_bounds() == pytest.approx(feasible_pstar_range(params))

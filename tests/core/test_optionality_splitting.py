@@ -1,0 +1,136 @@
+"""Tests for the option-value decomposition and the exit planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backward_induction import BackwardInduction
+from repro.core.optionality import (
+    CommittedAliceSolver,
+    CommittedBobSolver,
+    optionality_report,
+)
+from repro.core.splitting import plan_full_exit
+
+
+class TestCommittedSolvers:
+    def test_committed_alice_threshold_zero(self, params):
+        assert CommittedAliceSolver(params, 2.0).p3_threshold() == 0.0
+
+    def test_committed_alice_sr_is_region_mass(self, params):
+        solver = CommittedAliceSolver(params, 2.0)
+        law = params.process.law(params.p0, params.tau_a)
+        assert solver.success_rate() == pytest.approx(
+            solver.bob_t2_region().probability(law)
+        )
+
+    def test_committed_bob_region_everything(self, params):
+        region = CommittedBobSolver(params, 2.0).bob_t2_region()
+        assert 0.001 in region
+        assert 1e5 in region
+
+    def test_committed_bob_sr_is_reveal_probability(self, params):
+        solver = CommittedBobSolver(params, 2.0)
+        base = BackwardInduction(params, 2.0)
+        # SR = P(P_t3 > threshold) unconditionally
+        law2 = params.process.law(params.p0, params.tau_a)
+        del law2
+        assert solver.success_rate() > base.success_rate()
+
+
+class TestOptionalityReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.core.parameters import SwapParameters
+
+        return optionality_report(SwapParameters.default(), 2.0)
+
+    def test_equilibrium_values_match_base(self, report, params):
+        base = BackwardInduction(params, 2.0)
+        assert report.alice_equilibrium == pytest.approx(base.alice_t1_cont())
+        assert report.bob_equilibrium == pytest.approx(base.bob_t1_cont())
+        assert report.sr_equilibrium == pytest.approx(base.success_rate())
+
+    def test_both_options_valuable_at_reference_rate(self, report):
+        assert report.alice_option_value > 0.0
+        assert report.bob_option_value > 0.0
+
+    def test_options_hurt_the_counterparty(self, report):
+        # each agent would pay to have the other commit
+        assert report.alice_option_cost_to_bob > 0.0
+        assert report.bob_option_cost_to_alice > 0.0
+
+    def test_commitment_raises_sr(self, report):
+        # removing either option removes a failure mode
+        assert report.sr_committed_alice > report.sr_equilibrium
+        assert report.sr_committed_bob > report.sr_equilibrium
+
+    def test_option_owners_flip_with_pstar(self, params):
+        """High P* favours Alice's option (she can waive an expensive
+        promise); low P* favours Bob's (he can keep a rallying token)."""
+        low = optionality_report(params, 1.7)
+        high = optionality_report(params, 2.3)
+        assert high.alice_option_value > low.alice_option_value
+        assert low.bob_option_value > high.bob_option_value
+
+    def test_describe(self, report):
+        text = report.describe()
+        assert "Alice option value" in text
+        assert "SR" in text
+
+
+class TestExitPlanner:
+    def test_no_collateral_single_round(self, params):
+        plan = plan_full_exit(params, 2.0, wealth=10.0, collateral_ratio=0.0)
+        assert plan.n_rounds == 1
+        assert plan.moved_fraction == pytest.approx(1.0)
+
+    def test_rounds_grow_with_collateral_ratio(self, params):
+        counts = [
+            plan_full_exit(params, 2.0, 10.0, c).n_rounds for c in (0.25, 0.5, 1.0)
+        ]
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_geometric_remainder(self, params):
+        plan = plan_full_exit(params, 2.0, wealth=8.0, collateral_ratio=1.0)
+        # with ratio 1, each round moves half of the remainder
+        assert plan.rounds[0].notional == pytest.approx(4.0)
+        assert plan.rounds[0].remaining_after == pytest.approx(4.0)
+        assert plan.rounds[1].notional == pytest.approx(2.0)
+
+    def test_per_round_sr_scale_invariant(self, params):
+        plan = plan_full_exit(params, 2.0, wealth=16.0, collateral_ratio=0.5)
+        rates = [round_plan.success_rate for round_plan in plan.rounds]
+        assert all(r == pytest.approx(rates[0]) for r in rates)
+
+    def test_collateral_vs_rounds_tradeoff(self, params):
+        """Heavier collateral: more rounds and time, better joint success."""
+        light = plan_full_exit(params, 2.0, 10.0, 0.25)
+        heavy = plan_full_exit(params, 2.0, 10.0, 1.0)
+        assert heavy.total_time > light.total_time
+        assert (
+            heavy.all_rounds_succeed_probability
+            > light.all_rounds_succeed_probability
+        )
+
+    def test_round_duration_matches_timeline(self, params):
+        plan = plan_full_exit(params, 2.0, 10.0, 0.5)
+        assert plan.round_duration == max(params.grid.t7, params.grid.t8)
+
+    def test_target_fraction_respected(self, params):
+        plan = plan_full_exit(
+            params, 2.0, 10.0, 1.0, target_fraction=0.9
+        )
+        assert plan.moved_fraction >= 0.9
+
+    def test_validation(self, params):
+        with pytest.raises(ValueError):
+            plan_full_exit(params, 2.0, wealth=0.0, collateral_ratio=0.5)
+        with pytest.raises(ValueError):
+            plan_full_exit(params, 2.0, wealth=1.0, collateral_ratio=-0.5)
+        with pytest.raises(ValueError):
+            plan_full_exit(params, 2.0, wealth=1.0, collateral_ratio=0.5,
+                           target_fraction=1.5)
+
+    def test_describe(self, params):
+        assert "rounds" in plan_full_exit(params, 2.0, 10.0, 0.5).describe()

@@ -1,0 +1,123 @@
+"""Tests for parameter objects (Table III)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import AgentParameters, SwapParameters
+
+
+class TestAgentParameters:
+    def test_valid(self):
+        agent = AgentParameters(alpha=0.3, r=0.01)
+        assert agent.alpha == 0.3
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            AgentParameters(alpha=-0.1, r=0.01)
+
+    def test_rejects_zero_r(self):
+        # the paper requires r > 0
+        with pytest.raises(ValueError, match="r must"):
+            AgentParameters(alpha=0.3, r=0.0)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            AgentParameters(alpha=float("nan"), r=0.01)
+
+    def test_discount(self):
+        agent = AgentParameters(alpha=0.3, r=0.01)
+        assert agent.discount(0.0) == 1.0
+        assert agent.discount(100.0) == pytest.approx(0.36787944117, rel=1e-9)
+
+    def test_discount_rejects_negative_horizon(self):
+        with pytest.raises(ValueError):
+            AgentParameters(alpha=0.3, r=0.01).discount(-1.0)
+
+    def test_frozen(self):
+        agent = AgentParameters(alpha=0.3, r=0.01)
+        with pytest.raises(AttributeError):
+            agent.alpha = 0.5  # type: ignore[misc]
+
+
+class TestTableIIIDefaults:
+    """Every value in the paper's Table III."""
+
+    def test_alpha(self, params):
+        assert params.alice.alpha == 0.3
+        assert params.bob.alpha == 0.3
+
+    def test_r(self, params):
+        assert params.alice.r == 0.01
+        assert params.bob.r == 0.01
+
+    def test_tau(self, params):
+        assert params.tau_a == 3.0
+        assert params.tau_b == 4.0
+
+    def test_eps_b(self, params):
+        assert params.eps_b == 1.0
+
+    def test_p0(self, params):
+        assert params.p0 == 2.0
+
+    def test_price_process(self, params):
+        assert params.mu == 0.002
+        assert params.sigma == 0.1
+
+
+class TestValidation:
+    def test_rejects_eps_b_violating_eq3(self):
+        with pytest.raises(ValueError, match="eps_b"):
+            SwapParameters.default().replace(eps_b=4.5)
+
+    def test_rejects_bad_p0(self):
+        with pytest.raises(ValueError, match="p0"):
+            SwapParameters.default().replace(p0=0.0)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError, match="sigma"):
+            SwapParameters.default().replace(sigma=-0.1)
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(ValueError, match="tau_a"):
+            SwapParameters.default().replace(tau_a=0.0)
+
+
+class TestReplace:
+    def test_plain_field(self, params):
+        assert params.replace(sigma=0.2).sigma == 0.2
+
+    def test_agent_shorthand(self, params):
+        modified = params.replace(alpha_a=0.5, r_b=0.02)
+        assert modified.alice.alpha == 0.5
+        assert modified.bob.r == 0.02
+        # untouched fields preserved
+        assert modified.alice.r == params.alice.r
+        assert modified.bob.alpha == params.bob.alpha
+
+    def test_original_untouched(self, params):
+        params.replace(sigma=0.4)
+        assert params.sigma == 0.1
+
+    def test_combined(self, params):
+        modified = params.replace(tau_a=5.0, alpha_b=0.7)
+        assert modified.tau_a == 5.0
+        assert modified.bob.alpha == 0.7
+
+
+class TestDerived:
+    def test_process(self, params):
+        assert params.process.mu == params.mu
+        assert params.process.sigma == params.sigma
+
+    def test_grid(self, params):
+        grid = params.grid
+        assert grid.t2 == params.tau_a
+        assert grid.t3 == params.tau_a + params.tau_b
+
+    def test_as_dict_roundtrip(self, params):
+        flat = params.as_dict()
+        assert flat["alpha_a"] == 0.3
+        assert flat["sigma"] == 0.1
+        assert len(flat) == 10

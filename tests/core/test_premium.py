@@ -1,0 +1,89 @@
+"""Tests for the premium-mechanism baseline (Han et al. style)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.backward_induction import BackwardInduction
+from repro.core.collateral import collateral_success_rate
+from repro.core.premium import PremiumBackwardInduction, solve_premium_game
+
+
+class TestConstruction:
+    def test_rejects_negative_premium(self, params):
+        with pytest.raises(ValueError, match="premium"):
+            PremiumBackwardInduction(params, 2.0, -0.2)
+
+
+class TestReductionToBasicModel:
+    def test_zero_premium_matches_basic(self, params):
+        basic = BackwardInduction(params, 2.0)
+        premium = PremiumBackwardInduction(params, 2.0, 0.0)
+        assert premium.p3_threshold() == pytest.approx(basic.p3_threshold())
+        grid = np.linspace(0.5, 4.0, 9)
+        assert np.allclose(premium.bob_t2_cont(grid), basic.bob_t2_cont(grid))
+        assert premium.alice_t1_cont() == pytest.approx(basic.alice_t1_cont())
+        assert premium.success_rate() == pytest.approx(basic.success_rate())
+
+
+class TestDiscipliningAlice:
+    def test_threshold_decreases_with_premium(self, params):
+        thresholds = [
+            PremiumBackwardInduction(params, 2.0, w).p3_threshold()
+            for w in (0.0, 0.3, 0.8)
+        ]
+        assert thresholds[0] > thresholds[1] > thresholds[2]
+
+    def test_threshold_clamps_at_zero(self, params):
+        assert PremiumBackwardInduction(params, 2.0, 10.0).p3_threshold() == 0.0
+
+    def test_sr_increases_with_premium(self, params):
+        rates = [
+            PremiumBackwardInduction(params, 2.0, w).success_rate()
+            for w in (0.0, 0.3, 0.8)
+        ]
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_bob_cont_gains_from_forfeit(self, params):
+        basic = BackwardInduction(params, 2.0)
+        premium = PremiumBackwardInduction(params, 2.0, 0.5)
+        grid = np.linspace(0.3, 4.0, 9)
+        assert np.all(premium.bob_t2_cont(grid) >= basic.bob_t2_cont(grid) - 1e-12)
+
+
+class TestAsymmetryVsCollateral:
+    """The premium leaves Bob's upper defection intact; symmetric
+    collateral dominates at equal stake."""
+
+    @pytest.mark.parametrize("stake", [0.2, 0.5, 1.0])
+    def test_collateral_dominates_premium(self, params, stake):
+        sr_premium = PremiumBackwardInduction(params, 2.0, stake).success_rate()
+        sr_collateral = collateral_success_rate(params, 2.0, stake)
+        assert sr_collateral > sr_premium
+
+    def test_premium_cannot_reach_certainty(self, params):
+        # even a huge premium leaves Bob's t2 walk-away intact
+        assert PremiumBackwardInduction(params, 2.0, 10.0).success_rate() < 0.999
+
+    def test_bob_region_upper_bound_persists(self, params):
+        region = PremiumBackwardInduction(params, 2.0, 5.0).bob_t2_region()
+        lo, hi = region.bounds()
+        assert hi < 1e3  # finite upper defection boundary remains
+
+
+class TestEquilibriumObject:
+    def test_solve_premium_game_consistency(self, params):
+        eq = solve_premium_game(params, 2.0, 0.4)
+        raw = PremiumBackwardInduction(params, 2.0, 0.4)
+        assert eq.success_rate == pytest.approx(raw.success_rate())
+        assert eq.premium == 0.4
+        assert eq.initiated == (eq.alice_t1.advantage > 0.0)
+
+    def test_alice_stop_includes_premium(self, params):
+        raw = PremiumBackwardInduction(params, 2.0, 0.4)
+        assert raw.alice_t1_stop() == pytest.approx(2.4)
+
+    def test_unconditional_rate(self, params):
+        eq = solve_premium_game(params, 2.0, 0.4)
+        assert eq.unconditional_success_rate == eq.success_rate

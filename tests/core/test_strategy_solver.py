@@ -1,0 +1,94 @@
+"""Tests for strategy objects, the solver facade and the equilibrium record."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backward_induction import BackwardInduction
+from repro.core.equilibrium import StageUtilities
+from repro.core.solver import solve_swap_game
+from repro.core.strategy import Action, equilibrium_strategies
+from repro.stochastic.rootfind import IntervalUnion
+
+
+class TestAction:
+    def test_values(self):
+        assert Action.CONT.value == "cont"
+        assert Action.STOP.value == "stop"
+
+
+class TestStrategies:
+    def test_alice_threshold_behaviour(self, params):
+        alice, _bob = equilibrium_strategies(params, 2.0)
+        thr = alice.p3_threshold
+        assert alice.decide_t3(thr * 1.001) is Action.CONT
+        assert alice.decide_t3(thr * 0.999) is Action.STOP
+        assert alice.decide_t3(thr) is Action.STOP  # Eq. (19): stop at equality
+
+    def test_alice_initiates_at_reference(self, params):
+        alice, _bob = equilibrium_strategies(params, 2.0)
+        assert alice.decide_t1() is Action.CONT
+
+    def test_alice_declines_bad_rate(self, params):
+        alice, _bob = equilibrium_strategies(params, 4.0)
+        assert alice.decide_t1() is Action.STOP
+
+    def test_bob_region_behaviour(self, params):
+        _alice, bob = equilibrium_strategies(params, 2.0)
+        lo, hi = bob.t2_region.bounds()
+        mid = (lo + hi) / 2.0
+        assert bob.decide_t2(mid) is Action.CONT
+        assert bob.decide_t2(lo * 0.9) is Action.STOP
+        assert bob.decide_t2(hi * 1.1) is Action.STOP
+
+    def test_bob_always_redeems(self, params):
+        _alice, bob = equilibrium_strategies(params, 2.0)
+        assert bob.decide_t4() is Action.CONT
+
+
+class TestStageUtilities:
+    def test_best_action(self):
+        assert StageUtilities(cont=2.0, stop=1.0).best_action == "cont"
+        assert StageUtilities(cont=1.0, stop=2.0).best_action == "stop"
+
+    def test_advantage(self):
+        assert StageUtilities(cont=2.0, stop=0.5).advantage == 1.5
+
+
+class TestSolveSwapGame:
+    def test_consistency_with_raw_solver(self, params):
+        eq = solve_swap_game(params, 2.0)
+        raw = BackwardInduction(params, 2.0)
+        assert eq.p3_threshold == pytest.approx(raw.p3_threshold())
+        assert eq.success_rate == pytest.approx(raw.success_rate())
+        assert eq.alice_t1.cont == pytest.approx(raw.alice_t1_cont())
+        assert eq.bob_t1.cont == pytest.approx(raw.bob_t1_cont())
+
+    def test_initiated_flag(self, params):
+        assert solve_swap_game(params, 2.0).initiated
+        assert not solve_swap_game(params, 4.0).initiated
+
+    def test_unconditional_rate(self, params):
+        good = solve_swap_game(params, 2.0)
+        assert good.unconditional_success_rate == good.success_rate
+        bad = solve_swap_game(params, 4.0)
+        assert bad.unconditional_success_rate == 0.0
+
+    def test_bob_t2_bounds_none_when_empty(self, params):
+        eq = solve_swap_game(params.replace(alpha_a=0.0, alpha_b=0.0), 2.0)
+        assert eq.bob_t2_bounds is None
+
+    def test_strategies_embedded(self, params):
+        eq = solve_swap_game(params, 2.0)
+        assert eq.alice_strategy.initiate_at_t1 == eq.initiated
+        assert eq.alice_strategy.p3_threshold == eq.p3_threshold
+        assert eq.bob_strategy.t2_region == eq.bob_t2_region
+
+    def test_summary_renders(self, params):
+        text = solve_swap_game(params, 2.0).summary()
+        assert "Success rate" in text
+        assert "initiates" in text
+
+    def test_summary_mentions_empty_region(self, params):
+        text = solve_swap_game(params.replace(alpha_a=0.0, alpha_b=0.0), 2.0).summary()
+        assert "empty" in text

@@ -1,0 +1,120 @@
+"""Tests for SR(P*) (Eq. (31)) and the Figure 6 comparative statics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.feasible_range import feasible_pstar_range
+from repro.core.success_rate import (
+    max_success_rate,
+    success_rate,
+    success_rate_curve,
+)
+
+
+class TestSuccessRateFunction:
+    def test_matches_solver(self, params, solver):
+        assert success_rate(params, 2.0) == pytest.approx(solver.success_rate())
+
+    def test_bounded(self, params):
+        for k in (1.6, 2.0, 2.4):
+            assert 0.0 <= success_rate(params, k) <= 1.0
+
+
+class TestConcavity:
+    """"Irrespective of the parameter values, the SR <- P* curve is
+    always concave, with the SR-maximizing point residing between
+    P̲* and P̄*." (Section III-F)
+    """
+
+    def test_concave_on_feasible_range(self, params):
+        lo, hi = feasible_pstar_range(params)
+        grid = np.linspace(lo * 1.01, hi * 0.99, 15)
+        rates = np.array([success_rate(params, float(k)) for k in grid])
+        second_diff = np.diff(rates, 2)
+        assert np.all(second_diff < 1e-6)
+
+    def test_interior_maximum(self, params):
+        lo, hi = feasible_pstar_range(params)
+        k_opt, rate_opt = max_success_rate(params)
+        assert lo < k_opt < hi
+        # strictly better than the endpoints
+        assert rate_opt > success_rate(params, lo * 1.001)
+        assert rate_opt > success_rate(params, hi * 0.999)
+
+    def test_max_beats_grid(self, params):
+        _k_opt, rate_opt = max_success_rate(params)
+        lo, hi = feasible_pstar_range(params)
+        for k in np.linspace(lo * 1.01, hi * 0.99, 21):
+            assert rate_opt >= success_rate(params, float(k)) - 1e-9
+
+    def test_max_none_when_infeasible(self, params):
+        assert max_success_rate(params.replace(alpha_a=0.01, alpha_b=0.01)) is None
+
+
+class TestFigure6Statics:
+    """The paper's Section III-F claims, at the optimally chosen P*."""
+
+    @staticmethod
+    def best(params) -> float:
+        located = max_success_rate(params)
+        return located[1] if located else 0.0
+
+    def test_higher_alpha_a_raises_sr(self, params):
+        assert self.best(params.replace(alpha_a=0.5)) > self.best(params)
+
+    def test_higher_alpha_b_raises_sr(self, params):
+        assert self.best(params.replace(alpha_b=0.5)) > self.best(params)
+
+    def test_lower_alpha_lowers_sr(self, params):
+        assert self.best(params.replace(alpha_a=0.15)) < self.best(params)
+
+    def test_shorter_tau_a_raises_sr(self, params):
+        # Section III-F3: "lower tau_a or tau_b increases SR"
+        assert self.best(params.replace(tau_a=1.0)) > self.best(params)
+
+    def test_shorter_tau_b_raises_sr(self, params):
+        fast = params.replace(tau_b=2.0)  # eps_b = 1 < 2 still valid
+        assert self.best(fast) > self.best(params)
+
+    def test_longer_tau_lowers_sr(self, params):
+        assert self.best(params.replace(tau_a=6.0)) < self.best(params)
+
+    def test_upward_trend_raises_sr(self, params):
+        # Section III-F4: "higher degree of upward price trend increases SR"
+        assert self.best(params.replace(mu=0.01)) > self.best(params)
+
+    def test_downward_trend_lowers_sr(self, params):
+        assert self.best(params.replace(mu=-0.005)) < self.best(params)
+
+    def test_higher_volatility_lowers_max_sr(self, params):
+        # Section III-F4: "higher volatility reduces maximum SR"
+        assert self.best(params.replace(sigma=0.15)) < self.best(params)
+
+    def test_lower_volatility_raises_max_sr(self, params):
+        assert self.best(params.replace(sigma=0.05)) > self.best(params)
+
+    def test_impatience_lowers_sr(self, params):
+        assert self.best(params.replace(r_a=0.03, r_b=0.03)) < self.best(params)
+
+
+class TestCurve:
+    def test_curve_length(self, params):
+        points = success_rate_curve(params, [1.8, 2.0, 2.2])
+        assert len(points) == 3
+
+    def test_curve_tags_feasibility(self, params):
+        points = success_rate_curve(params, [1.0, 2.0, 3.0])
+        assert [pt.feasible for pt in points] == [False, True, False]
+
+    def test_restrict_to_feasible_inserts_nan(self, params):
+        points = success_rate_curve(params, [1.0, 2.0], restrict_to_feasible=True)
+        assert math.isnan(points[0].rate)
+        assert not math.isnan(points[1].rate)
+
+    def test_curve_values_match_pointwise(self, params):
+        points = success_rate_curve(params, [2.0])
+        assert points[0].rate == pytest.approx(success_rate(params, 2.0))

@@ -1,0 +1,96 @@
+"""Tests for the swap timeline (Eq. (12)/(13), Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.timeline import SwapTimeline, TimelineViolation, idealized_timeline
+
+
+def make_timeline(**overrides) -> SwapTimeline:
+    fields = dict(
+        tau_a=3.0, tau_b=4.0, eps_b=1.0,
+        t0=0.0, t1=0.0, t2=3.0, t3=7.0, t4=8.0,
+        t_a=11.0, t_b=11.0,
+    )
+    fields.update(overrides)
+    return SwapTimeline(**fields)
+
+
+class TestIdealizedTimeline:
+    def test_matches_eq13(self, params):
+        tl = idealized_timeline(params)
+        assert tl.t1 == tl.t0
+        assert tl.t2 == tl.t1 + params.tau_a
+        assert tl.t3 == tl.t2 + params.tau_b
+        assert tl.t4 == tl.t3 + params.eps_b
+        assert tl.t5 == tl.t3 + params.tau_b == tl.t_b
+        assert tl.t6 == tl.t4 + params.tau_a == tl.t_a
+        assert tl.t7 == tl.t_b + params.tau_b
+        assert tl.t8 == tl.t_a + params.tau_a
+
+    def test_is_idealized_flag(self, params):
+        assert idealized_timeline(params).is_idealized
+
+    def test_start_offset_shifts_everything(self, params):
+        tl = idealized_timeline(params, start=10.0)
+        assert tl.t0 == 10.0
+        assert tl.t8 == 10.0 + 14.0
+
+    def test_validates(self, params):
+        idealized_timeline(params).validate()
+
+
+class TestConstraintChecking:
+    def test_valid_with_waiting_time(self):
+        # Figure 2(a): arbitrary waiting is allowed as long as Eq. (12) holds
+        tl = make_timeline(t1=1.0, t2=5.0, t3=10.0, t4=11.5, t_a=16.0, t_b=14.5)
+        assert tl.is_valid
+        assert not tl.is_idealized
+
+    def test_violation_t2_too_early(self):
+        tl = make_timeline(t2=2.0)  # < t1 + tau_a
+        assert not tl.is_valid
+        with pytest.raises(TimelineViolation, match="Eq. 5"):
+            tl.validate()
+
+    def test_violation_t3_too_early(self):
+        tl = make_timeline(t3=6.0)
+        with pytest.raises(TimelineViolation, match="Eq. 6"):
+            tl.validate()
+
+    def test_violation_t4_before_mempool_visibility(self):
+        tl = make_timeline(t4=7.5)
+        with pytest.raises(TimelineViolation, match="Eq. 7"):
+            tl.validate()
+
+    def test_violation_expiry_too_tight_on_b(self):
+        tl = make_timeline(t_b=10.0)  # t5 = t3 + tau_b = 11 > t_b
+        with pytest.raises(TimelineViolation, match="Eq. 8"):
+            tl.validate()
+
+    def test_violation_expiry_too_tight_on_a(self):
+        tl = make_timeline(t_a=10.0)
+        with pytest.raises(TimelineViolation, match="Eq. 9"):
+            tl.validate()
+
+    def test_violation_t1_before_agreement(self):
+        tl = make_timeline(t0=2.0, t1=1.0, t2=4.0, t3=8.0, t4=9.0, t_a=12.0, t_b=12.0)
+        with pytest.raises(TimelineViolation, match="Eq. 4"):
+            tl.validate()
+
+    def test_report_lists_all_constraints(self):
+        report = make_timeline().constraint_report()
+        assert len(report) == 9
+        assert all(ok for _name, ok in report)
+
+
+class TestLockTimes:
+    def test_alice_lock_time(self, params):
+        tl = idealized_timeline(params)
+        # Alice's Token_a is at risk from t1 until the refund at t8
+        assert tl.total_lock_time_alice() == tl.t8 - tl.t1 == 14.0
+
+    def test_bob_lock_time(self, params):
+        tl = idealized_timeline(params)
+        assert tl.total_lock_time_bob() == tl.t7 - tl.t2 == 12.0

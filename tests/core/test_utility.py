@@ -1,0 +1,63 @@
+"""Tests for utility primitives (Eq. (2))."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.parameters import AgentParameters
+from repro.core.utility import UtilityComponents, discounted_value, utility_term
+
+AGENT = AgentParameters(alpha=0.3, r=0.01)
+
+
+class TestDiscountedValue:
+    def test_no_horizon_no_discount(self):
+        assert discounted_value(5.0, 0.01, 0.0) == 5.0
+
+    def test_formula(self):
+        assert discounted_value(5.0, 0.01, 10.0) == pytest.approx(
+            5.0 * math.exp(-0.1)
+        )
+
+    def test_rejects_negative_horizon(self):
+        with pytest.raises(ValueError):
+            discounted_value(5.0, 0.01, -1.0)
+
+    def test_rejects_nonfinite_value(self):
+        with pytest.raises(ValueError):
+            discounted_value(float("inf"), 0.01, 1.0)
+
+
+class TestUtilityTerm:
+    def test_success_earns_premium(self):
+        # Eq. (2): (1 + alpha S) V e^{-rT} with S = 1
+        expected = 1.3 * 2.0 * math.exp(-0.01 * 4.0)
+        assert utility_term(AGENT, 2.0, 4.0, success=True) == pytest.approx(expected)
+
+    def test_failure_no_premium(self):
+        expected = 2.0 * math.exp(-0.01 * 4.0)
+        assert utility_term(AGENT, 2.0, 4.0, success=False) == pytest.approx(expected)
+
+    def test_premium_ratio(self):
+        win = utility_term(AGENT, 1.0, 1.0, success=True)
+        lose = utility_term(AGENT, 1.0, 1.0, success=False)
+        assert win / lose == pytest.approx(1.3)
+
+
+class TestUtilityComponents:
+    def test_total(self):
+        parts = UtilityComponents(base=1.0, premium=0.3, collateral=0.2)
+        assert parts.total == pytest.approx(1.5)
+
+    def test_addition(self):
+        a = UtilityComponents(base=1.0, premium=0.1)
+        b = UtilityComponents(base=2.0, collateral=0.5)
+        combined = a + b
+        assert combined.base == 3.0
+        assert combined.premium == 0.1
+        assert combined.collateral == 0.5
+
+    def test_defaults_zero(self):
+        assert UtilityComponents(base=1.0).total == 1.0

@@ -1,0 +1,101 @@
+"""Cross-check: lattice extensive-form game vs the continuous solver.
+
+This is the independence argument for the reproduction: two solver
+implementations that share no code beyond the lognormal law must agree
+on the equilibrium.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backward_induction import BackwardInduction
+from repro.games.builders import build_swap_game, lattice_equilibrium_summary
+from repro.games.tree import count_nodes
+
+
+@pytest.fixture(scope="module")
+def fine_summary():
+    from repro.core.parameters import SwapParameters
+
+    params = SwapParameters.default()
+    tree = build_swap_game(params, 2.0, n_lattice=128)
+    return lattice_equilibrium_summary(tree)
+
+
+@pytest.fixture(scope="module")
+def continuous():
+    from repro.core.parameters import SwapParameters
+
+    return BackwardInduction(SwapParameters.default(), 2.0)
+
+
+class TestStructure:
+    def test_node_counts(self, params):
+        tree = build_swap_game(params, 2.0, n_lattice=8)
+        counts = count_nodes(tree.root)
+        # 1 alice_t1 + 8 bob_t2 + 64 alice_t3 decisions
+        assert counts["decision"] == 1 + 8 + 64
+        # 1 t2 chance + 8 t3 chance
+        assert counts["chance"] == 9
+        # 1 not-initiated + 8 bob-stop + 64 * 2 alice branches
+        assert counts["terminal"] == 1 + 8 + 128
+
+    def test_rejects_bad_pstar(self, params):
+        with pytest.raises(ValueError):
+            build_swap_game(params, 0.0)
+
+
+class TestAgreement:
+    def test_initiates(self, fine_summary, continuous):
+        assert fine_summary.initiated == continuous.alice_initiates()
+
+    def test_alice_root_value(self, fine_summary, continuous):
+        assert fine_summary.alice_root_value == pytest.approx(
+            continuous.alice_t1_cont(), rel=0.01
+        )
+
+    def test_bob_root_value(self, fine_summary, continuous):
+        assert fine_summary.bob_root_value == pytest.approx(
+            continuous.bob_t1_cont(), rel=0.01
+        )
+
+    def test_success_rate(self, fine_summary, continuous):
+        assert fine_summary.success_rate == pytest.approx(
+            continuous.success_rate(), abs=0.01
+        )
+
+    def test_bob_region_endpoints(self, fine_summary, continuous):
+        lo, hi = continuous.bob_t2_region().bounds()
+        cont_prices = fine_summary.bob_cont_prices
+        # lattice endpoints within one bucket of the continuous boundary
+        assert cont_prices[0] == pytest.approx(lo, rel=0.08)
+        assert cont_prices[-1] == pytest.approx(hi, rel=0.08)
+
+    def test_alice_threshold_bracketed(self, params, continuous):
+        # check on a single mid-price branch where the lattice is dense
+        tree = build_swap_game(params, 2.0, n_lattice=128)
+        summary = lattice_equilibrium_summary(tree)
+        thr = continuous.p3_threshold()
+        bracket = summary.p3_threshold_bracket
+        assert bracket is not None
+        assert bracket[0] <= thr <= bracket[1]
+
+
+class TestConvergence:
+    def test_sr_error_shrinks_with_refinement(self, params, continuous):
+        exact = continuous.success_rate()
+        errors = []
+        # start at 64: tiny lattices can be accidentally accurate through
+        # error cancellation, which would make the comparison meaningless
+        for n in (64, 256):
+            summary = lattice_equilibrium_summary(build_swap_game(params, 2.0, n))
+            errors.append(abs(summary.success_rate - exact))
+        assert errors[-1] < errors[0]
+        assert errors[-1] < 5e-3
+
+    def test_alice_stops_at_bad_rate(self, params):
+        summary = lattice_equilibrium_summary(build_swap_game(params, 4.0, 32))
+        assert not summary.initiated
+        # not initiating means Alice keeps P* = 4
+        assert summary.alice_root_value == pytest.approx(4.0)

@@ -1,0 +1,118 @@
+"""Tests for generic backward induction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.games.solver import solve_game
+from repro.games.tree import ChanceNode, DecisionNode, TerminalNode
+
+
+def leaf(**payoffs) -> TerminalNode:
+    return TerminalNode(payoffs)
+
+
+class TestTerminal:
+    def test_reads_payoffs(self):
+        solved = solve_game(leaf(alice=3.0, bob=1.0))
+        assert solved.root_value("alice") == 3.0
+        assert solved.root_value("bob") == 1.0
+
+
+class TestDecision:
+    def test_picks_own_maximum(self):
+        game = DecisionNode(
+            player="alice",
+            actions={
+                "bad": leaf(alice=1.0, bob=9.0),
+                "good": leaf(alice=5.0, bob=0.0),
+            },
+        )
+        solved = solve_game(game)
+        assert solved.action_at(game) == "good"
+        assert solved.root_value("alice") == 5.0
+        assert solved.root_value("bob") == 0.0
+
+    def test_tie_broken_by_insertion_order(self):
+        game = DecisionNode(
+            player="alice",
+            actions={"first": leaf(alice=1.0), "second": leaf(alice=1.0)},
+        )
+        assert solve_game(game).action_at(game) == "first"
+
+    def test_missing_payoff_treated_as_zero(self):
+        game = DecisionNode(
+            player="alice",
+            actions={"a": leaf(bob=5.0), "b": leaf(alice=0.5)},
+        )
+        assert solve_game(game).action_at(game) == "b"
+
+
+class TestChance:
+    def test_expectation(self):
+        game = ChanceNode(
+            ((0.25, leaf(alice=4.0)), (0.75, leaf(alice=0.0))),
+        )
+        assert solve_game(game).root_value("alice") == pytest.approx(1.0)
+
+    def test_mixed_players(self):
+        game = ChanceNode(
+            ((0.5, leaf(alice=2.0, bob=0.0)), (0.5, leaf(alice=0.0, bob=4.0))),
+        )
+        solved = solve_game(game)
+        assert solved.root_value("alice") == pytest.approx(1.0)
+        assert solved.root_value("bob") == pytest.approx(2.0)
+
+
+class TestComposite:
+    def test_two_level_game(self):
+        """Alice anticipates Bob's best response (subgame perfection)."""
+        bob_node = DecisionNode(
+            player="bob",
+            actions={
+                "betray": leaf(alice=0.0, bob=3.0),
+                "coop": leaf(alice=2.0, bob=2.0),
+            },
+        )
+        game = DecisionNode(
+            player="alice",
+            actions={"trust": bob_node, "exit": leaf(alice=1.0, bob=1.0)},
+        )
+        solved = solve_game(game)
+        # Bob would betray, so Alice exits
+        assert solved.action_at(bob_node) == "betray"
+        assert solved.action_at(game) == "exit"
+        assert solved.root_value("alice") == 1.0
+
+    def test_chance_between_decisions(self):
+        good = DecisionNode(
+            player="bob", actions={"take": leaf(alice=1.0, bob=5.0)}
+        )
+        bad = DecisionNode(
+            player="bob", actions={"take": leaf(alice=1.0, bob=-5.0)}
+        )
+        chance = ChanceNode(((0.5, good), (0.5, bad)))
+        game = DecisionNode(
+            player="alice", actions={"play": chance, "pass": leaf(alice=0.9, bob=0.0)}
+        )
+        solved = solve_game(game)
+        assert solved.action_at(game) == "play"
+        assert solved.root_value("alice") == pytest.approx(1.0)
+
+    def test_shared_subtree_solved_once(self):
+        shared = leaf(alice=1.0)
+        game = DecisionNode(player="alice", actions={"a": shared, "b": shared})
+        solved = solve_game(game)
+        assert solved.root_value("alice") == 1.0
+
+    def test_value_of_internal_node(self):
+        inner = ChanceNode(((1.0, leaf(alice=2.5)),))
+        game = DecisionNode(player="alice", actions={"go": inner})
+        solved = solve_game(game)
+        assert solved.value_of(inner)["alice"] == pytest.approx(2.5)
+
+    def test_wide_tree(self):
+        branches = tuple((1.0 / 500, leaf(alice=float(i))) for i in range(500))
+        game = ChanceNode(branches)
+        expected = sum(range(500)) / 500
+        assert solve_game(game).root_value("alice") == pytest.approx(expected)

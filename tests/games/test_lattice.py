@@ -1,0 +1,79 @@
+"""Tests for the lognormal lattice discretisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.games.lattice import LatticeTransition, discretize_law
+from repro.stochastic.lognormal import LognormalLaw
+
+LAW = LognormalLaw(spot=2.0, mu=0.002, sigma=0.1, tau=4.0)
+
+
+class TestValidation:
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            discretize_law(LAW, 1)
+
+    def test_rejects_bad_tail_mass(self):
+        with pytest.raises(ValueError):
+            discretize_law(LAW, 8, tail_mass=0.6)
+
+    def test_transition_validates_probability_sum(self):
+        with pytest.raises(ValueError, match="sum"):
+            LatticeTransition(points=(1.0, 2.0), probabilities=(0.4, 0.4),
+                              edges=(0.0, 1.5, np.inf))
+
+    def test_transition_validates_lengths(self):
+        with pytest.raises(ValueError, match="equal length"):
+            LatticeTransition(points=(1.0,), probabilities=(0.5, 0.5),
+                              edges=(0.0, np.inf))
+
+
+class TestDiscretisation:
+    def test_probabilities_sum_to_one(self):
+        lattice = discretize_law(LAW, 32)
+        assert sum(lattice.probabilities) == pytest.approx(1.0)
+
+    def test_point_count(self):
+        assert len(discretize_law(LAW, 32).points) == 32
+
+    def test_mean_matched_exactly(self):
+        # conditional-mean representatives price linear payoffs without bias
+        lattice = discretize_law(LAW, 16)
+        assert lattice.mean == pytest.approx(LAW.mean(), rel=1e-9)
+
+    def test_points_increasing(self):
+        lattice = discretize_law(LAW, 32)
+        assert all(a < b for a, b in zip(lattice.points, lattice.points[1:]))
+
+    def test_points_inside_buckets(self):
+        lattice = discretize_law(LAW, 16)
+        for point, lo, hi in zip(lattice.points, lattice.edges[:-1], lattice.edges[1:]):
+            assert lo <= point <= hi
+
+    def test_refinement_improves_cdf_match(self):
+        k = 2.2
+        exact = float(LAW.cdf(k))
+
+        def lattice_cdf(n: int) -> float:
+            lattice = discretize_law(LAW, n)
+            return sum(
+                p for x, p in zip(lattice.points, lattice.probabilities) if x <= k
+            )
+
+        coarse_err = abs(lattice_cdf(8) - exact)
+        fine_err = abs(lattice_cdf(256) - exact)
+        assert fine_err < coarse_err
+
+    def test_variance_converges(self):
+        lattice = discretize_law(LAW, 512)
+        points = np.asarray(lattice.points)
+        probs = np.asarray(lattice.probabilities)
+        lattice_var = float(np.dot(probs, points**2) - lattice.mean**2)
+        import math
+
+        s2 = LAW.log_std**2
+        exact_var = (math.exp(s2) - 1.0) * LAW.mean() ** 2
+        assert lattice_var == pytest.approx(exact_var, rel=0.01)

@@ -1,0 +1,145 @@
+"""Tests for bimatrix games and the t1 engagement game."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.collateral import t1_engagement_game
+from repro.games.matrix import BimatrixGame
+
+
+def prisoners_dilemma() -> BimatrixGame:
+    # classic PD: defect strictly dominant
+    return BimatrixGame(
+        row_payoffs=[[3, 0], [5, 1]],
+        col_payoffs=[[3, 5], [0, 1]],
+        row_actions=("coop", "defect"),
+        col_actions=("coop", "defect"),
+    )
+
+
+def matching_pennies() -> BimatrixGame:
+    return BimatrixGame(
+        row_payoffs=[[1, -1], [-1, 1]],
+        col_payoffs=[[-1, 1], [1, -1]],
+        row_actions=("H", "T"),
+        col_actions=("H", "T"),
+    )
+
+
+def coordination() -> BimatrixGame:
+    return BimatrixGame(
+        row_payoffs=[[2, 0], [0, 1]],
+        col_payoffs=[[2, 0], [0, 1]],
+        row_actions=("A", "B"),
+        col_actions=("A", "B"),
+    )
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="share a shape"):
+            BimatrixGame([[1, 2]], [[1], [2]], ("a",), ("x", "y"))
+
+    def test_action_count_mismatch(self):
+        with pytest.raises(ValueError, match="actions"):
+            BimatrixGame([[1, 2]], [[1, 2]], ("a", "b"), ("x", "y"))
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            BimatrixGame([[float("nan")]], [[1.0]], ("a",), ("x",))
+
+
+class TestPureEquilibria:
+    def test_prisoners_dilemma(self):
+        game = prisoners_dilemma()
+        equilibria = game.pure_equilibria()
+        assert len(equilibria) == 1
+        assert (equilibria[0].row_action, equilibria[0].col_action) == (
+            "defect", "defect",
+        )
+        assert equilibria[0].row_payoff == 1.0
+
+    def test_matching_pennies_has_none(self):
+        assert matching_pennies().pure_equilibria() == []
+
+    def test_coordination_has_two(self):
+        pairs = {
+            (eq.row_action, eq.col_action)
+            for eq in coordination().pure_equilibria()
+        }
+        assert pairs == {("A", "A"), ("B", "B")}
+
+
+class TestDominance:
+    def test_pd_dominant_actions(self):
+        game = prisoners_dilemma()
+        assert game.row_dominant_action() == "defect"
+        assert game.col_dominant_action() == "defect"
+
+    def test_coordination_no_dominance(self):
+        game = coordination()
+        assert game.row_dominant_action() is None
+        assert game.col_dominant_action() is None
+
+
+class TestMixed:
+    def test_matching_pennies_mixes_half(self):
+        mixed = matching_pennies().mixed_equilibrium_2x2()
+        assert mixed is not None
+        assert mixed.row_prob == pytest.approx(0.5)
+        assert mixed.col_prob == pytest.approx(0.5)
+        assert mixed.row_payoff == pytest.approx(0.0)
+
+    def test_coordination_interior_mix(self):
+        mixed = coordination().mixed_equilibrium_2x2()
+        assert mixed is not None
+        assert mixed.row_prob == pytest.approx(1.0 / 3.0)
+
+    def test_requires_2x2(self):
+        game = BimatrixGame(
+            [[1, 2, 3]], [[1, 2, 3]], ("a",), ("x", "y", "z")
+        )
+        with pytest.raises(ValueError):
+            game.mixed_equilibrium_2x2()
+
+    def test_pd_has_no_interior_mix(self):
+        assert prisoners_dilemma().mixed_equilibrium_2x2() is None
+
+
+class TestEngagementGame:
+    def test_trade_equilibrium_at_good_rate(self, params):
+        game = t1_engagement_game(params, 2.0, 0.5)
+        pairs = {
+            (eq.row_action, eq.col_action) for eq in game.pure_equilibria()
+        }
+        # trade and coordination-failure equilibria coexist
+        assert ("engage", "engage") in pairs
+        assert ("stay_out", "stay_out") in pairs
+
+    def test_trade_is_payoff_dominant(self, params):
+        game = t1_engagement_game(params, 2.0, 0.5)
+        equilibria = {
+            (eq.row_action, eq.col_action): eq for eq in game.pure_equilibria()
+        }
+        trade = equilibria[("engage", "engage")]
+        no_trade = equilibria[("stay_out", "stay_out")]
+        assert trade.row_payoff > no_trade.row_payoff
+        assert trade.col_payoff > no_trade.col_payoff
+
+    def test_no_trade_equilibrium_at_bad_rate(self, params):
+        game = t1_engagement_game(params, 4.0, 0.5)
+        pairs = {
+            (eq.row_action, eq.col_action) for eq in game.pure_equilibria()
+        }
+        assert ("engage", "engage") not in pairs
+        assert ("stay_out", "stay_out") in pairs
+
+    def test_payoffs_match_solver(self, params):
+        from repro.core.collateral import CollateralBackwardInduction
+
+        game = t1_engagement_game(params, 2.0, 0.5)
+        solver = CollateralBackwardInduction(params, 2.0, 0.5)
+        assert game.row_payoffs[0, 0] == pytest.approx(solver.alice_t1_cont())
+        assert game.col_payoffs[0, 0] == pytest.approx(solver.bob_t1_cont())
+        assert game.row_payoffs[1, 1] == pytest.approx(solver.alice_t1_stop())

@@ -1,0 +1,92 @@
+"""Tests for game-tree node types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.games.tree import (
+    ChanceNode,
+    DecisionNode,
+    GameValidationError,
+    TerminalNode,
+    count_nodes,
+    iter_nodes,
+    tree_depth,
+)
+
+
+def leaf(a=1.0, b=0.0) -> TerminalNode:
+    return TerminalNode({"alice": a, "bob": b})
+
+
+class TestTerminalNode:
+    def test_valid(self):
+        node = leaf(2.0, 3.0)
+        assert node.payoffs["alice"] == 2.0
+
+    def test_rejects_nonfinite_payoff(self):
+        with pytest.raises(GameValidationError):
+            TerminalNode({"alice": float("nan")})
+
+
+class TestDecisionNode:
+    def test_valid(self):
+        node = DecisionNode(player="alice", actions={"cont": leaf(), "stop": leaf()})
+        assert set(node.actions) == {"cont", "stop"}
+
+    def test_rejects_empty_actions(self):
+        with pytest.raises(GameValidationError, match="no actions"):
+            DecisionNode(player="alice", actions={})
+
+    def test_rejects_empty_player(self):
+        with pytest.raises(GameValidationError, match="player"):
+            DecisionNode(player="", actions={"cont": leaf()})
+
+
+class TestChanceNode:
+    def test_valid(self):
+        node = ChanceNode(((0.5, leaf()), (0.5, leaf())))
+        assert len(node.branches) == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(GameValidationError, match="no branches"):
+            ChanceNode(())
+
+    def test_rejects_bad_probability_sum(self):
+        with pytest.raises(GameValidationError, match="sum"):
+            ChanceNode(((0.5, leaf()), (0.2, leaf())))
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(GameValidationError, match="negative"):
+            ChanceNode(((-0.5, leaf()), (1.5, leaf())))
+
+    def test_accepts_tiny_rounding(self):
+        ChanceNode(((0.5 + 1e-10, leaf()), (0.5, leaf())))
+
+
+class TestTraversal:
+    @staticmethod
+    def small_game() -> DecisionNode:
+        chance = ChanceNode(((0.3, leaf(1)), (0.7, leaf(2))))
+        return DecisionNode(player="alice", actions={"cont": chance, "stop": leaf(0)})
+
+    def test_iter_visits_all(self):
+        nodes = list(iter_nodes(self.small_game()))
+        assert len(nodes) == 5
+
+    def test_count_nodes(self):
+        counts = count_nodes(self.small_game())
+        assert counts == {"decision": 1, "chance": 1, "terminal": 3}
+
+    def test_depth(self):
+        assert tree_depth(self.small_game()) == 2
+
+    def test_depth_of_leaf_is_zero(self):
+        assert tree_depth(leaf()) == 0
+
+    def test_deep_tree_no_recursion_error(self):
+        node: object = leaf()
+        for _ in range(5000):
+            node = DecisionNode(player="p", actions={"only": node})
+        assert tree_depth(node) == 5000
+        assert count_nodes(node)["decision"] == 5000

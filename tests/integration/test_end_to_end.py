@@ -1,0 +1,168 @@
+"""Integration tests: analytics <-> protocol <-> simulation, end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents import CrashingAgent, HonestAgent, rational_pair
+from repro.core.backward_induction import BackwardInduction
+from repro.core.collateral import CollateralBackwardInduction
+from repro.core.parameters import SwapParameters
+from repro.protocol.collateral_swap import CollateralSwapProtocol
+from repro.protocol.messages import Stage, SwapOutcome
+from repro.protocol.swap import SwapProtocol
+from repro.simulation import empirical_success_rate, validate_against_analytic
+from repro.simulation.engine import EpisodeConfig, run_episode
+from repro.simulation.results import BatchSummary
+from repro.stochastic.paths import sample_decision_prices
+from repro.stochastic.rng import RandomState
+
+
+class TestAnalyticVsProtocolEquivalence:
+    """The executable protocol must realise exactly the outcome the
+    threshold algebra predicts, price path by price path."""
+
+    def test_pathwise_agreement(self, params):
+        solver = BackwardInduction(params, 2.0)
+        region = solver.bob_t2_region()
+        threshold = solver.p3_threshold()
+        rng = RandomState(101)
+        prices = sample_decision_prices(
+            params.process, params.p0, params.grid, rng, 200
+        )
+        secret_rng = RandomState(202)
+        for row in prices:
+            alice, bob = rational_pair(params, 2.0)
+            record = SwapProtocol(
+                params, 2.0, alice, bob, rng=secret_rng
+            ).run(row)
+            p2, p3 = row[1], row[2]
+            if p2 in region and p3 > threshold:
+                expected = SwapOutcome.COMPLETED
+            elif p2 in region:
+                expected = SwapOutcome.ABORTED_AT_T3
+            else:
+                expected = SwapOutcome.ABORTED_AT_T2
+            assert record.outcome is expected, (p2, p3)
+
+    def test_batch_success_rate_matches_eq31(self, params):
+        empirical, analytic = validate_against_analytic(
+            params, 2.0, n_paths=2_000, seed=7, protocol_level=True
+        )
+        assert empirical.contains(analytic)
+
+    def test_collateral_batch_matches_eq40(self, params):
+        empirical, analytic = validate_against_analytic(
+            params, 2.0, n_paths=1_500, seed=8, collateral=0.5, protocol_level=True
+        )
+        assert empirical.contains(analytic)
+
+
+class TestAtomicityInvariant:
+    """Across random episodes with strategic agents, every outcome is
+    all-or-nothing: Table I flows on success, zero flows otherwise."""
+
+    @pytest.mark.parametrize("pstar", [1.7, 2.0, 2.3])
+    def test_value_atomicity(self, params, pstar):
+        config = EpisodeConfig(params=params, pstar=pstar)
+        rng = RandomState(int(pstar * 1000))
+        for _ in range(60):
+            record = run_episode(config, rng)
+            if record.outcome is SwapOutcome.COMPLETED:
+                assert record.matches_table1()
+            else:
+                assert record.is_no_op()
+
+    def test_collateral_episodes_conserve_supply(self, params):
+        alice, bob = rational_pair(params, 2.0, collateral=0.3)
+        rng = RandomState(55)
+        for _ in range(30):
+            protocol = CollateralSwapProtocol(
+                params, 2.0, 0.3, alice, bob, rng=rng
+            )
+            supply = protocol.network.chain_a.ledger.total_supply()
+            prices = sample_decision_prices(
+                params.process, params.p0, params.grid, rng, 1
+            )[0]
+            protocol.run(prices)
+            assert protocol.network.chain_a.ledger.total_supply() == pytest.approx(
+                supply
+            )
+
+
+class TestCrashFailureSweep:
+    """Crash injection at every stage, verifying the paper's discussion:
+    crashes before the reveal are value-atomic; a post-reveal crash is
+    the only way an agent loses assets without compensation."""
+
+    def test_crash_matrix(self, params):
+        rng = RandomState(77)
+        outcomes = {}
+        for stage in (Stage.T1_INITIATE, Stage.T2_LOCK, Stage.T4_REDEEM):
+            crasher = CrashingAgent(HonestAgent("x"), stage)
+            if stage in (Stage.T2_LOCK, Stage.T4_REDEEM):
+                alice, bob = HonestAgent("alice"), crasher
+            else:
+                alice, bob = crasher, HonestAgent("bob")
+            record = SwapProtocol(params, 2.0, alice, bob, rng=rng).run(
+                [2.0, 2.0, 2.0]
+            )
+            outcomes[stage] = record
+        assert outcomes[Stage.T1_INITIATE].is_no_op()
+        assert outcomes[Stage.T2_LOCK].is_no_op()
+        forfeited = outcomes[Stage.T4_REDEEM]
+        assert forfeited.outcome is SwapOutcome.BOB_FORFEITED
+        assert forfeited.balance_change("bob", "TOKEN_B") == pytest.approx(-1.0)
+
+    def test_alice_crash_at_t3(self, params):
+        crasher = CrashingAgent(HonestAgent("alice"), Stage.T3_REVEAL)
+        record = SwapProtocol(
+            params, 2.0, crasher, HonestAgent("bob"), rng=RandomState(78)
+        ).run([2.0, 2.0, 2.0])
+        assert record.outcome is SwapOutcome.ABORTED_AT_T3
+        assert record.is_no_op()
+
+
+class TestCollateralImprovesOutcomes:
+    """Figure 9 at the protocol level: empirical SR rises with Q."""
+
+    def test_empirical_sr_monotone_in_q(self, params):
+        rates = []
+        for q in (0.0, 0.5):
+            result = empirical_success_rate(
+                params, 2.0, n_paths=1_500, seed=31, collateral=q,
+                protocol_level=True,
+            )
+            rates.append(result.success_rate)
+        assert rates[1] > rates[0]
+
+
+class TestOutcomeDistribution:
+    def test_failure_modes_match_thresholds(self, params):
+        """Aborts split between t2 and t3 in proportions the analytic
+        region/threshold probabilities predict."""
+        solver = BackwardInduction(params, 2.0)
+        law_t2 = params.process.law(params.p0, params.tau_a)
+        p_bob_stops = 1.0 - solver.bob_t2_region().probability(law_t2)
+
+        config = EpisodeConfig(params=params, pstar=2.0)
+        rng = RandomState(313)
+        records = [run_episode(config, rng) for _ in range(800)]
+        summary = BatchSummary.from_records(records)
+        fraction_t2 = summary.outcomes[SwapOutcome.ABORTED_AT_T2] / summary.n_total
+        assert fraction_t2 == pytest.approx(p_bob_stops, abs=0.04)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    pstar=st.floats(min_value=1.6, max_value=2.4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_every_episode_is_atomic(pstar, seed):
+    params = SwapParameters.default()
+    config = EpisodeConfig(params=params, pstar=pstar)
+    record = run_episode(config, RandomState(seed))
+    assert record.matches_table1() or record.is_no_op()

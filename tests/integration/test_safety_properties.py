@@ -1,0 +1,103 @@
+"""Property-based safety arguments across the whole stack."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents import AlwaysStopAgent, HonestAgent, rational_pair
+from repro.chain.network import TwoChainNetwork
+from repro.core.parameters import SwapParameters
+from repro.protocol.collateral_swap import CollateralSwapProtocol
+from repro.protocol.messages import Stage, SwapOutcome
+from repro.protocol.swap import SwapProtocol
+from repro.simulation.robustness import timing_robustness_sweep
+from repro.stochastic.rng import RandomState
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    jitter=st.floats(min_value=0.0, max_value=0.4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_sufficient_padding_prevents_violations(jitter, seed):
+    """With wait >= jitter * max(tau) and margin >= 2 * jitter * max(tau),
+    a late confirmation can abort the handshake but can never produce an
+    uncompensated loss."""
+    params = SwapParameters.default()
+    worst = jitter * max(params.tau_a, params.tau_b)
+    points = timing_robustness_sweep(
+        params,
+        jitters=(jitter,),
+        margins=(2.0 * worst + 0.01,),
+        wait_slacks=(worst + 0.01,),
+        n_runs=40,
+        seed=seed,
+    )
+    assert points[0].violation_rate == 0.0
+    assert points[0].completion_rate == 1.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    collateral=st.floats(min_value=0.0, max_value=1.0),
+    pstar=st.floats(min_value=1.6, max_value=2.4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_collateral_episodes_conserve_value(collateral, pstar, seed):
+    """Collateralised episodes never create or destroy tokens, and the
+    sum of both agents' collateral deltas is zero (the Oracle only
+    redistributes)."""
+    params = SwapParameters.default()
+    alice, bob = rational_pair(params, pstar, collateral=collateral)
+    protocol = CollateralSwapProtocol(
+        params, pstar, collateral, alice, bob, rng=RandomState(seed)
+    )
+    supply_a = protocol.network.chain_a.ledger.total_supply()
+    supply_b = protocol.network.chain_b.ledger.total_supply()
+    from repro.stochastic.paths import sample_decision_prices
+
+    prices = sample_decision_prices(
+        params.process, params.p0, params.grid, RandomState(seed + 1), 1
+    )[0]
+    record = protocol.run(prices)
+    assert protocol.network.chain_a.ledger.total_supply() == pytest.approx(supply_a)
+    assert protocol.network.chain_b.ledger.total_supply() == pytest.approx(supply_b)
+    delta_a = record.balance_change("alice", "TOKEN_A") + record.balance_change(
+        "bob", "TOKEN_A"
+    )
+    # the swap itself is zero-sum between the two agents on each chain
+    assert delta_a == pytest.approx(0.0, abs=1e-9)
+
+
+class TestDefectionNeverProfitsFromTheft:
+    """No unilateral deviation lets an agent end with BOTH assets while
+    the counterparty follows the protocol and the chains are punctual."""
+
+    @pytest.mark.parametrize(
+        "alice_cls, bob_cls",
+        [
+            (lambda: AlwaysStopAgent(Stage.T1_INITIATE), lambda: HonestAgent("b")),
+            (lambda: HonestAgent("a"), lambda: AlwaysStopAgent(Stage.T2_LOCK)),
+            (lambda: AlwaysStopAgent(Stage.T3_REVEAL), lambda: HonestAgent("b")),
+        ],
+    )
+    def test_no_theft(self, params, alice_cls, bob_cls):
+        record = SwapProtocol(
+            params, 2.0, alice_cls(), bob_cls(), rng=RandomState(3)
+        ).run([2.0, 2.0, 2.0])
+        # nobody gains tokens they did not pay for
+        assert record.balance_change("alice", "TOKEN_B") <= 1.0 + 1e-9
+        assert record.balance_change("bob", "TOKEN_A") <= 2.0 + 1e-9
+        gain_alice = (
+            record.balance_change("alice", "TOKEN_A")
+            + record.balance_change("alice", "TOKEN_B") * 2.0
+        )
+        gain_bob = (
+            record.balance_change("bob", "TOKEN_A")
+            + record.balance_change("bob", "TOKEN_B") * 2.0
+        )
+        # at the flat price nobody profits from a unilateral stop
+        assert gain_alice <= 1e-9
+        assert gain_bob <= 1e-9

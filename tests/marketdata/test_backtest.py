@@ -1,0 +1,111 @@
+"""Tests for the walk-forward backtester."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import SwapParameters
+from repro.marketdata.backtest import SwapBacktester
+from repro.marketdata.synthetic import PlainGBMGenerator, RegimeSwitchingGenerator
+from repro.stochastic.rng import RandomState
+
+
+@pytest.fixture(scope="module")
+def base() -> SwapParameters:
+    return SwapParameters.default()
+
+
+@pytest.fixture(scope="module")
+def gbm_report(base):
+    series = PlainGBMGenerator(mu=0.002, sigma=0.08).generate(
+        2.0, 900, RandomState(11)
+    )
+    return SwapBacktester(base, window=120, step=48).run(series)
+
+
+class TestMechanics:
+    def test_validation(self, base):
+        with pytest.raises(ValueError, match="window"):
+            SwapBacktester(base, window=4)
+        with pytest.raises(ValueError, match="step"):
+            SwapBacktester(base, step=0)
+        with pytest.raises(ValueError, match="rate_policy"):
+            SwapBacktester(base, rate_policy="weird")
+
+    def test_series_too_short(self, base):
+        series = PlainGBMGenerator().generate(2.0, 50, RandomState(1))
+        with pytest.raises(ValueError, match="too short"):
+            SwapBacktester(base, window=120).run(series)
+
+    def test_no_lookahead_in_estimates(self, base):
+        """Estimates at attempt i depend only on the trailing window."""
+        gen = PlainGBMGenerator(mu=0.002, sigma=0.08)
+        series = gen.generate(2.0, 400, RandomState(12))
+        report = SwapBacktester(base, window=120, step=120).run(series)
+        first = report.attempts[0]
+        from repro.marketdata.series import estimate_gbm_parameters
+
+        window = series.window(first.index - 120, 120)
+        expected = estimate_gbm_parameters(window)
+        assert first.mu_hat == pytest.approx(expected.mu)
+        assert first.sigma_hat == pytest.approx(expected.sigma)
+
+    def test_attempts_stride(self, base):
+        series = PlainGBMGenerator().generate(2.0, 500, RandomState(13))
+        report = SwapBacktester(base, window=120, step=60).run(series)
+        indices = [a.index for a in report.attempts]
+        assert all(b - a == 60 for a, b in zip(indices, indices[1:]))
+
+    def test_spot_policy(self, base):
+        series = PlainGBMGenerator(sigma=0.06).generate(2.0, 400, RandomState(14))
+        report = SwapBacktester(
+            base, window=120, step=120, rate_policy="spot"
+        ).run(series)
+        for attempt in report.viable_attempts:
+            assert attempt.pstar == pytest.approx(attempt.spot)
+
+
+class TestCalibration:
+    def test_gbm_data_calibrated(self, gbm_report):
+        """On correctly specified data, predictions match outcomes."""
+        assert gbm_report.viability_rate > 0.8
+        assert gbm_report.calibration_gap < 0.2
+
+    def test_predictions_are_probabilities(self, gbm_report):
+        for attempt in gbm_report.viable_attempts:
+            assert 0.0 <= attempt.predicted_sr <= 1.0
+
+    def test_brier_score_beats_coin_flip(self, gbm_report):
+        assert gbm_report.brier_score < 0.25
+
+    def test_describe(self, gbm_report):
+        text = gbm_report.describe()
+        assert "predicted SR" in text
+        assert "Brier" in text
+
+
+class TestRegimes:
+    def test_turbulence_lowers_predicted_sr(self, base):
+        """Backtests through turbulent stretches predict lower SR than
+        calm ones (the Bisq effect seen by the model through its own
+        rolling estimates)."""
+        calm = PlainGBMGenerator(mu=0.002, sigma=0.04).generate(
+            2.0, 700, RandomState(15)
+        )
+        stormy = PlainGBMGenerator(mu=0.002, sigma=0.13).generate(
+            2.0, 700, RandomState(15)
+        )
+        backtester = SwapBacktester(base, window=120, step=96)
+        report_calm = backtester.run(calm)
+        report_stormy = backtester.run(stormy)
+        assert (
+            report_calm.mean_predicted_success_rate
+            > report_stormy.mean_predicted_success_rate
+        )
+
+    def test_regime_switching_runs(self, base):
+        series, _regimes = RegimeSwitchingGenerator().generate(
+            2.0, 700, RandomState(16)
+        )
+        report = SwapBacktester(base, window=120, step=96).run(series)
+        assert report.n_attempts > 0

@@ -1,0 +1,156 @@
+"""Tests for price series, estimators and synthetic generators."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.marketdata.series import PriceSeries, estimate_gbm_parameters
+from repro.marketdata.synthetic import (
+    JumpDiffusionGenerator,
+    PlainGBMGenerator,
+    RegimeSwitchingGenerator,
+)
+from repro.stochastic.rng import RandomState
+
+
+class TestPriceSeries:
+    def test_construction(self):
+        series = PriceSeries(prices=(1.0, 1.1, 1.2), dt=1.0)
+        assert len(series) == 3
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError):
+            PriceSeries(prices=(1.0,))
+
+    def test_rejects_nonpositive_prices(self):
+        with pytest.raises(ValueError):
+            PriceSeries(prices=(1.0, -0.5))
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ValueError):
+            PriceSeries(prices=(1.0, 1.1), dt=0.0)
+
+    def test_log_returns(self):
+        series = PriceSeries(prices=(1.0, math.e, math.e**2))
+        assert np.allclose(series.log_returns(), [1.0, 1.0])
+
+    def test_window(self):
+        series = PriceSeries(prices=tuple(float(i) for i in range(1, 11)))
+        sub = series.window(2, 4)
+        assert sub.prices == (3.0, 4.0, 5.0, 6.0)
+
+    def test_window_bounds_checked(self):
+        series = PriceSeries(prices=(1.0, 2.0, 3.0))
+        with pytest.raises(ValueError):
+            series.window(1, 5)
+        with pytest.raises(ValueError):
+            series.window(0, 1)
+
+    def test_realized_volatility_of_constant_series(self):
+        series = PriceSeries(prices=(2.0,) * 10)
+        assert series.realized_volatility() == 0.0
+
+
+class TestEstimation:
+    def test_recovers_gbm_parameters(self):
+        gen = PlainGBMGenerator(mu=0.004, sigma=0.12)
+        series = gen.generate(2.0, 50_000, RandomState(5))
+        estimate = estimate_gbm_parameters(series)
+        assert estimate.sigma == pytest.approx(0.12, rel=0.02)
+        assert estimate.mu == pytest.approx(0.004, abs=0.002)
+        assert estimate.n_observations == 50_000
+
+    def test_sigma_floor(self):
+        series = PriceSeries(prices=(2.0,) * 20)
+        estimate = estimate_gbm_parameters(series, min_sigma=1e-3)
+        assert estimate.sigma == 1e-3
+
+    def test_respects_dt(self):
+        gen = PlainGBMGenerator(mu=0.002, sigma=0.1, dt=0.5)
+        series = gen.generate(2.0, 40_000, RandomState(6))
+        estimate = estimate_gbm_parameters(series)
+        assert estimate.sigma == pytest.approx(0.1, rel=0.03)
+
+
+class TestPlainGBM:
+    def test_length_and_start(self):
+        series = PlainGBMGenerator().generate(2.0, 100, RandomState(1))
+        assert len(series) == 101
+        assert series.price_at(0) == 2.0
+
+    def test_reproducible(self):
+        a = PlainGBMGenerator().generate(2.0, 50, RandomState(2))
+        b = PlainGBMGenerator().generate(2.0, 50, RandomState(2))
+        assert a.prices == b.prices
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlainGBMGenerator().generate(0.0, 10, RandomState(1))
+        with pytest.raises(ValueError):
+            PlainGBMGenerator().generate(2.0, 0, RandomState(1))
+
+
+class TestRegimeSwitching:
+    def test_returns_series_and_regimes(self):
+        series, regimes = RegimeSwitchingGenerator().generate(2.0, 200, RandomState(3))
+        assert len(series) == 201
+        assert len(regimes) == 200
+        assert set(regimes).issubset({0, 1})
+
+    def test_regime_volatilities_differ(self):
+        gen = RegimeSwitchingGenerator(
+            sigma_calm=0.02, sigma_turbulent=0.3,
+            p_calm_to_turbulent=0.05, p_turbulent_to_calm=0.05,
+        )
+        series, regimes = gen.generate(2.0, 20_000, RandomState(4))
+        returns = series.log_returns()
+        regimes_arr = np.asarray(regimes)
+        calm_vol = returns[regimes_arr == 0].std()
+        turbulent_vol = returns[regimes_arr == 1].std()
+        assert turbulent_vol > 3.0 * calm_vol
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            RegimeSwitchingGenerator(p_calm_to_turbulent=1.5)
+
+
+class TestJumpDiffusion:
+    def test_generates(self):
+        series = JumpDiffusionGenerator().generate(2.0, 500, RandomState(5))
+        assert len(series) == 501
+        assert all(p > 0 for p in series.prices)
+
+    def test_jumps_fatten_tails(self):
+        plain = PlainGBMGenerator(mu=0.0, sigma=0.05).generate(
+            2.0, 50_000, RandomState(6)
+        )
+        jumpy = JumpDiffusionGenerator(
+            mu=0.0, sigma=0.05, jump_intensity=0.05, jump_mean=-0.2, jump_std=0.05
+        ).generate(2.0, 50_000, RandomState(6))
+        from scipy.stats import kurtosis
+
+        assert kurtosis(jumpy.log_returns()) > kurtosis(plain.log_returns()) + 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JumpDiffusionGenerator(jump_intensity=-1.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    mu=st.floats(min_value=-0.01, max_value=0.01),
+    sigma=st.floats(min_value=0.02, max_value=0.3),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_generated_series_are_valid(mu, sigma, seed):
+    series = PlainGBMGenerator(mu=mu, sigma=sigma).generate(
+        2.0, 100, RandomState(seed)
+    )
+    assert all(p > 0 for p in series.prices)
+    estimate = estimate_gbm_parameters(series)
+    assert estimate.sigma > 0

@@ -1,0 +1,95 @@
+"""Tests for the collateralised protocol (Section IV execution)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import AlwaysStopAgent, HonestAgent, rational_pair
+from repro.protocol.collateral_swap import CollateralSwapProtocol
+from repro.protocol.messages import Stage, SwapOutcome
+from repro.stochastic.rng import RandomState
+
+FLAT = [2.0, 2.0, 2.0]
+
+
+def run(params, pstar, collateral, alice, bob, prices, seed=1):
+    protocol = CollateralSwapProtocol(
+        params, pstar, collateral, alice, bob, rng=RandomState(seed)
+    )
+    return protocol.run(prices)
+
+
+class TestSuccess:
+    def test_outcome_and_table1(self, params):
+        record = run(params, 2.0, 0.5, HonestAgent("a"), HonestAgent("b"), FLAT)
+        assert record.outcome is SwapOutcome.COMPLETED
+        # deposits returned, so net changes match Table I exactly
+        assert record.matches_table1()
+
+    def test_collateral_recorded(self, params):
+        record = run(params, 2.0, 0.5, HonestAgent("a"), HonestAgent("b"), FLAT)
+        assert record.collateral == 0.5
+
+
+class TestForfeitures:
+    def test_bob_walks_forfeits_both_deposits(self, params):
+        record = run(
+            params, 2.0, 0.5, HonestAgent("a"), AlwaysStopAgent(Stage.T2_LOCK), FLAT
+        )
+        assert record.outcome is SwapOutcome.ABORTED_AT_T2
+        assert record.balance_change("alice", "TOKEN_A") == pytest.approx(0.5)
+        assert record.balance_change("bob", "TOKEN_A") == pytest.approx(-0.5)
+        # token_b never moved
+        assert record.balance_change("bob", "TOKEN_B") == pytest.approx(0.0)
+
+    def test_alice_waives_forfeits_her_deposit(self, params):
+        record = run(
+            params, 2.0, 0.5, AlwaysStopAgent(Stage.T3_REVEAL), HonestAgent("b"), FLAT
+        )
+        assert record.outcome is SwapOutcome.ABORTED_AT_T3
+        assert record.balance_change("alice", "TOKEN_A") == pytest.approx(-0.5)
+        assert record.balance_change("bob", "TOKEN_A") == pytest.approx(0.5)
+
+    def test_not_initiated_returns_deposits(self, params):
+        record = run(
+            params, 2.0, 0.5, AlwaysStopAgent(Stage.T1_INITIATE), HonestAgent("b"), FLAT
+        )
+        assert record.outcome is SwapOutcome.NOT_INITIATED
+        assert record.is_no_op()
+
+
+class TestZeroCollateralDegenerates:
+    def test_no_escrow_when_zero(self, params):
+        record = run(params, 2.0, 0.0, HonestAgent("a"), HonestAgent("b"), FLAT)
+        assert record.outcome is SwapOutcome.COMPLETED
+        assert record.matches_table1()
+
+    def test_rejects_negative(self, params):
+        with pytest.raises(ValueError):
+            CollateralSwapProtocol(
+                params, 2.0, -0.5, HonestAgent("a"), HonestAgent("b"),
+                rng=RandomState(1),
+            )
+
+
+class TestRationalCollateralAgents:
+    def test_low_price_still_continues(self, params):
+        """With collateral, Bob locks even at a crashed price (Section IV
+        intuition 2) and Alice -- whose threshold dropped -- may still
+        reveal."""
+        alice, bob = rational_pair(params, 2.0, collateral=0.5)
+        record = run(params, 2.0, 0.5, alice, bob, [2.0, 0.8, 1.2], seed=3)
+        # basic-model Bob would stop at 0.8 (below his region); collateral Bob locks
+        assert record.decision_at(Stage.T2_LOCK).action.value == "cont"
+        # p3 = 1.2 clears the collateral threshold (~1.10)
+        assert record.outcome is SwapOutcome.COMPLETED
+
+    def test_conservation_including_deposits(self, params):
+        alice, bob = rational_pair(params, 2.0, collateral=0.5)
+        protocol = CollateralSwapProtocol(
+            params, 2.0, 0.5, alice, bob, rng=RandomState(9)
+        )
+        net = protocol.network
+        supply_a = net.chain_a.ledger.total_supply()
+        protocol.run([2.0, 5.0, 5.0])
+        assert net.chain_a.ledger.total_supply() == pytest.approx(supply_a)

@@ -1,0 +1,89 @@
+"""Protocol-level transaction fees (relaxing Assumption 2 in the substrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import HonestAgent
+from repro.chain.chain import FEE_SINK
+from repro.chain.network import ALICE, BOB, TwoChainNetwork
+from repro.protocol.messages import SwapOutcome
+from repro.protocol.swap import SwapProtocol
+from repro.stochastic.rng import RandomState
+
+
+def run_with_fees(params, fee_a: float, fee_b: float, slack: float = 1.0):
+    network = TwoChainNetwork(params, fee_a=fee_a, fee_b=fee_b)
+    network.fund_agents(pstar=2.0, slack=slack)
+    protocol = SwapProtocol(
+        params, 2.0, HonestAgent("a"), HonestAgent("b"),
+        rng=RandomState(1), network=network,
+    )
+    return protocol.run([2.0, 2.0, 2.0]), network
+
+
+class TestFeeCharging:
+    def test_swap_completes_with_fees(self, params):
+        record, _network = run_with_fees(params, fee_a=0.01, fee_b=0.005)
+        assert record.outcome is SwapOutcome.COMPLETED
+
+    def test_fee_sink_collects(self, params):
+        _record, network = run_with_fees(params, fee_a=0.01, fee_b=0.005)
+        # chain_a: Alice's deploy + Bob's claim = 2 txs
+        assert network.chain_a.balance(FEE_SINK) == pytest.approx(0.02)
+        # chain_b: Bob's deploy + Alice's claim = 2 txs
+        assert network.chain_b.balance(FEE_SINK) == pytest.approx(0.01)
+
+    def test_supply_conserved_including_fees(self, params):
+        _record, network = run_with_fees(params, fee_a=0.01, fee_b=0.005)
+        # alice 2 + slack 1, bob slack 1, fees included in accounts
+        assert network.chain_a.ledger.total_supply() == pytest.approx(4.0)
+        assert network.chain_b.ledger.total_supply() == pytest.approx(3.0)
+
+    def test_agents_pay_their_own_fees(self, params):
+        record, _network = run_with_fees(params, fee_a=0.01, fee_b=0.005)
+        # Alice: -P* swap leg, -fee_a deploy on chain_a
+        assert record.balance_change("alice", "TOKEN_A") == pytest.approx(-2.01)
+        # Alice claim fee on chain_b: +1 received, -0.005 fee
+        assert record.balance_change("alice", "TOKEN_B") == pytest.approx(0.995)
+        # Bob: +P* redeemed, -fee_a claim
+        assert record.balance_change("bob", "TOKEN_A") == pytest.approx(1.99)
+        assert record.balance_change("bob", "TOKEN_B") == pytest.approx(-1.005)
+
+    def test_insolvent_sender_tx_fails(self, params):
+        # no slack: the fee is reserved first, leaving Alice short for the
+        # lock itself -- the deploy fails and the fee is consumed (as on a
+        # real chain, a failed transaction still pays)
+        record, network = run_with_fees(params, fee_a=0.5, fee_b=0.0, slack=0.0)
+        assert record.outcome is not SwapOutcome.COMPLETED
+        deploy_tx = network.chain_a.transactions[0]
+        assert deploy_tx.status.value == "failed"
+        assert network.chain_a.balance(FEE_SINK) == pytest.approx(0.5)
+        assert record.balance_change("alice", "TOKEN_A") == pytest.approx(-0.5)
+
+    def test_system_refunds_exempt_from_fees(self, params):
+        # Bob never locks (verification fails is not the case here; use a
+        # stopping Bob) -> Alice's HTLC refunds via a system tx, fee-free
+        from repro.agents import AlwaysStopAgent
+        from repro.protocol.messages import Stage
+
+        network = TwoChainNetwork(params, fee_a=0.01, fee_b=0.005)
+        network.fund_agents(pstar=2.0, slack=1.0)
+        protocol = SwapProtocol(
+            params, 2.0, HonestAgent("a"), AlwaysStopAgent(Stage.T2_LOCK),
+            rng=RandomState(2), network=network,
+        )
+        record = protocol.run([2.0, 2.0, 2.0])
+        assert record.outcome is SwapOutcome.ABORTED_AT_T2
+        # Alice lost only her deploy fee; the refund itself was free
+        assert record.balance_change("alice", "TOKEN_A") == pytest.approx(-0.01)
+
+    def test_zero_fee_network_unchanged(self, params):
+        record, network = run_with_fees(params, fee_a=0.0, fee_b=0.0, slack=0.0)
+        assert record.outcome is SwapOutcome.COMPLETED
+        assert record.matches_table1()
+        assert not network.chain_a.ledger.has_account(FEE_SINK)
+
+    def test_fee_validation(self, params):
+        with pytest.raises(ValueError):
+            TwoChainNetwork(params, fee_a=-0.1)

@@ -1,0 +1,71 @@
+"""Tests for the protocol record/vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.strategy import Action
+from repro.protocol.messages import (
+    DecisionLogEntry,
+    Stage,
+    SwapOutcome,
+    SwapRecord,
+)
+
+
+class TestOutcome:
+    def test_only_completed_succeeds(self):
+        assert SwapOutcome.COMPLETED.succeeded
+        for outcome in SwapOutcome:
+            if outcome is not SwapOutcome.COMPLETED:
+                assert not outcome.succeeded
+
+
+class TestSwapRecord:
+    @staticmethod
+    def record_with_balances() -> SwapRecord:
+        record = SwapRecord(pstar=2.0)
+        record.initial_balances = {
+            "alice": {"TOKEN_A": 2.0, "TOKEN_B": 0.0},
+            "bob": {"TOKEN_A": 0.0, "TOKEN_B": 1.0},
+        }
+        record.final_balances = {
+            "alice": {"TOKEN_A": 0.0, "TOKEN_B": 1.0},
+            "bob": {"TOKEN_A": 2.0, "TOKEN_B": 0.0},
+        }
+        return record
+
+    def test_balance_change(self):
+        record = self.record_with_balances()
+        assert record.balance_change("alice", "TOKEN_A") == -2.0
+        assert record.balance_change("bob", "TOKEN_A") == 2.0
+
+    def test_matches_table1(self):
+        assert self.record_with_balances().matches_table1()
+
+    def test_table1_mismatch_detected(self):
+        record = self.record_with_balances()
+        record.final_balances["alice"]["TOKEN_B"] = 0.5
+        assert not record.matches_table1()
+
+    def test_no_op_detection(self):
+        record = SwapRecord(pstar=2.0)
+        record.initial_balances = {"alice": {"TOKEN_A": 2.0, "TOKEN_B": 0.0},
+                                   "bob": {"TOKEN_A": 0.0, "TOKEN_B": 1.0}}
+        record.final_balances = {k: dict(v) for k, v in record.initial_balances.items()}
+        assert record.is_no_op()
+        assert not record.matches_table1()
+
+    def test_decision_lookup(self):
+        record = SwapRecord(pstar=2.0)
+        entry = DecisionLogEntry(
+            stage=Stage.T2_LOCK, agent="bob", time=3.0, price=2.0,
+            action=Action.CONT,
+        )
+        record.log(entry)
+        assert record.decision_at(Stage.T2_LOCK) is entry
+        assert record.decision_at(Stage.T3_REVEAL) is None
+
+    def test_missing_agent_balance_defaults_zero(self):
+        record = SwapRecord(pstar=2.0)
+        assert record.balance_change("carol", "TOKEN_A") == 0.0

@@ -1,0 +1,187 @@
+"""Tests for the HTLC swap protocol engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import AlwaysStopAgent, CrashingAgent, HonestAgent, rational_pair
+from repro.core.parameters import SwapParameters
+from repro.protocol.errors import ProtocolStateError
+from repro.protocol.messages import Stage, SwapOutcome
+from repro.protocol.swap import SwapProtocol
+from repro.stochastic.rng import RandomState
+
+FLAT = [2.0, 2.0, 2.0]
+
+
+def run(params, pstar, alice, bob, prices, seed=1):
+    return SwapProtocol(params, pstar, alice, bob, rng=RandomState(seed)).run(prices)
+
+
+class TestHappyPath:
+    def test_completion(self, params):
+        record = run(params, 2.0, HonestAgent("a"), HonestAgent("b"), FLAT)
+        assert record.outcome is SwapOutcome.COMPLETED
+        assert record.outcome.succeeded
+
+    def test_balance_changes_match_table1(self, params):
+        record = run(params, 2.0, HonestAgent("a"), HonestAgent("b"), FLAT)
+        assert record.matches_table1()
+
+    def test_receipt_times_match_eq13(self, params):
+        record = run(params, 2.0, HonestAgent("a"), HonestAgent("b"), FLAT)
+        grid = params.grid
+        assert record.alice_received_at == pytest.approx(grid.t5)
+        assert record.bob_received_at == pytest.approx(grid.t6)
+
+    def test_htlc_lock_times(self, params):
+        record = run(params, 2.0, HonestAgent("a"), HonestAgent("b"), FLAT)
+        assert record.htlc_a_locked_at == pytest.approx(params.grid.t2)
+        assert record.htlc_b_locked_at == pytest.approx(params.grid.t3)
+
+    def test_secret_revealed_at_t3(self, params):
+        record = run(params, 2.0, HonestAgent("a"), HonestAgent("b"), FLAT)
+        assert record.secret_revealed_at == pytest.approx(params.grid.t3)
+
+    def test_all_four_decisions_logged(self, params):
+        record = run(params, 2.0, HonestAgent("a"), HonestAgent("b"), FLAT)
+        stages = [entry.stage for entry in record.decisions]
+        assert stages == [
+            Stage.T1_INITIATE, Stage.T2_LOCK, Stage.T3_REVEAL, Stage.T4_REDEEM,
+        ]
+
+
+class TestAbortPaths:
+    def test_not_initiated(self, params):
+        record = run(
+            params, 2.0, AlwaysStopAgent(Stage.T1_INITIATE), HonestAgent("b"), FLAT
+        )
+        assert record.outcome is SwapOutcome.NOT_INITIATED
+        assert record.is_no_op()
+        assert len(record.decisions) == 1
+
+    def test_bob_walks_at_t2(self, params):
+        record = run(
+            params, 2.0, HonestAgent("a"), AlwaysStopAgent(Stage.T2_LOCK), FLAT
+        )
+        assert record.outcome is SwapOutcome.ABORTED_AT_T2
+        assert record.is_no_op()  # Alice refunded by expiry
+
+    def test_alice_waives_at_t3(self, params):
+        record = run(
+            params, 2.0, AlwaysStopAgent(Stage.T3_REVEAL), HonestAgent("b"), FLAT
+        )
+        assert record.outcome is SwapOutcome.ABORTED_AT_T3
+        assert record.is_no_op()  # both refunded by expiry
+
+    def test_abort_never_loses_funds(self, params):
+        for stop_stage in (Stage.T1_INITIATE, Stage.T2_LOCK, Stage.T3_REVEAL):
+            alice = (
+                AlwaysStopAgent(stop_stage)
+                if stop_stage is not Stage.T2_LOCK
+                else HonestAgent("a")
+            )
+            bob = (
+                AlwaysStopAgent(stop_stage)
+                if stop_stage is Stage.T2_LOCK
+                else HonestAgent("b")
+            )
+            record = run(params, 2.0, alice, bob, FLAT)
+            assert record.is_no_op(), stop_stage
+
+
+class TestCrashFailures:
+    def test_bob_crash_at_t4_forfeits(self, params):
+        bob = CrashingAgent(HonestAgent("b"), Stage.T4_REDEEM)
+        record = run(params, 2.0, HonestAgent("a"), bob, FLAT)
+        assert record.outcome is SwapOutcome.BOB_FORFEITED
+        # Alice keeps her Token_a (refunded) AND gains Token_b
+        assert record.balance_change("alice", "TOKEN_A") == pytest.approx(0.0)
+        assert record.balance_change("alice", "TOKEN_B") == pytest.approx(1.0)
+        assert record.balance_change("bob", "TOKEN_B") == pytest.approx(-1.0)
+
+    def test_crash_is_logged(self, params):
+        bob = CrashingAgent(HonestAgent("b"), Stage.T4_REDEEM)
+        record = run(params, 2.0, HonestAgent("a"), bob, FLAT)
+        entry = record.decision_at(Stage.T4_REDEEM)
+        assert entry is not None
+        assert entry.crashed
+
+    def test_alice_crash_at_t3_is_clean_abort(self, params):
+        alice = CrashingAgent(HonestAgent("a"), Stage.T3_REVEAL)
+        record = run(params, 2.0, alice, HonestAgent("b"), FLAT)
+        assert record.outcome is SwapOutcome.ABORTED_AT_T3
+        assert record.is_no_op()
+
+    def test_bob_crash_at_t2_is_clean_abort(self, params):
+        bob = CrashingAgent(HonestAgent("b"), Stage.T2_LOCK)
+        record = run(params, 2.0, HonestAgent("a"), bob, FLAT)
+        assert record.outcome is SwapOutcome.ABORTED_AT_T2
+        assert record.is_no_op()
+
+
+class TestRationalAgents:
+    def test_equilibrium_paths(self, params):
+        cases = [
+            ([2.0, 2.0, 2.0], SwapOutcome.COMPLETED),
+            ([2.0, 2.0, 1.0], SwapOutcome.ABORTED_AT_T3),  # below P3 threshold
+            ([2.0, 3.0, 3.0], SwapOutcome.ABORTED_AT_T2),  # above Bob's range
+            ([2.0, 1.0, 1.0], SwapOutcome.ABORTED_AT_T2),  # below Bob's range
+        ]
+        for prices, expected in cases:
+            record = run(params, 2.0, *rational_pair(params, 2.0), prices)
+            assert record.outcome is expected, prices
+
+    def test_rational_alice_declines_bad_rate(self, params):
+        record = run(params, 4.0, *rational_pair(params, 4.0), [2.0, 2.0, 2.0])
+        assert record.outcome is SwapOutcome.NOT_INITIATED
+
+
+class TestEngineHygiene:
+    def test_single_use(self, params):
+        protocol = SwapProtocol(
+            params, 2.0, HonestAgent("a"), HonestAgent("b"), rng=RandomState(1)
+        )
+        protocol.run(FLAT)
+        with pytest.raises(ProtocolStateError):
+            protocol.run(FLAT)
+
+    def test_rejects_wrong_price_count(self, params):
+        protocol = SwapProtocol(
+            params, 2.0, HonestAgent("a"), HonestAgent("b"), rng=RandomState(1)
+        )
+        with pytest.raises(ValueError, match="t1, t2, t3"):
+            protocol.run([2.0, 2.0])
+
+    def test_rejects_bad_pstar(self, params):
+        with pytest.raises(ValueError):
+            SwapProtocol(
+                params, 0.0, HonestAgent("a"), HonestAgent("b"), rng=RandomState(1)
+            )
+
+    def test_fresh_secret_per_protocol(self, params):
+        rng = RandomState(1)
+        p1 = SwapProtocol(params, 2.0, HonestAgent("a"), HonestAgent("b"), rng=rng)
+        p1.run(FLAT)
+        p2 = SwapProtocol(params, 2.0, HonestAgent("a"), HonestAgent("b"), rng=rng)
+        p2.run(FLAT)
+        h1 = p1.network.chain_a.blocks[0].transactions[0].operation.contract.hashlock
+        h2 = p2.network.chain_a.blocks[0].transactions[0].operation.contract.hashlock
+        assert h1 != h2
+
+
+class TestTokenConservation:
+    @pytest.mark.parametrize(
+        "prices",
+        [[2.0, 2.0, 2.0], [2.0, 2.0, 1.0], [2.0, 3.0, 3.0], [2.0, 1.0, 1.0]],
+    )
+    def test_supply_conserved(self, params, prices):
+        protocol = SwapProtocol(
+            params, 2.0, *rational_pair(params, 2.0), rng=RandomState(5)
+        )
+        net = protocol.network
+        supply_a = net.chain_a.ledger.total_supply()
+        supply_b = net.chain_b.ledger.total_supply()
+        protocol.run(prices)
+        assert net.chain_a.ledger.total_supply() == pytest.approx(supply_a)
+        assert net.chain_b.ledger.total_supply() == pytest.approx(supply_b)

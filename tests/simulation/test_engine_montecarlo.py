@@ -1,0 +1,125 @@
+"""Tests for the episode runner and Monte Carlo batches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import AlwaysStopAgent, HonestAgent
+from repro.core.parameters import SwapParameters
+from repro.protocol.messages import Stage, SwapOutcome
+from repro.simulation.engine import EpisodeConfig, run_episode
+from repro.simulation.montecarlo import (
+    empirical_success_rate,
+    validate_against_analytic,
+)
+from repro.simulation.scenarios import SCENARIOS, scenario
+from repro.stochastic.rng import RandomState
+
+
+class TestEpisodeConfig:
+    def test_defaults_to_rational_agents(self, params):
+        config = EpisodeConfig(params=params, pstar=2.0)
+        alice, bob = config.agents()
+        assert alice.name == "alice"
+        assert bob.name == "bob"
+
+    def test_partial_override(self, params):
+        stopper = AlwaysStopAgent(Stage.T2_LOCK)
+        config = EpisodeConfig(params=params, pstar=2.0, bob=stopper)
+        _alice, bob = config.agents()
+        assert bob is stopper
+
+    def test_validation(self, params):
+        with pytest.raises(ValueError):
+            EpisodeConfig(params=params, pstar=-1.0)
+        with pytest.raises(ValueError):
+            EpisodeConfig(params=params, pstar=2.0, collateral=-0.1)
+
+
+class TestRunEpisode:
+    def test_deterministic_prices(self, params):
+        config = EpisodeConfig(
+            params=params, pstar=2.0,
+            alice=HonestAgent("a"), bob=HonestAgent("b"),
+        )
+        record = run_episode(config, RandomState(1), decision_prices=[2, 2, 2])
+        assert record.outcome is SwapOutcome.COMPLETED
+
+    def test_sampled_prices_reproducible(self, params):
+        config = EpisodeConfig(params=params, pstar=2.0)
+        a = run_episode(config, RandomState(7))
+        b = run_episode(config, RandomState(7))
+        assert a.outcome == b.outcome
+        assert [e.price for e in a.decisions] == [e.price for e in b.decisions]
+
+    def test_collateral_episode(self, params):
+        config = EpisodeConfig(
+            params=params, pstar=2.0, collateral=0.5,
+            alice=HonestAgent("a"), bob=HonestAgent("b"),
+        )
+        record = run_episode(config, RandomState(2), decision_prices=[2, 2, 2])
+        assert record.outcome is SwapOutcome.COMPLETED
+        assert record.collateral == 0.5
+
+
+class TestStrategyLevelMonteCarlo:
+    def test_matches_analytic(self, params):
+        empirical, analytic = validate_against_analytic(
+            params, 2.0, n_paths=100_000, seed=17
+        )
+        assert empirical.contains(analytic)
+        assert empirical.success_rate == pytest.approx(analytic, abs=0.01)
+
+    def test_collateral_matches_analytic(self, params):
+        empirical, analytic = validate_against_analytic(
+            params, 2.0, n_paths=100_000, seed=18, collateral=0.5
+        )
+        assert empirical.contains(analytic)
+
+    def test_not_initiated_when_rate_infeasible(self, params):
+        result = empirical_success_rate(params, 4.0, n_paths=1000, seed=1)
+        assert result.n_initiated == 0
+        assert result.success_rate == 0.0
+
+    def test_reproducible(self, params):
+        a = empirical_success_rate(params, 2.0, n_paths=5000, seed=3)
+        b = empirical_success_rate(params, 2.0, n_paths=5000, seed=3)
+        assert a.success_rate == b.success_rate
+
+    def test_rejects_bad_paths(self, params):
+        with pytest.raises(ValueError):
+            empirical_success_rate(params, 2.0, n_paths=0)
+
+
+class TestProtocolLevelMonteCarlo:
+    def test_matches_analytic(self, params):
+        empirical, analytic = validate_against_analytic(
+            params, 2.0, n_paths=600, seed=19, protocol_level=True
+        )
+        assert empirical.contains(analytic)
+
+    def test_protocol_and_strategy_levels_agree(self, params):
+        strategy = empirical_success_rate(params, 2.0, n_paths=50_000, seed=20)
+        protocol = empirical_success_rate(
+            params, 2.0, n_paths=600, seed=20, protocol_level=True
+        )
+        # wide protocol CI must overlap the tight strategy CI
+        assert protocol.ci_low <= strategy.ci_high
+        assert strategy.ci_low <= protocol.ci_high
+
+
+class TestScenarios:
+    def test_all_scenarios_valid(self):
+        for name, params in SCENARIOS.items():
+            assert params.p0 > 0, name
+
+    def test_lookup(self):
+        assert scenario("default") == SwapParameters.default()
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            scenario("nope")
+
+    def test_volatility_scenarios_ordered(self):
+        assert scenario("calm_market").sigma < scenario("default").sigma
+        assert scenario("default").sigma < scenario("volatile_market").sigma

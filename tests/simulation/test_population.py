@@ -1,0 +1,88 @@
+"""Tests for the heterogeneous-population market study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import SwapParameters
+from repro.simulation.population import (
+    MarketOutcome,
+    PopulationSpec,
+    simulate_market,
+    volatility_failure_curve,
+)
+from repro.stochastic.rng import RandomState
+
+
+class TestPopulationSpec:
+    def test_sampling_within_ranges(self):
+        spec = PopulationSpec(alpha_range=(0.2, 0.4), r_range=(0.005, 0.01))
+        rng = RandomState(1)
+        for _ in range(50):
+            alpha_a, alpha_b, r_a, r_b = spec.sample_pair(rng)
+            assert 0.2 <= alpha_a <= 0.4
+            assert 0.2 <= alpha_b <= 0.4
+            assert 0.005 <= r_a <= 0.01
+            assert 0.005 <= r_b <= 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PopulationSpec(alpha_range=(0.5, 0.2))
+        with pytest.raises(ValueError):
+            PopulationSpec(r_range=(0.0, 0.01))
+
+
+class TestSimulateMarket:
+    def test_reproducible(self, params):
+        spec = PopulationSpec()
+        a = simulate_market(params, spec, n_pairs=10, seed=4)
+        b = simulate_market(params, spec, n_pairs=10, seed=4)
+        assert a == b
+
+    def test_outcome_fields(self, params):
+        outcome = simulate_market(params, PopulationSpec(), n_pairs=10, seed=5)
+        assert outcome.n_pairs == 10
+        assert 0 <= outcome.n_participating <= 10
+        assert 0.0 <= outcome.mean_success_rate <= 1.0
+        assert 0.0 <= outcome.participation_rate <= 1.0
+        assert outcome.failure_rate == pytest.approx(
+            1.0 - outcome.mean_success_rate
+        )
+
+    def test_rejects_bad_n(self, params):
+        with pytest.raises(ValueError):
+            simulate_market(params, PopulationSpec(), n_pairs=0, seed=1)
+
+    def test_hostile_population_does_not_participate(self, params):
+        spec = PopulationSpec(alpha_range=(0.0, 0.02), r_range=(0.05, 0.1))
+        outcome = simulate_market(params, spec, n_pairs=8, seed=6)
+        assert outcome.n_participating == 0
+        assert outcome.failure_rate == 0.0  # nothing traded, nothing failed
+
+
+class TestVolatilityCurve:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return volatility_failure_curve(
+            SwapParameters.default(),
+            PopulationSpec(),
+            sigmas=(0.03, 0.08, 0.14),
+            n_pairs=25,
+            seed=7,
+        )
+
+    def test_failure_rises_with_volatility(self, curve):
+        """The Bisq anecdote: failures increase in volatile periods."""
+        failures = [o.failure_rate for o in curve]
+        assert failures[0] < failures[1] < failures[2]
+
+    def test_calm_market_failure_is_small(self, curve):
+        # Bisq reports 3-5% arbitration in normal conditions
+        assert curve[0].failure_rate < 0.05
+
+    def test_participation_declines(self, curve):
+        participations = [o.participation_rate for o in curve]
+        assert participations[-1] <= participations[0]
+
+    def test_sigma_recorded(self, curve):
+        assert [o.sigma for o in curve] == [0.03, 0.08, 0.14]

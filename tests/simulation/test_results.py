@@ -1,0 +1,104 @@
+"""Tests for batch aggregation and the Wilson interval."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol.messages import SwapOutcome, SwapRecord
+from repro.simulation.results import BatchSummary, wilson_interval
+
+
+def record(outcome: SwapOutcome) -> SwapRecord:
+    r = SwapRecord(pstar=2.0)
+    r.outcome = outcome
+    return r
+
+
+class TestWilsonInterval:
+    def test_symmetric_at_half(self):
+        lo, hi = wilson_interval(50, 100)
+        assert lo < 0.5 < hi
+        assert (0.5 - lo) == pytest.approx(hi - 0.5, abs=1e-9)
+
+    def test_narrows_with_more_trials(self):
+        lo1, hi1 = wilson_interval(5, 10)
+        lo2, hi2 = wilson_interval(500, 1000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_handles_extremes(self):
+        lo, hi = wilson_interval(0, 20)
+        assert lo == 0.0
+        assert hi > 0.0
+        lo, hi = wilson_interval(20, 20)
+        assert hi == 1.0
+        assert lo < 1.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+
+class TestBatchSummary:
+    def test_counts(self):
+        summary = BatchSummary.from_records(
+            [
+                record(SwapOutcome.COMPLETED),
+                record(SwapOutcome.COMPLETED),
+                record(SwapOutcome.ABORTED_AT_T3),
+                record(SwapOutcome.NOT_INITIATED),
+            ]
+        )
+        assert summary.n_total == 4
+        assert summary.n_initiated == 3
+        assert summary.n_completed == 2
+
+    def test_success_rate_conditions_on_initiation(self):
+        summary = BatchSummary.from_records(
+            [record(SwapOutcome.COMPLETED), record(SwapOutcome.NOT_INITIATED)]
+        )
+        assert summary.success_rate == 1.0
+        assert summary.unconditional_success_rate == 0.5
+
+    def test_empty_batch(self):
+        summary = BatchSummary()
+        assert summary.success_rate == 0.0
+        assert summary.unconditional_success_rate == 0.0
+        assert summary.success_rate_ci() == (0.0, 1.0)
+        assert summary.outcome_fractions() == {}
+
+    def test_rejects_unfinished_record(self):
+        with pytest.raises(ValueError, match="outcome"):
+            BatchSummary().add(SwapRecord(pstar=2.0))
+
+    def test_outcome_fractions(self):
+        summary = BatchSummary.from_records(
+            [record(SwapOutcome.COMPLETED)] * 3 + [record(SwapOutcome.ABORTED_AT_T2)]
+        )
+        fractions = summary.outcome_fractions()
+        assert fractions[SwapOutcome.COMPLETED] == 0.75
+        assert fractions[SwapOutcome.ABORTED_AT_T2] == 0.25
+
+    def test_describe_renders(self):
+        summary = BatchSummary.from_records([record(SwapOutcome.COMPLETED)])
+        text = summary.describe()
+        assert "success rate" in text
+        assert "completed" in text
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    successes=st.integers(min_value=0, max_value=100),
+    extra=st.integers(min_value=0, max_value=100),
+)
+def test_property_wilson_contains_point_estimate(successes, extra):
+    trials = successes + extra
+    if trials == 0:
+        return
+    lo, hi = wilson_interval(successes, trials)
+    phat = successes / trials
+    assert 0.0 <= lo <= phat + 1e-12
+    assert phat - 1e-12 <= hi <= 1.0

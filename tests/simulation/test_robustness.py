@@ -1,0 +1,115 @@
+"""Tests for the timing-robustness study (jitter x margin x wait)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.network import TwoChainNetwork
+from repro.core.parameters import SwapParameters
+from repro.protocol.messages import SwapOutcome
+from repro.simulation.robustness import RobustnessPoint, timing_robustness_sweep
+from repro.stochastic.rng import RandomState
+
+
+def cell(points, jitter, margin, wait):
+    for point in points:
+        if (
+            point.jitter == jitter
+            and point.margin == margin
+            and point.wait_slack == wait
+        ):
+            return point
+    raise KeyError((jitter, margin, wait))
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return timing_robustness_sweep(
+        SwapParameters.default(),
+        jitters=(0.0, 0.25),
+        margins=(0.0, 2.0),
+        wait_slacks=(0.0, 1.0),
+        n_runs=120,
+        seed=17,
+    )
+
+
+class TestJitterSubstrate:
+    def test_requires_rng(self, params):
+        with pytest.raises(ValueError, match="jitter_rng"):
+            TwoChainNetwork(params, confirmation_jitter=0.2)
+
+    def test_zero_jitter_deterministic(self, params):
+        net = TwoChainNetwork(params)
+        assert net.chain_a._draw_confirmation_time() == params.tau_a
+
+    def test_jittered_delays_bounded(self, params):
+        net = TwoChainNetwork(
+            params, confirmation_jitter=0.3, jitter_rng=RandomState(5)
+        )
+        for _ in range(200):
+            delay = net.chain_a._draw_confirmation_time()
+            assert params.tau_a * 0.7 - 1e-9 <= delay <= params.tau_a * 1.3 + 1e-9
+            assert delay > net.chain_a.mempool_delay
+
+    def test_negative_jitter_rejected(self, params):
+        with pytest.raises(ValueError):
+            TwoChainNetwork(
+                params, confirmation_jitter=-0.1, jitter_rng=RandomState(1)
+            )
+
+
+class TestSweepResults:
+    def test_no_jitter_always_completes(self, sweep):
+        for margin in (0.0, 2.0):
+            for wait in (0.0, 1.0):
+                point = cell(sweep, 0.0, margin, wait)
+                assert point.completion_rate == 1.0
+                assert point.violation_rate == 0.0
+
+    def test_jitter_without_protection_breaks_atomicity(self, sweep):
+        point = cell(sweep, 0.25, 0.0, 0.0)
+        assert point.completion_rate < 0.5
+        assert point.violation_rate > 0.0
+
+    def test_margin_eliminates_violations(self, sweep):
+        """Padding the timelocks protects revealed claims."""
+        assert cell(sweep, 0.25, 2.0, 0.0).violation_rate == 0.0
+        assert cell(sweep, 0.25, 2.0, 1.0).violation_rate == 0.0
+
+    def test_margin_plus_wait_restores_completion(self, sweep):
+        point = cell(sweep, 0.25, 2.0, 1.0)
+        assert point.completion_rate == 1.0
+        assert point.handshake_failure_rate == 0.0
+
+    def test_wait_alone_cuts_handshake_failures(self, sweep):
+        fragile = cell(sweep, 0.25, 0.0, 0.0)
+        patient = cell(sweep, 0.25, 0.0, 1.0)
+        assert patient.handshake_failure_rate < fragile.handshake_failure_rate
+
+    def test_wait_without_margin_risks_violations(self, sweep):
+        """Waiting longer pushes claims closer to unpadded expiries --
+        handshakes survive but more revealed claims miss the timeout."""
+        fragile = cell(sweep, 0.25, 0.0, 0.0)
+        patient = cell(sweep, 0.25, 0.0, 1.0)
+        assert patient.violation_rate >= fragile.violation_rate
+
+    def test_counts_add_up(self, sweep):
+        for point in sweep:
+            assert sum(point.outcomes.values()) == point.n_runs
+
+    def test_validation(self, params):
+        with pytest.raises(ValueError):
+            timing_robustness_sweep(params, n_runs=0)
+
+
+class TestViolationAccounting:
+    def test_alice_forfeited_balances(self, params):
+        """Force the violation deterministically: huge jitter, many runs,
+        find an ALICE_FORFEITED record and audit the balance changes."""
+        points = timing_robustness_sweep(
+            params, jitters=(0.4,), margins=(0.0,), wait_slacks=(1.5,),
+            n_runs=150, seed=23,
+        )
+        point = points[0]
+        assert point.outcomes.get(SwapOutcome.ALICE_FORFEITED, 0) > 0

@@ -1,0 +1,137 @@
+"""Tests for the GBM process (paper Eq. (1))."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stochastic.gbm import GeometricBrownianMotion
+from repro.stochastic.rng import RandomState
+
+GBM = GeometricBrownianMotion(mu=0.002, sigma=0.1)
+
+
+class TestValidation:
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError, match="sigma"):
+            GeometricBrownianMotion(mu=0.0, sigma=0.0)
+
+    def test_rejects_nonfinite_mu(self):
+        with pytest.raises(ValueError, match="mu"):
+            GeometricBrownianMotion(mu=float("inf"), sigma=0.1)
+
+    def test_expectation_rejects_bad_spot(self):
+        with pytest.raises(ValueError, match="spot"):
+            GBM.expectation(-1.0, 1.0)
+
+    def test_expectation_rejects_negative_tau(self):
+        with pytest.raises(ValueError, match="tau"):
+            GBM.expectation(1.0, -1.0)
+
+
+class TestAnalytics:
+    def test_expectation_formula(self):
+        assert GBM.expectation(2.0, 4.0) == pytest.approx(2.0 * math.exp(0.008))
+
+    def test_law_matches_pdf_cdf(self):
+        law = GBM.law(2.0, 4.0)
+        assert GBM.pdf(1.8, 2.0, 4.0) == pytest.approx(float(law.pdf(1.8)))
+        assert GBM.cdf(1.8, 2.0, 4.0) == pytest.approx(float(law.cdf(1.8)))
+
+    def test_expectation_is_martingale_adjusted(self):
+        # zero drift makes the price a martingale
+        driftless = GeometricBrownianMotion(mu=0.0, sigma=0.3)
+        assert driftless.expectation(5.0, 100.0) == pytest.approx(5.0)
+
+
+class TestStep:
+    def test_zero_tau_is_identity(self, rng: RandomState):
+        assert GBM.step(2.0, 0.0, rng) == 2.0
+
+    def test_step_distribution(self, rng: RandomState):
+        out = GBM.step(np.full(100_000, 2.0), 4.0, rng)
+        assert out.mean() == pytest.approx(GBM.expectation(2.0, 4.0), rel=0.01)
+        assert np.log(out / 2.0).std() == pytest.approx(0.1 * 2.0, rel=0.02)
+
+    def test_step_rejects_negative_tau(self, rng: RandomState):
+        with pytest.raises(ValueError):
+            GBM.step(2.0, -0.5, rng)
+
+
+class TestSamplePath:
+    def test_shape(self, rng: RandomState):
+        paths = GBM.sample_path(2.0, [1.0, 3.0, 7.0], rng, n_paths=11)
+        assert paths.shape == (11, 3)
+
+    def test_all_positive(self, rng: RandomState):
+        paths = GBM.sample_path(2.0, [1.0, 2.0], rng, n_paths=1000)
+        assert np.all(paths > 0.0)
+
+    def test_terminal_moments(self, rng: RandomState):
+        paths = GBM.sample_path(2.0, [3.0, 7.0], rng, n_paths=200_000)
+        assert paths[:, -1].mean() == pytest.approx(
+            GBM.expectation(2.0, 7.0), rel=0.01
+        )
+
+    def test_increments_consistent(self, rng: RandomState):
+        # conditional law of the second observation given the first
+        paths = GBM.sample_path(2.0, [3.0, 7.0], rng, n_paths=100_000)
+        log_increment = np.log(paths[:, 1] / paths[:, 0])
+        expected_mean = (0.002 - 0.005) * 4.0
+        assert log_increment.mean() == pytest.approx(expected_mean, abs=2e-3)
+        assert log_increment.std() == pytest.approx(0.1 * 2.0, rel=0.02)
+
+    def test_time_zero_returns_spot(self, rng: RandomState):
+        paths = GBM.sample_path(2.0, [0.0, 5.0], rng, n_paths=4)
+        assert np.allclose(paths[:, 0], 2.0)
+
+    def test_antithetic_pairs_mirror(self, rng: RandomState):
+        paths = GBM.sample_path(2.0, [4.0], rng, n_paths=10, antithetic=True)
+        first, second = paths[:5, 0], paths[5:, 0]
+        # antithetic: log-returns are negated
+        drift = (0.002 - 0.005) * 4.0
+        z1 = np.log(first / 2.0) - drift
+        z2 = np.log(second / 2.0) - drift
+        assert np.allclose(z1, -z2, atol=1e-10)
+
+    def test_antithetic_requires_even(self, rng: RandomState):
+        with pytest.raises(ValueError, match="even"):
+            GBM.sample_path(2.0, [1.0], rng, n_paths=3, antithetic=True)
+
+    def test_rejects_unsorted_times(self, rng: RandomState):
+        with pytest.raises(ValueError, match="increasing"):
+            GBM.sample_path(2.0, [3.0, 1.0], rng)
+
+    def test_rejects_empty_times(self, rng: RandomState):
+        with pytest.raises(ValueError):
+            GBM.sample_path(2.0, [], rng)
+
+    def test_rejects_bad_spot(self, rng: RandomState):
+        with pytest.raises(ValueError, match="spot"):
+            GBM.sample_path(0.0, [1.0], rng)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    mu=st.floats(min_value=-0.05, max_value=0.05),
+    sigma=st.floats(min_value=0.01, max_value=0.4),
+    spot=st.floats(min_value=0.1, max_value=100.0),
+    tau=st.floats(min_value=0.1, max_value=24.0),
+)
+def test_property_law_mean_equals_expectation(mu, sigma, spot, tau):
+    gbm = GeometricBrownianMotion(mu=mu, sigma=sigma)
+    assert gbm.law(spot, tau).mean() == pytest.approx(
+        gbm.expectation(spot, tau), rel=1e-12
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_property_paths_reproducible(seed):
+    a = GBM.sample_path(2.0, [1.0, 2.0], RandomState(seed), n_paths=3)
+    b = GBM.sample_path(2.0, [1.0, 2.0], RandomState(seed), n_paths=3)
+    assert np.array_equal(a, b)

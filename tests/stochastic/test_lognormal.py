@@ -1,0 +1,210 @@
+"""Unit + property tests for the lognormal law."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stochastic.lognormal import LognormalLaw, norm_cdf, norm_ppf
+from repro.stochastic.rng import RandomState
+
+LAW = LognormalLaw(spot=2.0, mu=0.002, sigma=0.1, tau=4.0)
+
+law_params = st.tuples(
+    st.floats(min_value=0.1, max_value=50.0),      # spot
+    st.floats(min_value=-0.05, max_value=0.05),    # mu
+    st.floats(min_value=0.01, max_value=0.5),      # sigma
+    st.floats(min_value=0.1, max_value=48.0),      # tau
+)
+
+
+def make_law(args) -> LognormalLaw:
+    spot, mu, sigma, tau = args
+    return LognormalLaw(spot=spot, mu=mu, sigma=sigma, tau=tau)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_spot(self):
+        with pytest.raises(ValueError, match="spot"):
+            LognormalLaw(spot=0.0, mu=0.0, sigma=0.1, tau=1.0)
+
+    def test_rejects_nonpositive_sigma(self):
+        with pytest.raises(ValueError, match="sigma"):
+            LognormalLaw(spot=1.0, mu=0.0, sigma=0.0, tau=1.0)
+
+    def test_rejects_nonpositive_tau(self):
+        with pytest.raises(ValueError, match="tau"):
+            LognormalLaw(spot=1.0, mu=0.0, sigma=0.1, tau=0.0)
+
+
+class TestNormalHelpers:
+    def test_cdf_at_zero_is_half(self):
+        assert norm_cdf(0.0) == pytest.approx(0.5)
+
+    def test_cdf_symmetry(self):
+        assert norm_cdf(1.3) + norm_cdf(-1.3) == pytest.approx(1.0)
+
+    def test_ppf_inverts_cdf(self):
+        for q in (0.01, 0.25, 0.5, 0.9, 0.999):
+            assert norm_cdf(norm_ppf(q)) == pytest.approx(q, abs=1e-12)
+
+    def test_ppf_rejects_boundary(self):
+        with pytest.raises(ValueError):
+            norm_ppf(0.0)
+        with pytest.raises(ValueError):
+            norm_ppf(1.0)
+
+
+class TestPaperFormulas:
+    """The E / P / C expressions from Section III-A."""
+
+    def test_mean_matches_formula(self):
+        # E(P_t, tau) = P_t * e^{mu tau}
+        assert LAW.mean() == pytest.approx(2.0 * math.exp(0.002 * 4.0))
+
+    def test_pdf_matches_paper_expression(self):
+        x = 1.7
+        mu, sigma, tau, spot = 0.002, 0.1, 4.0, 2.0
+        expected = (
+            1.0
+            / (math.sqrt(2 * math.pi * tau) * sigma * x)
+            * math.exp(
+                -((math.log(x / spot) - (mu - sigma**2 / 2) * tau) ** 2)
+                / (2 * tau * sigma**2)
+            )
+        )
+        assert LAW.pdf(x) == pytest.approx(expected, rel=1e-12)
+
+    def test_cdf_matches_erfc_expression(self):
+        from scipy.special import erfc
+
+        x = 2.3
+        mu, sigma, tau, spot = 0.002, 0.1, 4.0, 2.0
+        expected = 0.5 * erfc(
+            -(math.log(x / spot) - (mu - sigma**2 / 2) * tau)
+            / (math.sqrt(2 * tau) * sigma)
+        )
+        # paper writes C = erfc((ln(x/P) - (mu - s^2/2) tau) / (sqrt(2 tau) s)) / 2
+        # for P[P <= x]; erfc(-z)/2 = Phi(z) -- check both agree with ours
+        assert LAW.cdf(x) == pytest.approx(expected, rel=1e-12)
+
+    def test_pdf_zero_for_nonpositive_x(self):
+        assert LAW.pdf(0.0) == 0.0
+        assert LAW.pdf(-1.0) == 0.0
+
+    def test_cdf_zero_for_nonpositive_x(self):
+        assert LAW.cdf(0.0) == 0.0
+        assert LAW.cdf(-3.0) == 0.0
+
+
+class TestPartialExpectations:
+    def test_above_plus_below_is_mean(self):
+        k = 1.9
+        total = LAW.partial_expectation_above(k) + LAW.partial_expectation_below(k)
+        assert total == pytest.approx(LAW.mean(), rel=1e-12)
+
+    def test_above_at_zero_threshold_is_mean(self):
+        assert LAW.partial_expectation_above(0.0) == pytest.approx(LAW.mean())
+
+    def test_above_decreasing_in_threshold(self):
+        ks = np.linspace(0.5, 5.0, 20)
+        values = LAW.partial_expectation_above(ks)
+        assert np.all(np.diff(values) < 0.0)
+
+    def test_between_is_difference(self):
+        lo, hi = 1.5, 2.5
+        expected = float(
+            LAW.partial_expectation_above(lo) - LAW.partial_expectation_above(hi)
+        )
+        assert LAW.partial_expectation_between(lo, hi) == pytest.approx(expected)
+
+    def test_between_rejects_inverted_interval(self):
+        with pytest.raises(ValueError, match="empty interval"):
+            LAW.partial_expectation_between(3.0, 2.0)
+
+    def test_probability_between_is_cdf_difference(self):
+        assert LAW.probability_between(1.0, 3.0) == pytest.approx(
+            float(LAW.cdf(3.0) - LAW.cdf(1.0))
+        )
+
+    def test_quadrature_agrees_with_closed_form(self):
+        # integrate x * pdf(x) numerically over (k, inf) and compare
+        from repro.stochastic.quadrature import expectation_above
+
+        k = 1.8
+        numeric = expectation_above(LAW, lambda x: x, k)
+        assert numeric == pytest.approx(
+            float(LAW.partial_expectation_above(k)), rel=1e-9
+        )
+
+
+class TestQuantiles:
+    def test_quantile_inverts_cdf(self):
+        for q in (0.05, 0.5, 0.95):
+            assert float(LAW.cdf(LAW.quantile(q))) == pytest.approx(q, abs=1e-10)
+
+    def test_median_is_log_mean_exp(self):
+        assert float(LAW.quantile(0.5)) == pytest.approx(math.exp(LAW.log_mean))
+
+    def test_effective_support_captures_mass(self):
+        lo, hi = LAW.effective_support(1e-9)
+        assert float(LAW.cdf(lo)) == pytest.approx(1e-9, rel=1e-3)
+        assert float(LAW.survival(hi)) == pytest.approx(1e-9, rel=1e-3)
+
+    def test_effective_support_rejects_bad_tail(self):
+        with pytest.raises(ValueError):
+            LAW.effective_support(0.7)
+
+
+class TestSampling:
+    def test_sample_mean_converges(self):
+        rng = RandomState(5)
+        samples = LAW.sample(rng, size=200_000)
+        assert samples.mean() == pytest.approx(LAW.mean(), rel=0.01)
+
+    def test_sample_cdf_converges(self):
+        rng = RandomState(6)
+        samples = LAW.sample(rng, size=100_000)
+        k = 2.2
+        assert (samples <= k).mean() == pytest.approx(float(LAW.cdf(k)), abs=0.01)
+
+
+@settings(max_examples=60, deadline=None)
+@given(args=law_params)
+def test_property_survival_complements_cdf(args):
+    law = make_law(args)
+    x = law.mean()
+    assert float(law.cdf(x)) + float(law.survival(x)) == pytest.approx(1.0, abs=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(args=law_params, q=st.floats(min_value=0.001, max_value=0.999))
+def test_property_quantile_roundtrip(args, q):
+    law = make_law(args)
+    assert float(law.cdf(law.quantile(q))) == pytest.approx(q, abs=1e-8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(args=law_params, k=st.floats(min_value=0.01, max_value=100.0))
+def test_property_partial_expectations_bounded_by_mean(args, k):
+    law = make_law(args)
+    above = float(law.partial_expectation_above(k))
+    below = float(law.partial_expectation_below(k))
+    assert 0.0 <= above <= law.mean() * (1 + 1e-12)
+    assert 0.0 <= below <= law.mean() * (1 + 1e-12)
+    assert above + below == pytest.approx(law.mean(), rel=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(args=law_params)
+def test_property_pdf_integrates_to_one(args):
+    law = make_law(args)
+    from repro.stochastic.quadrature import expectation_on_interval
+
+    lo, hi = law.effective_support(1e-14)
+    mass = expectation_on_interval(law, lambda x: np.ones_like(x), lo, hi)
+    assert mass == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,100 @@
+"""Tests for the decision-time grid and price sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stochastic.gbm import GeometricBrownianMotion
+from repro.stochastic.paths import DecisionTimeGrid, sample_decision_prices
+from repro.stochastic.rng import RandomState
+
+GRID = DecisionTimeGrid(tau_a=3.0, tau_b=4.0, eps_b=1.0)
+
+
+class TestGridValidation:
+    def test_rejects_eps_exceeding_tau_b(self):
+        with pytest.raises(ValueError, match="eps_b"):
+            DecisionTimeGrid(tau_a=3.0, tau_b=4.0, eps_b=5.0)
+
+    def test_rejects_zero_eps(self):
+        with pytest.raises(ValueError):
+            DecisionTimeGrid(tau_a=3.0, tau_b=4.0, eps_b=0.0)
+
+    def test_rejects_nonpositive_tau(self):
+        with pytest.raises(ValueError):
+            DecisionTimeGrid(tau_a=0.0, tau_b=4.0, eps_b=1.0)
+
+
+class TestEquation13:
+    """The zero-waiting-time identities of the paper's Eq. (13)."""
+
+    def test_t1_is_zero(self):
+        assert GRID.t1 == 0.0
+
+    def test_t2(self):
+        assert GRID.t2 == 3.0
+
+    def test_t3(self):
+        assert GRID.t3 == 7.0
+
+    def test_t4(self):
+        assert GRID.t4 == 8.0
+
+    def test_t5_equals_tb(self):
+        assert GRID.t5 == 11.0
+        assert GRID.t5 == GRID.t_b
+
+    def test_t6_equals_ta(self):
+        assert GRID.t6 == 11.0
+        assert GRID.t6 == GRID.t_a
+
+    def test_t7(self):
+        assert GRID.t7 == GRID.t_b + 4.0 == 15.0
+
+    def test_t8(self):
+        assert GRID.t8 == GRID.t_a + 3.0 == 14.0
+
+    def test_decision_times(self):
+        assert GRID.decision_times() == (0.0, 3.0, 7.0)
+
+    def test_all_times_sorted_unique(self):
+        times = GRID.all_times()
+        assert list(times) == sorted(set(times))
+
+    def test_ordering_validates(self):
+        GRID.validate_ordering()
+
+
+class TestSampling:
+    GBM = GeometricBrownianMotion(mu=0.002, sigma=0.1)
+
+    def test_shape(self):
+        prices = sample_decision_prices(self.GBM, 2.0, GRID, RandomState(1), 50)
+        assert prices.shape == (50, 3)
+
+    def test_first_column_is_spot(self):
+        prices = sample_decision_prices(self.GBM, 2.0, GRID, RandomState(1), 50)
+        assert np.allclose(prices[:, 0], 2.0)
+
+    def test_columns_have_correct_moments(self):
+        prices = sample_decision_prices(
+            self.GBM, 2.0, GRID, RandomState(2), 200_000
+        )
+        assert prices[:, 1].mean() == pytest.approx(
+            self.GBM.expectation(2.0, GRID.t2), rel=0.01
+        )
+        assert prices[:, 2].mean() == pytest.approx(
+            self.GBM.expectation(2.0, GRID.t3), rel=0.01
+        )
+
+    def test_reproducible(self):
+        a = sample_decision_prices(self.GBM, 2.0, GRID, RandomState(3), 10)
+        b = sample_decision_prices(self.GBM, 2.0, GRID, RandomState(3), 10)
+        assert np.array_equal(a, b)
+
+    def test_antithetic_even_paths(self):
+        prices = sample_decision_prices(
+            self.GBM, 2.0, GRID, RandomState(4), 10, antithetic=True
+        )
+        assert prices.shape == (10, 3)

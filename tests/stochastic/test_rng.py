@@ -1,0 +1,71 @@
+"""Tests for reproducible random streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stochastic.rng import RandomState, spawn_streams
+
+
+class TestConstruction:
+    def test_requires_seed(self):
+        with pytest.raises(ValueError, match="seed"):
+            RandomState(None)
+
+    def test_same_seed_same_stream(self):
+        a = RandomState(7).standard_normal(10)
+        b = RandomState(7).standard_normal(10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomState(7).standard_normal(10)
+        b = RandomState(8).standard_normal(10)
+        assert not np.array_equal(a, b)
+
+    def test_entropy_exposed(self):
+        assert RandomState(123).entropy == 123
+
+
+class TestSpawn:
+    def test_children_independent_of_order(self):
+        parent = RandomState(42)
+        kids = parent.spawn(3)
+        values = [k.standard_normal() for k in kids]
+        kids2 = RandomState(42).spawn(3)
+        values2 = [k.standard_normal() for k in kids2]
+        assert values == values2
+
+    def test_children_differ_from_each_other(self):
+        kids = RandomState(42).spawn(2)
+        assert kids[0].standard_normal(5).tolist() != kids[1].standard_normal(5).tolist()
+
+    def test_spawn_rejects_negative(self):
+        with pytest.raises(ValueError):
+            RandomState(1).spawn(-1)
+
+    def test_spawn_streams_helper(self):
+        streams = spawn_streams(99, 4)
+        assert len(streams) == 4
+
+
+class TestDraws:
+    def test_uniform_range(self):
+        values = RandomState(3).uniform(2.0, 5.0, size=1000)
+        assert values.min() >= 2.0
+        assert values.max() < 5.0
+
+    def test_integers(self):
+        values = RandomState(3).integers(0, 10, size=1000)
+        assert set(np.unique(values)).issubset(set(range(10)))
+
+    def test_choice(self):
+        options = ["a", "b", "c"]
+        picks = RandomState(3).choice(options, size=50)
+        assert set(picks).issubset(set(options))
+
+    def test_token_bytes_length_and_determinism(self):
+        a = RandomState(11).token_bytes(32)
+        b = RandomState(11).token_bytes(32)
+        assert len(a) == 32
+        assert a == b

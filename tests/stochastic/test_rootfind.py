@@ -1,0 +1,197 @@
+"""Tests for root finding and interval unions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stochastic.lognormal import LognormalLaw
+from repro.stochastic.rootfind import (
+    IntervalUnion,
+    bracketed_root,
+    find_all_roots,
+    sign_change_brackets,
+)
+
+
+class TestSignChangeBrackets:
+    def test_single_root(self):
+        brackets = sign_change_brackets(lambda x: x - 2.0, 0.1, 10.0)
+        assert len(brackets) == 1
+        lo, hi = brackets[0]
+        assert lo < 2.0 < hi
+
+    def test_no_root(self):
+        assert sign_change_brackets(lambda x: x + 1.0, 0.1, 10.0) == []
+
+    def test_three_roots(self):
+        f = lambda x: (x - 1.0) * (x - 2.0) * (x - 4.0)
+        brackets = sign_change_brackets(f, 0.1, 10.0)
+        assert len(brackets) == 3
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            sign_change_brackets(lambda x: x, 5.0, 1.0)
+
+    def test_rejects_tiny_scan(self):
+        with pytest.raises(ValueError):
+            sign_change_brackets(lambda x: x, 1.0, 2.0, n_scan=1)
+
+
+class TestFindAllRoots:
+    def test_polynomial_roots(self):
+        f = lambda x: (x - 1.0) * (x - 2.0) * (x - 4.0)
+        roots = find_all_roots(f, 0.1, 10.0)
+        assert roots == pytest.approx([1.0, 2.0, 4.0], abs=1e-9)
+
+    def test_roots_sorted(self):
+        f = lambda x: math.sin(x)
+        roots = find_all_roots(f, 1.0, 10.0)
+        assert roots == sorted(roots)
+        assert roots == pytest.approx([math.pi, 2 * math.pi, 3 * math.pi], abs=1e-9)
+
+    def test_bracketed_root_precision(self):
+        root = bracketed_root(lambda x: x * x - 2.0, 1.0, 2.0)
+        assert root == pytest.approx(math.sqrt(2.0), abs=1e-12)
+
+
+class TestIntervalUnionConstruction:
+    def test_empty(self):
+        region = IntervalUnion.empty()
+        assert region.is_empty
+        assert region.total_length() == 0.0
+
+    def test_single(self):
+        region = IntervalUnion.single(1.0, 2.0)
+        assert len(region) == 1
+        assert region.bounds() == (1.0, 2.0)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            IntervalUnion(((2.0, 2.0),))
+
+    def test_rejects_overlapping(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            IntervalUnion(((1.0, 3.0), (2.0, 4.0)))
+
+    def test_from_intervals_merges_overlaps(self):
+        region = IntervalUnion.from_intervals([(1.0, 3.0), (2.0, 4.0), (5.0, 6.0)])
+        assert region.intervals == ((1.0, 4.0), (5.0, 6.0))
+
+    def test_from_intervals_drops_degenerate(self):
+        region = IntervalUnion.from_intervals([(1.0, 1.0), (2.0, 3.0)])
+        assert region.intervals == ((2.0, 3.0),)
+
+    def test_empty_bounds_raises(self):
+        with pytest.raises(ValueError):
+            IntervalUnion.empty().bounds()
+
+
+class TestIntervalUnionQueries:
+    REGION = IntervalUnion(((1.0, 2.0), (3.0, 4.0)))
+
+    def test_membership(self):
+        assert 1.5 in self.REGION
+        assert 2.5 not in self.REGION
+        assert 3.5 in self.REGION
+        # half-open convention: (lo, hi]
+        assert 1.0 not in self.REGION
+        assert 2.0 in self.REGION
+
+    def test_total_length(self):
+        assert self.REGION.total_length() == pytest.approx(2.0)
+
+    def test_probability_under_law(self):
+        law = LognormalLaw(spot=2.0, mu=0.0, sigma=0.3, tau=1.0)
+        expected = float(
+            law.cdf(2.0) - law.cdf(1.0) + law.cdf(4.0) - law.cdf(3.0)
+        )
+        assert self.REGION.probability(law) == pytest.approx(expected)
+
+
+class TestIntervalUnionAlgebra:
+    A = IntervalUnion(((1.0, 3.0), (5.0, 7.0)))
+    B = IntervalUnion(((2.0, 6.0),))
+
+    def test_intersect(self):
+        assert self.A.intersect(self.B).intervals == ((2.0, 3.0), (5.0, 6.0))
+
+    def test_intersect_with_empty(self):
+        assert self.A.intersect(IntervalUnion.empty()).is_empty
+
+    def test_union(self):
+        assert self.A.union(self.B).intervals == ((1.0, 7.0),)
+
+    def test_union_with_empty(self):
+        assert self.A.union(IntervalUnion.empty()).intervals == self.A.intervals
+
+    def test_complement_within(self):
+        gaps = self.A.complement_within(0.0, 8.0)
+        assert gaps.intervals == ((0.0, 1.0), (3.0, 5.0), (7.0, 8.0))
+
+    def test_complement_of_empty_is_window(self):
+        gaps = IntervalUnion.empty().complement_within(1.0, 2.0)
+        assert gaps.intervals == ((1.0, 2.0),)
+
+    def test_complement_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            self.A.complement_within(5.0, 1.0)
+
+
+class TestWherePositive:
+    def test_middle_bump(self):
+        f = lambda x: -(x - 1.0) * (x - 4.0)  # positive on (1, 4)
+        region = IntervalUnion.where_positive(f, 0.1, 10.0)
+        assert len(region) == 1
+        lo, hi = region.bounds()
+        assert lo == pytest.approx(1.0, abs=1e-8)
+        assert hi == pytest.approx(4.0, abs=1e-8)
+
+    def test_two_bumps(self):
+        f = lambda x: (x - 1.0) * (x - 2.0) * (x - 4.0) * (8.0 - x)
+        region = IntervalUnion.where_positive(f, 0.5, 10.0)
+        assert len(region) == 2
+
+    def test_everywhere_negative(self):
+        region = IntervalUnion.where_positive(lambda x: -1.0, 0.1, 10.0)
+        assert region.is_empty
+
+    def test_everywhere_positive(self):
+        region = IntervalUnion.where_positive(lambda x: 1.0, 0.1, 10.0)
+        assert region.intervals == ((0.1, 10.0),)
+
+
+interval_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=0.0, max_value=100.0),
+    ),
+    max_size=8,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(pairs=interval_lists)
+def test_property_from_intervals_normalises(pairs):
+    region = IntervalUnion.from_intervals(pairs)
+    # disjoint and sorted by construction; validation would raise otherwise
+    total = region.total_length()
+    raw = sum(max(hi - lo, 0.0) for lo, hi in pairs)
+    assert 0.0 <= total <= raw + 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(pairs_a=interval_lists, pairs_b=interval_lists)
+def test_property_intersection_is_subset(pairs_a, pairs_b):
+    a = IntervalUnion.from_intervals(pairs_a)
+    b = IntervalUnion.from_intervals(pairs_b)
+    inter = a.intersect(b)
+    assert inter.total_length() <= min(a.total_length(), b.total_length()) + 1e-9
+    union = a.union(b)
+    # inclusion-exclusion
+    assert union.total_length() == pytest.approx(
+        a.total_length() + b.total_length() - inter.total_length(), abs=1e-6
+    )
