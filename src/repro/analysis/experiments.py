@@ -5,24 +5,31 @@ each extension experiment, collects paper-claim vs measured-value rows,
 and renders the EXPERIMENTS.md report. This is the single source of
 truth for the repository's reproduction record -- the committed
 ``EXPERIMENTS.md`` is this module's output.
+
+The sweep- and validation-shaped experiments route through a
+:class:`~repro.service.api.SwapService`, so a full registry run reuses
+equilibria across experiments and -- when callers pass a pooled
+service -- executes the Monte Carlo validations in parallel with
+unchanged (deterministically seeded) results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.core.backward_induction import BackwardInduction
 from repro.core.bayesian import BayesianSwapGame, TypeDistribution
 from repro.core.carry import CarryBackwardInduction
-from repro.core.collateral import CollateralBackwardInduction
 from repro.core.feasible_range import feasible_pstar_range
 from repro.core.fees import FeeBackwardInduction
 from repro.core.optionality import optionality_report
 from repro.core.parameters import SwapParameters
 from repro.core.premium import PremiumBackwardInduction
-from repro.core.success_rate import max_success_rate, success_rate
-from repro.simulation.montecarlo import validate_against_analytic
+from repro.core.success_rate import max_success_rate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.api import SwapService
 
 __all__ = ["ExperimentResult", "run_all_experiments", "render_markdown"]
 
@@ -37,7 +44,7 @@ class ExperimentResult:
     holds: bool
 
 
-def _eq29(params: SwapParameters) -> List[ExperimentResult]:
+def _eq29(params: SwapParameters, service: "SwapService") -> List[ExperimentResult]:
     bounds = feasible_pstar_range(params)
     return [
         ExperimentResult(
@@ -49,7 +56,7 @@ def _eq29(params: SwapParameters) -> List[ExperimentResult]:
     ]
 
 
-def _figure6(params: SwapParameters) -> List[ExperimentResult]:
+def _figure6(params: SwapParameters, service: "SwapService") -> List[ExperimentResult]:
     out: List[ExperimentResult] = []
     base = max_success_rate(params)
 
@@ -86,9 +93,9 @@ def _figure6(params: SwapParameters) -> List[ExperimentResult]:
     return out
 
 
-def _figure9(params: SwapParameters) -> List[ExperimentResult]:
+def _figure9(params: SwapParameters, service: "SwapService") -> List[ExperimentResult]:
     rates = [
-        CollateralBackwardInduction(params, 2.0, q).success_rate()
+        service.success_rates([2.0], params=params, collateral=q)[0]
         for q in (0.0, 0.2, 0.5, 1.0)
     ]
     monotone = all(a < b for a, b in zip(rates, rates[1:]))
@@ -102,31 +109,41 @@ def _figure9(params: SwapParameters) -> List[ExperimentResult]:
     ]
 
 
-def _validation(params: SwapParameters) -> List[ExperimentResult]:
-    empirical, analytic = validate_against_analytic(
-        params, 2.0, n_paths=200_000, seed=7
+def _validation(params: SwapParameters, service: "SwapService") -> List[ExperimentResult]:
+    from repro.service.requests import ValidateRequest
+
+    strategy, protocol = (
+        item.unwrap()
+        for item in service.validate_batch(
+            [
+                ValidateRequest(pstar=2.0, n_paths=200_000, seed=7, params=params),
+                ValidateRequest(
+                    pstar=2.0,
+                    n_paths=6_000,
+                    seed=11,
+                    protocol_level=True,
+                    params=params,
+                ),
+            ]
+        )
     )
-    strategy_ok = empirical.contains(analytic)
-    protocol, analytic2 = validate_against_analytic(
-        params, 2.0, n_paths=6_000, seed=11, protocol_level=True
-    )
-    protocol_ok = protocol.contains(analytic2)
     return [
         ExperimentResult(
             experiment="X1 (validation)",
             claim="Monte Carlo SR inside CI of Eq. (31)",
             measured=(
-                f"analytic {analytic:.4f}; strategy-level {empirical.success_rate:.4f};"
-                f" protocol-level {protocol.success_rate:.4f}"
+                f"analytic {strategy.analytic:.4f};"
+                f" strategy-level {strategy.empirical.success_rate:.4f};"
+                f" protocol-level {protocol.empirical.success_rate:.4f}"
             ),
-            holds=strategy_ok and protocol_ok,
+            holds=strategy.passed and protocol.passed,
         )
     ]
 
 
-def _extensions(params: SwapParameters) -> List[ExperimentResult]:
+def _extensions(params: SwapParameters, service: "SwapService") -> List[ExperimentResult]:
     out: List[ExperimentResult] = []
-    base_sr = BackwardInduction(params, 2.0).success_rate()
+    base_sr = service.success_rates([2.0], params=params)[0]
 
     belief = TypeDistribution.uniform([0.1, 0.3, 0.5])
     bayes = BayesianSwapGame(params, 2.0, belief, belief).realised_success_rate()
@@ -160,7 +177,7 @@ def _extensions(params: SwapParameters) -> List[ExperimentResult]:
     )
 
     premium_sr = PremiumBackwardInduction(params, 2.0, 0.5).success_rate()
-    collateral_sr = CollateralBackwardInduction(params, 2.0, 0.5).success_rate()
+    collateral_sr = service.success_rates([2.0], params=params, collateral=0.5)[0]
     out.append(
         ExperimentResult(
             experiment="X3 (premium baseline)",
@@ -187,13 +204,25 @@ def _extensions(params: SwapParameters) -> List[ExperimentResult]:
 
 def run_all_experiments(
     params: Optional[SwapParameters] = None,
+    service: "Optional[SwapService]" = None,
 ) -> List[ExperimentResult]:
-    """Run the full reproduction record."""
+    """Run the full reproduction record.
+
+    ``service`` defaults to the shared in-process
+    :func:`~repro.service.api.default_service`; pass a pooled instance
+    (``SwapService(max_workers=N)``) to parallelise the Monte Carlo
+    validations -- per-request seeds are fixed, so the record is
+    identical either way.
+    """
+    from repro.service.api import default_service
+
     if params is None:
         params = SwapParameters.default()
+    if service is None:
+        service = default_service()
     results: List[ExperimentResult] = []
     for producer in (_eq29, _figure6, _figure9, _validation, _extensions):
-        results.extend(producer(params))
+        results.extend(producer(params, service))
     return results
 
 

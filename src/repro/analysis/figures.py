@@ -5,14 +5,22 @@ paper figure plots and returns a small dataclass with a ``render()``
 method producing terminal output. Numeric assertions about the shapes
 (concavity, orderings, crossings) live in the benchmark/test suites;
 these generators are pure data producers.
+
+Figures whose series are per-``P*`` equilibria (5, 6, 8, 9) are solved
+through the service layer: pass a pooled
+:class:`~repro.service.api.SwapService` to parallelise, or rely on the
+shared default to get caching across repeated artifact runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.api import SwapService
 
 from repro.analysis.report import ascii_chart, format_table
 from repro.analysis.sweep import SweepResult, sweep_parameter
@@ -223,12 +231,18 @@ def figure5_alice_t1(
     pstar_min: float = 1.0,
     pstar_max: float = 3.2,
     n_points: int = 23,
+    service: "Optional[SwapService]" = None,
 ) -> AliceT1Figure:
-    """Alice's Eq. (25)/(27) utilities across ``P*``."""
+    """Alice's Eq. (25)/(27) utilities across ``P*`` (served/cached)."""
+    from repro.service.api import default_service
+
     if params is None:
         params = SwapParameters.default()
     grid = tuple(float(x) for x in np.linspace(pstar_min, pstar_max, n_points))
-    cont = tuple(BackwardInduction(params, k).alice_t1_cont() for k in grid)
+    svc = service if service is not None else default_service()
+    cont = tuple(
+        item.unwrap().alice_t1.cont for item in svc.sweep(grid, params=params)
+    )
     return AliceT1Figure(
         pstar_grid=grid,
         cont_values=cont,
@@ -420,18 +434,21 @@ def figure8_t1_collateral(
     pstar_min: float = 1.0,
     pstar_max: float = 3.2,
     n_points: int = 19,
+    service: "Optional[SwapService]" = None,
 ) -> T1CollateralFigure:
-    """Eq. (36)-(39) series for both agents."""
+    """Eq. (36)-(39) series for both agents (served/cached)."""
     from repro.core.collateral import feasible_pstar_region_with_collateral
+    from repro.service.api import default_service
 
     if params is None:
         params = SwapParameters.default()
     grid = tuple(float(x) for x in np.linspace(pstar_min, pstar_max, n_points))
+    svc = service if service is not None else default_service()
     alice_cont, bob_cont = [], []
-    for k in grid:
-        solver = CollateralBackwardInduction(params, k, collateral)
-        alice_cont.append(solver.alice_t1_cont())
-        bob_cont.append(solver.bob_t1_cont())
+    for item in svc.sweep(grid, params=params, collateral=collateral):
+        eq = item.unwrap()
+        alice_cont.append(eq.alice_t1.cont)
+        bob_cont.append(eq.bob_t1.cont)
     alice_region, bob_region = feasible_pstar_region_with_collateral(
         params, collateral
     )
@@ -481,15 +498,17 @@ def figure9_sr_collateral(
     pstar_min: float = 1.55,
     pstar_max: float = 2.5,
     n_points: int = 21,
+    service: "Optional[SwapService]" = None,
 ) -> SRCollateralFigure:
-    """Eq. (40) success-rate curves per deposit level."""
+    """Eq. (40) success-rate curves per deposit level (served/cached)."""
+    from repro.service.api import default_service
+
     if params is None:
         params = SwapParameters.default()
     grid = tuple(float(x) for x in np.linspace(pstar_min, pstar_max, n_points))
+    svc = service if service is not None else default_service()
     curves = []
     for q in collaterals:
-        rates = tuple(
-            CollateralBackwardInduction(params, k, q).success_rate() for k in grid
-        )
+        rates = tuple(svc.success_rates(grid, params=params, collateral=q))
         curves.append((float(q), rates))
     return SRCollateralFigure(pstar_grid=grid, curves=tuple(curves))

@@ -5,18 +5,26 @@ of values and compute ``SR(P*)`` curves (plus feasible ranges and the
 SR-maximising point) for each. Non-viable parameter values -- those
 with an empty feasible ``P*`` range, which the paper marks with an
 empty-square symbol -- are flagged rather than dropped.
+
+Grid evaluation routes through the service layer
+(:func:`repro.service.api.default_service` unless a caller passes its
+own :class:`~repro.service.api.SwapService`), so repeated sweeps are
+served from cache and a pooled service parallelises them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.feasible_range import feasible_pstar_range
 from repro.core.parameters import SwapParameters
-from repro.core.success_rate import max_success_rate, success_rate
+from repro.core.success_rate import max_success_rate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.api import SwapService
 
 __all__ = ["SweepCurve", "SweepResult", "sweep_parameter", "sr_curve_on_grid"]
 
@@ -64,18 +72,24 @@ def sr_curve_on_grid(
     params: SwapParameters,
     n_points: int = 25,
     pad: float = 1e-4,
+    service: "Optional[SwapService]" = None,
 ) -> Tuple[Optional[Tuple[float, float]], Tuple[float, ...], Tuple[float, ...]]:
     """``SR`` on an evenly spaced grid spanning the feasible ``P*`` range.
 
     Returns ``(feasible_range, pstars, rates)``; with no feasible range
-    the grids are empty.
+    the grids are empty. The grid is solved through ``service`` (the
+    shared default when ``None``), so repeated figure generation hits
+    the equilibrium cache.
     """
+    from repro.service.api import default_service
+
     bounds = feasible_pstar_range(params)
     if bounds is None:
         return None, (), ()
     lo, hi = bounds
     grid = np.linspace(lo * (1.0 + pad), hi * (1.0 - pad), n_points)
-    rates = tuple(success_rate(params, float(k)) for k in grid)
+    svc = service if service is not None else default_service()
+    rates = tuple(svc.success_rates([float(k) for k in grid], params=params))
     return bounds, tuple(float(k) for k in grid), rates
 
 
@@ -85,6 +99,7 @@ def sweep_parameter(
     values: Sequence[float],
     n_points: int = 25,
     locate_max: bool = True,
+    service: "Optional[SwapService]" = None,
 ) -> SweepResult:
     """Sweep ``parameter`` over ``values`` (Figure 6's panel generator).
 
@@ -95,7 +110,9 @@ def sweep_parameter(
     curves: List[SweepCurve] = []
     for value in values:
         params = base.replace(**{parameter: float(value)})
-        bounds, pstars, rates = sr_curve_on_grid(params, n_points=n_points)
+        bounds, pstars, rates = sr_curve_on_grid(
+            params, n_points=n_points, service=service
+        )
         viable = bounds is not None
         best_pstar = best_rate = None
         if viable and locate_max:

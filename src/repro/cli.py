@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate any paper artifact.
+"""Command-line entry point: regenerate any paper artifact, or serve batches.
 
 Usage::
 
@@ -7,14 +7,24 @@ Usage::
     repro-swaps figure3 ... figure9
     repro-swaps solve --pstar 2.0 [--collateral 0.5]
     repro-swaps validate --pstar 2.0 --paths 50000
+    repro-swaps batch requests.jsonl --workers 4 --cache-dir cache
     repro-swaps all
 
 (or ``python -m repro.cli ...``).
+
+``batch`` reads one JSON request per line (``kind`` = ``solve`` or
+``validate``; see :mod:`repro.service.requests`) from a file or stdin
+(``-``) and emits one JSON result line per request, errors included.
+The exit status is 0 iff every line parsed as JSON.
+
+Invalid artifact names and invalid ``--pstar``/``--collateral`` values
+exit non-zero with a one-line error instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -56,9 +66,15 @@ def _artifact_commands() -> Dict[str, Callable[[], str]]:
 
 
 def _cmd_solve(args: argparse.Namespace) -> str:
+    from repro.service.requests import SolveRequest
+
     params = SwapParameters.default()
-    if args.collateral > 0.0:
-        eq = solve_collateral_game(params, args.pstar, args.collateral)
+    # constructing the request validates pstar/collateral with clean errors
+    request = SolveRequest(
+        pstar=args.pstar, collateral=args.collateral, params=params
+    )
+    if request.collateral > 0.0:
+        eq = solve_collateral_game(params, request.pstar, request.collateral)
         region = "; ".join(
             f"({lo:.4f}, {hi:.4f})" for lo, hi in eq.bob_t2_region.intervals
         )
@@ -75,7 +91,16 @@ def _cmd_solve(args: argparse.Namespace) -> str:
 
 
 def _cmd_validate(args: argparse.Namespace) -> str:
+    from repro.service.requests import ValidateRequest
+
     params = SwapParameters.default()
+    ValidateRequest(  # validates pstar/collateral/paths with clean errors
+        pstar=args.pstar,
+        collateral=args.collateral,
+        n_paths=args.paths,
+        seed=args.seed,
+        params=params,
+    )
     empirical, analytic = validate_against_analytic(
         params,
         args.pstar,
@@ -98,9 +123,14 @@ def _cmd_validate(args: argparse.Namespace) -> str:
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro-swaps",
         description="Regenerate artifacts from the HTLC atomic-swap paper.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -139,12 +169,34 @@ def build_parser() -> argparse.ArgumentParser:
     uncertainty.add_argument("--pstar", type=float, default=2.0)
     uncertainty.add_argument("--spread", type=float, default=0.2)
 
-    sub.add_parser(
+    experiments = sub.add_parser(
         "experiments", help="run the full reproduction record (EXPERIMENTS.md)"
+    )
+    experiments.add_argument(
+        "--workers", type=int, default=1, help="process-pool size (1 = serial)"
     )
 
     export = sub.add_parser("export", help="write per-figure CSV data files")
     export.add_argument("--out", default="results")
+
+    batch = sub.add_parser(
+        "batch", help="serve JSON-lines solve/validate requests"
+    )
+    batch.add_argument(
+        "input",
+        nargs="?",
+        default="-",
+        help="request file, one JSON object per line ('-' = stdin)",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=1, help="process-pool size (1 = serial)"
+    )
+    batch.add_argument(
+        "--cache-dir", default=None, help="directory for the persistent cache"
+    )
+    batch.add_argument(
+        "--timeout", type=float, default=None, help="per-request seconds budget"
+    )
 
     return parser
 
@@ -213,10 +265,97 @@ def _cmd_uncertainty(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Serve a JSON-lines request stream; one result line per request.
+
+    Exit status 0 iff every non-blank input line parsed as JSON.
+    Semantically invalid requests (bad field values, unknown kinds) and
+    solver failures still produce a structured error line but do not
+    fail the run -- they are results, not stream corruption.
+    """
+    from repro.service import SwapService, error_payload, parse_request
+    from repro.service.errors import ServiceError
+    from repro.service.serialize import encode_result
+
+    if args.input == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            with open(args.input, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError as exc:
+            raise ValueError(f"cannot read {args.input}: {exc.strerror}") from exc
+
+    service = SwapService(
+        max_workers=args.workers,
+        cache_dir=args.cache_dir,
+        timeout=args.timeout,
+    )
+
+    # parse every line first so the batch executes (and dedupes) as one
+    records = []  # (line_no, request | None, error_payload | None)
+    all_parsed = True
+    for line_no, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            all_parsed = False
+            records.append(
+                (line_no, None, {"code": "parse_error", "message": str(exc)})
+            )
+            continue
+        try:
+            records.append((line_no, parse_request(data), None))
+        except ServiceError as exc:
+            records.append((line_no, None, error_payload(exc)))
+
+    requests = [request for _, request, _ in records if request is not None]
+    items = iter(service.run_batch(requests))
+    for line_no, request, error in records:
+        if request is None:
+            out = {"line": line_no, "ok": False, "error": error}
+        else:
+            item = next(items)
+            out = {
+                "line": line_no,
+                "ok": item.ok,
+                "kind": request.to_dict()["kind"],
+                "key": item.key,
+                "cached": item.cached,
+            }
+            if item.ok:
+                out["result"] = encode_result(item.value)
+            else:
+                out["error"] = item.error
+        print(json.dumps(out, separators=(",", ":")))
+    return 0 if all_parsed else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point (returns the exit status, never raises for
+    invalid values -- see :func:`_dispatch`)."""
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    from repro.service.errors import ServiceError
+
     artifacts = _artifact_commands()
+    try:
+        return _run_command(args, artifacts)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_command(args: argparse.Namespace, artifacts) -> int:
     if args.command in artifacts:
         print(artifacts[args.command]())
     elif args.command == "all":
@@ -235,8 +374,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_cmd_uncertainty(args))
     elif args.command == "experiments":
         from repro.analysis.experiments import render_markdown, run_all_experiments
+        from repro.service import SwapService
 
-        results = run_all_experiments()
+        results = run_all_experiments(service=SwapService(max_workers=args.workers))
         print(render_markdown(results))
         print(f"\n{sum(r.holds for r in results)}/{len(results)} claims hold")
     elif args.command == "export":
@@ -247,6 +387,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         written = export_all_figures(Path(args.out))
         for name, path in written.items():
             print(f"wrote {path}")
+    elif args.command == "batch":
+        return _cmd_batch(args)
     return 0
 
 

@@ -35,7 +35,7 @@ from repro.core.collateral import (
     feasible_pstar_region_with_collateral,
     solve_collateral_game,
 )
-from repro.core.equilibrium import StageUtilities, SwapEquilibrium
+from repro.core.equilibrium import INDIFFERENT_ACTION, StageUtilities, SwapEquilibrium
 from repro.core.feasible_range import (
     PStarRange,
     alice_t1_advantage,
@@ -75,6 +75,7 @@ __all__ = [
     "plan_full_exit",
     "SwapParameters",
     "BackwardInduction",
+    "INDIFFERENT_ACTION",
     "StageUtilities",
     "SwapEquilibrium",
     "solve_swap_game",

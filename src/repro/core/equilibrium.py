@@ -16,7 +16,19 @@ from repro.core.parameters import SwapParameters
 from repro.core.strategy import AliceStrategy, BobStrategy
 from repro.stochastic.rootfind import IntervalUnion
 
-__all__ = ["StageUtilities", "SwapEquilibrium"]
+__all__ = ["INDIFFERENT_ACTION", "StageUtilities", "SwapEquilibrium"]
+
+
+#: The canonical indifference convention, applied everywhere a
+#: ``U(cont) == U(stop)`` tie can occur: an indifferent agent **stops**.
+#: The paper's best responses (Eqs. (19), (24), (30)) all require a
+#: *strict* utility improvement to continue, so we resolve ties the
+#: same way at every decision point -- ``best_action`` here, Alice's
+#: ``P_{t3}`` threshold comparison, Bob's ``t2`` region membership, and
+#: the vectorised Monte Carlo counts all break ties to ``"stop"``. The
+#: tie set has probability zero under the continuous price law, so this
+#: is purely a determinism/consistency contract, not a modelling choice.
+INDIFFERENT_ACTION = "stop"
 
 
 @dataclass(frozen=True)
@@ -28,13 +40,18 @@ class StageUtilities:
 
     @property
     def best_action(self) -> str:
-        """The utility-maximising action."""
-        return "cont" if self.cont > self.stop else "stop"
+        """The utility-maximising action (ties: :data:`INDIFFERENT_ACTION`)."""
+        return "cont" if self.cont > self.stop else INDIFFERENT_ACTION
 
     @property
     def advantage(self) -> float:
         """``U(cont) - U(stop)``."""
         return self.cont - self.stop
+
+    @property
+    def is_indifferent(self) -> bool:
+        """Whether the agent is exactly indifferent (``advantage == 0``)."""
+        return self.cont == self.stop
 
 
 @dataclass(frozen=True)

@@ -53,6 +53,15 @@ class AgentParameters:
             raise ValueError(f"horizon must be non-negative, got {horizon}")
         return math.exp(-self.r * horizon)
 
+    def to_dict(self) -> Dict[str, float]:
+        """Exact, JSON-safe representation (round-trips via :meth:`from_dict`)."""
+        return {"alpha": self.alpha, "r": self.r}
+
+    @staticmethod
+    def from_dict(data: Dict[str, float]) -> "AgentParameters":
+        """Rebuild from a :meth:`to_dict` payload."""
+        return AgentParameters(alpha=float(data["alpha"]), r=float(data["r"]))
+
 
 @dataclass(frozen=True)
 class SwapParameters:
@@ -166,3 +175,71 @@ class SwapParameters:
             "mu": self.mu,
             "sigma": self.sigma,
         }
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        """Exact, JSON-safe representation.
+
+        Floats are stored as-is; Python's ``json`` emits shortest
+        round-trip reprs, so ``from_dict(json.loads(json.dumps(d)))``
+        reproduces every field bit-for-bit. This is the configuration
+        format used by the service layer's request keys and by exported
+        reports.
+        """
+        return {
+            "alice": self.alice.to_dict(),
+            "bob": self.bob.to_dict(),
+            "tau_a": self.tau_a,
+            "tau_b": self.tau_b,
+            "eps_b": self.eps_b,
+            "p0": self.p0,
+            "mu": self.mu,
+            "sigma": self.sigma,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "SwapParameters":
+        """Rebuild from a :meth:`to_dict` payload (or a flat override map).
+
+        Two shapes are accepted:
+
+        * the nested :meth:`to_dict` form with ``alice``/``bob``
+          sub-dicts (exact round-trip);
+        * a *flat* partial map over the paper's Table III defaults using
+          the :meth:`replace` shorthand keys (``alpha_a``, ``r_b``,
+          ``sigma``, ...) -- the form batch-request files use.
+        """
+        if "alice" in data or "bob" in data:
+            base = SwapParameters.default()
+            alice = (
+                AgentParameters.from_dict(data["alice"])  # type: ignore[arg-type]
+                if "alice" in data
+                else base.alice
+            )
+            bob = (
+                AgentParameters.from_dict(data["bob"])  # type: ignore[arg-type]
+                if "bob" in data
+                else base.bob
+            )
+            return SwapParameters(
+                alice=alice,
+                bob=bob,
+                tau_a=float(data.get("tau_a", base.tau_a)),
+                tau_b=float(data.get("tau_b", base.tau_b)),
+                eps_b=float(data.get("eps_b", base.eps_b)),
+                p0=float(data.get("p0", base.p0)),
+                mu=float(data.get("mu", base.mu)),
+                sigma=float(data.get("sigma", base.sigma)),
+            )
+        allowed = set(SwapParameters.default().as_dict())
+        unknown = set(data) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown parameter keys {sorted(unknown)}; allowed: {sorted(allowed)}"
+            )
+        return SwapParameters.default().replace(
+            **{k: float(v) for k, v in data.items()}  # type: ignore[arg-type]
+        )

@@ -51,7 +51,12 @@ class AliceStrategy:
         return Action.CONT if self.initiate_at_t1 else Action.STOP
 
     def decide_t3(self, p3: float) -> Action:
-        """Reveal the secret iff the price cleared the threshold (Eq. (19))."""
+        """Reveal the secret iff the price cleared the threshold (Eq. (19)).
+
+        The comparison is strict: at ``P_{t3} == P̲_{t3}`` Alice is
+        exactly indifferent and stops, per the tie-breaking convention
+        (:data:`repro.core.equilibrium.INDIFFERENT_ACTION`).
+        """
         return Action.CONT if p3 > self.p3_threshold else Action.STOP
 
 
@@ -69,8 +74,18 @@ class BobStrategy:
     t2_region: IntervalUnion
 
     def decide_t2(self, p2: float) -> Action:
-        """Lock Token_b iff the price is inside the region."""
-        return Action.CONT if p2 in self.t2_region else Action.STOP
+        """Lock Token_b iff the price is *strictly* inside the region.
+
+        The region's endpoints are the indifference roots of
+        ``U^B_{t2}(cont) - U^B_{t2}(stop)``; at an endpoint Bob stops,
+        per the shared tie-breaking convention
+        (:data:`repro.core.equilibrium.INDIFFERENT_ACTION`). This is
+        why membership is checked on the open interiors rather than via
+        ``IntervalUnion.__contains__`` (whose half-open ``(lo, hi]``
+        convention exists for set algebra, not for tie-breaking).
+        """
+        inside = any(lo < p2 < hi for lo, hi in self.t2_region.intervals)
+        return Action.CONT if inside else Action.STOP
 
     def decide_t4(self) -> Action:
         """Redeeming with the revealed secret is strictly dominant."""

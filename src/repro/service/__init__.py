@@ -1,0 +1,70 @@
+"""The service layer: batched, cached, parallel solve-and-validate.
+
+This package turns the paper's one-shot solvers into a serveable
+engine. The pieces, bottom-up:
+
+* :mod:`repro.service.requests` -- :class:`SolveRequest` /
+  :class:`ValidateRequest`, the two request kinds, with exact
+  dict round-trips;
+* :mod:`repro.service.keys` -- canonical versioned request hashing
+  and per-request seed derivation;
+* :mod:`repro.service.serialize` -- JSON codecs for the result
+  objects (bit-exact float round-trip);
+* :mod:`repro.service.cache` -- in-memory LRU over an optional
+  on-disk JSON store, with hit/miss/eviction counters;
+* :mod:`repro.service.executor` -- process-pool execution with
+  per-request timeouts and deterministic seeding;
+* :mod:`repro.service.api` -- :class:`SwapService`, the batch facade
+  the CLI (``repro-swaps batch``) and the analysis sweeps consume.
+
+Quickstart::
+
+    from repro.service import SwapService, SolveRequest
+
+    service = SwapService(max_workers=4, cache_dir="cache")
+    items = service.sweep([1.8, 2.0, 2.2])
+    for item in items:
+        print(item.unwrap().success_rate)
+"""
+
+from repro.service.api import BatchItem, SwapService, default_service
+from repro.service.cache import CacheStats, DiskCache, LRUCache, TieredCache
+from repro.service.errors import (
+    RequestTimeoutError,
+    RequestValidationError,
+    ServiceError,
+    SolveFailedError,
+    WorkerCrashedError,
+    error_payload,
+)
+from repro.service.executor import ValidationResult, WorkerPool, execute_request
+from repro.service.keys import KEY_VERSION, derive_seed, request_key
+from repro.service.requests import SolveRequest, ValidateRequest, parse_request
+from repro.service.serialize import decode_result, encode_result
+
+__all__ = [
+    "BatchItem",
+    "SwapService",
+    "default_service",
+    "CacheStats",
+    "LRUCache",
+    "DiskCache",
+    "TieredCache",
+    "ServiceError",
+    "RequestValidationError",
+    "SolveFailedError",
+    "RequestTimeoutError",
+    "WorkerCrashedError",
+    "error_payload",
+    "ValidationResult",
+    "WorkerPool",
+    "execute_request",
+    "KEY_VERSION",
+    "request_key",
+    "derive_seed",
+    "SolveRequest",
+    "ValidateRequest",
+    "parse_request",
+    "encode_result",
+    "decode_result",
+]

@@ -1,0 +1,216 @@
+"""The service facade: batched, cached, parallel solve-and-validate.
+
+:class:`SwapService` is the serveable engine in front of the paper's
+solvers. A batch of requests flows through three stages:
+
+1. **canonicalise + dedupe** -- every request is hashed into its
+   canonical key (:mod:`repro.service.keys`); duplicates within the
+   batch are computed once;
+2. **cache** -- keys are looked up in the two-tier cache
+   (:mod:`repro.service.cache`); only misses proceed;
+3. **execute** -- misses fan out over the worker pool
+   (:mod:`repro.service.executor`), serially when ``max_workers=1``.
+
+Results come back as :class:`BatchItem` records in request order: a
+value *or* a typed error per request -- one bad request never kills
+the batch. The figure sweeps of :mod:`repro.analysis` route through
+:func:`default_service`, so repeated artifact generation is served
+from cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.parameters import SwapParameters
+from repro.service.cache import TieredCache
+from repro.service.errors import RequestValidationError, ServiceError, error_payload
+from repro.service.executor import Result, WorkerPool
+from repro.service.keys import derive_seed, request_key
+from repro.service.requests import Request, SolveRequest, ValidateRequest
+
+__all__ = ["BatchItem", "SwapService", "default_service"]
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """Outcome of one request within a batch."""
+
+    key: str
+    ok: bool
+    value: Optional[Result] = None
+    error: Optional[Dict[str, str]] = None
+    cached: bool = False
+
+    def unwrap(self) -> Result:
+        """The value, or a :class:`ServiceError` re-raised for callers
+        that treat any failure as fatal (the analysis sweeps do)."""
+        if not self.ok:
+            raise ServiceError(
+                f"{self.error['code']}: {self.error['message']}"  # type: ignore[index]
+            )
+        return self.value  # type: ignore[return-value]
+
+
+class SwapService:
+    """Batched, cached, parallel access to the swap-game solvers.
+
+    Parameters
+    ----------
+    max_workers:
+        Size of the process pool; ``1`` (default) executes serially
+        in-process.
+    cache_size:
+        Capacity of the in-memory LRU tier.
+    cache_dir:
+        Optional directory for the persistent JSON tier; results then
+        survive across service instances and processes.
+    timeout:
+        Per-request wall-clock budget in seconds (pooled mode only).
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 1,
+        cache_size: int = 4096,
+        cache_dir: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self._cache = TieredCache.build(maxsize=cache_size, cache_dir=cache_dir)
+        self._pool = WorkerPool(max_workers=max_workers, timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # batch entry points
+    # ------------------------------------------------------------------ #
+
+    def run_batch(self, requests: Sequence[Request]) -> List[BatchItem]:
+        """Execute a (possibly mixed solve/validate) batch.
+
+        Identical requests are deduped onto one computation, cache hits
+        are served without touching the pool, and failures come back as
+        per-item typed errors in request order.
+        """
+        keys = [request_key(request) for request in requests]
+
+        jobs: List[tuple] = []  # (key, request, seed)
+        scheduled = set()
+        resolved: Dict[str, Union[Result, ServiceError]] = {}
+        from_cache = set()
+        for key, request in zip(keys, requests):
+            if key in scheduled or key in resolved:
+                continue
+            hit = self._cache.get(key)
+            if hit is not None:
+                resolved[key] = hit
+                from_cache.add(key)
+                continue
+            seed = None
+            if isinstance(request, ValidateRequest):
+                seed = request.seed if request.seed is not None else derive_seed(key)
+            jobs.append((key, request, seed))
+            scheduled.add(key)
+
+        if jobs:
+            outcomes = self._pool.map([(request, seed) for _, request, seed in jobs])
+            for (key, _request, _seed), outcome in zip(jobs, outcomes):
+                resolved[key] = outcome
+                if not isinstance(outcome, ServiceError):
+                    self._cache.put(key, outcome)
+
+        items: List[BatchItem] = []
+        for key in keys:
+            outcome = resolved[key]
+            if isinstance(outcome, ServiceError):
+                items.append(
+                    BatchItem(key=key, ok=False, error=error_payload(outcome))
+                )
+            else:
+                items.append(
+                    BatchItem(
+                        key=key, ok=True, value=outcome, cached=key in from_cache
+                    )
+                )
+        return items
+
+    def solve_batch(self, requests: Sequence[SolveRequest]) -> List[BatchItem]:
+        """Solve many games; see :meth:`run_batch` for semantics."""
+        self._require_kind(requests, SolveRequest)
+        return self.run_batch(requests)
+
+    def validate_batch(self, requests: Sequence[ValidateRequest]) -> List[BatchItem]:
+        """Monte-Carlo-validate many points; see :meth:`run_batch`."""
+        self._require_kind(requests, ValidateRequest)
+        return self.run_batch(requests)
+
+    def sweep(
+        self,
+        pstars: Sequence[float],
+        params: Optional[SwapParameters] = None,
+        collateral: float = 0.0,
+    ) -> List[BatchItem]:
+        """Solve one game per exchange rate (the figure-sweep shape)."""
+        if params is None:
+            params = SwapParameters.default()
+        requests = [
+            SolveRequest(pstar=float(pstar), collateral=collateral, params=params)
+            for pstar in pstars
+        ]
+        return self.run_batch(requests)
+
+    # ------------------------------------------------------------------ #
+    # conveniences
+    # ------------------------------------------------------------------ #
+
+    def solve(
+        self,
+        params: Optional[SwapParameters] = None,
+        pstar: float = 2.0,
+        collateral: float = 0.0,
+    ) -> Result:
+        """Solve a single game through the cache (raises on failure)."""
+        if params is None:
+            params = SwapParameters.default()
+        request = SolveRequest(pstar=pstar, collateral=collateral, params=params)
+        return self.run_batch([request])[0].unwrap()
+
+    def success_rates(
+        self,
+        pstars: Sequence[float],
+        params: Optional[SwapParameters] = None,
+        collateral: float = 0.0,
+    ) -> List[float]:
+        """Eq. (31)/(40) rates on a ``P*`` grid (raises on any failure)."""
+        return [
+            item.unwrap().success_rate
+            for item in self.sweep(pstars, params=params, collateral=collateral)
+        ]
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Cache counter snapshot (per tier)."""
+        return self._cache.stats()
+
+    @staticmethod
+    def _require_kind(requests: Sequence[Request], kind: type) -> None:
+        for request in requests:
+            if not isinstance(request, kind):
+                raise RequestValidationError(
+                    f"expected {kind.__name__}, got {type(request).__name__}"
+                )
+
+
+_default: Optional[SwapService] = None
+
+
+def default_service() -> SwapService:
+    """The process-wide shared service (serial, memory-cache only).
+
+    Used by the analysis layer so that figure and sweep regeneration
+    reuse each other's solves within one process. Serving deployments
+    construct their own :class:`SwapService` with workers and a disk
+    cache.
+    """
+    global _default
+    if _default is None:
+        _default = SwapService(max_workers=1)
+    return _default

@@ -1,0 +1,186 @@
+"""Two-tier result cache: in-memory LRU in front of an on-disk JSON store.
+
+The memory tier holds live result objects and serves repeated solves
+at dict-lookup cost; the optional disk tier persists the JSON encoding
+(:mod:`repro.service.serialize`) across service instances and
+processes, one ``<key>.json`` file per entry, written atomically.
+Keys are the canonical request hashes of :mod:`repro.service.keys`,
+so a disk entry is valid exactly as long as its schema version is.
+
+All counters are exposed via :class:`CacheStats`; a warm Figure-6
+sweep should show essentially only hits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.service.serialize import decode_result, encode_result
+
+__all__ = ["CacheStats", "LRUCache", "DiskCache", "TieredCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one cache tier."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    puts: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (stable keys, used by ``SwapService.stats``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "puts": self.puts,
+        }
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction."""
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value, refreshed to most-recent, or ``None``."""
+        if key not in self._entries:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._entries.move_to_end(key)
+        return self._entries[key]
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert/refresh ``key``, evicting the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        self.stats.puts += 1
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+
+
+class DiskCache:
+    """A directory of ``<key>.json`` result files.
+
+    Corrupt or undecodable files count as misses and are left in place
+    for inspection; writes go through a temp file + ``os.replace`` so a
+    crash never leaves a half-written entry behind.
+    """
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def get(self, key: str) -> Optional[Any]:
+        """Decode the stored result, or ``None`` on miss/corruption."""
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            value = decode_result(payload["result"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Atomically persist ``value`` under ``key``."""
+        payload = {"key": key, "result": encode_result(value)}
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+
+
+@dataclass
+class TieredCache:
+    """Memory LRU over an optional disk store.
+
+    ``get`` consults memory first, then disk (promoting disk hits into
+    memory); ``put`` writes through to both tiers.
+    """
+
+    memory: LRUCache = field(default_factory=LRUCache)
+    disk: Optional[DiskCache] = None
+
+    @staticmethod
+    def build(
+        maxsize: int = 4096, cache_dir: Optional[str] = None
+    ) -> "TieredCache":
+        """The standard construction used by ``SwapService``."""
+        return TieredCache(
+            memory=LRUCache(maxsize=maxsize),
+            disk=DiskCache(cache_dir) if cache_dir is not None else None,
+        )
+
+    def get(self, key: str) -> Optional[Any]:
+        """Look the key up through both tiers."""
+        value = self.memory.get(key)
+        if value is not None:
+            return value
+        if self.disk is None:
+            return None
+        value = self.disk.get(key)
+        if value is not None:
+            self.memory.put(key, value)
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Write through to memory and (if configured) disk."""
+        self.memory.put(key, value)
+        if self.disk is not None:
+            self.disk.put(key, value)
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-tier counter snapshot."""
+        out = {"memory": self.memory.stats.as_dict()}
+        if self.disk is not None:
+            out["disk"] = self.disk.stats.as_dict()
+        return out

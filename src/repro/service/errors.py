@@ -1,0 +1,57 @@
+"""Typed errors of the service layer.
+
+Every failure a batch can observe maps to one exception class with a
+stable ``code`` string. The batch API never lets one bad request kill
+the rest: exceptions are caught per request and surfaced as structured
+``{"code", "message"}`` payloads (see :func:`error_payload`), which is
+also the wire format the ``repro-swaps batch`` command emits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = [
+    "ServiceError",
+    "RequestValidationError",
+    "SolveFailedError",
+    "RequestTimeoutError",
+    "WorkerCrashedError",
+    "error_payload",
+]
+
+
+class ServiceError(Exception):
+    """Base class; ``code`` identifies the failure kind on the wire."""
+
+    code = "service_error"
+
+
+class RequestValidationError(ServiceError):
+    """The request was well-formed JSON but semantically invalid."""
+
+    code = "invalid_request"
+
+
+class SolveFailedError(ServiceError):
+    """The solver raised while executing an accepted request."""
+
+    code = "solve_failed"
+
+
+class RequestTimeoutError(ServiceError):
+    """The request exceeded the executor's per-request timeout."""
+
+    code = "timeout"
+
+
+class WorkerCrashedError(ServiceError):
+    """A pool worker died (OOM, signal) before returning a result."""
+
+    code = "worker_crashed"
+
+
+def error_payload(exc: BaseException) -> Dict[str, str]:
+    """The structured ``{"code", "message"}`` form of any exception."""
+    code = exc.code if isinstance(exc, ServiceError) else "internal_error"
+    return {"code": code, "message": str(exc) or exc.__class__.__name__}

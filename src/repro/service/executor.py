@@ -1,0 +1,181 @@
+"""Request execution: serial, or fanned out over a process pool.
+
+:func:`execute_request` is the single worker entry point -- a
+top-level, picklable function that turns one request into one result
+object. :class:`WorkerPool` maps it over a batch:
+
+* ``max_workers <= 1`` degrades gracefully to a plain serial loop in
+  the calling process (no pickling, no fork) -- the reference
+  execution;
+* ``max_workers > 1`` uses a :class:`~concurrent.futures.ProcessPoolExecutor`
+  with a per-request timeout. A timeout or worker crash fails *that
+  request* with a typed error; the rest of the batch completes.
+
+Determinism: a validation request's RNG seed is resolved *before*
+dispatch -- the explicit ``seed`` if given, else
+:func:`repro.service.keys.derive_seed` of the request key -- so the
+parallel execution draws exactly the paths the serial one does,
+regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.backward_induction import BackwardInduction
+from repro.core.collateral import (
+    CollateralBackwardInduction,
+    CollateralEquilibrium,
+    solve_collateral_game,
+)
+from repro.core.equilibrium import SwapEquilibrium
+from repro.core.solver import solve_swap_game
+from repro.service.errors import (
+    RequestTimeoutError,
+    ServiceError,
+    SolveFailedError,
+    WorkerCrashedError,
+)
+from repro.service.requests import Request, SolveRequest, ValidateRequest
+from repro.simulation.montecarlo import MonteCarloResult, empirical_success_rate
+
+__all__ = ["ValidationResult", "Result", "execute_request", "WorkerPool"]
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """One Monte Carlo validation: empirical vs analytic success rate."""
+
+    empirical: MonteCarloResult
+    analytic: float
+    seed_used: int
+
+    @property
+    def passed(self) -> bool:
+        """Whether the analytic rate lies inside the empirical 95% CI."""
+        return self.empirical.contains(self.analytic)
+
+
+Result = Union[SwapEquilibrium, CollateralEquilibrium, ValidationResult]
+
+
+def execute_request(request: Request, seed: Optional[int] = None) -> Result:
+    """Run one request to completion in the current process.
+
+    ``seed`` is the pre-resolved RNG seed for validation requests
+    (ignored for solves). Solver/model errors are re-raised as
+    :class:`SolveFailedError` so the batch layer can report them
+    per-request.
+    """
+    try:
+        if isinstance(request, SolveRequest):
+            if request.collateral > 0.0:
+                return solve_collateral_game(
+                    request.params, request.pstar, request.collateral
+                )
+            return solve_swap_game(request.params, request.pstar)
+        if isinstance(request, ValidateRequest):
+            if seed is None:
+                seed = request.seed if request.seed is not None else 0
+            if request.collateral > 0.0:
+                analytic = CollateralBackwardInduction(
+                    request.params, request.pstar, request.collateral
+                ).success_rate()
+            else:
+                analytic = BackwardInduction(
+                    request.params, request.pstar
+                ).success_rate()
+            empirical = empirical_success_rate(
+                request.params,
+                request.pstar,
+                n_paths=request.n_paths,
+                seed=seed,
+                collateral=request.collateral,
+                protocol_level=request.protocol_level,
+            )
+            return ValidationResult(
+                empirical=empirical, analytic=analytic, seed_used=seed
+            )
+    except ServiceError:
+        raise
+    except Exception as exc:  # solver/model failure, not a service bug
+        raise SolveFailedError(f"{exc.__class__.__name__}: {exc}") from exc
+    raise SolveFailedError(f"unsupported request type {type(request).__name__}")
+
+
+class WorkerPool:
+    """Map :func:`execute_request` over jobs, serially or in processes.
+
+    Parameters
+    ----------
+    max_workers:
+        ``<= 1`` runs in-process (the deterministic reference path);
+        larger values fork a :class:`ProcessPoolExecutor` of that size.
+    timeout:
+        Per-request wall-clock budget in seconds (``None``: no limit).
+        Only enforced in pooled mode; a timed-out request yields a
+        :class:`RequestTimeoutError`, its worker is abandoned and the
+        pool keeps serving the remaining futures.
+    """
+
+    def __init__(
+        self, max_workers: int = 1, timeout: Optional[float] = None
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = int(max_workers)
+        self.timeout = timeout
+
+    def map(
+        self, jobs: Sequence[Tuple[Request, Optional[int]]]
+    ) -> List[Union[Result, ServiceError]]:
+        """Execute ``(request, seed)`` jobs, preserving order.
+
+        Returns one entry per job: the result object on success, or the
+        typed :class:`ServiceError` describing the failure. Never
+        raises for a per-request failure.
+        """
+        if self.max_workers <= 1 or len(jobs) <= 1:
+            return [self._run_serial(request, seed) for request, seed in jobs]
+        out: List[Union[Result, ServiceError]] = [None] * len(jobs)  # type: ignore[list-item]
+        pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        timed_out = False
+        try:
+            futures = {
+                index: pool.submit(execute_request, request, seed)
+                for index, (request, seed) in enumerate(jobs)
+            }
+            for index, future in futures.items():
+                try:
+                    out[index] = future.result(timeout=self.timeout)
+                except ServiceError as exc:
+                    out[index] = exc
+                except FutureTimeoutError:
+                    future.cancel()
+                    timed_out = True
+                    out[index] = RequestTimeoutError(
+                        f"request exceeded {self.timeout:g}s"
+                    )
+                except BrokenExecutor as exc:
+                    out[index] = WorkerCrashedError(str(exc) or "worker pool broke")
+                except Exception as exc:  # unpicklable result, BrokenPipe, ...
+                    out[index] = WorkerCrashedError(
+                        f"{exc.__class__.__name__}: {exc}"
+                    )
+        finally:
+            # after a timeout, don't block shutdown on the abandoned
+            # worker; it is orphaned and reaped at interpreter exit
+            pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
+        return out
+
+    @staticmethod
+    def _run_serial(
+        request: Request, seed: Optional[int]
+    ) -> Union[Result, ServiceError]:
+        try:
+            return execute_request(request, seed)
+        except ServiceError as exc:
+            return exc

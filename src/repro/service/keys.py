@@ -1,0 +1,48 @@
+"""Canonical, versioned cache keys for service requests.
+
+A key is the SHA-256 of the request's canonical JSON payload -- the
+``to_dict`` form serialised with sorted keys and no whitespace --
+prefixed with a schema version. Python's ``json`` emits the shortest
+round-trip ``repr`` for floats, so two requests produce the same key
+iff every field is bit-for-bit equal; ``alpha=0.3`` and
+``alpha=0.30000000000000004`` are different games and get different
+keys.
+
+Bump :data:`KEY_VERSION` whenever the payload schema *or the semantics
+of the computation behind it* changes (new solver defaults, different
+quadrature order, ...): stale on-disk cache entries from older
+versions then miss instead of serving wrong answers.
+
+The key doubles as the root of per-request RNG seeding:
+:func:`derive_seed` folds it through
+:func:`repro.stochastic.rng.stable_seed`, giving every validation
+request a reproducible stream no matter which worker process runs it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.service.requests import Request
+from repro.stochastic.rng import stable_seed
+
+__all__ = ["KEY_VERSION", "canonical_payload", "request_key", "derive_seed"]
+
+KEY_VERSION = 1
+
+
+def canonical_payload(request: Request) -> str:
+    """The canonical JSON string hashed into the key."""
+    return json.dumps(request.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def request_key(request: Request) -> str:
+    """The stable cache key, e.g. ``v1-9f2a...`` (64 hex digits)."""
+    digest = hashlib.sha256(canonical_payload(request).encode("utf-8")).hexdigest()
+    return f"v{KEY_VERSION}-{digest}"
+
+
+def derive_seed(key: str) -> int:
+    """The deterministic RNG seed for a request with no explicit seed."""
+    return stable_seed("repro.service", KEY_VERSION, key)

@@ -1,0 +1,151 @@
+"""JSON codecs for service results.
+
+The disk cache and the ``repro-swaps batch`` wire format both need
+result objects as plain JSON. Floats survive exactly: Python's
+``json`` writes shortest round-trip reprs, so
+``decode_result(json.loads(json.dumps(encode_result(x))))``
+reproduces every threshold bit-for-bit (property-tested).
+
+Strategies are *derived* state -- ``AliceStrategy``/``BobStrategy``
+are rebuilt from the stored thresholds and regions exactly the way
+the solvers build them, rather than serialised redundantly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.collateral import CollateralEquilibrium
+from repro.core.equilibrium import StageUtilities, SwapEquilibrium
+from repro.core.parameters import SwapParameters
+from repro.core.strategy import AliceStrategy, BobStrategy
+from repro.service.executor import Result, ValidationResult
+from repro.simulation.montecarlo import MonteCarloResult
+from repro.stochastic.rootfind import IntervalUnion
+
+__all__ = ["encode_result", "decode_result"]
+
+
+def _encode_region(region: IntervalUnion) -> List[List[float]]:
+    return [[lo, hi] for lo, hi in region.intervals]
+
+
+def _decode_region(data: List[List[float]]) -> IntervalUnion:
+    return IntervalUnion(tuple((float(lo), float(hi)) for lo, hi in data))
+
+
+def _encode_stage(stage: StageUtilities) -> Dict[str, float]:
+    return {"cont": stage.cont, "stop": stage.stop}
+
+
+def _decode_stage(data: Dict[str, float]) -> StageUtilities:
+    return StageUtilities(cont=float(data["cont"]), stop=float(data["stop"]))
+
+
+def encode_result(result: Result) -> Dict[str, object]:
+    """Encode any service result into a tagged JSON-safe dict."""
+    if isinstance(result, CollateralEquilibrium):
+        return {
+            "kind": "collateral_equilibrium",
+            "params": result.params.to_dict(),
+            "pstar": result.pstar,
+            "collateral": result.collateral,
+            "p3_threshold": result.p3_threshold,
+            "bob_t2_region": _encode_region(result.bob_t2_region),
+            "alice_t1": _encode_stage(result.alice_t1),
+            "bob_t1": _encode_stage(result.bob_t1),
+            "success_rate": result.success_rate,
+            "alice_engages": result.alice_engages,
+            "bob_engages": result.bob_engages,
+        }
+    if isinstance(result, SwapEquilibrium):
+        return {
+            "kind": "swap_equilibrium",
+            "params": result.params.to_dict(),
+            "pstar": result.pstar,
+            "p3_threshold": result.p3_threshold,
+            "bob_t2_region": _encode_region(result.bob_t2_region),
+            "alice_t1": _encode_stage(result.alice_t1),
+            "bob_t1": _encode_stage(result.bob_t1),
+            "success_rate": result.success_rate,
+            "initiated": result.initiated,
+        }
+    if isinstance(result, ValidationResult):
+        empirical = result.empirical
+        return {
+            "kind": "validation",
+            "pstar": empirical.pstar,
+            "collateral": empirical.collateral,
+            "n_paths": empirical.n_paths,
+            "n_initiated": empirical.n_initiated,
+            "n_completed": empirical.n_completed,
+            "success_rate": empirical.success_rate,
+            "ci_low": empirical.ci_low,
+            "ci_high": empirical.ci_high,
+            "analytic": result.analytic,
+            "seed_used": result.seed_used,
+            "passed": result.passed,
+        }
+    raise TypeError(f"cannot encode result of type {type(result).__name__}")
+
+
+def decode_result(data: Dict[str, object]) -> Result:
+    """Rebuild the result object from its :func:`encode_result` form."""
+    kind = data.get("kind")
+    if kind == "swap_equilibrium":
+        params = SwapParameters.from_dict(data["params"])  # type: ignore[arg-type]
+        region = _decode_region(data["bob_t2_region"])  # type: ignore[arg-type]
+        initiated = bool(data["initiated"])
+        p3_threshold = float(data["p3_threshold"])
+        return SwapEquilibrium(
+            params=params,
+            pstar=float(data["pstar"]),  # type: ignore[arg-type]
+            p3_threshold=p3_threshold,
+            bob_t2_region=region,
+            alice_t1=_decode_stage(data["alice_t1"]),  # type: ignore[arg-type]
+            bob_t1=_decode_stage(data["bob_t1"]),  # type: ignore[arg-type]
+            success_rate=float(data["success_rate"]),  # type: ignore[arg-type]
+            initiated=initiated,
+            alice_strategy=AliceStrategy(
+                initiate_at_t1=initiated, p3_threshold=p3_threshold
+            ),
+            bob_strategy=BobStrategy(t2_region=region),
+        )
+    if kind == "collateral_equilibrium":
+        params = SwapParameters.from_dict(data["params"])  # type: ignore[arg-type]
+        region = _decode_region(data["bob_t2_region"])  # type: ignore[arg-type]
+        alice_engages = bool(data["alice_engages"])
+        p3_threshold = float(data["p3_threshold"])
+        return CollateralEquilibrium(
+            params=params,
+            pstar=float(data["pstar"]),  # type: ignore[arg-type]
+            collateral=float(data["collateral"]),  # type: ignore[arg-type]
+            p3_threshold=p3_threshold,
+            bob_t2_region=region,
+            alice_t1=_decode_stage(data["alice_t1"]),  # type: ignore[arg-type]
+            bob_t1=_decode_stage(data["bob_t1"]),  # type: ignore[arg-type]
+            success_rate=float(data["success_rate"]),  # type: ignore[arg-type]
+            alice_engages=alice_engages,
+            bob_engages=bool(data["bob_engages"]),
+            alice_strategy=AliceStrategy(
+                initiate_at_t1=alice_engages, p3_threshold=p3_threshold
+            ),
+            bob_strategy=BobStrategy(t2_region=region),
+        )
+    if kind == "validation":
+        empirical = MonteCarloResult(
+            pstar=float(data["pstar"]),  # type: ignore[arg-type]
+            collateral=float(data["collateral"]),  # type: ignore[arg-type]
+            n_paths=int(data["n_paths"]),  # type: ignore[arg-type]
+            n_initiated=int(data["n_initiated"]),  # type: ignore[arg-type]
+            n_completed=int(data["n_completed"]),  # type: ignore[arg-type]
+            success_rate=float(data["success_rate"]),  # type: ignore[arg-type]
+            ci_low=float(data["ci_low"]),  # type: ignore[arg-type]
+            ci_high=float(data["ci_high"]),  # type: ignore[arg-type]
+        )
+        return ValidationResult(
+            empirical=empirical,
+            analytic=float(data["analytic"]),  # type: ignore[arg-type]
+            seed_used=int(data["seed_used"]),  # type: ignore[arg-type]
+        )
+    raise ValueError(f"cannot decode result kind {kind!r}")

@@ -75,8 +75,12 @@ def _strategy_level_counts(
     p3 = prices[:, 2]
     region = solver.bob_t2_region()
     bob_locks = np.zeros(n_paths, dtype=bool)
+    # strict interior: agents exactly on an indifference boundary stop
+    # (see repro.core.equilibrium.INDIFFERENT_ACTION); the boundary has
+    # probability zero but the counts must match the executable
+    # strategies bit-for-bit.
     for lo, hi in region.intervals:
-        bob_locks |= (p2 > lo) & (p2 <= hi)
+        bob_locks |= (p2 > lo) & (p2 < hi)
     alice_reveals = p3 > solver.p3_threshold()
     completed = int(np.count_nonzero(bob_locks & alice_reveals))
     return n_paths, completed, n_paths

@@ -22,7 +22,7 @@ from repro.stochastic.gbm import GeometricBrownianMotion
 from repro.stochastic.lognormal import LognormalLaw
 from repro.stochastic.paths import DecisionTimeGrid, sample_decision_prices
 from repro.stochastic.quadrature import expectation_on_interval, gauss_legendre_nodes
-from repro.stochastic.rng import RandomState, spawn_streams
+from repro.stochastic.rng import RandomState, spawn_streams, stable_seed
 from repro.stochastic.rootfind import (
     IntervalUnion,
     bracketed_root,
@@ -39,6 +39,7 @@ __all__ = [
     "gauss_legendre_nodes",
     "RandomState",
     "spawn_streams",
+    "stable_seed",
     "IntervalUnion",
     "bracketed_root",
     "find_all_roots",

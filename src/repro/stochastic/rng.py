@@ -12,11 +12,12 @@ wrapper over :class:`numpy.random.Generator` that
 
 from __future__ import annotations
 
+import hashlib
 from typing import List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["RandomState", "spawn_streams"]
+__all__ = ["RandomState", "spawn_streams", "stable_seed"]
 
 
 class RandomState:
@@ -82,3 +83,21 @@ class RandomState:
 def spawn_streams(seed: int, n: int) -> List[RandomState]:
     """Convenience: build ``n`` independent streams from one integer seed."""
     return RandomState(seed).spawn(n)
+
+
+def stable_seed(*components) -> int:
+    """A deterministic 63-bit seed derived from arbitrary components.
+
+    Hashes the ``repr`` of each component (separated so that
+    ``("ab", "c")`` and ``("a", "bc")`` differ) through SHA-256 and
+    folds the digest into a non-negative ``int64``-safe seed. Unlike
+    Python's builtin ``hash`` this is stable across processes and
+    interpreter runs, which is what lets the service layer's worker
+    pool seed each request from its cache key and still reproduce the
+    serial execution exactly.
+    """
+    digest = hashlib.sha256()
+    for component in components:
+        digest.update(repr(component).encode("utf-8"))
+        digest.update(b"\x1f")
+    return int.from_bytes(digest.digest()[:8], "big") >> 1

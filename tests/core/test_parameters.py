@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.parameters import AgentParameters, SwapParameters
 
@@ -121,3 +123,63 @@ class TestDerived:
         assert flat["alpha_a"] == 0.3
         assert flat["sigma"] == 0.1
         assert len(flat) == 10
+
+
+class TestSerialization:
+    def test_agent_roundtrip(self):
+        agent = AgentParameters(alpha=0.31, r=0.0125)
+        assert AgentParameters.from_dict(agent.to_dict()) == agent
+
+    def test_nested_roundtrip_exact(self, params):
+        rebuilt = SwapParameters.from_dict(params.to_dict())
+        assert rebuilt == params
+
+    def test_json_roundtrip_bit_for_bit(self, params):
+        import json
+
+        wonky = params.replace(sigma=0.1 + 1e-16, mu=1.0 / 3.0)
+        payload = json.loads(json.dumps(wonky.to_dict()))
+        rebuilt = SwapParameters.from_dict(payload)
+        for key, value in wonky.as_dict().items():
+            assert rebuilt.as_dict()[key] == value
+
+    def test_flat_overrides_accepted(self):
+        rebuilt = SwapParameters.from_dict({"sigma": 0.15, "alpha_a": 0.5})
+        assert rebuilt.sigma == 0.15
+        assert rebuilt.alice.alpha == 0.5
+        assert rebuilt.tau_b == SwapParameters.default().tau_b
+
+    def test_flat_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            SwapParameters.from_dict({"sigma_b": 0.15})
+
+    @given(
+        alpha_a=st.floats(0.0, 2.0, allow_nan=False),
+        alpha_b=st.floats(0.0, 2.0, allow_nan=False),
+        r_a=st.floats(1e-6, 0.5, allow_nan=False),
+        r_b=st.floats(1e-6, 0.5, allow_nan=False),
+        tau_a=st.floats(0.1, 50.0),
+        p0=st.floats(0.01, 100.0),
+        mu=st.floats(-0.5, 0.5, allow_nan=False),
+        sigma=st.floats(1e-3, 2.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(
+        self, alpha_a, alpha_b, r_a, r_b, tau_a, p0, mu, sigma
+    ):
+        import json
+
+        params = SwapParameters(
+            alice=AgentParameters(alpha=alpha_a, r=r_a),
+            bob=AgentParameters(alpha=alpha_b, r=r_b),
+            tau_a=tau_a,
+            tau_b=4.0,
+            eps_b=1.0,
+            p0=p0,
+            mu=mu,
+            sigma=sigma,
+        )
+        rebuilt = SwapParameters.from_dict(
+            json.loads(json.dumps(params.to_dict()))
+        )
+        assert rebuilt == params

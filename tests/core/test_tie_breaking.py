@@ -1,0 +1,77 @@
+"""The indifference tie-breaking contract, tested once, in one place.
+
+Convention (:data:`repro.core.equilibrium.INDIFFERENT_ACTION`): an
+agent with ``U(cont) == U(stop)`` **stops**, at every decision point --
+``best_action``, Alice's ``t3`` threshold, Bob's ``t2`` region
+boundary, and the vectorised Monte Carlo counts all agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.backward_induction import BackwardInduction
+from repro.core.equilibrium import INDIFFERENT_ACTION, StageUtilities
+from repro.core.strategy import Action, AliceStrategy, BobStrategy
+from repro.stochastic.rootfind import IntervalUnion
+
+
+class TestConvention:
+    def test_constant_is_stop(self):
+        assert INDIFFERENT_ACTION == "stop"
+
+    def test_best_action_tie_is_stop(self):
+        tied = StageUtilities(cont=1.2345, stop=1.2345)
+        assert tied.best_action == INDIFFERENT_ACTION
+        assert tied.is_indifferent
+        assert tied.advantage == 0.0
+
+    def test_best_action_strict_cases(self):
+        assert StageUtilities(cont=2.0, stop=1.0).best_action == "cont"
+        assert StageUtilities(cont=1.0, stop=2.0).best_action == "stop"
+        assert not StageUtilities(cont=2.0, stop=1.0).is_indifferent
+
+
+class TestAliceT3:
+    def test_exactly_at_threshold_stops(self):
+        alice = AliceStrategy(initiate_at_t1=True, p3_threshold=1.5)
+        assert alice.decide_t3(1.5) is Action.STOP
+        assert alice.decide_t3(np.nextafter(1.5, 2.0)) is Action.CONT
+        assert alice.decide_t3(np.nextafter(1.5, 0.0)) is Action.STOP
+
+
+class TestBobT2:
+    def test_boundaries_stop_interior_continues(self):
+        bob = BobStrategy(t2_region=IntervalUnion.single(1.0, 2.0))
+        assert bob.decide_t2(1.0) is Action.STOP
+        assert bob.decide_t2(2.0) is Action.STOP
+        assert bob.decide_t2(1.5) is Action.CONT
+        assert bob.decide_t2(np.nextafter(2.0, 1.0)) is Action.CONT
+
+    def test_equilibrium_region_boundary(self, params):
+        solver = BackwardInduction(params, pstar=2.0)
+        region = solver.bob_t2_region()
+        lo, hi = region.bounds()
+        bob = BobStrategy(t2_region=region)
+        # at the indifference roots Bob stops; strictly inside he locks
+        assert bob.decide_t2(lo) is Action.STOP
+        assert bob.decide_t2(hi) is Action.STOP
+        assert bob.decide_t2(0.5 * (lo + hi)) is Action.CONT
+
+
+class TestMonteCarloConsistency:
+    def test_counts_match_executable_strategy(self, params):
+        """The vectorised region test equals decide_t2 on every sample,
+        including hand-placed boundary points."""
+        solver = BackwardInduction(params, pstar=2.0)
+        region = solver.bob_t2_region()
+        lo, hi = region.bounds()
+        bob = BobStrategy(t2_region=region)
+        p2 = np.array([lo, hi, 0.5 * (lo + hi), lo * 0.9, hi * 1.1])
+        vectorised = np.zeros(len(p2), dtype=bool)
+        for a, b in region.intervals:
+            vectorised |= (p2 > a) & (p2 < b)
+        executable = np.array(
+            [bob.decide_t2(float(x)) is Action.CONT for x in p2]
+        )
+        assert (vectorised == executable).all()

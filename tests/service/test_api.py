@@ -1,0 +1,205 @@
+"""SwapService batch semantics: dedupe, caching, typed errors, parallel
+reproducibility."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.collateral import CollateralEquilibrium, solve_collateral_game
+from repro.core.solver import solve_swap_game
+from repro.service.api import SwapService, default_service
+from repro.service.errors import RequestValidationError, ServiceError
+from repro.service.executor import ValidationResult, WorkerPool, execute_request
+from repro.service.requests import SolveRequest, ValidateRequest
+from repro.service.serialize import encode_result
+from repro.simulation.montecarlo import empirical_success_rate
+
+
+class TestSolveBatch:
+    def test_matches_direct_solver_bit_for_bit(self, params):
+        service = SwapService()
+        [item] = service.solve_batch([SolveRequest(pstar=2.0, params=params)])
+        direct = solve_swap_game(params, 2.0)
+        assert item.ok and not item.cached
+        assert item.value == direct
+        assert item.value.p3_threshold == direct.p3_threshold
+
+    def test_collateral_requests_dispatch_to_section_iv(self, params):
+        service = SwapService()
+        [item] = service.solve_batch(
+            [SolveRequest(pstar=2.0, collateral=0.5, params=params)]
+        )
+        assert isinstance(item.value, CollateralEquilibrium)
+        assert item.value == solve_collateral_game(params, 2.0, 0.5)
+
+    def test_repeat_served_from_cache(self, params):
+        service = SwapService()
+        cold = service.solve_batch([SolveRequest(pstar=2.0, params=params)])
+        warm = service.solve_batch([SolveRequest(pstar=2.0, params=params)])
+        assert not cold[0].cached and warm[0].cached
+        assert warm[0].value == cold[0].value
+        stats = service.stats()["memory"]
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_within_batch_dedupe(self, params):
+        service = SwapService()
+        items = service.solve_batch(
+            [SolveRequest(pstar=2.0, params=params)] * 5
+            + [SolveRequest(pstar=2.1, params=params)]
+        )
+        assert len(items) == 6
+        assert len({item.key for item in items}) == 2
+        # five duplicates collapse onto one computation
+        assert service.stats()["memory"]["puts"] == 2
+        assert items[0].value == items[4].value
+
+    def test_kind_check(self, params):
+        service = SwapService()
+        with pytest.raises(RequestValidationError):
+            service.solve_batch([ValidateRequest(pstar=2.0, params=params)])
+        with pytest.raises(RequestValidationError):
+            service.validate_batch([SolveRequest(pstar=2.0, params=params)])
+
+    def test_sweep_and_success_rates(self, params):
+        service = SwapService()
+        rates = service.success_rates([1.8, 2.0, 2.2], params=params)
+        assert len(rates) == 3
+        assert all(0.0 <= r <= 1.0 for r in rates)
+
+
+class TestErrors:
+    def test_bad_request_does_not_kill_batch(self, params, monkeypatch):
+        import repro.service.executor as executor_module
+
+        real = executor_module.solve_swap_game
+
+        def flaky(p, pstar):
+            if pstar == 1.9:
+                raise ValueError("induced failure")
+            return real(p, pstar)
+
+        monkeypatch.setattr(executor_module, "solve_swap_game", flaky)
+        service = SwapService()  # serial: executes in-process, patch applies
+        items = service.run_batch(
+            [
+                SolveRequest(pstar=1.9, params=params),
+                SolveRequest(pstar=2.0, params=params),
+            ]
+        )
+        assert not items[0].ok
+        assert items[0].error["code"] == "solve_failed"
+        assert "induced failure" in items[0].error["message"]
+        assert items[1].ok
+
+    def test_failures_are_not_cached(self, params, monkeypatch):
+        import repro.service.executor as executor_module
+
+        real = executor_module.solve_swap_game
+        calls = {"n": 0}
+
+        def once_flaky(p, pstar):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ValueError("transient")
+            return real(p, pstar)
+
+        monkeypatch.setattr(executor_module, "solve_swap_game", once_flaky)
+        service = SwapService()
+        request = SolveRequest(pstar=2.0, params=params)
+        assert not service.run_batch([request])[0].ok
+        retry = service.run_batch([request])[0]
+        assert retry.ok and not retry.cached
+
+    def test_unwrap_raises_service_error(self):
+        from repro.service.api import BatchItem
+
+        item = BatchItem(
+            key="k", ok=False, error={"code": "solve_failed", "message": "boom"}
+        )
+        with pytest.raises(ServiceError, match="boom"):
+            item.unwrap()
+
+    def test_constructor_validation(self, params):
+        with pytest.raises(RequestValidationError):
+            SolveRequest(pstar=-1.0, params=params)
+        with pytest.raises(RequestValidationError):
+            SolveRequest(pstar=2.0, collateral=-0.5, params=params)
+        with pytest.raises(RequestValidationError):
+            ValidateRequest(pstar=2.0, n_paths=0, params=params)
+
+
+class TestValidateBatch:
+    def test_explicit_seed_matches_direct_call(self, params):
+        service = SwapService()
+        [item] = service.validate_batch(
+            [ValidateRequest(pstar=2.0, n_paths=4_000, seed=9, params=params)]
+        )
+        direct = empirical_success_rate(params, 2.0, n_paths=4_000, seed=9)
+        assert item.value.empirical == direct
+        assert item.value.seed_used == 9
+
+    def test_derived_seed_is_reproducible(self, params):
+        request = ValidateRequest(pstar=2.0, n_paths=4_000, params=params)
+        a = SwapService().validate_batch([request])[0].value
+        b = SwapService().validate_batch([request])[0].value
+        assert isinstance(a, ValidationResult)
+        assert a == b
+        assert a.seed_used == b.seed_used
+
+    def test_parallel_reproduces_serial_exactly(self, params):
+        requests = [
+            ValidateRequest(pstar=k, n_paths=3_000, seed=5, params=params)
+            for k in (1.7, 1.9, 2.0, 2.1, 2.3)
+        ]
+        serial = SwapService(max_workers=1).validate_batch(requests)
+        parallel = SwapService(max_workers=3).validate_batch(requests)
+        for s, p in zip(serial, parallel):
+            assert s.ok and p.ok
+            assert json.dumps(encode_result(s.value), sort_keys=True) == json.dumps(
+                encode_result(p.value), sort_keys=True
+            )
+            assert s.value == p.value
+
+
+class TestDiskPersistence:
+    def test_cache_survives_fresh_instance(self, params, tmp_path):
+        request = SolveRequest(pstar=2.0, params=params)
+        first = SwapService(cache_dir=str(tmp_path))
+        cold = first.solve_batch([request])[0]
+        second = SwapService(cache_dir=str(tmp_path))
+        warm = second.solve_batch([request])[0]
+        assert warm.cached
+        assert warm.value == cold.value
+        assert second.stats()["disk"]["hits"] == 1
+
+    def test_validation_results_persist(self, params, tmp_path):
+        request = ValidateRequest(pstar=2.0, n_paths=2_000, seed=1, params=params)
+        first = SwapService(cache_dir=str(tmp_path)).validate_batch([request])[0]
+        warm = SwapService(cache_dir=str(tmp_path)).validate_batch([request])[0]
+        assert warm.cached
+        assert warm.value == first.value
+
+
+class TestExecutor:
+    def test_worker_pool_serial_fallback(self, params):
+        pool = WorkerPool(max_workers=1)
+        request = SolveRequest(pstar=2.0, params=params)
+        [result] = pool.map([(request, None)])
+        assert result == solve_swap_game(params, 2.0)
+
+    def test_execute_request_rejects_unknown(self):
+        from repro.service.errors import SolveFailedError
+
+        with pytest.raises(SolveFailedError):
+            execute_request("not a request")  # type: ignore[arg-type]
+
+    def test_pool_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            WorkerPool(max_workers=0)
+
+
+class TestDefaultService:
+    def test_shared_instance(self):
+        assert default_service() is default_service()

@@ -1,0 +1,96 @@
+"""Cache correctness: bit-for-bit results, persistence, counters."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.solver import solve_swap_game
+from repro.service.cache import DiskCache, LRUCache, TieredCache
+from repro.service.serialize import decode_result, encode_result
+
+
+class TestLRU:
+    def test_hit_miss_counters(self):
+        cache = LRUCache(maxsize=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_eviction_order(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_existing(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, no eviction
+        assert len(cache) == 2
+        assert cache.get("a") == 10
+        assert cache.stats.evictions == 0
+
+
+class TestDisk:
+    def test_roundtrip_bit_for_bit(self, params, tmp_path):
+        eq = solve_swap_game(params, 2.0)
+        cache = DiskCache(tmp_path)
+        cache.put("k", eq)
+        back = cache.get("k")
+        assert back == eq  # frozen dataclasses: exact field equality
+        assert back.p3_threshold == eq.p3_threshold
+        assert back.bob_t2_region.intervals == eq.bob_t2_region.intervals
+
+    def test_miss_and_corruption(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.get("absent") is None
+        (tmp_path / "bad.json").write_text("{not json", encoding="utf-8")
+        assert cache.get("bad") is None
+        assert cache.stats.misses == 2
+
+    def test_atomic_write_no_temp_leftovers(self, params, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("k", solve_swap_game(params, 2.0))
+        assert not list(tmp_path.glob(".tmp-*"))
+        assert len(cache) == 1
+
+
+class TestTiered:
+    def test_disk_hit_promotes_to_memory(self, params, tmp_path):
+        eq = solve_swap_game(params, 2.0)
+        first = TieredCache.build(cache_dir=str(tmp_path))
+        first.put("k", eq)
+        # fresh instance: memory empty, disk warm
+        second = TieredCache.build(cache_dir=str(tmp_path))
+        assert second.get("k") == eq
+        assert second.memory.stats.misses == 1
+        assert second.disk.stats.hits == 1
+        # now served from memory
+        assert second.get("k") == eq
+        assert second.memory.stats.hits == 1
+
+    def test_memory_only_when_no_dir(self):
+        cache = TieredCache.build()
+        assert cache.disk is None
+        assert cache.get("k") is None
+        assert "disk" not in cache.stats()
+
+
+class TestEncodeStability:
+    def test_encode_is_deterministic(self, params):
+        eq = solve_swap_game(params, 2.0)
+        a = json.dumps(encode_result(eq), sort_keys=True)
+        b = json.dumps(encode_result(solve_swap_game(params, 2.0)), sort_keys=True)
+        assert a == b
+
+    def test_json_roundtrip_exact(self, params):
+        eq = solve_swap_game(params, 1.7)
+        wire = json.loads(json.dumps(encode_result(eq)))
+        assert decode_result(wire) == eq

@@ -1,0 +1,94 @@
+"""Canonical request keys: stability, sensitivity, seed derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import SwapParameters
+from repro.service.keys import KEY_VERSION, derive_seed, request_key
+from repro.service.requests import SolveRequest, ValidateRequest
+
+
+class TestKeyStability:
+    def test_identical_requests_identical_keys(self, params):
+        a = SolveRequest(pstar=2.0, params=params)
+        b = SolveRequest(pstar=2.0, params=SwapParameters.default())
+        assert request_key(a) == request_key(b)
+
+    def test_key_is_versioned_hex(self):
+        key = request_key(SolveRequest(pstar=2.0))
+        prefix, digest = key.split("-")
+        assert prefix == f"v{KEY_VERSION}"
+        assert len(digest) == 64
+        int(digest, 16)  # hex
+
+    def test_solve_and_validate_keys_differ(self, params):
+        solve = SolveRequest(pstar=2.0, params=params)
+        validate = ValidateRequest(pstar=2.0, params=params)
+        assert request_key(solve) != request_key(validate)
+
+
+class TestKeySensitivity:
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"alpha_a": 0.31},
+            {"alpha_b": 0.29},
+            {"r_a": 0.011},
+            {"r_b": 0.009},
+            {"tau_a": 3.5},
+            {"tau_b": 4.5},
+            {"mu": 0.003},
+            {"sigma": 0.11},
+        ],
+    )
+    def test_any_parameter_changes_key(self, params, override):
+        base = request_key(SolveRequest(pstar=2.0, params=params))
+        bumped = request_key(
+            SolveRequest(pstar=2.0, params=params.replace(**override))
+        )
+        assert base != bumped
+
+    def test_pstar_and_collateral_change_key(self, params):
+        base = request_key(SolveRequest(pstar=2.0, params=params))
+        assert request_key(SolveRequest(pstar=2.1, params=params)) != base
+        assert (
+            request_key(SolveRequest(pstar=2.0, collateral=0.5, params=params))
+            != base
+        )
+
+    def test_ulp_difference_changes_key(self, params):
+        import numpy as np
+
+        base = request_key(SolveRequest(pstar=2.0, params=params))
+        nudged = request_key(
+            SolveRequest(pstar=float(np.nextafter(2.0, 3.0)), params=params)
+        )
+        assert base != nudged
+
+    def test_validate_fields_change_key(self, params):
+        base = ValidateRequest(pstar=2.0, n_paths=1000, seed=1, params=params)
+        for other in (
+            ValidateRequest(pstar=2.0, n_paths=2000, seed=1, params=params),
+            ValidateRequest(pstar=2.0, n_paths=1000, seed=2, params=params),
+            ValidateRequest(pstar=2.0, n_paths=1000, seed=None, params=params),
+            ValidateRequest(
+                pstar=2.0, n_paths=1000, seed=1, protocol_level=True, params=params
+            ),
+        ):
+            assert request_key(other) != request_key(base)
+
+
+class TestSeedDerivation:
+    def test_deterministic_across_calls(self):
+        key = request_key(ValidateRequest(pstar=2.0))
+        assert derive_seed(key) == derive_seed(key)
+
+    def test_different_keys_different_seeds(self, params):
+        k1 = request_key(ValidateRequest(pstar=2.0, params=params))
+        k2 = request_key(ValidateRequest(pstar=2.1, params=params))
+        assert derive_seed(k1) != derive_seed(k2)
+
+    def test_seed_fits_in_int64(self):
+        key = request_key(ValidateRequest(pstar=2.0))
+        assert 0 <= derive_seed(key) < 2**63
