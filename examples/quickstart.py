@@ -15,7 +15,7 @@ from repro import (
     SwapParameters,
     feasible_pstar_range,
     max_success_rate,
-    solve_swap_game,
+    solve,
     success_rate_curve,
 )
 
@@ -24,7 +24,7 @@ def main() -> None:
     params = SwapParameters.default()
 
     print("=== The swap game at the agreed rate P* = 2 ===")
-    equilibrium = solve_swap_game(params, pstar=2.0)
+    equilibrium = solve(params, pstar=2.0)
     print(equilibrium.summary())
 
     print("\n=== Feasible exchange-rate window (paper Eq. 29) ===")

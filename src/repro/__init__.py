@@ -1,7 +1,7 @@
 """repro -- reproduction of "A Game-Theoretic Analysis of Cross-Chain
 Atomic Swaps with HTLCs" (Xu, Ackerer, Dubovitskaya; ICDCS 2021).
 
-The package has three layers:
+The package has four layers:
 
 * **analytics** (:mod:`repro.core`, :mod:`repro.stochastic`,
   :mod:`repro.games`): the paper's backward-induction model, its
@@ -13,45 +13,117 @@ The package has three layers:
   implementations (rational/honest/adversarial/crashing);
 * **experiments** (:mod:`repro.simulation`, :mod:`repro.analysis`):
   Monte Carlo validation of the analytics against protocol-level
-  simulation, and generators for every table and figure in the paper.
+  simulation, and generators for every table and figure in the paper;
+* **serving** (:mod:`repro.service`, :mod:`repro.obs`): the batched,
+  cached, parallel solve-and-validate engine and its observability
+  substrate (metrics, tracing spans, Prometheus/JSON export).
 
-Quickstart::
+The public solver API is the :mod:`repro.api` facade, re-exported
+here::
 
-    from repro import SwapParameters, solve_swap_game
+    from repro import SwapParameters, solve, sweep, success_rate
 
-    eq = solve_swap_game(SwapParameters.default(), pstar=2.0)
+    eq = solve(SwapParameters.default(), pstar=2.0)
     print(eq.summary())
+    rates = [e.success_rate for e in sweep([1.8, 2.0, 2.2])]
+
+The pre-facade entry points (``solve_swap_game``,
+``solve_collateral_game``, ``solve_premium_game``) still work at the
+top level but emit a :class:`DeprecationWarning` (once per name per
+process); import them from :mod:`repro.core` to keep the old
+warning-free behaviour.
 """
 
+import warnings as _warnings
+
+from repro.api import Equilibrium, solve, success_rate, sweep, validate
 from repro.core import (
     AgentParameters,
     SwapParameters,
     SwapEquilibrium,
-    solve_swap_game,
-    solve_collateral_game,
-    solve_premium_game,
-    success_rate,
     success_rate_curve,
     max_success_rate,
     feasible_pstar_range,
     equilibrium_strategies,
 )
+from repro.core import solve_collateral_game as _core_solve_collateral_game
+from repro.core import solve_premium_game as _core_solve_premium_game
+from repro.core import solve_swap_game as _core_solve_swap_game
+from repro.service.executor import ValidationResult
 from repro.stochastic import GeometricBrownianMotion, RandomState
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+_warned_names = set()
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    if name in _warned_names:
+        return
+    _warned_names.add(name)
+    _warnings.warn(
+        f"repro.{name} is deprecated; use {replacement} "
+        f"(or import it from repro.core)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def solve_swap_game(params, pstar):
+    """Deprecated alias of :func:`repro.core.solver.solve_swap_game`.
+
+    Use :func:`repro.solve` (the unified facade) instead.
+    """
+    _warn_deprecated("solve_swap_game", "repro.solve(params, pstar)")
+    return _core_solve_swap_game(params, pstar)
+
+
+def solve_collateral_game(params, pstar, collateral):
+    """Deprecated alias of
+    :func:`repro.core.collateral.solve_collateral_game`.
+
+    Use :func:`repro.solve` with ``collateral=...`` instead.
+    """
+    _warn_deprecated(
+        "solve_collateral_game",
+        "repro.solve(params, pstar, collateral=...)",
+    )
+    return _core_solve_collateral_game(params, pstar, collateral)
+
+
+def solve_premium_game(params, pstar, premium):
+    """Deprecated alias of :func:`repro.core.premium.solve_premium_game`.
+
+    Use :func:`repro.solve` with ``premium=...`` instead.
+    """
+    _warn_deprecated(
+        "solve_premium_game", "repro.solve(params, pstar, premium=...)"
+    )
+    return _core_solve_premium_game(params, pstar, premium)
+
 
 __all__ = [
+    # unified facade
+    "Equilibrium",
+    "solve",
+    "validate",
+    "sweep",
+    "success_rate",
+    "ValidationResult",
+    # configuration and results
     "AgentParameters",
     "SwapParameters",
     "SwapEquilibrium",
-    "solve_swap_game",
-    "solve_collateral_game",
-    "solve_premium_game",
-    "success_rate",
+    # analytic helpers
     "success_rate_curve",
     "max_success_rate",
     "feasible_pstar_range",
     "equilibrium_strategies",
+    # deprecated aliases (import from repro.core for the originals)
+    "solve_swap_game",
+    "solve_collateral_game",
+    "solve_premium_game",
+    # stochastic substrate
     "GeometricBrownianMotion",
     "RandomState",
     "__version__",

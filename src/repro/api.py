@@ -1,0 +1,164 @@
+"""The unified public solver API.
+
+One typed facade over the package's three game solvers and the Monte
+Carlo validator, with a single calling convention:
+:class:`~repro.core.parameters.SwapParameters` plus keyword options in,
+frozen result dataclasses out.
+
+* :func:`solve` -- the basic game, the Section IV collateral game
+  (``collateral > 0``), or the Han-et-al. premium baseline
+  (``premium > 0``), dispatched from one signature;
+* :func:`validate` -- Monte Carlo validation of the analytic success
+  rate, returning a :class:`~repro.service.executor.ValidationResult`;
+* :func:`sweep` -- one equilibrium per exchange rate, served through
+  the process-wide :class:`~repro.service.api.SwapService` so repeated
+  sweeps hit the cache;
+* :func:`success_rate` -- just the Eq. (31)/(40) number.
+
+The pre-existing entry points (``repro.solve_swap_game``,
+``repro.solve_collateral_game``, ``repro.solve_premium_game``) remain
+importable but are deprecated aliases of this facade; the underlying
+implementations in :mod:`repro.core` are unchanged and the facade
+returns results equal to them (property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.core.collateral import (
+    CollateralEquilibrium,
+    collateral_success_rate,
+    solve_collateral_game,
+)
+from repro.core.equilibrium import SwapEquilibrium
+from repro.core.parameters import SwapParameters
+from repro.core.premium import PremiumEquilibrium, solve_premium_game
+from repro.core.solver import solve_swap_game
+from repro.core.success_rate import success_rate as _basic_success_rate
+
+__all__ = ["Equilibrium", "solve", "validate", "sweep", "success_rate"]
+
+#: Any frozen equilibrium object the facade can return.
+Equilibrium = Union[SwapEquilibrium, CollateralEquilibrium, PremiumEquilibrium]
+
+
+def _resolve_params(params: Optional[SwapParameters]) -> SwapParameters:
+    if params is None:
+        return SwapParameters.default()
+    if not isinstance(params, SwapParameters):
+        raise TypeError(
+            f"params must be SwapParameters or None, got {type(params).__name__}"
+        )
+    return params
+
+
+def solve(
+    params: Optional[SwapParameters] = None,
+    pstar: float = 2.0,
+    *,
+    collateral: float = 0.0,
+    premium: float = 0.0,
+) -> Equilibrium:
+    """Solve one swap game; the mechanism is selected by keyword.
+
+    Parameters
+    ----------
+    params:
+        Model parameters; ``None`` means the paper's Table III defaults.
+    pstar:
+        Agreed exchange rate ``P*``.
+    collateral:
+        Symmetric deposit ``Q`` (Section IV). ``> 0`` solves the
+        collateral game.
+    premium:
+        Initiator premium ``W`` (Han et al. baseline). ``> 0`` solves
+        the premium game. Mutually exclusive with ``collateral``.
+
+    Returns
+    -------
+    Equilibrium
+        A frozen :class:`SwapEquilibrium`,
+        :class:`CollateralEquilibrium`, or :class:`PremiumEquilibrium`.
+    """
+    params = _resolve_params(params)
+    if collateral > 0.0 and premium > 0.0:
+        raise ValueError(
+            "collateral and premium are alternative mechanisms; set at most one"
+        )
+    if collateral > 0.0:
+        return solve_collateral_game(params, pstar, collateral)
+    if premium > 0.0:
+        return solve_premium_game(params, pstar, premium)
+    return solve_swap_game(params, pstar)
+
+
+def validate(
+    params: Optional[SwapParameters] = None,
+    pstar: float = 2.0,
+    *,
+    collateral: float = 0.0,
+    n_paths: int = 20_000,
+    seed: Optional[int] = None,
+    protocol_level: bool = False,
+):
+    """Monte-Carlo-validate the analytic success rate at one point.
+
+    Routed through the process-wide service, so the result carries the
+    same deterministic key-derived seed a batch run would use when
+    ``seed`` is ``None``, and repeated validations are served from
+    cache.
+
+    Returns
+    -------
+    ValidationResult
+        Frozen record with the empirical
+        :class:`~repro.simulation.montecarlo.MonteCarloResult`, the
+        analytic rate, and the seed actually used; ``.passed`` is the
+        CI-membership verdict.
+    """
+    from repro.service.api import default_service
+    from repro.service.requests import ValidateRequest
+
+    request = ValidateRequest(
+        pstar=pstar,
+        collateral=collateral,
+        n_paths=n_paths,
+        seed=seed,
+        protocol_level=protocol_level,
+        params=_resolve_params(params),
+    )
+    return default_service().run_batch([request])[0].unwrap()
+
+
+def sweep(
+    pstars: Sequence[float],
+    params: Optional[SwapParameters] = None,
+    *,
+    collateral: float = 0.0,
+) -> List[Equilibrium]:
+    """Solve one game per exchange rate (the figure-sweep shape).
+
+    Served through the process-wide cached service: a repeated sweep
+    over the same grid is answered from memory. Raises
+    :class:`~repro.service.errors.ServiceError` if any point fails.
+    """
+    from repro.service.api import default_service
+
+    items = default_service().sweep(
+        pstars, params=_resolve_params(params), collateral=collateral
+    )
+    return [item.unwrap() for item in items]
+
+
+def success_rate(
+    params: Optional[SwapParameters] = None,
+    pstar: float = 2.0,
+    *,
+    collateral: float = 0.0,
+) -> float:
+    """Eq. (31) (or Eq. (40) when ``collateral > 0``) at one point."""
+    params = _resolve_params(params)
+    if collateral > 0.0:
+        return collateral_success_rate(params, pstar, collateral)
+    return _basic_success_rate(params, pstar)

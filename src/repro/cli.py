@@ -8,14 +8,28 @@ Usage::
     repro-swaps solve --pstar 2.0 [--collateral 0.5]
     repro-swaps validate --pstar 2.0 --paths 50000
     repro-swaps batch requests.jsonl --workers 4 --cache-dir cache
+    repro-swaps batch requests.jsonl --metrics-out metrics.prom
+    repro-swaps stats requests.jsonl
     repro-swaps all
 
 (or ``python -m repro.cli ...``).
 
+Every subcommand accepts ``--json``, which wraps its output in one
+machine-readable envelope ``{"ok": ..., "result": ..., "error": ...}``
+-- the same in-band error style the ``batch`` command uses per line.
+Without ``--json``, output is human text (or, for ``batch``, the
+historical JSON-lines stream, byte-for-byte unchanged).
+
 ``batch`` reads one JSON request per line (``kind`` = ``solve`` or
 ``validate``; see :mod:`repro.service.requests`) from a file or stdin
 (``-``) and emits one JSON result line per request, errors included.
-The exit status is 0 iff every line parsed as JSON.
+``--metrics-out`` additionally writes the process metrics registry
+(cache hits, per-stage latency histograms, pool gauges; see
+:mod:`repro.obs`) in Prometheus text format after the run, and
+``--log-out`` tees structured JSON-lines trace events to a file.
+``stats`` runs an (optional) batch quietly and prints the registry
+snapshot itself. The exit status of ``batch`` is 0 iff every line
+parsed as JSON.
 
 Invalid artifact names and invalid ``--pstar``/``--collateral`` values
 exit non-zero with a one-line error instead of a traceback.
@@ -26,7 +40,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis import (
     figure2_timeline,
@@ -40,14 +54,13 @@ from repro.analysis import (
     table1_balance_change,
     table3_default_parameters,
 )
-from repro.core import (
-    SwapParameters,
-    solve_collateral_game,
-    solve_swap_game,
-)
-from repro.simulation import validate_against_analytic
+from repro.core import SwapParameters
 
 __all__ = ["main"]
+
+# (exit_status, result) -- result is a string for text commands, or an
+# already-JSON-safe object for commands with structured output
+CommandOutcome = Tuple[int, object]
 
 
 def _artifact_commands() -> Dict[str, Callable[[], str]]:
@@ -66,6 +79,7 @@ def _artifact_commands() -> Dict[str, Callable[[], str]]:
 
 
 def _cmd_solve(args: argparse.Namespace) -> str:
+    from repro.api import solve
     from repro.service.requests import SolveRequest
 
     params = SwapParameters.default()
@@ -74,7 +88,7 @@ def _cmd_solve(args: argparse.Namespace) -> str:
         pstar=args.pstar, collateral=args.collateral, params=params
     )
     if request.collateral > 0.0:
-        eq = solve_collateral_game(params, request.pstar, request.collateral)
+        eq = solve(params, request.pstar, collateral=request.collateral)
         region = "; ".join(
             f"({lo:.4f}, {hi:.4f})" for lo, hi in eq.bob_t2_region.intervals
         )
@@ -87,10 +101,11 @@ def _cmd_solve(args: argparse.Namespace) -> str:
             f"  engaged                : {eq.engaged}\n"
             f"  success rate (Eq. 40)  : {eq.success_rate:.4f}"
         )
-    return solve_swap_game(params, args.pstar).summary()
+    return solve(params, request.pstar).summary()
 
 
 def _cmd_validate(args: argparse.Namespace) -> str:
+    from repro.api import validate as validate_point
     from repro.service.requests import ValidateRequest
 
     params = SwapParameters.default()
@@ -101,23 +116,24 @@ def _cmd_validate(args: argparse.Namespace) -> str:
         seed=args.seed,
         params=params,
     )
-    empirical, analytic = validate_against_analytic(
+    outcome = validate_point(
         params,
         args.pstar,
+        collateral=args.collateral,
         n_paths=args.paths,
         seed=args.seed,
-        collateral=args.collateral,
         protocol_level=args.protocol_level,
     )
+    empirical, analytic = outcome.empirical, outcome.analytic
     level = "protocol" if args.protocol_level else "strategy"
-    verdict = "PASS" if empirical.contains(analytic) else "MISMATCH"
+    verdict = "PASS" if outcome.passed else "MISMATCH"
     return (
         f"Monte Carlo validation ({level} level, {args.paths} paths)\n"
         f"  analytic SR : {analytic:.4f}\n"
         f"  empirical SR: {empirical.success_rate:.4f} "
         f"(95% CI [{empirical.ci_low:.4f}, {empirical.ci_high:.4f}])\n"
         f"  {verdict}: analytic value "
-        f"{'inside' if empirical.contains(analytic) else 'outside'} the CI"
+        f"{'inside' if outcome.passed else 'outside'} the CI"
     )
 
 
@@ -132,16 +148,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--json",
+        action="store_true",
+        help='emit one {"ok", "result", "error"} JSON envelope',
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     for name in list(_artifact_commands()) + ["all"]:
-        sub.add_parser(name, help=f"print {name}")
+        sub.add_parser(name, parents=[common], help=f"print {name}")
 
-    solve = sub.add_parser("solve", help="solve one swap game")
+    solve = sub.add_parser("solve", parents=[common], help="solve one swap game")
     solve.add_argument("--pstar", type=float, default=2.0)
     solve.add_argument("--collateral", type=float, default=0.0)
 
-    validate = sub.add_parser("validate", help="Monte Carlo vs analytic SR")
+    validate = sub.add_parser(
+        "validate", parents=[common], help="Monte Carlo vs analytic SR"
+    )
     validate.add_argument("--pstar", type=float, default=2.0)
     validate.add_argument("--paths", type=int, default=50_000)
     validate.add_argument("--seed", type=int, default=0)
@@ -149,7 +173,9 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--protocol-level", action="store_true")
 
     backtest = sub.add_parser(
-        "backtest", help="walk-forward backtest on a synthetic market"
+        "backtest",
+        parents=[common],
+        help="walk-forward backtest on a synthetic market",
     )
     backtest.add_argument(
         "--market", choices=["gbm", "regime", "jumps"], default="gbm"
@@ -158,30 +184,71 @@ def build_parser() -> argparse.ArgumentParser:
     backtest.add_argument("--seed", type=int, default=0)
 
     market = sub.add_parser(
-        "market", help="heterogeneous-population failure rate vs volatility"
+        "market",
+        parents=[common],
+        help="heterogeneous-population failure rate vs volatility",
     )
     market.add_argument("--pairs", type=int, default=30)
     market.add_argument("--seed", type=int, default=0)
 
     uncertainty = sub.add_parser(
-        "uncertainty", help="success rate under belief uncertainty about alpha"
+        "uncertainty",
+        parents=[common],
+        help="success rate under belief uncertainty about alpha",
     )
     uncertainty.add_argument("--pstar", type=float, default=2.0)
     uncertainty.add_argument("--spread", type=float, default=0.2)
 
     experiments = sub.add_parser(
-        "experiments", help="run the full reproduction record (EXPERIMENTS.md)"
+        "experiments",
+        parents=[common],
+        help="run the full reproduction record (EXPERIMENTS.md)",
     )
     experiments.add_argument(
         "--workers", type=int, default=1, help="process-pool size (1 = serial)"
     )
 
-    export = sub.add_parser("export", help="write per-figure CSV data files")
+    export = sub.add_parser(
+        "export", parents=[common], help="write per-figure CSV data files"
+    )
     export.add_argument("--out", default="results")
 
     batch = sub.add_parser(
-        "batch", help="serve JSON-lines solve/validate requests"
+        "batch", parents=[common], help="serve JSON-lines solve/validate requests"
     )
+    _add_batch_arguments(batch)
+
+    stats = sub.add_parser(
+        "stats",
+        parents=[common],
+        help="print the metrics-registry snapshot (optionally after a batch)",
+    )
+    stats.add_argument(
+        "input",
+        nargs="?",
+        default=None,
+        help="optional request file to serve first ('-' = stdin)",
+    )
+    stats.add_argument(
+        "--workers", type=int, default=1, help="process-pool size (1 = serial)"
+    )
+    stats.add_argument(
+        "--cache-dir", default=None, help="directory for the persistent cache"
+    )
+    stats.add_argument(
+        "--timeout", type=float, default=None, help="per-request seconds budget"
+    )
+    stats.add_argument(
+        "--format",
+        choices=["prom", "json"],
+        default="prom",
+        help="snapshot rendering (Prometheus text or JSON)",
+    )
+
+    return parser
+
+
+def _add_batch_arguments(batch: argparse.ArgumentParser) -> None:
     batch.add_argument(
         "input",
         nargs="?",
@@ -197,8 +264,18 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--timeout", type=float, default=None, help="per-request seconds budget"
     )
-
-    return parser
+    batch.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the metrics registry (Prometheus text) here after the run",
+    )
+    batch.add_argument(
+        "--log-out",
+        default=None,
+        metavar="PATH",
+        help="append structured JSON-lines trace events to this file",
+    )
 
 
 def _cmd_backtest(args: argparse.Namespace) -> str:
@@ -265,31 +342,33 @@ def _cmd_uncertainty(args: argparse.Namespace) -> str:
     )
 
 
-def _cmd_batch(args: argparse.Namespace) -> int:
-    """Serve a JSON-lines request stream; one result line per request.
+def _read_request_lines(source: str) -> List[str]:
+    if source == "-":
+        return sys.stdin.read().splitlines()
+    try:
+        with open(source, "r", encoding="utf-8") as handle:
+            return handle.read().splitlines()
+    except OSError as exc:
+        raise ValueError(f"cannot read {source}: {exc.strerror}") from exc
 
-    Exit status 0 iff every non-blank input line parsed as JSON.
-    Semantically invalid requests (bad field values, unknown kinds) and
-    solver failures still produce a structured error line but do not
-    fail the run -- they are results, not stream corruption.
+
+def _serve_batch(
+    lines: List[str],
+    workers: int,
+    cache_dir: Optional[str],
+    timeout: Optional[float],
+) -> Tuple[bool, List[dict]]:
+    """Parse and execute a JSON-lines batch.
+
+    Returns ``(all_parsed, records)`` where each record is the JSON-safe
+    per-line result object of the historical ``batch`` output format.
     """
     from repro.service import SwapService, error_payload, parse_request
     from repro.service.errors import ServiceError
     from repro.service.serialize import encode_result
 
-    if args.input == "-":
-        lines = sys.stdin.read().splitlines()
-    else:
-        try:
-            with open(args.input, "r", encoding="utf-8") as handle:
-                lines = handle.read().splitlines()
-        except OSError as exc:
-            raise ValueError(f"cannot read {args.input}: {exc.strerror}") from exc
-
     service = SwapService(
-        max_workers=args.workers,
-        cache_dir=args.cache_dir,
-        timeout=args.timeout,
+        max_workers=workers, cache_dir=cache_dir, timeout=timeout
     )
 
     # parse every line first so the batch executes (and dedupes) as one
@@ -313,83 +392,153 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     requests = [request for _, request, _ in records if request is not None]
     items = iter(service.run_batch(requests))
+    out_records: List[dict] = []
     for line_no, request, error in records:
         if request is None:
-            out = {"line": line_no, "ok": False, "error": error}
+            out_records.append({"line": line_no, "ok": False, "error": error})
+            continue
+        item = next(items)
+        out: dict = {
+            "line": line_no,
+            "ok": item.ok,
+            "kind": request.to_dict()["kind"],
+            "key": item.key,
+            "cached": item.cached,
+        }
+        if item.ok:
+            out["result"] = encode_result(item.value)
         else:
-            item = next(items)
-            out = {
-                "line": line_no,
-                "ok": item.ok,
-                "kind": request.to_dict()["kind"],
-                "key": item.key,
-                "cached": item.cached,
-            }
-            if item.ok:
-                out["result"] = encode_result(item.value)
-            else:
-                out["error"] = item.error
-        print(json.dumps(out, separators=(",", ":")))
-    return 0 if all_parsed else 1
+            out["error"] = item.error.to_dict()
+        out_records.append(out)
+    return all_parsed, out_records
+
+
+def _cmd_batch(args: argparse.Namespace) -> CommandOutcome:
+    """Serve a JSON-lines request stream; one result record per request.
+
+    Exit status 0 iff every non-blank input line parsed as JSON.
+    Semantically invalid requests (bad field values, unknown kinds) and
+    solver failures still produce a structured error record but do not
+    fail the run -- they are results, not stream corruption.
+    """
+    log_handle = None
+    if args.log_out is not None:
+        from repro.obs.logging import JsonLinesLogger, set_logger
+
+        log_handle = open(args.log_out, "a", encoding="utf-8")
+        previous_logger = set_logger(JsonLinesLogger(log_handle))
+    try:
+        lines = _read_request_lines(args.input)
+        all_parsed, records = _serve_batch(
+            lines, args.workers, args.cache_dir, args.timeout
+        )
+    finally:
+        if log_handle is not None:
+            from repro.obs.logging import set_logger
+
+            set_logger(previous_logger)
+            log_handle.close()
+
+    if args.metrics_out is not None:
+        from repro.obs import write_metrics
+
+        write_metrics(args.metrics_out)
+    return (0 if all_parsed else 1), records
+
+
+def _cmd_stats(args: argparse.Namespace) -> CommandOutcome:
+    """Print the metrics-registry snapshot, optionally after a batch."""
+    from repro.obs import get_registry, to_prometheus_text
+
+    if args.input is not None:
+        lines = _read_request_lines(args.input)
+        _serve_batch(lines, args.workers, args.cache_dir, args.timeout)
+    if args.format == "json" or args.json:
+        return 0, get_registry().snapshot()
+    return 0, to_prometheus_text(get_registry())
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (returns the exit status, never raises for
-    invalid values -- see :func:`_dispatch`)."""
+    invalid values)."""
+    from repro.service.errors import ServiceError, ServiceErrorInfo
+
     args = build_parser().parse_args(argv)
+    json_mode = getattr(args, "json", False)
     try:
-        return _dispatch(args)
+        status, result = _dispatch(args)
     except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        info = ServiceErrorInfo(code="invalid_value", message=str(exc))
+        _emit_failure(info, json_mode)
         return 2
-
-
-def _dispatch(args: argparse.Namespace) -> int:
-    from repro.service.errors import ServiceError
-
-    artifacts = _artifact_commands()
-    try:
-        return _run_command(args, artifacts)
     except ServiceError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _emit_failure(ServiceErrorInfo.from_exception(exc), json_mode)
         return 2
+    _emit_success(args, status, result, json_mode)
+    return status
 
 
-def _run_command(args: argparse.Namespace, artifacts) -> int:
+def _emit_failure(info, json_mode: bool) -> None:
+    if json_mode:
+        envelope = {"ok": False, "result": None, "error": info.to_dict()}
+        print(json.dumps(envelope, separators=(",", ":")))
+    else:
+        print(f"error: {info.message}", file=sys.stderr)
+
+
+def _emit_success(args, status: int, result, json_mode: bool) -> None:
+    if json_mode:
+        envelope = {"ok": status == 0, "result": result, "error": None}
+        print(json.dumps(envelope, separators=(",", ":")))
+    elif args.command == "batch":
+        # the historical JSON-lines stream: one record per request line
+        for record in result:
+            print(json.dumps(record, separators=(",", ":")))
+    elif isinstance(result, str):
+        print(result)
+    else:
+        print(json.dumps(result, indent=2, sort_keys=True))
+
+
+def _dispatch(args: argparse.Namespace) -> CommandOutcome:
+    artifacts = _artifact_commands()
     if args.command in artifacts:
-        print(artifacts[args.command]())
-    elif args.command == "all":
+        return 0, artifacts[args.command]()
+    if args.command == "all":
+        sections = []
         for name, producer in artifacts.items():
-            print(f"\n===== {name} =====")
-            print(producer())
-    elif args.command == "solve":
-        print(_cmd_solve(args))
-    elif args.command == "validate":
-        print(_cmd_validate(args))
-    elif args.command == "backtest":
-        print(_cmd_backtest(args))
-    elif args.command == "market":
-        print(_cmd_market(args))
-    elif args.command == "uncertainty":
-        print(_cmd_uncertainty(args))
-    elif args.command == "experiments":
+            sections.append(f"\n===== {name} =====\n{producer()}")
+        return 0, "\n".join(sections)
+    if args.command == "solve":
+        return 0, _cmd_solve(args)
+    if args.command == "validate":
+        return 0, _cmd_validate(args)
+    if args.command == "backtest":
+        return 0, _cmd_backtest(args)
+    if args.command == "market":
+        return 0, _cmd_market(args)
+    if args.command == "uncertainty":
+        return 0, _cmd_uncertainty(args)
+    if args.command == "experiments":
         from repro.analysis.experiments import render_markdown, run_all_experiments
         from repro.service import SwapService
 
         results = run_all_experiments(service=SwapService(max_workers=args.workers))
-        print(render_markdown(results))
-        print(f"\n{sum(r.holds for r in results)}/{len(results)} claims hold")
-    elif args.command == "export":
+        text = render_markdown(results)
+        text += f"\n\n{sum(r.holds for r in results)}/{len(results)} claims hold"
+        return 0, text
+    if args.command == "export":
         from pathlib import Path
 
         from repro.analysis.export import export_all_figures
 
         written = export_all_figures(Path(args.out))
-        for name, path in written.items():
-            print(f"wrote {path}")
-    elif args.command == "batch":
+        return 0, "\n".join(f"wrote {path}" for path in written.values())
+    if args.command == "batch":
         return _cmd_batch(args)
-    return 0
+    if args.command == "stats":
+        return _cmd_stats(args)
+    raise ValueError(f"unknown command {args.command!r}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -202,12 +202,17 @@ def solve_collateral_game(
     params: SwapParameters, pstar: float, collateral: float
 ) -> CollateralEquilibrium:
     """Solve the Section IV game at a fixed rate and deposit."""
+    import time
+
+    from repro.core.solver import observe_solver
+
+    started = time.perf_counter()
     solver = CollateralBackwardInduction(params, pstar, collateral)
     region = solver.bob_t2_region()
     alice_t1 = StageUtilities(cont=solver.alice_t1_cont(), stop=solver.alice_t1_stop())
     bob_t1 = StageUtilities(cont=solver.bob_t1_cont(), stop=solver.bob_t1_stop())
     alice_engages = alice_t1.advantage > 0.0
-    return CollateralEquilibrium(
+    equilibrium = CollateralEquilibrium(
         params=params,
         pstar=float(pstar),
         collateral=float(collateral),
@@ -223,6 +228,8 @@ def solve_collateral_game(
         ),
         bob_strategy=BobStrategy(t2_region=region),
     )
+    observe_solver("collateral", time.perf_counter() - started)
+    return equilibrium
 
 
 def collateral_success_rate(

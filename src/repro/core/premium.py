@@ -144,12 +144,17 @@ def solve_premium_game(
     params: SwapParameters, pstar: float, premium: float
 ) -> PremiumEquilibrium:
     """Solve the premium-mechanism game at a fixed rate and premium."""
+    import time
+
+    from repro.core.solver import observe_solver
+
+    started = time.perf_counter()
     solver = PremiumBackwardInduction(params, pstar, premium)
     region = solver.bob_t2_region()
     alice_t1 = StageUtilities(cont=solver.alice_t1_cont(), stop=solver.alice_t1_stop())
     bob_t1 = StageUtilities(cont=solver.bob_t1_cont(), stop=solver.bob_t1_stop())
     initiated = alice_t1.advantage > 0.0
-    return PremiumEquilibrium(
+    equilibrium = PremiumEquilibrium(
         params=params,
         pstar=float(pstar),
         premium=float(premium),
@@ -164,3 +169,5 @@ def solve_premium_game(
         ),
         bob_strategy=BobStrategy(t2_region=region),
     )
+    observe_solver("premium", time.perf_counter() - started)
+    return equilibrium

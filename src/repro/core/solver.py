@@ -9,12 +9,34 @@ benchmark harness go through it.
 
 from __future__ import annotations
 
+import time
+
 from repro.core.backward_induction import BackwardInduction
 from repro.core.equilibrium import StageUtilities, SwapEquilibrium
 from repro.core.parameters import SwapParameters
 from repro.core.strategy import AliceStrategy, BobStrategy
+from repro.obs.metrics import get_registry
 
 __all__ = ["solve_swap_game"]
+
+
+def observe_solver(solver: str, seconds: float) -> None:
+    """Record one full solver call into the active metrics registry.
+
+    Shared by the swap, collateral, and premium solvers so all three
+    land in the same ``repro_solver_*`` families, split by label.
+    """
+    registry = get_registry()
+    registry.counter(
+        "repro_solver_calls_total",
+        help="Full game solves, by solver kind.",
+        labelnames=("solver",),
+    ).inc(solver=solver)
+    registry.histogram(
+        "repro_solver_seconds",
+        help="Wall-clock duration of one full game solve.",
+        labelnames=("solver",),
+    ).observe(seconds, solver=solver)
 
 
 def solve_swap_game(params: SwapParameters, pstar: float) -> SwapEquilibrium:
@@ -34,6 +56,7 @@ def solve_swap_game(params: SwapParameters, pstar: float) -> SwapEquilibrium:
         Thresholds, regions, ``t1`` utilities, success rate and
         executable strategies.
     """
+    started = time.perf_counter()
     solver = BackwardInduction(params, pstar)
     region = solver.bob_t2_region()
     alice_t1 = StageUtilities(cont=solver.alice_t1_cont(), stop=solver.alice_t1_stop())
@@ -44,7 +67,7 @@ def solve_swap_game(params: SwapParameters, pstar: float) -> SwapEquilibrium:
         p3_threshold=solver.p3_threshold(),
     )
     bob_strategy = BobStrategy(t2_region=region)
-    return SwapEquilibrium(
+    equilibrium = SwapEquilibrium(
         params=params,
         pstar=float(pstar),
         p3_threshold=solver.p3_threshold(),
@@ -56,3 +79,5 @@ def solve_swap_game(params: SwapParameters, pstar: float) -> SwapEquilibrium:
         alice_strategy=alice_strategy,
         bob_strategy=bob_strategy,
     )
+    observe_solver("swap", time.perf_counter() - started)
+    return equilibrium

@@ -1,0 +1,63 @@
+"""Observability for the serving stack: metrics, tracing, logging.
+
+Dependency-free (stdlib only) and always-on cheap. The pieces:
+
+* :mod:`repro.obs.metrics` -- :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` instruments in a process-wide :class:`Registry`;
+  :class:`NullRegistry` makes every instrumented path a no-op;
+* :mod:`repro.obs.tracing` -- nested, wall-clock :func:`span` context
+  managers feeding the ``repro_stage_seconds`` histogram;
+* :mod:`repro.obs.exporters` -- Prometheus text and JSON renderings,
+  atomic :func:`write_metrics`;
+* :mod:`repro.obs.logging` -- structured JSON-lines event logging
+  (disabled by default).
+
+Quickstart::
+
+    from repro.obs import get_registry, span, to_prometheus_text
+
+    with span("sweep"):
+        service.sweep([1.8, 2.0, 2.2])
+    print(to_prometheus_text(get_registry()))
+
+The instrumented surfaces and their metric names are tabulated in the
+README ("Metrics & tracing").
+"""
+
+from repro.obs.exporters import to_json, to_prometheus_text, write_metrics
+from repro.obs.logging import JsonLinesLogger, NullLogger, get_logger, set_logger
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    NullRegistry,
+    Registry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.tracing import SPAN_METRIC, Span, current_span, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "NullRegistry",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "Span",
+    "span",
+    "current_span",
+    "SPAN_METRIC",
+    "to_prometheus_text",
+    "to_json",
+    "write_metrics",
+    "JsonLinesLogger",
+    "NullLogger",
+    "get_logger",
+    "set_logger",
+]

@@ -1,0 +1,124 @@
+"""Registry exporters: Prometheus text format and JSON.
+
+:func:`to_prometheus_text` renders the classic exposition format
+(text/plain version 0.0.4): ``# HELP`` / ``# TYPE`` headers, one sample
+per line, histograms expanded into cumulative ``_bucket{le=...}``
+series plus ``_sum`` / ``_count``. :func:`to_json` returns the plain
+``registry.snapshot()`` structure for programmatic consumers, and
+:func:`write_metrics` persists either format atomically (temp file +
+rename) so a scraper never reads a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.obs.metrics import Registry, get_registry
+
+__all__ = ["to_prometheus_text", "to_json", "write_metrics"]
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _label_str(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape(value)}"' for name, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def to_prometheus_text(registry: Optional[Registry] = None) -> str:
+    """Render every instrument in the Prometheus exposition format."""
+    registry = registry if registry is not None else get_registry()
+    lines = []
+    for inst in registry.instruments():
+        if inst.help:
+            lines.append(f"# HELP {inst.name} {_escape(inst.help)}")
+        lines.append(f"# TYPE {inst.name} {inst.kind}")
+        if inst.kind == "histogram":
+            for sample in inst.snapshot():
+                labels = sample["labels"]
+                count = sample["count"]
+                for bound, cum in sample["buckets"].items():
+                    lines.append(
+                        f"{inst.name}_bucket"
+                        f"{_label_str(labels, {'le': str(bound)})}"
+                        f" {cum}"
+                    )
+                lines.append(
+                    f"{inst.name}_bucket{_label_str(labels, {'le': '+Inf'})} {count}"
+                )
+                lines.append(
+                    f"{inst.name}_sum{_label_str(labels)} "
+                    f"{_format_value(sample['sum'])}"
+                )
+                lines.append(f"{inst.name}_count{_label_str(labels)} {count}")
+        else:
+            for sample in inst.snapshot():
+                lines.append(
+                    f"{inst.name}{_label_str(sample['labels'])} "
+                    f"{_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json(registry: Optional[Registry] = None, indent: Optional[int] = None) -> str:
+    """The registry snapshot as a JSON document."""
+    registry = registry if registry is not None else get_registry()
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def write_metrics(
+    path, registry: Optional[Registry] = None, format: str = "prometheus"
+) -> Path:
+    """Atomically write the registry to ``path`` in the given format.
+
+    ``format`` is ``"prometheus"`` (default) or ``"json"``. Returns the
+    path written.
+    """
+    if format == "prometheus":
+        payload = to_prometheus_text(registry)
+    elif format == "json":
+        payload = to_json(registry, indent=2) + "\n"
+    else:
+        raise ValueError(f"unknown metrics format {format!r}")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=".tmp-metrics-"
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target

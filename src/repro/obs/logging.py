@@ -1,0 +1,86 @@
+"""Structured JSON-lines logging.
+
+One event per line, machine-parseable, append-friendly::
+
+    {"ts": 1722855600.123, "event": "span", "span": "batch.execute", ...}
+
+The process-wide logger defaults to :class:`NullLogger` (drop
+everything): tracing and instrumentation are always safe to leave in
+the code. Install a :class:`JsonLinesLogger` to tee events to a stream
+or file -- ``repro-swaps batch --log-out events.jsonl`` does exactly
+that.
+
+Values must be JSON-encodable; anything that isn't is stringified
+rather than raising, because logging must never take down the request
+path.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from typing import IO, Optional
+
+__all__ = ["JsonLinesLogger", "NullLogger", "get_logger", "set_logger"]
+
+
+def _jsonable(value):
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+class NullLogger:
+    """Drops every event (the default)."""
+
+    def log(self, event: str, **fields: object) -> None:
+        """Discard the event."""
+
+
+class JsonLinesLogger:
+    """Writes one JSON object per event to a stream.
+
+    Thread-safe: concurrent ``log`` calls serialise on an internal lock
+    so lines never interleave.
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self.stream: IO[str] = stream if stream is not None else io.StringIO()
+        self._lock = threading.Lock()
+
+    def log(self, event: str, **fields: object) -> None:
+        """Emit ``{"ts": ..., "event": event, **fields}`` as one line."""
+        record = {"ts": time.time(), "event": event}
+        for key, value in fields.items():
+            record[key] = _jsonable(value)
+        line = json.dumps(record, separators=(",", ":"))
+        with self._lock:
+            self.stream.write(line + "\n")
+
+    def getvalue(self) -> str:
+        """Buffer contents when backed by a ``StringIO`` (tests)."""
+        if isinstance(self.stream, io.StringIO):
+            return self.stream.getvalue()
+        raise TypeError("getvalue() requires a StringIO-backed logger")
+
+
+_active = NullLogger()
+_lock = threading.Lock()
+
+
+def get_logger():
+    """The process-wide structured logger (Null by default)."""
+    return _active
+
+
+def set_logger(logger) -> object:
+    """Install ``logger`` process-wide; returns the previous one."""
+    global _active
+    with _lock:
+        previous = _active
+        _active = logger
+    return previous

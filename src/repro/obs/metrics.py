@@ -1,0 +1,373 @@
+"""Process-wide metric primitives: counters, gauges, histograms.
+
+Dependency-free observability for the serving stack. A
+:class:`Registry` owns named instruments; instruments are get-or-create
+(the same ``(name, labelnames)`` pair always yields the same object),
+label values address independent sample streams within one instrument,
+and every mutation is guarded by a per-instrument lock so concurrent
+increments from worker threads are never lost.
+
+A :class:`NullRegistry` hands out no-op instruments with the same
+interface -- the overhead-control arm of the service benchmark, and the
+opt-out for latency-critical embedders. The process-wide default lives
+behind :func:`get_registry` / :func:`set_registry` /
+:func:`use_registry`.
+
+Metric names follow Prometheus conventions (``repro_*_total`` for
+counters, ``_seconds`` for latency histograms); see
+:mod:`repro.obs.exporters` for the wire formats.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "NullRegistry",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]
+
+# Latency buckets in seconds: 10us .. 10s, roughly x4 apart. Solver
+# calls land mid-range, cache hits at the bottom, Monte Carlo at the top.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-5, 5e-5, 2.5e-4, 1e-3, 4e-3, 1.6e-2, 6.4e-2, 0.25, 1.0, 4.0, 10.0,
+)
+
+
+def _label_key(
+    labelnames: Tuple[str, ...], labels: Dict[str, str]
+) -> Tuple[str, ...]:
+    if not labels and not labelnames:
+        return ()
+    if len(labels) == len(labelnames):
+        try:
+            # same length + every labelname present => exactly equal sets
+            return tuple(str(labels[name]) for name in labelnames)
+        except KeyError:
+            pass
+    raise ValueError(
+        f"expected labels {sorted(labelnames)}, got {sorted(labels)}"
+    )
+
+
+class _Instrument:
+    """Shared plumbing: identity, lock, per-label-value sample map."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._samples: Dict[Tuple[str, ...], float] = {}
+
+    def _series(self) -> Dict[Tuple[str, ...], float]:
+        with self._lock:
+            if not self._samples and not self.labelnames:
+                return {(): 0.0}
+            return dict(self._samples)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """``[{"labels": {...}, "value": ...}, ...]`` for exporters."""
+        return [
+            {"labels": dict(zip(self.labelnames, key)), "value": value}
+            for key, value in sorted(self._series().items())
+        ]
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled sample."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current count of the labelled sample (0.0 if never touched)."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return self._samples.get(key, 0.0)
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (pool sizes, throughput)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set the labelled sample to ``value``."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._samples[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (may be negative) to the labelled sample."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        """Subtract ``amount`` from the labelled sample."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        """Current value of the labelled sample (0.0 if never set)."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return self._samples.get(key, 0.0)
+
+
+class Histogram(_Instrument):
+    """Bucketed distribution with cumulative-bucket Prometheus semantics."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(buckets if buckets is not None else DEFAULT_BUCKETS))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets: Tuple[float, ...] = bounds
+        # per label-key: [per-bucket counts..., +Inf count], sum
+        self._counts: Dict[Tuple[str, ...], List[int]] = {}
+        self._sums: Dict[Tuple[str, ...], float] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation into the labelled series."""
+        key = _label_key(self.labelnames, labels)
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = [0] * (len(self.buckets) + 1)
+                self._counts[key] = counts
+                self._sums[key] = 0.0
+            counts[index] += 1
+            self._sums[key] += value
+
+    def series(
+        self,
+    ) -> Dict[Tuple[str, ...], Tuple[List[int], float, int]]:
+        """Per-label ``(bucket_counts, sum, count)`` (non-cumulative)."""
+        with self._lock:
+            return {
+                key: (list(counts), self._sums[key], sum(counts))
+                for key, counts in self._counts.items()
+            }
+
+    def count(self, **labels: str) -> int:
+        """Total observations in the labelled series."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            counts = self._counts.get(key)
+            return sum(counts) if counts else 0
+
+    def sum(self, **labels: str) -> float:
+        """Sum of observations in the labelled series."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return self._sums.get(key, 0.0)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """Exporter view: cumulative buckets plus sum/count per series."""
+        out: List[Dict[str, object]] = []
+        for key, (counts, total, count) in sorted(self.series().items()):
+            cumulative: List[int] = []
+            running = 0
+            for c in counts:
+                running += c
+                cumulative.append(running)
+            out.append(
+                {
+                    "labels": dict(zip(self.labelnames, key)),
+                    "buckets": {
+                        str(bound): cum
+                        for bound, cum in zip(self.buckets, cumulative)
+                    },
+                    "sum": total,
+                    "count": count,
+                }
+            )
+        return out
+
+
+class Registry:
+    """A named collection of instruments with get-or-create access."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, _Instrument] = {}
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether this registry discards everything (see NullRegistry)."""
+        return False
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs):
+        # lock-free fast path: instruments are only ever added (reset()
+        # swaps the whole dict), so a hit here is always safe to validate
+        existing = self._instruments.get(name)
+        if existing is None:
+            with self._lock:
+                existing = self._instruments.get(name)
+                if existing is None:
+                    instrument = cls(
+                        name, help=help, labelnames=labelnames, **kwargs
+                    )
+                    self._instruments[name] = instrument
+                    return instrument
+        if not isinstance(existing, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{existing.kind}, requested {cls.kind}"
+            )
+        if tuple(labelnames) != existing.labelnames:
+            raise ValueError(
+                f"metric {name!r} registered with labels "
+                f"{existing.labelnames}, requested {tuple(labelnames)}"
+            )
+        return existing
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        """The counter called ``name``, created on first use."""
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def instruments(self) -> List[_Instrument]:
+        """Every registered instrument, sorted by name."""
+        with self._lock:
+            return [self._instruments[k] for k in sorted(self._instruments)]
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-safe view of every instrument (exporter substrate)."""
+        return {
+            inst.name: {
+                "type": inst.kind,
+                "help": inst.help,
+                "samples": inst.snapshot(),
+            }
+            for inst in self.instruments()
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and long-lived embedders)."""
+        with self._lock:
+            self._instruments = {}
+
+
+class _NullCounter(Counter):
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    def set(self, value: float, **labels: str) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    def observe(self, value: float, **labels: str) -> None:
+        pass
+
+
+class NullRegistry(Registry):
+    """Same interface, zero retention: every instrument is a no-op.
+
+    The control arm of the observability-overhead benchmark, and the
+    configuration for embedders that want the instrumented code paths
+    compiled out to near-nothing.
+    """
+
+    @property
+    def is_noop(self) -> bool:
+        return True
+
+    def counter(self, name, help="", labelnames=()):
+        return self._get_or_create(_NullCounter, name, help, labelnames)
+
+    def gauge(self, name, help="", labelnames=()):
+        return self._get_or_create(_NullGauge, name, help, labelnames)
+
+    def histogram(self, name, help="", labelnames=(), buckets=None):
+        return self._get_or_create(
+            _NullHistogram, name, help, labelnames, buckets=buckets
+        )
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {}
+
+
+_default_registry = Registry()
+_registry_lock = threading.Lock()
+_active: Registry = _default_registry
+
+
+def get_registry() -> Registry:
+    """The process-wide active registry (instrumented code reads this)."""
+    return _active
+
+
+def set_registry(registry: Registry) -> Registry:
+    """Install ``registry`` as the process-wide default; returns the old one."""
+    global _active
+    with _registry_lock:
+        previous = _active
+        _active = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: Registry) -> Iterator[Registry]:
+    """Temporarily swap the active registry (benchmarks, tests)."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -1,0 +1,100 @@
+"""Context-manager tracing spans with nesting and wall-clock timing.
+
+A :func:`span` measures one stage of a pipeline::
+
+    with span("batch.execute", stage="execute"):
+        pool.map(jobs)
+
+On exit the span records its duration into the active registry's
+``repro_stage_seconds`` histogram (labelled by span name) and, when a
+structured logger is installed (:mod:`repro.obs.logging`), emits one
+``span`` event with the full dotted path. Spans nest per thread: the
+path of a span opened inside another is ``outer.inner``, so traces read
+like call stacks without any global coordination.
+
+The accounting is wall-clock (``time.perf_counter``), which is the
+quantity the serving stack optimises for; CPU-time attribution is out
+of scope.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterator, List, Optional
+
+from contextlib import contextmanager
+
+from repro.obs.metrics import Registry, get_registry
+
+__all__ = ["Span", "span", "current_span", "SPAN_METRIC"]
+
+SPAN_METRIC = "repro_stage_seconds"
+
+_stack = threading.local()
+
+
+def _spans() -> List["Span"]:
+    stack = getattr(_stack, "spans", None)
+    if stack is None:
+        stack = []
+        _stack.spans = stack
+    return stack
+
+
+def current_span() -> Optional["Span"]:
+    """The innermost open span on this thread, or ``None``."""
+    stack = _spans()
+    return stack[-1] if stack else None
+
+
+class Span:
+    """One timed stage; use via the :func:`span` context manager."""
+
+    __slots__ = ("name", "path", "start", "duration", "registry", "_entered")
+
+    def __init__(self, name: str, registry: Optional[Registry] = None) -> None:
+        self.name = name
+        self.path = name
+        self.start = 0.0
+        self.duration: Optional[float] = None
+        self.registry = registry
+        self._entered = False
+
+    def __enter__(self) -> "Span":
+        stack = _spans()
+        parent = stack[-1] if stack else None
+        if parent is not None:
+            self.path = f"{parent.path}.{self.name}"
+        stack.append(self)
+        self._entered = True
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = time.perf_counter() - self.start
+        stack = _spans()
+        if self._entered and stack and stack[-1] is self:
+            stack.pop()
+        registry = self.registry if self.registry is not None else get_registry()
+        registry.histogram(
+            SPAN_METRIC,
+            help="Wall-clock duration of traced pipeline stages.",
+            labelnames=("stage",),
+        ).observe(self.duration, stage=self.name)
+        from repro.obs.logging import get_logger
+
+        get_logger().log(
+            "span",
+            span=self.path,
+            seconds=self.duration,
+            ok=exc_type is None,
+        )
+
+
+@contextmanager
+def span(name: str, registry: Optional[Registry] = None) -> Iterator[Span]:
+    """Open a timed span named ``name`` (nests within any open span)."""
+    record = Span(name, registry=registry)
+    with record:
+        yield record

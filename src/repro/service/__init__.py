@@ -33,6 +33,7 @@ from repro.service.errors import (
     RequestTimeoutError,
     RequestValidationError,
     ServiceError,
+    ServiceErrorInfo,
     SolveFailedError,
     WorkerCrashedError,
     error_payload,
@@ -51,6 +52,7 @@ __all__ = [
     "DiskCache",
     "TieredCache",
     "ServiceError",
+    "ServiceErrorInfo",
     "RequestValidationError",
     "SolveFailedError",
     "RequestTimeoutError",

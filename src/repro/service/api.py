@@ -24,8 +24,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.parameters import SwapParameters
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
 from repro.service.cache import TieredCache
-from repro.service.errors import RequestValidationError, ServiceError, error_payload
+from repro.service.errors import (
+    RequestValidationError,
+    ServiceError,
+    ServiceErrorInfo,
+)
 from repro.service.executor import Result, WorkerPool
 from repro.service.keys import derive_seed, request_key
 from repro.service.requests import Request, SolveRequest, ValidateRequest
@@ -40,17 +46,16 @@ class BatchItem:
     key: str
     ok: bool
     value: Optional[Result] = None
-    error: Optional[Dict[str, str]] = None
+    error: Optional[ServiceErrorInfo] = None
     cached: bool = False
 
     def unwrap(self) -> Result:
         """The value, or a :class:`ServiceError` re-raised for callers
         that treat any failure as fatal (the analysis sweeps do)."""
-        if not self.ok:
-            raise ServiceError(
-                f"{self.error['code']}: {self.error['message']}"  # type: ignore[index]
-            )
-        return self.value  # type: ignore[return-value]
+        if self.error is not None:
+            self.error.raise_()
+        assert self.value is not None
+        return self.value
 
 
 class SwapService:
@@ -91,28 +96,50 @@ class SwapService:
         are served without touching the pool, and failures come back as
         per-item typed errors in request order.
         """
-        keys = [request_key(request) for request in requests]
+        registry = get_registry()
+        registry.counter(
+            "repro_batches_total", help="Batches served by SwapService."
+        ).inc()
+        registry.counter(
+            "repro_batch_requests_total",
+            help="Requests received across all batches.",
+        ).inc(len(requests))
+
+        with span("batch.canonicalise"):
+            keys = [request_key(request) for request in requests]
 
         jobs: List[tuple] = []  # (key, request, seed)
         scheduled = set()
         resolved: Dict[str, Union[Result, ServiceError]] = {}
         from_cache = set()
-        for key, request in zip(keys, requests):
-            if key in scheduled or key in resolved:
-                continue
-            hit = self._cache.get(key)
-            if hit is not None:
-                resolved[key] = hit
-                from_cache.add(key)
-                continue
-            seed = None
-            if isinstance(request, ValidateRequest):
-                seed = request.seed if request.seed is not None else derive_seed(key)
-            jobs.append((key, request, seed))
-            scheduled.add(key)
+        with span("batch.cache_lookup"):
+            for key, request in zip(keys, requests):
+                if key in scheduled or key in resolved:
+                    continue
+                hit = self._cache.get(key)
+                if hit is not None:
+                    resolved[key] = hit
+                    from_cache.add(key)
+                    continue
+                seed = None
+                if isinstance(request, ValidateRequest):
+                    seed = (
+                        request.seed
+                        if request.seed is not None
+                        else derive_seed(key)
+                    )
+                jobs.append((key, request, seed))
+                scheduled.add(key)
+        registry.counter(
+            "repro_batch_deduped_total",
+            help="Requests collapsed onto an identical in-batch computation.",
+        ).inc(len(requests) - len(scheduled) - len(from_cache))
 
         if jobs:
-            outcomes = self._pool.map([(request, seed) for _, request, seed in jobs])
+            with span("batch.execute"):
+                outcomes = self._pool.map(
+                    [(request, seed) for _, request, seed in jobs]
+                )
             for (key, _request, _seed), outcome in zip(jobs, outcomes):
                 resolved[key] = outcome
                 if not isinstance(outcome, ServiceError):
@@ -123,7 +150,11 @@ class SwapService:
             outcome = resolved[key]
             if isinstance(outcome, ServiceError):
                 items.append(
-                    BatchItem(key=key, ok=False, error=error_payload(outcome))
+                    BatchItem(
+                        key=key,
+                        ok=False,
+                        error=ServiceErrorInfo.from_exception(outcome),
+                    )
                 )
             else:
                 items.append(

@@ -7,8 +7,10 @@ processes, one ``<key>.json`` file per entry, written atomically.
 Keys are the canonical request hashes of :mod:`repro.service.keys`,
 so a disk entry is valid exactly as long as its schema version is.
 
-All counters are exposed via :class:`CacheStats`; a warm Figure-6
-sweep should show essentially only hits.
+All counters are exposed via :class:`CacheStats` and mirrored into the
+active :mod:`repro.obs` registry (``repro_cache_*_total{tier=...}``,
+plus ``repro_cache_disk_seconds{op=read|write}`` latency histograms);
+a warm Figure-6 sweep should show essentially only hits.
 """
 
 from __future__ import annotations
@@ -16,14 +18,48 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.obs.metrics import get_registry
 from repro.service.serialize import decode_result, encode_result
 
 __all__ = ["CacheStats", "LRUCache", "DiskCache", "TieredCache"]
+
+
+class _CacheMetrics:
+    """The registry instruments of one cache tier, bound once."""
+
+    def __init__(self, tier: str) -> None:
+        registry = get_registry()
+        self.tier = tier
+        self.hits = registry.counter(
+            "repro_cache_hits_total",
+            help="Cache lookups served from this tier.",
+            labelnames=("tier",),
+        )
+        self.misses = registry.counter(
+            "repro_cache_misses_total",
+            help="Cache lookups this tier could not serve.",
+            labelnames=("tier",),
+        )
+        self.evictions = registry.counter(
+            "repro_cache_evictions_total",
+            help="Entries evicted from this tier.",
+            labelnames=("tier",),
+        )
+        self.puts = registry.counter(
+            "repro_cache_puts_total",
+            help="Entries written into this tier.",
+            labelnames=("tier",),
+        )
+        # materialise zero-valued series so exporters always show the
+        # family for a constructed tier, even before any traffic
+        for counter in (self.hits, self.misses, self.evictions, self.puts):
+            counter.inc(0, tier=tier)
 
 
 @dataclass
@@ -53,6 +89,7 @@ class LRUCache:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = int(maxsize)
         self.stats = CacheStats()
+        self._metrics = _CacheMetrics("memory")
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
 
     def __len__(self) -> int:
@@ -65,8 +102,10 @@ class LRUCache:
         """The cached value, refreshed to most-recent, or ``None``."""
         if key not in self._entries:
             self.stats.misses += 1
+            self._metrics.misses.inc(tier="memory")
             return None
         self.stats.hits += 1
+        self._metrics.hits.inc(tier="memory")
         self._entries.move_to_end(key)
         return self._entries[key]
 
@@ -76,9 +115,11 @@ class LRUCache:
             self._entries.move_to_end(key)
         self._entries[key] = value
         self.stats.puts += 1
+        self._metrics.puts.inc(tier="memory")
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            self._metrics.evictions.inc(tier="memory")
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
@@ -97,6 +138,12 @@ class DiskCache:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
+        self._metrics = _CacheMetrics("disk")
+        self._io_seconds = get_registry().histogram(
+            "repro_cache_disk_seconds",
+            help="Wall-clock duration of disk-tier reads and writes.",
+            labelnames=("op",),
+        )
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -107,22 +154,28 @@ class DiskCache:
     def get(self, key: str) -> Optional[Any]:
         """Decode the stored result, or ``None`` on miss/corruption."""
         path = self._path(key)
+        started = time.perf_counter()
         try:
             with path.open("r", encoding="utf-8") as handle:
                 payload = json.load(handle)
             value = decode_result(payload["result"])
         except FileNotFoundError:
             self.stats.misses += 1
+            self._metrics.misses.inc(tier="disk")
             return None
         except (KeyError, TypeError, ValueError, json.JSONDecodeError):
             self.stats.misses += 1
+            self._metrics.misses.inc(tier="disk")
             return None
+        self._io_seconds.observe(time.perf_counter() - started, op="read")
         self.stats.hits += 1
+        self._metrics.hits.inc(tier="disk")
         return value
 
     def put(self, key: str, value: Any) -> None:
         """Atomically persist ``value`` under ``key``."""
         payload = {"key": key, "result": encode_result(value)}
+        started = time.perf_counter()
         descriptor, tmp_name = tempfile.mkstemp(
             dir=self.directory, prefix=".tmp-", suffix=".json"
         )
@@ -136,7 +189,9 @@ class DiskCache:
             except OSError:
                 pass
             raise
+        self._io_seconds.observe(time.perf_counter() - started, op="write")
         self.stats.puts += 1
+        self._metrics.puts.inc(tier="disk")
 
 
 @dataclass

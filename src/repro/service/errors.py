@@ -2,13 +2,18 @@
 
 Every failure a batch can observe maps to one exception class with a
 stable ``code`` string. The batch API never lets one bad request kill
-the rest: exceptions are caught per request and surfaced as structured
-``{"code", "message"}`` payloads (see :func:`error_payload`), which is
-also the wire format the ``repro-swaps batch`` command emits.
+the rest: exceptions are caught per request and surfaced as frozen
+:class:`ServiceErrorInfo` records (``code``, ``message``,
+``retryable``). On the wire -- the ``repro-swaps batch`` output -- an
+error still serialises to the historical ``{"code", "message"}`` dict,
+so existing consumers parse new output unchanged; ``retryable`` is an
+in-process hint (timeouts and worker crashes are safe to resubmit,
+validation and solver failures are deterministic and are not).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict
 
 __all__ = [
@@ -17,6 +22,7 @@ __all__ = [
     "SolveFailedError",
     "RequestTimeoutError",
     "WorkerCrashedError",
+    "ServiceErrorInfo",
     "error_payload",
 ]
 
@@ -25,6 +31,7 @@ class ServiceError(Exception):
     """Base class; ``code`` identifies the failure kind on the wire."""
 
     code = "service_error"
+    retryable = False
 
 
 class RequestValidationError(ServiceError):
@@ -43,15 +50,68 @@ class RequestTimeoutError(ServiceError):
     """The request exceeded the executor's per-request timeout."""
 
     code = "timeout"
+    retryable = True
 
 
 class WorkerCrashedError(ServiceError):
     """A pool worker died (OOM, signal) before returning a result."""
 
     code = "worker_crashed"
+    retryable = True
+
+
+@dataclass(frozen=True)
+class ServiceErrorInfo:
+    """Structured description of one failed request.
+
+    The typed counterpart of the old ``{"code", "message"}`` payload
+    dict: ``code`` is the stable machine-readable kind, ``message`` the
+    human detail, ``retryable`` whether resubmitting the identical
+    request can succeed (transient infrastructure failures) or is
+    pointless (deterministic rejections).
+    """
+
+    code: str
+    message: str
+    retryable: bool = False
+
+    @staticmethod
+    def from_exception(exc: BaseException) -> "ServiceErrorInfo":
+        """Classify any exception into an error record."""
+        if isinstance(exc, ServiceError):
+            return ServiceErrorInfo(
+                code=exc.code,
+                message=str(exc) or exc.__class__.__name__,
+                retryable=exc.retryable,
+            )
+        return ServiceErrorInfo(
+            code="internal_error",
+            message=str(exc) or exc.__class__.__name__,
+            retryable=False,
+        )
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "ServiceErrorInfo":
+        """Rebuild from a wire dict (inverse of :meth:`to_dict`)."""
+        return ServiceErrorInfo(
+            code=str(data["code"]),
+            message=str(data["message"]),
+            retryable=bool(data.get("retryable", False)),
+        )
+
+    def to_dict(self) -> Dict[str, str]:
+        """The wire form -- exactly the historical two-key payload."""
+        return {"code": self.code, "message": self.message}
+
+    def raise_(self) -> None:
+        """Re-raise as a :class:`ServiceError` (``BatchItem.unwrap``)."""
+        raise ServiceError(f"{self.code}: {self.message}")
 
 
 def error_payload(exc: BaseException) -> Dict[str, str]:
-    """The structured ``{"code", "message"}`` form of any exception."""
-    code = exc.code if isinstance(exc, ServiceError) else "internal_error"
-    return {"code": code, "message": str(exc) or exc.__class__.__name__}
+    """The ``{"code", "message"}`` wire dict of any exception.
+
+    Thin shim over :meth:`ServiceErrorInfo.from_exception` kept for the
+    pre-existing callers; new code should use the dataclass directly.
+    """
+    return ServiceErrorInfo.from_exception(exc).to_dict()

@@ -16,10 +16,18 @@ dispatch -- the explicit ``seed`` if given, else
 :func:`repro.service.keys.derive_seed` of the request key -- so the
 parallel execution draws exactly the paths the serial one does,
 regardless of worker scheduling.
+
+Observability: every mapped job lands in the active registry --
+``repro_pool_tasks_total{outcome=ok|error|timeout|crashed}``,
+``repro_pool_task_seconds`` (in-worker execution time, reported back
+through :func:`_timed_execute`), ``repro_pool_queue_seconds`` (dispatch
+wall-clock minus execution time: pickling + waiting for a free worker),
+and the ``repro_pool_workers`` / ``repro_pool_inflight`` gauges.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
@@ -33,6 +41,7 @@ from repro.core.collateral import (
 )
 from repro.core.equilibrium import SwapEquilibrium
 from repro.core.solver import solve_swap_game
+from repro.obs.metrics import get_registry
 from repro.service.errors import (
     RequestTimeoutError,
     ServiceError,
@@ -106,6 +115,68 @@ def execute_request(request: Request, seed: Optional[int] = None) -> Result:
     raise SolveFailedError(f"unsupported request type {type(request).__name__}")
 
 
+def _timed_execute(
+    request: Request, seed: Optional[int]
+) -> Tuple[Union[Result, ServiceError], float]:
+    """Pool entry point: ``(outcome, in-worker seconds)``.
+
+    Catching the :class:`ServiceError` here (instead of letting it
+    propagate through the future) keeps the execution time attached, so
+    the parent can split dispatch wall-clock into queue vs work even
+    for failed requests.
+    """
+    started = time.perf_counter()
+    try:
+        outcome: Union[Result, ServiceError] = execute_request(request, seed)
+    except ServiceError as exc:
+        outcome = exc
+    return outcome, time.perf_counter() - started
+
+
+class _PoolMetrics:
+    """The worker pool's registry instruments, bound once."""
+
+    def __init__(self) -> None:
+        registry = get_registry()
+        self.tasks = registry.counter(
+            "repro_pool_tasks_total",
+            help="Jobs mapped over the pool, by outcome.",
+            labelnames=("outcome",),
+        )
+        self.task_seconds = registry.histogram(
+            "repro_pool_task_seconds",
+            help="In-worker execution time of one job.",
+        )
+        self.queue_seconds = registry.histogram(
+            "repro_pool_queue_seconds",
+            help="Dispatch wall-clock minus in-worker time (pickling + wait).",
+        )
+        self.workers = registry.gauge(
+            "repro_pool_workers",
+            help="Configured pool size (1 = serial in-process).",
+        )
+        self.inflight = registry.gauge(
+            "repro_pool_inflight",
+            help="Jobs currently being mapped.",
+        )
+
+    def record(self, outcome: str, task_s: float, queue_s: float) -> None:
+        self.tasks.inc(outcome=outcome)
+        self.task_seconds.observe(task_s)
+        if queue_s > 0.0:
+            self.queue_seconds.observe(queue_s)
+
+
+def _outcome_label(outcome: Union[Result, ServiceError]) -> str:
+    if isinstance(outcome, RequestTimeoutError):
+        return "timeout"
+    if isinstance(outcome, WorkerCrashedError):
+        return "crashed"
+    if isinstance(outcome, ServiceError):
+        return "error"
+    return "ok"
+
+
 class WorkerPool:
     """Map :func:`execute_request` over jobs, serially or in processes.
 
@@ -128,6 +199,8 @@ class WorkerPool:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = int(max_workers)
         self.timeout = timeout
+        self._metrics = _PoolMetrics()
+        self._metrics.workers.set(self.max_workers)
 
     def map(
         self, jobs: Sequence[Tuple[Request, Optional[int]]]
@@ -138,44 +211,58 @@ class WorkerPool:
         typed :class:`ServiceError` describing the failure. Never
         raises for a per-request failure.
         """
-        if self.max_workers <= 1 or len(jobs) <= 1:
-            return [self._run_serial(request, seed) for request, seed in jobs]
+        self._metrics.inflight.inc(len(jobs))
+        try:
+            if self.max_workers <= 1 or len(jobs) <= 1:
+                return [self._run_serial(request, seed) for request, seed in jobs]
+            return self._run_pooled(jobs)
+        finally:
+            self._metrics.inflight.dec(len(jobs))
+
+    def _run_pooled(
+        self, jobs: Sequence[Tuple[Request, Optional[int]]]
+    ) -> List[Union[Result, ServiceError]]:
         out: List[Union[Result, ServiceError]] = [None] * len(jobs)  # type: ignore[list-item]
         pool = ProcessPoolExecutor(max_workers=self.max_workers)
         timed_out = False
         try:
+            submitted = time.perf_counter()
             futures = {
-                index: pool.submit(execute_request, request, seed)
+                index: pool.submit(_timed_execute, request, seed)
                 for index, (request, seed) in enumerate(jobs)
             }
             for index, future in futures.items():
                 try:
-                    out[index] = future.result(timeout=self.timeout)
-                except ServiceError as exc:
-                    out[index] = exc
+                    outcome, task_s = future.result(timeout=self.timeout)
+                    out[index] = outcome
+                    wall = time.perf_counter() - submitted
+                    self._metrics.record(
+                        _outcome_label(outcome), task_s, wall - task_s
+                    )
                 except FutureTimeoutError:
                     future.cancel()
                     timed_out = True
                     out[index] = RequestTimeoutError(
                         f"request exceeded {self.timeout:g}s"
                     )
+                    self._metrics.record("timeout", float(self.timeout), 0.0)
                 except BrokenExecutor as exc:
                     out[index] = WorkerCrashedError(str(exc) or "worker pool broke")
+                    self._metrics.tasks.inc(outcome="crashed")
                 except Exception as exc:  # unpicklable result, BrokenPipe, ...
                     out[index] = WorkerCrashedError(
                         f"{exc.__class__.__name__}: {exc}"
                     )
+                    self._metrics.tasks.inc(outcome="crashed")
         finally:
             # after a timeout, don't block shutdown on the abandoned
             # worker; it is orphaned and reaped at interpreter exit
             pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
         return out
 
-    @staticmethod
     def _run_serial(
-        request: Request, seed: Optional[int]
+        self, request: Request, seed: Optional[int]
     ) -> Union[Result, ServiceError]:
-        try:
-            return execute_request(request, seed)
-        except ServiceError as exc:
-            return exc
+        outcome, task_s = _timed_execute(request, seed)
+        self._metrics.record(_outcome_label(outcome), task_s, 0.0)
+        return outcome

@@ -96,9 +96,14 @@ def empirical_success_rate(
     antithetic: bool = False,
 ) -> MonteCarloResult:
     """Empirical SR (completed / initiated) over ``n_paths`` episodes."""
+    import time
+
+    from repro.obs.metrics import get_registry
+
     if n_paths < 1:
         raise ValueError(f"n_paths must be >= 1, got {n_paths}")
     rng = RandomState(seed)
+    mc_started = time.perf_counter()
 
     if protocol_level:
         alice, bob = rational_pair(params, pstar, collateral=collateral)
@@ -124,6 +129,26 @@ def empirical_success_rate(
         n_initiated, n_completed, _total = _strategy_level_counts(
             params, pstar, collateral, n_paths, rng, antithetic
         )
+
+    elapsed = time.perf_counter() - mc_started
+    level = "protocol" if protocol_level else "strategy"
+    registry = get_registry()
+    registry.counter(
+        "repro_mc_paths_total",
+        help="Monte Carlo episodes simulated, by fidelity level.",
+        labelnames=("level",),
+    ).inc(n_paths, level=level)
+    registry.histogram(
+        "repro_mc_run_seconds",
+        help="Wall-clock duration of one Monte Carlo batch.",
+        labelnames=("level",),
+    ).observe(elapsed, level=level)
+    if elapsed > 0.0:
+        registry.gauge(
+            "repro_mc_paths_per_second",
+            help="Throughput of the most recent Monte Carlo batch.",
+            labelnames=("level",),
+        ).set(n_paths / elapsed, level=level)
 
     if n_initiated == 0:
         return MonteCarloResult(

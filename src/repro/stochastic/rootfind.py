@@ -78,8 +78,31 @@ def bracketed_root(
     xtol: float = 1e-12,
     rtol: float = 1e-12,
 ) -> float:
-    """Brent's method on a bracket known to contain a root."""
-    return float(brentq(f, lo, hi, xtol=xtol, rtol=rtol))
+    """Brent's method on a bracket known to contain a root.
+
+    Convergence effort is recorded in the active metrics registry:
+    ``repro_rootfind_calls_total``, ``repro_rootfind_iterations_total``
+    and ``repro_rootfind_function_calls_total`` (Brent's own counts),
+    so a sweep's root-finding cost is directly observable.
+    """
+    from repro.obs.metrics import get_registry
+
+    root, info = brentq(f, lo, hi, xtol=xtol, rtol=rtol, full_output=True)
+    registry = get_registry()
+    registry.counter(
+        "repro_rootfind_calls_total", help="Bracketed Brent root solves."
+    ).inc()
+    # scipy can report an uninitialised (negative) iteration count when
+    # Brent converges on the first probe; clamp before counting
+    registry.counter(
+        "repro_rootfind_iterations_total",
+        help="Brent iterations across all root solves.",
+    ).inc(max(int(info.iterations), 0))
+    registry.counter(
+        "repro_rootfind_function_calls_total",
+        help="Objective evaluations across all root solves.",
+    ).inc(max(int(info.function_calls), 0))
+    return float(root)
 
 
 def find_all_roots(

@@ -1,0 +1,137 @@
+"""Tests for the CLI observability surface: ``--json`` envelopes,
+``batch --metrics-out`` / ``--log-out``, and the ``stats`` subcommand."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+def _write_requests(tmp_path, lines):
+    path = tmp_path / "requests.jsonl"
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return str(path)
+
+
+def _envelope(capsys):
+    out = capsys.readouterr().out.splitlines()
+    assert len(out) == 1, "json mode must emit exactly one envelope line"
+    envelope = json.loads(out[0])
+    assert set(envelope) == {"ok", "result", "error"}
+    return envelope
+
+
+class TestJsonEnvelope:
+    def test_solve_success(self, capsys):
+        assert main(["solve", "--pstar", "2.0", "--json"]) == 0
+        envelope = _envelope(capsys)
+        assert envelope["ok"] is True
+        assert envelope["error"] is None
+        assert "Swap game at P*" in envelope["result"]
+
+    def test_solve_failure(self, capsys):
+        assert main(["solve", "--pstar", "-3", "--json"]) == 2
+        envelope = _envelope(capsys)
+        assert envelope["ok"] is False
+        assert envelope["result"] is None
+        assert envelope["error"]["code"] == "invalid_request"
+        assert "pstar" in envelope["error"]["message"]
+
+    def test_artifact_command(self, capsys):
+        assert main(["table3", "--json"]) == 0
+        envelope = _envelope(capsys)
+        assert envelope["ok"] is True
+        assert "sigma" in envelope["result"]
+
+    def test_batch_envelope_wraps_records(self, capsys, tmp_path):
+        path = _write_requests(tmp_path, ['{"kind": "solve", "pstar": 2.0}'])
+        assert main(["batch", path, "--json"]) == 0
+        envelope = _envelope(capsys)
+        assert envelope["ok"] is True
+        [record] = envelope["result"]
+        assert record["ok"] and record["kind"] == "solve"
+
+    def test_batch_envelope_not_ok_on_parse_error(self, capsys, tmp_path):
+        path = _write_requests(tmp_path, ["not json"])
+        assert main(["batch", path, "--json"]) == 1
+        envelope = _envelope(capsys)
+        assert envelope["ok"] is False
+        assert envelope["result"][0]["error"]["code"] == "parse_error"
+
+    def test_missing_file_failure_envelope(self, capsys, tmp_path):
+        assert main(["batch", str(tmp_path / "absent.jsonl"), "--json"]) == 2
+        envelope = _envelope(capsys)
+        assert envelope["ok"] is False
+        assert envelope["error"]["code"] == "invalid_value"
+
+    def test_plain_mode_unchanged_by_flag_absence(self, capsys, tmp_path):
+        path = _write_requests(tmp_path, ['{"kind": "solve", "pstar": 2.0}'])
+        assert main(["batch", path]) == 0
+        [line] = capsys.readouterr().out.splitlines()
+        record = json.loads(line)
+        # historical per-line shape, not the envelope
+        assert "line" in record and "key" in record
+
+
+class TestMetricsOut:
+    def test_writes_expected_families(self, capsys, tmp_path):
+        path = _write_requests(
+            tmp_path,
+            [
+                '{"kind": "solve", "pstar": 2.0}',
+                '{"kind": "solve", "pstar": 2.0}',
+                '{"kind": "validate", "pstar": 2.0, "n_paths": 1000, "seed": 1}',
+            ],
+        )
+        metrics = tmp_path / "metrics.prom"
+        assert main(["batch", path, "--metrics-out", str(metrics)]) == 0
+        text = metrics.read_text(encoding="utf-8")
+        for family in (
+            "repro_batches_total",
+            "repro_cache_hits_total",
+            "repro_cache_misses_total",
+            "repro_stage_seconds_bucket",
+            "repro_pool_tasks_total",
+            "repro_solver_calls_total",
+            "repro_mc_paths_total",
+        ):
+            assert family in text, f"{family} missing from --metrics-out file"
+        assert 'repro_cache_hits_total{tier="memory"}' in text
+
+    def test_log_out_appends_span_events(self, capsys, tmp_path):
+        path = _write_requests(tmp_path, ['{"kind": "solve", "pstar": 2.0}'])
+        log = tmp_path / "events.jsonl"
+        assert main(["batch", path, "--log-out", str(log)]) == 0
+        events = [
+            json.loads(line)
+            for line in log.read_text(encoding="utf-8").splitlines()
+        ]
+        assert events, "expected at least one trace event"
+        spans = {e["span"] for e in events if e["event"] == "span"}
+        assert "batch.execute" in spans
+
+
+class TestStatsCommand:
+    def test_prints_prometheus_after_serving(self, capsys, tmp_path):
+        path = _write_requests(tmp_path, ['{"kind": "solve", "pstar": 2.0}'])
+        assert main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_batches_total counter" in out
+        assert "repro_solver_calls_total" in out
+
+    def test_json_format(self, capsys, tmp_path):
+        path = _write_requests(tmp_path, ['{"kind": "solve", "pstar": 2.0}'])
+        assert main(["stats", path, "--format", "json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["repro_batches_total"]["type"] == "counter"
+
+    def test_json_flag_wraps_snapshot(self, capsys, tmp_path):
+        path = _write_requests(tmp_path, ['{"kind": "solve", "pstar": 2.0}'])
+        assert main(["stats", path, "--json"]) == 0
+        envelope = _envelope(capsys)
+        assert envelope["ok"] is True
+        assert "repro_batches_total" in envelope["result"]
+
+    def test_runs_without_input(self, capsys):
+        assert main(["stats"]) == 0  # snapshot of whatever the process has

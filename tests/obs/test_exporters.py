@@ -1,0 +1,98 @@
+"""Units for the Prometheus-text and JSON exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.exporters import to_json, to_prometheus_text, write_metrics
+from repro.obs.metrics import Registry
+
+
+def _registry_with_traffic() -> Registry:
+    r = Registry()
+    r.counter(
+        "repro_demo_total", help="Demo counter.", labelnames=("tier",)
+    ).inc(3, tier="memory")
+    r.gauge("repro_workers", help="Demo gauge.").set(4)
+    r.histogram(
+        "repro_demo_seconds", help="Demo histogram.", buckets=(0.1, 1.0)
+    ).observe(0.5)
+    return r
+
+
+class TestPrometheusText:
+    def test_help_and_type_headers(self):
+        text = to_prometheus_text(_registry_with_traffic())
+        assert "# HELP repro_demo_total Demo counter." in text
+        assert "# TYPE repro_demo_total counter" in text
+        assert "# TYPE repro_workers gauge" in text
+        assert "# TYPE repro_demo_seconds histogram" in text
+
+    def test_counter_and_gauge_samples(self):
+        text = to_prometheus_text(_registry_with_traffic())
+        assert 'repro_demo_total{tier="memory"} 3' in text
+        assert "repro_workers 4" in text
+
+    def test_histogram_expansion_is_cumulative(self):
+        lines = to_prometheus_text(_registry_with_traffic()).splitlines()
+        assert 'repro_demo_seconds_bucket{le="0.1"} 0' in lines
+        assert 'repro_demo_seconds_bucket{le="1.0"} 1' in lines
+        assert 'repro_demo_seconds_bucket{le="+Inf"} 1' in lines
+        assert "repro_demo_seconds_sum 0.5" in lines
+        assert "repro_demo_seconds_count 1" in lines
+
+    def test_label_values_are_escaped(self):
+        r = Registry()
+        r.counter("c_total", labelnames=("path",)).inc(path='a"b\\c\nd')
+        text = to_prometheus_text(r)
+        assert 'c_total{path="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus_text(Registry()) == ""
+
+    def test_unlabelled_counter_exports_zero_sample(self):
+        r = Registry()
+        r.counter("c_total")
+        assert "c_total 0" in to_prometheus_text(r).splitlines()
+
+
+class TestJsonExport:
+    def test_round_trips_through_json(self):
+        payload = json.loads(to_json(_registry_with_traffic()))
+        assert payload["repro_demo_total"]["type"] == "counter"
+        [sample] = payload["repro_demo_total"]["samples"]
+        assert sample["labels"] == {"tier": "memory"}
+        assert sample["value"] == 3
+
+    def test_indent_passthrough(self):
+        assert "\n" in to_json(_registry_with_traffic(), indent=2)
+
+
+class TestWriteMetrics:
+    def test_writes_prometheus_file(self, tmp_path):
+        target = write_metrics(
+            tmp_path / "metrics.prom", registry=_registry_with_traffic()
+        )
+        text = target.read_text(encoding="utf-8")
+        assert text.endswith("\n")
+        assert 'repro_demo_total{tier="memory"} 3' in text
+
+    def test_writes_json_file(self, tmp_path):
+        target = write_metrics(
+            tmp_path / "metrics.json",
+            registry=_registry_with_traffic(),
+            format="json",
+        )
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert "repro_demo_seconds" in payload
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_metrics(tmp_path / "x", registry=Registry(), format="xml")
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        write_metrics(tmp_path / "metrics.prom", registry=Registry())
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert leftovers == ["metrics.prom"]

@@ -1,0 +1,177 @@
+"""Units for the metric primitives and the registry."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    NullRegistry,
+    Registry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Registry().counter("c_total")
+        assert c.value() == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_rejects_negative_increments(self):
+        c = Registry().counter("c_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labelled_samples_are_independent(self):
+        c = Registry().counter("c_total", labelnames=("tier",))
+        c.inc(tier="memory")
+        c.inc(3, tier="disk")
+        assert c.value(tier="memory") == 1.0
+        assert c.value(tier="disk") == 3.0
+
+    def test_wrong_labels_rejected(self):
+        c = Registry().counter("c_total", labelnames=("tier",))
+        with pytest.raises(ValueError):
+            c.inc(wrong="x")
+        with pytest.raises(ValueError):
+            c.inc()  # missing label
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Registry().gauge("g")
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 3.0
+
+    def test_can_go_negative(self):
+        g = Registry().gauge("g")
+        g.dec(5)
+        assert g.value() == -5.0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        h = Registry().histogram("h_seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        [sample] = h.snapshot()
+        assert sample["count"] == 3
+        assert sample["sum"] == pytest.approx(5.55)
+        # cumulative semantics: le=0.1 -> 1, le=1.0 -> 2 (+Inf via count)
+        assert sample["buckets"]["0.1"] == 1
+        assert sample["buckets"]["1.0"] == 2
+
+    def test_boundary_value_counts_in_its_bucket(self):
+        h = Registry().histogram("h_seconds", buckets=(1.0,))
+        h.observe(1.0)  # le="1.0" is inclusive, Prometheus-style
+        [sample] = h.snapshot()
+        assert sample["buckets"]["1.0"] == 1
+
+    def test_count_and_sum_accessors(self):
+        h = Registry().histogram("h_seconds", buckets=(1.0,), labelnames=("op",))
+        h.observe(0.25, op="read")
+        h.observe(0.5, op="read")
+        assert h.count(op="read") == 2
+        assert h.sum(op="read") == pytest.approx(0.75)
+        assert h.count(op="write") == 0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        r = Registry()
+        assert r.counter("x_total") is r.counter("x_total")
+
+    def test_kind_mismatch_rejected(self):
+        r = Registry()
+        r.counter("x")
+        with pytest.raises(ValueError):
+            r.gauge("x")
+
+    def test_label_mismatch_rejected(self):
+        r = Registry()
+        r.counter("x", labelnames=("a",))
+        with pytest.raises(ValueError):
+            r.counter("x", labelnames=("b",))
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        r = Registry()
+        r.counter("c_total").inc()
+        r.gauge("g").set(2)
+        r.histogram("h", buckets=(1.0,)).observe(0.5)
+        json.dumps(r.snapshot())
+
+    def test_reset_drops_instruments(self):
+        r = Registry()
+        r.counter("c_total").inc()
+        r.reset()
+        assert r.snapshot() == {}
+
+    def test_concurrent_increments_are_not_lost(self):
+        r = Registry()
+        c = r.counter("c_total", labelnames=("who",))
+        h = r.histogram("h_seconds", buckets=(0.5,))
+        n_threads, n_iter = 8, 2_000
+
+        def worker(who: str) -> None:
+            for _ in range(n_iter):
+                c.inc(who=who)
+                c.inc(who="shared")
+                h.observe(0.1)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value(who="shared") == n_threads * n_iter
+        for i in range(n_threads):
+            assert c.value(who=f"t{i}") == n_iter
+        [sample] = h.snapshot()
+        assert sample["count"] == n_threads * n_iter
+
+
+class TestNullRegistry:
+    def test_instruments_discard_everything(self):
+        r = NullRegistry()
+        c = r.counter("c_total")
+        g = r.gauge("g")
+        h = r.histogram("h")
+        c.inc()
+        g.set(5)
+        h.observe(1.0)
+        assert c.value() == 0.0
+        assert g.value() == 0.0
+        assert r.snapshot() == {}
+        assert r.is_noop
+
+    def test_use_registry_swaps_and_restores(self):
+        null = NullRegistry()
+        before = get_registry()
+        with use_registry(null):
+            assert get_registry() is null
+        assert get_registry() is before
+
+    def test_set_registry_returns_previous(self):
+        null = NullRegistry()
+        previous = set_registry(null)
+        try:
+            assert get_registry() is null
+        finally:
+            set_registry(previous)

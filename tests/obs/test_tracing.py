@@ -1,0 +1,114 @@
+"""Units for tracing spans and the structured logger."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs.logging import JsonLinesLogger, NullLogger, set_logger
+from repro.obs.metrics import Registry
+from repro.obs.tracing import SPAN_METRIC, current_span, span
+
+
+class TestSpan:
+    def test_records_duration_into_registry(self):
+        r = Registry()
+        with span("stage_a", registry=r) as s:
+            pass
+        assert s.duration is not None and s.duration >= 0.0
+        h = r.histogram(SPAN_METRIC, labelnames=("stage",))
+        assert h.count(stage="stage_a") == 1
+        assert h.sum(stage="stage_a") == s.duration
+
+    def test_nesting_builds_dotted_paths(self):
+        r = Registry()
+        with span("outer", registry=r) as outer:
+            assert current_span() is outer
+            with span("inner", registry=r) as inner:
+                assert inner.path == "outer.inner"
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+        assert outer.path == "outer"
+
+    def test_metric_label_is_plain_name_not_path(self):
+        r = Registry()
+        with span("outer", registry=r):
+            with span("inner", registry=r):
+                pass
+        h = r.histogram(SPAN_METRIC, labelnames=("stage",))
+        assert h.count(stage="inner") == 1
+        assert h.count(stage="outer") == 1
+
+    def test_records_even_when_body_raises(self):
+        r = Registry()
+        try:
+            with span("failing", registry=r):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_span() is None
+        h = r.histogram(SPAN_METRIC, labelnames=("stage",))
+        assert h.count(stage="failing") == 1
+
+    def test_span_stacks_are_per_thread(self):
+        r = Registry()
+        paths = {}
+
+        def worker(name: str) -> None:
+            with span(name, registry=r) as s:
+                paths[name] = s.path
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)
+        ]
+        with span("main_span", registry=r):
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        # worker spans opened on other threads must not nest under main_span
+        assert paths == {f"t{i}": f"t{i}" for i in range(4)}
+
+
+class TestJsonLinesLogger:
+    def test_span_emits_structured_event(self):
+        r = Registry()
+        logger = JsonLinesLogger()
+        previous = set_logger(logger)
+        try:
+            with span("outer", registry=r):
+                with span("inner", registry=r):
+                    pass
+        finally:
+            set_logger(previous)
+        events = [json.loads(line) for line in logger.getvalue().splitlines()]
+        assert [e["span"] for e in events] == ["outer.inner", "outer"]
+        assert all(e["event"] == "span" and e["ok"] for e in events)
+        assert all(e["seconds"] >= 0.0 and "ts" in e for e in events)
+
+    def test_unencodable_values_are_stringified(self):
+        logger = JsonLinesLogger()
+        logger.log("x", value=object())
+        [event] = [json.loads(line) for line in logger.getvalue().splitlines()]
+        assert event["value"].startswith("<object object")
+
+    def test_null_logger_discards(self):
+        NullLogger().log("anything", a=1)  # must not raise
+
+    def test_concurrent_logs_do_not_interleave(self):
+        logger = JsonLinesLogger()
+
+        def worker(i: int) -> None:
+            for _ in range(200):
+                logger.log("tick", who=i, payload="x" * 64)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        lines = logger.getvalue().splitlines()
+        assert len(lines) == 800
+        for line in lines:
+            json.loads(line)  # every line is complete, valid JSON

@@ -89,8 +89,9 @@ class TestErrors:
             ]
         )
         assert not items[0].ok
-        assert items[0].error["code"] == "solve_failed"
-        assert "induced failure" in items[0].error["message"]
+        assert items[0].error.code == "solve_failed"
+        assert "induced failure" in items[0].error.message
+        assert not items[0].error.retryable
         assert items[1].ok
 
     def test_failures_are_not_cached(self, params, monkeypatch):
@@ -114,9 +115,12 @@ class TestErrors:
 
     def test_unwrap_raises_service_error(self):
         from repro.service.api import BatchItem
+        from repro.service.errors import ServiceErrorInfo
 
         item = BatchItem(
-            key="k", ok=False, error={"code": "solve_failed", "message": "boom"}
+            key="k",
+            ok=False,
+            error=ServiceErrorInfo(code="solve_failed", message="boom"),
         )
         with pytest.raises(ServiceError, match="boom"):
             item.unwrap()

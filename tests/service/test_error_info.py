@@ -1,0 +1,85 @@
+"""Units for the typed error record :class:`ServiceErrorInfo`."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.service.errors import (
+    RequestTimeoutError,
+    RequestValidationError,
+    ServiceError,
+    ServiceErrorInfo,
+    SolveFailedError,
+    WorkerCrashedError,
+    error_payload,
+)
+
+
+class TestConstruction:
+    def test_frozen(self):
+        info = ServiceErrorInfo(code="timeout", message="too slow")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            info.code = "other"  # type: ignore[misc]
+
+    def test_defaults_not_retryable(self):
+        assert not ServiceErrorInfo(code="x", message="y").retryable
+
+
+class TestFromException:
+    @pytest.mark.parametrize(
+        ("exc", "code", "retryable"),
+        [
+            (RequestValidationError("bad"), "invalid_request", False),
+            (SolveFailedError("boom"), "solve_failed", False),
+            (RequestTimeoutError("slow"), "timeout", True),
+            (WorkerCrashedError("died"), "worker_crashed", True),
+            (ServiceError("generic"), "service_error", False),
+        ],
+    )
+    def test_service_errors_map_to_codes(self, exc, code, retryable):
+        info = ServiceErrorInfo.from_exception(exc)
+        assert info.code == code
+        assert info.retryable is retryable
+        assert info.message == str(exc)
+
+    def test_foreign_exception_becomes_internal_error(self):
+        info = ServiceErrorInfo.from_exception(RuntimeError("oops"))
+        assert info.code == "internal_error"
+        assert info.message == "oops"
+        assert not info.retryable
+
+    def test_message_falls_back_to_class_name(self):
+        info = ServiceErrorInfo.from_exception(RuntimeError())
+        assert info.message == "RuntimeError"
+
+
+class TestWireFormat:
+    def test_to_dict_is_exactly_the_historical_payload(self):
+        info = ServiceErrorInfo(code="timeout", message="slow", retryable=True)
+        assert info.to_dict() == {"code": "timeout", "message": "slow"}
+        assert list(info.to_dict()) == ["code", "message"]
+
+    def test_round_trip_without_retryable(self):
+        info = ServiceErrorInfo(code="solve_failed", message="boom")
+        assert ServiceErrorInfo.from_dict(info.to_dict()) == info
+
+    def test_from_dict_reads_optional_retryable(self):
+        info = ServiceErrorInfo.from_dict(
+            {"code": "timeout", "message": "slow", "retryable": True}
+        )
+        assert info.retryable
+
+    def test_error_payload_shim_matches(self):
+        exc = SolveFailedError("boom")
+        assert error_payload(exc) == (
+            ServiceErrorInfo.from_exception(exc).to_dict()
+        )
+
+
+class TestRaise:
+    def test_raises_service_error_with_code_prefix(self):
+        info = ServiceErrorInfo(code="timeout", message="too slow")
+        with pytest.raises(ServiceError, match="timeout: too slow"):
+            info.raise_()

@@ -1,0 +1,141 @@
+"""The unified ``repro.api`` facade and the deprecated aliases.
+
+The facade must be a pure re-routing layer: on default keywords it
+returns results *equal* to the pre-existing per-game entry points, and
+the old top-level names keep working but warn exactly once per process.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro.api import solve, success_rate, sweep
+from repro.core.collateral import (
+    CollateralEquilibrium,
+    collateral_success_rate,
+    solve_collateral_game,
+)
+from repro.core.equilibrium import SwapEquilibrium
+from repro.core.parameters import SwapParameters
+from repro.core.premium import PremiumEquilibrium, solve_premium_game
+from repro.core.solver import solve_swap_game
+from repro.core.success_rate import success_rate as core_success_rate
+
+
+class TestSolveDelegation:
+    def test_basic_game_equals_core_solver(self, params):
+        for pstar in (1.8, 2.0, 2.2):
+            assert solve(params, pstar) == solve_swap_game(params, pstar)
+
+    def test_basic_game_returns_swap_equilibrium(self, params):
+        assert isinstance(solve(params, 2.0), SwapEquilibrium)
+
+    def test_collateral_game_equals_core_solver(self, params):
+        got = solve(params, 2.0, collateral=0.5)
+        assert isinstance(got, CollateralEquilibrium)
+        assert got == solve_collateral_game(params, 2.0, 0.5)
+
+    def test_premium_game_equals_core_solver(self, params):
+        got = solve(params, 2.0, premium=0.1)
+        assert isinstance(got, PremiumEquilibrium)
+        assert got == solve_premium_game(params, 2.0, 0.1)
+
+    def test_collateral_and_premium_are_mutually_exclusive(self, params):
+        with pytest.raises(ValueError):
+            solve(params, 2.0, collateral=0.5, premium=0.1)
+
+    def test_defaults_to_table_iii_parameters(self):
+        assert solve() == solve_swap_game(SwapParameters.default(), 2.0)
+
+    def test_rejects_non_parameter_objects(self):
+        with pytest.raises(TypeError):
+            solve({"sigma": 0.1}, 2.0)
+
+
+class TestSuccessRateDelegation:
+    def test_basic_rate_matches_core(self, params):
+        assert success_rate(params, 2.0) == core_success_rate(params, 2.0)
+
+    def test_collateral_rate_matches_core(self, params):
+        assert success_rate(params, 2.0, collateral=0.5) == (
+            collateral_success_rate(params, 2.0, 0.5)
+        )
+
+
+class TestSweep:
+    def test_matches_pointwise_solves(self, params):
+        grid = [1.9, 2.0, 2.1]
+        assert sweep(grid, params) == [solve_swap_game(params, p) for p in grid]
+
+    def test_collateral_sweep(self, params):
+        grid = [2.0, 2.1]
+        got = sweep(grid, params, collateral=0.5)
+        assert got == [solve_collateral_game(params, p, 0.5) for p in grid]
+
+    def test_empty_grid(self, params):
+        assert sweep([], params) == []
+
+
+class TestValidateFacade:
+    def test_returns_validation_result(self, params):
+        result = repro.validate(params, 2.0, n_paths=500, seed=3)
+        assert result.empirical.n_paths == 500
+        assert result.seed_used == 3
+        assert 0.0 <= result.empirical.success_rate <= 1.0
+        assert result.analytic == pytest.approx(core_success_rate(params, 2.0))
+
+
+class TestDeprecatedAliases:
+    @pytest.fixture(autouse=True)
+    def _reset_warned(self):
+        saved = set(repro._warned_names)
+        repro._warned_names.clear()
+        yield
+        repro._warned_names.clear()
+        repro._warned_names.update(saved)
+
+    def test_top_level_names_still_resolve(self, params):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert repro.solve_swap_game(params, 2.0) == solve_swap_game(
+                params, 2.0
+            )
+            assert repro.solve_collateral_game(
+                params, 2.0, 0.5
+            ) == solve_collateral_game(params, 2.0, 0.5)
+            assert repro.solve_premium_game(
+                params, 2.0, 0.1
+            ) == solve_premium_game(params, 2.0, 0.1)
+
+    def test_each_alias_warns_once(self, params):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            repro.solve_swap_game(params, 2.0)
+            repro.solve_swap_game(params, 2.1)
+            repro.solve_collateral_game(params, 2.0, 0.5)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 2  # one per distinct alias, not per call
+        assert "repro.solve" in str(deprecations[0].message)
+
+    def test_core_imports_stay_silent(self, params):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            solve_swap_game(params, 2.0)
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestPublicSurface:
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_facade_names_exported(self):
+        for name in ("solve", "validate", "sweep", "success_rate", "Equilibrium"):
+            assert name in repro.__all__
