@@ -1,0 +1,116 @@
+"""Benchmark S2: the HTTP serving layer versus in-process calls.
+
+Not a paper artifact -- this prices the wire. The same
+:class:`~repro.service.api.SwapService` is measured two ways: called
+directly in process, and fronted by :class:`~repro.server.SwapServer`
+over loopback HTTP. Reported per mode: requests/second plus p50/p99
+latency for (a) a warm single solve and (b) a 64-line JSONL batch.
+The HTTP tax must stay in protocol territory -- warm single-solve p50
+under 25 ms and at least 40 req/s through the server -- and the
+payloads must be byte-identical to the in-process results.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+
+from benchmarks.conftest import emit
+from repro.server import ServerConfig, SwapServer
+from repro.server.client import SwapClient
+from repro.service.api import SwapService
+from repro.service.jsonl import render_records, serve_lines
+
+SINGLE_ROUNDS = 200
+BATCH_ROUNDS = 20
+BATCH_LINES = [
+    json.dumps({"kind": "solve", "pstar": 1.0 + 0.02 * k}) for k in range(64)
+]
+
+
+def _latencies(fn, rounds):
+    """Run ``fn`` ``rounds`` times; per-call seconds, first call dropped."""
+    fn()  # warm caches / keep-alive before measuring
+    samples = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return samples
+
+
+def _stats(samples):
+    ordered = sorted(samples)
+    p50 = statistics.median(ordered)
+    p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+    rps = len(samples) / sum(samples)
+    return p50, p99, rps
+
+
+def _fmt(label, samples):
+    p50, p99, rps = _stats(samples)
+    return f"{label}: p50={p50 * 1e3:.2f}ms p99={p99 * 1e3:.2f}ms {rps:.0f} req/s"
+
+
+def test_http_single_solve_overhead(benchmark):
+    service = SwapService()
+    server = SwapServer(ServerConfig(port=0), service=service)
+    server.start()
+    try:
+        client = SwapClient(f"http://127.0.0.1:{server.port}", timeout=30.0)
+
+        inproc = _latencies(lambda: service.solve(pstar=2.0), SINGLE_ROUNDS)
+        http = _latencies(lambda: client.solve(pstar=2.0), SINGLE_ROUNDS)
+        benchmark.pedantic(
+            lambda: client.solve(pstar=2.0), rounds=10, iterations=1
+        )
+
+        assert client.solve(pstar=2.0) == service.solve(pstar=2.0)
+
+        http_p50, _p99, http_rps = _stats(http)
+        emit(
+            "S2 single solve (warm cache)",
+            f"{_fmt('in-process', inproc)}\n{_fmt('http      ', http)}\n"
+            f"http tax p50={((http_p50 - _stats(inproc)[0]) * 1e3):.2f}ms",
+        )
+        assert http_p50 < 0.025  # loopback + JSON, not solver work
+        assert http_rps >= 40.0
+    finally:
+        server.shutdown(drain=False)
+
+
+def test_http_batch64_overhead(benchmark):
+    service = SwapService()
+    server = SwapServer(ServerConfig(port=0), service=service)
+    server.start()
+    try:
+        client = SwapClient(f"http://127.0.0.1:{server.port}", timeout=30.0)
+        requests = [json.loads(line) for line in BATCH_LINES]
+
+        inproc = _latencies(
+            lambda: serve_lines(service, BATCH_LINES), BATCH_ROUNDS
+        )
+        http = _latencies(lambda: client.batch(requests), BATCH_ROUNDS)
+        benchmark.pedantic(
+            lambda: client.batch(requests), rounds=5, iterations=1
+        )
+
+        # the wire format is the in-process JSONL format, byte for byte
+        _ok, reference = serve_lines(service, BATCH_LINES)
+        over_http = client.batch(requests)
+        assert (
+            "\n".join(json.dumps(r, separators=(",", ":")) for r in over_http)
+            == render_records(reference).rstrip("\n")
+        )
+
+        http_p50, _p99, http_rps = _stats(http)
+        lines_per_s = len(BATCH_LINES) * http_rps
+        emit(
+            "S2 batch of 64 JSONL lines (warm cache)",
+            f"{_fmt('in-process', inproc)}\n{_fmt('http      ', http)}\n"
+            f"throughput={lines_per_s:.0f} lines/s over http",
+        )
+        assert http_p50 < 0.25
+    finally:
+        server.shutdown(drain=False)

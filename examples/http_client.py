@@ -1,0 +1,74 @@
+"""Serve the solver over HTTP and consume it with the retrying client.
+
+Demonstrates, in one run:
+* starting :class:`repro.server.SwapServer` on an ephemeral port
+  (in production you would run ``repro-swaps serve --port 8100``),
+* single solves and Monte Carlo validation through
+  :class:`repro.server.SwapClient` -- decoded into the same frozen
+  result objects the in-process API returns,
+* a JSONL batch and a sweep over the feasible exchange-rate window,
+* the client's backoff discipline against 429/503 responses,
+* scraping ``/metrics`` and draining the server gracefully.
+
+Run: ``python examples/http_client.py``
+"""
+
+from repro.server import RetryPolicy, ServerConfig, SwapClient, SwapServer
+
+
+def main() -> None:
+    # Port 0 binds an ephemeral port; server.port reports the choice.
+    server = SwapServer(ServerConfig(port=0, queue_depth=8))
+    server.start()
+    base_url = f"http://127.0.0.1:{server.port}"
+    print(f"=== Serving on {base_url} ===")
+
+    # Retries apply only to 429 (queue full), 503 (draining), and
+    # envelopes the server marks retryable -- a 400 fails immediately.
+    client = SwapClient(
+        base_url,
+        retry=RetryPolicy(max_attempts=4, base_delay=0.05, max_delay=2.0),
+    )
+    print(f"ready: {client.ready()}  version: {client.version()['version']}")
+
+    print("\n=== Single solve at P* = 2 (decoded result object) ===")
+    equilibrium = client.solve(pstar=2.0)
+    print(f"success rate  : {equilibrium.success_rate:.4f}")
+    print(f"p3 threshold  : {equilibrium.p3_threshold:.4f}")
+
+    print("\n=== Monte Carlo validation over the wire ===")
+    outcome = client.validate(pstar=2.0, n_paths=20_000, seed=7)
+    print(f"analytic SR   : {outcome.analytic:.4f}")
+    print(f"empirical SR  : {outcome.empirical.success_rate:.4f}")
+
+    print("\n=== JSONL batch (same wire format as `repro-swaps batch`) ===")
+    records = client.batch(
+        [
+            {"kind": "solve", "pstar": 1.8},
+            {"kind": "solve", "pstar": 2.2},
+            {"kind": "solve", "pstar": -1.0},  # in-band structured error
+        ]
+    )
+    for record in records:
+        if record["ok"]:
+            rate = record["result"]["success_rate"]
+            print(f"  ok   line {record['line']}: SR = {rate:.4f}")
+        else:
+            code = record["error"]["code"]
+            print(f"  fail line {record['line']}: {code}")
+
+    print("\n=== Sweep across the feasible window ===")
+    for point in client.sweep([1.6, 1.8, 2.0, 2.2, 2.4]):
+        print(f"  SR({point['pstar']:.2f}) = {point['success_rate']:.4f}")
+
+    print("\n=== A few repro_http_* metrics ===")
+    for line in client.metrics().splitlines():
+        if line.startswith("repro_http_requests_total"):
+            print(f"  {line}")
+
+    drained = server.shutdown()  # stop accepting, finish in flight
+    print(f"\ndrained cleanly: {drained}")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,7 @@ Usage::
     repro-swaps batch requests.jsonl --workers 4 --cache-dir cache
     repro-swaps batch requests.jsonl --metrics-out metrics.prom
     repro-swaps stats requests.jsonl
+    repro-swaps serve --port 8100 --workers 4 --queue-depth 32
     repro-swaps all
 
 (or ``python -m repro.cli ...``).
@@ -30,6 +31,12 @@ historical JSON-lines stream, byte-for-byte unchanged).
 ``stats`` runs an (optional) batch quietly and prints the registry
 snapshot itself. The exit status of ``batch`` is 0 iff every line
 parsed as JSON.
+
+``serve`` starts the HTTP layer (:mod:`repro.server`) on
+``--host``/``--port`` and blocks until SIGTERM/SIGINT, then drains
+gracefully; ``--queue-depth`` bounds concurrent admission, and the
+batch flags (``--workers``, ``--cache-dir``, ``--cache-entries``,
+``--metrics-out``) configure the service behind it.
 
 Invalid artifact names and invalid ``--pstar``/``--collateral`` values
 exit non-zero with a one-line error instead of a traceback.
@@ -236,6 +243,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, help="directory for the persistent cache"
     )
     stats.add_argument(
+        "--cache-entries",
+        type=int,
+        default=None,
+        help="bound on disk-cache entries (oldest pruned on write)",
+    )
+    stats.add_argument(
         "--timeout", type=float, default=None, help="per-request seconds budget"
     )
     stats.add_argument(
@@ -243,6 +256,61 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["prom", "json"],
         default="prom",
         help="snapshot rendering (Prometheus text or JSON)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        parents=[common],
+        help="serve the solver over HTTP until SIGTERM/SIGINT",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8100, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, help="process-pool size (1 = serial)"
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="max concurrently admitted API requests (excess sheds 429)",
+    )
+    serve.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=1 << 20,
+        help="request-body ceiling (larger uploads get 413)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        help="per-request wall-clock budget in seconds (504 past it)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="grace period for in-flight requests at shutdown",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, help="directory for the persistent cache"
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=None,
+        help="bound on disk-cache entries (oldest pruned on write)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None, help="per-solve pool budget"
+    )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="flush the metrics registry (Prometheus text) here on drain",
     )
 
     return parser
@@ -260,6 +328,12 @@ def _add_batch_arguments(batch: argparse.ArgumentParser) -> None:
     )
     batch.add_argument(
         "--cache-dir", default=None, help="directory for the persistent cache"
+    )
+    batch.add_argument(
+        "--cache-entries",
+        type=int,
+        default=None,
+        help="bound on disk-cache entries (oldest pruned on write)",
     )
     batch.add_argument(
         "--timeout", type=float, default=None, help="per-request seconds budget"
@@ -357,60 +431,23 @@ def _serve_batch(
     workers: int,
     cache_dir: Optional[str],
     timeout: Optional[float],
+    cache_entries: Optional[int] = None,
 ) -> Tuple[bool, List[dict]]:
     """Parse and execute a JSON-lines batch.
 
-    Returns ``(all_parsed, records)`` where each record is the JSON-safe
-    per-line result object of the historical ``batch`` output format.
+    Thin wrapper over :func:`repro.service.jsonl.serve_lines` (the same
+    wire logic ``POST /v1/batch`` speaks) that constructs a one-shot
+    service from the CLI flags.
     """
-    from repro.service import SwapService, error_payload, parse_request
-    from repro.service.errors import ServiceError
-    from repro.service.serialize import encode_result
+    from repro.service import SwapService, serve_lines
 
     service = SwapService(
-        max_workers=workers, cache_dir=cache_dir, timeout=timeout
+        max_workers=workers,
+        cache_dir=cache_dir,
+        cache_entries=cache_entries,
+        timeout=timeout,
     )
-
-    # parse every line first so the batch executes (and dedupes) as one
-    records = []  # (line_no, request | None, error_payload | None)
-    all_parsed = True
-    for line_no, line in enumerate(lines, start=1):
-        if not line.strip():
-            continue
-        try:
-            data = json.loads(line)
-        except json.JSONDecodeError as exc:
-            all_parsed = False
-            records.append(
-                (line_no, None, {"code": "parse_error", "message": str(exc)})
-            )
-            continue
-        try:
-            records.append((line_no, parse_request(data), None))
-        except ServiceError as exc:
-            records.append((line_no, None, error_payload(exc)))
-
-    requests = [request for _, request, _ in records if request is not None]
-    items = iter(service.run_batch(requests))
-    out_records: List[dict] = []
-    for line_no, request, error in records:
-        if request is None:
-            out_records.append({"line": line_no, "ok": False, "error": error})
-            continue
-        item = next(items)
-        out: dict = {
-            "line": line_no,
-            "ok": item.ok,
-            "kind": request.to_dict()["kind"],
-            "key": item.key,
-            "cached": item.cached,
-        }
-        if item.ok:
-            out["result"] = encode_result(item.value)
-        else:
-            out["error"] = item.error.to_dict()
-        out_records.append(out)
-    return all_parsed, out_records
+    return serve_lines(service, lines)
 
 
 def _cmd_batch(args: argparse.Namespace) -> CommandOutcome:
@@ -430,7 +467,11 @@ def _cmd_batch(args: argparse.Namespace) -> CommandOutcome:
     try:
         lines = _read_request_lines(args.input)
         all_parsed, records = _serve_batch(
-            lines, args.workers, args.cache_dir, args.timeout
+            lines,
+            args.workers,
+            args.cache_dir,
+            args.timeout,
+            cache_entries=args.cache_entries,
         )
     finally:
         if log_handle is not None:
@@ -452,10 +493,38 @@ def _cmd_stats(args: argparse.Namespace) -> CommandOutcome:
 
     if args.input is not None:
         lines = _read_request_lines(args.input)
-        _serve_batch(lines, args.workers, args.cache_dir, args.timeout)
+        _serve_batch(
+            lines,
+            args.workers,
+            args.cache_dir,
+            args.timeout,
+            cache_entries=args.cache_entries,
+        )
     if args.format == "json" or args.json:
         return 0, get_registry().snapshot()
     return 0, to_prometheus_text(get_registry())
+
+
+def _cmd_serve(args: argparse.Namespace) -> CommandOutcome:
+    """Run the HTTP server until SIGTERM/SIGINT, then drain."""
+    from repro.server import ServerConfig, serve
+
+    # ServerConfig validation raises ValueError -> clean exit 2 in main()
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_body_bytes=args.max_body_bytes,
+        deadline=args.deadline,
+        drain_timeout=args.drain_timeout,
+        cache_dir=args.cache_dir,
+        cache_entries=args.cache_entries,
+        timeout=args.timeout,
+        metrics_out=args.metrics_out,
+    )
+    status = serve(config)
+    return status, {"ok": status == 0, "drained": status == 0}
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -538,6 +607,8 @@ def _dispatch(args: argparse.Namespace) -> CommandOutcome:
         return _cmd_batch(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise ValueError(f"unknown command {args.command!r}")
 
 

@@ -1,0 +1,664 @@
+"""The HTTP serving layer: routes, admission control, graceful drain.
+
+A :class:`SwapServer` fronts one :class:`~repro.service.api.SwapService`
+with a threaded stdlib HTTP server (``http.server`` -- zero new
+dependencies). The surface:
+
+========  =============  =================================================
+method    path           behaviour
+========  =============  =================================================
+POST      ``/v1/solve``     one solve request (JSON body) -> one result
+POST      ``/v1/validate``  one Monte Carlo validation -> one result
+POST      ``/v1/batch``     JSONL in/out, the ``repro-swaps batch`` format
+GET       ``/v1/sweep``     ``?pstars=1.8,2.0&collateral=0`` -> SR per point
+GET       ``/healthz``      liveness (200 while the process runs)
+GET       ``/readyz``       readiness (503 while starting or draining)
+GET       ``/version``      package + key-schema versions
+GET       ``/metrics``      the live registry, Prometheus text format
+========  =============  =================================================
+
+Production behaviours, all enforced here rather than left to callers:
+
+* **admission control** -- at most ``queue_depth`` API requests run at
+  once; excess load is shed immediately with ``429`` + ``Retry-After``
+  (operational endpoints bypass the gate so probes never starve);
+* **request limits** -- bodies over ``max_body_bytes`` get ``413``
+  without being read; work still running at ``deadline`` seconds is
+  abandoned and answered ``504`` (the envelope is ``retryable``);
+* **graceful drain** -- :meth:`SwapServer.shutdown` (wired to
+  SIGTERM/SIGINT by :func:`serve`) stops accepting, answers new API
+  requests ``503 draining``, waits up to ``drain_timeout`` for
+  in-flight requests, then flushes metrics to ``metrics_out``;
+* **observability** -- every response lands in ``repro_http_*``
+  (:mod:`repro.server.metrics`) and emits one structured
+  ``http_access`` event through :mod:`repro.obs.logging`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs.exporters import to_prometheus_text, write_metrics
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry
+from repro.server.config import ServerConfig
+from repro.server.metrics import HTTPMetrics
+from repro.server.wire import DeadlineExceededError, error_envelope, status_for
+from repro.service.api import SwapService
+from repro.service.errors import ServiceError, ServiceErrorInfo
+from repro.service.jsonl import render_records, serve_lines
+from repro.service.keys import KEY_VERSION
+from repro.service.requests import parse_request
+from repro.service.serialize import encode_result
+
+__all__ = ["SwapServer", "serve"]
+
+_API_ROUTES = {
+    ("POST", "/v1/solve"): "_api_solve",
+    ("POST", "/v1/validate"): "_api_validate",
+    ("POST", "/v1/batch"): "_api_batch",
+    ("GET", "/v1/sweep"): "_api_sweep",
+}
+_OPS_ROUTES = {
+    ("GET", "/healthz"): "_ops_healthz",
+    ("GET", "/readyz"): "_ops_readyz",
+    ("GET", "/version"): "_ops_version",
+    ("GET", "/metrics"): "_ops_metrics",
+}
+_KNOWN_PATHS = {path for _method, path in (*_API_ROUTES, *_OPS_ROUTES)}
+
+
+class _WireError(Exception):
+    """Internal: an error envelope to send, with optional headers."""
+
+    def __init__(
+        self, info: ServiceErrorInfo, headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        super().__init__(info.message)
+        self.info = info
+        self.headers = headers or {}
+
+
+class _AdmissionGate:
+    """Bounded concurrent admission with an idle event for draining."""
+
+    def __init__(self, depth: int) -> None:
+        self.depth = int(depth)
+        self._lock = threading.Lock()
+        self._count = 0
+        self._idle = threading.Event()
+        self._idle.set()
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._count
+
+    def try_enter(self) -> bool:
+        """Admit one request, or refuse immediately when full."""
+        with self._lock:
+            if self._count >= self.depth:
+                return False
+            self._count += 1
+            self._idle.clear()
+            return True
+
+    def leave(self) -> None:
+        with self._lock:
+            self._count -= 1
+            if self._count <= 0:
+                self._idle.set()
+
+    def wait_idle(self, timeout: Optional[float]) -> bool:
+        """Block until no request is in flight (True iff drained)."""
+        return self._idle.wait(timeout)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; all state lives on ``self.server.owner``."""
+
+    protocol_version = "HTTP/1.1"
+    timeout = 60.0  # socket read timeout: abandoned keep-alives expire
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+
+    @property
+    def owner(self) -> "SwapServer":
+        return self.server.owner  # type: ignore[attr-defined]
+
+    def version_string(self) -> str:  # Server: header
+        return f"repro-swaps/{_package_version()}"
+
+    def log_message(self, format: str, *args: object) -> None:
+        # default stderr chatter off; access goes through repro.obs
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        self._started = time.perf_counter()
+        self._method = method
+        path = urlsplit(self.path).path
+        self._route = path if path in _KNOWN_PATHS else "unknown"
+        self._responded = False
+        try:
+            ops = _OPS_ROUTES.get((method, path))
+            if ops is not None:
+                getattr(self, ops)()
+                return
+            if (method, path) in _API_ROUTES:
+                self._api(method, path)
+                return
+            if path in _KNOWN_PATHS:
+                self._send_error(
+                    ServiceErrorInfo(
+                        code="method_not_allowed",
+                        message=f"{method} not allowed on {path}",
+                    )
+                )
+                return
+            self._send_error(
+                ServiceErrorInfo(code="not_found", message=f"no route {path}")
+            )
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+        except Exception as exc:  # never let a bug kill the connection loop
+            if not self._responded:
+                self._send_error(ServiceErrorInfo.from_exception(exc))
+            else:
+                self.close_connection = True
+
+    def _send_json(
+        self,
+        status: int,
+        payload: object,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        self._send_bytes(status, body, "application/json", headers)
+
+    def _send_error(
+        self,
+        info: ServiceErrorInfo,
+        headers: Optional[Dict[str, str]] = None,
+        status: Optional[int] = None,
+    ) -> None:
+        self._send_json(
+            status if status is not None else status_for(info),
+            error_envelope(info),
+            headers,
+        )
+
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._responded = True
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+        elapsed = time.perf_counter() - self._started
+        self.owner.metrics.observe(
+            self._route, self._method, status, elapsed, len(body)
+        )
+        get_logger().log(
+            "http_access",
+            method=self._method,
+            route=self._route,
+            path=self.path,
+            status=status,
+            seconds=round(elapsed, 6),
+            bytes=len(body),
+            client=self.client_address[0],
+        )
+
+    # ------------------------------------------------------------------ #
+    # admission, limits, deadline
+    # ------------------------------------------------------------------ #
+
+    def _api(self, method: str, path: str) -> None:
+        owner = self.owner
+        if owner.draining:
+            owner.metrics.rejected.inc(reason="draining")
+            self.close_connection = True
+            self._send_error(
+                ServiceErrorInfo(
+                    code="draining",
+                    message="server is draining; retry elsewhere",
+                    retryable=True,
+                )
+            )
+            return
+        if not owner.gate.try_enter():
+            owner.metrics.rejected.inc(reason="queue_full")
+            self._send_error(
+                ServiceErrorInfo(
+                    code="queue_full",
+                    message=(
+                        f"admission queue full "
+                        f"(depth {owner.config.queue_depth}); retry later"
+                    ),
+                    retryable=True,
+                ),
+                headers={"Retry-After": "1"},
+            )
+            return
+        owner.metrics.inflight.inc()
+        try:
+            getattr(self, _API_ROUTES[(method, path)])()
+        except _WireError as exc:
+            self._send_error(exc.info, headers=exc.headers)
+        except ServiceError as exc:
+            self._send_error(ServiceErrorInfo.from_exception(exc))
+        finally:
+            owner.metrics.inflight.dec()
+            owner.gate.leave()
+
+    def _read_body(self) -> bytes:
+        """The request body, bounded by ``max_body_bytes``."""
+        if "chunked" in self.headers.get("Transfer-Encoding", "").lower():
+            raise _WireError(
+                ServiceErrorInfo(
+                    code="length_required",
+                    message="chunked bodies are not accepted; send Content-Length",
+                )
+            )
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            raise _WireError(
+                ServiceErrorInfo(
+                    code="length_required", message="Content-Length required"
+                )
+            )
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _WireError(
+                ServiceErrorInfo(
+                    code="length_required",
+                    message=f"malformed Content-Length {raw_length!r}",
+                )
+            ) from None
+        limit = self.owner.config.max_body_bytes
+        if length > limit:
+            # refuse without reading; the unread body forces a close
+            self.owner.metrics.rejected.inc(reason="body_too_large")
+            self.close_connection = True
+            raise _WireError(
+                ServiceErrorInfo(
+                    code="body_too_large",
+                    message=f"body of {length} bytes exceeds limit {limit}",
+                )
+            )
+        return self.rfile.read(length)
+
+    def _json_body(self) -> dict:
+        body = self._read_body()
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _WireError(
+                ServiceErrorInfo(code="parse_error", message=str(exc))
+            ) from None
+        if not isinstance(data, dict):
+            raise _WireError(
+                ServiceErrorInfo(
+                    code="invalid_request",
+                    message=f"body must be a JSON object, got {type(data).__name__}",
+                )
+            )
+        return data
+
+    def _with_deadline(self, fn: Callable[[], object]) -> object:
+        """Run ``fn``, abandoning it at the configured deadline (504).
+
+        The worker thread is left to finish and its result discarded --
+        the stdlib offers no safe preemption -- so a deadline protects
+        the *caller's* latency budget, not the server's CPU.
+        """
+        deadline = self.owner.config.deadline
+        if deadline is None:
+            return fn()
+        box: dict = {}
+        done = threading.Event()
+
+        def _run() -> None:
+            try:
+                box["value"] = fn()
+            except BaseException as exc:  # re-raised in the request thread
+                box["error"] = exc
+            finally:
+                done.set()
+
+        worker = threading.Thread(
+            target=_run, name="repro-http-deadline", daemon=True
+        )
+        worker.start()
+        if not done.wait(deadline):
+            self.owner.metrics.rejected.inc(reason="deadline")
+            raise DeadlineExceededError(
+                f"request exceeded the {deadline:g}s deadline"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["value"]
+
+    # ------------------------------------------------------------------ #
+    # API routes
+    # ------------------------------------------------------------------ #
+
+    def _api_solve(self) -> None:
+        self._single_request("solve")
+
+    def _api_validate(self) -> None:
+        self._single_request("validate")
+
+    def _single_request(self, kind: str) -> None:
+        data = self._json_body()
+        data.setdefault("kind", kind)
+        if data["kind"] != kind:
+            raise _WireError(
+                ServiceErrorInfo(
+                    code="invalid_request",
+                    message=f"this route only accepts kind={kind!r}, "
+                    f"got {data['kind']!r}",
+                )
+            )
+        request = parse_request(data)  # ServiceError -> 400 via _api
+        item = self._with_deadline(
+            lambda: self.owner.service.run_batch([request])[0]
+        )
+        if not item.ok:
+            self._send_error(item.error)
+            return
+        self._send_json(
+            200,
+            {
+                "ok": True,
+                "kind": kind,
+                "key": item.key,
+                "cached": item.cached,
+                "result": encode_result(item.value),
+            },
+        )
+
+    def _api_batch(self) -> None:
+        body = self._read_body()
+        try:
+            lines = body.decode("utf-8").splitlines()
+        except UnicodeDecodeError as exc:
+            raise _WireError(
+                ServiceErrorInfo(code="parse_error", message=str(exc))
+            ) from None
+        _all_parsed, records = self._with_deadline(
+            lambda: serve_lines(self.owner.service, lines)
+        )
+        # one record per line, in-band errors: always 200, like the CLI
+        self._send_bytes(
+            200,
+            render_records(records).encode("utf-8"),
+            "application/x-ndjson",
+        )
+
+    def _api_sweep(self) -> None:
+        query = parse_qs(urlsplit(self.path).query)
+        raw = query.get("pstars", [""])[0]
+        try:
+            pstars = [float(part) for part in raw.split(",") if part.strip()]
+            collateral = float(query.get("collateral", ["0"])[0])
+        except ValueError as exc:
+            raise _WireError(
+                ServiceErrorInfo(code="invalid_request", message=str(exc))
+            ) from None
+        if not pstars:
+            raise _WireError(
+                ServiceErrorInfo(
+                    code="invalid_request",
+                    message="query must give pstars=<comma-separated floats>",
+                )
+            )
+        items = self._with_deadline(
+            lambda: self.owner.service.sweep(pstars, collateral=collateral)
+        )
+        results: List[dict] = []
+        for pstar, item in zip(pstars, items):
+            point = {
+                "pstar": pstar,
+                "ok": item.ok,
+                "key": item.key,
+                "cached": item.cached,
+            }
+            if item.ok:
+                point["success_rate"] = item.value.success_rate
+            else:
+                point["error"] = item.error.to_dict()
+            results.append(point)
+        self._send_json(200, {"ok": True, "count": len(results), "results": results})
+
+    # ------------------------------------------------------------------ #
+    # operational routes (never gated, served while draining)
+    # ------------------------------------------------------------------ #
+
+    def _ops_healthz(self) -> None:
+        self._send_json(200, {"ok": True, "status": "alive"})
+
+    def _ops_readyz(self) -> None:
+        owner = self.owner
+        if owner.draining:
+            self._send_error(
+                ServiceErrorInfo(
+                    code="draining", message="server is draining", retryable=True
+                )
+            )
+            return
+        self._send_json(200, {"ok": True, "status": "ready"})
+
+    def _ops_version(self) -> None:
+        self._send_json(
+            200,
+            {
+                "ok": True,
+                "server": "repro-swaps",
+                "version": _package_version(),
+                "key_version": KEY_VERSION,
+            },
+        )
+
+    def _ops_metrics(self) -> None:
+        text = to_prometheus_text(get_registry())
+        self._send_bytes(
+            200,
+            text.encode("utf-8"),
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
+
+
+def _package_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True  # drain is bounded by gate.wait_idle, not joins
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, owner: "SwapServer") -> None:
+        super().__init__(address, handler)
+        self.owner = owner
+
+
+class SwapServer:
+    """A :class:`SwapService` behind HTTP, with lifecycle control.
+
+    Parameters
+    ----------
+    config:
+        The :class:`~repro.server.config.ServerConfig`; defaults bind
+        ``127.0.0.1:8100`` with a serial service.
+    service:
+        Optional pre-built service (tests inject slow or failing ones);
+        by default one is constructed from the config's cache/worker
+        settings.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        service: Optional[SwapService] = None,
+    ) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.service = (
+            service
+            if service is not None
+            else SwapService(
+                max_workers=self.config.workers,
+                cache_size=self.config.cache_size,
+                cache_dir=self.config.cache_dir,
+                cache_entries=self.config.cache_entries,
+                timeout=self.config.timeout,
+            )
+        )
+        self.metrics = HTTPMetrics()
+        self.gate = _AdmissionGate(self.config.queue_depth)
+        self._draining = threading.Event()
+        self._ready = threading.Event()
+        self._closed = False
+        self._thread: Optional[threading.Thread] = None
+        self._httpd = _HTTPServer(
+            (self.config.host, self.config.port), _Handler, owner=self
+        )
+
+    # -- state ---------------------------------------------------------- #
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the OS's pick)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    @property
+    def ready(self) -> bool:
+        return self._ready.is_set() and not self.draining
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` (blocking; CLI runs this)."""
+        self._ready.set()
+        try:
+            self._httpd.serve_forever(poll_interval=0.05)
+        finally:
+            self._ready.clear()
+
+    def start(self) -> "SwapServer":
+        """Serve on a background thread; returns once listening."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-http-serve", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        return self
+
+    def shutdown(self, drain: bool = True) -> bool:
+        """Stop accepting, drain in-flight work, flush metrics.
+
+        Returns True iff every in-flight request finished within
+        ``drain_timeout`` (False means stragglers were abandoned).
+        Idempotent; safe to call from any thread.
+        """
+        if self._closed:
+            return True
+        self._draining.set()
+        if self._ready.is_set() or self._thread is not None:
+            self._httpd.shutdown()  # stop the accept loop
+        drained = self.gate.wait_idle(
+            self.config.drain_timeout if drain else 0.0
+        )
+        if self.config.metrics_out is not None:
+            write_metrics(self.config.metrics_out)
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=1.0)
+        self._closed = True
+        get_logger().log(
+            "http_drained", drained=drained, inflight=self.gate.inflight
+        )
+        return drained
+
+
+def serve(
+    config: Optional[ServerConfig] = None,
+    stop: Optional[threading.Event] = None,
+    announce: Optional[Callable[[dict], None]] = None,
+) -> int:
+    """Run a server until SIGTERM/SIGINT (or ``stop``), then drain.
+
+    The blocking entry point behind ``repro-swaps serve``. Signal
+    handlers are installed only when running on the main thread (the
+    stdlib forbids them elsewhere); ``stop`` is an optional extra
+    trigger for embedders and tests. ``announce`` receives one
+    ``{"event": "listening", "host", "port", "pid"}`` dict once bound
+    (default: printed to stdout as a JSON line, so callers can discover
+    an ephemeral port). Returns 0 on a clean drain, 1 if in-flight
+    requests had to be abandoned.
+    """
+    server = SwapServer(config)
+    stop = stop if stop is not None else threading.Event()
+
+    def _request_stop(_signum, _frame) -> None:
+        stop.set()
+
+    previous: Dict[int, object] = {}
+    try:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[sig] = signal.signal(sig, _request_stop)
+            except ValueError:  # not the main thread
+                pass
+        server.start()
+        where = {"host": server.host, "port": server.port, "pid": os.getpid()}
+        event = {"event": "listening", **where}
+        if announce is not None:
+            announce(event)
+        else:
+            print(json.dumps(event, separators=(",", ":")), flush=True)
+        get_logger().log("http_listening", **where)
+        stop.wait()
+        return 0 if server.shutdown(drain=True) else 1
+    finally:
+        for sig, handler in previous.items():
+            try:
+                signal.signal(sig, handler)  # type: ignore[arg-type]
+            except ValueError:
+                pass

@@ -1,0 +1,301 @@
+"""A retrying HTTP client for the serving layer (stdlib ``urllib``).
+
+:class:`SwapClient` speaks the wire format of :mod:`repro.server.app`
+and embeds the retry discipline the server's error envelopes are
+designed for: capped exponential backoff with **full jitter**
+(``delay ~ U(0, min(cap, base * 2**attempt))``), honouring
+``Retry-After``, retrying *only* what the server marks transient --
+
+* HTTP ``429`` (queue full) and ``503`` (draining),
+* any error envelope with ``retryable: true`` (pool timeouts, worker
+  crashes, request deadlines),
+* connection-level failures (refused/reset), which are
+  indistinguishable from a restarting server.
+
+Deterministic rejections (``400``, ``404``, ``413``, non-retryable
+``500``) surface immediately as :class:`ServerReplyError`. When the
+retry budget runs out, :class:`RetriesExhaustedError` carries the last
+failure. ``sleep`` and ``rng`` are injectable so tests exercise the
+full backoff schedule in microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.service.serialize import decode_result
+
+__all__ = [
+    "ClientError",
+    "ServerReplyError",
+    "RetriesExhaustedError",
+    "RetryPolicy",
+    "SwapClient",
+]
+
+
+class ClientError(Exception):
+    """Base class of every client-side failure."""
+
+
+class ServerReplyError(ClientError):
+    """The server answered with a non-retryable (or final) error."""
+
+    def __init__(self, status: int, error: Dict[str, object]) -> None:
+        code = error.get("code", "unknown")
+        message = error.get("message", "")
+        super().__init__(f"HTTP {status} {code}: {message}")
+        self.status = status
+        self.error = error
+
+    @property
+    def retryable(self) -> bool:
+        """Whether the server marked this failure safe to resubmit."""
+        return self.status in (429, 503) or bool(self.error.get("retryable"))
+
+
+class RetriesExhaustedError(ClientError):
+    """Every attempt failed with a retryable error."""
+
+    def __init__(self, attempts: int, last: Exception) -> None:
+        super().__init__(f"gave up after {attempts} attempts: {last}")
+        self.attempts = attempts
+        self.last = last
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with full jitter.
+
+    ``max_attempts`` counts every try including the first; the delay
+    before retry ``k`` (0-based) is drawn uniformly from
+    ``[0, min(max_delay, base_delay * 2**k)]``, stretched to at least
+    the server's ``Retry-After`` hint when one was given (still capped
+    at ``max_delay``).
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay <= 0 or self.max_delay <= 0:
+            raise ValueError("delays must be > 0")
+
+    def delay(
+        self,
+        attempt: int,
+        rng: random.Random,
+        retry_after: Optional[float] = None,
+    ) -> float:
+        """The sleep before retry number ``attempt`` (0-based)."""
+        cap = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+        jittered = rng.uniform(0.0, cap)
+        if retry_after is not None:
+            jittered = max(jittered, min(retry_after, self.max_delay))
+        return jittered
+
+
+class SwapClient:
+    """Typed access to a running :class:`~repro.server.app.SwapServer`.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``http://127.0.0.1:8100`` (trailing slash tolerated).
+    timeout:
+        Per-attempt socket timeout in seconds.
+    retry:
+        The :class:`RetryPolicy`; ``RetryPolicy(max_attempts=1)``
+        disables retries entirely.
+    sleep, rng:
+        Injection points for tests (defaults: ``time.sleep`` and a
+        process-seeded :class:`random.Random`).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+
+    # ------------------------------------------------------------------ #
+    # transport with retry
+    # ------------------------------------------------------------------ #
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        content_type: str = "application/json",
+        attempts: Optional[int] = None,
+    ) -> Tuple[int, bytes]:
+        """One logical request, retried per the policy; ``(status, body)``."""
+        url = self.base_url + path
+        budget = attempts if attempts is not None else self.retry.max_attempts
+        last: Exception = ClientError("no attempt made")
+        for attempt in range(budget):
+            request = urllib.request.Request(url, data=body, method=method)
+            if body is not None:
+                request.add_header("Content-Type", content_type)
+            retry_after: Optional[float] = None
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    return response.status, response.read()
+            except urllib.error.HTTPError as exc:
+                payload = exc.read()
+                reply = ServerReplyError(exc.code, _envelope_error(payload))
+                if not reply.retryable:
+                    raise reply from None
+                retry_after = _parse_retry_after(
+                    exc.headers.get("Retry-After")
+                )
+                last = reply
+            except urllib.error.URLError as exc:
+                # connection refused/reset: the server may be restarting
+                last = ClientError(f"connection failed: {exc.reason}")
+            if attempt + 1 < budget:
+                self._sleep(self.retry.delay(attempt, self._rng, retry_after))
+        raise RetriesExhaustedError(budget, last)
+
+    def _json(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        body = (
+            json.dumps(payload, separators=(",", ":")).encode("utf-8")
+            if payload is not None
+            else None
+        )
+        _status, raw = self._request(method, path, body)
+        return json.loads(raw.decode("utf-8"))
+
+    # ------------------------------------------------------------------ #
+    # API surface
+    # ------------------------------------------------------------------ #
+
+    def solve(
+        self,
+        pstar: float = 2.0,
+        collateral: float = 0.0,
+        params: Optional[dict] = None,
+    ):
+        """``POST /v1/solve``; returns the decoded equilibrium object."""
+        payload: dict = {"kind": "solve", "pstar": pstar, "collateral": collateral}
+        if params is not None:
+            payload["params"] = params
+        return decode_result(self._json("POST", "/v1/solve", payload)["result"])
+
+    def validate(
+        self,
+        pstar: float = 2.0,
+        collateral: float = 0.0,
+        n_paths: int = 20_000,
+        seed: Optional[int] = None,
+        params: Optional[dict] = None,
+    ):
+        """``POST /v1/validate``; returns the decoded validation result."""
+        payload: dict = {
+            "kind": "validate",
+            "pstar": pstar,
+            "collateral": collateral,
+            "n_paths": n_paths,
+        }
+        if seed is not None:
+            payload["seed"] = seed
+        if params is not None:
+            payload["params"] = params
+        return decode_result(
+            self._json("POST", "/v1/validate", payload)["result"]
+        )
+
+    def batch(self, requests: Sequence[dict]) -> List[dict]:
+        """``POST /v1/batch``: JSONL in, one record dict per request out."""
+        body = "".join(
+            json.dumps(request, separators=(",", ":")) + "\n"
+            for request in requests
+        ).encode("utf-8")
+        _status, raw = self._request(
+            "POST", "/v1/batch", body, content_type="application/x-ndjson"
+        )
+        return [
+            json.loads(line)
+            for line in raw.decode("utf-8").splitlines()
+            if line.strip()
+        ]
+
+    def sweep(self, pstars: Sequence[float], collateral: float = 0.0) -> List[dict]:
+        """``GET /v1/sweep``; one ``{pstar, success_rate, ...}`` per point."""
+        query = ",".join(repr(float(p)) for p in pstars)
+        return self._json(
+            "GET", f"/v1/sweep?pstars={query}&collateral={collateral!r}"
+        )["results"]
+
+    # ------------------------------------------------------------------ #
+    # operational endpoints
+    # ------------------------------------------------------------------ #
+
+    def health(self) -> bool:
+        """Liveness: True iff ``/healthz`` answers 200."""
+        return self._probe("/healthz")
+
+    def ready(self) -> bool:
+        """Readiness: True iff ``/readyz`` answers 200 (False: draining)."""
+        return self._probe("/readyz")
+
+    def _probe(self, path: str) -> bool:
+        # probes answer NOW, never retry: a draining server's 503 must
+        # come back as an immediate False, not a slept-through backoff
+        try:
+            status, _body = self._request("GET", path, attempts=1)
+        except ClientError:
+            return False
+        return status == 200
+
+    def version(self) -> dict:
+        """The server's ``/version`` document."""
+        return self._json("GET", "/version")
+
+    def metrics(self) -> str:
+        """The live Prometheus text exposition from ``/metrics``."""
+        _status, raw = self._request("GET", "/metrics")
+        return raw.decode("utf-8")
+
+
+def _envelope_error(payload: bytes) -> Dict[str, object]:
+    """The ``error`` object of an envelope body (tolerant of junk)."""
+    try:
+        data = json.loads(payload.decode("utf-8"))
+        error = data.get("error")
+        if isinstance(error, dict):
+            return error
+    except (UnicodeDecodeError, ValueError):
+        pass
+    return {"code": "unknown", "message": payload[:200].decode("utf-8", "replace")}
+
+
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return None

@@ -1,0 +1,111 @@
+"""Server configuration.
+
+One frozen dataclass carries every knob of the HTTP layer; the
+``repro-swaps serve`` flags map onto it one-to-one. Validation happens
+at construction so a bad flag fails fast with a clean message instead
+of surfacing mid-request.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ServerConfig"]
+
+
+def _check_positive_int(name: str, value: int) -> int:
+    value = int(value)
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def _check_positive_seconds(name: str, value: Optional[float]) -> Optional[float]:
+    if value is None:
+        return None
+    value = float(value)
+    if not (math.isfinite(value) and value > 0.0):
+        raise ValueError(f"{name} must be finite and > 0, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Every knob of the HTTP serving layer.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` asks the OS for an ephemeral port
+        (the bound port is reported once listening).
+    workers:
+        ``SwapService`` process-pool size (1 = serial in-process).
+    queue_depth:
+        Bound on concurrently admitted API requests; excess load is
+        shed with ``429`` + ``Retry-After`` instead of queueing without
+        limit. Operational endpoints bypass admission.
+    max_body_bytes:
+        Per-request body-size ceiling; larger uploads get ``413``
+        without being read.
+    deadline:
+        Per-request wall-clock budget in seconds; work still running at
+        the deadline is abandoned and the request answers ``504``
+        (``None``: no deadline).
+    drain_timeout:
+        How long a graceful shutdown waits for in-flight requests
+        before giving up on them.
+    cache_size, cache_dir, cache_entries, timeout:
+        Forwarded to :class:`~repro.service.api.SwapService` (memory
+        LRU capacity, disk tier directory and entry bound, per-solve
+        pool budget).
+    metrics_out:
+        Optional path; the registry is flushed there in Prometheus text
+        format when the server drains.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8100
+    workers: int = 1
+    queue_depth: int = 16
+    max_body_bytes: int = 1 << 20
+    deadline: Optional[float] = 30.0
+    drain_timeout: float = 10.0
+    cache_size: int = 4096
+    cache_dir: Optional[str] = None
+    cache_entries: Optional[int] = None
+    timeout: Optional[float] = None
+    metrics_out: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "port", int(self.port))
+        if not 0 <= self.port <= 65535:
+            raise ValueError(f"port must be in [0, 65535], got {self.port}")
+        object.__setattr__(
+            self, "workers", _check_positive_int("workers", self.workers)
+        )
+        object.__setattr__(
+            self,
+            "queue_depth",
+            _check_positive_int("queue_depth", self.queue_depth),
+        )
+        object.__setattr__(
+            self,
+            "max_body_bytes",
+            _check_positive_int("max_body_bytes", self.max_body_bytes),
+        )
+        object.__setattr__(
+            self, "deadline", _check_positive_seconds("deadline", self.deadline)
+        )
+        drain = _check_positive_seconds("drain_timeout", self.drain_timeout)
+        object.__setattr__(self, "drain_timeout", drain)
+        object.__setattr__(
+            self, "timeout", _check_positive_seconds("timeout", self.timeout)
+        )
+        if self.cache_entries is not None:
+            object.__setattr__(
+                self,
+                "cache_entries",
+                _check_positive_int("cache_entries", self.cache_entries),
+            )

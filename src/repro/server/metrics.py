@@ -1,0 +1,65 @@
+"""The HTTP layer's registry instruments (``repro_http_*``).
+
+Bound once per server against the active :mod:`repro.obs` registry and
+rendered live by ``GET /metrics``. Route labels are always one of the
+fixed route patterns (unknown paths collapse to ``unknown``), so label
+cardinality stays bounded no matter what clients request.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.obs.metrics import get_registry
+
+__all__ = ["HTTPMetrics", "RESPONSE_BYTE_BUCKETS"]
+
+# response sizes: 64 B .. 4 MiB, x4 apart (envelopes at the bottom,
+# JSONL batch responses at the top)
+RESPONSE_BYTE_BUCKETS: Tuple[float, ...] = (
+    64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0, 4194304.0,
+)
+
+
+class HTTPMetrics:
+    """The serving layer's instruments, get-or-created once."""
+
+    def __init__(self) -> None:
+        registry = get_registry()
+        self.requests = registry.counter(
+            "repro_http_requests_total",
+            help="HTTP requests served, by route, method and status.",
+            labelnames=("route", "method", "status"),
+        )
+        self.request_seconds = registry.histogram(
+            "repro_http_request_seconds",
+            help="Wall-clock request latency, by route.",
+            labelnames=("route",),
+        )
+        self.response_bytes = registry.histogram(
+            "repro_http_response_bytes",
+            help="Response body size, by route.",
+            labelnames=("route",),
+            buckets=RESPONSE_BYTE_BUCKETS,
+        )
+        self.inflight = registry.gauge(
+            "repro_http_inflight",
+            help="API requests currently admitted and executing.",
+        )
+        self.rejected = registry.counter(
+            "repro_http_rejected_total",
+            help="Requests shed before execution, by reason.",
+            labelnames=("reason",),
+        )
+        # materialise the shed reasons so /metrics always exports the
+        # family, even on a server that has never shed load
+        for reason in ("queue_full", "body_too_large", "draining", "deadline"):
+            self.rejected.inc(0, reason=reason)
+
+    def observe(
+        self, route: str, method: str, status: int, seconds: float, size: int
+    ) -> None:
+        """Record one completed response."""
+        self.requests.inc(route=route, method=method, status=str(status))
+        self.request_seconds.observe(seconds, route=route)
+        self.response_bytes.observe(float(size), route=route)

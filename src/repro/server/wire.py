@@ -1,0 +1,87 @@
+"""HTTP wire conventions: error envelopes and status mapping.
+
+Every non-2xx API response carries the same JSON envelope::
+
+    {"ok": false, "error": {"code": ..., "message": ..., "retryable": ...}}
+
+``code``/``message``/``retryable`` are exactly
+:class:`~repro.service.errors.ServiceErrorInfo` -- the service layer's
+typed errors go onto the wire unchanged, plus a handful of
+transport-only codes (``queue_full``, ``body_too_large``, ...). The
+``retryable`` flag is authoritative for clients:
+:mod:`repro.server.client` retries exactly when the status is 429/503
+or the envelope says so.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.service.errors import ServiceError, ServiceErrorInfo
+
+__all__ = [
+    "DeadlineExceededError",
+    "STATUS_BY_CODE",
+    "status_for",
+    "error_envelope",
+    "envelope_bytes",
+]
+
+
+class DeadlineExceededError(ServiceError):
+    """The request exceeded the server's per-request deadline."""
+
+    code = "deadline_exceeded"
+    retryable = True
+
+
+# service-layer and transport error codes -> HTTP status
+STATUS_BY_CODE: Dict[str, int] = {
+    "invalid_request": 400,
+    "parse_error": 400,
+    "not_found": 404,
+    "method_not_allowed": 405,
+    "length_required": 411,
+    "body_too_large": 413,
+    "queue_full": 429,
+    "solve_failed": 500,
+    "internal_error": 500,
+    "worker_crashed": 500,
+    "draining": 503,
+    "timeout": 504,
+    "deadline_exceeded": 504,
+}
+
+
+def status_for(info: ServiceErrorInfo) -> int:
+    """The HTTP status of an error envelope (500 for unknown codes)."""
+    return STATUS_BY_CODE.get(info.code, 500)
+
+
+def error_envelope(info: ServiceErrorInfo) -> Dict[str, object]:
+    """The JSON error envelope body for ``info``.
+
+    Unlike the JSONL batch records (which keep the historical two-key
+    error dict), HTTP envelopes carry ``retryable`` explicitly -- it is
+    the client's retry signal.
+    """
+    return {
+        "ok": False,
+        "error": {
+            "code": info.code,
+            "message": info.message,
+            "retryable": info.retryable,
+        },
+    }
+
+
+def envelope_bytes(
+    info: ServiceErrorInfo, status: Optional[int] = None
+) -> Tuple[int, bytes]:
+    """``(status, body)`` for an error response."""
+    payload = json.dumps(error_envelope(info), separators=(",", ":"))
+    return (
+        status if status is not None else status_for(info),
+        payload.encode("utf-8"),
+    )

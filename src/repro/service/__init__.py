@@ -15,7 +15,9 @@ engine. The pieces, bottom-up:
 * :mod:`repro.service.executor` -- process-pool execution with
   per-request timeouts and deterministic seeding;
 * :mod:`repro.service.api` -- :class:`SwapService`, the batch facade
-  the CLI (``repro-swaps batch``) and the analysis sweeps consume.
+  the CLI (``repro-swaps batch``) and the analysis sweeps consume;
+* :mod:`repro.service.jsonl` -- the JSON-lines batch wire format
+  shared by the CLI and the HTTP server (:mod:`repro.server`).
 
 Quickstart::
 
@@ -39,6 +41,7 @@ from repro.service.errors import (
     error_payload,
 )
 from repro.service.executor import ValidationResult, WorkerPool, execute_request
+from repro.service.jsonl import render_records, serve_lines
 from repro.service.keys import KEY_VERSION, derive_seed, request_key
 from repro.service.requests import SolveRequest, ValidateRequest, parse_request
 from repro.service.serialize import decode_result, encode_result
@@ -69,4 +72,6 @@ __all__ = [
     "parse_request",
     "encode_result",
     "decode_result",
+    "serve_lines",
+    "render_records",
 ]

@@ -71,6 +71,9 @@ class SwapService:
     cache_dir:
         Optional directory for the persistent JSON tier; results then
         survive across service instances and processes.
+    cache_entries:
+        Bound on the disk tier's entry count (``None``: unbounded);
+        oldest entries are pruned on write once the bound is exceeded.
     timeout:
         Per-request wall-clock budget in seconds (pooled mode only).
     """
@@ -80,9 +83,12 @@ class SwapService:
         max_workers: int = 1,
         cache_size: int = 4096,
         cache_dir: Optional[str] = None,
+        cache_entries: Optional[int] = None,
         timeout: Optional[float] = None,
     ) -> None:
-        self._cache = TieredCache.build(maxsize=cache_size, cache_dir=cache_dir)
+        self._cache = TieredCache.build(
+            maxsize=cache_size, cache_dir=cache_dir, disk_entries=cache_entries
+        )
         self._pool = WorkerPool(max_workers=max_workers, timeout=timeout)
 
     # ------------------------------------------------------------------ #

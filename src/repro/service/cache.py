@@ -131,12 +131,19 @@ class DiskCache:
 
     Corrupt or undecodable files count as misses and are left in place
     for inspection; writes go through a temp file + ``os.replace`` so a
-    crash never leaves a half-written entry behind.
+    crash never leaves a half-written entry behind. ``max_entries``
+    bounds the directory: every ``put`` that pushes it past the limit
+    prunes the oldest-mtime entries (a disk-tier LRU approximation --
+    reads do not refresh mtimes, so this is oldest-written-first),
+    counted in the tier's eviction counters.
     """
 
-    def __init__(self, directory) -> None:
+    def __init__(self, directory, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_entries = int(max_entries) if max_entries is not None else None
         self.stats = CacheStats()
         self._metrics = _CacheMetrics("disk")
         self._io_seconds = get_registry().histogram(
@@ -155,19 +162,24 @@ class DiskCache:
         """Decode the stored result, or ``None`` on miss/corruption."""
         path = self._path(key)
         started = time.perf_counter()
+        # the read duration is observed on *every* outcome -- hits,
+        # misses, and corrupt files alike -- so the latency histogram
+        # reflects the tier's true cost, not just its happy path
         try:
-            with path.open("r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-            value = decode_result(payload["result"])
-        except FileNotFoundError:
-            self.stats.misses += 1
-            self._metrics.misses.inc(tier="disk")
-            return None
-        except (KeyError, TypeError, ValueError, json.JSONDecodeError):
-            self.stats.misses += 1
-            self._metrics.misses.inc(tier="disk")
-            return None
-        self._io_seconds.observe(time.perf_counter() - started, op="read")
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                value = decode_result(payload["result"])
+            except FileNotFoundError:
+                self.stats.misses += 1
+                self._metrics.misses.inc(tier="disk")
+                return None
+            except (KeyError, TypeError, ValueError, json.JSONDecodeError):
+                self.stats.misses += 1
+                self._metrics.misses.inc(tier="disk")
+                return None
+        finally:
+            self._io_seconds.observe(time.perf_counter() - started, op="read")
         self.stats.hits += 1
         self._metrics.hits.inc(tier="disk")
         return value
@@ -192,6 +204,28 @@ class DiskCache:
         self._io_seconds.observe(time.perf_counter() - started, op="write")
         self.stats.puts += 1
         self._metrics.puts.inc(tier="disk")
+        if self.max_entries is not None:
+            self._prune()
+
+    def _prune(self) -> None:
+        """Drop oldest-mtime entries until the directory fits the bound."""
+        entries = []
+        for path in self.directory.glob("*.json"):
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:  # concurrently pruned by another process
+                continue
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return
+        entries.sort(key=lambda pair: pair[0])
+        for _mtime, path in entries[:excess]:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self.stats.evictions += 1
+            self._metrics.evictions.inc(tier="disk")
 
 
 @dataclass
@@ -207,12 +241,22 @@ class TieredCache:
 
     @staticmethod
     def build(
-        maxsize: int = 4096, cache_dir: Optional[str] = None
+        maxsize: int = 4096,
+        cache_dir: Optional[str] = None,
+        disk_entries: Optional[int] = None,
     ) -> "TieredCache":
-        """The standard construction used by ``SwapService``."""
+        """The standard construction used by ``SwapService``.
+
+        ``disk_entries`` bounds the on-disk tier (``None``: unbounded);
+        it is ignored when no ``cache_dir`` is configured.
+        """
         return TieredCache(
             memory=LRUCache(maxsize=maxsize),
-            disk=DiskCache(cache_dir) if cache_dir is not None else None,
+            disk=(
+                DiskCache(cache_dir, max_entries=disk_entries)
+                if cache_dir is not None
+                else None
+            ),
         )
 
     def get(self, key: str) -> Optional[Any]:

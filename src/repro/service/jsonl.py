@@ -1,0 +1,83 @@
+"""The JSON-lines batch wire format, shared by the CLI and HTTP server.
+
+One request object per input line (``kind`` = ``solve`` or
+``validate``; see :mod:`repro.service.requests`), one result record per
+request line on the way out -- the exact byte format of
+``repro-swaps batch`` since PR 1, now also spoken by ``POST /v1/batch``
+(:mod:`repro.server`). Parse failures and invalid requests become
+structured in-band error records; they never abort the stream.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterable, List, Tuple
+
+from repro.service.errors import ServiceError, error_payload
+from repro.service.requests import parse_request
+from repro.service.serialize import encode_result
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.service.api import SwapService
+
+__all__ = ["serve_lines", "render_records"]
+
+
+def serve_lines(
+    service: "SwapService", lines: Iterable[str]
+) -> Tuple[bool, List[dict]]:
+    """Parse and execute a JSON-lines batch against ``service``.
+
+    Returns ``(all_parsed, records)``: ``all_parsed`` is False iff any
+    non-blank line was not valid JSON, and each record is the JSON-safe
+    per-line result object of the historical ``batch`` output format
+    (``line``/``ok``/``kind``/``key``/``cached`` plus ``result`` or
+    ``error``). Blank lines are skipped without a record.
+    """
+    # parse every line first so the batch executes (and dedupes) as one
+    records = []  # (line_no, request | None, error_payload | None)
+    all_parsed = True
+    for line_no, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            all_parsed = False
+            records.append(
+                (line_no, None, {"code": "parse_error", "message": str(exc)})
+            )
+            continue
+        try:
+            records.append((line_no, parse_request(data), None))
+        except ServiceError as exc:
+            records.append((line_no, None, error_payload(exc)))
+
+    requests = [request for _, request, _ in records if request is not None]
+    items = iter(service.run_batch(requests))
+    out_records: List[dict] = []
+    for line_no, request, error in records:
+        if request is None:
+            out_records.append({"line": line_no, "ok": False, "error": error})
+            continue
+        item = next(items)
+        out: dict = {
+            "line": line_no,
+            "ok": item.ok,
+            "kind": request.to_dict()["kind"],
+            "key": item.key,
+            "cached": item.cached,
+        }
+        if item.ok:
+            out["result"] = encode_result(item.value)
+        else:
+            out["error"] = item.error.to_dict()
+        out_records.append(out)
+    return all_parsed, out_records
+
+
+def render_records(records: Iterable[dict]) -> str:
+    """Records as a JSON-lines document (one compact object per line)."""
+    return "".join(
+        json.dumps(record, separators=(",", ":")) + "\n" for record in records
+    )

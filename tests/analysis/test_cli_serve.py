@@ -1,0 +1,84 @@
+"""Tests for the ``repro-swaps serve`` command wiring."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.cli import build_parser, main
+from repro.server import ServerConfig, SwapClient, serve
+
+
+class TestServeParser:
+    def test_defaults_match_server_config(self):
+        args = build_parser().parse_args(["serve"])
+        defaults = ServerConfig()
+        assert args.host == defaults.host
+        assert args.port == defaults.port
+        assert args.queue_depth == defaults.queue_depth
+        assert args.max_body_bytes == defaults.max_body_bytes
+        assert args.deadline == defaults.deadline
+        assert args.drain_timeout == defaults.drain_timeout
+        assert args.cache_dir is None
+        assert args.cache_entries is None
+        assert args.metrics_out is None
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--host", "0.0.0.0",
+                "--port", "0",
+                "--workers", "2",
+                "--queue-depth", "4",
+                "--max-body-bytes", "512",
+                "--deadline", "5.5",
+                "--drain-timeout", "1.5",
+                "--cache-dir", "/tmp/c",
+                "--cache-entries", "100",
+                "--metrics-out", "/tmp/m.prom",
+            ]
+        )
+        assert (args.host, args.port, args.workers) == ("0.0.0.0", 0, 2)
+        assert (args.queue_depth, args.max_body_bytes) == (4, 512)
+        assert (args.deadline, args.drain_timeout) == (5.5, 1.5)
+        assert args.cache_entries == 100
+
+    def test_invalid_config_exits_two(self, capsys):
+        assert main(["serve", "--queue-depth", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "queue_depth" in err
+
+
+class TestServeFunction:
+    def test_serve_runs_until_stop_and_drains(self, tmp_path):
+        metrics_path = tmp_path / "serve.prom"
+        stop = threading.Event()
+        announced = []
+        config = ServerConfig(port=0, metrics_out=str(metrics_path))
+        runner = threading.Thread(
+            target=lambda: announced.append(
+                serve(config, stop=stop, announce=announced.append)
+            ),
+            daemon=True,
+        )
+        runner.start()
+        deadline = threading.Event()
+        for _ in range(200):
+            if announced:
+                break
+            deadline.wait(0.05)
+        assert announced, "server never announced its port"
+        event = announced[0]
+        assert event["event"] == "listening"
+
+        client = SwapClient(f"http://127.0.0.1:{event['port']}")
+        assert client.ready() is True
+        assert client.solve(pstar=2.0).success_rate > 0.0
+
+        stop.set()
+        runner.join(timeout=30.0)
+        assert not runner.is_alive()
+        assert announced[-1] == 0  # clean drain -> exit status 0
+        assert "repro_http_requests_total" in metrics_path.read_text(
+            encoding="utf-8"
+        )

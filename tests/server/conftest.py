@@ -1,0 +1,86 @@
+"""Shared server-test helpers: real sockets, ephemeral ports.
+
+Every test here starts an actual :class:`SwapServer` on port 0 and
+talks to it over loopback TCP -- no mocked transports -- so admission,
+drain, and error paths are exercised exactly as a deployment sees them.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Optional
+
+import pytest
+
+from repro.server import ServerConfig, SwapServer
+from repro.server.client import RetryPolicy, SwapClient
+from repro.service.api import SwapService
+
+
+class GatedService(SwapService):
+    """A service whose batches block until the test releases them.
+
+    ``started`` is set when a batch enters ``run_batch``; the batch then
+    waits on ``release`` before delegating to the real implementation --
+    the deterministic way to hold a request in flight while the test
+    saturates the admission gate or begins a drain.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(max_workers=1)
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def run_batch(self, requests):
+        self.started.set()
+        assert self.release.wait(timeout=30.0), "test never released the batch"
+        return super().run_batch(requests)
+
+
+@pytest.fixture()
+def make_server():
+    """Factory: start a server on an ephemeral port, always shut down."""
+    servers = []
+
+    def _make(
+        service: Optional[SwapService] = None, **config_kwargs
+    ) -> SwapServer:
+        config_kwargs.setdefault("port", 0)
+        server = SwapServer(ServerConfig(**config_kwargs), service=service)
+        server.start()
+        servers.append(server)
+        return server
+
+    yield _make
+    for server in servers:
+        server.shutdown(drain=False)
+
+
+@pytest.fixture()
+def make_client():
+    """A client with fast, deterministic retries against a server."""
+
+    def _make(server: SwapServer, **kwargs) -> SwapClient:
+        kwargs.setdefault(
+            "retry", RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.05)
+        )
+        kwargs.setdefault("timeout", 10.0)
+        return SwapClient(f"http://127.0.0.1:{server.port}", **kwargs)
+
+    return _make
+
+
+def request_in_thread(fn) -> "threading.Thread":
+    """Run a client call on a daemon thread, capturing outcome on it."""
+
+    def _run() -> None:
+        try:
+            thread.value = fn()
+        except Exception as exc:  # surfaced by the asserting test
+            thread.error = exc
+
+    thread = threading.Thread(target=_run, daemon=True)
+    thread.value = None
+    thread.error = None
+    thread.start()
+    return thread

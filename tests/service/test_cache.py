@@ -3,8 +3,12 @@
 from __future__ import annotations
 
 import json
+import os
+
+import pytest
 
 from repro.core.solver import solve_swap_game
+from repro.obs.metrics import Registry, use_registry
 from repro.service.cache import DiskCache, LRUCache, TieredCache
 from repro.service.serialize import decode_result, encode_result
 
@@ -60,6 +64,78 @@ class TestDisk:
         cache.put("k", solve_swap_game(params, 2.0))
         assert not list(tmp_path.glob(".tmp-*"))
         assert len(cache) == 1
+
+
+class TestDiskBound:
+    @staticmethod
+    def _fill(cache, params, pstars, tmp_path):
+        """Put one entry per pstar, forcing strictly increasing mtimes."""
+        for index, pstar in enumerate(pstars):
+            cache.put(f"k{index}", solve_swap_game(params, pstar))
+            # mtime granularity can be coarser than a put; pin the order
+            os.utime(tmp_path / f"k{index}.json", (1000 + index, 1000 + index))
+
+    def test_put_prunes_oldest_mtime(self, params, tmp_path):
+        cache = DiskCache(tmp_path, max_entries=2)
+        self._fill(cache, params, [1.8, 2.0, 2.2], tmp_path)
+        cache.put("k3", solve_swap_game(params, 2.4))
+        assert len(cache) == 2
+        # the two oldest fell out; the two newest survive
+        assert cache.get("k0") is None
+        assert cache.get("k1") is None
+        assert cache.get("k2") is not None
+        assert cache.get("k3") is not None
+
+    def test_pruning_counts_as_evictions(self, params, tmp_path):
+        registry = Registry()
+        with use_registry(registry):
+            cache = DiskCache(tmp_path, max_entries=1)
+            self._fill(cache, params, [1.8, 2.0, 2.2], tmp_path)
+            assert len(cache) == 1
+            assert cache.stats.evictions == 2
+            evictions = registry.counter(
+                "repro_cache_evictions_total", labelnames=("tier",)
+            )
+            assert evictions.value(tier="disk") == 2
+
+    def test_unbounded_by_default(self, params, tmp_path):
+        cache = DiskCache(tmp_path)
+        self._fill(cache, params, [1.8, 2.0, 2.2], tmp_path)
+        assert len(cache) == 3
+        assert cache.stats.evictions == 0
+
+    def test_invalid_bound_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskCache(tmp_path, max_entries=0)
+
+    def test_build_plumbs_disk_entries(self, params, tmp_path):
+        cache = TieredCache.build(cache_dir=str(tmp_path), disk_entries=2)
+        assert cache.disk.max_entries == 2
+        for index, pstar in enumerate([1.8, 2.0, 2.2]):
+            cache.put(f"k{index}", solve_swap_game(params, pstar))
+            os.utime(tmp_path / f"k{index}.json", (1000 + index, 1000 + index))
+        assert len(cache.disk) == 2
+        # memory tier is unaffected by the disk bound
+        assert len(cache.memory) == 3
+
+
+class TestDiskReadTiming:
+    def test_read_duration_observed_on_every_outcome(self, params, tmp_path):
+        registry = Registry()
+        with use_registry(registry):
+            cache = DiskCache(tmp_path)
+            histogram = registry.histogram(
+                "repro_cache_disk_seconds", labelnames=("op",)
+            )
+            assert cache.get("absent") is None  # miss
+            assert histogram.count(op="read") == 1
+            (tmp_path / "bad.json").write_text("{not json", encoding="utf-8")
+            assert cache.get("bad") is None  # corrupt
+            assert histogram.count(op="read") == 2
+            cache.put("k", solve_swap_game(params, 2.0))
+            assert cache.get("k") is not None  # hit
+            assert histogram.count(op="read") == 3
+            assert histogram.count(op="write") == 1
 
 
 class TestTiered:
