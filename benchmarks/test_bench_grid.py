@@ -1,0 +1,78 @@
+"""Benchmark S3: the vectorised grid-solve engine.
+
+Not a paper artifact -- this measures the refactored solver core: a
+256-point Figure 6 success-rate curve evaluated as one
+:func:`repro.core.engine.solve_grid` array pass must (a) agree with the
+seed's per-point scalar loop to 1e-9 everywhere and (b) run at least
+5x faster than it. The run also checks the engine's observability
+contract: one grid solve emits the ``repro_grid_*`` metric family.
+
+Under ``REPRO_BENCH_SMOKE=1`` (the CI smoke lane) the timing assertion
+is skipped -- shared runners make wall-clock ratios flaky -- but the
+correctness and metrics assertions always hold.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import emit
+from repro.core.backward_induction import BackwardInduction
+from repro.core.engine import solve_grid
+from repro.obs.metrics import get_registry
+
+CURVE_POINTS = 256
+SPEEDUP_FLOOR = 5.0
+
+
+def _figure6_grid(params):
+    lo, hi = 1.2, 3.2
+    return [
+        lo + (hi - lo) * i / (CURVE_POINTS - 1.0) for i in range(CURVE_POINTS)
+    ]
+
+
+def test_grid_curve_speedup_and_parity(params):
+    pstars = _figure6_grid(params)
+
+    t0 = time.perf_counter()
+    scalar = [BackwardInduction(params, k).success_rate() for k in pstars]
+    scalar_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    grid = solve_grid(params, pstars)
+    grid_s = time.perf_counter() - t0
+
+    worst = max(abs(g - s) for g, s in zip(grid.success_rate, scalar))
+    assert worst <= 1e-9, f"grid/scalar divergence {worst:.3e}"
+
+    speedup = scalar_s / grid_s if grid_s > 0 else float("inf")
+    emit(
+        "grid engine, 256-point Figure 6 curve",
+        f"scalar loop : {scalar_s:.3f}s\n"
+        f"grid solve  : {grid_s:.3f}s\n"
+        f"speedup     : {speedup:.1f}x (floor {SPEEDUP_FLOOR}x)\n"
+        f"max |dSR|   : {worst:.2e}",
+    )
+    if os.environ.get("REPRO_BENCH_SMOKE") != "1":
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"grid engine only {speedup:.1f}x faster than the scalar loop"
+        )
+
+
+def test_grid_solve_emits_metrics(params):
+    registry = get_registry()
+    before = registry.snapshot()
+    solved = solve_grid(params, [1.8, 2.0, 2.2])
+    assert len(solved) == 3
+    after = registry.snapshot()
+
+    for family in ("repro_grid_solves_total", "repro_grid_points", "repro_grid_seconds"):
+        assert family in after, family
+
+    def total(snapshot):
+        entry = snapshot.get("repro_grid_solves_total", {"samples": []})
+        return sum(sample["value"] for sample in entry["samples"])
+
+    assert total(after) == total(before) + 1

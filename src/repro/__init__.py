@@ -36,7 +36,15 @@ warning-free behaviour.
 
 import warnings as _warnings
 
-from repro.api import Equilibrium, solve, success_rate, sweep, validate
+from repro.api import (
+    Equilibrium,
+    EquilibriumGrid,
+    solve,
+    solve_grid,
+    success_rate,
+    sweep,
+    validate,
+)
 from repro.core import (
     AgentParameters,
     SwapParameters,
@@ -105,7 +113,9 @@ def solve_premium_game(params, pstar, premium):
 __all__ = [
     # unified facade
     "Equilibrium",
+    "EquilibriumGrid",
     "solve",
+    "solve_grid",
     "validate",
     "sweep",
     "success_rate",

@@ -7,9 +7,11 @@ method producing terminal output. Numeric assertions about the shapes
 these generators are pure data producers.
 
 Figures whose series are per-``P*`` equilibria (5, 6, 8, 9) are solved
-through the service layer: pass a pooled
-:class:`~repro.service.api.SwapService` to parallelise, or rely on the
-shared default to get caching across repeated artifact runs.
+through the service layer: rely on the shared default to get caching
+across repeated artifact runs. Under the hood the service's sweep verb
+evaluates each panel's whole ``P*`` grid as one vectorised pass through
+the grid engine (:func:`repro.core.engine.solve_grid`), so a 256-point
+curve costs one array solve rather than 256 backward inductions.
 """
 
 from __future__ import annotations

@@ -4,6 +4,14 @@ Central finite differences of ``SR`` (at a fixed ``P*`` or at the
 SR-maximising ``P*``) with respect to each model parameter; the signs
 reproduce the paper's Section III-F statements (e.g. ``dSR/d alpha >
 0``, ``dSR/d sigma < 0`` at the optimum).
+
+Vectorisation note: the grid engine (:mod:`repro.core.engine`) batches
+over ``P*`` for *one* parameter set, and every finite-difference
+evaluation here perturbs the parameters themselves, so the per-point
+calls cannot be fused into one grid solve. The expensive default mode
+(``pstar=None``) still rides the engine indirectly: each perturbed
+model's :func:`max_success_rate` does its coarse ``P*`` scan and
+feasible-range search as vectorised grid passes.
 """
 
 from __future__ import annotations

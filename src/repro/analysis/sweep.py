@@ -9,7 +9,10 @@ empty-square symbol -- are flagged rather than dropped.
 Grid evaluation routes through the service layer
 (:func:`repro.service.api.default_service` unless a caller passes its
 own :class:`~repro.service.api.SwapService`), so repeated sweeps are
-served from cache and a pooled service parallelises them.
+served from cache. The service's sweep verb answers each curve's cache
+misses with *one* vectorised pass through the grid engine
+(:func:`repro.core.engine.solve_grid`) -- one array solve per panel
+value, not one backward induction per ``P*`` point.
 """
 
 from __future__ import annotations

@@ -12,7 +12,12 @@ frozen result dataclasses out.
   rate, returning a :class:`~repro.service.executor.ValidationResult`;
 * :func:`sweep` -- one equilibrium per exchange rate, served through
   the process-wide :class:`~repro.service.api.SwapService` so repeated
-  sweeps hit the cache;
+  sweeps hit the cache and misses are answered by one vectorised grid
+  solve;
+* :func:`solve_grid` -- the raw vectorised engine
+  (:mod:`repro.core.engine`): a whole ``P*`` grid as array kernels,
+  returning an :class:`~repro.core.engine.EquilibriumGrid` of aligned
+  arrays instead of per-point equilibria;
 * :func:`success_rate` -- just the Eq. (31)/(40) number.
 
 The pre-existing entry points (``repro.solve_swap_game``,
@@ -31,13 +36,22 @@ from repro.core.collateral import (
     collateral_success_rate,
     solve_collateral_game,
 )
+from repro.core.engine import EquilibriumGrid, solve_grid
 from repro.core.equilibrium import SwapEquilibrium
 from repro.core.parameters import SwapParameters
 from repro.core.premium import PremiumEquilibrium, solve_premium_game
 from repro.core.solver import solve_swap_game
 from repro.core.success_rate import success_rate as _basic_success_rate
 
-__all__ = ["Equilibrium", "solve", "validate", "sweep", "success_rate"]
+__all__ = [
+    "Equilibrium",
+    "EquilibriumGrid",
+    "solve",
+    "solve_grid",
+    "validate",
+    "sweep",
+    "success_rate",
+]
 
 #: Any frozen equilibrium object the facade can return.
 Equilibrium = Union[SwapEquilibrium, CollateralEquilibrium, PremiumEquilibrium]

@@ -6,6 +6,7 @@ Usage::
     repro-swaps table3
     repro-swaps figure3 ... figure9
     repro-swaps solve --pstar 2.0 [--collateral 0.5]
+    repro-swaps sweep --pstars 1.6,2.0,2.4 [--legacy]
     repro-swaps validate --pstar 2.0 --paths 50000
     repro-swaps batch requests.jsonl --workers 4 --cache-dir cache
     repro-swaps batch requests.jsonl --metrics-out metrics.prom
@@ -111,6 +112,62 @@ def _cmd_solve(args: argparse.Namespace) -> str:
     return solve(params, request.pstar).summary()
 
 
+def _cmd_sweep(args: argparse.Namespace) -> object:
+    """Success-rate curve over a ``P*`` grid, engine-vectorised by default.
+
+    ``--legacy`` answers the same grid with one scalar backward
+    induction per point -- the reference path the grid engine is
+    property-tested against; the two outputs agree to ~1e-12.
+    """
+    params = SwapParameters.default()
+    if args.pstars is not None:
+        try:
+            pstars = [float(token) for token in args.pstars.split(",") if token.strip()]
+        except ValueError:
+            raise ValueError(f"--pstars must be comma-separated numbers, got {args.pstars!r}")
+    else:
+        if args.points < 1:
+            raise ValueError(f"--points must be positive, got {args.points}")
+        from repro.core import feasible_pstar_range
+
+        bounds = feasible_pstar_range(params)
+        if bounds is None:
+            raise ValueError("no feasible P* range under the default parameters")
+        lo, hi = bounds
+        pstars = [
+            lo + (hi - lo) * (i + 0.5) / args.points for i in range(args.points)
+        ]
+    if not pstars:
+        raise ValueError("empty P* grid")
+
+    if args.legacy:
+        from repro.core.backward_induction import BackwardInduction
+        from repro.core.collateral import CollateralBackwardInduction
+
+        if args.collateral > 0.0:
+            rates = [
+                CollateralBackwardInduction(params, k, args.collateral).success_rate()
+                for k in pstars
+            ]
+        else:
+            rates = [BackwardInduction(params, k).success_rate() for k in pstars]
+    else:
+        from repro.core.engine import solve_grid
+
+        rates = [
+            float(rate)
+            for rate in solve_grid(
+                params, pstars, collateral=args.collateral
+            ).success_rate
+        ]
+    return {
+        "pstars": pstars,
+        "success_rate": rates,
+        "collateral": args.collateral,
+        "engine": "scalar" if args.legacy else "grid",
+    }
+
+
 def _cmd_validate(args: argparse.Namespace) -> str:
     from repro.api import validate as validate_point
     from repro.service.requests import ValidateRequest
@@ -169,6 +226,29 @@ def build_parser() -> argparse.ArgumentParser:
     solve = sub.add_parser("solve", parents=[common], help="solve one swap game")
     solve.add_argument("--pstar", type=float, default=2.0)
     solve.add_argument("--collateral", type=float, default=0.0)
+
+    sweep = sub.add_parser(
+        "sweep",
+        parents=[common],
+        help="success-rate curve over a P* grid (one vectorised solve)",
+    )
+    sweep.add_argument(
+        "--pstars",
+        default=None,
+        help="comma-separated P* grid (default: --points over the feasible range)",
+    )
+    sweep.add_argument(
+        "--points",
+        type=int,
+        default=33,
+        help="grid size when --pstars is not given",
+    )
+    sweep.add_argument("--collateral", type=float, default=0.0)
+    sweep.add_argument(
+        "--legacy",
+        action="store_true",
+        help="one scalar backward induction per point (reference path)",
+    )
 
     validate = sub.add_parser(
         "validate", parents=[common], help="Monte Carlo vs analytic SR"
@@ -580,6 +660,8 @@ def _dispatch(args: argparse.Namespace) -> CommandOutcome:
         return 0, "\n".join(sections)
     if args.command == "solve":
         return 0, _cmd_solve(args)
+    if args.command == "sweep":
+        return 0, _cmd_sweep(args)
     if args.command == "validate":
         return 0, _cmd_validate(args)
     if args.command == "backtest":

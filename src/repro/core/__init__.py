@@ -14,7 +14,11 @@ Public surface:
 * :func:`~repro.core.collateral.solve_collateral_game` -- the
   Section IV extension;
 * :func:`~repro.core.premium.solve_premium_game` -- the Han-et-al.
-  premium baseline.
+  premium baseline;
+* :func:`~repro.core.engine.solve_grid` /
+  :class:`~repro.core.engine.GridSolver` -- the vectorised grid engine:
+  one array-kernel solve for a whole ``P*`` grid, powering the curve,
+  sweep, and feasible-range helpers above.
 """
 
 from repro.core.backward_induction import BackwardInduction
@@ -34,6 +38,12 @@ from repro.core.collateral import (
     collateral_success_rate,
     feasible_pstar_region_with_collateral,
     solve_collateral_game,
+)
+from repro.core.engine import (
+    EquilibriumGrid,
+    GridSolver,
+    feasible_regions_grid,
+    solve_grid,
 )
 from repro.core.equilibrium import INDIFFERENT_ACTION, StageUtilities, SwapEquilibrium
 from repro.core.feasible_range import (
@@ -79,6 +89,10 @@ __all__ = [
     "StageUtilities",
     "SwapEquilibrium",
     "solve_swap_game",
+    "EquilibriumGrid",
+    "GridSolver",
+    "solve_grid",
+    "feasible_regions_grid",
     "Action",
     "AliceStrategy",
     "BobStrategy",

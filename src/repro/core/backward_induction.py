@@ -30,7 +30,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.parameters import SwapParameters
-from repro.stochastic.lognormal import LognormalLaw, norm_cdf
+from repro.stochastic.lognormal import LognormalLaw, norm_cdf, transition_pieces
 from repro.stochastic.quadrature import DEFAULT_QUAD_ORDER, expectation_on_interval
 from repro.stochastic.rootfind import IntervalUnion, bracketed_root
 
@@ -156,26 +156,16 @@ class BackwardInduction:
 
         Returns ``(cdf_at_threshold, survival, partial_below)`` of the
         price at ``t3`` given ``P_{t2} = p2``, all evaluated at the
-        ``t3`` threshold, vectorised over ``p2``.
+        ``t3`` threshold, vectorised over ``p2``. Thin view over the
+        array kernel :func:`repro.stochastic.lognormal.transition_pieces`
+        (shared with the grid engine, so scalar and vectorised solves
+        evaluate the identical formulas); ``k <= 0`` degenerates to the
+        collateral extension's "Alice continues at any price" pieces.
         """
         p = self.params
-        p2 = _as_array(p2)
-        k = self.p3_threshold()
-        mean = p2 * math.exp(p.mu * p.tau_b)
-        if k <= 0.0:
-            # collateral extension: Alice continues at any price
-            zeros = np.zeros_like(p2)
-            ones = np.ones_like(p2)
-            return zeros, ones, zeros
-        s = p.sigma * math.sqrt(p.tau_b)
-        log_mean = np.log(p2) + (p.mu - 0.5 * p.sigma**2) * p.tau_b
-        z = (math.log(k) - log_mean) / s
-        cdf = norm_cdf(z)
-        survival = norm_cdf(-z)
-        d1 = (log_mean + s * s - math.log(k)) / s
-        partial_above = mean * norm_cdf(d1)
-        partial_below = np.maximum(mean - partial_above, 0.0)
-        return cdf, survival, partial_below
+        return transition_pieces(
+            _as_array(p2), p.mu, p.sigma, p.tau_b, self.p3_threshold()
+        )
 
     def alice_t2_cont(self, p2):
         """Eq. (20): Alice's expected utility at ``t2`` if Bob continues.

@@ -25,14 +25,12 @@ import math
 from dataclasses import dataclass
 from typing import Tuple
 
-import numpy as np
-
 from repro.core.backward_induction import BackwardInduction, _as_array
 from repro.core.equilibrium import StageUtilities
 from repro.core.parameters import SwapParameters
 from repro.core.strategy import AliceStrategy, BobStrategy
 from repro.stochastic.quadrature import expectation_on_interval
-from repro.stochastic.rootfind import IntervalUnion, bracketed_root
+from repro.stochastic.rootfind import IntervalUnion
 
 __all__ = [
     "CollateralBackwardInduction",
@@ -236,7 +234,9 @@ def collateral_success_rate(
     params: SwapParameters, pstar: float, collateral: float
 ) -> float:
     """Eq. (40): success rate of an initiated collateralised swap."""
-    return CollateralBackwardInduction(params, pstar, collateral).success_rate()
+    from repro.core.engine import solve_grid
+
+    return float(solve_grid(params, [pstar], collateral=collateral).success_rate[0])
 
 
 def feasible_pstar_region_with_collateral(
@@ -251,23 +251,15 @@ def feasible_pstar_region_with_collateral(
     ``alice`` is where ``U^A_{t1,c}(cont) > P* + Q``; ``bob`` where
     ``U^B_{t1,c}(cont) > p0 + Q``. Combine with
     :meth:`IntervalUnion.intersect` (our reading) or
-    :meth:`IntervalUnion.union` (the paper's literal ``𝔓*``).
+    :meth:`IntervalUnion.union` (the paper's literal ``𝔓*``). Both
+    regions come out of one vectorised engine scan
+    (:func:`repro.core.engine.feasible_regions_grid`).
     """
+    from repro.core.engine import feasible_regions_grid
+
     lo = rel_lo * params.p0
     hi = rel_hi * params.p0
-
-    def alice_adv(k: float) -> float:
-        s = CollateralBackwardInduction(params, k, collateral)
-        return s.alice_t1_cont() - s.alice_t1_stop()
-
-    def bob_adv(k: float) -> float:
-        s = CollateralBackwardInduction(params, k, collateral)
-        return s.bob_t1_cont() - s.bob_t1_stop()
-
-    return (
-        _scan_positive_region(alice_adv, lo, hi, n_scan),
-        _scan_positive_region(bob_adv, lo, hi, n_scan),
-    )
+    return feasible_regions_grid(params, lo, hi, n_scan=n_scan, collateral=collateral)
 
 
 def t1_engagement_game(
@@ -298,24 +290,3 @@ def t1_engagement_game(
         row_actions=("engage", "stay_out"),
         col_actions=("engage", "stay_out"),
     )
-
-
-def _scan_positive_region(f, lo: float, hi: float, n_scan: int) -> IntervalUnion:
-    """Region where scalar ``f`` is positive, via log-grid scan + Brent."""
-    grid = np.exp(np.linspace(math.log(lo), math.log(hi), n_scan))
-    values = np.array([f(float(x)) for x in grid])
-    roots = []
-    for i in range(len(grid) - 1):
-        va, vb = values[i], values[i + 1]
-        if va == 0.0:
-            continue
-        if vb == 0.0 or va * vb < 0.0:
-            roots.append(bracketed_root(f, float(grid[i]), float(grid[i + 1])))
-    edges = [lo] + sorted(roots) + [hi]
-    keep = []
-    for a, b in zip(edges[:-1], edges[1:]):
-        if b <= a:
-            continue
-        if f(math.sqrt(a * b)) > 0.0:
-            keep.append((a, b))
-    return IntervalUnion.from_intervals(keep)

@@ -13,21 +13,24 @@ Two questions from the paper:
   Table III defaults.
 
 Both regions are computed by sign-change scans over a log grid followed
-by Brent refinement, so non-interval cases (empty, or touching the scan
-boundary) are handled uniformly via :class:`IntervalUnion`.
+by root refinement, so non-interval cases (empty, or touching the scan
+boundary) are handled uniformly via :class:`IntervalUnion`. The ``P*``
+scan is served by the grid engine
+(:func:`repro.core.engine.feasible_regions_grid`): one vectorised solve
+evaluates both agents' ``t1`` advantages on the whole grid, and the
+boundary roots are refined by one batched bisection. The scalar
+advantage functions below remain the per-point reference view.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-import numpy as np
-
 from repro.core.backward_induction import BackwardInduction
+from repro.core.engine import feasible_regions_grid
 from repro.core.parameters import SwapParameters
-from repro.stochastic.rootfind import IntervalUnion, bracketed_root
+from repro.stochastic.rootfind import IntervalUnion
 
 __all__ = [
     "bob_t2_range",
@@ -100,32 +103,6 @@ class PStarRange:
         return self.alice.bounds()
 
 
-def _scan_region(
-    f,
-    lo: float,
-    hi: float,
-    n_scan: int,
-) -> IntervalUnion:
-    """Region where scalar function ``f`` is positive on ``(lo, hi)``."""
-    grid = np.exp(np.linspace(math.log(lo), math.log(hi), n_scan))
-    values = np.array([f(float(x)) for x in grid])
-    roots = []
-    for i in range(len(grid) - 1):
-        va, vb = values[i], values[i + 1]
-        if va == 0.0:
-            continue
-        if vb == 0.0 or va * vb < 0.0:
-            roots.append(bracketed_root(f, float(grid[i]), float(grid[i + 1])))
-    edges = [lo] + sorted(roots) + [hi]
-    keep = []
-    for a, b in zip(edges[:-1], edges[1:]):
-        if b <= a:
-            continue
-        if f(math.sqrt(a * b)) > 0.0:
-            keep.append((a, b))
-    return IntervalUnion.from_intervals(keep)
-
-
 def feasible_pstar_region(
     params: SwapParameters,
     rel_lo: float = 0.05,
@@ -136,12 +113,12 @@ def feasible_pstar_region(
 
     The scan window is ``(rel_lo * p0, rel_hi * p0)``; rates an order of
     magnitude away from the spot are never individually rational, so the
-    default window is generous.
+    default window is generous. Both agents come out of one engine scan
+    (:func:`repro.core.engine.feasible_regions_grid`).
     """
     lo = rel_lo * params.p0
     hi = rel_hi * params.p0
-    alice = _scan_region(lambda k: alice_t1_advantage(params, k), lo, hi, n_scan)
-    bob = _scan_region(lambda k: bob_t1_advantage(params, k), lo, hi, n_scan)
+    alice, bob = feasible_regions_grid(params, lo, hi, n_scan=n_scan)
     return PStarRange(alice=alice, bob=bob)
 
 

@@ -4,6 +4,19 @@
 price lands in Bob's continuation region and the ``t3`` price then
 exceeds Alice's reveal threshold. The paper shows the curve is concave
 in ``P*`` with an interior maximum; :func:`max_success_rate` locates it.
+
+Grid evaluations (:func:`success_rate_curve` and the coarse stage of
+:func:`max_success_rate`) route through the vectorised engine
+(:func:`repro.core.engine.solve_grid`), which computes every ``P*`` in
+one batch of array kernels; the scalar :func:`success_rate` stays on
+the per-point :class:`BackwardInduction` as the reference view.
+
+Feasibility convention: a grid point is *feasible* iff it lies in the
+**open interior** ``P̲* < P* < P̄*`` of Alice's Eq. (29) range. The
+endpoints are her ``t1`` indifference roots, where the tie-breaking
+convention (:data:`repro.core.equilibrium.INDIFFERENT_ACTION`) has her
+stop -- the same strict-inequality reading as Bob's ``t2``-region
+membership in :meth:`repro.core.strategy.BobStrategy.decide_t2`.
 """
 
 from __future__ import annotations
@@ -15,6 +28,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.backward_induction import BackwardInduction
+from repro.core.engine import solve_grid
 from repro.core.feasible_range import feasible_pstar_range
 from repro.core.parameters import SwapParameters
 
@@ -42,20 +56,25 @@ def success_rate_curve(
 ) -> List[SuccessRatePoint]:
     """Evaluate ``SR`` on a grid of exchange rates (Figure 6 series).
 
-    Each point is tagged with whether it lies in Alice's feasible
-    ``P*`` range; with ``restrict_to_feasible`` infeasible points get
-    ``rate = nan`` (the paper only plots feasible segments).
+    The whole grid is solved in one :func:`~repro.core.engine.solve_grid`
+    call. Each point is tagged with whether it lies strictly inside
+    Alice's feasible ``P*`` range (open-interior convention, see the
+    module docstring: an endpoint is an indifference root, and an
+    indifferent Alice stops); with ``restrict_to_feasible`` infeasible
+    points get ``rate = nan`` (the paper only plots feasible segments).
     """
     bounds = feasible_pstar_range(params)
+    grid = [float(k) for k in pstars]
+    if not grid:
+        return []
+    rates = solve_grid(params, grid).success_rate
     out: List[SuccessRatePoint] = []
-    for k in pstars:
-        feasible = bounds is not None and bounds[0] < k <= bounds[1]
+    for k, rate in zip(grid, rates):
+        feasible = bounds is not None and bounds[0] < k < bounds[1]
         if restrict_to_feasible and not feasible:
-            out.append(SuccessRatePoint(pstar=float(k), rate=float("nan"), feasible=False))
+            out.append(SuccessRatePoint(pstar=k, rate=float("nan"), feasible=False))
             continue
-        out.append(
-            SuccessRatePoint(pstar=float(k), rate=success_rate(params, k), feasible=feasible)
-        )
+        out.append(SuccessRatePoint(pstar=k, rate=float(rate), feasible=feasible))
     return out
 
 
@@ -67,16 +86,18 @@ def max_success_rate(
 ) -> Optional[Tuple[float, float]]:
     """The SR-maximising exchange rate and its success rate.
 
-    Coarse grid over the feasible range followed by golden-section
-    refinement (the curve is concave per Section III-F, so a unimodal
-    search is justified). Returns ``None`` if no feasible rate exists.
+    Coarse grid over the feasible range (one engine pass) followed by
+    golden-section refinement (the curve is concave per Section III-F,
+    so a unimodal search is justified); the refinement's one-point
+    evaluations stay on the scalar solver. Returns ``None`` if no
+    feasible rate exists.
     """
     bounds = feasible_pstar_range(params, n_scan=n_scan)
     if bounds is None:
         return None
     lo, hi = bounds
     grid = np.linspace(lo * 1.0001, hi * 0.9999, n_grid)
-    rates = [success_rate(params, float(k)) for k in grid]
+    rates = solve_grid(params, grid).success_rate
     i_best = int(np.argmax(rates))
     a = float(grid[max(i_best - 1, 0)])
     b = float(grid[min(i_best + 1, n_grid - 1)])

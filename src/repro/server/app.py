@@ -17,6 +17,11 @@ GET       ``/version``      package + key-schema versions
 GET       ``/metrics``      the live registry, Prometheus text format
 ========  =============  =================================================
 
+The sweep verb delegates to :meth:`SwapService.sweep`, which answers
+its cache misses with one vectorised pass through the grid engine
+(:mod:`repro.core.engine`) -- a 256-point curve over the wire costs one
+array solve, and ``/metrics`` exposes it as the ``repro_grid_*`` family.
+
 Production behaviours, all enforced here rather than left to callers:
 
 * **admission control** -- at most ``queue_depth`` API requests run at

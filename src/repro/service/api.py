@@ -16,6 +16,11 @@ value *or* a typed error per request -- one bad request never kills
 the batch. The figure sweeps of :mod:`repro.analysis` route through
 :func:`default_service`, so repeated artifact generation is served
 from cache.
+
+:meth:`SwapService.sweep` is the exception to stage 3: a sweep shares
+one parameter set across its whole ``P*`` grid, so its cache misses are
+solved in a single vectorised pass through the grid engine
+(:mod:`repro.core.engine`) rather than one scalar solve per point.
 """
 
 from __future__ import annotations
@@ -186,14 +191,80 @@ class SwapService:
         params: Optional[SwapParameters] = None,
         collateral: float = 0.0,
     ) -> List[BatchItem]:
-        """Solve one game per exchange rate (the figure-sweep shape)."""
+        """Solve one game per exchange rate (the figure-sweep shape).
+
+        A sweep shares one set of parameters across every ``P*``, so the
+        cache misses are solved in a *single* vectorised pass through the
+        grid engine (:func:`repro.core.engine.solve_grid`) instead of one
+        scalar backward induction per point. Semantics match
+        :meth:`run_batch` exactly: per-point cache keys, per-point
+        :class:`BatchItem` records in request order, and the per-point
+        scalar path as fallback if the engine raises.
+        """
         if params is None:
             params = SwapParameters.default()
         requests = [
             SolveRequest(pstar=float(pstar), collateral=collateral, params=params)
             for pstar in pstars
         ]
-        return self.run_batch(requests)
+
+        registry = get_registry()
+        registry.counter(
+            "repro_batches_total", help="Batches served by SwapService."
+        ).inc()
+        registry.counter(
+            "repro_batch_requests_total",
+            help="Requests received across all batches.",
+        ).inc(len(requests))
+
+        with span("batch.canonicalise"):
+            keys = [request_key(request) for request in requests]
+
+        misses: List[tuple] = []  # (key, pstar), unique keys only
+        scheduled = set()
+        resolved: Dict[str, Union[Result, ServiceError]] = {}
+        from_cache = set()
+        with span("batch.cache_lookup"):
+            for key, request in zip(keys, requests):
+                if key in scheduled or key in resolved:
+                    continue
+                hit = self._cache.get(key)
+                if hit is not None:
+                    resolved[key] = hit
+                    from_cache.add(key)
+                    continue
+                misses.append((key, request.pstar))
+                scheduled.add(key)
+        registry.counter(
+            "repro_batch_deduped_total",
+            help="Requests collapsed onto an identical in-batch computation.",
+        ).inc(len(requests) - len(scheduled) - len(from_cache))
+
+        if misses:
+            try:
+                with span("batch.execute"):
+                    from repro.core.engine import solve_grid
+
+                    grid = solve_grid(
+                        params,
+                        [pstar for _, pstar in misses],
+                        collateral=collateral,
+                    )
+                    for i, (key, _pstar) in enumerate(misses):
+                        equilibrium = grid.equilibrium_at(i)
+                        resolved[key] = equilibrium
+                        self._cache.put(key, equilibrium)
+            except Exception:
+                # Engine trouble must not take the sweep verb down; the
+                # scalar per-point path answers everything instead.
+                return self.run_batch(requests)
+
+        return [
+            BatchItem(
+                key=key, ok=True, value=resolved[key], cached=key in from_cache
+            )
+            for key in keys
+        ]
 
     # ------------------------------------------------------------------ #
     # conveniences

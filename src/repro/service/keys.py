@@ -29,7 +29,11 @@ from repro.stochastic.rng import stable_seed
 
 __all__ = ["KEY_VERSION", "canonical_payload", "request_key", "derive_seed"]
 
-KEY_VERSION = 1
+# v2: sweep-shaped solves route through the vectorised grid engine
+# (repro.core.engine), whose root refinement is batched bisection rather
+# than per-bracket Brent -- agreement with v1 entries is ~1e-12, not
+# bit-for-bit, so old entries must miss.
+KEY_VERSION = 2
 
 
 def canonical_payload(request: Request) -> str:
@@ -38,7 +42,7 @@ def canonical_payload(request: Request) -> str:
 
 
 def request_key(request: Request) -> str:
-    """The stable cache key, e.g. ``v1-9f2a...`` (64 hex digits)."""
+    """The stable cache key, e.g. ``v2-9f2a...`` (64 hex digits)."""
     digest = hashlib.sha256(canonical_payload(request).encode("utf-8")).hexdigest()
     return f"v{KEY_VERSION}-{digest}"
 

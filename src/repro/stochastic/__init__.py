@@ -10,38 +10,49 @@ Monte Carlo engine need from probability theory and numerical analysis:
   Equation (1) of the paper: analytic conditional moments and exact
   sampling of terminal values and paths.
 * :mod:`repro.stochastic.quadrature` -- Gauss--Legendre expectation
-  integrals over truncated price ranges.
-* :mod:`repro.stochastic.rootfind` -- bracketed root finding, all-roots
-  scans, and interval unions used to characterise continuation regions.
+  integrals over truncated price ranges, scalar and batched.
+* :mod:`repro.stochastic.rootfind` -- bracketed root finding (scalar
+  Brent and vectorised bisection), all-roots scans, and interval unions
+  used to characterise continuation regions.
 * :mod:`repro.stochastic.paths` -- vectorised simulation of the price at
   the swap's decision times.
 * :mod:`repro.stochastic.rng` -- reproducible random number streams.
 """
 
 from repro.stochastic.gbm import GeometricBrownianMotion
-from repro.stochastic.lognormal import LognormalLaw
+from repro.stochastic.lognormal import LognormalLaw, transition_pieces
 from repro.stochastic.paths import DecisionTimeGrid, sample_decision_prices
-from repro.stochastic.quadrature import expectation_on_interval, gauss_legendre_nodes
+from repro.stochastic.quadrature import (
+    expectation_on_interval,
+    expectation_on_intervals,
+    gauss_legendre_nodes,
+)
 from repro.stochastic.rng import RandomState, spawn_streams, stable_seed
 from repro.stochastic.rootfind import (
     IntervalUnion,
+    bisect_roots,
     bracketed_root,
     find_all_roots,
+    grid_sign_change_brackets,
     sign_change_brackets,
 )
 
 __all__ = [
     "GeometricBrownianMotion",
     "LognormalLaw",
+    "transition_pieces",
     "DecisionTimeGrid",
     "sample_decision_prices",
     "expectation_on_interval",
+    "expectation_on_intervals",
     "gauss_legendre_nodes",
     "RandomState",
     "spawn_streams",
     "stable_seed",
     "IntervalUnion",
+    "bisect_roots",
     "bracketed_root",
     "find_all_roots",
+    "grid_sign_change_brackets",
     "sign_change_brackets",
 ]

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.special import erfc, erfcinv
 
-__all__ = ["LognormalLaw", "norm_cdf", "norm_ppf"]
+__all__ = ["LognormalLaw", "norm_cdf", "norm_ppf", "transition_pieces"]
 
 _SQRT2 = math.sqrt(2.0)
 
@@ -51,6 +51,41 @@ def norm_ppf(q):
     if np.any((q <= 0.0) | (q >= 1.0)):
         raise ValueError("quantile argument must lie strictly in (0, 1)")
     return -_SQRT2 * erfcinv(2.0 * q)
+
+
+def transition_pieces(spot, mu: float, sigma: float, tau: float, k):
+    """Threshold pieces of one GBM transition, broadcast over ``spot``/``k``.
+
+    For a price starting at ``spot`` and evolving for ``tau`` under GBM
+    drift ``mu`` / volatility ``sigma``, returns the triple
+
+        ``(cdf, survival, partial_below)``
+
+    evaluated at the threshold ``k``: ``P[P <= k]``, ``P[P > k]`` and
+    ``E[P 1{P <= k}]``. Where ``k <= 0`` the threshold is never reached
+    from above, so the pieces degenerate to ``(0, 1, 0)`` (the
+    collateral extension's "Alice always continues" case).
+
+    ``spot`` and ``k`` may be arrays of any mutually broadcastable
+    shapes; the formulas are the exact Black--Scholes style expressions
+    the scalar :class:`LognormalLaw` methods use, so a one-point call
+    reproduces the scalar path to machine precision.
+    """
+    spot = np.asarray(spot, dtype=float)
+    k = np.asarray(k, dtype=float)
+    mean = spot * math.exp(mu * tau)
+    s = sigma * math.sqrt(tau)
+    log_mean = np.log(spot) + (mu - 0.5 * sigma**2) * tau
+    pos = k > 0.0
+    # a positive placeholder keeps np.log defined on masked-out lanes
+    log_k = np.log(np.where(pos, k, 1.0))
+    z = (log_k - log_mean) / s
+    cdf = np.where(pos, norm_cdf(z), 0.0)
+    survival = np.where(pos, norm_cdf(-z), 1.0)
+    d1 = (log_mean + s * s - log_k) / s
+    partial_above = mean * norm_cdf(d1)
+    partial_below = np.where(pos, np.maximum(mean - partial_above, 0.0), 0.0)
+    return cdf, survival, partial_below
 
 
 @dataclass(frozen=True)

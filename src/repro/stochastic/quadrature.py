@@ -26,6 +26,7 @@ from repro.stochastic.lognormal import LognormalLaw
 __all__ = [
     "gauss_legendre_nodes",
     "expectation_on_interval",
+    "expectation_on_intervals",
     "expectation_above",
     "expectation_below",
     "DEFAULT_QUAD_ORDER",
@@ -92,6 +93,51 @@ def expectation_on_interval(
     if hi_eff <= lo_eff:
         return 0.0
     return _transformed_integral(law, g, lo_eff, hi_eff, order)
+
+
+def expectation_on_intervals(
+    law: LognormalLaw,
+    g: Callable[[np.ndarray], np.ndarray],
+    lo,
+    hi,
+    order: int = DEFAULT_QUAD_ORDER,
+) -> np.ndarray:
+    """Batched :func:`expectation_on_interval`: one rule, many intervals.
+
+    ``lo`` and ``hi`` are equal-length arrays of interval endpoints, all
+    integrated under the *same* ``law`` with one shared Gauss--Legendre
+    node set. ``g`` receives the full ``(batch, order)`` node array (so
+    it can broadcast per-row constants against it) and must evaluate
+    elementwise. Returns a ``(batch,)`` array; rows whose clipped
+    interval is empty contribute exactly ``0.0``, matching the scalar
+    function's early return.
+    """
+    lo = np.maximum(np.asarray(lo, dtype=float), 0.0)
+    hi = np.asarray(hi, dtype=float)
+    if lo.shape != hi.shape or lo.ndim != 1:
+        raise ValueError(
+            f"lo/hi must be equal-length 1-D arrays, got {lo.shape} and {hi.shape}"
+        )
+    if lo.size == 0:
+        return np.zeros(0)
+    support_lo, support_hi = law.effective_support(_TAIL_MASS)
+    lo_eff = np.maximum(lo, support_lo)
+    hi_eff = np.minimum(hi, support_hi)
+    active = hi_eff > lo_eff
+    # inactive rows get the full support as a well-defined placeholder
+    # domain for the log transform; their result is zeroed at the end
+    lo_eff = np.where(active, lo_eff, support_lo)
+    hi_eff = np.where(active, hi_eff, support_hi)
+    a = np.log(lo_eff)[:, None]
+    b = np.log(hi_eff)[:, None]
+    nodes, weights = gauss_legendre_nodes(order)
+    y = 0.5 * (b - a) * nodes + 0.5 * (b + a)
+    x = np.exp(y)
+    z = (y - law.log_mean) / law.log_std
+    phi = np.exp(-0.5 * z * z) / (law.log_std * np.sqrt(2.0 * np.pi))
+    values = phi * np.asarray(g(x), dtype=float)
+    out = 0.5 * (b[:, 0] - a[:, 0]) * (values @ weights)
+    return np.where(active, out, 0.0)
 
 
 def expectation_above(

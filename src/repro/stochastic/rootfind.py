@@ -31,6 +31,8 @@ __all__ = [
     "sign_change_brackets",
     "bracketed_root",
     "find_all_roots",
+    "grid_sign_change_brackets",
+    "bisect_roots",
     "IntervalUnion",
 ]
 
@@ -103,6 +105,93 @@ def bracketed_root(
         help="Objective evaluations across all root solves.",
     ).inc(max(int(info.function_calls), 0))
     return float(root)
+
+
+def grid_sign_change_brackets(
+    grid: np.ndarray,
+    values: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sign-change brackets of a whole batch of scans in one pass.
+
+    ``grid`` and ``values`` are ``(batch, n_scan)`` arrays: row ``i``
+    holds one pre-evaluated scan. The bracketing rule is exactly
+    :func:`sign_change_brackets`'s (a grid-point zero is attributed to
+    the bracket on its left), applied to every row at once. Returns the
+    flat triple ``(rows, lo, hi)`` where ``rows[j]`` is the batch row
+    that bracket ``j`` belongs to; within a row, brackets come out in
+    ascending order.
+    """
+    grid = np.asarray(grid, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if grid.shape != values.shape or grid.ndim != 2:
+        raise ValueError(
+            f"grid/values must be equal-shape 2-D arrays, got "
+            f"{grid.shape} and {values.shape}"
+        )
+    va = values[:, :-1]
+    vb = values[:, 1:]
+    mask = (va != 0.0) & ((vb == 0.0) | (va * vb < 0.0))
+    rows, cols = np.nonzero(mask)
+    return rows, grid[rows, cols], grid[rows, cols + 1]
+
+
+def bisect_roots(
+    f: Callable[[np.ndarray], np.ndarray],
+    lo,
+    hi,
+    rtol: float = 1e-13,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """Vectorised bisection on a batch of verified brackets.
+
+    ``f`` maps an array of points to an array of values; each
+    ``(lo[j], hi[j])`` must bracket a root in the
+    :func:`sign_change_brackets` sense (``f(lo) != 0`` and ``f(hi) == 0``
+    or a sign change). All brackets are refined simultaneously to a
+    relative width of ``rtol`` -- comparable to the ``1e-12`` tolerance
+    the scalar Brent path uses -- and an exact zero hit collapses its
+    bracket immediately. Effort lands in the same
+    ``repro_rootfind_*`` counter families as :func:`bracketed_root`.
+    """
+    from repro.obs.metrics import get_registry
+
+    lo = np.asarray(lo, dtype=float).copy()
+    hi = np.asarray(hi, dtype=float).copy()
+    if lo.shape != hi.shape or lo.ndim != 1:
+        raise ValueError(
+            f"lo/hi must be equal-length 1-D arrays, got {lo.shape} and {hi.shape}"
+        )
+    if lo.size == 0:
+        return lo
+    flo = np.asarray(f(lo), dtype=float)
+    iterations = 0
+    evaluations = lo.size
+    for _ in range(max_iter):
+        tol = rtol * np.maximum(np.abs(lo), np.abs(hi))
+        if np.all(hi - lo <= tol):
+            break
+        mid = 0.5 * (lo + hi)
+        fmid = np.asarray(f(mid), dtype=float)
+        iterations += 1
+        evaluations += mid.size
+        exact = fmid == 0.0
+        same_side = fmid * flo > 0.0
+        lo = np.where(exact | same_side, mid, lo)
+        flo = np.where(same_side, fmid, flo)
+        hi = np.where(exact | ~same_side, mid, hi)
+    registry = get_registry()
+    registry.counter(
+        "repro_rootfind_calls_total", help="Bracketed Brent root solves."
+    ).inc(lo.size)
+    registry.counter(
+        "repro_rootfind_iterations_total",
+        help="Brent iterations across all root solves.",
+    ).inc(iterations * lo.size)
+    registry.counter(
+        "repro_rootfind_function_calls_total",
+        help="Objective evaluations across all root solves.",
+    ).inc(evaluations)
+    return 0.5 * (lo + hi)
 
 
 def find_all_roots(

@@ -1,0 +1,59 @@
+"""The ``sweep`` CLI subcommand: grid engine vs the legacy scalar path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _run_json(capsys, argv):
+    assert main(argv) == 0
+    envelope = json.loads(capsys.readouterr().out)
+    assert envelope["ok"] is True
+    assert envelope["error"] is None
+    return envelope["result"]
+
+
+class TestSweepCommand:
+    def test_grid_agrees_with_legacy(self, capsys):
+        argv = ["sweep", "--pstars", "1.6,2.0,2.4,3.0", "--json"]
+        grid = _run_json(capsys, argv)
+        legacy = _run_json(capsys, argv + ["--legacy"])
+        assert grid["engine"] == "grid"
+        assert legacy["engine"] == "scalar"
+        assert grid["pstars"] == legacy["pstars"]
+        for got, want in zip(grid["success_rate"], legacy["success_rate"]):
+            assert got == pytest.approx(want, abs=1e-9)
+
+    def test_collateral_grid_agrees_with_legacy(self, capsys):
+        argv = ["sweep", "--pstars", "2.0,2.4", "--collateral", "0.5", "--json"]
+        grid = _run_json(capsys, argv)
+        legacy = _run_json(capsys, argv + ["--legacy"])
+        for got, want in zip(grid["success_rate"], legacy["success_rate"]):
+            assert got == pytest.approx(want, abs=1e-9)
+
+    def test_default_grid_spans_feasible_range(self, capsys):
+        result = _run_json(capsys, ["sweep", "--points", "7", "--json"])
+        assert len(result["pstars"]) == 7
+        assert all(r > 0.0 for r in result["success_rate"])
+
+    def test_text_mode_prints_json_object(self, capsys):
+        assert main(["sweep", "--pstars", "2.0"]) == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["pstars"] == [2.0]
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["sweep", "--pstars", "2.0,abc"],
+            ["sweep", "--pstars", ","],
+            ["sweep", "--pstars", "-1.0"],
+            ["sweep", "--points", "0"],
+        ],
+    )
+    def test_invalid_input_exits_cleanly(self, capsys, argv):
+        assert main(argv) == 2
+        assert "error" in capsys.readouterr().err

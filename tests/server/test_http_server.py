@@ -10,6 +10,7 @@ import urllib.request
 from repro.api import solve as solve_inprocess
 from repro.service.api import SwapService
 from repro.service.jsonl import serve_lines
+from repro.service.keys import KEY_VERSION
 
 
 def _post_raw(server, path, body: bytes, content_type="application/json"):
@@ -46,7 +47,7 @@ class TestSolveValidate:
         body = json.loads(raw)
         assert body["ok"] is True
         assert body["kind"] == "solve"
-        assert body["key"].startswith("v1-")
+        assert body["key"].startswith(f"v{KEY_VERSION}-")
         assert body["result"]["kind"] == "swap_equilibrium"
 
     def test_kind_mismatch_rejected(self, make_server):
