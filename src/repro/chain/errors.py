@@ -8,6 +8,7 @@ __all__ = [
     "InsufficientFunds",
     "ContractStateError",
     "ClockError",
+    "OracleUnavailableError",
 ]
 
 
@@ -29,3 +30,13 @@ class ContractStateError(ChainError):
 
 class ClockError(ChainError):
     """The simulation clock was asked to move backwards."""
+
+
+class OracleUnavailableError(ChainError):
+    """The cross-chain Oracle refused to settle (simulated outage).
+
+    Raised only under fault injection (``oracle_outage``); the paper's
+    Section IV Oracle is otherwise a perfect, always-available
+    observer. The escrow state is untouched, so a retried settlement
+    call succeeds once the outage ends.
+    """

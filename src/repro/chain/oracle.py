@@ -22,8 +22,9 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.chain.chain import SYSTEM_SENDER, Blockchain
-from repro.chain.errors import ContractStateError
+from repro.chain.errors import ContractStateError, OracleUnavailableError
 from repro.chain.transaction import Operation
+from repro.faults.injector import build_injector
 
 __all__ = ["EscrowState", "CollateralEscrow", "Oracle"]
 
@@ -136,13 +137,26 @@ class Oracle:
     * Bob walks away at ``t2`` -> both deposits go to Alice (decided at
       ``t3``, when the Oracle can be sure no Chain_b HTLC appeared);
     * neither engages at ``t1`` -> both deposits return.
+
+    ``faults`` optionally injects ``oracle_outage``: a settlement call
+    that fires raises :class:`OracleUnavailableError` *before* touching
+    the escrow, so the caller can retry the identical call later.
     """
 
-    def __init__(self, chain_a: Blockchain, escrow: CollateralEscrow) -> None:
+    def __init__(
+        self, chain_a: Blockchain, escrow: CollateralEscrow, faults=None
+    ) -> None:
         self.chain_a = chain_a
         self.escrow = escrow
+        self.faults = build_injector(faults)
         self._alice_settled = False
         self._bob_settled = False
+
+    def _check_available(self, action: str) -> None:
+        if self.faults.enabled and self.faults.fires("oracle_outage", key=action):
+            raise OracleUnavailableError(
+                f"oracle outage: cannot settle {action!r} right now"
+            )
 
     def _payout(self, recipient: str, amount: float) -> None:
         self.chain_a.submit(SYSTEM_SENDER, PayoutOp(self.escrow, recipient, amount))
@@ -153,6 +167,7 @@ class Oracle:
 
     def release_bob_deposit(self) -> None:
         """Bob discharged his obligation (Chain_b HTLC observed)."""
+        self._check_available("release_bob_deposit")
         if self._bob_settled:
             raise ContractStateError("Bob's deposit already settled")
         self._payout(self.escrow.bob, self.escrow.amount)
@@ -161,6 +176,7 @@ class Oracle:
 
     def release_alice_deposit(self) -> None:
         """Alice discharged her obligation (secret revealed)."""
+        self._check_available("release_alice_deposit")
         if self._alice_settled:
             raise ContractStateError("Alice's deposit already settled")
         self._payout(self.escrow.alice, self.escrow.amount)
@@ -169,6 +185,7 @@ class Oracle:
 
     def forfeit_alice_to_bob(self) -> None:
         """Alice waived at ``t3``; her deposit compensates Bob."""
+        self._check_available("forfeit_alice_to_bob")
         if self._alice_settled:
             raise ContractStateError("Alice's deposit already settled")
         self._payout(self.escrow.bob, self.escrow.amount)
@@ -177,6 +194,7 @@ class Oracle:
 
     def forfeit_bob_to_alice(self) -> None:
         """Bob walked away at ``t2``; both deposits go to Alice."""
+        self._check_available("forfeit_bob_to_alice")
         if self._bob_settled or self._alice_settled:
             raise ContractStateError("escrow already partially settled")
         self._payout(self.escrow.alice, 2.0 * self.escrow.amount)
@@ -186,6 +204,7 @@ class Oracle:
 
     def return_both(self) -> None:
         """Swap never engaged; both deposits return."""
+        self._check_available("return_both")
         if self._bob_settled or self._alice_settled:
             raise ContractStateError("escrow already partially settled")
         self._payout(self.escrow.alice, self.escrow.amount)

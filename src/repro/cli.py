@@ -10,8 +10,10 @@ Usage::
     repro-swaps validate --pstar 2.0 --paths 50000
     repro-swaps batch requests.jsonl --workers 4 --cache-dir cache
     repro-swaps batch requests.jsonl --metrics-out metrics.prom
+    repro-swaps batch requests.jsonl --fault-plan plan.json
     repro-swaps stats requests.jsonl
     repro-swaps serve --port 8100 --workers 4 --queue-depth 32
+    repro-swaps serve --port 8100 --fault-plan plan.json
     repro-swaps all
 
 (or ``python -m repro.cli ...``).
@@ -392,6 +394,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="flush the metrics registry (Prometheus text) here on drain",
     )
+    serve.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PATH",
+        help="inject faults per this JSON plan (chaos testing; see repro.faults)",
+    )
 
     return parser
 
@@ -429,6 +437,12 @@ def _add_batch_arguments(batch: argparse.ArgumentParser) -> None:
         default=None,
         metavar="PATH",
         help="append structured JSON-lines trace events to this file",
+    )
+    batch.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PATH",
+        help="inject faults per this JSON plan (chaos testing; see repro.faults)",
     )
 
 
@@ -512,12 +526,15 @@ def _serve_batch(
     cache_dir: Optional[str],
     timeout: Optional[float],
     cache_entries: Optional[int] = None,
+    fault_plan: Optional[str] = None,
 ) -> Tuple[bool, List[dict]]:
     """Parse and execute a JSON-lines batch.
 
     Thin wrapper over :func:`repro.service.jsonl.serve_lines` (the same
     wire logic ``POST /v1/batch`` speaks) that constructs a one-shot
-    service from the CLI flags.
+    service from the CLI flags. ``fault_plan`` (a JSON file path)
+    activates deterministic fault injection; a malformed plan raises
+    ``ValueError`` -> clean exit 2 in :func:`main`.
     """
     from repro.service import SwapService, serve_lines
 
@@ -526,6 +543,7 @@ def _serve_batch(
         cache_dir=cache_dir,
         cache_entries=cache_entries,
         timeout=timeout,
+        faults=fault_plan,
     )
     return serve_lines(service, lines)
 
@@ -552,6 +570,7 @@ def _cmd_batch(args: argparse.Namespace) -> CommandOutcome:
             args.cache_dir,
             args.timeout,
             cache_entries=args.cache_entries,
+            fault_plan=args.fault_plan,
         )
     finally:
         if log_handle is not None:
@@ -602,6 +621,7 @@ def _cmd_serve(args: argparse.Namespace) -> CommandOutcome:
         cache_entries=args.cache_entries,
         timeout=args.timeout,
         metrics_out=args.metrics_out,
+        fault_plan=args.fault_plan,
     )
     status = serve(config)
     return status, {"ok": status == 0, "drained": status == 0}

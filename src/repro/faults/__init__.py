@@ -1,0 +1,46 @@
+"""Deterministic fault injection for the serving stack.
+
+The chaos layer of the repo: a declarative, seed-deterministic
+description of *what should go wrong* (:mod:`repro.faults.plan`) and
+the runtime that makes it go wrong at explicit hook points across the
+service, server, client, and chain layers
+(:mod:`repro.faults.injector`). Activated via
+``SwapService(faults=...)``, ``repro-swaps batch/serve --fault-plan
+plan.json``, or directly in tests; off by default everywhere through
+the shared :data:`~repro.faults.injector.NULL_INJECTOR`.
+
+The point is not the faults but the healing they prove:
+``tests/faults/`` asserts that under any planned fault the stack
+answers either the bit-identical fault-free result or a typed
+retryable error -- never a silently wrong number, never a hang past
+the deadline.
+
+Quickstart::
+
+    from repro.faults import FaultSpec, InjectionPlan
+    from repro.service import SwapService
+
+    plan = InjectionPlan(
+        faults=(FaultSpec(kind="worker_crash", count=1),), seed=7
+    )
+    service = SwapService(max_workers=2, faults=plan)
+    items = service.sweep([1.8, 2.0, 2.2])   # heals around the crash
+"""
+
+from repro.faults.injector import (
+    NULL_INJECTOR,
+    FaultInjector,
+    NullInjector,
+    build_injector,
+)
+from repro.faults.plan import FAULT_KINDS, FaultSpec, InjectionPlan
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "InjectionPlan",
+    "FaultInjector",
+    "NullInjector",
+    "NULL_INJECTOR",
+    "build_injector",
+]

@@ -16,7 +16,10 @@ retry discipline. The pieces:
   drain) and the blocking :func:`serve` loop;
 * :mod:`repro.server.client` -- :class:`SwapClient` with capped
   exponential backoff + full jitter, retrying only on ``429``/``503``/
-  retryable envelopes.
+  retryable envelopes;
+* :mod:`repro.server.circuit` -- :class:`CircuitBreaker`, the client's
+  defence against *sustained* failure (open after N consecutive
+  exhausted retry budgets, half-open probe back in).
 
 Quickstart::
 
@@ -32,7 +35,9 @@ or, from a shell: ``repro-swaps serve --port 8100``.
 """
 
 from repro.server.app import SwapServer, serve
+from repro.server.circuit import CircuitBreaker
 from repro.server.client import (
+    CircuitOpenError,
     ClientError,
     RetriesExhaustedError,
     RetryPolicy,
@@ -57,6 +62,8 @@ __all__ = [
     "ClientError",
     "ServerReplyError",
     "RetriesExhaustedError",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "HTTPMetrics",
     "DeadlineExceededError",
     "STATUS_BY_CODE",

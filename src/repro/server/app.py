@@ -50,6 +50,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, List, Optional
 from urllib.parse import parse_qs, urlsplit
 
+from repro.faults.injector import NULL_INJECTOR, build_injector
 from repro.obs.exporters import to_prometheus_text, write_metrics
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
@@ -273,6 +274,15 @@ class _Handler(BaseHTTPRequestHandler):
             return
         owner.metrics.inflight.inc()
         try:
+            if owner.faults.enabled:
+                if owner.faults.fires("http_drop", key=self._route):
+                    # injected transport failure: vanish without a
+                    # response; well-behaved clients see a dropped
+                    # connection and retry
+                    owner.metrics.rejected.inc(reason="fault_drop")
+                    self.close_connection = True
+                    return
+                owner.faults.sleep("http_slow", key=self._route)
             getattr(self, _API_ROUTES[(method, path)])()
         except _WireError as exc:
             self._send_error(exc.info, headers=exc.headers)
@@ -536,6 +546,10 @@ class SwapServer:
         service: Optional[SwapService] = None,
     ) -> None:
         self.config = config if config is not None else ServerConfig()
+        if self.config.fault_plan is not None:
+            self.faults = build_injector(self.config.fault_plan)
+        else:
+            self.faults = getattr(service, "faults", NULL_INJECTOR)
         self.service = (
             service
             if service is not None
@@ -545,6 +559,7 @@ class SwapServer:
                 cache_dir=self.config.cache_dir,
                 cache_entries=self.config.cache_entries,
                 timeout=self.config.timeout,
+                faults=self.faults,
             )
         )
         self.metrics = HTTPMetrics()

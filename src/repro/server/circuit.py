@@ -1,0 +1,149 @@
+"""A circuit breaker for the HTTP client.
+
+Retry policies handle *transient* failures; a circuit breaker handles
+*sustained* ones. When every retry budget against an endpoint keeps
+running out, hammering it harder only adds load to whatever is already
+failing -- so after ``failure_threshold`` consecutive failures the
+breaker **opens** and the client refuses calls locally (an immediate
+typed error, no sockets touched). After ``reset_timeout`` seconds the
+breaker moves to **half-open** and lets exactly one probe call
+through: success closes the circuit, failure re-opens it and restarts
+the clock.
+
+The state machine is the classic three-state one:
+
+``closed`` --(threshold consecutive failures)--> ``open``
+--(reset_timeout elapses)--> ``half_open`` --(probe ok)--> ``closed``
+or --(probe fails)--> ``open``
+
+The breaker itself never raises and never sleeps; callers consult
+:meth:`CircuitBreaker.allow` before attempting and report outcomes via
+:meth:`record_success` / :meth:`record_failure`. The live state is
+exported as the ``repro_client_circuit_state`` gauge (0 closed,
+1 half-open, 2 open), so a chaos run's metrics show exactly when the
+client gave up on a sick server and when it let it back in.
+
+``clock`` is injectable (default :func:`time.monotonic`) so tests
+drive the reset timeout without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry
+
+__all__ = ["CLOSED", "HALF_OPEN", "OPEN", "CircuitBreaker"]
+
+CLOSED = "closed"
+HALF_OPEN = "half_open"
+OPEN = "open"
+
+_STATE_VALUE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Three-state circuit breaker (thread-safe, clock-injectable).
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the circuit open.
+    reset_timeout:
+        Seconds the circuit stays open before a half-open probe is
+        allowed through.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout <= 0:
+            raise ValueError(
+                f"reset_timeout must be > 0, got {reset_timeout}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self._gauge = get_registry().gauge(
+            "repro_client_circuit_state",
+            help="Client circuit breaker state (0 closed, 1 half-open, 2 open).",
+        )
+        self._gauge.set(0)
+
+    @property
+    def state(self) -> str:
+        """The current state, advancing open -> half-open on its own."""
+        with self._lock:
+            return self._tick()
+
+    def allow(self) -> bool:
+        """Whether a call may be attempted right now.
+
+        Closed admits everything; open admits nothing; half-open admits
+        exactly one in-flight probe at a time.
+        """
+        with self._lock:
+            state = self._tick()
+            if state == CLOSED:
+                return True
+            if state == OPEN:
+                return False
+            if self._probing:
+                return False
+            self._probing = True
+            return True
+
+    def record_success(self) -> None:
+        """A call completed: close the circuit, forget past failures."""
+        with self._lock:
+            if self._state != CLOSED:
+                get_logger().log("circuit_closed", after_failures=self._failures)
+            self._set_state(CLOSED)
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """A call failed: count it; trip open at the threshold."""
+        with self._lock:
+            state = self._tick()
+            self._failures += 1
+            self._probing = False
+            if state == HALF_OPEN or self._failures >= self.failure_threshold:
+                if self._state != OPEN:
+                    get_logger().log(
+                        "circuit_opened", consecutive_failures=self._failures
+                    )
+                self._set_state(OPEN)
+                self._opened_at = self._clock()
+
+    # -- internal (callers hold self._lock) ----------------------------- #
+
+    def _tick(self) -> str:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._set_state(HALF_OPEN)
+            self._probing = False
+        return self._state
+
+    def _set_state(self, state: str) -> None:
+        self._state = state
+        self._gauge.set(_STATE_VALUE[state])

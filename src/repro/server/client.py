@@ -17,10 +17,20 @@ Deterministic rejections (``400``, ``404``, ``413``, non-retryable
 retry budget runs out, :class:`RetriesExhaustedError` carries the last
 failure. ``sleep`` and ``rng`` are injectable so tests exercise the
 full backoff schedule in microseconds.
+
+Retries defend against *transient* trouble; an optional
+:class:`~repro.server.circuit.CircuitBreaker` (``circuit=``) defends
+against *sustained* trouble: once consecutive logical requests keep
+exhausting their retry budget, the breaker opens and further calls
+fail locally with :class:`CircuitOpenError` (retryable -- the breaker
+half-opens after its reset timeout and probes the server back in).
+A ``faults=`` injector adds deterministic client-side chaos
+(``http_drop``/``http_slow``) for tests of exactly that machinery.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import random
 import time
@@ -29,12 +39,14 @@ import urllib.request
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.faults.injector import build_injector
 from repro.service.serialize import decode_result
 
 __all__ = [
     "ClientError",
     "ServerReplyError",
     "RetriesExhaustedError",
+    "CircuitOpenError",
     "RetryPolicy",
     "SwapClient",
 ]
@@ -67,6 +79,21 @@ class RetriesExhaustedError(ClientError):
         super().__init__(f"gave up after {attempts} attempts: {last}")
         self.attempts = attempts
         self.last = last
+
+
+class CircuitOpenError(ClientError):
+    """The circuit breaker is open: refused locally, nothing was sent.
+
+    Retryable in spirit -- the breaker half-opens after its reset
+    timeout, so a later call may go through.
+    """
+
+    def __init__(self, state: str) -> None:
+        super().__init__(
+            f"circuit breaker is {state}; request refused without contacting "
+            f"the server"
+        )
+        self.state = state
 
 
 @dataclass(frozen=True)
@@ -121,6 +148,15 @@ class SwapClient:
     sleep, rng:
         Injection points for tests (defaults: ``time.sleep`` and a
         process-seeded :class:`random.Random`).
+    circuit:
+        Optional :class:`~repro.server.circuit.CircuitBreaker`; when
+        given, logical requests consult it before touching the network
+        and report their outcome to it (``None``: no breaker, the
+        pre-existing behaviour).
+    faults:
+        Optional chaos hook (plan path, plan, or injector); honours
+        client-side ``http_drop`` and ``http_slow`` specs keyed by the
+        URL path.
     """
 
     def __init__(
@@ -130,10 +166,14 @@ class SwapClient:
         retry: Optional[RetryPolicy] = None,
         sleep: Callable[[float], None] = time.sleep,
         rng: Optional[random.Random] = None,
+        circuit=None,
+        faults=None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
         self.retry = retry if retry is not None else RetryPolicy()
+        self.circuit = circuit
+        self.faults = build_injector(faults)
         self._sleep = sleep
         self._rng = rng if rng is not None else random.Random()
 
@@ -149,7 +189,39 @@ class SwapClient:
         content_type: str = "application/json",
         attempts: Optional[int] = None,
     ) -> Tuple[int, bytes]:
-        """One logical request, retried per the policy; ``(status, body)``."""
+        """One logical request, retried per the policy; ``(status, body)``.
+
+        With a circuit breaker attached, the whole logical request is
+        one breaker event: refused locally while open, a success or a
+        deterministic server reply closes it (the transport worked),
+        and an exhausted retry budget or open-circuit refusal counts
+        as one failure.
+        """
+        if self.circuit is None:
+            return self._attempts(method, path, body, content_type, attempts)
+        if not self.circuit.allow():
+            raise CircuitOpenError(self.circuit.state)
+        try:
+            outcome = self._attempts(method, path, body, content_type, attempts)
+        except ServerReplyError:
+            # the server answered conclusively: transport is healthy
+            self.circuit.record_success()
+            raise
+        except ClientError:
+            self.circuit.record_failure()
+            raise
+        self.circuit.record_success()
+        return outcome
+
+    def _attempts(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        content_type: str,
+        attempts: Optional[int],
+    ) -> Tuple[int, bytes]:
+        """The retry loop itself (circuit-unaware)."""
         url = self.base_url + path
         budget = attempts if attempts is not None else self.retry.max_attempts
         last: Exception = ClientError("no attempt made")
@@ -159,6 +231,10 @@ class SwapClient:
                 request.add_header("Content-Type", content_type)
             retry_after: Optional[float] = None
             try:
+                if self.faults.enabled:
+                    if self.faults.fires("http_drop", key=path):
+                        raise urllib.error.URLError("injected connection drop")
+                    self.faults.sleep("http_slow", key=path)
                 with urllib.request.urlopen(
                     request, timeout=self.timeout
                 ) as response:
@@ -173,8 +249,15 @@ class SwapClient:
                 )
                 last = reply
             except urllib.error.URLError as exc:
-                # connection refused/reset: the server may be restarting
+                # connection refused/reset/dropped: the server may be
+                # restarting (or the injector is pretending it is)
                 last = ClientError(f"connection failed: {exc.reason}")
+            except (http.client.HTTPException, OSError) as exc:
+                # a connection dropped mid-exchange escapes urllib
+                # unwrapped (e.g. RemoteDisconnected): same treatment
+                last = ClientError(
+                    f"connection failed: {exc.__class__.__name__}: {exc}"
+                )
             if attempt + 1 < budget:
                 self._sleep(self.retry.delay(attempt, self._rng, retry_after))
         raise RetriesExhaustedError(budget, last)

@@ -63,6 +63,12 @@ class ServerConfig:
     metrics_out:
         Optional path; the registry is flushed there in Prometheus text
         format when the server drains.
+    fault_plan:
+        Optional path to a fault-injection plan
+        (:meth:`repro.faults.plan.InjectionPlan.load` format); loaded
+        at server construction and shared with the underlying
+        :class:`~repro.service.api.SwapService`, so one plan drives
+        chaos across the HTTP handler, the cache, and the worker pool.
     """
 
     host: str = "127.0.0.1"
@@ -77,6 +83,7 @@ class ServerConfig:
     cache_entries: Optional[int] = None
     timeout: Optional[float] = None
     metrics_out: Optional[str] = None
+    fault_plan: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "port", int(self.port))

@@ -29,6 +29,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.parameters import SwapParameters
+from repro.faults.injector import build_injector
+from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import span
 from repro.service.cache import TieredCache
@@ -81,6 +83,11 @@ class SwapService:
         oldest entries are pruned on write once the bound is exceeded.
     timeout:
         Per-request wall-clock budget in seconds (pooled mode only).
+    faults:
+        Optional chaos hook: ``None`` (default, no faults), a plan-file
+        path, an :class:`~repro.faults.plan.InjectionPlan`, or a shared
+        injector. Threaded into the cache, the worker pool, and the
+        sweep engine so one plan drives the whole service.
     """
 
     def __init__(
@@ -90,11 +97,18 @@ class SwapService:
         cache_dir: Optional[str] = None,
         cache_entries: Optional[int] = None,
         timeout: Optional[float] = None,
+        faults=None,
     ) -> None:
+        self.faults = build_injector(faults)
         self._cache = TieredCache.build(
-            maxsize=cache_size, cache_dir=cache_dir, disk_entries=cache_entries
+            maxsize=cache_size,
+            cache_dir=cache_dir,
+            disk_entries=cache_entries,
+            injector=self.faults,
         )
-        self._pool = WorkerPool(max_workers=max_workers, timeout=timeout)
+        self._pool = WorkerPool(
+            max_workers=max_workers, timeout=timeout, faults=self.faults
+        )
 
     # ------------------------------------------------------------------ #
     # batch entry points
@@ -245,6 +259,10 @@ class SwapService:
                 with span("batch.execute"):
                     from repro.core.engine import solve_grid
 
+                    if self.faults.enabled and self.faults.fires(
+                        "engine_error", f"sweep:{len(misses)}"
+                    ):
+                        raise RuntimeError("injected engine_error")
                     grid = solve_grid(
                         params,
                         [pstar for _, pstar in misses],
@@ -254,9 +272,21 @@ class SwapService:
                         equilibrium = grid.equilibrium_at(i)
                         resolved[key] = equilibrium
                         self._cache.put(key, equilibrium)
-            except Exception:
-                # Engine trouble must not take the sweep verb down; the
-                # scalar per-point path answers everything instead.
+            except Exception as exc:
+                # Rung two of the degradation ladder: engine trouble
+                # must not take the sweep verb down; the scalar
+                # per-point path answers everything instead.
+                registry.counter(
+                    "repro_degraded_total",
+                    help="Times the stack fell back to a degraded path.",
+                    labelnames=("path",),
+                ).inc(path="engine_to_scalar")
+                get_logger().log(
+                    "sweep_degraded",
+                    path="engine_to_scalar",
+                    error=f"{exc.__class__.__name__}: {exc}",
+                    points=len(misses),
+                )
                 return self.run_batch(requests)
 
         return [

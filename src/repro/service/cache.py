@@ -7,14 +7,30 @@ processes, one ``<key>.json`` file per entry, written atomically.
 Keys are the canonical request hashes of :mod:`repro.service.keys`,
 so a disk entry is valid exactly as long as its schema version is.
 
+The disk tier defends itself against rot: every entry is written with
+a SHA-256 checksum of its payload, and a file that fails to decode or
+to verify is **quarantined** -- renamed to ``<key>.json.quarantine``,
+counted in the ``corrupt`` stat and the
+``repro_cache_corrupt_total{tier="disk"}`` counter, and never read
+again -- so a corrupted entry costs exactly one re-solve instead of a
+re-parse on every lookup (or, worse, a silently wrong number). I/O
+errors degrade to misses; a failing disk never takes a batch down.
+
 All counters are exposed via :class:`CacheStats` and mirrored into the
 active :mod:`repro.obs` registry (``repro_cache_*_total{tier=...}``,
 plus ``repro_cache_disk_seconds{op=read|write}`` latency histograms);
 a warm Figure-6 sweep should show essentially only hits.
+
+Chaos hooks: an optional :class:`~repro.faults.injector.FaultInjector`
+can garble a just-written entry (``cache_corrupt``), fail an I/O call
+(``cache_io_error``), or stall it (``disk_slow``) -- deterministic
+adversity for the quarantine and degradation paths above (see
+:mod:`repro.faults` and ``tests/faults/``).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -24,10 +40,22 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.faults.injector import NULL_INJECTOR, build_injector
 from repro.obs.metrics import get_registry
 from repro.service.serialize import decode_result, encode_result
 
-__all__ = ["CacheStats", "LRUCache", "DiskCache", "TieredCache"]
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "DiskCache",
+    "TieredCache",
+    "QUARANTINE_SUFFIX",
+]
+
+#: Suffix appended to quarantined disk entries. Quarantined files no
+#: longer match the ``*.json`` glob, so they are invisible to lookups,
+#: pruning, and ``len()`` -- kept only for post-mortem inspection.
+QUARANTINE_SUFFIX = ".quarantine"
 
 
 class _CacheMetrics:
@@ -56,20 +84,44 @@ class _CacheMetrics:
             help="Entries written into this tier.",
             labelnames=("tier",),
         )
+        self.corrupt = registry.counter(
+            "repro_cache_corrupt_total",
+            help="Undecodable or checksum-failing entries quarantined.",
+            labelnames=("tier",),
+        )
+        self.io_errors = registry.counter(
+            "repro_cache_io_errors_total",
+            help="I/O failures absorbed by this tier (degraded to misses).",
+            labelnames=("tier",),
+        )
         # materialise zero-valued series so exporters always show the
         # family for a constructed tier, even before any traffic
-        for counter in (self.hits, self.misses, self.evictions, self.puts):
+        for counter in (
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.puts,
+            self.corrupt,
+            self.io_errors,
+        ):
             counter.inc(0, tier=tier)
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters of one cache tier."""
+    """Hit/miss/eviction/corruption counters of one cache tier.
+
+    ``corrupt`` counts entries that failed to decode or verify and
+    were quarantined; every corrupt lookup *also* counts as a miss
+    (the tier could not serve it), so ``hits + misses`` remains the
+    total lookup count.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     puts: int = 0
+    corrupt: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view (stable keys, used by ``SwapService.stats``)."""
@@ -78,6 +130,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "puts": self.puts,
+            "corrupt": self.corrupt,
         }
 
 
@@ -126,24 +179,53 @@ class LRUCache:
         self._entries.clear()
 
 
+class _ChecksumMismatch(Exception):
+    """A disk entry decoded as JSON but failed payload verification."""
+
+
+def _payload_checksum(encoded: Dict[str, Any]) -> str:
+    """SHA-256 of the canonical JSON of an encoded result."""
+    canonical = json.dumps(encoded, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 class DiskCache:
     """A directory of ``<key>.json`` result files.
 
-    Corrupt or undecodable files count as misses and are left in place
-    for inspection; writes go through a temp file + ``os.replace`` so a
-    crash never leaves a half-written entry behind. ``max_entries``
-    bounds the directory: every ``put`` that pushes it past the limit
-    prunes the oldest-mtime entries (a disk-tier LRU approximation --
-    reads do not refresh mtimes, so this is oldest-written-first),
-    counted in the tier's eviction counters.
+    Each entry carries a payload checksum; a file that fails to decode
+    *or* to verify is quarantined (renamed to
+    ``<key>.json.quarantine``) so it is never re-read -- the lookup
+    counts as ``corrupt`` + miss and the next request re-solves and
+    re-caches a good entry. Entries written before checksums existed
+    verify trivially (no stored checksum) and stay readable. I/O
+    errors on read or write are absorbed: a read error is a miss, a
+    write error skips persistence -- the cache is best-effort, never a
+    crash source. Writes go through a temp file + ``os.replace`` so a
+    process crash never leaves a half-written entry behind.
+
+    ``max_entries`` bounds the directory: every ``put`` that pushes it
+    past the limit prunes the oldest-mtime entries (a disk-tier LRU
+    approximation -- reads do not refresh mtimes, so this is
+    oldest-written-first), counted in the tier's eviction counters.
+
+    ``injector`` is the chaos hook: ``disk_slow`` stalls an I/O call,
+    ``cache_io_error`` fails it, and ``cache_corrupt`` garbles the
+    entry just written (so the *real* quarantine path runs on the next
+    lookup). Disabled by default via the shared ``NULL_INJECTOR``.
     """
 
-    def __init__(self, directory, max_entries: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        directory,
+        max_entries: Optional[int] = None,
+        injector=None,
+    ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.max_entries = int(max_entries) if max_entries is not None else None
+        self.injector = build_injector(injector)
         self.stats = CacheStats()
         self._metrics = _CacheMetrics("disk")
         self._io_seconds = get_registry().histogram(
@@ -158,8 +240,29 @@ class DiskCache:
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))
 
+    def _miss(self) -> None:
+        self.stats.misses += 1
+        self._metrics.misses.inc(tier="disk")
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a bad entry aside so it is never parsed again."""
+        try:
+            path.rename(path.with_name(path.name + QUARANTINE_SUFFIX))
+        except OSError:
+            # fall back to deleting: either way it must not be re-read
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.stats.corrupt += 1
+        self._metrics.corrupt.inc(tier="disk")
+
     def get(self, key: str) -> Optional[Any]:
-        """Decode the stored result, or ``None`` on miss/corruption."""
+        """Decode the stored result, or ``None`` on miss/corruption.
+
+        A corrupt or checksum-failing entry is quarantined before the
+        miss is reported; an ``OSError`` degrades to a plain miss.
+        """
         path = self._path(key)
         started = time.perf_counter()
         # the read duration is observed on *every* outcome -- hits,
@@ -167,16 +270,34 @@ class DiskCache:
         # reflects the tier's true cost, not just its happy path
         try:
             try:
+                if self.injector.enabled:
+                    self.injector.sleep("disk_slow", key)
+                    if self.injector.fires("cache_io_error", key):
+                        raise OSError("injected cache_io_error on read")
                 with path.open("r", encoding="utf-8") as handle:
                     payload = json.load(handle)
-                value = decode_result(payload["result"])
+                stored = payload["result"]
+                checksum = payload.get("checksum")
+                if checksum is not None and checksum != _payload_checksum(stored):
+                    raise _ChecksumMismatch(key)
+                value = decode_result(stored)
             except FileNotFoundError:
-                self.stats.misses += 1
-                self._metrics.misses.inc(tier="disk")
+                self._miss()
                 return None
-            except (KeyError, TypeError, ValueError, json.JSONDecodeError):
-                self.stats.misses += 1
-                self._metrics.misses.inc(tier="disk")
+            except OSError:
+                # transient I/O trouble: the file may be fine; miss only
+                self._metrics.io_errors.inc(tier="disk")
+                self._miss()
+                return None
+            except (
+                KeyError,
+                TypeError,
+                ValueError,
+                json.JSONDecodeError,
+                _ChecksumMismatch,
+            ):
+                self._quarantine(path)
+                self._miss()
                 return None
         finally:
             self._io_seconds.observe(time.perf_counter() - started, op="read")
@@ -185,23 +306,46 @@ class DiskCache:
         return value
 
     def put(self, key: str, value: Any) -> None:
-        """Atomically persist ``value`` under ``key``."""
-        payload = {"key": key, "result": encode_result(value)}
+        """Atomically persist ``value`` under ``key`` (best-effort).
+
+        An ``OSError`` (full or failing disk) skips persistence and is
+        counted, never raised -- the memory tier and the solvers keep
+        the service correct without the disk.
+        """
+        encoded = encode_result(value)
+        payload = {
+            "key": key,
+            "result": encoded,
+            "checksum": _payload_checksum(encoded),
+        }
         started = time.perf_counter()
-        descriptor, tmp_name = tempfile.mkstemp(
-            dir=self.directory, prefix=".tmp-", suffix=".json"
-        )
         try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, separators=(",", ":"))
-            os.replace(tmp_name, self._path(key))
-        except BaseException:
+            if self.injector.enabled:
+                self.injector.sleep("disk_slow", key)
+                if self.injector.fires("cache_io_error", key):
+                    raise OSError("injected cache_io_error on write")
+            descriptor, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-", suffix=".json"
+            )
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        self._io_seconds.observe(time.perf_counter() - started, op="write")
+                with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, separators=(",", ":"))
+                os.replace(tmp_name, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            self._metrics.io_errors.inc(tier="disk")
+            return
+        finally:
+            self._io_seconds.observe(time.perf_counter() - started, op="write")
+        if self.injector.enabled and self.injector.fires("cache_corrupt", key):
+            # garble the entry *on disk*: the next lookup must run the
+            # genuine decode-fail -> quarantine -> re-solve path
+            self._path(key).write_text('{"key": "rotten', encoding="utf-8")
         self.stats.puts += 1
         self._metrics.puts.inc(tier="disk")
         if self.max_entries is not None:
@@ -244,16 +388,18 @@ class TieredCache:
         maxsize: int = 4096,
         cache_dir: Optional[str] = None,
         disk_entries: Optional[int] = None,
+        injector=None,
     ) -> "TieredCache":
         """The standard construction used by ``SwapService``.
 
         ``disk_entries`` bounds the on-disk tier (``None``: unbounded);
-        it is ignored when no ``cache_dir`` is configured.
+        it is ignored when no ``cache_dir`` is configured. ``injector``
+        is the disk tier's chaos hook (see :mod:`repro.faults`).
         """
         return TieredCache(
             memory=LRUCache(maxsize=maxsize),
             disk=(
-                DiskCache(cache_dir, max_entries=disk_entries)
+                DiskCache(cache_dir, max_entries=disk_entries, injector=injector)
                 if cache_dir is not None
                 else None
             ),

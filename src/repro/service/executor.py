@@ -8,14 +8,33 @@ object. :class:`WorkerPool` maps it over a batch:
   the calling process (no pickling, no fork) -- the reference
   execution;
 * ``max_workers > 1`` uses a :class:`~concurrent.futures.ProcessPoolExecutor`
-  with a per-request timeout. A timeout or worker crash fails *that
-  request* with a typed error; the rest of the batch completes.
+  with a per-request timeout. A timeout fails *that request* with a
+  typed error; the rest of the batch completes.
+
+Self-healing: a worker crash breaks the whole
+:class:`~concurrent.futures.ProcessPoolExecutor` -- every
+not-yet-returned future in the batch raises ``BrokenExecutor``, not
+just the request that killed the worker. Instead of cascading that
+one crash into a batch-wide failure, :meth:`WorkerPool.map` **rebuilds
+the pool and requeues the surviving requests**, each with a bounded
+retry budget (``max_requeues``); only a request that keeps breaking
+the pool surfaces :class:`WorkerCrashedError` (retryable). Rebuilds
+are counted in ``repro_pool_rebuilds_total`` and
+``repro_degraded_total{path="pool_rebuild"}``.
 
 Determinism: a validation request's RNG seed is resolved *before*
 dispatch -- the explicit ``seed`` if given, else
 :func:`repro.service.keys.derive_seed` of the request key -- so the
 parallel execution draws exactly the paths the serial one does,
 regardless of worker scheduling.
+
+Chaos hooks: an optional :class:`~repro.faults.injector.FaultInjector`
+can kill the worker mid-request (``worker_crash`` -- a *real*
+``os._exit`` in pooled mode, so the healing above is exercised against
+the genuine ``BrokenExecutor``, not a simulation) or stall it
+(``worker_hang``). Decisions are drawn in the dispatching process
+against the request's canonical payload, so a chaos run replays
+exactly regardless of worker scheduling.
 
 Observability: every mapped job lands in the active registry --
 ``repro_pool_tasks_total{outcome=ok|error|timeout|crashed}``,
@@ -27,11 +46,12 @@ and the ``repro_pool_workers`` / ``repro_pool_inflight`` gauges.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.backward_induction import BackwardInduction
 from repro.core.collateral import (
@@ -41,6 +61,7 @@ from repro.core.collateral import (
 )
 from repro.core.equilibrium import SwapEquilibrium
 from repro.core.solver import solve_swap_game
+from repro.faults.injector import build_injector
 from repro.obs.metrics import get_registry
 from repro.service.errors import (
     RequestTimeoutError,
@@ -116,7 +137,9 @@ def execute_request(request: Request, seed: Optional[int] = None) -> Result:
 
 
 def _timed_execute(
-    request: Request, seed: Optional[int]
+    request: Request,
+    seed: Optional[int],
+    fault: Optional[Tuple[str, float]] = None,
 ) -> Tuple[Union[Result, ServiceError], float]:
     """Pool entry point: ``(outcome, in-worker seconds)``.
 
@@ -124,7 +147,18 @@ def _timed_execute(
     propagate through the future) keeps the execution time attached, so
     the parent can split dispatch wall-clock into queue vs work even
     for failed requests.
+
+    ``fault`` is an injected adversity decided by the *dispatching*
+    process (see :class:`WorkerPool`): ``("crash", _)`` kills this
+    worker outright -- the parent observes a genuine broken pool --
+    and ``("hang", delay)`` stalls before executing, so the parent's
+    per-request timeout fires when ``delay`` exceeds it.
     """
+    if fault is not None:
+        kind, delay = fault
+        if kind == "crash":
+            os._exit(13)  # no cleanup: a real SIGKILL-style worker death
+        time.sleep(delay)
     started = time.perf_counter()
     try:
         outcome: Union[Result, ServiceError] = execute_request(request, seed)
@@ -159,6 +193,15 @@ class _PoolMetrics:
             "repro_pool_inflight",
             help="Jobs currently being mapped.",
         )
+        self.rebuilds = registry.counter(
+            "repro_pool_rebuilds_total",
+            help="Process pools rebuilt after a worker crash broke them.",
+        )
+        self.degraded = registry.counter(
+            "repro_degraded_total",
+            help="Times the stack fell back to a degraded path.",
+            labelnames=("path",),
+        )
 
     def record(self, outcome: str, task_s: float, queue_s: float) -> None:
         self.tasks.inc(outcome=outcome)
@@ -190,15 +233,31 @@ class WorkerPool:
         Only enforced in pooled mode; a timed-out request yields a
         :class:`RequestTimeoutError`, its worker is abandoned and the
         pool keeps serving the remaining futures.
+    faults:
+        Optional chaos hook (``None``, an
+        :class:`~repro.faults.plan.InjectionPlan`, or an injector);
+        honours ``worker_crash`` and ``worker_hang`` specs.
+    max_requeues:
+        Retry budget per request after a pool break: how many times one
+        request may be requeued onto a rebuilt pool before it surfaces
+        :class:`WorkerCrashedError`.
     """
 
     def __init__(
-        self, max_workers: int = 1, timeout: Optional[float] = None
+        self,
+        max_workers: int = 1,
+        timeout: Optional[float] = None,
+        faults=None,
+        max_requeues: int = 2,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_requeues < 0:
+            raise ValueError(f"max_requeues must be >= 0, got {max_requeues}")
         self.max_workers = int(max_workers)
         self.timeout = timeout
+        self.max_requeues = int(max_requeues)
+        self.injector = build_injector(faults)
         self._metrics = _PoolMetrics()
         self._metrics.workers.set(self.max_workers)
 
@@ -209,7 +268,9 @@ class WorkerPool:
 
         Returns one entry per job: the result object on success, or the
         typed :class:`ServiceError` describing the failure. Never
-        raises for a per-request failure.
+        raises for a per-request failure, and -- because broken pools
+        are rebuilt and their pending jobs requeued -- one crashed
+        worker never fails the rest of its batch.
         """
         self._metrics.inflight.inc(len(jobs))
         try:
@@ -219,41 +280,86 @@ class WorkerPool:
         finally:
             self._metrics.inflight.dec(len(jobs))
 
+    def _job_fault(self, request: Request) -> Optional[Tuple[str, float]]:
+        """The injected fault marker shipped with one dispatched job.
+
+        Decided here, in the dispatching process, against the request's
+        canonical payload -- worker processes carry no injector state,
+        so the decision sequence replays deterministically.
+        """
+        if not self.injector.enabled:
+            return None
+        from repro.service.keys import canonical_payload
+
+        key = canonical_payload(request)
+        if self.injector.fires("worker_crash", key):
+            return ("crash", 0.0)
+        delay = self.injector.delay_for("worker_hang", key)
+        if delay is not None:
+            return ("hang", delay)
+        return None
+
     def _run_pooled(
         self, jobs: Sequence[Tuple[Request, Optional[int]]]
     ) -> List[Union[Result, ServiceError]]:
         out: List[Union[Result, ServiceError]] = [None] * len(jobs)  # type: ignore[list-item]
+        attempts: Dict[int, int] = {}
+        pending = list(range(len(jobs)))
         pool = ProcessPoolExecutor(max_workers=self.max_workers)
         timed_out = False
         try:
-            submitted = time.perf_counter()
-            futures = {
-                index: pool.submit(_timed_execute, request, seed)
-                for index, (request, seed) in enumerate(jobs)
-            }
-            for index, future in futures.items():
-                try:
-                    outcome, task_s = future.result(timeout=self.timeout)
-                    out[index] = outcome
-                    wall = time.perf_counter() - submitted
-                    self._metrics.record(
-                        _outcome_label(outcome), task_s, wall - task_s
+            while pending:
+                submitted = time.perf_counter()
+                futures = {
+                    index: pool.submit(
+                        _timed_execute, *jobs[index], self._job_fault(jobs[index][0])
                     )
-                except FutureTimeoutError:
-                    future.cancel()
-                    timed_out = True
-                    out[index] = RequestTimeoutError(
-                        f"request exceeded {self.timeout:g}s"
-                    )
-                    self._metrics.record("timeout", float(self.timeout), 0.0)
-                except BrokenExecutor as exc:
-                    out[index] = WorkerCrashedError(str(exc) or "worker pool broke")
-                    self._metrics.tasks.inc(outcome="crashed")
-                except Exception as exc:  # unpicklable result, BrokenPipe, ...
-                    out[index] = WorkerCrashedError(
-                        f"{exc.__class__.__name__}: {exc}"
-                    )
-                    self._metrics.tasks.inc(outcome="crashed")
+                    for index in pending
+                }
+                requeue: List[int] = []
+                broken = False
+                for index, future in futures.items():
+                    try:
+                        outcome, task_s = future.result(timeout=self.timeout)
+                        out[index] = outcome
+                        wall = time.perf_counter() - submitted
+                        self._metrics.record(
+                            _outcome_label(outcome), task_s, wall - task_s
+                        )
+                    except FutureTimeoutError:
+                        future.cancel()
+                        timed_out = True
+                        out[index] = RequestTimeoutError(
+                            f"request exceeded {self.timeout:g}s"
+                        )
+                        self._metrics.record("timeout", float(self.timeout), 0.0)
+                    except BrokenExecutor as exc:
+                        # the pool is dead for *every* pending future;
+                        # requeue survivors onto a rebuilt pool instead
+                        # of cascading one crash into batch-wide failure
+                        broken = True
+                        attempts[index] = attempts.get(index, 0) + 1
+                        if attempts[index] <= self.max_requeues:
+                            requeue.append(index)
+                        else:
+                            detail = str(exc) or "worker pool broke"
+                            out[index] = WorkerCrashedError(
+                                f"request kept breaking the pool "
+                                f"({attempts[index]} attempts): {detail}"
+                            )
+                            self._metrics.tasks.inc(outcome="crashed")
+                    except Exception as exc:  # unpicklable result, BrokenPipe, ...
+                        out[index] = WorkerCrashedError(
+                            f"{exc.__class__.__name__}: {exc}"
+                        )
+                        self._metrics.tasks.inc(outcome="crashed")
+                pending = requeue
+                if broken:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    if pending:
+                        pool = ProcessPoolExecutor(max_workers=self.max_workers)
+                    self._metrics.rebuilds.inc()
+                    self._metrics.degraded.inc(path="pool_rebuild")
         finally:
             # after a timeout, don't block shutdown on the abandoned
             # worker; it is orphaned and reaped at interpreter exit
@@ -263,6 +369,15 @@ class WorkerPool:
     def _run_serial(
         self, request: Request, seed: Optional[int]
     ) -> Union[Result, ServiceError]:
-        outcome, task_s = _timed_execute(request, seed)
+        fault = self._job_fault(request)
+        if fault is not None and fault[0] == "crash":
+            # in-process execution cannot survive a real crash; surface
+            # the same typed, retryable error a pooled crash would
+            outcome: Union[Result, ServiceError] = WorkerCrashedError(
+                "injected worker_crash (serial mode)"
+            )
+            self._metrics.record(_outcome_label(outcome), 0.0, 0.0)
+            return outcome
+        outcome, task_s = _timed_execute(request, seed, fault)
         self._metrics.record(_outcome_label(outcome), task_s, 0.0)
         return outcome

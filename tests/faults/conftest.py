@@ -1,0 +1,35 @@
+"""Chaos-suite fixtures.
+
+Every test here runs against a private metrics registry so assertions
+on ``repro_fault_injected_total`` / ``repro_degraded_total`` see only
+their own traffic. The real-socket server fixtures are the same ones
+the server suite uses (re-exported from ``tests.server.conftest``):
+chaos scenarios exercise actual loopback TCP, not mocked transports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import Registry, use_registry
+from tests.server.conftest import make_client, make_server  # noqa: F401
+
+
+@pytest.fixture()
+def registry():
+    """A fresh private registry installed for the duration of the test."""
+    fresh = Registry()
+    with use_registry(fresh):
+        yield fresh
+
+
+def counter_value(registry, name: str, **labels) -> float:
+    """Total of one metric's matching series (0.0 when absent)."""
+    metric = registry.snapshot().get(name)
+    if metric is None:
+        return 0.0
+    return sum(
+        sample["value"]
+        for sample in metric["samples"]
+        if all(sample["labels"].get(k) == v for k, v in labels.items())
+    )

@@ -1,0 +1,185 @@
+"""Disk-cache chaos: quarantine, checksums, absorbed I/O errors.
+
+The invariant under test: a rotten disk entry is *never* served -- it
+is quarantined on first sight (one miss, one re-solve) -- and a
+tampered-but-decodable entry is caught by its checksum, so the cache
+can return a correct number or a miss, never a wrong number.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import FaultSpec, InjectionPlan
+from repro.service.api import SwapService
+from repro.service.cache import QUARANTINE_SUFFIX, DiskCache
+from repro.service.serialize import encode_result
+from tests.faults.conftest import counter_value
+
+
+@pytest.fixture(scope="module")
+def equilibrium():
+    return SwapService(max_workers=1).solve(pstar=2.0)
+
+
+class TestQuarantine:
+    def test_injected_corruption_quarantines_once(
+        self, tmp_path, registry, equilibrium
+    ):
+        plan = InjectionPlan(
+            faults=(FaultSpec(kind="cache_corrupt", count=1),), seed=0
+        )
+        cache = DiskCache(tmp_path, injector=plan)
+        cache.put("k1", equilibrium)
+        # the entry on disk is genuinely garbled now
+        assert cache.get("k1") is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+        assert not (tmp_path / "k1.json").exists()
+        assert (tmp_path / ("k1.json" + QUARANTINE_SUFFIX)).exists()
+        # second lookup: plain miss, never re-parses the bad file
+        assert cache.get("k1") is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 2
+        assert (
+            counter_value(registry, "repro_cache_corrupt_total", tier="disk")
+            == 1
+        )
+
+    def test_requarantined_entry_heals_on_rewrite(
+        self, tmp_path, registry, equilibrium
+    ):
+        plan = InjectionPlan(
+            faults=(FaultSpec(kind="cache_corrupt", count=1),), seed=0
+        )
+        cache = DiskCache(tmp_path, injector=plan)
+        cache.put("k1", equilibrium)
+        assert cache.get("k1") is None  # quarantined
+        cache.put("k1", equilibrium)  # injector exhausted: good write
+        healed = cache.get("k1")
+        assert healed is not None
+        assert healed.success_rate == equilibrium.success_rate
+
+    def test_quarantined_files_invisible_to_len_and_prune(
+        self, tmp_path, registry, equilibrium
+    ):
+        plan = InjectionPlan(
+            faults=(FaultSpec(kind="cache_corrupt", count=1),), seed=0
+        )
+        cache = DiskCache(tmp_path, max_entries=2, injector=plan)
+        cache.put("k1", equilibrium)  # garbled
+        assert cache.get("k1") is None
+        cache.put("k2", equilibrium)
+        cache.put("k3", equilibrium)
+        assert len(cache) == 2
+        assert (tmp_path / ("k1.json" + QUARANTINE_SUFFIX)).exists()
+
+
+class TestChecksum:
+    def test_tampered_payload_is_never_served(
+        self, tmp_path, registry, equilibrium
+    ):
+        # valid JSON, wrong numbers: only the checksum can catch this
+        cache = DiskCache(tmp_path)
+        cache.put("k1", equilibrium)
+        path = tmp_path / "k1.json"
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["result"]["success_rate"] = 0.123456789
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert cache.get("k1") is None  # wrong number never comes back
+        assert cache.stats.corrupt == 1
+        assert (tmp_path / ("k1.json" + QUARANTINE_SUFFIX)).exists()
+
+    def test_untampered_entry_round_trips(self, tmp_path, registry, equilibrium):
+        cache = DiskCache(tmp_path)
+        cache.put("k1", equilibrium)
+        value = cache.get("k1")
+        assert value is not None
+        assert value.success_rate == equilibrium.success_rate
+        assert cache.stats.corrupt == 0
+
+    def test_legacy_entry_without_checksum_stays_readable(
+        self, tmp_path, registry, equilibrium
+    ):
+        # entries written before checksums existed must not quarantine
+        path = tmp_path / "k1.json"
+        path.write_text(
+            json.dumps({"key": "k1", "result": encode_result(equilibrium)}),
+            encoding="utf-8",
+        )
+        cache = DiskCache(tmp_path)
+        value = cache.get("k1")
+        assert value is not None
+        assert value.success_rate == equilibrium.success_rate
+
+
+class TestIOErrors:
+    def test_read_error_degrades_to_miss(self, tmp_path, registry, equilibrium):
+        plan = InjectionPlan(
+            faults=(FaultSpec(kind="cache_io_error", after=1, count=1),),
+            seed=0,
+        )
+        cache = DiskCache(tmp_path, injector=plan)
+        cache.put("k1", equilibrium)  # event 1: write untouched
+        assert cache.get("k1") is None  # event 2: injected read failure
+        assert cache.stats.misses == 1
+        assert cache.stats.corrupt == 0
+        assert (tmp_path / "k1.json").exists()  # the file itself is fine
+        value = cache.get("k1")  # injector exhausted: served again
+        assert value is not None
+        assert value.success_rate == equilibrium.success_rate
+        assert (
+            counter_value(registry, "repro_cache_io_errors_total", tier="disk")
+            == 1
+        )
+
+    def test_write_error_skips_persistence_quietly(
+        self, tmp_path, registry, equilibrium
+    ):
+        plan = InjectionPlan(
+            faults=(FaultSpec(kind="cache_io_error", count=1),), seed=0
+        )
+        cache = DiskCache(tmp_path, injector=plan)
+        cache.put("k1", equilibrium)  # injected write failure, absorbed
+        assert cache.stats.puts == 0
+        assert not (tmp_path / "k1.json").exists()
+        cache.put("k1", equilibrium)  # next write lands
+        assert cache.get("k1") is not None
+
+    def test_disk_slow_stalls_but_serves_correctly(
+        self, tmp_path, registry, equilibrium
+    ):
+        import time
+
+        plan = InjectionPlan(
+            faults=(FaultSpec(kind="disk_slow", delay=0.05, count=1),), seed=0
+        )
+        cache = DiskCache(tmp_path, injector=plan)
+        started = time.perf_counter()
+        cache.put("k1", equilibrium)  # stalled write
+        assert time.perf_counter() - started >= 0.05
+        value = cache.get("k1")
+        assert value is not None
+        assert value.success_rate == equilibrium.success_rate
+
+
+class TestServiceIntegration:
+    def test_corrupt_disk_entry_heals_through_the_service(
+        self, tmp_path, registry
+    ):
+        # a fresh service (cold memory tier) must re-solve around a
+        # corrupted disk entry and answer the correct number
+        clean = SwapService(max_workers=1)
+        expected = clean.solve(pstar=2.0)
+
+        first = SwapService(max_workers=1, cache_dir=str(tmp_path))
+        first.solve(pstar=2.0)
+        [entry] = list(tmp_path.glob("*.json"))
+        entry.write_text('{"key": "rotten', encoding="utf-8")
+
+        second = SwapService(max_workers=1, cache_dir=str(tmp_path))
+        value = second.solve(pstar=2.0)
+        assert value.success_rate == expected.success_rate
+        assert second.stats()["disk"]["corrupt"] == 1

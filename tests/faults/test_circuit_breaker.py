@@ -1,0 +1,184 @@
+"""Circuit-breaker state machine + its interplay with client retries.
+
+The satellite scenario: a client hammering an always-503 server
+exhausts its per-request retry budget enough times to open the
+circuit (further calls fail locally, no sockets); once the server
+recovers, the half-open probe closes the circuit again.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.server.circuit import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.server.client import (
+    CircuitOpenError,
+    RetriesExhaustedError,
+    RetryPolicy,
+    SwapClient,
+)
+from repro.service.api import SwapService
+from tests.faults.conftest import counter_value
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestStateMachine:
+    def test_starts_closed_and_trips_at_threshold(self, registry):
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=10.0)
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self, registry):
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=10.0)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # streak broken: 1, not 2
+
+    def test_half_open_after_reset_timeout(self, registry):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=5.0, clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(4.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_admits_exactly_one_probe(self, registry):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=1.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # concurrent call refused
+
+    def test_probe_success_closes(self, registry):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=1.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow() and breaker.allow()  # fully open for business
+
+    def test_probe_failure_reopens_and_restarts_clock(self, registry):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_timeout=1.0, clock=clock
+        )
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_failure()  # half-open probe fails: straight open
+        assert breaker.state == OPEN
+        clock.advance(0.5)
+        assert breaker.state == OPEN  # clock restarted at the re-open
+        clock.advance(0.6)
+        assert breaker.state == HALF_OPEN
+
+    def test_gauge_tracks_state(self, registry):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=1.0, clock=clock
+        )
+
+        def gauge() -> float:
+            [sample] = registry.snapshot()["repro_client_circuit_state"][
+                "samples"
+            ]
+            return sample["value"]
+
+        assert gauge() == 0
+        breaker.record_failure()
+        assert gauge() == 2
+        clock.advance(1.5)
+        assert breaker.state == HALF_OPEN
+        assert gauge() == 1
+        breaker.record_success()
+        assert gauge() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="reset_timeout"):
+            CircuitBreaker(reset_timeout=0.0)
+
+
+class TestRetryInterplay:
+    """Satellite: RetryPolicy x CircuitBreaker against a live server."""
+
+    def test_sustained_503_opens_circuit_and_recovery_closes_it(
+        self, registry, make_server
+    ):
+        server = make_server()
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=0.05)
+        client = SwapClient(
+            f"http://127.0.0.1:{server.port}",
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.02),
+            sleep=lambda _s: None,
+            circuit=breaker,
+        )
+        expected = SwapService(max_workers=1).solve(pstar=2.0).success_rate
+        assert client.solve(pstar=2.0).success_rate == expected  # healthy
+
+        server._draining.set()  # the server now answers 503 draining
+        for _ in range(2):
+            with pytest.raises(RetriesExhaustedError):
+                client.solve(pstar=2.0)
+        # threshold reached: the circuit refuses locally, no socket I/O
+        with pytest.raises(CircuitOpenError):
+            client.solve(pstar=2.0)
+        assert breaker.state == OPEN
+
+        server._draining.clear()  # the server recovered
+        time.sleep(0.06)  # reset timeout elapses: half-open
+        assert client.solve(pstar=2.0).success_rate == expected  # the probe
+        assert breaker.state == CLOSED
+        # and stays closed for subsequent traffic
+        assert client.solve(pstar=2.0).success_rate == expected
+
+    def test_deterministic_rejections_do_not_trip_the_breaker(
+        self, registry, make_server, make_client
+    ):
+        from repro.server.client import ServerReplyError
+
+        server = make_server()
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=10.0)
+        client = make_client(server, circuit=breaker)
+        for _ in range(3):
+            with pytest.raises(ServerReplyError):
+                client.solve(pstar=-1.0)  # 400: a conclusive answer
+        assert breaker.state == CLOSED
+
+    def test_client_without_breaker_is_unchanged(self, registry, make_server):
+        server = make_server()
+        client = SwapClient(f"http://127.0.0.1:{server.port}")
+        assert client.circuit is None
+        assert client.health()

@@ -1,0 +1,100 @@
+"""Graceful drain while an injected ``worker_hang`` is in flight.
+
+The satellite scenario: a request hangs in the worker past the
+server's deadline while healthy traffic continues. The server must
+answer the healthy requests, 504 the hung one *at the deadline* (not
+at the hang's end), drain cleanly, and exit -- no request held hostage
+by a stuck worker.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.faults import FaultSpec, InjectionPlan
+from repro.server.client import RetriesExhaustedError, RetryPolicy, SwapClient
+from repro.service.api import SwapService
+from tests.server.conftest import request_in_thread
+
+HANG_SECONDS = 30.0  # far past the deadline: only a 504 can end the wait
+DEADLINE = 0.75
+
+
+@pytest.fixture()
+def hung_setup(make_server):
+    plan = InjectionPlan(
+        faults=(
+            FaultSpec(
+                kind="worker_hang",
+                match='"pstar":3.25',
+                delay=HANG_SECONDS,
+                count=1,
+            ),
+        ),
+        seed=0,
+    )
+    service = SwapService(max_workers=1, faults=plan)
+    server = make_server(service=service, deadline=DEADLINE, drain_timeout=10.0)
+    return server, service
+
+
+def one_shot_client(server) -> SwapClient:
+    # no retries: the test wants to see the 504 itself, not a retry of it
+    return SwapClient(
+        f"http://127.0.0.1:{server.port}",
+        retry=RetryPolicy(max_attempts=1),
+        timeout=30.0,
+    )
+
+
+class TestDrainWithHungRequest:
+    def test_sigterm_drain_504s_the_hung_request_and_exits_cleanly(
+        self, registry, hung_setup
+    ):
+        server, service = hung_setup
+        client = one_shot_client(server)
+
+        started = time.perf_counter()
+        hung = request_in_thread(lambda: client.solve(pstar=3.25))
+        # wait for the hung request to be admitted and in flight
+        deadline = time.time() + 5.0
+        while server.gate.inflight == 0 and time.time() < deadline:
+            time.sleep(0.005)
+        assert server.gate.inflight == 1
+
+        # healthy traffic is still served while the hang is in flight
+        healthy = client.solve(pstar=2.0)
+        expected = SwapService(max_workers=1).solve(pstar=2.0).success_rate
+        assert healthy.success_rate == expected
+
+        # what SIGTERM triggers (serve() wires the signal to shutdown):
+        # stop accepting, wait for in-flight work, flush, exit
+        drained = server.shutdown(drain=True)
+        elapsed = time.perf_counter() - started
+        assert drained  # the hung request did NOT hold the drain hostage
+        # drain completed at the 504 deadline, far before the hang ends
+        assert elapsed < HANG_SECONDS / 2
+
+        hung.join(timeout=10.0)
+        assert not hung.is_alive()
+        assert isinstance(hung.error, RetriesExhaustedError)
+        last = hung.error.last
+        assert last.status == 504
+        assert last.error["code"] == "deadline_exceeded"
+        assert last.retryable  # typed, retryable: resubmit elsewhere
+        assert service.faults.injected_total("worker_hang") == 1
+
+    def test_draining_server_rejects_new_work_with_typed_503(
+        self, registry, hung_setup
+    ):
+        server, _service = hung_setup
+        client = one_shot_client(server)
+        assert client.ready()
+        server._draining.set()
+        assert not client.ready()
+        with pytest.raises(RetriesExhaustedError) as excinfo:
+            client.solve(pstar=2.0)
+        assert excinfo.value.last.status == 503
+        assert excinfo.value.last.error["code"] == "draining"

@@ -1,0 +1,140 @@
+"""HTTP-layer chaos over real sockets: drops and stalls, both sides.
+
+Server-side ``http_drop`` closes the connection without a response;
+server-side ``http_slow`` stalls the handler. Client-side variants
+fail or stall before the socket is touched. In every case the client's
+retry discipline must converge on the correct answer.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.faults import FaultSpec, InjectionPlan
+from repro.server.client import RetriesExhaustedError, RetryPolicy, SwapClient
+from repro.service.api import SwapService
+from tests.faults.conftest import counter_value
+
+
+@pytest.fixture(scope="module")
+def expected_rate():
+    return SwapService(max_workers=1).solve(pstar=2.0).success_rate
+
+
+class TestServerSideDrop:
+    def test_dropped_connection_is_retried_to_the_right_answer(
+        self, registry, make_server, make_client, expected_rate
+    ):
+        plan = InjectionPlan(
+            faults=(FaultSpec(kind="http_drop", match="/v1/solve", count=1),),
+            seed=0,
+        )
+        service = SwapService(max_workers=1, faults=plan)
+        server = make_server(service=service)
+        client = make_client(
+            server, retry=RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.05)
+        )
+        result = client.solve(pstar=2.0)
+        assert result.success_rate == expected_rate
+        assert service.faults.injected_total("http_drop") == 1
+        assert (
+            counter_value(
+                registry, "repro_http_rejected_total", reason="fault_drop"
+            )
+            == 1
+        )
+        assert (
+            counter_value(registry, "repro_fault_injected_total", kind="http_drop")
+            == 1
+        )
+
+    def test_sustained_drop_exhausts_retries_with_typed_error(
+        self, registry, make_server, make_client
+    ):
+        plan = InjectionPlan(
+            faults=(FaultSpec(kind="http_drop", match="/v1/solve"),), seed=0
+        )
+        service = SwapService(max_workers=1, faults=plan)
+        server = make_server(service=service)
+        client = make_client(
+            server, retry=RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.02)
+        )
+        with pytest.raises(RetriesExhaustedError) as excinfo:
+            client.solve(pstar=2.0)
+        assert excinfo.value.attempts == 2
+        # ops routes are not matched by the /v1/solve spec: still alive
+        assert client.health()
+
+    def test_drop_spec_does_not_hit_other_routes(
+        self, registry, make_server, make_client, expected_rate
+    ):
+        plan = InjectionPlan(
+            faults=(FaultSpec(kind="http_drop", match="/v1/validate"),), seed=0
+        )
+        service = SwapService(max_workers=1, faults=plan)
+        server = make_server(service=service)
+        client = make_client(server)
+        assert client.solve(pstar=2.0).success_rate == expected_rate
+        assert service.faults.injected_total() == 0
+
+
+class TestServerSideSlow:
+    def test_slow_response_still_correct(
+        self, registry, make_server, make_client, expected_rate
+    ):
+        plan = InjectionPlan(
+            faults=(
+                FaultSpec(kind="http_slow", match="/v1/solve", delay=0.1, count=1),
+            ),
+            seed=0,
+        )
+        service = SwapService(max_workers=1, faults=plan)
+        server = make_server(service=service)
+        client = make_client(server)
+        started = time.perf_counter()
+        result = client.solve(pstar=2.0)
+        elapsed = time.perf_counter() - started
+        assert result.success_rate == expected_rate
+        assert elapsed >= 0.1
+        assert service.faults.injected_total("http_slow") == 1
+
+
+class TestClientSideFaults:
+    def test_client_drop_is_retried_transparently(
+        self, registry, make_server, expected_rate
+    ):
+        server = make_server()
+        plan = InjectionPlan(
+            faults=(FaultSpec(kind="http_drop", match="/v1/solve", count=1),),
+            seed=0,
+        )
+        client = SwapClient(
+            f"http://127.0.0.1:{server.port}",
+            retry=RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.05),
+            faults=plan,
+        )
+        result = client.solve(pstar=2.0)
+        assert result.success_rate == expected_rate
+        assert client.faults.injected_total("http_drop") == 1
+
+    def test_client_slow_stalls_before_the_socket(
+        self, registry, make_server, expected_rate
+    ):
+        server = make_server()
+        plan = InjectionPlan(
+            faults=(
+                FaultSpec(kind="http_slow", match="/v1/solve", delay=0.1, count=1),
+            ),
+            seed=0,
+        )
+        client = SwapClient(
+            f"http://127.0.0.1:{server.port}",
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.02),
+            faults=plan,
+        )
+        started = time.perf_counter()
+        result = client.solve(pstar=2.0)
+        assert time.perf_counter() - started >= 0.1
+        assert result.success_rate == expected_rate
