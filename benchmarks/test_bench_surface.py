@@ -1,0 +1,133 @@
+"""Benchmark S5: precomputed surfaces with certified interpolation.
+
+Not a paper artifact -- this measures the ``repro.surface`` serving
+tier against the exact engine on the 256-point Figure 6 curve:
+
+* every surface-served point agrees with the exact solver within its
+  certified per-cell bound (and the granted tolerance);
+* off-surface points fall through to the engine and come back
+  *bit-identical* to a direct ``solve_grid`` call;
+* the warm path's p50 per-point latency is at least 10x faster than a
+  single-point engine solve.
+
+Under ``REPRO_BENCH_SMOKE=1`` (the CI smoke lane) the timing assertion
+is skipped -- shared runners make wall-clock ratios flaky -- but the
+accuracy and bit-identity assertions always hold.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.engine import solve_grid
+from repro.service import SwapService
+from repro.surface import AxisSpec, SurfaceSpec, warm_surface
+
+CURVE_POINTS = 256
+SPEEDUP_FLOOR = 10.0
+TOLERANCE = 5e-3
+AXIS_POINTS = 129
+
+
+def _figure6_grid():
+    lo, hi = 1.2, 3.2
+    return [
+        lo + (hi - lo) * i / (CURVE_POINTS - 1.0) for i in range(CURVE_POINTS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def warm(params, tmp_path_factory):
+    """A service backed by a freshly warmed Figure 6 surface artifact."""
+    spec = SurfaceSpec(
+        axes=(AxisSpec("pstar", 1.2, 3.2, AXIS_POINTS),),
+        params=params,
+        default_tolerance=TOLERANCE,
+    )
+    path = tmp_path_factory.mktemp("bench-surface") / "figure6.srf"
+    surface = warm_surface(spec, path)
+    return SwapService(surface=surface, surface_tolerance=TOLERANCE), surface
+
+
+def test_curve_within_certified_bound(warm, params):
+    service, surface = warm
+    pstars = _figure6_grid()
+    exact = solve_grid(params, pstars).success_rate
+    items = service.sweep(pstars)
+
+    surface_points = 0
+    worst_error = 0.0
+    worst_margin = 0.0  # error as a fraction of the certified bound
+    for item, truth in zip(items, exact):
+        answer = item.unwrap()
+        if item.source != "surface":
+            continue  # uncertifiable cells fall through and are exact
+        surface_points += 1
+        error = abs(answer.success_rate - float(truth))
+        worst_error = max(worst_error, error)
+        worst_margin = max(worst_margin, error / answer.bound)
+        assert error <= answer.bound, (
+            f"certified bound violated at P*={answer.pstar}: "
+            f"|dSR| {error:.3e} > bound {answer.bound:.3e}"
+        )
+        assert answer.bound <= TOLERANCE
+
+    share = surface_points / len(pstars)
+    emit(
+        "surface accuracy, 256-point Figure 6 curve",
+        f"surface share : {surface_points}/{len(pstars)} ({share:.0%})\n"
+        f"max |dSR|     : {worst_error:.2e} (tolerance {TOLERANCE:g})\n"
+        f"max err/bound : {worst_margin:.2f}\n"
+        f"max cell bound: {surface.max_bound:.2e}",
+    )
+    assert share >= 0.5, f"surface certified only {share:.0%} of the curve"
+
+
+def test_off_surface_points_bit_identical_to_engine(warm, params):
+    service, _surface = warm
+    beyond = [3.4, 3.6, 3.8]  # past the pstar axis: must fall through
+    items = service.sweep(beyond)
+    assert [item.source for item in items] == ["engine"] * len(beyond)
+    exact = solve_grid(params, beyond).success_rate
+    for item, truth in zip(items, exact):
+        assert item.unwrap().success_rate == float(truth)
+
+
+def test_warm_p50_speedup(warm, params):
+    service, surface = warm
+    sample = _figure6_grid()[::4]
+
+    surface_times = []
+    for pstar in sample:
+        t0 = time.perf_counter()
+        answer = surface.answer(params, pstar, tolerance=TOLERANCE)
+        elapsed = time.perf_counter() - t0
+        if answer is not None:
+            surface_times.append(elapsed)
+    assert surface_times, "no point on the curve was certifiable"
+
+    engine_times = []
+    for pstar in sample[:: max(1, len(sample) // 16)]:
+        t0 = time.perf_counter()
+        solve_grid(params, [pstar])
+        engine_times.append(time.perf_counter() - t0)
+
+    surface_p50 = statistics.median(surface_times)
+    engine_p50 = statistics.median(engine_times)
+    speedup = engine_p50 / surface_p50 if surface_p50 > 0 else float("inf")
+    emit(
+        "surface warm path, per-point latency",
+        f"surface p50 : {surface_p50 * 1e6:.0f}us "
+        f"({len(surface_times)} certified lookups)\n"
+        f"engine p50  : {engine_p50 * 1e3:.2f}ms\n"
+        f"speedup     : {speedup:.0f}x (floor {SPEEDUP_FLOOR}x)",
+    )
+    if os.environ.get("REPRO_BENCH_SMOKE") != "1":
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"warm path only {speedup:.1f}x faster than the engine"
+        )

@@ -14,6 +14,8 @@ Usage::
     repro-swaps stats requests.jsonl
     repro-swaps serve --port 8100 --workers 4 --queue-depth 32
     repro-swaps serve --port 8100 --fault-plan plan.json
+    repro-swaps warm --out surface.srf --axis pstar:1.2:3.0:65
+    repro-swaps serve --port 8100 --surface surface.srf --surface-tolerance 1e-3
     repro-swaps all
 
 (or ``python -m repro.cli ...``).
@@ -40,6 +42,14 @@ parsed as JSON.
 gracefully; ``--queue-depth`` bounds concurrent admission, and the
 batch flags (``--workers``, ``--cache-dir``, ``--cache-entries``,
 ``--metrics-out``) configure the service behind it.
+
+``warm`` precomputes an equilibrium surface (:mod:`repro.surface`)
+over axes given as repeatable ``--axis name:lo:hi:points`` flags and
+writes a checksummed, memory-mapped artifact to ``--out``. Pointing
+``batch``, ``serve`` or ``sweep`` at it with ``--surface`` installs
+certified interpolation as the first answer tier; tolerance-less
+requests stay exact unless ``--surface-tolerance`` (or, for
+``sweep``, ``--tolerance``) grants a default error budget.
 
 Invalid artifact names and invalid ``--pstar``/``--collateral`` values
 exit non-zero with a one-line error instead of a traceback.
@@ -141,6 +151,30 @@ def _cmd_sweep(args: argparse.Namespace) -> object:
         ]
     if not pstars:
         raise ValueError("empty P* grid")
+
+    if args.surface is not None:
+        if args.legacy:
+            raise ValueError("--surface and --legacy are mutually exclusive")
+        from repro.service import SwapService
+
+        service = SwapService(surface=args.surface)
+        if service.surface is None:
+            raise ValueError(f"could not load surface artifact {args.surface}")
+        tolerance = args.tolerance
+        if tolerance is None:  # pointing at a surface opts in; use its default
+            tolerance = service.surface.spec.default_tolerance
+        items = service.sweep(
+            pstars, collateral=args.collateral, tolerance=tolerance
+        )
+        rates = [float(item.unwrap().success_rate) for item in items]
+        return {
+            "pstars": pstars,
+            "success_rate": rates,
+            "collateral": args.collateral,
+            "engine": "chain",
+            "sources": [item.source for item in items],
+            "tolerance": tolerance,
+        }
 
     if args.legacy:
         from repro.core.backward_induction import BackwardInduction
@@ -251,6 +285,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="one scalar backward induction per point (reference path)",
     )
+    sweep.add_argument(
+        "--surface",
+        default=None,
+        metavar="PATH",
+        help="answer through a precomputed surface artifact (repro-swaps warm)",
+    )
+    sweep.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="interpolation error budget for --surface (default: the "
+        "artifact's); 0 demands exactness",
+    )
 
     validate = sub.add_parser(
         "validate", parents=[common], help="Monte Carlo vs analytic SR"
@@ -339,6 +386,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="prom",
         help="snapshot rendering (Prometheus text or JSON)",
     )
+    _add_surface_arguments(stats)
 
     serve = sub.add_parser(
         "serve",
@@ -400,8 +448,70 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="inject faults per this JSON plan (chaos testing; see repro.faults)",
     )
+    _add_surface_arguments(serve)
+
+    warm = sub.add_parser(
+        "warm",
+        parents=[common],
+        help="precompute an equilibrium surface artifact for --surface",
+    )
+    warm.add_argument(
+        "--out",
+        required=True,
+        metavar="PATH",
+        help="artifact output path (written atomically)",
+    )
+    warm.add_argument(
+        "--axis",
+        action="append",
+        default=None,
+        metavar="NAME:LO:HI:POINTS",
+        help="one grid axis (repeatable; a pstar axis is required; "
+        "names: pstar, collateral, alpha, r, sigma, tau_a, tau_b, ...)",
+    )
+    warm.add_argument(
+        "--collateral",
+        type=float,
+        default=0.0,
+        help="fixed Q when collateral is not an axis",
+    )
+    warm.add_argument(
+        "--tolerance",
+        type=float,
+        default=1e-3,
+        help="default answer tolerance recorded in the artifact",
+    )
+    warm.add_argument(
+        "--quad-order",
+        type=int,
+        default=None,
+        help="Gauss-Legendre order for the builder's solves",
+    )
+    warm.add_argument(
+        "--scan-points",
+        type=int,
+        default=512,
+        help="threshold-scan resolution for the builder's solves",
+    )
 
     return parser
+
+
+def _add_surface_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--surface",
+        default=None,
+        metavar="PATH",
+        help="precomputed surface artifact (repro-swaps warm) as the "
+        "first answer tier",
+    )
+    parser.add_argument(
+        "--surface-tolerance",
+        type=float,
+        default=None,
+        help="service-wide interpolation error budget; without it, "
+        "tolerance-less requests stay exact",
+    )
 
 
 def _add_batch_arguments(batch: argparse.ArgumentParser) -> None:
@@ -444,6 +554,7 @@ def _add_batch_arguments(batch: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="inject faults per this JSON plan (chaos testing; see repro.faults)",
     )
+    _add_surface_arguments(batch)
 
 
 def _cmd_backtest(args: argparse.Namespace) -> str:
@@ -527,6 +638,8 @@ def _serve_batch(
     timeout: Optional[float],
     cache_entries: Optional[int] = None,
     fault_plan: Optional[str] = None,
+    surface: Optional[str] = None,
+    surface_tolerance: Optional[float] = None,
 ) -> Tuple[bool, List[dict]]:
     """Parse and execute a JSON-lines batch.
 
@@ -534,7 +647,8 @@ def _serve_batch(
     wire logic ``POST /v1/batch`` speaks) that constructs a one-shot
     service from the CLI flags. ``fault_plan`` (a JSON file path)
     activates deterministic fault injection; a malformed plan raises
-    ``ValueError`` -> clean exit 2 in :func:`main`.
+    ``ValueError`` -> clean exit 2 in :func:`main`. ``surface``
+    installs a precomputed artifact as the first answer tier.
     """
     from repro.service import SwapService, serve_lines
 
@@ -544,6 +658,8 @@ def _serve_batch(
         cache_entries=cache_entries,
         timeout=timeout,
         faults=fault_plan,
+        surface=surface,
+        surface_tolerance=surface_tolerance,
     )
     return serve_lines(service, lines)
 
@@ -571,6 +687,8 @@ def _cmd_batch(args: argparse.Namespace) -> CommandOutcome:
             args.timeout,
             cache_entries=args.cache_entries,
             fault_plan=args.fault_plan,
+            surface=args.surface,
+            surface_tolerance=args.surface_tolerance,
         )
     finally:
         if log_handle is not None:
@@ -598,6 +716,8 @@ def _cmd_stats(args: argparse.Namespace) -> CommandOutcome:
             args.cache_dir,
             args.timeout,
             cache_entries=args.cache_entries,
+            surface=args.surface,
+            surface_tolerance=args.surface_tolerance,
         )
     if args.format == "json" or args.json:
         return 0, get_registry().snapshot()
@@ -622,9 +742,36 @@ def _cmd_serve(args: argparse.Namespace) -> CommandOutcome:
         timeout=args.timeout,
         metrics_out=args.metrics_out,
         fault_plan=args.fault_plan,
+        surface=args.surface,
+        surface_tolerance=args.surface_tolerance,
     )
     status = serve(config)
     return status, {"ok": status == 0, "drained": status == 0}
+
+
+def _cmd_warm(args: argparse.Namespace) -> object:
+    """Precompute a surface artifact from ``--axis`` specs.
+
+    Exact solves fill the grid; midpoint probes certify a per-cell
+    interpolation error bound. The resulting file is self-describing
+    (axes, parameters, checksum) and memory-mapped at load time.
+    """
+    from repro.surface import AxisSpec, SurfaceSpec, warm_surface
+
+    if not args.axis:
+        raise ValueError("at least one --axis name:lo:hi:points is required")
+    axes = tuple(AxisSpec.parse(token) for token in args.axis)
+    spec = SurfaceSpec(
+        axes=axes,
+        params=SwapParameters.default(),
+        collateral=args.collateral,
+        default_tolerance=args.tolerance,
+    )
+    kwargs = {"scan_points": args.scan_points}
+    if args.quad_order is not None:
+        kwargs["quad_order"] = args.quad_order
+    surface = warm_surface(spec, args.out, **kwargs)
+    return surface.info()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -711,6 +858,8 @@ def _dispatch(args: argparse.Namespace) -> CommandOutcome:
         return _cmd_stats(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "warm":
+        return 0, _cmd_warm(args)
     raise ValueError(f"unknown command {args.command!r}")
 
 

@@ -36,6 +36,9 @@ kind                injected behaviour (hook site)
 ``http_slow``       response stalls ``delay`` seconds (server/client)
 ``engine_error``    the vectorised grid engine raises (``SwapService.sweep``)
 ``oracle_outage``   the Section IV Oracle refuses to settle
+``surface_corrupt``   a surface artifact fails verification and is
+                      quarantined on load (``surface.artifact``)
+``surface_io_error``  reading a surface artifact raises ``OSError``
 ==================  ====================================================
 """
 
@@ -58,6 +61,8 @@ FAULT_KINDS: Tuple[str, ...] = (
     "http_slow",
     "engine_error",
     "oracle_outage",
+    "surface_corrupt",
+    "surface_io_error",
 )
 
 

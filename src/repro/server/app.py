@@ -10,17 +10,24 @@ method    path           behaviour
 POST      ``/v1/solve``     one solve request (JSON body) -> one result
 POST      ``/v1/validate``  one Monte Carlo validation -> one result
 POST      ``/v1/batch``     JSONL in/out, the ``repro-swaps batch`` format
-GET       ``/v1/sweep``     ``?pstars=1.8,2.0&collateral=0`` -> SR per point
+GET       ``/v1/sweep``     ``?pstars=1.8,2.0&collateral=0&tolerance=1e-3``
+                            -> SR per point (``tolerance`` opts into
+                            certified surface interpolation)
 GET       ``/healthz``      liveness (200 while the process runs)
-GET       ``/readyz``       readiness (503 while starting or draining)
-GET       ``/version``      package + key-schema versions
+GET       ``/readyz``       readiness (503 while starting or draining);
+                            reports the loaded surface artifact
+GET       ``/version``      package + key-schema versions + surface info
 GET       ``/metrics``      the live registry, Prometheus text format
 ========  =============  =================================================
 
-The sweep verb delegates to :meth:`SwapService.sweep`, which answers
-its cache misses with one vectorised pass through the grid engine
-(:mod:`repro.core.engine`) -- a 256-point curve over the wire costs one
-array solve, and ``/metrics`` exposes it as the ``repro_grid_*`` family.
+The sweep verb delegates to :meth:`SwapService.sweep`, which routes
+down the answer-source chain (:mod:`repro.service.sources`): points a
+loaded surface artifact certifies within tolerance are interpolated in
+microseconds (``repro_surface_*`` metrics), and remaining cache misses
+are answered with one vectorised pass through the grid engine
+(:mod:`repro.core.engine`) -- a 256-point curve over the wire costs at
+most one array solve, and ``/metrics`` exposes it as the
+``repro_grid_*`` family.
 
 Production behaviours, all enforced here rather than left to callers:
 
@@ -444,6 +451,10 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             pstars = [float(part) for part in raw.split(",") if part.strip()]
             collateral = float(query.get("collateral", ["0"])[0])
+            raw_tolerance = query.get("tolerance", [None])[0]
+            tolerance = (
+                float(raw_tolerance) if raw_tolerance is not None else None
+            )
         except ValueError as exc:
             raise _WireError(
                 ServiceErrorInfo(code="invalid_request", message=str(exc))
@@ -456,7 +467,9 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             )
         items = self._with_deadline(
-            lambda: self.owner.service.sweep(pstars, collateral=collateral)
+            lambda: self.owner.service.sweep(
+                pstars, collateral=collateral, tolerance=tolerance
+            )
         )
         results: List[dict] = []
         for pstar, item in zip(pstars, items):
@@ -465,9 +478,13 @@ class _Handler(BaseHTTPRequestHandler):
                 "ok": item.ok,
                 "key": item.key,
                 "cached": item.cached,
+                "source": item.source,
             }
             if item.ok:
                 point["success_rate"] = item.value.success_rate
+                bound = getattr(item.value, "bound", None)
+                if bound is not None:  # surface answers carry their bound
+                    point["bound"] = bound
             else:
                 point["error"] = item.error.to_dict()
             results.append(point)
@@ -489,7 +506,16 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             )
             return
-        self._send_json(200, {"ok": True, "status": "ready"})
+        # the surface info lets operators verify *which* artifact this
+        # replica answers from (axes, checksum) straight off the probe
+        self._send_json(
+            200,
+            {
+                "ok": True,
+                "status": "ready",
+                "surface": owner.service.surface_info(),
+            },
+        )
 
     def _ops_version(self) -> None:
         self._send_json(
@@ -499,6 +525,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "server": "repro-swaps",
                 "version": _package_version(),
                 "key_version": KEY_VERSION,
+                "surface": self.owner.service.surface_info(),
             },
         )
 
@@ -560,6 +587,8 @@ class SwapServer:
                 cache_entries=self.config.cache_entries,
                 timeout=self.config.timeout,
                 faults=self.faults,
+                surface=self.config.surface,
+                surface_tolerance=self.config.surface_tolerance,
             )
         )
         self.metrics = HTTPMetrics()

@@ -325,12 +325,23 @@ class SwapClient:
             if line.strip()
         ]
 
-    def sweep(self, pstars: Sequence[float], collateral: float = 0.0) -> List[dict]:
-        """``GET /v1/sweep``; one ``{pstar, success_rate, ...}`` per point."""
+    def sweep(
+        self,
+        pstars: Sequence[float],
+        collateral: float = 0.0,
+        tolerance: Optional[float] = None,
+    ) -> List[dict]:
+        """``GET /v1/sweep``; one ``{pstar, success_rate, ...}`` per point.
+
+        ``tolerance`` opts the sweep into the server's surface tier:
+        points certified within it come back with ``source="surface"``
+        and their ``bound``; ``tolerance=0.0`` demands exact answers.
+        """
         query = ",".join(repr(float(p)) for p in pstars)
-        return self._json(
-            "GET", f"/v1/sweep?pstars={query}&collateral={collateral!r}"
-        )["results"]
+        url = f"/v1/sweep?pstars={query}&collateral={collateral!r}"
+        if tolerance is not None:
+            url += f"&tolerance={tolerance!r}"
+        return self._json("GET", url)["results"]
 
     # ------------------------------------------------------------------ #
     # operational endpoints
@@ -356,6 +367,19 @@ class SwapClient:
     def version(self) -> dict:
         """The server's ``/version`` document."""
         return self._json("GET", "/version")
+
+    def server_info(self) -> dict:
+        """What this replica is serving: package version, key-schema
+        version, and the loaded surface artifact (version, axes,
+        checksum) or ``None`` -- the ``/version`` document, shaped for
+        operator tooling."""
+        document = self.version()
+        return {
+            "server": document.get("server"),
+            "version": document.get("version"),
+            "key_version": document.get("key_version"),
+            "surface": document.get("surface"),
+        }
 
     def metrics(self) -> str:
         """The live Prometheus text exposition from ``/metrics``."""

@@ -69,6 +69,15 @@ class ServerConfig:
         at server construction and shared with the underlying
         :class:`~repro.service.api.SwapService`, so one plan drives
         chaos across the HTTP handler, the cache, and the worker pool.
+    surface:
+        Optional path to a precomputed surface artifact
+        (``repro-swaps warm`` output); forwarded to
+        :class:`~repro.service.api.SwapService` as the chain's first
+        answer tier. A corrupt artifact degrades (the server starts
+        without the tier); a missing path fails construction.
+    surface_tolerance:
+        Service-wide default answer tolerance for surface
+        interpolation; ``None`` keeps tolerance-less requests exact.
     """
 
     host: str = "127.0.0.1"
@@ -84,6 +93,8 @@ class ServerConfig:
     timeout: Optional[float] = None
     metrics_out: Optional[str] = None
     fault_plan: Optional[str] = None
+    surface: Optional[str] = None
+    surface_tolerance: Optional[float] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "port", int(self.port))
@@ -116,3 +127,10 @@ class ServerConfig:
                 "cache_entries",
                 _check_positive_int("cache_entries", self.cache_entries),
             )
+        if self.surface_tolerance is not None:
+            tolerance = float(self.surface_tolerance)
+            if not (math.isfinite(tolerance) and tolerance >= 0.0):
+                raise ValueError(
+                    f"surface_tolerance must be finite and >= 0, got {tolerance}"
+                )
+            object.__setattr__(self, "surface_tolerance", tolerance)

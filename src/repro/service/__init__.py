@@ -14,6 +14,8 @@ engine. The pieces, bottom-up:
   on-disk JSON store, with hit/miss/eviction counters;
 * :mod:`repro.service.executor` -- process-pool execution with
   per-request timeouts and deterministic seeding;
+* :mod:`repro.service.sources` -- the pluggable answer-source
+  chain (``surface -> cache -> engine -> scalar``) behind sweeps;
 * :mod:`repro.service.api` -- :class:`SwapService`, the batch facade
   the CLI (``repro-swaps batch``) and the analysis sweeps consume;
 * :mod:`repro.service.jsonl` -- the JSON-lines batch wire format
@@ -44,6 +46,14 @@ from repro.service.executor import ValidationResult, WorkerPool, execute_request
 from repro.service.jsonl import render_records, serve_lines
 from repro.service.keys import KEY_VERSION, derive_seed, request_key
 from repro.service.requests import SolveRequest, ValidateRequest, parse_request
+from repro.service.sources import (
+    AnswerSource,
+    CacheSource,
+    EngineSource,
+    ScalarSource,
+    SourceChain,
+    SurfaceSource,
+)
 from repro.service.serialize import decode_result, encode_result
 
 __all__ = [
@@ -67,6 +77,12 @@ __all__ = [
     "KEY_VERSION",
     "request_key",
     "derive_seed",
+    "AnswerSource",
+    "SourceChain",
+    "SurfaceSource",
+    "CacheSource",
+    "EngineSource",
+    "ScalarSource",
     "SolveRequest",
     "ValidateRequest",
     "parse_request",

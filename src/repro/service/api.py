@@ -17,14 +17,23 @@ the batch. The figure sweeps of :mod:`repro.analysis` route through
 :func:`default_service`, so repeated artifact generation is served
 from cache.
 
-:meth:`SwapService.sweep` is the exception to stage 3: a sweep shares
-one parameter set across its whole ``P*`` grid, so its cache misses are
-solved in a single vectorised pass through the grid engine
+:meth:`SwapService.sweep` is the exception to stage 3: a sweep routes
+through the explicit answer-source chain
+(:mod:`repro.service.sources`) -- ``surface -> cache -> engine ->
+scalar`` -- so points covered by a precomputed surface artifact
+(:mod:`repro.surface`) are answered by certified interpolation in
+microseconds, exact cache hits next, and the cache misses are solved
+in a single vectorised pass through the grid engine
 (:mod:`repro.core.engine`) rather than one scalar solve per point.
+
+Surface participation is always *opt-in by tolerance*: with no
+tolerance granted anywhere (request, call, or service construction),
+every answer is exact and bit-identical to the solver's.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -42,19 +51,26 @@ from repro.service.errors import (
 from repro.service.executor import Result, WorkerPool
 from repro.service.keys import derive_seed, request_key
 from repro.service.requests import Request, SolveRequest, ValidateRequest
+from repro.service.sources import Slot, SourceChain, SweepContext
 
 __all__ = ["BatchItem", "SwapService", "default_service"]
 
 
 @dataclass(frozen=True)
 class BatchItem:
-    """Outcome of one request within a batch."""
+    """Outcome of one request within a batch.
+
+    ``source`` names the answer tier that served the request
+    (``"surface"``, ``"cache"``, ``"engine"``, or ``"scalar"``);
+    ``cached`` stays the historical boolean (``source == "cache"``).
+    """
 
     key: str
     ok: bool
     value: Optional[Result] = None
     error: Optional[ServiceErrorInfo] = None
     cached: bool = False
+    source: Optional[str] = None
 
     def unwrap(self) -> Result:
         """The value, or a :class:`ServiceError` re-raised for callers
@@ -86,8 +102,23 @@ class SwapService:
     faults:
         Optional chaos hook: ``None`` (default, no faults), a plan-file
         path, an :class:`~repro.faults.plan.InjectionPlan`, or a shared
-        injector. Threaded into the cache, the worker pool, and the
-        sweep engine so one plan drives the whole service.
+        injector. Threaded into the cache, the worker pool, the sweep
+        engine, and the surface loader so one plan drives the whole
+        service.
+    surface:
+        Optional precomputed surface: a loaded
+        :class:`~repro.surface.interpolate.Surface` or an artifact
+        path. A missing path is a configuration error
+        (``ValueError``); a corrupt or unreadable artifact is
+        quarantined/logged and the service starts *without* the
+        surface tier (counted in
+        ``repro_degraded_total{path="surface_load"}``) -- the same
+        heal-and-degrade discipline as the disk cache.
+    surface_tolerance:
+        Service-wide default answer tolerance: when set, solve
+        requests without their own ``tolerance`` may be answered by
+        the surface within this absolute success-rate error. ``None``
+        (default) keeps every tolerance-less request exact.
     """
 
     def __init__(
@@ -98,6 +129,8 @@ class SwapService:
         cache_entries: Optional[int] = None,
         timeout: Optional[float] = None,
         faults=None,
+        surface=None,
+        surface_tolerance: Optional[float] = None,
     ) -> None:
         self.faults = build_injector(faults)
         self._cache = TieredCache.build(
@@ -109,6 +142,55 @@ class SwapService:
         self._pool = WorkerPool(
             max_workers=max_workers, timeout=timeout, faults=self.faults
         )
+        if surface_tolerance is not None:
+            surface_tolerance = float(surface_tolerance)
+            if not (
+                math.isfinite(surface_tolerance) and surface_tolerance >= 0.0
+            ):
+                raise ValueError(
+                    "surface_tolerance must be finite and >= 0, "
+                    f"got {surface_tolerance}"
+                )
+        self._surface_tolerance = surface_tolerance
+        self.surface = (
+            self._load_surface(surface) if surface is not None else None
+        )
+        self._chain = SourceChain.build(
+            cache=self._cache,
+            pool=self._pool,
+            injector=self.faults,
+            surface=self.surface,
+        )
+
+    def _load_surface(self, surface):
+        """Resolve the ``surface`` argument into a loaded Surface.
+
+        Degrades (returns ``None``) on a rotten artifact; raises
+        ``ValueError`` only for the plain misconfiguration of a path
+        that does not exist.
+        """
+        # imported lazily: repro.surface imports this package
+        from repro.surface.artifact import SurfaceError, load_surface
+        from repro.surface.interpolate import Surface
+
+        if isinstance(surface, Surface):
+            return surface
+        try:
+            return load_surface(surface, injector=self.faults)
+        except FileNotFoundError:
+            raise ValueError(f"surface artifact not found: {surface}")
+        except (SurfaceError, OSError) as exc:
+            get_registry().counter(
+                "repro_degraded_total",
+                help="Times the stack fell back to a degraded path.",
+                labelnames=("path",),
+            ).inc(path="surface_load")
+            get_logger().log(
+                "surface_load_failed",
+                path=str(surface),
+                error=f"{exc.__class__.__name__}: {exc}",
+            )
+            return None
 
     # ------------------------------------------------------------------ #
     # batch entry points
@@ -137,6 +219,34 @@ class SwapService:
         scheduled = set()
         resolved: Dict[str, Union[Result, ServiceError]] = {}
         from_cache = set()
+        from_surface = set()
+
+        # surface pre-pass: tolerance-granted solves may be answered by
+        # certified interpolation before touching cache or pool
+        surface_consulted = False
+        if self.surface is not None:
+            with span("batch.surface_lookup"):
+                for key, request in zip(keys, requests):
+                    if key in resolved or not isinstance(request, SolveRequest):
+                        continue
+                    tolerance = (
+                        request.tolerance
+                        if request.tolerance is not None
+                        else self._surface_tolerance
+                    )
+                    if tolerance is None or tolerance <= 0.0:
+                        continue  # exactness demanded; not consulted
+                    surface_consulted = True
+                    answer = self.surface.answer(
+                        request.params,
+                        request.pstar,
+                        collateral=request.collateral,
+                        tolerance=tolerance,
+                    )
+                    if answer is not None:
+                        resolved[key] = answer
+                        from_surface.add(key)
+
         with span("batch.cache_lookup"):
             for key, request in zip(keys, requests):
                 if key in scheduled or key in resolved:
@@ -158,7 +268,17 @@ class SwapService:
         registry.counter(
             "repro_batch_deduped_total",
             help="Requests collapsed onto an identical in-batch computation.",
-        ).inc(len(requests) - len(scheduled) - len(from_cache))
+        ).inc(
+            len(requests) - len(scheduled) - len(from_cache) - len(from_surface)
+        )
+        if surface_consulted and (from_cache or jobs):
+            # the chain's transition accounting, batch-shaped: the
+            # surface was consulted but some answers came from below
+            registry.counter(
+                "repro_degraded_total",
+                help="Times the stack fell back to a degraded path.",
+                labelnames=("path",),
+            ).inc(path="surface_to_engine")
 
         if jobs:
             with span("batch.execute"):
@@ -179,12 +299,21 @@ class SwapService:
                         key=key,
                         ok=False,
                         error=ServiceErrorInfo.from_exception(outcome),
+                        source="scalar",
                     )
                 )
             else:
                 items.append(
                     BatchItem(
-                        key=key, ok=True, value=outcome, cached=key in from_cache
+                        key=key,
+                        ok=True,
+                        value=outcome,
+                        cached=key in from_cache,
+                        source=(
+                            "surface"
+                            if key in from_surface
+                            else "cache" if key in from_cache else "scalar"
+                        ),
                     )
                 )
         return items
@@ -204,16 +333,25 @@ class SwapService:
         pstars: Sequence[float],
         params: Optional[SwapParameters] = None,
         collateral: float = 0.0,
+        tolerance: Optional[float] = None,
     ) -> List[BatchItem]:
         """Solve one game per exchange rate (the figure-sweep shape).
 
-        A sweep shares one set of parameters across every ``P*``, so the
-        cache misses are solved in a *single* vectorised pass through the
-        grid engine (:func:`repro.core.engine.solve_grid`) instead of one
-        scalar backward induction per point. Semantics match
-        :meth:`run_batch` exactly: per-point cache keys, per-point
-        :class:`BatchItem` records in request order, and the per-point
-        scalar path as fallback if the engine raises.
+        A sweep shares one set of parameters across every ``P*``, so
+        it routes down the answer-source chain
+        (:mod:`repro.service.sources`): points the loaded surface can
+        certify within ``tolerance`` are interpolated in microseconds,
+        exact cache hits come next, and the remainder is solved in a
+        *single* vectorised pass through the grid engine
+        (:func:`repro.core.engine.solve_grid`) -- with the per-point
+        scalar path as the last rung if the engine raises. Semantics
+        match :meth:`run_batch`: per-point cache keys and per-point
+        :class:`BatchItem` records in request order.
+
+        ``tolerance=None`` uses the service's ``surface_tolerance``;
+        when neither grants an error budget -- or ``tolerance=0.0``
+        demands exactness outright -- the surface rung is skipped and
+        every answer is exact.
         """
         if params is None:
             params = SwapParameters.default()
@@ -234,67 +372,47 @@ class SwapService:
         with span("batch.canonicalise"):
             keys = [request_key(request) for request in requests]
 
-        misses: List[tuple] = []  # (key, pstar), unique keys only
-        scheduled = set()
-        resolved: Dict[str, Union[Result, ServiceError]] = {}
-        from_cache = set()
-        with span("batch.cache_lookup"):
-            for key, request in zip(keys, requests):
-                if key in scheduled or key in resolved:
-                    continue
-                hit = self._cache.get(key)
-                if hit is not None:
-                    resolved[key] = hit
-                    from_cache.add(key)
-                    continue
-                misses.append((key, request.pstar))
-                scheduled.add(key)
+        slots: Dict[str, Slot] = {}
+        for key, request in zip(keys, requests):
+            if key not in slots:
+                slots[key] = Slot(key=key, request=request)
         registry.counter(
             "repro_batch_deduped_total",
             help="Requests collapsed onto an identical in-batch computation.",
-        ).inc(len(requests) - len(scheduled) - len(from_cache))
+        ).inc(len(requests) - len(slots))
 
-        if misses:
-            try:
-                with span("batch.execute"):
-                    from repro.core.engine import solve_grid
+        context = SweepContext(
+            params=params,
+            collateral=collateral,
+            tolerance=(
+                tolerance if tolerance is not None else self._surface_tolerance
+            ),
+        )
+        self._chain.run(list(slots.values()), context)
 
-                    if self.faults.enabled and self.faults.fires(
-                        "engine_error", f"sweep:{len(misses)}"
-                    ):
-                        raise RuntimeError("injected engine_error")
-                    grid = solve_grid(
-                        params,
-                        [pstar for _, pstar in misses],
-                        collateral=collateral,
+        items: List[BatchItem] = []
+        for key in keys:
+            slot = slots[key]
+            if isinstance(slot.outcome, ServiceError):
+                items.append(
+                    BatchItem(
+                        key=key,
+                        ok=False,
+                        error=ServiceErrorInfo.from_exception(slot.outcome),
+                        source=slot.source,
                     )
-                    for i, (key, _pstar) in enumerate(misses):
-                        equilibrium = grid.equilibrium_at(i)
-                        resolved[key] = equilibrium
-                        self._cache.put(key, equilibrium)
-            except Exception as exc:
-                # Rung two of the degradation ladder: engine trouble
-                # must not take the sweep verb down; the scalar
-                # per-point path answers everything instead.
-                registry.counter(
-                    "repro_degraded_total",
-                    help="Times the stack fell back to a degraded path.",
-                    labelnames=("path",),
-                ).inc(path="engine_to_scalar")
-                get_logger().log(
-                    "sweep_degraded",
-                    path="engine_to_scalar",
-                    error=f"{exc.__class__.__name__}: {exc}",
-                    points=len(misses),
                 )
-                return self.run_batch(requests)
-
-        return [
-            BatchItem(
-                key=key, ok=True, value=resolved[key], cached=key in from_cache
-            )
-            for key in keys
-        ]
+            else:
+                items.append(
+                    BatchItem(
+                        key=key,
+                        ok=True,
+                        value=slot.outcome,
+                        cached=slot.source == "cache",
+                        source=slot.source,
+                    )
+                )
+        return items
 
     # ------------------------------------------------------------------ #
     # conveniences
@@ -312,21 +430,52 @@ class SwapService:
         request = SolveRequest(pstar=pstar, collateral=collateral, params=params)
         return self.run_batch([request])[0].unwrap()
 
+    def success_rate(
+        self,
+        pstar: float,
+        params: Optional[SwapParameters] = None,
+        collateral: float = 0.0,
+        tolerance: Optional[float] = None,
+    ) -> float:
+        """Eq. (31)/(40) rate at one ``P*``, through the full chain.
+
+        With a tolerance granted this is the microsecond warm path: a
+        surface hit returns the interpolated rate without touching the
+        solvers."""
+        items = self.sweep(
+            [pstar], params=params, collateral=collateral, tolerance=tolerance
+        )
+        return items[0].unwrap().success_rate
+
     def success_rates(
         self,
         pstars: Sequence[float],
         params: Optional[SwapParameters] = None,
         collateral: float = 0.0,
+        tolerance: Optional[float] = None,
     ) -> List[float]:
         """Eq. (31)/(40) rates on a ``P*`` grid (raises on any failure)."""
         return [
             item.unwrap().success_rate
-            for item in self.sweep(pstars, params=params, collateral=collateral)
+            for item in self.sweep(
+                pstars,
+                params=params,
+                collateral=collateral,
+                tolerance=tolerance,
+            )
         ]
 
     def stats(self) -> Dict[str, Dict[str, int]]:
-        """Cache counter snapshot (per tier)."""
-        return self._cache.stats()
+        """Counter snapshot per answer tier (cache tiers + surface)."""
+        out = self._cache.stats()
+        if self.surface is not None:
+            out["surface"] = self.surface.stats.as_dict()
+        return out
+
+    def surface_info(self) -> Optional[Dict[str, object]]:
+        """The loaded surface's description (version, axes, checksum),
+        or ``None`` when no surface tier is active."""
+        return None if self.surface is None else self.surface.info()
 
     @staticmethod
     def _require_kind(requests: Sequence[Request], kind: type) -> None:

@@ -115,6 +115,14 @@ class CacheStats:
     were quarantined; every corrupt lookup *also* counts as a miss
     (the tier could not serve it), so ``hits + misses`` remains the
     total lookup count.
+
+    The surface tier (:mod:`repro.surface`) reuses this class with one
+    extra counter: ``out_of_bounds`` counts lookups refused because the
+    request was *off-surface* (frozen-parameter mismatch or a
+    coordinate outside the grid). For a surface, ``misses`` means
+    on-surface but refused on tolerance (the cell's certified bound
+    exceeded the caller's), and ``hits + misses + out_of_bounds`` is
+    the total lookup count. Cache tiers leave ``out_of_bounds`` at 0.
     """
 
     hits: int = 0
@@ -122,6 +130,7 @@ class CacheStats:
     evictions: int = 0
     puts: int = 0
     corrupt: int = 0
+    out_of_bounds: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view (stable keys, used by ``SwapService.stats``)."""
@@ -131,6 +140,7 @@ class CacheStats:
             "evictions": self.evictions,
             "puts": self.puts,
             "corrupt": self.corrupt,
+            "out_of_bounds": self.out_of_bounds,
         }
 
 

@@ -33,7 +33,11 @@ __all__ = ["KEY_VERSION", "canonical_payload", "request_key", "derive_seed"]
 # (repro.core.engine), whose root refinement is batched bisection rather
 # than per-bracket Brent -- agreement with v1 entries is ~1e-12, not
 # bit-for-bit, so old entries must miss.
-KEY_VERSION = 2
+# v3: the surface tier participates in answers -- SolveRequest grew a
+# ``tolerance`` field (part of the canonical payload) and tolerant
+# requests may be answered by certified interpolation, so v2 entries
+# keyed on the old schema must miss.
+KEY_VERSION = 3
 
 
 def canonical_payload(request: Request) -> str:

@@ -42,17 +42,39 @@ def _check_collateral(collateral: float) -> float:
     return collateral
 
 
+def _check_tolerance(tolerance: Optional[float]) -> Optional[float]:
+    if tolerance is None:
+        return None
+    tolerance = float(tolerance)
+    if not (math.isfinite(tolerance) and tolerance >= 0.0):
+        raise RequestValidationError(
+            f"tolerance must be finite and >= 0, got {tolerance}"
+        )
+    return tolerance
+
+
 @dataclass(frozen=True)
 class SolveRequest:
-    """Solve one swap game at ``(params, pstar, collateral)``."""
+    """Solve one swap game at ``(params, pstar, collateral)``.
+
+    ``tolerance`` is the caller's opt-in to approximate answers: when
+    set (and the service has a surface loaded), the request may be
+    answered by certified interpolation with absolute success-rate
+    error at most ``tolerance`` instead of an exact solve.
+    ``tolerance=0.0`` explicitly demands exactness; the default
+    ``None`` is also exact unless the service was configured with a
+    service-wide ``surface_tolerance``.
+    """
 
     pstar: float
     collateral: float = 0.0
     params: SwapParameters = field(default_factory=SwapParameters.default)
+    tolerance: Optional[float] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "pstar", _check_pstar(self.pstar))
         object.__setattr__(self, "collateral", _check_collateral(self.collateral))
+        object.__setattr__(self, "tolerance", _check_tolerance(self.tolerance))
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe representation (the batch-file line format)."""
@@ -61,6 +83,7 @@ class SolveRequest:
             "pstar": self.pstar,
             "collateral": self.collateral,
             "params": self.params.to_dict(),
+            "tolerance": self.tolerance,
         }
 
 
@@ -138,8 +161,12 @@ def parse_request(data: Dict[str, object]) -> Request:
             f"request must be an object, got {type(data).__name__}"
         )
     kind = data.get("kind", "solve")
-    known_solve = {"kind", "pstar", "collateral", "params"}
-    known_validate = known_solve | {"n_paths", "seed", "protocol_level"}
+    known_solve = {"kind", "pstar", "collateral", "params", "tolerance"}
+    known_validate = known_solve - {"tolerance"} | {
+        "n_paths",
+        "seed",
+        "protocol_level",
+    }
     try:
         if kind == "solve":
             unknown = set(data) - known_solve
@@ -151,6 +178,7 @@ def parse_request(data: Dict[str, object]) -> Request:
                 pstar=data.get("pstar", 2.0),  # type: ignore[arg-type]
                 collateral=data.get("collateral", 0.0),  # type: ignore[arg-type]
                 params=_parse_params(data.get("params")),
+                tolerance=data.get("tolerance"),  # type: ignore[arg-type]
             )
         if kind == "validate":
             unknown = set(data) - known_validate

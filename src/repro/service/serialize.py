@@ -44,6 +44,18 @@ def _decode_stage(data: Dict[str, float]) -> StageUtilities:
 
 def encode_result(result: Result) -> Dict[str, object]:
     """Encode any service result into a tagged JSON-safe dict."""
+    # imported lazily: repro.surface depends on this module (via the
+    # cache), so a top-level import would be circular
+    from repro.surface.interpolate import SurfaceAnswer
+
+    if isinstance(result, SurfaceAnswer):
+        return {
+            "kind": "surface_answer",
+            "pstar": result.pstar,
+            "collateral": result.collateral,
+            "success_rate": result.success_rate,
+            "bound": result.bound,
+        }
     if isinstance(result, CollateralEquilibrium):
         return {
             "kind": "collateral_equilibrium",
@@ -92,6 +104,15 @@ def encode_result(result: Result) -> Dict[str, object]:
 def decode_result(data: Dict[str, object]) -> Result:
     """Rebuild the result object from its :func:`encode_result` form."""
     kind = data.get("kind")
+    if kind == "surface_answer":
+        from repro.surface.interpolate import SurfaceAnswer
+
+        return SurfaceAnswer(
+            pstar=float(data["pstar"]),  # type: ignore[arg-type]
+            collateral=float(data["collateral"]),  # type: ignore[arg-type]
+            success_rate=float(data["success_rate"]),  # type: ignore[arg-type]
+            bound=float(data["bound"]),  # type: ignore[arg-type]
+        )
     if kind == "swap_equilibrium":
         params = SwapParameters.from_dict(data["params"])  # type: ignore[arg-type]
         region = _decode_region(data["bob_t2_region"])  # type: ignore[arg-type]

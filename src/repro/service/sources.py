@@ -1,0 +1,274 @@
+"""The pluggable answer-source chain behind ``SwapService.sweep``.
+
+A sweep shares one ``(params, collateral)`` across its whole ``P*``
+grid, which makes its answer path a clean ladder of explicit
+:class:`AnswerSource` objects, cheapest first::
+
+    surface  -- certified interpolation off a precomputed artifact
+                (microseconds; only when the caller granted a
+                tolerance and the point is on-surface within bound)
+    cache    -- exact results from the two-tier cache
+    engine   -- one vectorised grid-engine pass for every remaining
+                point (exact; results are cached)
+    scalar   -- per-point backward induction through the worker pool
+                (exact; the last rung never refuses)
+
+Each source consumes the slots it can answer and passes the remainder
+down. Every tier *transition* is observable: a sweep that consulted
+the surface but had to fall through counts
+``repro_degraded_total{path="surface_to_engine"}``, and an engine
+failure counts ``repro_degraded_total{path="engine_to_scalar"}`` (the
+rung-two ladder of the chaos suite, unchanged). Surface hits land in
+the ``repro_surface_*`` families via the surface itself.
+
+The chain is deliberately dumb plumbing: sources own *how* to answer,
+the chain owns only ordering and transition accounting, and
+``SwapService`` owns request canonicalisation and item assembly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
+
+from repro.core.parameters import SwapParameters
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
+from repro.service.errors import ServiceError
+from repro.service.executor import Result
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.cache import TieredCache
+    from repro.service.executor import WorkerPool
+    from repro.service.requests import SolveRequest
+    from repro.surface.interpolate import Surface
+
+__all__ = [
+    "AnswerSource",
+    "SurfaceSource",
+    "CacheSource",
+    "EngineSource",
+    "ScalarSource",
+    "SourceChain",
+    "SweepContext",
+    "Slot",
+]
+
+
+def _degraded_counter():
+    return get_registry().counter(
+        "repro_degraded_total",
+        help="Times the stack fell back to a degraded path.",
+        labelnames=("path",),
+    )
+
+
+@dataclass
+class Slot:
+    """One unique request travelling down the chain."""
+
+    key: str
+    request: "SolveRequest"
+    outcome: Optional[Union[Result, ServiceError]] = None
+    source: Optional[str] = None
+
+
+@dataclass
+class SweepContext:
+    """Shared state of one sweep's trip through the chain.
+
+    ``tolerance`` is the sweep-level error grant, already resolved
+    against the service-wide default. Approximation is opt-in: with no
+    grant (``None``) or an explicit demand for exactness (``0.0``) the
+    surface rung is skipped without counting a transition.
+    """
+
+    params: SwapParameters
+    collateral: float = 0.0
+    tolerance: Optional[float] = None
+    surface_consulted: bool = field(default=False, init=False)
+
+
+class AnswerSource:
+    """One rung of the ladder.
+
+    ``answer`` fills ``outcome``/``source`` on the slots it can serve
+    and returns the rest, in order, for the next rung. Implementations
+    must never raise for a single bad point -- refusal is returning
+    the slot."""
+
+    name = "source"
+
+    def answer(
+        self, slots: Sequence[Slot], ctx: SweepContext
+    ) -> List[Slot]:
+        raise NotImplementedError
+
+
+class SurfaceSource(AnswerSource):
+    """Certified interpolation off a loaded surface artifact."""
+
+    name = "surface"
+
+    def __init__(self, surface: "Surface") -> None:
+        self.surface = surface
+
+    def answer(self, slots, ctx):
+        if ctx.tolerance is None or ctx.tolerance <= 0.0:
+            return list(slots)  # no error grant; not consulted
+        ctx.surface_consulted = True
+        with span("batch.surface_lookup"):
+            lookup = self.surface.lookup(
+                ctx.params,
+                [slot.request.pstar for slot in slots],
+                collateral=ctx.collateral,
+                tolerance=ctx.tolerance,
+            )
+        leftover: List[Slot] = []
+        for i, slot in enumerate(slots):
+            answer = lookup.answer_at(i)
+            if answer is None:
+                leftover.append(slot)
+            else:
+                slot.outcome = answer
+                slot.source = self.name
+        return leftover
+
+
+class CacheSource(AnswerSource):
+    """Exact results from the two-tier cache."""
+
+    name = "cache"
+
+    def __init__(self, cache: "TieredCache") -> None:
+        self.cache = cache
+
+    def answer(self, slots, ctx):
+        leftover: List[Slot] = []
+        with span("batch.cache_lookup"):
+            for slot in slots:
+                hit = self.cache.get(slot.key)
+                if hit is None:
+                    leftover.append(slot)
+                else:
+                    slot.outcome = hit
+                    slot.source = self.name
+        return leftover
+
+
+class EngineSource(AnswerSource):
+    """One vectorised grid-engine pass over every remaining point.
+
+    On engine failure the source logs, counts
+    ``repro_degraded_total{path="engine_to_scalar"}`` once, and passes
+    *all* its slots down -- the scalar rung answers them exactly.
+    """
+
+    name = "engine"
+
+    def __init__(self, cache: "TieredCache", injector) -> None:
+        self.cache = cache
+        self.injector = injector
+
+    def answer(self, slots, ctx):
+        from repro.core.engine import solve_grid
+
+        try:
+            with span("batch.execute"):
+                if self.injector.enabled and self.injector.fires(
+                    "engine_error", f"sweep:{len(slots)}"
+                ):
+                    raise RuntimeError("injected engine_error")
+                grid = solve_grid(
+                    ctx.params,
+                    [slot.request.pstar for slot in slots],
+                    collateral=ctx.collateral,
+                )
+        except Exception as exc:
+            _degraded_counter().inc(path="engine_to_scalar")
+            get_logger().log(
+                "sweep_degraded",
+                path="engine_to_scalar",
+                error=f"{exc.__class__.__name__}: {exc}",
+                points=len(slots),
+            )
+            return list(slots)
+        for i, slot in enumerate(slots):
+            equilibrium = grid.equilibrium_at(i)
+            slot.outcome = equilibrium
+            slot.source = self.name
+            self.cache.put(slot.key, equilibrium)
+        return []
+
+
+class ScalarSource(AnswerSource):
+    """Per-point backward induction through the worker pool.
+
+    The last rung: answers everything, with a value or a typed error
+    per slot. Successful solves are cached like any exact result.
+    """
+
+    name = "scalar"
+
+    def __init__(self, pool: "WorkerPool", cache: "TieredCache") -> None:
+        self.pool = pool
+        self.cache = cache
+
+    def answer(self, slots, ctx):
+        with span("batch.execute"):
+            outcomes = self.pool.map(
+                [(slot.request, None) for slot in slots]
+            )
+        for slot, outcome in zip(slots, outcomes):
+            slot.outcome = outcome
+            slot.source = self.name
+            if not isinstance(outcome, ServiceError):
+                self.cache.put(slot.key, outcome)
+        return []
+
+
+class SourceChain:
+    """Orders the rungs and accounts for surface fall-through."""
+
+    def __init__(self, sources: Sequence[AnswerSource]) -> None:
+        self.sources = list(sources)
+
+    @staticmethod
+    def build(
+        cache: "TieredCache",
+        pool: "WorkerPool",
+        injector,
+        surface: Optional["Surface"] = None,
+    ) -> "SourceChain":
+        """The standard ladder; the surface rung only when loaded."""
+        sources: List[AnswerSource] = []
+        if surface is not None:
+            sources.append(SurfaceSource(surface))
+        sources.extend(
+            [
+                CacheSource(cache),
+                EngineSource(cache, injector),
+                ScalarSource(pool, cache),
+            ]
+        )
+        return SourceChain(sources)
+
+    def run(self, slots: Sequence[Slot], ctx: SweepContext) -> None:
+        """Send ``slots`` down the ladder until every one is answered."""
+        pending: List[Slot] = list(slots)
+        for source in self.sources:
+            if not pending:
+                break
+            pending = source.answer(pending, ctx)
+        if ctx.surface_consulted:
+            fell_through = sum(
+                1 for slot in slots if slot.source not in (None, "surface")
+            )
+            if fell_through:
+                _degraded_counter().inc(path="surface_to_engine")
+                get_logger().log(
+                    "surface_fell_through",
+                    path="surface_to_engine",
+                    points=fell_through,
+                )

@@ -1,0 +1,50 @@
+"""Precomputed equilibrium surfaces with certified-error interpolation.
+
+The serving stack's fastest answer tier: dense grids of success rates
+over the paper's parameter space, built offline against the exact
+vectorised solver (:mod:`repro.surface.builder`), persisted as
+versioned, checksummed, memory-mapped artifacts
+(:mod:`repro.surface.artifact`), and served by a multilinear
+interpolator that refuses anything it cannot certify within the
+caller's tolerance (:mod:`repro.surface.interpolate`). The service
+chain (:mod:`repro.service.sources`) consults a surface before the
+result cache and the solvers.
+"""
+
+from repro.surface.artifact import (
+    FORMAT_VERSION,
+    MAGIC,
+    SurfaceError,
+    SurfaceFormatError,
+    SurfaceIntegrityError,
+    load_surface,
+    save_surface,
+)
+from repro.surface.builder import (
+    BOUND_FLOOR,
+    SAFETY,
+    build_surface,
+    warm_surface,
+)
+from repro.surface.interpolate import Surface, SurfaceAnswer, SurfaceLookup
+from repro.surface.spec import AXIS_KEYS, AxisSpec, SurfaceSpec
+
+__all__ = [
+    "AXIS_KEYS",
+    "AxisSpec",
+    "SurfaceSpec",
+    "Surface",
+    "SurfaceAnswer",
+    "SurfaceLookup",
+    "SurfaceError",
+    "SurfaceFormatError",
+    "SurfaceIntegrityError",
+    "MAGIC",
+    "FORMAT_VERSION",
+    "SAFETY",
+    "BOUND_FLOOR",
+    "build_surface",
+    "warm_surface",
+    "save_surface",
+    "load_surface",
+]

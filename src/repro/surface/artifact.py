@@ -1,0 +1,279 @@
+"""The on-disk surface artifact: versioned, checksummed, memory-mapped.
+
+Layout (all integers little-endian)::
+
+    offset 0   8 bytes   magic b"REPROSRF"
+    offset 8   8 bytes   u64 header length in bytes
+    offset 16  N bytes   header JSON (utf-8, sorted keys)
+               pad       zero bytes to the next 64-byte boundary
+               block     values: float64 C-order, shape = spec.shape
+               block     bounds: float64 C-order, shape = spec.cell_shape
+
+The header carries the full :class:`~repro.surface.spec.SurfaceSpec`
+(axes + frozen parameters), the ``format_version``, the service
+``key_version`` the artifact was built under, builder provenance
+(quadrature order, certification safety factor), and a SHA-256
+``checksum`` over the two data blocks. Loading verifies the checksum
+by default, then hands back two ``numpy.memmap`` views -- the blocks
+are 64-byte aligned, so replicas mapping the same file share pages and
+a load costs no bulk copy.
+
+Integrity failures follow the disk-cache healing discipline
+(:mod:`repro.service.cache`): a file that claims to be an artifact but
+fails its header, size, or checksum is **quarantined** -- renamed to
+``<path>.quarantine`` so it is never parsed again -- and a
+:class:`SurfaceIntegrityError` is raised for the caller to degrade on.
+A file without the magic raises :class:`SurfaceFormatError` and is
+left alone (it is not ours to destroy). Every load outcome is counted
+in ``repro_surface_loads_total{outcome=...}``.
+
+Chaos hooks: ``surface_io_error`` fails the read with an ``OSError``;
+``surface_corrupt`` forces the integrity path (quarantine + raise) on
+an otherwise healthy file -- deterministic adversity for the service's
+quarantine-and-degrade handling (see :mod:`repro.faults`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.faults.injector import build_injector
+from repro.obs.metrics import get_registry
+from repro.service.cache import QUARANTINE_SUFFIX
+from repro.service.keys import KEY_VERSION
+from repro.surface.interpolate import Surface
+from repro.surface.spec import SurfaceSpec
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "SurfaceError",
+    "SurfaceFormatError",
+    "SurfaceIntegrityError",
+    "save_surface",
+    "load_surface",
+]
+
+MAGIC = b"REPROSRF"
+FORMAT_VERSION = 1
+
+#: Data blocks start on this alignment so memory-mapped views are
+#: cache-line aligned regardless of header length.
+_ALIGN = 64
+
+#: Headers are small JSON; anything claiming more is rot.
+_MAX_HEADER = 1 << 24
+
+
+class SurfaceError(Exception):
+    """Base class for surface artifact problems."""
+
+
+class SurfaceFormatError(SurfaceError):
+    """Not a surface artifact (bad magic) or an unsupported version."""
+
+
+class SurfaceIntegrityError(SurfaceError):
+    """An artifact that failed verification and was quarantined."""
+
+
+def _loads_counter():
+    counter = get_registry().counter(
+        "repro_surface_loads_total",
+        help="Surface artifact load attempts by outcome.",
+        labelnames=("outcome",),
+    )
+    return counter
+
+
+def _data_checksum(values: bytes, bounds: bytes) -> str:
+    digest = hashlib.sha256()
+    digest.update(values)
+    digest.update(bounds)
+    return digest.hexdigest()
+
+
+def _padding(header_len: int) -> int:
+    used = len(MAGIC) + 8 + header_len
+    return (-used) % _ALIGN
+
+
+def save_surface(
+    surface: Surface,
+    path,
+    builder: Optional[Dict[str, object]] = None,
+) -> str:
+    """Write ``surface`` to ``path`` atomically; returns the checksum.
+
+    ``builder`` is free-form provenance recorded in the header (the
+    builder passes its quadrature order and certification knobs).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    values = np.ascontiguousarray(surface.values, dtype="<f8").tobytes()
+    bounds = np.ascontiguousarray(surface.bounds, dtype="<f8").tobytes()
+    checksum = _data_checksum(values, bounds)
+    header = dict(surface.spec.to_dict())
+    header.update(
+        {
+            "format": "repro-surface",
+            "format_version": FORMAT_VERSION,
+            "key_version": KEY_VERSION,
+            "checksum": checksum,
+            "max_bound": surface.max_bound,
+            "builder": dict(builder or {}),
+        }
+    )
+    encoded = json.dumps(header, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+    descriptor, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=".tmp-", suffix=".surface"
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(MAGIC)
+            handle.write(struct.pack("<Q", len(encoded)))
+            handle.write(encoded)
+            handle.write(b"\x00" * _padding(len(encoded)))
+            handle.write(values)
+            handle.write(bounds)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return checksum
+
+
+def _quarantine(path: Path) -> None:
+    """Move a rotten artifact aside so it is never parsed again."""
+    try:
+        path.rename(path.with_name(path.name + QUARANTINE_SUFFIX))
+    except OSError:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+def load_surface(path, injector=None, verify: bool = True) -> Surface:
+    """Memory-map the artifact at ``path`` into a :class:`Surface`.
+
+    Raises :class:`SurfaceIntegrityError` after quarantining a file
+    that claims the format but fails its header, size, or checksum;
+    :class:`SurfaceFormatError` (no quarantine) for files without the
+    magic or with an unsupported ``format_version``; and propagates
+    ``OSError`` for I/O trouble (including ``FileNotFoundError``).
+    """
+    loads = _loads_counter()
+    try:
+        surface = _load(Path(path), build_injector(injector), verify)
+    except SurfaceIntegrityError:
+        loads.inc(outcome="corrupt")
+        raise
+    except SurfaceFormatError:
+        loads.inc(outcome="format_error")
+        raise
+    except OSError:
+        loads.inc(outcome="io_error")
+        raise
+    loads.inc(outcome="ok")
+    return surface
+
+
+def _load(path: Path, injector, verify: bool) -> Surface:
+    key = str(path)
+    if injector.enabled and injector.fires("surface_io_error", key):
+        raise OSError(f"injected surface_io_error loading {key}")
+    with path.open("rb") as handle:
+        magic = handle.read(len(MAGIC))
+        if magic != MAGIC:
+            raise SurfaceFormatError(
+                f"{key}: not a surface artifact (bad magic)"
+            )
+        if injector.enabled and injector.fires("surface_corrupt", key):
+            _quarantine(path)
+            raise SurfaceIntegrityError(
+                f"{key}: injected surface_corrupt; quarantined"
+            )
+        raw_len = handle.read(8)
+        if len(raw_len) != 8:
+            _quarantine(path)
+            raise SurfaceIntegrityError(f"{key}: truncated header length")
+        (header_len,) = struct.unpack("<Q", raw_len)
+        if not 0 < header_len <= _MAX_HEADER:
+            _quarantine(path)
+            raise SurfaceIntegrityError(
+                f"{key}: implausible header length {header_len}"
+            )
+        encoded = handle.read(header_len)
+        if len(encoded) != header_len:
+            _quarantine(path)
+            raise SurfaceIntegrityError(f"{key}: truncated header")
+        try:
+            header = json.loads(encoded.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            _quarantine(path)
+            raise SurfaceIntegrityError(f"{key}: rotten header: {exc}") from None
+        file_size = os.fstat(handle.fileno()).st_size
+
+    version = header.get("format_version")
+    if header.get("format") != "repro-surface" or version != FORMAT_VERSION:
+        raise SurfaceFormatError(
+            f"{key}: unsupported surface format "
+            f"{header.get('format')!r} v{version!r} "
+            f"(this build reads v{FORMAT_VERSION})"
+        )
+    try:
+        spec = SurfaceSpec.from_dict(header)
+        checksum = str(header["checksum"])
+    except (KeyError, TypeError, ValueError) as exc:
+        _quarantine(path)
+        raise SurfaceIntegrityError(f"{key}: rotten spec: {exc}") from None
+
+    values_offset = len(MAGIC) + 8 + header_len + _padding(header_len)
+    values_size = spec.n_points * 8
+    bounds_offset = values_offset + values_size
+    bounds_size = int(np.prod(spec.cell_shape)) * 8
+    if file_size < bounds_offset + bounds_size:
+        _quarantine(path)
+        raise SurfaceIntegrityError(
+            f"{key}: truncated data blocks "
+            f"({file_size} < {bounds_offset + bounds_size} bytes)"
+        )
+    values = np.memmap(
+        path, dtype="<f8", mode="r", offset=values_offset, shape=spec.shape
+    )
+    bounds = np.memmap(
+        path,
+        dtype="<f8",
+        mode="r",
+        offset=bounds_offset,
+        shape=spec.cell_shape,
+    )
+    if verify and _data_checksum(values.tobytes(), bounds.tobytes()) != checksum:
+        del values, bounds  # release the maps before renaming
+        _quarantine(path)
+        raise SurfaceIntegrityError(
+            f"{key}: checksum mismatch; quarantined"
+        )
+    return Surface(
+        spec=spec,
+        values=values,
+        bounds=bounds,
+        path=key,
+        checksum=checksum,
+        format_version=int(version),
+        key_version=header.get("key_version"),
+    )

@@ -1,0 +1,349 @@
+"""Certified multilinear interpolation over a loaded surface.
+
+:class:`Surface` wraps the two packed blocks of an artifact -- grid
+``values`` (success rates at every grid point) and per-cell ``bounds``
+(certified interpolation-error bounds from the build) -- behind a
+vectorised lookup that *refuses* rather than guesses:
+
+* **off-surface** (the request's frozen parameters differ from the
+  artifact's, or a coordinate falls outside an axis range): no answer,
+  counted ``out_of_bounds``;
+* **on-surface but uncertified** (the enclosing cell's bound exceeds
+  the caller's tolerance): no answer, counted as a miss;
+* otherwise a :class:`SurfaceAnswer` carrying the interpolated success
+  rate *and* the cell bound it is certified against, counted as a hit.
+
+The arrays are typically ``numpy.memmap`` views straight onto the
+artifact file (see :mod:`repro.surface.artifact`), so N replicas of a
+server share one page-cache copy; fancy indexing materialises only the
+touched corners. Frozen-parameter matching is exact float equality --
+the same canonicalisation discipline as the service request keys -- so
+a surface can never silently answer for a different game.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs.metrics import get_registry
+from repro.core.parameters import SwapParameters
+from repro.service.cache import CacheStats
+from repro.surface.spec import SurfaceSpec
+
+__all__ = ["Surface", "SurfaceAnswer", "SurfaceLookup"]
+
+
+class _SurfaceMetrics:
+    """The registry instruments of the surface tier, bound once."""
+
+    def __init__(self) -> None:
+        registry = get_registry()
+        self.hits = registry.counter(
+            "repro_surface_hits_total",
+            help="Lookups answered by interpolation within tolerance.",
+        )
+        self.misses = registry.counter(
+            "repro_surface_misses_total",
+            help="On-surface lookups refused: cell bound above tolerance.",
+        )
+        self.out_of_bounds = registry.counter(
+            "repro_surface_out_of_bounds_total",
+            help="Lookups refused as off-surface (frozen-parameter "
+            "mismatch or coordinate outside the grid).",
+        )
+        self.lookup_seconds = registry.histogram(
+            "repro_surface_lookup_seconds",
+            help="Wall-clock duration of surface lookups (any outcome).",
+        )
+        for counter in (self.hits, self.misses, self.out_of_bounds):
+            counter.inc(0)
+
+
+@dataclass(frozen=True)
+class SurfaceAnswer:
+    """An interpolated success rate with its certified error bound.
+
+    ``abs(success_rate - exact) <= bound`` holds for the enclosing
+    cell's certification (see :mod:`repro.surface.builder`). Surface
+    answers are approximations: they carry their bound, are never
+    written into the exact-result cache, and serialise under the
+    distinct ``surface_answer`` kind.
+    """
+
+    pstar: float
+    collateral: float
+    success_rate: float
+    bound: float
+
+
+@dataclass(frozen=True)
+class SurfaceLookup:
+    """The vectorised outcome of one multi-point lookup.
+
+    ``values``/``bounds`` are aligned with the queried ``pstars`` and
+    are ``NaN`` wherever ``answered`` is False. ``off_surface`` is True
+    when the whole lookup was refused on frozen parameters (every point
+    counted out-of-bounds without touching the grid).
+    """
+
+    values: np.ndarray
+    bounds: np.ndarray
+    answered: np.ndarray
+    off_surface: bool
+    tolerance: float
+
+    def answer_at(self, i: int) -> Optional[SurfaceAnswer]:
+        """The :class:`SurfaceAnswer` for point ``i``, or ``None``."""
+        if not bool(self.answered[i]):
+            return None
+        return SurfaceAnswer(
+            pstar=float(self._pstars[i]),
+            collateral=float(self._collateral),
+            success_rate=float(self.values[i]),
+            bound=float(self.bounds[i]),
+        )
+
+    # filled by Surface.lookup; kept out of the public field list
+    _pstars: np.ndarray = None  # type: ignore[assignment]
+    _collateral: float = 0.0
+
+
+class Surface:
+    """A loaded equilibrium surface: spec + value/bound blocks.
+
+    Construct via :func:`repro.surface.artifact.load_surface` (memory
+    mapped) or :meth:`repro.surface.builder.build_surface` (in memory);
+    both hand the same array contract to this class.
+    """
+
+    def __init__(
+        self,
+        spec: SurfaceSpec,
+        values: np.ndarray,
+        bounds: np.ndarray,
+        path: Optional[str] = None,
+        checksum: Optional[str] = None,
+        format_version: int = 1,
+        key_version: Optional[int] = None,
+    ) -> None:
+        values = np.asanyarray(values, dtype=np.float64)
+        bounds = np.asanyarray(bounds, dtype=np.float64)
+        if values.shape != spec.shape:
+            raise ValueError(
+                f"values shape {values.shape} != spec shape {spec.shape}"
+            )
+        if bounds.shape != spec.cell_shape:
+            raise ValueError(
+                f"bounds shape {bounds.shape} != cell shape {spec.cell_shape}"
+            )
+        self.spec = spec
+        self.values = values
+        self.bounds = bounds
+        self.path = path
+        self.checksum = checksum
+        self.format_version = int(format_version)
+        self.key_version = key_version
+        self.stats = CacheStats()
+        self._metrics = _SurfaceMetrics()
+        self._axis_values: Tuple[np.ndarray, ...] = tuple(
+            axis.values() for axis in spec.axes
+        )
+        self._frozen = spec.frozen_point()
+        self._max_bound = float(np.max(bounds))
+
+    # ---------------------------------------------------------------- info
+
+    @property
+    def max_bound(self) -> float:
+        """The largest certified cell bound anywhere on the surface."""
+        return self._max_bound
+
+    def info(self) -> Dict[str, object]:
+        """Operator-facing description (served by ``/readyz``,
+        ``/version`` and ``repro-swaps stats``)."""
+        return {
+            "path": self.path,
+            "format_version": self.format_version,
+            "key_version": self.key_version,
+            "checksum": self.checksum,
+            "axes": [axis.to_dict() for axis in self.spec.axes],
+            "points": self.spec.n_points,
+            "collateral": self.spec.collateral,
+            "default_tolerance": self.spec.default_tolerance,
+            "max_bound": self.max_bound,
+        }
+
+    # ------------------------------------------------------------- matching
+
+    def resolve_tolerance(self, tolerance: Optional[float]) -> float:
+        """The effective tolerance: the caller's, or the artifact's
+        default when the caller passed ``None``."""
+        if tolerance is None:
+            return self.spec.default_tolerance
+        return float(tolerance)
+
+    def match_coords(
+        self, params: SwapParameters, collateral: float
+    ) -> Optional[List[Optional[float]]]:
+        """Per-axis fixed coordinates for a sweep, or ``None`` when the
+        request is off-surface.
+
+        The returned list has one entry per axis in storage order, with
+        ``None`` at the ``pstar`` axis (filled per point by the
+        caller). Off-surface means: a frozen parameter differs from the
+        artifact's, a paired axis (``alpha``/``r``) is asked for
+        unequal agent values, or a fixed coordinate falls outside its
+        axis range.
+        """
+        flat = dict(params.as_dict())
+        flat["collateral"] = float(collateral)
+        coords: List[Optional[float]] = []
+        from repro.surface.spec import AXIS_KEYS
+
+        for axis in self.spec.axes:
+            keys = AXIS_KEYS[axis.name]
+            if keys == ("pstar",):
+                coords.append(None)
+                continue
+            values = {flat.pop(key) for key in keys}
+            if len(values) != 1:  # paired axis with unequal agents
+                return None
+            value = values.pop()
+            if not (axis.lo <= value <= axis.hi):
+                return None
+            coords.append(value)
+        for key, value in flat.items():
+            if value != self._frozen[key]:
+                return None
+        return coords
+
+    # -------------------------------------------------------------- lookups
+
+    def lookup(
+        self,
+        params: SwapParameters,
+        pstars: Sequence[float],
+        collateral: float = 0.0,
+        tolerance: Optional[float] = None,
+    ) -> SurfaceLookup:
+        """Interpolate a sweep over ``pstars``, refusing what the
+        artifact cannot certify (see the module docstring for the
+        three outcomes and their counters)."""
+        started = time.perf_counter()
+        try:
+            return self._lookup(params, pstars, collateral, tolerance)
+        finally:
+            self._metrics.lookup_seconds.observe(
+                time.perf_counter() - started
+            )
+
+    def _lookup(
+        self,
+        params: SwapParameters,
+        pstars: Sequence[float],
+        collateral: float,
+        tolerance: Optional[float],
+    ) -> SurfaceLookup:
+        pstars = np.asarray(pstars, dtype=np.float64)
+        n = pstars.size
+        tol = self.resolve_tolerance(tolerance)
+        nan = np.full(n, np.nan)
+        none = np.zeros(n, dtype=bool)
+        coords = self.match_coords(params, collateral)
+        if coords is None:
+            self.stats.out_of_bounds += n
+            self._metrics.out_of_bounds.inc(n)
+            return SurfaceLookup(
+                values=nan,
+                bounds=nan.copy(),
+                answered=none,
+                off_surface=True,
+                tolerance=tol,
+                _pstars=pstars,
+                _collateral=float(collateral),
+            )
+        p_axis = self.spec.axes[self.spec.pstar_index]
+        in_range = (pstars >= p_axis.lo) & (pstars <= p_axis.hi)
+        out_n = int(n - in_range.sum())
+        if out_n:
+            self.stats.out_of_bounds += out_n
+            self._metrics.out_of_bounds.inc(out_n)
+        values = nan
+        bounds = nan.copy()
+        answered = none
+        m = int(in_range.sum())
+        if m:
+            points = np.empty((m, len(self.spec.axes)))
+            for j, coord in enumerate(coords):
+                points[:, j] = pstars[in_range] if coord is None else coord
+            interp, cell_bounds = self._interpolate(points)
+            ok = cell_bounds <= tol
+            values[in_range] = np.where(ok, interp, np.nan)
+            bounds[in_range] = cell_bounds
+            answered[in_range] = ok
+            hits = int(ok.sum())
+            misses = m - hits
+            if hits:
+                self.stats.hits += hits
+                self._metrics.hits.inc(hits)
+            if misses:
+                self.stats.misses += misses
+                self._metrics.misses.inc(misses)
+        return SurfaceLookup(
+            values=values,
+            bounds=bounds,
+            answered=answered,
+            off_surface=False,
+            tolerance=tol,
+            _pstars=pstars,
+            _collateral=float(collateral),
+        )
+
+    def answer(
+        self,
+        params: SwapParameters,
+        pstar: float,
+        collateral: float = 0.0,
+        tolerance: Optional[float] = None,
+    ) -> Optional[SurfaceAnswer]:
+        """Single-point convenience over :meth:`lookup`."""
+        return self.lookup(
+            params, [pstar], collateral=collateral, tolerance=tolerance
+        ).answer_at(0)
+
+    def _interpolate(
+        self, points: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Multilinear interpolation of in-range ``(m, d)`` points.
+
+        Returns ``(values, cell_bounds)``: the interpolated success
+        rates and the certified bound of each point's enclosing cell.
+        Fancy indexing on the (possibly memory-mapped) blocks reads
+        only the ``2**d`` touched corners per point.
+        """
+        m, d = points.shape
+        idx: List[np.ndarray] = []
+        frac: List[np.ndarray] = []
+        for j, grid in enumerate(self._axis_values):
+            i = np.clip(
+                np.searchsorted(grid, points[:, j], side="right") - 1,
+                0,
+                len(grid) - 2,
+            )
+            idx.append(i)
+            frac.append((points[:, j] - grid[i]) / (grid[i + 1] - grid[i]))
+        out = np.zeros(m)
+        for corner in itertools.product((0, 1), repeat=d):
+            weight = np.ones(m)
+            corner_idx = []
+            for j, hi in enumerate(corner):
+                weight = weight * (frac[j] if hi else 1.0 - frac[j])
+                corner_idx.append(idx[j] + hi)
+            out += weight * np.asarray(self.values[tuple(corner_idx)])
+        cell_bounds = np.asarray(self.bounds[tuple(idx)])
+        return out, cell_bounds

@@ -1,0 +1,289 @@
+"""Axis and surface specifications for precomputed equilibrium surfaces.
+
+A surface is a dense rectilinear grid over a subset of the paper's
+parameter space. Each :class:`AxisSpec` names one *axis* -- a model
+quantity that varies along the grid -- and every parameter not covered
+by an axis is **frozen** at the base value carried by the
+:class:`SurfaceSpec`. Lookups later succeed only for requests whose
+frozen parameters match the surface's bit-for-bit (same float
+canonicalisation as the service request keys), so an artifact can never
+silently answer for a different game.
+
+Axis names map onto the flat parameter keys of
+:meth:`repro.core.parameters.SwapParameters.as_dict` plus the two
+request-level quantities ``pstar`` and ``collateral``. The paired names
+``alpha`` and ``r`` set *both* agents' preference at once (the
+symmetric sweeps of the paper's comparative statics).
+
+``pstar`` must always be an axis: the builder rides the vectorised grid
+engine (:func:`repro.core.engine.solve_grid`), which solves a whole
+``P*`` grid per array pass, so every surface has at least that
+dimension. A ``collateral`` axis must stay strictly positive -- the
+``Q = 0`` basic game is *not* the ``Q -> 0`` limit of the Section IV
+collateral game, and a cell straddling the two regimes would certify a
+uselessly large error bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.parameters import SwapParameters
+
+__all__ = ["AXIS_KEYS", "AxisSpec", "SurfaceSpec"]
+
+#: Flat parameter key(s) controlled by each axis name. Paired axes
+#: (``alpha``, ``r``) drive both agents; a lookup matches them only
+#: when the request keeps the pair equal.
+AXIS_KEYS: Dict[str, Tuple[str, ...]] = {
+    "pstar": ("pstar",),
+    "collateral": ("collateral",),
+    "alpha": ("alpha_a", "alpha_b"),
+    "r": ("r_a", "r_b"),
+    "alpha_a": ("alpha_a",),
+    "alpha_b": ("alpha_b",),
+    "r_a": ("r_a",),
+    "r_b": ("r_b",),
+    "tau_a": ("tau_a",),
+    "tau_b": ("tau_b",),
+    "eps_b": ("eps_b",),
+    "p0": ("p0",),
+    "mu": ("mu",),
+    "sigma": ("sigma",),
+}
+
+#: Axes whose values must stay strictly positive.
+_POSITIVE_AXES = frozenset(
+    {"pstar", "collateral", "tau_a", "tau_b", "eps_b", "p0", "sigma"}
+)
+
+
+@dataclass(frozen=True)
+class AxisSpec:
+    """One varying dimension of a surface: ``points`` linearly spaced
+    grid values on ``[lo, hi]``."""
+
+    name: str
+    lo: float
+    hi: float
+    points: int
+
+    def __post_init__(self) -> None:
+        if self.name not in AXIS_KEYS:
+            raise ValueError(
+                f"unknown axis {self.name!r} "
+                f"(expected one of {', '.join(sorted(AXIS_KEYS))})"
+            )
+        lo, hi = float(self.lo), float(self.hi)
+        if not (math.isfinite(lo) and math.isfinite(hi) and lo < hi):
+            raise ValueError(
+                f"axis {self.name!r} needs finite lo < hi, got [{lo}, {hi}]"
+            )
+        if self.name in _POSITIVE_AXES and lo <= 0.0:
+            raise ValueError(
+                f"axis {self.name!r} must stay strictly positive, got lo={lo}"
+            )
+        points = int(self.points)
+        if points < 2:
+            raise ValueError(
+                f"axis {self.name!r} needs >= 2 points (cells require two "
+                f"edges), got {points}"
+            )
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+        object.__setattr__(self, "points", points)
+
+    def values(self) -> np.ndarray:
+        """The grid coordinates along this axis."""
+        return np.linspace(self.lo, self.hi, self.points)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (the artifact-header entry format)."""
+        return {
+            "name": self.name,
+            "lo": self.lo,
+            "hi": self.hi,
+            "points": self.points,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "AxisSpec":
+        """Rebuild from one artifact-header entry."""
+        if not isinstance(data, dict):
+            raise ValueError(f"axis must be an object, got {type(data).__name__}")
+        unknown = set(data) - {"name", "lo", "hi", "points"}
+        if unknown:
+            raise ValueError(f"unknown axis fields {sorted(unknown)}")
+        return AxisSpec(
+            name=str(data["name"]),
+            lo=data["lo"],  # type: ignore[arg-type]
+            hi=data["hi"],  # type: ignore[arg-type]
+            points=data["points"],  # type: ignore[arg-type]
+        )
+
+    @staticmethod
+    def parse(token: str) -> "AxisSpec":
+        """Parse the CLI shorthand ``name:lo:hi:points``."""
+        parts = token.split(":")
+        if len(parts) != 4:
+            raise ValueError(
+                f"axis must be name:lo:hi:points, got {token!r}"
+            )
+        name, lo, hi, points = parts
+        try:
+            return AxisSpec(
+                name=name.strip(),
+                lo=float(lo),
+                hi=float(hi),
+                points=int(points),
+            )
+        except ValueError as exc:
+            raise ValueError(f"invalid axis {token!r}: {exc}") from None
+
+
+@dataclass(frozen=True)
+class SurfaceSpec:
+    """A full surface description: axes plus the frozen base point.
+
+    Parameters
+    ----------
+    axes:
+        The varying dimensions, in artifact storage order. ``pstar``
+        must be one of them; names must not overlap (``alpha`` and
+        ``alpha_a`` together would fight over one parameter).
+    params:
+        The frozen model parameters (Table III defaults unless given).
+        Axis-controlled fields are overridden per grid point.
+    collateral:
+        The frozen deposit ``Q`` when ``collateral`` is not an axis.
+    default_tolerance:
+        The artifact's default answer tolerance: a lookup with no
+        explicit caller tolerance refuses any cell whose certified
+        bound exceeds this.
+    """
+
+    axes: Tuple[AxisSpec, ...]
+    params: SwapParameters
+    collateral: float = 0.0
+    default_tolerance: float = 1e-3
+
+    def __post_init__(self) -> None:
+        axes = tuple(self.axes)
+        if not axes:
+            raise ValueError("a surface needs at least one axis")
+        names = [axis.name for axis in axes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate axis names in {names}")
+        if "pstar" not in names:
+            raise ValueError(
+                "a surface needs a 'pstar' axis (the grid engine solves "
+                "whole P* grids per pass)"
+            )
+        claimed: set = set()
+        for axis in axes:
+            keys = set(AXIS_KEYS[axis.name])
+            if claimed & keys:
+                raise ValueError(
+                    f"axis {axis.name!r} overlaps another axis on "
+                    f"{sorted(claimed & keys)}"
+                )
+            claimed |= keys
+        collateral = float(self.collateral)
+        if not (math.isfinite(collateral) and collateral >= 0.0):
+            raise ValueError(
+                f"collateral must be finite and >= 0, got {collateral}"
+            )
+        tolerance = float(self.default_tolerance)
+        if not (math.isfinite(tolerance) and tolerance > 0.0):
+            raise ValueError(
+                f"default_tolerance must be finite and > 0, got {tolerance}"
+            )
+        object.__setattr__(self, "axes", axes)
+        object.__setattr__(self, "collateral", collateral)
+        object.__setattr__(self, "default_tolerance", tolerance)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Grid-point counts per axis (the values-block shape)."""
+        return tuple(axis.points for axis in self.axes)
+
+    @property
+    def cell_shape(self) -> Tuple[int, ...]:
+        """Cell counts per axis (the bounds-block shape)."""
+        return tuple(axis.points - 1 for axis in self.axes)
+
+    @property
+    def n_points(self) -> int:
+        """Total grid points across all axes."""
+        return int(np.prod(self.shape))
+
+    @property
+    def pstar_index(self) -> int:
+        """Position of the ``pstar`` axis in storage order."""
+        return [axis.name for axis in self.axes].index("pstar")
+
+    def point_at(
+        self, coords: Dict[str, float]
+    ) -> Tuple[SwapParameters, float, float]:
+        """The solver inputs ``(params, pstar, collateral)`` for one
+        grid point, given each axis' coordinate by name."""
+        missing = {axis.name for axis in self.axes} - set(coords)
+        if missing:
+            raise ValueError(f"missing axis coordinates {sorted(missing)}")
+        overrides: Dict[str, float] = {}
+        pstar: float = math.nan
+        collateral = self.collateral
+        for axis in self.axes:
+            value = float(coords[axis.name])
+            for key in AXIS_KEYS[axis.name]:
+                if key == "pstar":
+                    pstar = value
+                elif key == "collateral":
+                    collateral = value
+                else:
+                    overrides[key] = value
+        params = self.params.replace(**overrides) if overrides else self.params
+        return params, pstar, collateral
+
+    def frozen_point(self) -> Dict[str, float]:
+        """The flat frozen parameter map a matching request must equal
+        on every key *not* controlled by an axis."""
+        flat = dict(self.params.as_dict())
+        flat["collateral"] = self.collateral
+        for axis in self.axes:
+            for key in AXIS_KEYS[axis.name]:
+                flat.pop(key, None)
+        return flat
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (the artifact-header core)."""
+        return {
+            "axes": [axis.to_dict() for axis in self.axes],
+            "params": self.params.to_dict(),
+            "collateral": self.collateral,
+            "default_tolerance": self.default_tolerance,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "SurfaceSpec":
+        """Rebuild from a decoded artifact header."""
+        raw_axes = data.get("axes")
+        if not isinstance(raw_axes, list):
+            raise ValueError("surface header needs an 'axes' list")
+        axes = tuple(AxisSpec.from_dict(entry) for entry in raw_axes)
+        params = SwapParameters.from_dict(data["params"])  # type: ignore[arg-type]
+        return SurfaceSpec(
+            axes=axes,
+            params=params,
+            collateral=data.get("collateral", 0.0),  # type: ignore[arg-type]
+            default_tolerance=data.get("default_tolerance", 1e-3),  # type: ignore[arg-type]
+        )
+
+    @property
+    def axis_names(self) -> List[str]:
+        """Axis names in storage order."""
+        return [axis.name for axis in self.axes]

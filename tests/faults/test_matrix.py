@@ -89,7 +89,14 @@ class TestServiceMatrix:
 
     def test_matrix_plus_siblings_covers_every_kind(self):
         http_kinds = {"http_drop", "http_slow"}
-        covered = set(SERVICE_KINDS) | http_kinds | {"engine_error", "oracle_outage"}
+        # the surface kinds are exercised in tests/surface/test_faults.py
+        surface_kinds = {"surface_corrupt", "surface_io_error"}
+        covered = (
+            set(SERVICE_KINDS)
+            | http_kinds
+            | surface_kinds
+            | {"engine_error", "oracle_outage"}
+        )
         assert covered == set(FAULT_KINDS)
 
 

@@ -1,0 +1,106 @@
+"""Surface-suite fixtures.
+
+The builds are the expensive part (each one is a handful of exact
+engine passes), so the canonical specs and their built surfaces are
+session-scoped and shared; anything that mutates state (artifacts on
+disk, metric counters, stats) gets a private copy or a private
+registry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import SwapParameters
+from repro.obs.metrics import Registry, use_registry
+from repro.surface import AxisSpec, SurfaceSpec, build_surface, save_surface
+
+
+@pytest.fixture()
+def registry():
+    """A fresh private metrics registry installed for the test."""
+    fresh = Registry()
+    with use_registry(fresh):
+        yield fresh
+
+
+def counter_value(registry, name: str, **labels) -> float:
+    """Total of one metric's matching series (0.0 when absent)."""
+    metric = registry.snapshot().get(name)
+    if metric is None:
+        return 0.0
+    return sum(
+        sample["value"]
+        for sample in metric["samples"]
+        if all(sample["labels"].get(k) == v for k, v in labels.items())
+    )
+
+
+@pytest.fixture(scope="session")
+def line_spec(params: SwapParameters) -> SurfaceSpec:
+    """A 1-D P* surface over the Figure 6 sweet spot."""
+    return SurfaceSpec(
+        axes=(AxisSpec("pstar", 1.6, 2.4, 17),),
+        params=params,
+        default_tolerance=1e-2,
+    )
+
+
+@pytest.fixture(scope="session")
+def plane_spec(params: SwapParameters) -> SurfaceSpec:
+    """A 2-D (P*, sigma) surface around the Table III defaults."""
+    return SurfaceSpec(
+        axes=(
+            AxisSpec("pstar", 1.6, 2.4, 17),
+            AxisSpec("sigma", 0.08, 0.12, 3),
+        ),
+        params=params,
+        default_tolerance=1e-2,
+    )
+
+
+@pytest.fixture(scope="session")
+def line_surface(line_spec):
+    """The built (in-memory) 1-D surface."""
+    return build_surface(line_spec)
+
+
+@pytest.fixture(scope="session")
+def plane_surface(plane_spec):
+    """The built (in-memory) 2-D surface."""
+    return build_surface(plane_spec)
+
+
+@pytest.fixture()
+def metered_surface(registry, line_surface):
+    """The 1-D surface rebound to the test's private registry.
+
+    A :class:`Surface` binds its counters at construction, so the
+    session-scoped instances meter the global registry; tests that
+    assert on ``repro_surface_*`` values rebuild the (cheap) wrapper
+    around the same blocks inside the private-registry context.
+    """
+    from repro.surface import Surface
+
+    return Surface(
+        spec=line_surface.spec,
+        values=line_surface.values,
+        bounds=line_surface.bounds,
+    )
+
+
+@pytest.fixture(scope="session")
+def _artifact_blocks(line_surface, tmp_path_factory):
+    """One canonical artifact file, written once; tests copy it."""
+    path = tmp_path_factory.mktemp("surface") / "line.srf"
+    checksum = save_surface(line_surface, path)
+    return path, checksum
+
+
+@pytest.fixture()
+def artifact(_artifact_blocks, tmp_path):
+    """A private, disposable copy of the canonical artifact."""
+    canonical, checksum = _artifact_blocks
+    path = tmp_path / "surface.srf"
+    path.write_bytes(canonical.read_bytes())
+    return path, checksum

@@ -1,0 +1,151 @@
+"""The on-disk artifact: round-trips, rot detection, quarantine."""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.service.cache import QUARANTINE_SUFFIX
+from repro.service.keys import KEY_VERSION
+from repro.surface import (
+    FORMAT_VERSION,
+    MAGIC,
+    SurfaceFormatError,
+    SurfaceIntegrityError,
+    load_surface,
+    save_surface,
+)
+from tests.surface.conftest import counter_value
+
+
+def quarantined(path) -> bool:
+    return (
+        not path.exists()
+        and path.with_name(path.name + QUARANTINE_SUFFIX).exists()
+    )
+
+
+class TestRoundTrip:
+    def test_blocks_and_metadata_survive(self, line_surface, artifact):
+        path, checksum = artifact
+        loaded = load_surface(path)
+        np.testing.assert_array_equal(loaded.values, line_surface.values)
+        np.testing.assert_array_equal(loaded.bounds, line_surface.bounds)
+        assert loaded.spec == line_surface.spec
+        assert loaded.checksum == checksum
+        assert loaded.format_version == FORMAT_VERSION
+        assert loaded.key_version == KEY_VERSION
+        assert loaded.path == str(path)
+
+    def test_loaded_blocks_are_memory_mapped(self, artifact):
+        path, _ = artifact
+        loaded = load_surface(path)
+        assert isinstance(loaded.values, np.memmap)
+        assert isinstance(loaded.bounds, np.memmap)
+
+    def test_save_is_atomic_no_temp_left_behind(self, line_surface, tmp_path):
+        save_surface(line_surface, tmp_path / "out.srf")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.srf"]
+
+    def test_info_describes_the_artifact(self, artifact):
+        path, checksum = artifact
+        info = load_surface(path).info()
+        assert info["checksum"] == checksum
+        assert info["key_version"] == KEY_VERSION
+        assert info["axes"][0]["name"] == "pstar"
+        assert info["points"] == 17
+
+    def test_ok_load_counts(self, registry, artifact):
+        load_surface(artifact[0])
+        assert (
+            counter_value(registry, "repro_surface_loads_total", outcome="ok")
+            == 1
+        )
+
+
+class TestRot:
+    def test_flipped_data_byte_quarantines(self, registry, artifact):
+        path, _ = artifact
+        blob = bytearray(path.read_bytes())
+        blob[-9] ^= 0xFF  # inside the bounds block
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SurfaceIntegrityError, match="checksum"):
+            load_surface(path)
+        assert quarantined(path)
+        assert (
+            counter_value(
+                registry, "repro_surface_loads_total", outcome="corrupt"
+            )
+            == 1
+        )
+
+    def test_truncated_file_quarantines(self, artifact):
+        path, _ = artifact
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(SurfaceIntegrityError, match="truncated"):
+            load_surface(path)
+        assert quarantined(path)
+
+    def test_rotten_header_json_quarantines(self, artifact):
+        path, _ = artifact
+        blob = bytearray(path.read_bytes())
+        (header_len,) = struct.unpack_from("<Q", blob, len(MAGIC))
+        blob[len(MAGIC) + 8] = 0xFF  # first header byte: not JSON
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SurfaceIntegrityError, match="rotten header"):
+            load_surface(path)
+        assert quarantined(path)
+
+    def test_bad_magic_is_not_ours_to_destroy(self, registry, artifact):
+        path, _ = artifact
+        path.write_bytes(b"NOTASURF" + b"\x00" * 64)
+        with pytest.raises(SurfaceFormatError, match="bad magic"):
+            load_surface(path)
+        assert path.exists()  # format errors never quarantine
+        assert (
+            counter_value(
+                registry, "repro_surface_loads_total", outcome="format_error"
+            )
+            == 1
+        )
+
+    def test_unsupported_version_refused_without_quarantine(self, artifact):
+        path, _ = artifact
+        blob = bytearray(path.read_bytes())
+        (header_len,) = struct.unpack_from("<Q", blob, len(MAGIC))
+        start = len(MAGIC) + 8
+        header = json.loads(blob[start : start + header_len].decode())
+        header["format_version"] = FORMAT_VERSION + 1
+        encoded = json.dumps(
+            header, sort_keys=True, separators=(",", ":")
+        ).encode()
+        # same sorted keys and value width -> identical length
+        assert len(encoded) == header_len
+        blob[start : start + header_len] = encoded
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SurfaceFormatError, match="unsupported"):
+            load_surface(path)
+        assert path.exists()
+
+    def test_missing_file_raises_oserror(self, registry, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_surface(tmp_path / "absent.srf")
+        assert (
+            counter_value(
+                registry, "repro_surface_loads_total", outcome="io_error"
+            )
+            == 1
+        )
+
+    def test_verify_false_skips_the_checksum(self, artifact):
+        path, _ = artifact
+        blob = bytearray(path.read_bytes())
+        blob[-9] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        loaded = load_surface(path, verify=False)  # operator's escape hatch
+        assert loaded.spec.axes[0].name == "pstar"
+        assert path.exists()

@@ -1,0 +1,146 @@
+"""Certified interpolation: the bound must hold, refusals must count.
+
+The central property -- ``|interpolated - exact| <= certified bound``
+at random off-grid points -- is what makes a surface answer safe to
+serve; everything else here checks the refusal paths (tolerance,
+off-grid coordinates, frozen-parameter mismatches) and their
+accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import solve_grid
+from tests.surface.conftest import counter_value
+
+
+class TestCertifiedBound:
+    def test_grid_points_reproduce_exact_values(self, line_surface, params):
+        pstars = line_surface.spec.axes[0].values()
+        exact = solve_grid(params, pstars).success_rate
+        lookup = line_surface.lookup(params, pstars, tolerance=1.0)
+        assert lookup.answered.all()
+        np.testing.assert_allclose(lookup.values, exact, atol=1e-12)
+
+    def test_random_offgrid_points_within_bound_1d(
+        self, line_surface, params, rng
+    ):
+        pstars = [1.6 + 0.8 * rng.uniform() for _ in range(16)]
+        lookup = line_surface.lookup(params, pstars, tolerance=1.0)
+        assert lookup.answered.all()
+        exact = solve_grid(params, pstars).success_rate
+        errors = np.abs(lookup.values - exact)
+        assert (errors <= lookup.bounds).all(), (
+            f"certified bound violated: max error {errors.max():.3g} vs "
+            f"bounds {lookup.bounds[np.argmax(errors)]:.3g}"
+        )
+
+    def test_random_offgrid_points_within_bound_2d(
+        self, plane_surface, params, rng
+    ):
+        for _ in range(8):
+            pstar = 1.6 + 0.8 * rng.uniform()
+            sigma = 0.08 + 0.04 * rng.uniform()
+            point = params.replace(sigma=sigma)
+            answer = plane_surface.answer(point, pstar, tolerance=1.0)
+            assert answer is not None
+            exact = float(solve_grid(point, [pstar]).success_rate[0])
+            assert abs(answer.success_rate - exact) <= answer.bound
+
+    def test_answer_carries_its_bound(self, line_surface, params):
+        answer = line_surface.answer(params, 2.01, tolerance=1.0)
+        assert answer is not None
+        assert answer.pstar == 2.01
+        assert 0.0 < answer.bound <= line_surface.max_bound
+
+
+class TestRefusals:
+    def test_tolerance_zero_refuses_everything(self, line_surface, params):
+        # bounds carry an additive floor, so no cell certifies 0.0
+        lookup = line_surface.lookup(params, [2.0], tolerance=0.0)
+        assert not lookup.answered.any()
+        assert not lookup.off_surface
+
+    def test_tight_tolerance_counts_misses(self, registry, metered_surface, params):
+        assert metered_surface.answer(params, 2.0, tolerance=1e-12) is None
+        assert metered_surface.stats.misses == 1
+        assert counter_value(registry, "repro_surface_misses_total") == 1
+
+    def test_default_tolerance_comes_from_the_spec(self, line_surface):
+        tol = line_surface.spec.default_tolerance
+        assert line_surface.resolve_tolerance(None) == tol
+        assert line_surface.resolve_tolerance(0.5) == 0.5
+
+    def test_out_of_range_pstar_counts_out_of_bounds(
+        self, registry, metered_surface, params
+    ):
+        lookup = metered_surface.lookup(params, [2.0, 99.0], tolerance=1.0)
+        assert bool(lookup.answered[0]) and not bool(lookup.answered[1])
+        assert lookup.answer_at(1) is None
+        assert metered_surface.stats.out_of_bounds == 1
+        assert counter_value(registry, "repro_surface_out_of_bounds_total") == 1
+
+    def test_foreign_params_are_off_surface(self, registry, metered_surface, params):
+        foreign = params.replace(alpha_a=0.77)
+        lookup = metered_surface.lookup(foreign, [2.0, 2.1], tolerance=1.0)
+        assert lookup.off_surface
+        assert not lookup.answered.any()
+        assert counter_value(registry, "repro_surface_out_of_bounds_total") == 2
+
+    def test_foreign_collateral_is_off_surface(self, line_surface, params):
+        assert line_surface.lookup(params, [2.0], collateral=0.5).off_surface
+
+    def test_unequal_pair_is_off_surface_on_paired_axis(self, params):
+        from repro.surface import AxisSpec, Surface, SurfaceSpec
+
+        spec = SurfaceSpec(
+            axes=(
+                AxisSpec("pstar", 1.5, 2.5, 3),
+                AxisSpec("alpha", 0.1, 0.5, 2),
+            ),
+            params=params,
+        )
+        surface = Surface(
+            spec=spec,
+            values=np.zeros(spec.shape),
+            bounds=np.zeros(spec.cell_shape),
+        )
+        # both agents at alpha=0.3: on surface
+        assert surface.match_coords(params, 0.0) is not None
+        # agents split: the paired axis cannot represent the point
+        assert surface.match_coords(params.replace(alpha_a=0.2), 0.0) is None
+
+    def test_hits_count_in_stats_and_registry(
+        self, registry, metered_surface, params
+    ):
+        lookup = metered_surface.lookup(params, [1.9, 2.0, 2.1], tolerance=1.0)
+        assert lookup.answered.all()
+        assert metered_surface.stats.hits == 3
+        assert counter_value(registry, "repro_surface_hits_total") == 3
+
+    def test_stats_as_dict_includes_out_of_bounds(self, line_surface):
+        assert "out_of_bounds" in line_surface.stats.as_dict()
+
+
+class TestShapeValidation:
+    def test_wrong_values_shape_rejected(self, line_spec):
+        from repro.surface import Surface
+
+        with pytest.raises(ValueError, match="values shape"):
+            Surface(
+                spec=line_spec,
+                values=np.zeros(3),
+                bounds=np.zeros(line_spec.cell_shape),
+            )
+
+    def test_wrong_bounds_shape_rejected(self, line_spec):
+        from repro.surface import Surface
+
+        with pytest.raises(ValueError, match="bounds shape"):
+            Surface(
+                spec=line_spec,
+                values=np.zeros(line_spec.shape),
+                bounds=np.zeros(3),
+            )

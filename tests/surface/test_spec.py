@@ -1,0 +1,103 @@
+"""Axis and surface specification validation + round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.surface import AXIS_KEYS, AxisSpec, SurfaceSpec
+
+
+class TestAxisSpec:
+    def test_values_are_inclusive_linspace(self):
+        axis = AxisSpec("pstar", 1.0, 3.0, 5)
+        assert list(axis.values()) == [1.0, 1.5, 2.0, 2.5, 3.0]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown axis"):
+            AxisSpec("gamma", 0.0, 1.0, 4)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError, match="lo < hi"):
+            AxisSpec("sigma", 0.2, 0.1, 4)
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError, match=">= 2 points"):
+            AxisSpec("pstar", 1.0, 2.0, 1)
+
+    def test_collateral_axis_must_stay_positive(self):
+        # Q = 0 is the basic game, not the Q -> 0 collateral limit; a
+        # cell straddling the regimes would certify a useless bound.
+        with pytest.raises(ValueError, match="strictly positive"):
+            AxisSpec("collateral", 0.0, 1.0, 4)
+
+    def test_parse_shorthand(self):
+        axis = AxisSpec.parse("sigma:0.05:0.2:8")
+        assert axis == AxisSpec("sigma", 0.05, 0.2, 8)
+
+    def test_parse_rejects_malformed_tokens(self):
+        for token in ("sigma:0.05:0.2", "sigma:a:b:4", "pstar:1:2:zero"):
+            with pytest.raises(ValueError):
+                AxisSpec.parse(token)
+
+    def test_dict_round_trip(self):
+        axis = AxisSpec("alpha", 0.1, 0.5, 9)
+        assert AxisSpec.from_dict(axis.to_dict()) == axis
+
+    def test_every_axis_name_maps_to_parameter_keys(self, params):
+        flat = set(params.as_dict()) | {"pstar", "collateral"}
+        for name, keys in AXIS_KEYS.items():
+            assert set(keys) <= flat, name
+
+
+class TestSurfaceSpec:
+    def test_requires_pstar_axis(self, params):
+        with pytest.raises(ValueError, match="pstar"):
+            SurfaceSpec(axes=(AxisSpec("sigma", 0.05, 0.2, 4),), params=params)
+
+    def test_rejects_overlapping_axes(self, params):
+        with pytest.raises(ValueError, match="overlaps"):
+            SurfaceSpec(
+                axes=(
+                    AxisSpec("pstar", 1.5, 2.5, 4),
+                    AxisSpec("alpha", 0.1, 0.5, 4),
+                    AxisSpec("alpha_a", 0.1, 0.5, 4),
+                ),
+                params=params,
+            )
+
+    def test_shapes(self, plane_spec):
+        assert plane_spec.shape == (17, 3)
+        assert plane_spec.cell_shape == (16, 2)
+        assert plane_spec.n_points == 51
+        assert plane_spec.pstar_index == 0
+
+    def test_point_at_overrides_axis_parameters(self, plane_spec, params):
+        point, pstar, collateral = plane_spec.point_at(
+            {"pstar": 2.1, "sigma": 0.09}
+        )
+        assert pstar == 2.1
+        assert collateral == 0.0
+        assert point.sigma == 0.09
+        assert point.replace(sigma=params.sigma) == params
+
+    def test_paired_axis_drives_both_agents(self, params):
+        spec = SurfaceSpec(
+            axes=(
+                AxisSpec("pstar", 1.5, 2.5, 4),
+                AxisSpec("alpha", 0.1, 0.5, 4),
+            ),
+            params=params,
+        )
+        point, _, _ = spec.point_at({"pstar": 2.0, "alpha": 0.4})
+        assert point.alice.alpha == 0.4
+        assert point.bob.alpha == 0.4
+
+    def test_frozen_point_excludes_axis_keys(self, plane_spec, params):
+        frozen = plane_spec.frozen_point()
+        assert "sigma" not in frozen
+        assert "collateral" in frozen
+        assert frozen["tau_a"] == params.tau_a
+
+    def test_dict_round_trip(self, plane_spec):
+        rebuilt = SurfaceSpec.from_dict(plane_spec.to_dict())
+        assert rebuilt == plane_spec
