@@ -51,7 +51,7 @@ def warm(params, tmp_path_factory):
     )
     path = tmp_path_factory.mktemp("bench-surface") / "figure6.srf"
     surface = warm_surface(spec, path)
-    return SwapService(surface=surface, surface_tolerance=TOLERANCE), surface
+    return SwapService(surface=surface, tolerance=TOLERANCE), surface
 
 
 def test_curve_within_certified_bound(warm, params):

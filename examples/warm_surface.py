@@ -53,7 +53,7 @@ def main() -> None:
         print(f"max bound: {info['max_bound']:.2e}")
 
         print("\n=== Serving the Figure 6 curve through the chain ===")
-        service = SwapService(surface=surface, surface_tolerance=TOLERANCE)
+        service = SwapService(surface=surface, tolerance=TOLERANCE)
         t0 = time.perf_counter()
         items = service.sweep(pstars)
         warm_ms = (time.perf_counter() - t0) * 1e3

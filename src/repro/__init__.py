@@ -28,13 +28,13 @@ here::
     rates = [e.success_rate for e in sweep([1.8, 2.0, 2.2])]
 
 The pre-facade entry points (``solve_swap_game``,
-``solve_collateral_game``, ``solve_premium_game``) still work at the
-top level but emit a :class:`DeprecationWarning` (once per name per
-process); import them from :mod:`repro.core` to keep the old
-warning-free behaviour.
+``solve_collateral_game``, ``solve_premium_game``) completed their
+deprecation cycle (a :class:`DeprecationWarning` through v1.1) and are
+now hard errors at the top level: accessing them raises
+:class:`ImportError` pointing at the :mod:`repro.api` facade. The
+originals still live in :mod:`repro.core` for callers that want the
+raw per-model solvers.
 """
-
-import warnings as _warnings
 
 from repro.api import (
     Equilibrium,
@@ -54,60 +54,31 @@ from repro.core import (
     feasible_pstar_range,
     equilibrium_strategies,
 )
-from repro.core import solve_collateral_game as _core_solve_collateral_game
-from repro.core import solve_premium_game as _core_solve_premium_game
-from repro.core import solve_swap_game as _core_solve_swap_game
 from repro.service.executor import ValidationResult
 from repro.stochastic import GeometricBrownianMotion, RandomState
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-_warned_names = set()
-
-
-def _warn_deprecated(name: str, replacement: str) -> None:
-    if name in _warned_names:
-        return
-    _warned_names.add(name)
-    _warnings.warn(
-        f"repro.{name} is deprecated; use {replacement} "
-        f"(or import it from repro.core)",
-        DeprecationWarning,
-        stacklevel=3,
-    )
+# v1.0 shipped these as top-level aliases, v1.1 deprecated them with a
+# warning; their cycle is over. The mapping keeps the failure mode a
+# guided one: the old name raises ImportError naming its replacement
+# instead of a bare AttributeError.
+_REMOVED_ALIASES = {
+    "solve_swap_game": "repro.solve(params, pstar)",
+    "solve_collateral_game": "repro.solve(params, pstar, collateral=...)",
+    "solve_premium_game": "repro.solve(params, pstar, premium=...)",
+}
 
 
-def solve_swap_game(params, pstar):
-    """Deprecated alias of :func:`repro.core.solver.solve_swap_game`.
-
-    Use :func:`repro.solve` (the unified facade) instead.
-    """
-    _warn_deprecated("solve_swap_game", "repro.solve(params, pstar)")
-    return _core_solve_swap_game(params, pstar)
-
-
-def solve_collateral_game(params, pstar, collateral):
-    """Deprecated alias of
-    :func:`repro.core.collateral.solve_collateral_game`.
-
-    Use :func:`repro.solve` with ``collateral=...`` instead.
-    """
-    _warn_deprecated(
-        "solve_collateral_game",
-        "repro.solve(params, pstar, collateral=...)",
-    )
-    return _core_solve_collateral_game(params, pstar, collateral)
-
-
-def solve_premium_game(params, pstar, premium):
-    """Deprecated alias of :func:`repro.core.premium.solve_premium_game`.
-
-    Use :func:`repro.solve` with ``premium=...`` instead.
-    """
-    _warn_deprecated(
-        "solve_premium_game", "repro.solve(params, pstar, premium=...)"
-    )
-    return _core_solve_premium_game(params, pstar, premium)
+def __getattr__(name: str):
+    if name in _REMOVED_ALIASES:
+        raise ImportError(
+            f"repro.{name} was removed in v1.2 after its deprecation "
+            f"cycle; use {_REMOVED_ALIASES[name]} via the repro.api "
+            f"facade, or import the raw solver from repro.core",
+            name=name,
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
@@ -129,10 +100,6 @@ __all__ = [
     "max_success_rate",
     "feasible_pstar_range",
     "equilibrium_strategies",
-    # deprecated aliases (import from repro.core for the originals)
-    "solve_swap_game",
-    "solve_collateral_game",
-    "solve_premium_game",
     # stochastic substrate
     "GeometricBrownianMotion",
     "RandomState",

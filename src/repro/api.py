@@ -20,11 +20,12 @@ frozen result dataclasses out.
   arrays instead of per-point equilibria;
 * :func:`success_rate` -- just the Eq. (31)/(40) number.
 
-The pre-existing entry points (``repro.solve_swap_game``,
-``repro.solve_collateral_game``, ``repro.solve_premium_game``) remain
-importable but are deprecated aliases of this facade; the underlying
-implementations in :mod:`repro.core` are unchanged and the facade
-returns results equal to them (property-tested).
+The pre-facade top-level aliases (``repro.solve_swap_game``,
+``repro.solve_collateral_game``, ``repro.solve_premium_game``) were
+removed in v1.2 after their deprecation cycle -- accessing them raises
+``ImportError`` pointing here. The underlying implementations in
+:mod:`repro.core` are unchanged and the facade returns results equal
+to them (property-tested).
 """
 
 from __future__ import annotations

@@ -13,9 +13,10 @@ Usage::
     repro-swaps batch requests.jsonl --fault-plan plan.json
     repro-swaps stats requests.jsonl
     repro-swaps serve --port 8100 --workers 4 --queue-depth 32
+    repro-swaps serve --port 8100 --replicas 4
     repro-swaps serve --port 8100 --fault-plan plan.json
     repro-swaps warm --out surface.srf --axis pstar:1.2:3.0:65
-    repro-swaps serve --port 8100 --surface surface.srf --surface-tolerance 1e-3
+    repro-swaps serve --port 8100 --surface surface.srf --tolerance 1e-3
     repro-swaps all
 
 (or ``python -m repro.cli ...``).
@@ -41,15 +42,20 @@ parsed as JSON.
 ``--host``/``--port`` and blocks until SIGTERM/SIGINT, then drains
 gracefully; ``--queue-depth`` bounds concurrent admission, and the
 batch flags (``--workers``, ``--cache-dir``, ``--cache-entries``,
-``--metrics-out``) configure the service behind it.
+``--metrics-out``) configure the service behind it. ``--replicas N``
+swaps in the sharded topology (:mod:`repro.server.aio`): an asyncio
+router on the bind port consistent-hashing each request's canonical
+key across N replica subprocesses, so every shard's cache stays hot
+for its keyslice.
 
 ``warm`` precomputes an equilibrium surface (:mod:`repro.surface`)
 over axes given as repeatable ``--axis name:lo:hi:points`` flags and
 writes a checksummed, memory-mapped artifact to ``--out``. Pointing
 ``batch``, ``serve`` or ``sweep`` at it with ``--surface`` installs
 certified interpolation as the first answer tier; tolerance-less
-requests stay exact unless ``--surface-tolerance`` (or, for
-``sweep``, ``--tolerance``) grants a default error budget.
+requests stay exact unless ``--tolerance`` grants a default error
+budget (``--surface-tolerance`` is the deprecated spelling, kept for
+one release).
 
 Invalid artifact names and invalid ``--pstar``/``--collateral`` values
 exit non-zero with a one-line error instead of a traceback.
@@ -401,6 +407,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="process-pool size (1 = serial)"
     )
     serve.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        help="shard across N replica subprocesses behind an asyncio "
+        "router (0 = the single threaded server)",
+    )
+    serve.add_argument(
         "--queue-depth",
         type=int,
         default=16,
@@ -506,12 +519,32 @@ def _add_surface_arguments(parser: argparse.ArgumentParser) -> None:
         "first answer tier",
     )
     parser.add_argument(
-        "--surface-tolerance",
+        "--tolerance",
         type=float,
         default=None,
         help="service-wide interpolation error budget; without it, "
         "tolerance-less requests stay exact",
     )
+    parser.add_argument(
+        "--surface-tolerance",
+        type=float,
+        default=None,
+        help="deprecated spelling of --tolerance (one release of grace)",
+    )
+
+
+def _resolve_tolerance(args: argparse.Namespace) -> Optional[float]:
+    """The canonical ``tolerance`` value, honouring the deprecated flag."""
+    if args.surface_tolerance is not None:
+        from repro.deprecation import warn_once
+
+        warn_once(
+            "cli.surface-tolerance",
+            "--surface-tolerance is deprecated; use --tolerance",
+        )
+        if args.tolerance is None:
+            return args.surface_tolerance
+    return args.tolerance
 
 
 def _add_batch_arguments(batch: argparse.ArgumentParser) -> None:
@@ -639,7 +672,7 @@ def _serve_batch(
     cache_entries: Optional[int] = None,
     fault_plan: Optional[str] = None,
     surface: Optional[str] = None,
-    surface_tolerance: Optional[float] = None,
+    tolerance: Optional[float] = None,
 ) -> Tuple[bool, List[dict]]:
     """Parse and execute a JSON-lines batch.
 
@@ -659,7 +692,7 @@ def _serve_batch(
         timeout=timeout,
         faults=fault_plan,
         surface=surface,
-        surface_tolerance=surface_tolerance,
+        tolerance=tolerance,
     )
     return serve_lines(service, lines)
 
@@ -688,7 +721,7 @@ def _cmd_batch(args: argparse.Namespace) -> CommandOutcome:
             cache_entries=args.cache_entries,
             fault_plan=args.fault_plan,
             surface=args.surface,
-            surface_tolerance=args.surface_tolerance,
+            tolerance=_resolve_tolerance(args),
         )
     finally:
         if log_handle is not None:
@@ -717,7 +750,7 @@ def _cmd_stats(args: argparse.Namespace) -> CommandOutcome:
             args.timeout,
             cache_entries=args.cache_entries,
             surface=args.surface,
-            surface_tolerance=args.surface_tolerance,
+            tolerance=_resolve_tolerance(args),
         )
     if args.format == "json" or args.json:
         return 0, get_registry().snapshot()
@@ -743,7 +776,8 @@ def _cmd_serve(args: argparse.Namespace) -> CommandOutcome:
         metrics_out=args.metrics_out,
         fault_plan=args.fault_plan,
         surface=args.surface,
-        surface_tolerance=args.surface_tolerance,
+        tolerance=_resolve_tolerance(args),
+        replicas=args.replicas,
     )
     status = serve(config)
     return status, {"ok": status == 0, "drained": status == 0}

@@ -1,0 +1,35 @@
+"""One-release deprecation shims, warned exactly once per process.
+
+The repo's deprecation policy (DESIGN.md): a renamed parameter or flag
+keeps working for one release behind a shim that emits a single
+:class:`DeprecationWarning` naming the replacement; the next release
+turns the shim into a hard error. This module is the shared mechanics
+so every layer (service constructor, server config, CLI flags) warns
+with the same voice and the same once-per-process discipline.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+__all__ = ["warn_once"]
+
+_warned: Set[str] = set()
+
+
+def warn_once(key: str, message: str) -> None:
+    """Emit ``DeprecationWarning(message)`` the first time ``key`` is seen.
+
+    ``stacklevel=3`` points the warning at the caller of the shimmed
+    API, not at the shim itself.
+    """
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def _reset_for_tests() -> None:
+    """Forget warned keys (tests assert the warn-once behaviour)."""
+    _warned.clear()

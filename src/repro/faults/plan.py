@@ -39,6 +39,9 @@ kind                injected behaviour (hook site)
 ``surface_corrupt``   a surface artifact fails verification and is
                       quarantined on load (``surface.artifact``)
 ``surface_io_error``  reading a surface artifact raises ``OSError``
+``replica_down``      the sharded router treats the picked replica as
+                      dead and heals by re-routing to the next ring
+                      node (``server.aio``; key = replica name)
 ==================  ====================================================
 """
 
@@ -63,6 +66,7 @@ FAULT_KINDS: Tuple[str, ...] = (
     "oracle_outage",
     "surface_corrupt",
     "surface_io_error",
+    "replica_down",
 )
 
 

@@ -14,6 +14,11 @@ retry discipline. The pieces:
 * :mod:`repro.server.metrics` -- the ``repro_http_*`` instrument set;
 * :mod:`repro.server.app` -- :class:`SwapServer` (routes, admission,
   drain) and the blocking :func:`serve` loop;
+* :mod:`repro.server.router` / :mod:`repro.server.replica` /
+  :mod:`repro.server.aio` -- the sharded tier behind
+  ``serve --replicas N``: consistent-hash routing keys, replica
+  subprocess management, and the asyncio router front end
+  (:class:`RouterServer`, :func:`serve_sharded`);
 * :mod:`repro.server.client` -- :class:`SwapClient` with capped
   exponential backoff + full jitter, retrying only on ``429``/``503``/
   retryable envelopes;
@@ -34,7 +39,8 @@ Quickstart::
 or, from a shell: ``repro-swaps serve --port 8100``.
 """
 
-from repro.server.app import SwapServer, serve
+from repro.server.aio import RouterServer, serve_sharded
+from repro.server.app import AdmissionGate, SwapServer, serve
 from repro.server.circuit import CircuitBreaker
 from repro.server.client import (
     CircuitOpenError,
@@ -57,6 +63,9 @@ __all__ = [
     "ServerConfig",
     "SwapServer",
     "serve",
+    "serve_sharded",
+    "RouterServer",
+    "AdmissionGate",
     "SwapClient",
     "RetryPolicy",
     "ClientError",

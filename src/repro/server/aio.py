@@ -1,0 +1,722 @@
+"""The sharded asyncio front end: one event loop, N replica processes.
+
+``repro-swaps serve --replicas N`` swaps the single threaded server
+for this topology::
+
+                        +-> replica-0 (SwapServer, own cache/surface)
+    clients --> router -+-> replica-1
+      (asyncio, 1 loop) +-> ...
+
+The router owns the listen socket and does no solving: it parses each
+HTTP/1.1 request non-blockingly, applies the same bounded admission
+gate as the threaded server (:class:`~repro.server.app.AdmissionGate`),
+derives the request's canonical routing key
+(:func:`~repro.server.router.routing_key`) and proxies the raw bytes
+to the replica owning that keyslice on a consistent-hash ring
+(:class:`~repro.server.router.HashRing`). Identical requests therefore
+always land on the same shard, so every shard's two-tier cache and
+surface stay hot for *its* slice of the keyspace -- adding shards
+multiplies cache capacity instead of diluting it.
+
+Failure handling is ring-order failover: a replica that refuses a
+connection, breaks mid-proxy, or is declared dead by the
+``replica_down`` fault kind gets its per-replica circuit breaker
+(:class:`~repro.server.circuit.CircuitBreaker`) debited and the
+request re-routed to the next distinct node on the ring -- the shard
+that would inherit the keyslice anyway -- counted in
+``repro_router_reroutes_total``. Only when every replica fails does
+the client see ``503 no_replica`` (retryable).
+
+Byte parity with the threaded server is a design invariant, not an
+aspiration: on-path requests are answered by an unmodified
+:class:`~repro.server.app.SwapServer` and relayed verbatim, and every
+router-originated rejection (413/429/503/504, bad routes, bad bodies)
+is built from the same typed constructors in
+:mod:`repro.server.wire` with the same config values -- the parity
+suite compares the two front ends response-for-response.
+
+Everything is stdlib: ``asyncio.start_server`` for the acceptor,
+blocking work (there is none beyond proxying) never touches the loop,
+and replica connections are pooled and kept alive so a warm request
+costs one read/write pair per side.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import threading
+import time
+from hashlib import blake2b
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.injector import NULL_INJECTOR, build_injector
+from repro.obs.exporters import to_prometheus_text, write_metrics
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry
+from repro.server.app import _API_ROUTES, _KNOWN_PATHS, AdmissionGate
+from repro.server.circuit import CircuitBreaker
+from repro.server.config import ServerConfig
+from repro.server.metrics import HTTPMetrics, RouterMetrics
+from repro.server.replica import ReplicaSet
+from repro.server.router import HashRing, routing_key
+from repro.server.wire import (
+    DeadlineExceededError,
+    body_too_large_error,
+    chunked_body_error,
+    deadline_message,
+    draining_error,
+    envelope_bytes,
+    malformed_length_error,
+    method_not_allowed_error,
+    missing_length_error,
+    no_replica_error,
+    not_found_error,
+    queue_full_error,
+)
+from repro.service.errors import ServiceErrorInfo
+from repro.service.keys import KEY_VERSION
+
+__all__ = ["RouterServer", "serve_sharded"]
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 411: "Length Required",
+    413: "Request Entity Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+_MAX_IDLE_PER_REPLICA = 64
+_DEADLINE_GRACE = 1.0  # let the replica's own 504 win the race
+
+
+def _package_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+class _ReplicaLink:
+    """The router's view of one shard: endpoint, breaker, idle conns."""
+
+    def __init__(self, name: str, host: str, port: int, metrics: RouterMetrics) -> None:
+        self.name = name
+        self.host = host
+        self.port = port
+        self.breaker = CircuitBreaker(
+            failure_threshold=3,
+            reset_timeout=5.0,
+            on_state=lambda value: metrics.replica_state.set(
+                value, replica=name
+            ),
+        )
+        self.idle: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+
+    async def connection(self):
+        """An idle pooled connection, or a fresh one."""
+        while self.idle:
+            reader, writer = self.idle.pop()
+            if writer.is_closing():
+                continue
+            return reader, writer
+        return await asyncio.open_connection(self.host, self.port)
+
+    def release(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        reusable: bool,
+    ) -> None:
+        if reusable and len(self.idle) < _MAX_IDLE_PER_REPLICA:
+            self.idle.append((reader, writer))
+        else:
+            writer.close()
+
+    def close_all(self) -> None:
+        while self.idle:
+            _reader, writer = self.idle.pop()
+            writer.close()
+
+
+class RouterServer:
+    """The asyncio router with the same lifecycle surface as
+    :class:`~repro.server.app.SwapServer` (start/shutdown/host/port),
+    so tests and :func:`serve_sharded` drive both front ends the same
+    way. The event loop runs on a dedicated thread; public methods are
+    thread-safe.
+
+    Parameters
+    ----------
+    config:
+        The shared :class:`~repro.server.config.ServerConfig`;
+        ``config.replicas`` sets the shard count when the router owns
+        its replicas.
+    endpoints:
+        Optional pre-existing replica endpoints ``[(host, port), ...]``
+        (tests route to in-process threaded servers). When given, no
+        subprocesses are spawned and ``config.replicas`` is ignored.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        endpoints: Optional[Sequence[Tuple[str, int]]] = None,
+    ) -> None:
+        self.config = config if config is not None else ServerConfig(replicas=2)
+        self.faults = (
+            build_injector(self.config.fault_plan)
+            if self.config.fault_plan is not None
+            else NULL_INJECTOR
+        )
+        self._replica_set: Optional[ReplicaSet] = None
+        if endpoints is None:
+            if self.config.replicas < 1:
+                raise ValueError(
+                    "RouterServer needs config.replicas >= 1 or explicit "
+                    "endpoints"
+                )
+            self._replica_set = ReplicaSet(self.config, self.config.replicas)
+            names = self._replica_set.names
+            self._static_endpoints: Optional[List[Tuple[str, int]]] = None
+        else:
+            names = [f"replica-{i}" for i in range(len(endpoints))]
+            self._static_endpoints = [
+                (str(host), int(port)) for host, port in endpoints
+            ]
+            if not self._static_endpoints:
+                raise ValueError("endpoints must be non-empty")
+        self.metrics = HTTPMetrics()
+        self.router_metrics = RouterMetrics(names)
+        self.gate = AdmissionGate(self.config.queue_depth)
+        self.ring = HashRing(names)
+        # request -> routing-key cache: canonicalising a body costs
+        # ~25us (JSON parse + service key), a digest lookup ~1us; hot
+        # keys repeat by design, so this wins exactly when it matters
+        self._route_keys: Dict[Tuple[str, str, bytes], str] = {}
+        self._names = names
+        self._links: Dict[str, _ReplicaLink] = {}
+        self._draining = threading.Event()
+        self._ready = threading.Event()
+        self._closed = False
+        self._failed: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._thread: Optional[threading.Thread] = None
+        self._host: Optional[str] = None
+        self._port: Optional[int] = None
+
+    # -- state ---------------------------------------------------------- #
+
+    @property
+    def host(self) -> str:
+        assert self._host is not None, "server not started"
+        return self._host
+
+    @property
+    def port(self) -> int:
+        assert self._port is not None, "server not started"
+        return self._port
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    @property
+    def ready(self) -> bool:
+        return self._ready.is_set() and not self.draining
+
+    @property
+    def replica_urls(self) -> List[str]:
+        """The shard base URLs, in replica order (the ``/readyz``
+        discovery document's source of truth)."""
+        return [
+            f"http://{link.host}:{link.port}"
+            for link in (self._links[name] for name in self._names)
+        ]
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def start(self) -> "RouterServer":
+        """Spawn replicas (if owned), bind, serve; returns once ready."""
+        if self._replica_set is not None:
+            endpoints = self._replica_set.start()
+        else:
+            endpoints = list(self._static_endpoints or [])
+        for name, (host, port) in zip(self._names, endpoints):
+            self._links[name] = _ReplicaLink(
+                name, host, port, self.router_metrics
+            )
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-aio-serve", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._failed is not None:
+            self.shutdown(drain=False)
+            raise RuntimeError(
+                f"router failed to start: {self._failed}"
+            ) from self._failed
+        return self
+
+    def _run_loop(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._serve())
+        finally:
+            self._loop.close()
+
+    async def _serve(self) -> None:
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_client,
+                host=self.config.host,
+                port=self.config.port,
+            )
+        except OSError as exc:
+            self._failed = exc
+            self._ready.set()
+            return
+        sockname = self._server.sockets[0].getsockname()
+        self._host, self._port = sockname[0], sockname[1]
+        self._stop_future = self._loop.create_future()
+        self._ready.set()
+        async with self._server:
+            await self._stop_future
+
+    def shutdown(self, drain: bool = True) -> bool:
+        """Stop accepting, drain in-flight proxies, stop the replicas.
+
+        Returns True iff in-flight work finished within
+        ``drain_timeout``. Idempotent, callable from any thread.
+        """
+        if self._closed:
+            return True
+        self._closed = True
+        self._draining.set()
+        loop = self._loop
+        if loop is not None and not loop.is_closed() and self._ready.is_set():
+            def _stop() -> None:
+                if self._server is not None:
+                    self._server.close()
+                for link in self._links.values():
+                    link.close_all()
+                if not self._stop_future.done():
+                    self._stop_future.set_result(None)
+
+            try:
+                loop.call_soon_threadsafe(_stop)
+            except RuntimeError:
+                pass
+        drained = self.gate.wait_idle(
+            self.config.drain_timeout if drain else 0.0
+        )
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        if self._replica_set is not None:
+            self._replica_set.stop(drain=drain)
+        if self.config.metrics_out is not None:
+            write_metrics(self.config.metrics_out)
+        self._ready.clear()
+        get_logger().log(
+            "router_drained", drained=drained, inflight=self.gate.inflight
+        )
+        return drained
+
+    # -- request handling ----------------------------------------------- #
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (
+                    asyncio.IncompleteReadError,
+                    asyncio.LimitOverrunError,
+                    ConnectionError,
+                ):
+                    return
+                started = time.perf_counter()
+                parsed = self._parse_head(head)
+                if parsed is None:
+                    return  # unparseable request line: just hang up
+                method, target, headers = parsed
+                keep_alive = await self._respond(
+                    reader, writer, method, target, headers, started
+                )
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+
+    @staticmethod
+    def _parse_head(
+        head: bytes,
+    ) -> Optional[Tuple[str, str, Dict[str, str]]]:
+        try:
+            text = head.decode("latin-1")
+            request_line, *header_lines = text.split("\r\n")
+            method, target, _version = request_line.split(" ", 2)
+        except ValueError:
+            return None
+        headers: Dict[str, str] = {}
+        for line in header_lines:
+            if not line:
+                continue
+            name, _sep, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method.upper(), target, headers
+
+    async def _respond(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        method: str,
+        target: str,
+        headers: Dict[str, str],
+        started: float,
+    ) -> bool:
+        """Answer one parsed request; returns keep-alive."""
+        path = target.split("?", 1)[0]
+        route = path if path in _KNOWN_PATHS else "unknown"
+
+        async def send(
+            status: int,
+            body: bytes,
+            content_type: str = "application/json",
+            extra: Optional[Dict[str, str]] = None,
+            keep_alive: bool = True,
+        ) -> bool:
+            head_lines = [
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+                f"Server: repro-swaps-router/{_package_version()}",
+                f"Content-Type: {content_type}",
+                f"Content-Length: {len(body)}",
+            ]
+            for name, value in (extra or {}).items():
+                head_lines.append(f"{name}: {value}")
+            if not keep_alive:
+                head_lines.append("Connection: close")
+            writer.write(
+                "\r\n".join(head_lines).encode("latin-1") + b"\r\n\r\n" + body
+            )
+            await writer.drain()
+            elapsed = time.perf_counter() - started
+            self.metrics.observe(route, method, status, elapsed, len(body))
+            get_logger().log(
+                "http_access",
+                method=method,
+                route=route,
+                path=target,
+                status=status,
+                seconds=round(elapsed, 6),
+                bytes=len(body),
+                client="router",
+            )
+            return keep_alive
+
+        async def send_error(
+            info: ServiceErrorInfo,
+            extra: Optional[Dict[str, str]] = None,
+            keep_alive: bool = True,
+        ) -> bool:
+            status, body = envelope_bytes(info)
+            return await send(
+                status, body, extra=extra, keep_alive=keep_alive
+            )
+
+        # ops routes: answered locally, never gated, served while draining
+        if path == "/healthz" and method == "GET":
+            return await send(200, _json_bytes({"ok": True, "status": "alive"}))
+        if path == "/readyz" and method == "GET":
+            return await self._ops_readyz(send, send_error)
+        if path == "/version" and method == "GET":
+            return await send(
+                200,
+                _json_bytes(
+                    {
+                        "ok": True,
+                        "server": "repro-swaps",
+                        "version": _package_version(),
+                        "key_version": KEY_VERSION,
+                        "surface": None,
+                        "role": "router",
+                        "replicas": len(self._names),
+                    }
+                ),
+            )
+        if path == "/metrics" and method == "GET":
+            text = to_prometheus_text(get_registry())
+            return await send(
+                200,
+                text.encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+
+        if (method, path) not in _API_ROUTES:
+            if path in _KNOWN_PATHS:
+                return await send_error(method_not_allowed_error(method, path))
+            return await send_error(not_found_error(path))
+
+        # ---- API routes: body limits, admission, routed proxy -------- #
+        body = b""
+        if method == "POST":
+            if "chunked" in headers.get("transfer-encoding", "").lower():
+                return await send_error(chunked_body_error())
+            raw_length = headers.get("content-length")
+            if raw_length is None:
+                return await send_error(missing_length_error())
+            try:
+                length = int(raw_length)
+            except ValueError:
+                return await send_error(malformed_length_error(raw_length))
+            limit = self.config.max_body_bytes
+            if length > limit:
+                # refuse without reading; the unread body forces a close
+                self.metrics.rejected.inc(reason="body_too_large")
+                self.router_metrics.rejected.inc(reason="body_too_large")
+                return await send_error(
+                    body_too_large_error(length, limit), keep_alive=False
+                )
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                return False
+
+        if self.draining:
+            self.metrics.rejected.inc(reason="draining")
+            self.router_metrics.rejected.inc(reason="draining")
+            return await send_error(draining_error(), keep_alive=False)
+        if not self.gate.try_enter():
+            self.metrics.rejected.inc(reason="queue_full")
+            self.router_metrics.rejected.inc(reason="queue_full")
+            return await send_error(
+                queue_full_error(self.config.queue_depth),
+                extra={"Retry-After": "1"},
+            )
+        self.metrics.inflight.inc()
+        self.router_metrics.inflight.inc()
+        try:
+            deadline = self.config.deadline
+            try:
+                if deadline is None:
+                    outcome = await self._route_and_proxy(
+                        method, target, headers, body
+                    )
+                else:
+                    outcome = await asyncio.wait_for(
+                        self._route_and_proxy(method, target, headers, body),
+                        timeout=deadline + _DEADLINE_GRACE,
+                    )
+            except asyncio.TimeoutError:
+                self.metrics.rejected.inc(reason="deadline")
+                self.router_metrics.rejected.inc(reason="deadline")
+                info = ServiceErrorInfo.from_exception(
+                    DeadlineExceededError(deadline_message(deadline))
+                )
+                return await send_error(info)
+            if outcome is None:
+                self.router_metrics.rejected.inc(reason="no_replica")
+                return await send_error(no_replica_error(len(self._names)))
+            status, content_type, extra, payload = outcome
+            return await send(
+                status, payload, content_type=content_type, extra=extra
+            )
+        finally:
+            self.metrics.inflight.dec()
+            self.router_metrics.inflight.dec()
+            self.gate.leave()
+
+    async def _ops_readyz(self, send, send_error) -> bool:
+        if self.draining:
+            return await send_error(
+                ServiceErrorInfo(
+                    code="draining", message="server is draining", retryable=True
+                ),
+                keep_alive=False,
+            )
+        return await send(
+            200,
+            _json_bytes(
+                {
+                    "ok": True,
+                    "status": "ready",
+                    "surface": None,
+                    "replicas": [
+                        {"name": name, "url": url}
+                        for name, url in zip(self._names, self.replica_urls)
+                    ],
+                }
+            ),
+        )
+
+    # -- the routed proxy ----------------------------------------------- #
+
+    async def _route_and_proxy(
+        self,
+        method: str,
+        target: str,
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> Optional[Tuple[int, str, Dict[str, str], bytes]]:
+        """Proxy to the key's home shard, failing over in ring order.
+
+        ``None`` means every replica refused -- the caller answers
+        ``503 no_replica``.
+        """
+        token = (method, target, blake2b(body, digest_size=16).digest())
+        key = self._route_keys.get(token)
+        if key is None:
+            key = routing_key(method, target, body)
+            if len(self._route_keys) >= 4096:
+                self._route_keys.clear()  # bounded; refills with hot keys
+            self._route_keys[token] = key
+        for position, name in enumerate(self.ring.nodes_for(key)):
+            link = self._links[name]
+            if self.faults.enabled and self.faults.fires(
+                "replica_down", key=name
+            ):
+                # the chaos plan declared this shard dead: heal by
+                # re-routing to the next ring node, debiting the breaker
+                # exactly as an observed connection failure would
+                link.breaker.record_failure()
+                self.router_metrics.reroutes.inc(reason="replica_down")
+                continue
+            if not link.breaker.allow():
+                self.router_metrics.reroutes.inc(reason="circuit_open")
+                continue
+            proxy_started = time.perf_counter()
+            try:
+                outcome = await self._proxy_once(
+                    link, method, target, headers, body
+                )
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                link.breaker.record_failure()
+                self.router_metrics.reroutes.inc(
+                    reason="connect_failed" if position == 0 else "proxy_failed"
+                )
+                continue
+            link.breaker.record_success()
+            self.router_metrics.requests.inc(replica=name)
+            self.router_metrics.proxy_seconds.observe(
+                time.perf_counter() - proxy_started, replica=name
+            )
+            return outcome
+        return None
+
+    async def _proxy_once(
+        self,
+        link: _ReplicaLink,
+        method: str,
+        target: str,
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> Tuple[int, str, Dict[str, str], bytes]:
+        """One request over one (pooled) replica connection.
+
+        Returns ``(status, content_type, relay_headers, body)`` exactly
+        as the replica answered -- the body bytes are never touched.
+        """
+        reader, writer = await link.connection()
+        reusable = False
+        try:
+            request_lines = [
+                f"{method} {target} HTTP/1.1",
+                f"Host: {link.host}:{link.port}",
+                f"Content-Length: {len(body)}",
+                "Connection: keep-alive",
+            ]
+            content_type = headers.get("content-type")
+            if content_type:
+                request_lines.append(f"Content-Type: {content_type}")
+            writer.write(
+                "\r\n".join(request_lines).encode("latin-1")
+                + b"\r\n\r\n"
+                + body
+            )
+            await writer.drain()
+
+            head = await reader.readuntil(b"\r\n\r\n")
+            text = head.decode("latin-1")
+            status_line, *header_lines = text.split("\r\n")
+            status = int(status_line.split(" ", 2)[1])
+            reply_headers: Dict[str, str] = {}
+            for line in header_lines:
+                if not line:
+                    continue
+                name, _sep, value = line.partition(":")
+                reply_headers[name.strip().lower()] = value.strip()
+            length = int(reply_headers.get("content-length", "0"))
+            payload = await reader.readexactly(length) if length else b""
+            reusable = (
+                reply_headers.get("connection", "").lower() != "close"
+            )
+            relay: Dict[str, str] = {}
+            if "retry-after" in reply_headers:
+                relay["Retry-After"] = reply_headers["retry-after"]
+            return (
+                status,
+                reply_headers.get("content-type", "application/json"),
+                relay,
+                payload,
+            )
+        finally:
+            link.release(reader, writer, reusable)
+
+
+def _json_bytes(payload: object) -> bytes:
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def serve_sharded(
+    config: ServerConfig,
+    stop: Optional[threading.Event] = None,
+    announce: Optional[Callable[[dict], None]] = None,
+) -> int:
+    """Run the sharded topology until SIGTERM/SIGINT, then drain.
+
+    The ``--replicas N`` counterpart of :func:`repro.server.app.serve`
+    with the same contract: signal handlers when on the main thread, an
+    ``announce`` dict once listening (plus a ``replicas`` count), exit
+    0 on a clean drain.
+    """
+    server = RouterServer(config)
+    stop = stop if stop is not None else threading.Event()
+
+    def _request_stop(_signum, _frame) -> None:
+        stop.set()
+
+    previous: Dict[int, object] = {}
+    try:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[sig] = signal.signal(sig, _request_stop)
+            except ValueError:  # not the main thread
+                pass
+        server.start()
+        where = {
+            "host": server.host,
+            "port": server.port,
+            "pid": os.getpid(),
+            "replicas": len(server.ring),
+        }
+        event = {"event": "listening", **where}
+        if announce is not None:
+            announce(event)
+        else:
+            print(json.dumps(event, separators=(",", ":")), flush=True)
+        get_logger().log("router_listening", **where)
+        stop.wait()
+        return 0 if server.shutdown(drain=True) else 1
+    finally:
+        for sig, handler in previous.items():
+            try:
+                signal.signal(sig, handler)  # type: ignore[arg-type]
+            except ValueError:
+                pass

@@ -54,7 +54,7 @@ import signal
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 from urllib.parse import parse_qs, urlsplit
 
 from repro.faults.injector import NULL_INJECTOR, build_injector
@@ -63,15 +63,29 @@ from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
 from repro.server.config import ServerConfig
 from repro.server.metrics import HTTPMetrics
-from repro.server.wire import DeadlineExceededError, error_envelope, status_for
+from repro.server.wire import (
+    DeadlineExceededError,
+    ResultReply,
+    SweepReply,
+    body_too_large_error,
+    chunked_body_error,
+    deadline_message,
+    draining_error,
+    error_envelope,
+    malformed_length_error,
+    method_not_allowed_error,
+    missing_length_error,
+    not_found_error,
+    queue_full_error,
+    status_for,
+)
 from repro.service.api import SwapService
 from repro.service.errors import ServiceError, ServiceErrorInfo
 from repro.service.jsonl import render_records, serve_lines
 from repro.service.keys import KEY_VERSION
 from repro.service.requests import parse_request
-from repro.service.serialize import encode_result
 
-__all__ = ["SwapServer", "serve"]
+__all__ = ["AdmissionGate", "SwapServer", "serve"]
 
 _API_ROUTES = {
     ("POST", "/v1/solve"): "_api_solve",
@@ -99,8 +113,13 @@ class _WireError(Exception):
         self.headers = headers or {}
 
 
-class _AdmissionGate:
-    """Bounded concurrent admission with an idle event for draining."""
+class AdmissionGate:
+    """Bounded concurrent admission with an idle event for draining.
+
+    Shared by both front ends: the threaded :class:`SwapServer` here
+    and the asyncio router of :mod:`repro.server.aio` (whose event
+    loop only ever touches it from one thread, but the router's proxy
+    work happens on executor threads, so the lock stays)."""
 
     def __init__(self, depth: int) -> None:
         self.depth = int(depth)
@@ -139,6 +158,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     protocol_version = "HTTP/1.1"
     timeout = 60.0  # socket read timeout: abandoned keep-alives expire
+    # the handler writes headers and body as separate sends; without
+    # TCP_NODELAY, Nagle holds the body until the peer's delayed ACK
+    # (~40ms) on every keep-alive request -- fatal for throughput
+    disable_nagle_algorithm = True
 
     # ------------------------------------------------------------------ #
     # plumbing
@@ -176,16 +199,9 @@ class _Handler(BaseHTTPRequestHandler):
                 self._api(method, path)
                 return
             if path in _KNOWN_PATHS:
-                self._send_error(
-                    ServiceErrorInfo(
-                        code="method_not_allowed",
-                        message=f"{method} not allowed on {path}",
-                    )
-                )
+                self._send_error(method_not_allowed_error(method, path))
                 return
-            self._send_error(
-                ServiceErrorInfo(code="not_found", message=f"no route {path}")
-            )
+            self._send_error(not_found_error(path))
         except (BrokenPipeError, ConnectionResetError):
             self.close_connection = True
         except Exception as exc:  # never let a bug kill the connection loop
@@ -257,25 +273,12 @@ class _Handler(BaseHTTPRequestHandler):
         if owner.draining:
             owner.metrics.rejected.inc(reason="draining")
             self.close_connection = True
-            self._send_error(
-                ServiceErrorInfo(
-                    code="draining",
-                    message="server is draining; retry elsewhere",
-                    retryable=True,
-                )
-            )
+            self._send_error(draining_error())
             return
         if not owner.gate.try_enter():
             owner.metrics.rejected.inc(reason="queue_full")
             self._send_error(
-                ServiceErrorInfo(
-                    code="queue_full",
-                    message=(
-                        f"admission queue full "
-                        f"(depth {owner.config.queue_depth}); retry later"
-                    ),
-                    retryable=True,
-                ),
+                queue_full_error(owner.config.queue_depth),
                 headers={"Retry-After": "1"},
             )
             return
@@ -302,39 +305,20 @@ class _Handler(BaseHTTPRequestHandler):
     def _read_body(self) -> bytes:
         """The request body, bounded by ``max_body_bytes``."""
         if "chunked" in self.headers.get("Transfer-Encoding", "").lower():
-            raise _WireError(
-                ServiceErrorInfo(
-                    code="length_required",
-                    message="chunked bodies are not accepted; send Content-Length",
-                )
-            )
+            raise _WireError(chunked_body_error())
         raw_length = self.headers.get("Content-Length")
         if raw_length is None:
-            raise _WireError(
-                ServiceErrorInfo(
-                    code="length_required", message="Content-Length required"
-                )
-            )
+            raise _WireError(missing_length_error())
         try:
             length = int(raw_length)
         except ValueError:
-            raise _WireError(
-                ServiceErrorInfo(
-                    code="length_required",
-                    message=f"malformed Content-Length {raw_length!r}",
-                )
-            ) from None
+            raise _WireError(malformed_length_error(raw_length)) from None
         limit = self.owner.config.max_body_bytes
         if length > limit:
             # refuse without reading; the unread body forces a close
             self.owner.metrics.rejected.inc(reason="body_too_large")
             self.close_connection = True
-            raise _WireError(
-                ServiceErrorInfo(
-                    code="body_too_large",
-                    message=f"body of {length} bytes exceeds limit {limit}",
-                )
-            )
+            raise _WireError(body_too_large_error(length, limit))
         return self.rfile.read(length)
 
     def _json_body(self) -> dict:
@@ -381,9 +365,7 @@ class _Handler(BaseHTTPRequestHandler):
         worker.start()
         if not done.wait(deadline):
             self.owner.metrics.rejected.inc(reason="deadline")
-            raise DeadlineExceededError(
-                f"request exceeded the {deadline:g}s deadline"
-            )
+            raise DeadlineExceededError(deadline_message(deadline))
         if "error" in box:
             raise box["error"]
         return box["value"]
@@ -416,16 +398,7 @@ class _Handler(BaseHTTPRequestHandler):
         if not item.ok:
             self._send_error(item.error)
             return
-        self._send_json(
-            200,
-            {
-                "ok": True,
-                "kind": kind,
-                "key": item.key,
-                "cached": item.cached,
-                "result": encode_result(item.value),
-            },
-        )
+        self._send_json(200, ResultReply.from_item(kind, item).to_dict())
 
     def _api_batch(self) -> None:
         body = self._read_body()
@@ -471,24 +444,7 @@ class _Handler(BaseHTTPRequestHandler):
                 pstars, collateral=collateral, tolerance=tolerance
             )
         )
-        results: List[dict] = []
-        for pstar, item in zip(pstars, items):
-            point = {
-                "pstar": pstar,
-                "ok": item.ok,
-                "key": item.key,
-                "cached": item.cached,
-                "source": item.source,
-            }
-            if item.ok:
-                point["success_rate"] = item.value.success_rate
-                bound = getattr(item.value, "bound", None)
-                if bound is not None:  # surface answers carry their bound
-                    point["bound"] = bound
-            else:
-                point["error"] = item.error.to_dict()
-            results.append(point)
-        self._send_json(200, {"ok": True, "count": len(results), "results": results})
+        self._send_json(200, SweepReply.from_items(pstars, items).to_dict())
 
     # ------------------------------------------------------------------ #
     # operational routes (never gated, served while draining)
@@ -588,11 +544,11 @@ class SwapServer:
                 timeout=self.config.timeout,
                 faults=self.faults,
                 surface=self.config.surface,
-                surface_tolerance=self.config.surface_tolerance,
+                tolerance=self.config.tolerance,
             )
         )
         self.metrics = HTTPMetrics()
-        self.gate = _AdmissionGate(self.config.queue_depth)
+        self.gate = AdmissionGate(self.config.queue_depth)
         self._draining = threading.Event()
         self._ready = threading.Event()
         self._closed = False
@@ -681,7 +637,17 @@ def serve(
     (default: printed to stdout as a JSON line, so callers can discover
     an ephemeral port). Returns 0 on a clean drain, 1 if in-flight
     requests had to be abandoned.
+
+    When ``config.replicas > 0`` the call delegates to
+    :func:`repro.server.aio.serve_sharded`: the asyncio router binds
+    the listen socket and this process's port, and N replica
+    subprocesses (each an unmodified :class:`SwapServer`) do the
+    solving. Same contract either way.
     """
+    if config is not None and config.replicas > 0:
+        from repro.server.aio import serve_sharded
+
+        return serve_sharded(config, stop=stop, announce=announce)
     server = SwapServer(config)
     stop = stop if stop is not None else threading.Event()
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
@@ -57,6 +57,12 @@ class CircuitBreaker:
         allowed through.
     clock:
         Monotonic time source (injectable for tests).
+    on_state:
+        Optional observer called with the state *value* (0 closed,
+        1 half-open, 2 open) on every transition. The sharded router
+        uses it to mirror each replica's breaker into the labelled
+        ``repro_router_replica_state`` gauge; without it the breaker
+        keeps the historical unlabelled client gauge.
     """
 
     def __init__(
@@ -64,6 +70,7 @@ class CircuitBreaker:
         failure_threshold: int = 5,
         reset_timeout: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        on_state: Optional[Callable[[int], None]] = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError(
@@ -81,11 +88,15 @@ class CircuitBreaker:
         self._failures = 0
         self._opened_at = 0.0
         self._probing = False
-        self._gauge = get_registry().gauge(
-            "repro_client_circuit_state",
-            help="Client circuit breaker state (0 closed, 1 half-open, 2 open).",
-        )
-        self._gauge.set(0)
+        if on_state is not None:
+            self._publish = on_state
+        else:
+            gauge = get_registry().gauge(
+                "repro_client_circuit_state",
+                help="Client circuit breaker state (0 closed, 1 half-open, 2 open).",
+            )
+            self._publish = gauge.set
+        self._publish(0)
 
     @property
     def state(self) -> str:
@@ -146,4 +157,4 @@ class CircuitBreaker:
 
     def _set_state(self, state: str) -> None:
         self._state = state
-        self._gauge.set(_STATE_VALUE[state])
+        self._publish(_STATE_VALUE[state])

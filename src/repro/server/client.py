@@ -26,6 +26,19 @@ fail locally with :class:`CircuitOpenError` (retryable -- the breaker
 half-opens after its reset timeout and probes the server back in).
 A ``faults=`` injector adds deterministic client-side chaos
 (``http_drop``/``http_slow``) for tests of exactly that machinery.
+
+The client is also **replica-set aware** for the sharded tier
+(``serve --replicas N``): give it a static ``replicas=[url, ...]``
+list, or point ``base_url`` at the router and pass ``discover=True``
+to read the replica topology from the router's ``/readyz`` document.
+In replicated mode each replica gets its *own* circuit breaker, retries
+rotate across healthy replicas (fail-over is the retry), and an
+optional :class:`HedgePolicy` launches a second attempt against a
+different replica once the first has been in flight longer than the
+client's own observed p95 latency -- the classic tail-tolerance
+trade: a few percent duplicate work for a collapsed p99. Ops probes
+(``/healthz``, ``/readyz``, ``/metrics``, ``/version``) always go to
+``base_url`` itself (the router), never to a replica.
 """
 
 from __future__ import annotations
@@ -36,10 +49,15 @@ import random
 import time
 import urllib.error
 import urllib.request
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor
+from concurrent.futures import wait as _futures_wait
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.faults.injector import build_injector
+from repro.server.circuit import CircuitBreaker
+from repro.server.wire import ResultReply, SweepReply
 from repro.service.serialize import decode_result
 
 __all__ = [
@@ -48,8 +66,13 @@ __all__ = [
     "RetriesExhaustedError",
     "CircuitOpenError",
     "RetryPolicy",
+    "HedgePolicy",
     "SwapClient",
 ]
+
+# the idempotent single-shot routes a hedge may duplicate safely;
+# /v1/batch is excluded (duplicating a whole batch doubles real work)
+_HEDGEABLE_PATHS = ("/v1/solve", "/v1/validate", "/v1/sweep")
 
 
 class ClientError(Exception):
@@ -65,6 +88,7 @@ class ServerReplyError(ClientError):
         super().__init__(f"HTTP {status} {code}: {message}")
         self.status = status
         self.error = error
+        self.retry_after: Optional[float] = None
 
     @property
     def retryable(self) -> bool:
@@ -133,6 +157,66 @@ class RetryPolicy:
         return jittered
 
 
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When and how to hedge a slow request onto a second replica.
+
+    The hedge fires once the primary attempt has been in flight longer
+    than the client's own observed ``quantile`` latency (times
+    ``multiplier``), measured over a sliding window of recent
+    successful requests -- the delay *adapts* to whatever the serving
+    stack currently delivers instead of hard-coding a guess. Until
+    ``warmup`` samples exist the fixed ``initial_delay`` is used.
+    Whichever arm answers first wins (``repro_hedge_wins_total``); the
+    loser finishes in the background and still feeds its replica's
+    breaker.
+    """
+
+    quantile: float = 0.95
+    multiplier: float = 1.0
+    initial_delay: float = 0.05
+    min_delay: float = 0.001
+    max_delay: float = 2.0
+    window: int = 128
+    warmup: int = 16
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {self.quantile}")
+        if self.multiplier <= 0:
+            raise ValueError(f"multiplier must be > 0, got {self.multiplier}")
+        if self.window < 2 or self.warmup < 1:
+            raise ValueError("window must be >= 2 and warmup >= 1")
+
+    def delay_from(self, samples: Sequence[float]) -> float:
+        """The hedge delay given recent latency ``samples`` (seconds)."""
+        if len(samples) < self.warmup:
+            return self.initial_delay
+        ordered = sorted(samples)
+        index = int(self.quantile * (len(ordered) - 1))
+        derived = ordered[index] * self.multiplier
+        return min(self.max_delay, max(self.min_delay, derived))
+
+
+class _Endpoint:
+    """One replica the client may talk to: URL + its own breaker."""
+
+    def __init__(self, url: str, name: Optional[str] = None) -> None:
+        self.url = url.rstrip("/")
+        self.name = name if name is not None else self.url
+        # per-replica breakers publish nowhere: the unlabelled client
+        # gauge belongs to the single-endpoint breaker, and the router
+        # already exports the authoritative per-replica states
+        self.breaker = CircuitBreaker(
+            failure_threshold=3,
+            reset_timeout=5.0,
+            on_state=lambda _value: None,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Endpoint({self.name!r}, {self.url!r})"
+
+
 class SwapClient:
     """Typed access to a running :class:`~repro.server.app.SwapServer`.
 
@@ -157,6 +241,17 @@ class SwapClient:
         Optional chaos hook (plan path, plan, or injector); honours
         client-side ``http_drop`` and ``http_slow`` specs keyed by the
         URL path.
+    replicas:
+        Optional static replica base-URL list. When given, ``/v1/*``
+        requests rotate across the replicas (each with its own circuit
+        breaker) and ``base_url`` serves only the ops routes.
+    discover:
+        When True, read the replica topology from ``base_url``'s
+        ``/readyz`` document (the sharded router publishes one); a
+        plain threaded server publishes none and the client stays
+        single-endpoint. Re-run via :meth:`discover_replicas`.
+    hedge:
+        Optional :class:`HedgePolicy`; needs >= 2 replicas to act.
     """
 
     def __init__(
@@ -168,6 +263,9 @@ class SwapClient:
         rng: Optional[random.Random] = None,
         circuit=None,
         faults=None,
+        replicas: Optional[Sequence[str]] = None,
+        discover: bool = False,
+        hedge: Optional[HedgePolicy] = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
@@ -176,6 +274,72 @@ class SwapClient:
         self.faults = build_injector(faults)
         self._sleep = sleep
         self._rng = rng if rng is not None else random.Random()
+        self.hedge = hedge
+        self._hedge_metrics = None
+        self._latencies: deque = deque(
+            maxlen=hedge.window if hedge is not None else 128
+        )
+        self._endpoints: List[_Endpoint] = []
+        self._rotation = 0
+        self._pool: Optional[ThreadPoolExecutor] = None
+        if replicas is not None:
+            self.set_replicas(replicas)
+        if discover:
+            self.discover_replicas()
+
+    # ------------------------------------------------------------------ #
+    # replica topology
+    # ------------------------------------------------------------------ #
+
+    @property
+    def replica_urls(self) -> List[str]:
+        """The replica base URLs currently rotated over (may be [])."""
+        return [endpoint.url for endpoint in self._endpoints]
+
+    def set_replicas(
+        self,
+        urls: Sequence[str],
+        names: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Install a replica set; replaces any previous one.
+
+        Breakers of URLs already in the set are kept (their failure
+        history survives a topology refresh).
+        """
+        known = {endpoint.url: endpoint for endpoint in self._endpoints}
+        fresh: List[_Endpoint] = []
+        for index, url in enumerate(urls):
+            name = names[index] if names is not None else None
+            cleaned = url.rstrip("/")
+            if cleaned in known:
+                fresh.append(known[cleaned])
+            else:
+                fresh.append(_Endpoint(cleaned, name))
+        self._endpoints = fresh
+
+    def discover_replicas(self) -> List[str]:
+        """Refresh the replica set from ``base_url``'s ``/readyz``.
+
+        Returns the discovered URLs; an empty list (a server that
+        publishes no topology) leaves the client single-endpoint.
+        """
+        document = self._json("GET", "/readyz")
+        entries = document.get("replicas")
+        if not isinstance(entries, list):
+            return []
+        urls = [
+            str(entry["url"])
+            for entry in entries
+            if isinstance(entry, dict) and "url" in entry
+        ]
+        names = [
+            str(entry.get("name", entry["url"]))
+            for entry in entries
+            if isinstance(entry, dict) and "url" in entry
+        ]
+        if urls:
+            self.set_replicas(urls, names)
+        return urls
 
     # ------------------------------------------------------------------ #
     # transport with retry
@@ -196,7 +360,15 @@ class SwapClient:
         deterministic server reply closes it (the transport worked),
         and an exhausted retry budget or open-circuit refusal counts
         as one failure.
+
+        With a replica set installed, ``/v1/*`` requests take the
+        replicated path instead (per-replica breakers, fail-over
+        rotation, optional hedging); ops routes stay on ``base_url``.
         """
+        if self._endpoints and path.startswith("/v1/"):
+            return self._request_replicated(
+                method, path, body, content_type, attempts
+            )
         if self.circuit is None:
             return self._attempts(method, path, body, content_type, attempts)
         if not self.circuit.allow():
@@ -221,46 +393,240 @@ class SwapClient:
         content_type: str,
         attempts: Optional[int],
     ) -> Tuple[int, bytes]:
-        """The retry loop itself (circuit-unaware)."""
-        url = self.base_url + path
+        """The retry loop itself (circuit-unaware, single endpoint)."""
         budget = attempts if attempts is not None else self.retry.max_attempts
         last: Exception = ClientError("no attempt made")
         for attempt in range(budget):
-            request = urllib.request.Request(url, data=body, method=method)
-            if body is not None:
-                request.add_header("Content-Type", content_type)
             retry_after: Optional[float] = None
             try:
-                if self.faults.enabled:
-                    if self.faults.fires("http_drop", key=path):
-                        raise urllib.error.URLError("injected connection drop")
-                    self.faults.sleep("http_slow", key=path)
-                with urllib.request.urlopen(
-                    request, timeout=self.timeout
-                ) as response:
-                    return response.status, response.read()
-            except urllib.error.HTTPError as exc:
-                payload = exc.read()
-                reply = ServerReplyError(exc.code, _envelope_error(payload))
+                return self._one_try(
+                    self.base_url, method, path, body, content_type
+                )
+            except ServerReplyError as reply:
                 if not reply.retryable:
-                    raise reply from None
-                retry_after = _parse_retry_after(
-                    exc.headers.get("Retry-After")
-                )
+                    raise
+                retry_after = reply.retry_after
                 last = reply
-            except urllib.error.URLError as exc:
-                # connection refused/reset/dropped: the server may be
-                # restarting (or the injector is pretending it is)
-                last = ClientError(f"connection failed: {exc.reason}")
-            except (http.client.HTTPException, OSError) as exc:
-                # a connection dropped mid-exchange escapes urllib
-                # unwrapped (e.g. RemoteDisconnected): same treatment
-                last = ClientError(
-                    f"connection failed: {exc.__class__.__name__}: {exc}"
-                )
+            except ClientError as exc:
+                last = exc
             if attempt + 1 < budget:
                 self._sleep(self.retry.delay(attempt, self._rng, retry_after))
         raise RetriesExhaustedError(budget, last)
+
+    def _one_try(
+        self,
+        base_url: str,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        content_type: str,
+    ) -> Tuple[int, bytes]:
+        """Exactly one HTTP exchange against one endpoint.
+
+        Success returns ``(status, body)`` and records the latency
+        sample hedging feeds on. Failures are normalised: any HTTP
+        error raises :class:`ServerReplyError` (with ``retry_after``
+        attached), any transport failure raises a bare
+        :class:`ClientError`.
+        """
+        request = urllib.request.Request(
+            base_url + path, data=body, method=method
+        )
+        if body is not None:
+            request.add_header("Content-Type", content_type)
+        started = time.perf_counter()
+        try:
+            if self.faults.enabled:
+                if self.faults.fires("http_drop", key=path):
+                    raise urllib.error.URLError("injected connection drop")
+                self.faults.sleep("http_slow", key=path)
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                outcome = response.status, response.read()
+            self._latencies.append(time.perf_counter() - started)
+            return outcome
+        except urllib.error.HTTPError as exc:
+            payload = exc.read()
+            reply = ServerReplyError(exc.code, _envelope_error(payload))
+            reply.retry_after = _parse_retry_after(
+                exc.headers.get("Retry-After")
+            )
+            raise reply from None
+        except urllib.error.URLError as exc:
+            # connection refused/reset/dropped: the server may be
+            # restarting (or the injector is pretending it is)
+            raise ClientError(f"connection failed: {exc.reason}") from None
+        except (http.client.HTTPException, OSError) as exc:
+            # a connection dropped mid-exchange escapes urllib
+            # unwrapped (e.g. RemoteDisconnected): same treatment
+            raise ClientError(
+                f"connection failed: {exc.__class__.__name__}: {exc}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # the replicated path: fail-over rotation + hedging
+    # ------------------------------------------------------------------ #
+
+    def _request_replicated(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        content_type: str,
+        attempts: Optional[int],
+    ) -> Tuple[int, bytes]:
+        """The retry loop over a replica set.
+
+        Each attempt goes to the next replica whose breaker admits it
+        -- fail-over *is* the retry. A deterministic server reply
+        surfaces immediately (and counts as breaker success: the
+        transport worked); transport failures and exhausted hedges
+        debit the replica they hit.
+        """
+        budget = attempts if attempts is not None else self.retry.max_attempts
+        last: Exception = ClientError("no attempt made")
+        for attempt in range(budget):
+            endpoint = self._next_endpoint()
+            if endpoint is None:
+                raise CircuitOpenError("open")
+            backup = (
+                self._next_endpoint(exclude=endpoint)
+                if self._should_hedge(path)
+                else None
+            )
+            retry_after: Optional[float] = None
+            try:
+                if backup is not None:
+                    # the hedged exchange does its own breaker accounting
+                    # (two arms, two breakers) -- don't double-record here
+                    return self._hedged_try(
+                        endpoint, backup, method, path, body, content_type
+                    )
+                outcome = self._one_try(
+                    endpoint.url, method, path, body, content_type
+                )
+                endpoint.breaker.record_success()
+                return outcome
+            except ServerReplyError as reply:
+                if backup is None:
+                    endpoint.breaker.record_success()
+                if not reply.retryable:
+                    raise
+                retry_after = reply.retry_after
+                last = reply
+            except ClientError as exc:
+                if backup is None:
+                    endpoint.breaker.record_failure()
+                last = exc
+            if attempt + 1 < budget:
+                self._sleep(self.retry.delay(attempt, self._rng, retry_after))
+        raise RetriesExhaustedError(budget, last)
+
+    def _next_endpoint(
+        self, exclude: Optional[_Endpoint] = None
+    ) -> Optional[_Endpoint]:
+        """The next replica (rotation order) whose breaker admits a
+        call; ``None`` when every breaker refuses."""
+        for _step in range(len(self._endpoints)):
+            endpoint = self._endpoints[self._rotation % len(self._endpoints)]
+            self._rotation += 1
+            if endpoint is exclude:
+                continue
+            if endpoint.breaker.allow():
+                return endpoint
+        return None
+
+    def _should_hedge(self, path: str) -> bool:
+        return (
+            self.hedge is not None
+            and len(self._endpoints) >= 2
+            and path.split("?", 1)[0] in _HEDGEABLE_PATHS
+        )
+
+    def _hedged_try(
+        self,
+        primary: _Endpoint,
+        backup: _Endpoint,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        content_type: str,
+    ) -> Tuple[int, bytes]:
+        """One hedged exchange: primary first, backup after the delay.
+
+        First answer wins; the loser finishes in the background and
+        still reports to its replica's breaker. Raises the *last*
+        failure only when both arms fail.
+        """
+        if self._hedge_metrics is None:
+            from repro.server.metrics import HedgeMetrics
+
+            self._hedge_metrics = HedgeMetrics()
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=4, thread_name_prefix="repro-hedge"
+            )
+        arms = {}
+        future = self._pool.submit(
+            self._one_try, primary.url, method, path, body, content_type
+        )
+        arms[future] = ("primary", primary)
+        done, _pending = _futures_wait(
+            arms, timeout=self.hedge.delay_from(tuple(self._latencies))
+        )
+        if not done:
+            # the primary is officially slow: launch the hedge arm
+            self._hedge_metrics.requests.inc()
+            hedge_future = self._pool.submit(
+                self._one_try, backup.url, method, path, body, content_type
+            )
+            arms[hedge_future] = ("hedge", backup)
+        hedged = len(arms) > 1
+        failure: Optional[Exception] = None
+        while arms:
+            done, _pending = _futures_wait(
+                arms, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                arm, endpoint = arms.pop(future)
+                try:
+                    outcome = future.result()
+                except ServerReplyError as reply:
+                    endpoint.breaker.record_success()
+                    if not reply.retryable:
+                        self._absorb_losers(arms)
+                        raise
+                    failure = reply
+                    continue
+                except ClientError as exc:
+                    endpoint.breaker.record_failure()
+                    failure = exc
+                    continue
+                endpoint.breaker.record_success()
+                if hedged:
+                    self._hedge_metrics.wins.inc(arm=arm)
+                self._absorb_losers(arms)
+                return outcome
+        assert failure is not None
+        raise failure
+
+    def _absorb_losers(self, arms: dict) -> None:
+        """Let losing arms finish in the background, feeding breakers."""
+        for future, (_arm, endpoint) in arms.items():
+            future.add_done_callback(self._absorber(endpoint))
+        arms.clear()
+
+    @staticmethod
+    def _absorber(endpoint: _Endpoint) -> Callable:
+        def _done(future) -> None:
+            exc = future.exception()
+            if exc is None or isinstance(exc, ServerReplyError):
+                endpoint.breaker.record_success()
+            else:
+                endpoint.breaker.record_failure()
+
+        return _done
 
     def _json(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
         body = (
@@ -285,7 +651,8 @@ class SwapClient:
         payload: dict = {"kind": "solve", "pstar": pstar, "collateral": collateral}
         if params is not None:
             payload["params"] = params
-        return decode_result(self._json("POST", "/v1/solve", payload)["result"])
+        reply = ResultReply.from_dict(self._json("POST", "/v1/solve", payload))
+        return decode_result(reply.result)
 
     def validate(
         self,
@@ -306,9 +673,10 @@ class SwapClient:
             payload["seed"] = seed
         if params is not None:
             payload["params"] = params
-        return decode_result(
-            self._json("POST", "/v1/validate", payload)["result"]
+        reply = ResultReply.from_dict(
+            self._json("POST", "/v1/validate", payload)
         )
+        return decode_result(reply.result)
 
     def batch(self, requests: Sequence[dict]) -> List[dict]:
         """``POST /v1/batch``: JSONL in, one record dict per request out."""
@@ -341,7 +709,10 @@ class SwapClient:
         url = f"/v1/sweep?pstars={query}&collateral={collateral!r}"
         if tolerance is not None:
             url += f"&tolerance={tolerance!r}"
-        return self._json("GET", url)["results"]
+        reply = SweepReply.from_dict(self._json("GET", url))
+        # callers get plain dicts (the wire form); the round-trip through
+        # the typed schema is the client-side conformance check
+        return [point.to_dict() for point in reply.results]
 
     # ------------------------------------------------------------------ #
     # operational endpoints

@@ -12,6 +12,8 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.deprecation import warn_once
+
 __all__ = ["ServerConfig"]
 
 
@@ -42,6 +44,13 @@ class ServerConfig:
         (the bound port is reported once listening).
     workers:
         ``SwapService`` process-pool size (1 = serial in-process).
+    replicas:
+        ``0`` (default) runs the single threaded server. ``N >= 1``
+        runs the sharded topology instead: an asyncio router on
+        ``host:port`` consistent-hashing each request's canonical key
+        across ``N`` replica subprocesses, each a full threaded server
+        with its own service/cache/surface chain
+        (:mod:`repro.server.aio`).
     queue_depth:
         Bound on concurrently admitted API requests; excess load is
         shed with ``429`` + ``Retry-After`` instead of queueing without
@@ -75,14 +84,17 @@ class ServerConfig:
         :class:`~repro.service.api.SwapService` as the chain's first
         answer tier. A corrupt artifact degrades (the server starts
         without the tier); a missing path fails construction.
-    surface_tolerance:
+    tolerance:
         Service-wide default answer tolerance for surface
         interpolation; ``None`` keeps tolerance-less requests exact.
+        (``surface_tolerance`` is the pre-v1.2 spelling, kept for one
+        release behind a warn-once shim.)
     """
 
     host: str = "127.0.0.1"
     port: int = 8100
     workers: int = 1
+    replicas: int = 0
     queue_depth: int = 16
     max_body_bytes: int = 1 << 20
     deadline: Optional[float] = 30.0
@@ -94,6 +106,7 @@ class ServerConfig:
     metrics_out: Optional[str] = None
     fault_plan: Optional[str] = None
     surface: Optional[str] = None
+    tolerance: Optional[float] = None
     surface_tolerance: Optional[float] = None
 
     def __post_init__(self) -> None:
@@ -127,10 +140,23 @@ class ServerConfig:
                 "cache_entries",
                 _check_positive_int("cache_entries", self.cache_entries),
             )
+        replicas = int(self.replicas)
+        if replicas < 0:
+            raise ValueError(f"replicas must be >= 0, got {replicas}")
+        object.__setattr__(self, "replicas", replicas)
         if self.surface_tolerance is not None:
-            tolerance = float(self.surface_tolerance)
+            warn_once(
+                "ServerConfig.surface_tolerance",
+                "ServerConfig(surface_tolerance=) is deprecated; "
+                "pass tolerance= instead",
+            )
+            if self.tolerance is None:
+                object.__setattr__(self, "tolerance", self.surface_tolerance)
+            object.__setattr__(self, "surface_tolerance", None)
+        if self.tolerance is not None:
+            tolerance = float(self.tolerance)
             if not (math.isfinite(tolerance) and tolerance >= 0.0):
                 raise ValueError(
-                    f"surface_tolerance must be finite and >= 0, got {tolerance}"
+                    f"tolerance must be finite and >= 0, got {tolerance}"
                 )
-            object.__setattr__(self, "surface_tolerance", tolerance)
+            object.__setattr__(self, "tolerance", tolerance)

@@ -1,18 +1,35 @@
-"""The HTTP layer's registry instruments (``repro_http_*``).
+"""The HTTP layer's registry instruments.
 
-Bound once per server against the active :mod:`repro.obs` registry and
-rendered live by ``GET /metrics``. Route labels are always one of the
-fixed route patterns (unknown paths collapse to ``unknown``), so label
-cardinality stays bounded no matter what clients request.
+Three families, bound once per process against the active
+:mod:`repro.obs` registry and rendered live by ``GET /metrics``:
+
+* ``repro_http_*`` (:class:`HTTPMetrics`) -- per-response accounting
+  of either front end (threaded server or asyncio router);
+* ``repro_router_*`` (:class:`RouterMetrics`) -- the sharded tier's
+  proxy accounting: per-replica traffic and latency, re-routes,
+  breaker states;
+* ``repro_hedge_*`` (:class:`HedgeMetrics`) -- the replica-aware
+  client's hedged-request accounting (which arm won).
+
+Route labels are always one of the fixed route patterns (unknown paths
+collapse to ``unknown``) and replica labels one of the fixed replica
+names, so label cardinality stays bounded no matter what clients
+request.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Sequence, Tuple
 
 from repro.obs.metrics import get_registry
 
-__all__ = ["HTTPMetrics", "RESPONSE_BYTE_BUCKETS"]
+__all__ = [
+    "HTTPMetrics",
+    "RouterMetrics",
+    "HedgeMetrics",
+    "RESPONSE_BYTE_BUCKETS",
+    "PROXY_SECOND_BUCKETS",
+]
 
 # response sizes: 64 B .. 4 MiB, x4 apart (envelopes at the bottom,
 # JSONL batch responses at the top)
@@ -63,3 +80,83 @@ class HTTPMetrics:
         self.requests.inc(route=route, method=method, status=str(status))
         self.request_seconds.observe(seconds, route=route)
         self.response_bytes.observe(float(size), route=route)
+
+
+# proxy hops are loopback TCP: sub-millisecond when warm, tens of
+# milliseconds under queueing, whole seconds only when a shard solves
+PROXY_SECOND_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0, 5.0,
+)
+
+
+class RouterMetrics:
+    """The sharded tier's instruments (``repro_router_*``).
+
+    ``replica_names`` fixes the label universe up front: every
+    per-replica series is materialised at zero so ``/metrics`` exports
+    the full topology from the first scrape, idle shards included.
+    """
+
+    def __init__(self, replica_names: Sequence[str]) -> None:
+        registry = get_registry()
+        self.requests = registry.counter(
+            "repro_router_requests_total",
+            help="Requests the router proxied, by replica.",
+            labelnames=("replica",),
+        )
+        self.proxy_seconds = registry.histogram(
+            "repro_router_proxy_seconds",
+            help="Proxy hop latency (connect to last byte), by replica.",
+            labelnames=("replica",),
+            buckets=PROXY_SECOND_BUCKETS,
+        )
+        self.reroutes = registry.counter(
+            "repro_router_reroutes_total",
+            help="Requests moved off their home replica, by reason.",
+            labelnames=("reason",),
+        )
+        self.rejected = registry.counter(
+            "repro_router_rejected_total",
+            help="Requests the router shed before proxying, by reason.",
+            labelnames=("reason",),
+        )
+        self.inflight = registry.gauge(
+            "repro_router_inflight",
+            help="Requests currently admitted and proxying.",
+        )
+        self.replicas = registry.gauge(
+            "repro_router_replicas",
+            help="Replicas currently on the hash ring.",
+        )
+        self.replica_state = registry.gauge(
+            "repro_router_replica_state",
+            help="Per-replica breaker state (0 closed, 1 half-open, 2 open).",
+            labelnames=("replica",),
+        )
+        for name in replica_names:
+            self.requests.inc(0, replica=name)
+            self.replica_state.set(0, replica=name)
+        for reason in ("replica_down", "connect_failed", "proxy_failed"):
+            self.reroutes.inc(0, reason=reason)
+        for reason in ("queue_full", "body_too_large", "draining", "deadline",
+                       "no_replica"):
+            self.rejected.inc(0, reason=reason)
+        self.replicas.set(len(replica_names))
+
+
+class HedgeMetrics:
+    """The replica-aware client's hedging instruments (``repro_hedge_*``)."""
+
+    def __init__(self) -> None:
+        registry = get_registry()
+        self.requests = registry.counter(
+            "repro_hedge_requests_total",
+            help="Logical requests that launched a hedge arm.",
+        )
+        self.wins = registry.counter(
+            "repro_hedge_wins_total",
+            help="Which arm answered first, for hedged requests.",
+            labelnames=("arm",),
+        )
+        for arm in ("primary", "hedge"):
+            self.wins.inc(0, arm=arm)

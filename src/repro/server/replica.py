@@ -1,0 +1,235 @@
+"""Replica subprocess management for the sharded serving tier.
+
+Each shard of ``repro-swaps serve --replicas N`` is a *full threaded
+server* (:class:`~repro.server.app.SwapServer`) in its own process:
+its own ``SwapService``, its own surface/cache/engine chain, its own
+GIL. The router process never solves anything -- scale-out is real
+processes, not threads.
+
+:class:`ReplicaProcess` wraps one such subprocess: it is spawned as
+``python -m repro.cli serve --port 0 ...`` (flags derived from the
+router's :class:`~repro.server.config.ServerConfig`), and its bound
+port is discovered from the one-line JSON *announce* the serve command
+prints on stdout (``{"event": "listening", "host", "port", "pid"}``)
+-- the same contract the CI smoke test and human operators already
+rely on. :class:`ReplicaSet` spawns N of them concurrently (cold
+starts overlap), names them ``replica-0..N-1`` for metric labels and
+ring membership, and tears them down with SIGTERM so each drains
+gracefully.
+
+Per-replica resource carve-outs:
+
+* ``cache_dir`` becomes ``cache_dir/replica-i`` -- shards own disjoint
+  keyslices, so sharing one disk tier would only serialise writes;
+* ``metrics_out``/``fault_plan`` pass through unchanged (each process
+  keeps its own registry; one plan drives chaos everywhere).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from typing import List, Optional, Tuple
+
+from repro.obs.logging import get_logger
+from repro.server.config import ServerConfig
+
+__all__ = ["ReplicaProcess", "ReplicaSet", "replica_command"]
+
+_ANNOUNCE_TIMEOUT = 60.0  # cold numpy/scipy imports on a loaded box
+
+
+def replica_command(config: ServerConfig, cache_dir: Optional[str]) -> List[str]:
+    """The argv for one replica subprocess derived from ``config``.
+
+    The replica binds an ephemeral port on loopback: the router is the
+    only intended caller, and the announce line reports the real port.
+    """
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--host",
+        "127.0.0.1",
+        "--port",
+        "0",
+        "--workers",
+        str(config.workers),
+        "--queue-depth",
+        str(config.queue_depth),
+        "--max-body-bytes",
+        str(config.max_body_bytes),
+        "--drain-timeout",
+        str(config.drain_timeout),
+    ]
+    if config.deadline is not None:
+        argv += ["--deadline", str(config.deadline)]
+    if cache_dir is not None:
+        argv += ["--cache-dir", cache_dir]
+    if config.cache_entries is not None:
+        argv += ["--cache-entries", str(config.cache_entries)]
+    if config.timeout is not None:
+        argv += ["--timeout", str(config.timeout)]
+    if config.fault_plan is not None:
+        argv += ["--fault-plan", config.fault_plan]
+    if config.surface is not None:
+        argv += ["--surface", config.surface]
+    if config.tolerance is not None:
+        argv += ["--tolerance", str(config.tolerance)]
+    return argv
+
+
+class ReplicaProcess:
+    """One shard: a threaded ``SwapServer`` subprocess on loopback."""
+
+    def __init__(self, name: str, config: ServerConfig) -> None:
+        self.name = name
+        cache_dir = (
+            os.path.join(config.cache_dir, name)
+            if config.cache_dir is not None
+            else None
+        )
+        self._argv = replica_command(config, cache_dir)
+        self._process: Optional[subprocess.Popen] = None
+        self._announce: Optional[dict] = None
+        self._announced = threading.Event()
+        self._reader: Optional[threading.Thread] = None
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def spawn(self) -> None:
+        """Start the subprocess; returns immediately (no port yet)."""
+        self._process = subprocess.Popen(
+            self._argv,
+            stdout=subprocess.PIPE,
+            stderr=None,  # replica tracebacks surface on the router's stderr
+            text=True,
+        )
+        # one reader per replica: capture the announce line, then keep
+        # draining so a chatty subprocess can never block on the pipe
+        self._reader = threading.Thread(
+            target=self._read_stdout, name=f"repro-{self.name}-out", daemon=True
+        )
+        self._reader.start()
+
+    def _read_stdout(self) -> None:
+        assert self._process is not None and self._process.stdout is not None
+        for line in self._process.stdout:
+            if not self._announced.is_set():
+                try:
+                    event = json.loads(line)
+                    if event.get("event") == "listening":
+                        self._announce = event
+                        self._announced.set()
+                except (ValueError, TypeError):
+                    pass
+        self._announced.set()  # EOF: wake any waiter (spawn failed)
+
+    def wait_ready(self, timeout: float = _ANNOUNCE_TIMEOUT) -> Tuple[str, int]:
+        """Block until the announce line arrives; ``(host, port)``.
+
+        Raises ``RuntimeError`` when the subprocess dies (or stays
+        silent past ``timeout``) instead -- a replica that cannot bind
+        is a deployment error, not something to route around.
+        """
+        deadline = time.monotonic() + timeout
+        while not self._announced.wait(timeout=0.1):
+            if time.monotonic() > deadline:
+                self.stop(drain=False)
+                raise RuntimeError(
+                    f"{self.name} did not announce within {timeout:g}s"
+                )
+        if self._announce is None:
+            code = self._process.poll() if self._process else None
+            raise RuntimeError(
+                f"{self.name} exited (code {code}) before announcing its port"
+            )
+        return str(self._announce["host"]), int(self._announce["port"])
+
+    @property
+    def alive(self) -> bool:
+        return self._process is not None and self._process.poll() is None
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._process.pid if self._process is not None else None
+
+    def stop(self, drain: bool = True, timeout: float = 15.0) -> Optional[int]:
+        """SIGTERM (graceful drain inside the replica), then reap.
+
+        Escalates to SIGKILL if the replica ignores the term past
+        ``timeout``. Returns the exit code (``None`` if never spawned).
+        """
+        if self._process is None:
+            return None
+        if self._process.poll() is None:
+            self._process.terminate()
+            try:
+                self._process.wait(timeout=timeout if drain else 1.0)
+            except subprocess.TimeoutExpired:
+                self._process.kill()
+                self._process.wait(timeout=5.0)
+        if self._reader is not None:
+            self._reader.join(timeout=1.0)
+        return self._process.returncode
+
+
+class ReplicaSet:
+    """N replicas spawned together, stopped together.
+
+    Usable as a context manager; :meth:`start` returns the endpoint
+    list in replica order -- the input to the router's hash ring.
+    """
+
+    def __init__(self, config: ServerConfig, count: int) -> None:
+        if count < 1:
+            raise ValueError(f"replica count must be >= 1, got {count}")
+        self.config = config
+        self.replicas = [
+            ReplicaProcess(f"replica-{i}", config) for i in range(count)
+        ]
+        self.endpoints: List[Tuple[str, int]] = []
+
+    @property
+    def names(self) -> List[str]:
+        return [replica.name for replica in self.replicas]
+
+    def start(self) -> List[Tuple[str, int]]:
+        """Spawn all replicas, wait for every announce; endpoints."""
+        started = time.monotonic()
+        for replica in self.replicas:
+            replica.spawn()
+        try:
+            self.endpoints = [
+                replica.wait_ready() for replica in self.replicas
+            ]
+        except Exception:
+            self.stop(drain=False)
+            raise
+        get_logger().log(
+            "replicas_ready",
+            count=len(self.replicas),
+            seconds=round(time.monotonic() - started, 3),
+            ports=[port for _host, port in self.endpoints],
+        )
+        return list(self.endpoints)
+
+    def stop(self, drain: bool = True) -> None:
+        """SIGTERM every replica, then reap them all."""
+        for replica in self.replicas:
+            if replica.alive:
+                replica._process.terminate()  # overlap the drains
+        for replica in self.replicas:
+            replica.stop(drain=drain)
+
+    def __enter__(self) -> "ReplicaSet":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

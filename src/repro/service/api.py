@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.parameters import SwapParameters
+from repro.deprecation import warn_once
 from repro.faults.injector import build_injector
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
@@ -114,11 +115,13 @@ class SwapService:
         surface tier (counted in
         ``repro_degraded_total{path="surface_load"}``) -- the same
         heal-and-degrade discipline as the disk cache.
-    surface_tolerance:
+    tolerance:
         Service-wide default answer tolerance: when set, solve
         requests without their own ``tolerance`` may be answered by
         the surface within this absolute success-rate error. ``None``
-        (default) keeps every tolerance-less request exact.
+        (default) keeps every tolerance-less request exact. (The
+        pre-v1.2 spelling ``surface_tolerance=`` still works for one
+        release behind a warn-once shim.)
     """
 
     def __init__(
@@ -130,8 +133,17 @@ class SwapService:
         timeout: Optional[float] = None,
         faults=None,
         surface=None,
+        tolerance: Optional[float] = None,
         surface_tolerance: Optional[float] = None,
     ) -> None:
+        if surface_tolerance is not None:
+            warn_once(
+                "SwapService.surface_tolerance",
+                "SwapService(surface_tolerance=) is deprecated; "
+                "pass tolerance= instead",
+            )
+            if tolerance is None:
+                tolerance = surface_tolerance
         self.faults = build_injector(faults)
         self._cache = TieredCache.build(
             maxsize=cache_size,
@@ -142,16 +154,13 @@ class SwapService:
         self._pool = WorkerPool(
             max_workers=max_workers, timeout=timeout, faults=self.faults
         )
-        if surface_tolerance is not None:
-            surface_tolerance = float(surface_tolerance)
-            if not (
-                math.isfinite(surface_tolerance) and surface_tolerance >= 0.0
-            ):
+        if tolerance is not None:
+            tolerance = float(tolerance)
+            if not (math.isfinite(tolerance) and tolerance >= 0.0):
                 raise ValueError(
-                    "surface_tolerance must be finite and >= 0, "
-                    f"got {surface_tolerance}"
+                    f"tolerance must be finite and >= 0, got {tolerance}"
                 )
-        self._surface_tolerance = surface_tolerance
+        self._tolerance = tolerance
         self.surface = (
             self._load_surface(surface) if surface is not None else None
         )
@@ -232,7 +241,7 @@ class SwapService:
                     tolerance = (
                         request.tolerance
                         if request.tolerance is not None
-                        else self._surface_tolerance
+                        else self._tolerance
                     )
                     if tolerance is None or tolerance <= 0.0:
                         continue  # exactness demanded; not consulted
@@ -348,7 +357,7 @@ class SwapService:
         match :meth:`run_batch`: per-point cache keys and per-point
         :class:`BatchItem` records in request order.
 
-        ``tolerance=None`` uses the service's ``surface_tolerance``;
+        ``tolerance=None`` uses the service-wide ``tolerance`` default;
         when neither grants an error budget -- or ``tolerance=0.0``
         demands exactness outright -- the surface rung is skipped and
         every answer is exact.
@@ -385,7 +394,7 @@ class SwapService:
             params=params,
             collateral=collateral,
             tolerance=(
-                tolerance if tolerance is not None else self._surface_tolerance
+                tolerance if tolerance is not None else self._tolerance
             ),
         )
         self._chain.run(list(slots.values()), context)

@@ -167,7 +167,7 @@ class TestBatchWithSurface:
                 str(requests),
                 "--surface",
                 artifact,
-                "--surface-tolerance",
+                "--tolerance",
                 "0.01",
             ]
         )

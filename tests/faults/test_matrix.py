@@ -91,10 +91,13 @@ class TestServiceMatrix:
         http_kinds = {"http_drop", "http_slow"}
         # the surface kinds are exercised in tests/surface/test_faults.py
         surface_kinds = {"surface_corrupt", "surface_io_error"}
+        # replica_down is router-side chaos: tests/server/test_router.py
+        router_kinds = {"replica_down"}
         covered = (
             set(SERVICE_KINDS)
             | http_kinds
             | surface_kinds
+            | router_kinds
             | {"engine_error", "oracle_outage"}
         )
         assert covered == set(FAULT_KINDS)

@@ -1,0 +1,289 @@
+"""Byte-for-byte parity: asyncio router vs threaded server.
+
+The sharded tier's contract is that clients cannot tell the two front
+ends apart on the wire: same envelopes, same status taxonomy, same
+headers that matter (``Content-Type``, ``Retry-After``), same body
+bytes. This suite drives *raw sockets* (no client-library smoothing)
+through a fresh threaded server and a fresh router-over-one-replica --
+one replica so both stacks traverse identical cache states -- and
+compares every response.
+
+Known, deliberate divergences (asserted nowhere, documented here):
+``Server``/``Date`` headers name the responding program, and HTTP
+methods beyond GET/POST get the stdlib's HTML 501 from the threaded
+server but a typed 405 envelope from the router (the router is
+stricter, not looser).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro.server import RouterServer, ServerConfig
+from tests.server.conftest import GatedService, make_server  # noqa: F401
+
+PARITY_CONFIG = dict(
+    queue_depth=8,
+    max_body_bytes=4096,
+    deadline=30.0,
+    workers=1,
+)
+
+
+def exchange(
+    port: int, raw: bytes, timeout: float = 30.0
+) -> Tuple[int, Dict[str, str], bytes]:
+    """One raw HTTP exchange; ``(status, headers, body)``."""
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as sock:
+        sock.sendall(raw)
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise AssertionError(f"connection closed before headers: {data!r}")
+            data += chunk
+        head, _sep, body = data.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ", 2)[1])
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            name, _s, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        want = int(headers.get("content-length", "0"))
+        while len(body) < want:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            body += chunk
+        return status, headers, body
+
+
+def request_bytes(
+    method: str,
+    target: str,
+    body: Optional[bytes] = None,
+    headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    lines = [f"{method} {target} HTTP/1.1", "Host: parity"]
+    sent = dict(headers or {})
+    if body is not None and "Content-Length" not in sent:
+        sent["Content-Length"] = str(len(body))
+    if body is not None:
+        sent.setdefault("Content-Type", "application/json")
+    lines += [f"{name}: {value}" for name, value in sent.items()]
+    lines += ["Connection: close", ""]
+    return "\r\n".join(lines).encode("latin-1") + b"\r\n" + (body or b"")
+
+
+@pytest.fixture()
+def both_stacks(make_server):
+    """(threaded_port, router_port): identical configs, fresh states."""
+    threaded = make_server(**PARITY_CONFIG)
+    replica = make_server(**PARITY_CONFIG)
+    router = RouterServer(
+        ServerConfig(port=0, **PARITY_CONFIG),
+        endpoints=[(replica.host, replica.port)],
+    ).start()
+    yield threaded.port, router.port
+    router.shutdown(drain=False)
+
+
+def assert_parity(ports, raw: bytes, expect_status: Optional[int] = None):
+    """Send ``raw`` to both stacks; the responses must agree."""
+    threaded_port, router_port = ports
+    t_status, t_headers, t_body = exchange(threaded_port, raw)
+    r_status, r_headers, r_body = exchange(router_port, raw)
+    assert (r_status, r_body) == (t_status, t_body)
+    assert r_headers.get("content-type") == t_headers.get("content-type")
+    assert r_headers.get("retry-after") == t_headers.get("retry-after")
+    if expect_status is not None:
+        assert t_status == expect_status
+    return t_status, t_body
+
+
+SOLVE = json.dumps({"pstar": 2.0, "collateral": 0.0}).encode()
+
+
+class TestHappyPathParity:
+    def test_solve_cold_then_cached(self, both_stacks):
+        raw = request_bytes("POST", "/v1/solve", SOLVE)
+        _status, first = assert_parity(both_stacks, raw, 200)
+        assert json.loads(first)["cached"] is False
+        _status, second = assert_parity(both_stacks, raw, 200)
+        assert json.loads(second)["cached"] is True
+
+    def test_validate(self, both_stacks):
+        body = json.dumps(
+            {"pstar": 2.0, "n_paths": 500, "seed": 11}
+        ).encode()
+        raw = request_bytes("POST", "/v1/validate", body)
+        _status, reply = assert_parity(both_stacks, raw, 200)
+        assert json.loads(reply)["kind"] == "validate"
+
+    def test_sweep(self, both_stacks):
+        raw = request_bytes(
+            "GET", "/v1/sweep?pstars=1.5,2.0,2.5&collateral=0.0"
+        )
+        _status, reply = assert_parity(both_stacks, raw, 200)
+        assert json.loads(reply)["count"] == 3
+
+    def test_batch(self, both_stacks):
+        lines = b'{"pstar": 1.8}\n{"pstar": 2.2}\n'
+        raw = request_bytes(
+            "POST",
+            "/v1/batch",
+            lines,
+            headers={"Content-Type": "application/x-ndjson"},
+        )
+        status, reply = assert_parity(both_stacks, raw, 200)
+        assert len(reply.splitlines()) == 2
+
+    def test_ops_healthz(self, both_stacks):
+        raw = request_bytes("GET", "/healthz")
+        assert_parity(both_stacks, raw, 200)
+
+
+class TestErrorTaxonomyParity:
+    def test_unknown_path_404(self, both_stacks):
+        _status, body = assert_parity(
+            both_stacks, request_bytes("GET", "/nope"), 404
+        )
+        assert json.loads(body)["error"]["code"] == "not_found"
+
+    def test_wrong_method_405(self, both_stacks):
+        _status, body = assert_parity(
+            both_stacks, request_bytes("GET", "/v1/solve"), 405
+        )
+        assert json.loads(body)["error"]["code"] == "method_not_allowed"
+        assert_parity(
+            both_stacks, request_bytes("POST", "/v1/sweep", b"{}"), 405
+        )
+
+    def test_unparseable_json_400(self, both_stacks):
+        _status, body = assert_parity(
+            both_stacks,
+            request_bytes("POST", "/v1/solve", b"not json"),
+            400,
+        )
+        error = json.loads(body)["error"]
+        assert error["code"] == "parse_error"
+        assert error["retryable"] is False
+
+    def test_invalid_request_400(self, both_stacks):
+        raw = request_bytes(
+            "POST", "/v1/solve", json.dumps({"pstar": -3.0}).encode()
+        )
+        _status, body = assert_parity(both_stacks, raw, 400)
+        assert json.loads(body)["error"]["code"] == "invalid_request"
+
+    def test_missing_content_length_411(self, both_stacks):
+        raw = (
+            b"POST /v1/solve HTTP/1.1\r\nHost: parity\r\n"
+            b"Content-Type: application/json\r\nConnection: close\r\n\r\n"
+        )
+        _status, body = assert_parity(both_stacks, raw, 411)
+        assert json.loads(body)["error"]["code"] == "length_required"
+
+    def test_chunked_body_411(self, both_stacks):
+        raw = (
+            b"POST /v1/solve HTTP/1.1\r\nHost: parity\r\n"
+            b"Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+            b"0\r\n\r\n"
+        )
+        assert_parity(both_stacks, raw, 411)
+
+    def test_malformed_content_length_411(self, both_stacks):
+        raw = (
+            b"POST /v1/solve HTTP/1.1\r\nHost: parity\r\n"
+            b"Content-Length: banana\r\nConnection: close\r\n\r\n"
+        )
+        _status, body = assert_parity(both_stacks, raw, 411)
+        assert json.loads(body)["error"]["code"] == "length_required"
+
+    def test_body_too_large_413(self, both_stacks):
+        huge = b"x" * (PARITY_CONFIG["max_body_bytes"] + 1)
+        raw = request_bytes("POST", "/v1/solve", huge)
+        _status, body = assert_parity(both_stacks, raw, 413)
+        error = json.loads(body)["error"]
+        assert error["code"] == "body_too_large"
+        assert str(PARITY_CONFIG["max_body_bytes"]) in error["message"]
+
+
+class TestLoadSheddingParity:
+    def test_queue_full_429_bytes_match(self, make_server):
+        """Saturate both stacks (depth 1, a gated in-flight request);
+        the second request's 429 must match byte-for-byte."""
+        import threading
+        import urllib.request
+
+        config = dict(PARITY_CONFIG, queue_depth=1)
+
+        def saturated_429(port: int, gate: GatedService):
+            raw = request_bytes("POST", "/v1/solve", SOLVE)
+            blocker = threading.Thread(
+                target=lambda: urllib.request.urlopen(
+                    urllib.request.Request(
+                        f"http://127.0.0.1:{port}/v1/solve",
+                        data=SOLVE,
+                        headers={"Content-Type": "application/json"},
+                    ),
+                    timeout=30,
+                ),
+                daemon=True,
+            )
+            blocker.start()
+            assert gate.started.wait(timeout=10.0)
+            outcome = exchange(port, raw)
+            gate.release.set()
+            blocker.join(timeout=30.0)
+            return outcome
+
+        gate_threaded = GatedService()
+        threaded = make_server(service=gate_threaded, **config)
+        t_status, t_headers, t_body = saturated_429(
+            threaded.port, gate_threaded
+        )
+
+        gate_replica = GatedService()
+        replica = make_server(service=gate_replica, **config)
+        router = RouterServer(
+            ServerConfig(port=0, **config),
+            endpoints=[(replica.host, replica.port)],
+        ).start()
+        try:
+            r_status, r_headers, r_body = saturated_429(
+                router.port, gate_replica
+            )
+        finally:
+            router.shutdown(drain=False)
+
+        assert (t_status, t_body) == (429, r_body) == (r_status, t_body)
+        assert t_headers.get("retry-after") == r_headers.get("retry-after") == "1"
+
+    def test_deadline_504_bytes_match(self, make_server):
+        config = dict(PARITY_CONFIG, deadline=0.02)
+        gate_threaded = GatedService()
+        threaded = make_server(service=gate_threaded, **config)
+        gate_replica = GatedService()
+        replica = make_server(service=gate_replica, **config)
+        router = RouterServer(
+            ServerConfig(port=0, **config),
+            endpoints=[(replica.host, replica.port)],
+        ).start()
+        raw = request_bytes("POST", "/v1/solve", SOLVE)
+        try:
+            # never release the gates: both requests must deadline out
+            t_status, _h, t_body = exchange(threaded.port, raw)
+            r_status, _h, r_body = exchange(router.port, raw)
+        finally:
+            gate_threaded.release.set()
+            gate_replica.release.set()
+            router.shutdown(drain=False)
+        assert (t_status, t_body) == (504, r_body) == (r_status, t_body)
+        error = json.loads(t_body)["error"]
+        assert error["code"] == "deadline_exceeded"
+        assert error["retryable"] is True

@@ -32,7 +32,7 @@ def artifact_path(tmp_path_factory):
 
 @pytest.fixture()
 def surface_server(make_server, artifact_path):
-    return make_server(surface=artifact_path, surface_tolerance=1e-2)
+    return make_server(surface=artifact_path, tolerance=1e-2)
 
 
 def get_json(server, path: str) -> dict:

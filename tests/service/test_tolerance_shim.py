@@ -1,0 +1,123 @@
+"""The unified ``tolerance`` parameter and its one-release shims.
+
+PR-7 collapsed the three historical spellings -- service
+``surface_tolerance=``, config ``surface_tolerance=``, CLI
+``--surface-tolerance`` -- into one canonical ``tolerance`` at every
+layer. The old spellings keep working for one release behind
+:func:`repro.deprecation.warn_once` shims; these tests pin (a) the
+shims forward correctly, (b) they warn exactly once per process, and
+(c) the canonical spelling stays silent.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.deprecation import _reset_for_tests, warn_once
+from repro.server.config import ServerConfig
+from repro.service.api import SwapService
+
+
+@pytest.fixture(autouse=True)
+def fresh_warn_state():
+    _reset_for_tests()
+    yield
+    _reset_for_tests()
+
+
+class TestWarnOnce:
+    def test_warns_once_per_key(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            warn_once("k1", "first")
+            warn_once("k1", "first")
+            warn_once("k2", "second")
+        assert [str(w.message) for w in caught] == ["first", "second"]
+        assert all(w.category is DeprecationWarning for w in caught)
+
+
+class TestServiceShim:
+    def test_canonical_tolerance_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            service = SwapService(max_workers=1, tolerance=1e-2)
+        assert service._tolerance == 1e-2
+
+    def test_deprecated_spelling_forwards_and_warns(self):
+        with pytest.warns(DeprecationWarning, match="pass tolerance="):
+            service = SwapService(max_workers=1, surface_tolerance=1e-2)
+        assert service._tolerance == 1e-2
+
+    def test_canonical_wins_when_both_are_given(self):
+        with pytest.warns(DeprecationWarning):
+            service = SwapService(
+                max_workers=1, tolerance=5e-3, surface_tolerance=1e-1
+            )
+        assert service._tolerance == 5e-3
+
+    def test_second_use_does_not_warn_again(self):
+        with pytest.warns(DeprecationWarning):
+            SwapService(max_workers=1, surface_tolerance=1e-2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            SwapService(max_workers=1, surface_tolerance=1e-2)  # silent now
+
+    def test_tolerance_is_validated(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            SwapService(max_workers=1, tolerance=-1.0)
+        with pytest.raises(ValueError, match="tolerance"):
+            SwapService(max_workers=1, tolerance=float("nan"))
+
+
+class TestConfigShim:
+    def test_deprecated_field_folds_into_tolerance(self):
+        with pytest.warns(DeprecationWarning, match="pass tolerance="):
+            config = ServerConfig(surface_tolerance=1e-2)
+        assert config.tolerance == 1e-2
+        assert config.surface_tolerance is None  # folded, not duplicated
+
+    def test_canonical_field_is_silent_and_wins(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            config = ServerConfig(tolerance=5e-3)
+        assert config.tolerance == 5e-3
+        with pytest.warns(DeprecationWarning):
+            both = ServerConfig(tolerance=5e-3, surface_tolerance=1e-1)
+        assert both.tolerance == 5e-3
+
+    def test_tolerance_is_validated(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            ServerConfig(tolerance=-0.5)
+
+
+class TestCliShim:
+    def _parse(self, *argv):
+        from repro.cli import build_parser
+
+        return build_parser().parse_args(list(argv))
+
+    def test_canonical_flag_resolves_silently(self):
+        from repro.cli import _resolve_tolerance
+
+        args = self._parse("serve", "--tolerance", "0.01")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert _resolve_tolerance(args) == 0.01
+
+    def test_deprecated_flag_resolves_with_warning(self):
+        from repro.cli import _resolve_tolerance
+
+        args = self._parse("serve", "--surface-tolerance", "0.01")
+        with pytest.warns(DeprecationWarning, match="--tolerance"):
+            assert _resolve_tolerance(args) == 0.01
+
+    def test_canonical_flag_wins_when_both_are_given(self):
+        from repro.cli import _resolve_tolerance
+
+        args = self._parse(
+            "serve", "--tolerance", "0.005", "--surface-tolerance", "0.1"
+        )
+        with pytest.warns(DeprecationWarning):
+            assert _resolve_tolerance(args) == 0.005

@@ -27,7 +27,7 @@ from tests.surface.conftest import counter_value
 def service(registry, metered_surface):
     """A serial service with the 1-D surface installed and a granted
     service-wide tolerance."""
-    return SwapService(surface=metered_surface, surface_tolerance=1e-2)
+    return SwapService(surface=metered_surface, tolerance=1e-2)
 
 
 class TestChainShape:

@@ -44,7 +44,7 @@ class TestSurfaceCorrupt:
         path, _ = artifact
         service = SwapService(
             surface=str(path),
-            surface_tolerance=1e-2,
+            tolerance=1e-2,
             faults=plan("surface_corrupt"),
         )
         assert service.surface is None  # tier refused, not crashed
@@ -78,7 +78,7 @@ class TestSurfaceIoError:
         before = path.read_bytes()
         service = SwapService(
             surface=str(path),
-            surface_tolerance=1e-2,
+            tolerance=1e-2,
             faults=plan("surface_io_error"),
         )
         assert service.surface is None

@@ -1,8 +1,9 @@
-"""The unified ``repro.api`` facade and the deprecated aliases.
+"""The unified ``repro.api`` facade and the removed aliases.
 
 The facade must be a pure re-routing layer: on default keywords it
-returns results *equal* to the pre-existing per-game entry points, and
-the old top-level names keep working but warn exactly once per process.
+returns results *equal* to the pre-existing per-game entry points. The
+pre-facade top-level names finished their deprecation cycle in v1.2:
+they now fail hard with an ImportError that names the replacement.
 """
 
 from __future__ import annotations
@@ -116,44 +117,41 @@ class TestValidateFacade:
         assert result.analytic == pytest.approx(core_success_rate(params, 2.0))
 
 
-class TestDeprecatedAliases:
-    @pytest.fixture(autouse=True)
-    def _reset_warned(self):
-        saved = set(repro._warned_names)
-        repro._warned_names.clear()
-        yield
-        repro._warned_names.clear()
-        repro._warned_names.update(saved)
+class TestRemovedAliases:
+    @pytest.mark.parametrize(
+        "name",
+        ["solve_swap_game", "solve_collateral_game", "solve_premium_game"],
+    )
+    def test_top_level_access_fails_hard(self, name):
+        with pytest.raises(ImportError, match="repro.api"):
+            getattr(repro, name)
 
-    def test_top_level_names_still_resolve(self, params):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            assert repro.solve_swap_game(params, 2.0) == solve_swap_game(
-                params, 2.0
-            )
-            assert repro.solve_collateral_game(
-                params, 2.0, 0.5
-            ) == solve_collateral_game(params, 2.0, 0.5)
-            assert repro.solve_premium_game(
-                params, 2.0, 0.1
-            ) == solve_premium_game(params, 2.0, 0.1)
+    def test_error_names_the_replacement(self):
+        with pytest.raises(ImportError, match=r"repro\.solve\(params, pstar\)"):
+            repro.solve_swap_game
 
-    def test_each_alias_warns_once(self, params):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            repro.solve_swap_game(params, 2.0)
-            repro.solve_swap_game(params, 2.1)
-            repro.solve_collateral_game(params, 2.0, 0.5)
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 2  # one per distinct alias, not per call
-        assert "repro.solve" in str(deprecations[0].message)
+    def test_from_import_fails_too(self):
+        with pytest.raises(ImportError):
+            from repro import solve_premium_game  # noqa: F401
 
-    def test_core_imports_stay_silent(self, params):
+    def test_dropped_from_all(self):
+        for name in (
+            "solve_swap_game",
+            "solve_collateral_game",
+            "solve_premium_game",
+        ):
+            assert name not in repro.__all__
+
+    def test_unknown_attributes_still_raise_attribute_error(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_a_name
+
+    def test_core_originals_survive_and_stay_silent(self, params):
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             solve_swap_game(params, 2.0)
+            solve_collateral_game(params, 2.0, 0.5)
+            solve_premium_game(params, 2.0, 0.1)
         assert not [
             w for w in caught if issubclass(w.category, DeprecationWarning)
         ]
