@@ -1,0 +1,68 @@
+"""Multi-party cycles and packetized swaps (`repro.swapgraph`).
+
+Walks the X11 experiment end to end:
+* a 3-party cycle A->B->C->A solved as an extensive-form game on a
+  recombining price lattice, with the equilibrium replayed on three
+  simulated chains,
+* the cost of cycle length (success rate falls with every extra leg),
+* packetization of the paper's two-party swap (two packets help,
+  many packets drown in round-trip discounting),
+* the closed-form regression anchor: a paper-shaped spec delegates to
+  the exact solver and matches it to <= 1e-9.
+
+Run: ``python examples/swap_graph.py``
+"""
+
+from repro.api import swap_graph
+from repro.core.parameters import SwapParameters
+from repro.core.solver import solve_swap_game
+from repro.swapgraph import SwapGraphSpec
+
+
+def main() -> None:
+    print("=== A 3-party cycle, solved and replayed on-chain ===")
+    result = swap_graph(
+        SwapGraphSpec.cycle(3), replay=True, replay_paths=300, seed=17
+    )
+    eq = result.equilibrium
+    print(f"mode        : {eq.mode} ({eq.node_count} game nodes, "
+          f"m={eq.n_lattice} lattice factors)")
+    print(f"initiated   : {eq.initiated}")
+    print(f"success rate: {eq.success_rate:.4f}")
+    for name in sorted(eq.utilities):
+        print(f"  U({name}) = {eq.utilities[name]:.4f}")
+    replay = result.replay
+    assert replay is not None
+    verdict = "PASS" if replay.passed else "FAIL"
+    print(f"chain replay: {verdict} -- empirical {replay.empirical_rate:.4f} "
+          f"vs predicted {replay.predicted_rate:.4f} over {replay.n_paths} "
+          f"paths ({replay.mechanical_failures} mechanical failures)")
+
+    print("\n=== Cycle length is expensive ===")
+    for n in (2, 3, 4):
+        eq = swap_graph(SwapGraphSpec.cycle(n), n_lattice=9).equilibrium
+        tag = "initiated" if eq.initiated else "never starts"
+        print(f"  n={n}: SR {eq.success_rate:.4f}  [{tag}]")
+
+    print("\n=== Packetizing the paper's swap (1 h per step) ===")
+    params = SwapParameters.default()
+    for k in (1, 2, 4):
+        spec = SwapGraphSpec.two_party(params, packets=k)
+        if k > 1:
+            spec = spec.replace(step_time=1.0)
+        eq = swap_graph(spec).equilibrium
+        print(f"  k={k}: SR {eq.success_rate:.4f}  [{eq.mode}]")
+    print("(two packets beat one -- smaller stakes per round -- before")
+    print(" round-trip discounting dominates)")
+
+    print("\n=== Closed-form parity (the k=1/n=2 anchor) ===")
+    reference = solve_swap_game(params, pstar=2.0)
+    eq = swap_graph(SwapGraphSpec.two_party(params)).equilibrium
+    drift = abs(eq.success_rate - reference.success_rate)
+    print(f"graph SR {eq.success_rate:.10f} vs paper solver "
+          f"{reference.success_rate:.10f} (|diff| = {drift:.1e})")
+    assert drift <= 1e-9
+
+
+if __name__ == "__main__":
+    main()

@@ -18,7 +18,10 @@ frozen result dataclasses out.
   (:mod:`repro.core.engine`): a whole ``P*`` grid as array kernels,
   returning an :class:`~repro.core.engine.EquilibriumGrid` of aligned
   arrays instead of per-point equilibria;
-* :func:`success_rate` -- just the Eq. (31)/(40) number.
+* :func:`success_rate` -- just the Eq. (31)/(40) number;
+* :func:`swap_graph` -- solve a multi-party / packetized swap graph
+  (:mod:`repro.swapgraph`), optionally replaying the equilibrium on
+  simulated chains, served through the process-wide service.
 
 The pre-facade top-level aliases (``repro.solve_swap_game``,
 ``repro.solve_collateral_game``, ``repro.solve_premium_game``) were
@@ -52,6 +55,7 @@ __all__ = [
     "validate",
     "sweep",
     "success_rate",
+    "swap_graph",
 ]
 
 #: Any frozen equilibrium object the facade can return.
@@ -177,3 +181,40 @@ def success_rate(
     if collateral > 0.0:
         return collateral_success_rate(params, pstar, collateral)
     return _basic_success_rate(params, pstar)
+
+
+def swap_graph(
+    spec,
+    *,
+    n_lattice: Optional[int] = None,
+    replay: bool = False,
+    replay_paths: int = 400,
+    seed: Optional[int] = None,
+):
+    """Solve a k-packet / n-party swap graph, optionally chain-replayed.
+
+    ``spec`` is a :class:`~repro.swapgraph.spec.SwapGraphSpec` (build
+    one with :meth:`SwapGraphSpec.two_party` or
+    :meth:`SwapGraphSpec.cycle`). Routed through the process-wide
+    service, so repeated solves are served from cache and replay seeds
+    derive deterministically from the request key when ``seed=None``.
+
+    Returns
+    -------
+    SwapGraphResult
+        Frozen record with the
+        :class:`~repro.swapgraph.solver.SwapGraphEquilibrium` and,
+        when ``replay=True``, the
+        :class:`~repro.swapgraph.replay.SwapGraphReplay` verdict.
+    """
+    from repro.service.api import default_service
+    from repro.service.requests import SwapGraphRequest
+
+    request = SwapGraphRequest(
+        spec=spec,
+        n_lattice=n_lattice,
+        replay=replay,
+        replay_paths=replay_paths,
+        seed=seed,
+    )
+    return default_service().run_batch([request])[0].unwrap()

@@ -8,6 +8,9 @@ Usage::
     repro-swaps solve --pstar 2.0 [--collateral 0.5]
     repro-swaps sweep --pstars 1.6,2.0,2.4 [--legacy]
     repro-swaps validate --pstar 2.0 --paths 50000
+    repro-swaps graph --parties 3 --replay
+    repro-swaps graph --parties 2 --packets 4 --step-time 1.0
+    repro-swaps graph --spec spec.json --n-lattice 9
     repro-swaps batch requests.jsonl --workers 4 --cache-dir cache
     repro-swaps batch requests.jsonl --metrics-out metrics.prom
     repro-swaps batch requests.jsonl --fault-plan plan.json
@@ -47,6 +50,15 @@ swaps in the sharded topology (:mod:`repro.server.aio`): an asyncio
 router on the bind port consistent-hashing each request's canonical
 key across N replica subprocesses, so every shard's cache stays hot
 for its keyslice.
+
+``graph`` solves a multi-party / packetized swap graph
+(:mod:`repro.swapgraph`) as an extensive-form game: ``--parties N``
+builds an N-party cycle (``--parties 2`` the paper-shaped two-party
+swap), ``--packets K`` splits every leg into K sequential packets, and
+``--spec FILE`` loads an arbitrary :class:`SwapGraphSpec` JSON
+document instead. ``--replay`` re-runs the solved equilibrium strategy
+on simulated chains (:mod:`repro.chain`) and checks the empirical
+success rate against the game-theoretic prediction.
 
 ``warm`` precomputes an equilibrium surface (:mod:`repro.surface`)
 over axes given as repeatable ``--axis name:lo:hi:points`` flags and
@@ -314,6 +326,61 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--collateral", type=float, default=0.0)
     validate.add_argument("--protocol-level", action="store_true")
 
+    graph = sub.add_parser(
+        "graph",
+        parents=[common],
+        help="solve a multi-party / packetized swap graph",
+    )
+    graph.add_argument(
+        "--spec",
+        default=None,
+        metavar="PATH",
+        help="SwapGraphSpec JSON document (overrides --parties/--pstar)",
+    )
+    graph.add_argument(
+        "--parties",
+        type=int,
+        default=2,
+        help="cycle size when --spec is not given (2 = the paper's "
+        "two-party swap)",
+    )
+    graph.add_argument(
+        "--packets",
+        type=int,
+        default=1,
+        help="split every leg into K sequential packets",
+    )
+    graph.add_argument("--pstar", type=float, default=2.0)
+    graph.add_argument(
+        "--collateral",
+        type=float,
+        default=0.0,
+        help="per-party collateral posted at initiation",
+    )
+    graph.add_argument(
+        "--step-time",
+        type=float,
+        default=None,
+        help="hours between decision steps (default: the largest "
+        "confirmation delay)",
+    )
+    graph.add_argument(
+        "--n-lattice",
+        type=int,
+        default=None,
+        help="price-lattice branching factor (default: auto-sized; "
+        "forces lattice mode even for paper-shaped specs)",
+    )
+    graph.add_argument(
+        "--replay",
+        action="store_true",
+        help="replay the equilibrium on simulated chains",
+    )
+    graph.add_argument("--replay-paths", type=int, default=400)
+    graph.add_argument(
+        "--seed", type=int, default=None, help="replay RNG seed"
+    )
+
     backtest = sub.add_parser(
         "backtest",
         parents=[common],
@@ -461,6 +528,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="inject faults per this JSON plan (chaos testing; see repro.faults)",
     )
+    serve.add_argument(
+        "--probe-interval",
+        type=float,
+        default=None,
+        help="sharded tier: actively probe each replica's /readyz every "
+        "N seconds, ejecting/readmitting on the hash ring (default: off)",
+    )
+    serve.add_argument(
+        "--probe-failures",
+        type=int,
+        default=3,
+        help="consecutive probe failures before a replica is ejected",
+    )
     _add_surface_arguments(serve)
 
     warm = sub.add_parser(
@@ -588,6 +668,69 @@ def _add_batch_arguments(batch: argparse.ArgumentParser) -> None:
         help="inject faults per this JSON plan (chaos testing; see repro.faults)",
     )
     _add_surface_arguments(batch)
+
+
+def _cmd_graph(args: argparse.Namespace) -> object:
+    """Solve (and optionally chain-replay) one swap graph."""
+    from repro.api import swap_graph
+    from repro.swapgraph import SwapGraphSpec
+
+    if args.spec is not None:
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except OSError as exc:
+            raise ValueError(f"cannot read {args.spec}: {exc.strerror}") from exc
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{args.spec} is not valid JSON: {exc}") from None
+        spec = SwapGraphSpec.from_dict(document)
+    elif args.parties == 2:
+        spec = SwapGraphSpec.two_party(
+            SwapParameters.default(),
+            pstar=args.pstar,
+            packets=args.packets,
+            collateral=args.collateral,
+        )
+    else:
+        spec = SwapGraphSpec.cycle(
+            args.parties,
+            packets=args.packets,
+            p0=args.pstar,
+            collateral=args.collateral,
+        )
+    if args.step_time is not None:
+        spec = spec.replace(step_time=args.step_time)
+
+    result = swap_graph(
+        spec,
+        n_lattice=args.n_lattice,
+        replay=args.replay,
+        replay_paths=args.replay_paths,
+        seed=args.seed,
+    )
+    if args.json:
+        return result.to_dict()
+    eq = result.equilibrium
+    lines = [
+        f"Swap graph: {len(spec.parties)} parties, {len(spec.edges)} edges, "
+        f"{spec.packets} packet(s)",
+        f"  solver mode   : {eq.mode}"
+        + (f" ({eq.node_count} nodes, m={eq.n_lattice})" if eq.node_count else ""),
+        f"  initiated     : {eq.initiated}",
+        f"  success rate  : {eq.success_rate:.4f} (conditional on initiation)",
+    ]
+    for name in sorted(eq.utilities):
+        lines.append(f"  utility {name:<6}: {eq.utilities[name]:.4f}")
+    if result.replay is not None:
+        replay = result.replay
+        verdict = "PASS" if replay.passed else "MISMATCH"
+        lines.append(
+            f"  chain replay  : {verdict} -- empirical "
+            f"{replay.empirical_rate:.4f} vs predicted "
+            f"{replay.predicted_rate:.4f} over {replay.n_paths} paths "
+            f"({replay.mechanical_failures} mechanical failures)"
+        )
+    return "\n".join(lines)
 
 
 def _cmd_backtest(args: argparse.Namespace) -> str:
@@ -778,6 +921,8 @@ def _cmd_serve(args: argparse.Namespace) -> CommandOutcome:
         surface=args.surface,
         tolerance=_resolve_tolerance(args),
         replicas=args.replicas,
+        probe_interval=args.probe_interval,
+        probe_failures=args.probe_failures,
     )
     status = serve(config)
     return status, {"ok": status == 0, "drained": status == 0}
@@ -865,6 +1010,8 @@ def _dispatch(args: argparse.Namespace) -> CommandOutcome:
         return 0, _cmd_sweep(args)
     if args.command == "validate":
         return 0, _cmd_validate(args)
+    if args.command == "graph":
+        return 0, _cmd_graph(args)
     if args.command == "backtest":
         return 0, _cmd_backtest(args)
     if args.command == "market":

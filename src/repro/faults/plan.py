@@ -42,6 +42,11 @@ kind                injected behaviour (hook site)
 ``replica_down``      the sharded router treats the picked replica as
                       dead and heals by re-routing to the next ring
                       node (``server.aio``; key = replica name)
+``swapgraph_error``   a swap-graph request fails with a typed
+                      ``SolveFailedError`` before dispatch
+                      (``SwapService.run_batch``)
+``swapgraph_slow``    a swap-graph request stalls ``delay`` seconds at
+                      dispatch (``SwapService.run_batch``)
 ==================  ====================================================
 """
 
@@ -67,6 +72,8 @@ FAULT_KINDS: Tuple[str, ...] = (
     "surface_corrupt",
     "surface_io_error",
     "replica_down",
+    "swapgraph_error",
+    "swapgraph_slow",
 )
 
 

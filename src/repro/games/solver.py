@@ -2,13 +2,25 @@
 
 :func:`solve_game` computes, for every node, the expected payoff vector
 under subgame-perfect play: at a :class:`DecisionNode` the moving
-player picks the action maximising *their own* expected payoff (ties
-broken by the first action in insertion order, making results
-deterministic); at a :class:`ChanceNode` payoffs are averaged; at a
-:class:`TerminalNode` they are read off.
+player picks the action maximising *their own* expected payoff; at a
+:class:`ChanceNode` payoffs are averaged; at a :class:`TerminalNode`
+they are read off. Per-action ``rewards`` (immediate flows) are added
+to the subtree value an action leads to before comparison.
 
-The traversal is an explicit post-order stack, so lattice games with
-hundreds of thousands of nodes solve without recursion issues.
+Ties in the player's own value are broken *order-independently*: the
+canonical :data:`~repro.core.equilibrium.INDIFFERENT_ACTION` (``"stop"``)
+wins if it is among the maximisers -- the paper's best responses
+(Eqs. (19), (24), (30)) all require a strict improvement to continue --
+and otherwise the lexicographically smallest action label wins. The
+solved values and policies are therefore invariant under permutation of
+the action insertion order (property-tested in
+``tests/games/test_random_trees.py``).
+
+The traversal is an explicit post-order stack with memoised node
+values, so lattice games with hundreds of thousands of nodes solve
+without recursion issues and *recombining* games expressed as DAGs
+(shared continuation subtrees, :mod:`repro.swapgraph`) are solved in
+time linear in the number of distinct nodes.
 """
 
 from __future__ import annotations
@@ -16,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Mapping, Tuple
 
+from repro.core.equilibrium import INDIFFERENT_ACTION
 from repro.games.tree import ChanceNode, DecisionNode, GameNode, TerminalNode
 
 __all__ = ["SolvedGame", "solve_game"]
@@ -60,8 +73,24 @@ def _children(node: GameNode) -> Tuple[GameNode, ...]:
     return ()
 
 
+def _breaks_tie(action: str, incumbent: str) -> bool:
+    """Whether ``action`` displaces ``incumbent`` at equal own value.
+
+    The indifference convention first (:data:`INDIFFERENT_ACTION` beats
+    everything else), then lexicographic order -- a total order on
+    actions, so the winner does not depend on insertion order.
+    """
+    if action == incumbent:
+        return False
+    if incumbent == INDIFFERENT_ACTION:
+        return False
+    if action == INDIFFERENT_ACTION:
+        return True
+    return action < incumbent
+
+
 def solve_game(root: GameNode) -> SolvedGame:
-    """Backward induction over the whole tree (iterative post-order)."""
+    """Backward induction over the whole game (iterative post-order)."""
     values: Dict[int, Dict[str, float]] = {}
     policy: Dict[int, str] = {}
 
@@ -86,11 +115,22 @@ def solve_game(root: GameNode) -> SolvedGame:
             best_own = float("-inf")
             for action, child in node.actions.items():
                 child_value = values[id(child)]
-                own = child_value.get(node.player, 0.0)
-                if own > best_own:
+                flows = node.rewards.get(action) if node.rewards else None
+                if flows:
+                    combined = dict(child_value)
+                    for player, flow in flows.items():
+                        combined[player] = combined.get(player, 0.0) + flow
+                else:
+                    combined = child_value
+                own = combined.get(node.player, 0.0)
+                if own > best_own or (
+                    own == best_own
+                    and best_action is not None
+                    and _breaks_tie(action, best_action)
+                ):
                     best_own = own
                     best_action = action
-                    best_value = dict(child_value)
+                    best_value = dict(combined)
             values[id(node)] = best_value
             policy[id(node)] = best_action  # type: ignore[assignment]
         else:  # ChanceNode

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterator, Mapping, Sequence, Tuple, Union
+from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "GameNode",
@@ -53,17 +53,40 @@ class TerminalNode:
 
 @dataclass(frozen=True)
 class DecisionNode:
-    """``player`` chooses one of ``actions`` (label -> child)."""
+    """``player`` chooses one of ``actions`` (label -> child).
+
+    ``rewards`` optionally attaches an immediate payoff flow to an
+    action: ``rewards[action][player]`` is *added* to the subtree value
+    the action leads to. This is the standard "rewards on edges"
+    generalisation of extensive-form games; it lets Markov-structured
+    games (the swap-graph lattices) share identical continuation
+    subtrees as a DAG while still booking the cash flows that occur at
+    the decision itself. Actions without an entry carry no flow.
+    """
 
     player: str
     actions: Mapping[str, "GameNode"]
     label: str = ""
+    rewards: Optional[Mapping[str, Mapping[str, float]]] = None
 
     def __post_init__(self) -> None:
         if not self.actions:
             raise GameValidationError(f"decision node {self.label!r} has no actions")
         if not self.player:
             raise GameValidationError("decision node needs a player name")
+        if self.rewards is not None:
+            for action, flows in self.rewards.items():
+                if action not in self.actions:
+                    raise GameValidationError(
+                        f"reward for unknown action {action!r} "
+                        f"at node {self.label!r}"
+                    )
+                for player, value in flows.items():
+                    if not math.isfinite(value):
+                        raise GameValidationError(
+                            f"non-finite reward {value} for player {player!r} "
+                            f"on action {action!r} at node {self.label!r}"
+                        )
 
 
 @dataclass(frozen=True)
@@ -95,10 +118,18 @@ GameNode = Union[DecisionNode, ChanceNode, TerminalNode]
 
 
 def iter_nodes(root: GameNode) -> Iterator[GameNode]:
-    """Pre-order iteration over all nodes (iterative)."""
+    """Pre-order iteration over all *distinct* nodes (iterative).
+
+    Shared subtrees (lattice DAGs) are yielded once, so counts stay
+    meaningful for recombining games.
+    """
     stack = [root]
+    seen = set()
     while stack:
         node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
         yield node
         if isinstance(node, DecisionNode):
             stack.extend(node.actions.values())

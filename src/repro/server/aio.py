@@ -27,6 +27,17 @@ that would inherit the keyslice anyway -- counted in
 ``repro_router_reroutes_total``. Only when every replica fails does
 the client see ``503 no_replica`` (retryable).
 
+With ``config.probe_interval`` set the router also probes each
+replica's ``/readyz`` *actively* on that cadence: after
+``config.probe_failures`` consecutive failures the replica is ejected
+from the hash ring (its keyslice re-homes wholesale, so traffic stops
+paying the breaker's discovery latency), and the next successful probe
+readmits it. Every probe result lands in
+``repro_router_probe_total{replica,outcome}`` with outcomes ``ok``,
+``fail``, ``eject`` and ``readmit``. The passive breaker stays on
+regardless -- probes catch replicas that die *between* requests,
+breakers catch ones that fail *during* them.
+
 Byte parity with the threaded server is a design invariant, not an
 aspiration: on-path requests are answered by an unmodified
 :class:`~repro.server.app.SwapServer` and relayed verbatim, and every
@@ -78,6 +89,7 @@ from repro.server.wire import (
 )
 from repro.service.errors import ServiceErrorInfo
 from repro.service.keys import KEY_VERSION
+from repro.swapgraph.metrics import observe_graph_request
 
 __all__ = ["RouterServer", "serve_sharded"]
 
@@ -283,8 +295,19 @@ class RouterServer:
         self._host, self._port = sockname[0], sockname[1]
         self._stop_future = self._loop.create_future()
         self._ready.set()
-        async with self._server:
-            await self._stop_future
+        probe_task: Optional[asyncio.Task] = None
+        if self.config.probe_interval is not None:
+            probe_task = self._loop.create_task(self._probe_loop())
+        try:
+            async with self._server:
+                await self._stop_future
+        finally:
+            if probe_task is not None:
+                probe_task.cancel()
+                try:
+                    await probe_task
+                except asyncio.CancelledError:
+                    pass
 
     def shutdown(self, drain: bool = True) -> bool:
         """Stop accepting, drain in-flight proxies, stop the replicas.
@@ -525,6 +548,11 @@ class RouterServer:
                 self.router_metrics.rejected.inc(reason="no_replica")
                 return await send_error(no_replica_error(len(self._names)))
             status, content_type, extra, payload = outcome
+            if path == "/v1/swap-graph" and status == 200:
+                # the solve itself runs in a replica subprocess whose
+                # registry this /metrics cannot see; count the proxied
+                # request here so the family exports on the router too
+                observe_graph_request("router")
             return await send(
                 status, payload, content_type=content_type, extra=extra
             )
@@ -555,6 +583,86 @@ class RouterServer:
                 }
             ),
         )
+
+    # -- active health probes ------------------------------------------- #
+
+    async def _probe_once(self, link: _ReplicaLink) -> bool:
+        """One ``GET /readyz`` against one replica; True iff 200."""
+        timeout = min(self.config.probe_interval or 2.0, 2.0)
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(link.host, link.port),
+                timeout=timeout,
+            )
+        except (OSError, asyncio.TimeoutError):
+            return False
+        try:
+            writer.write(
+                f"GET /readyz HTTP/1.1\r\n"
+                f"Host: {link.host}:{link.port}\r\n"
+                f"Connection: close\r\n\r\n".encode("latin-1")
+            )
+            await writer.drain()
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=timeout
+            )
+            status = int(head.split(b"\r\n", 1)[0].split(b" ", 2)[1])
+            return status == 200
+        except (
+            OSError,
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            ValueError,
+            IndexError,
+        ):
+            return False
+        finally:
+            writer.close()
+
+    async def _probe_loop(self) -> None:
+        """Actively probe every replica; eject/readmit on the ring.
+
+        Runs on the event loop, so ring mutation needs no locking --
+        the routed proxy only reads the ring from the same loop.
+        """
+        interval = self.config.probe_interval
+        threshold = self.config.probe_failures
+        failures = {name: 0 for name in self._names}
+        ejected: set = set()
+        while not self.draining:
+            for name in self._names:
+                ok = await self._probe_once(self._links[name])
+                if ok:
+                    failures[name] = 0
+                    self.router_metrics.probes.inc(
+                        replica=name, outcome="ok"
+                    )
+                    if name in ejected:
+                        ejected.discard(name)
+                        self.ring.add(name)
+                        self.router_metrics.probes.inc(
+                            replica=name, outcome="readmit"
+                        )
+                        self.router_metrics.replicas.set(len(self.ring))
+                        get_logger().log("router_readmit", replica=name)
+                else:
+                    failures[name] += 1
+                    self.router_metrics.probes.inc(
+                        replica=name, outcome="fail"
+                    )
+                    if failures[name] >= threshold and name not in ejected:
+                        ejected.add(name)
+                        self.ring.remove(name)
+                        self.router_metrics.probes.inc(
+                            replica=name, outcome="eject"
+                        )
+                        self.router_metrics.replicas.set(len(self.ring))
+                        get_logger().log(
+                            "router_eject",
+                            replica=name,
+                            failures=failures[name],
+                        )
+            await asyncio.sleep(interval)
 
     # -- the routed proxy ----------------------------------------------- #
 

@@ -9,6 +9,8 @@ method    path           behaviour
 ========  =============  =================================================
 POST      ``/v1/solve``     one solve request (JSON body) -> one result
 POST      ``/v1/validate``  one Monte Carlo validation -> one result
+POST      ``/v1/swap-graph``  one multi-party / packetized swap-graph
+                            solve (optional chain replay) -> one result
 POST      ``/v1/batch``     JSONL in/out, the ``repro-swaps batch`` format
 GET       ``/v1/sweep``     ``?pstars=1.8,2.0&collateral=0&tolerance=1e-3``
                             -> SR per point (``tolerance`` opts into
@@ -90,6 +92,7 @@ __all__ = ["AdmissionGate", "SwapServer", "serve"]
 _API_ROUTES = {
     ("POST", "/v1/solve"): "_api_solve",
     ("POST", "/v1/validate"): "_api_validate",
+    ("POST", "/v1/swap-graph"): "_api_swap_graph",
     ("POST", "/v1/batch"): "_api_batch",
     ("GET", "/v1/sweep"): "_api_sweep",
 }
@@ -379,6 +382,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _api_validate(self) -> None:
         self._single_request("validate")
+
+    def _api_swap_graph(self) -> None:
+        self._single_request("swap_graph")
 
     def _single_request(self, kind: str) -> None:
         data = self._json_body()

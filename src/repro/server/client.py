@@ -72,6 +72,8 @@ __all__ = [
 
 # the idempotent single-shot routes a hedge may duplicate safely;
 # /v1/batch is excluded (duplicating a whole batch doubles real work)
+# and /v1/swap-graph too: a lattice solve can run whole seconds of CPU,
+# so duplicating it burns a replica core for no tail-latency win
 _HEDGEABLE_PATHS = ("/v1/solve", "/v1/validate", "/v1/sweep")
 
 
@@ -675,6 +677,35 @@ class SwapClient:
             payload["params"] = params
         reply = ResultReply.from_dict(
             self._json("POST", "/v1/validate", payload)
+        )
+        return decode_result(reply.result)
+
+    def swap_graph(
+        self,
+        spec: dict,
+        n_lattice: Optional[int] = None,
+        replay: bool = False,
+        replay_paths: int = 400,
+        seed: Optional[int] = None,
+    ):
+        """``POST /v1/swap-graph``; returns the decoded
+        :class:`~repro.swapgraph.result.SwapGraphResult`.
+
+        ``spec`` is the :meth:`SwapGraphSpec.to_dict` form (build one
+        with ``SwapGraphSpec.cycle(3).to_dict()`` or hand-written
+        JSON); pass ``replay=True`` to also replay the equilibrium on
+        simulated chains server-side.
+        """
+        payload: dict = {"kind": "swap_graph", "spec": spec}
+        if n_lattice is not None:
+            payload["n_lattice"] = n_lattice
+        if replay:
+            payload["replay"] = True
+            payload["replay_paths"] = replay_paths
+        if seed is not None:
+            payload["seed"] = seed
+        reply = ResultReply.from_dict(
+            self._json("POST", "/v1/swap-graph", payload)
         )
         return decode_result(reply.result)
 

@@ -89,6 +89,14 @@ class ServerConfig:
         interpolation; ``None`` keeps tolerance-less requests exact.
         (``surface_tolerance`` is the pre-v1.2 spelling, kept for one
         release behind a warn-once shim.)
+    probe_interval:
+        Sharded tier only: seconds between active ``/readyz`` probes of
+        each replica. ``None`` (default) disables active probing and
+        leaves health detection to the passive per-replica circuit
+        breaker alone.
+    probe_failures:
+        Consecutive probe failures after which a replica is ejected
+        from the hash ring (readmitted on the next probe success).
     """
 
     host: str = "127.0.0.1"
@@ -108,6 +116,8 @@ class ServerConfig:
     surface: Optional[str] = None
     tolerance: Optional[float] = None
     surface_tolerance: Optional[float] = None
+    probe_interval: Optional[float] = None
+    probe_failures: int = 3
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "port", int(self.port))
@@ -144,6 +154,16 @@ class ServerConfig:
         if replicas < 0:
             raise ValueError(f"replicas must be >= 0, got {replicas}")
         object.__setattr__(self, "replicas", replicas)
+        object.__setattr__(
+            self,
+            "probe_interval",
+            _check_positive_seconds("probe_interval", self.probe_interval),
+        )
+        object.__setattr__(
+            self,
+            "probe_failures",
+            _check_positive_int("probe_failures", self.probe_failures),
+        )
         if self.surface_tolerance is not None:
             warn_once(
                 "ServerConfig.surface_tolerance",

@@ -133,9 +133,17 @@ class RouterMetrics:
             help="Per-replica breaker state (0 closed, 1 half-open, 2 open).",
             labelnames=("replica",),
         )
+        self.probes = registry.counter(
+            "repro_router_probe_total",
+            help="Active /readyz probe results, by replica and outcome "
+            "(ok, fail, eject, readmit).",
+            labelnames=("replica", "outcome"),
+        )
         for name in replica_names:
             self.requests.inc(0, replica=name)
             self.replica_state.set(0, replica=name)
+            for outcome in ("ok", "fail", "eject", "readmit"):
+                self.probes.inc(0, replica=name, outcome=outcome)
         for reason in ("replica_down", "connect_failed", "proxy_failed"):
             self.reroutes.inc(0, reason=reason)
         for reason in ("queue_full", "body_too_large", "draining", "deadline",

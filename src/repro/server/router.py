@@ -142,9 +142,10 @@ def _digest_key(prefix: str, payload: bytes) -> str:
 def routing_key(method: str, target: str, body: bytes) -> str:
     """The key one HTTP request is consistent-hashed by.
 
-    * ``POST /v1/solve`` / ``/v1/validate``: the service-layer
-      canonical key of the parsed request (cache-aligned routing);
-      un-parseable bodies fall back to a digest of the raw bytes.
+    * ``POST /v1/solve`` / ``/v1/validate`` / ``/v1/swap-graph``: the
+      service-layer canonical key of the parsed request (cache-aligned
+      routing); un-parseable bodies fall back to a digest of the raw
+      bytes.
     * ``GET /v1/sweep``: a digest of the normalised query parameters
       (a repeated sweep re-lands on the shard whose chain served it).
     * ``POST /v1/batch``: a digest of the body (a batch is one unit;
@@ -154,8 +155,12 @@ def routing_key(method: str, target: str, body: bytes) -> str:
     """
     parts = urlsplit(target)
     path = parts.path
-    if path in ("/v1/solve", "/v1/validate"):
-        kind = "solve" if path == "/v1/solve" else "validate"
+    if path in ("/v1/solve", "/v1/validate", "/v1/swap-graph"):
+        kind = {
+            "/v1/solve": "solve",
+            "/v1/validate": "validate",
+            "/v1/swap-graph": "swap_graph",
+        }[path]
         try:
             data = json.loads(body.decode("utf-8"))
             if not isinstance(data, dict):

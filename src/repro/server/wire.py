@@ -9,7 +9,8 @@ the same types, so old and new servers provably speak one format.
 
 Success replies:
 
-* :class:`ResultReply` -- ``POST /v1/solve`` and ``POST /v1/validate``
+* :class:`ResultReply` -- ``POST /v1/solve``, ``POST /v1/validate``
+  and ``POST /v1/swap-graph``
   (``{"ok": true, "kind", "key", "cached", "result"}``);
 * :class:`SweepPointReply` / :class:`SweepReply` -- ``GET /v1/sweep``
   (``{"ok": true, "count", "results": [...]}`` with one point record

@@ -4,8 +4,8 @@ This package turns the paper's one-shot solvers into a serveable
 engine. The pieces, bottom-up:
 
 * :mod:`repro.service.requests` -- :class:`SolveRequest` /
-  :class:`ValidateRequest`, the two request kinds, with exact
-  dict round-trips;
+  :class:`ValidateRequest` / :class:`SwapGraphRequest`, the three
+  request kinds, with exact dict round-trips;
 * :mod:`repro.service.keys` -- canonical versioned request hashing
   and per-request seed derivation;
 * :mod:`repro.service.serialize` -- JSON codecs for the result
@@ -45,7 +45,12 @@ from repro.service.errors import (
 from repro.service.executor import ValidationResult, WorkerPool, execute_request
 from repro.service.jsonl import render_records, serve_lines
 from repro.service.keys import KEY_VERSION, derive_seed, request_key
-from repro.service.requests import SolveRequest, ValidateRequest, parse_request
+from repro.service.requests import (
+    SolveRequest,
+    SwapGraphRequest,
+    ValidateRequest,
+    parse_request,
+)
 from repro.service.sources import (
     AnswerSource,
     CacheSource,
@@ -59,6 +64,7 @@ from repro.service.serialize import decode_result, encode_result
 __all__ = [
     "BatchItem",
     "SwapService",
+    "SwapGraphRequest",
     "default_service",
     "CacheStats",
     "LRUCache",

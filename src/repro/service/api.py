@@ -48,11 +48,18 @@ from repro.service.errors import (
     RequestValidationError,
     ServiceError,
     ServiceErrorInfo,
+    SolveFailedError,
 )
 from repro.service.executor import Result, WorkerPool
-from repro.service.keys import derive_seed, request_key
-from repro.service.requests import Request, SolveRequest, ValidateRequest
+from repro.service.keys import canonical_payload, derive_seed, request_key
+from repro.service.requests import (
+    Request,
+    SolveRequest,
+    SwapGraphRequest,
+    ValidateRequest,
+)
 from repro.service.sources import Slot, SourceChain, SweepContext
+from repro.swapgraph.metrics import observe_graph_request
 
 __all__ = ["BatchItem", "SwapService", "default_service"]
 
@@ -266,12 +273,23 @@ class SwapService:
                     from_cache.add(key)
                     continue
                 seed = None
-                if isinstance(request, ValidateRequest):
+                if isinstance(request, (ValidateRequest, SwapGraphRequest)):
                     seed = (
                         request.seed
                         if request.seed is not None
                         else derive_seed(key)
                     )
+                if isinstance(request, SwapGraphRequest) and self.faults.enabled:
+                    # chaos hooks for the swap-graph path, decided here
+                    # in the dispatching process (like worker faults)
+                    # against the request's canonical payload
+                    payload = canonical_payload(request)
+                    if self.faults.fires("swapgraph_error", payload):
+                        resolved[key] = SolveFailedError(
+                            "injected swapgraph_error"
+                        )
+                        continue
+                    self.faults.sleep("swapgraph_slow", payload)
                 jobs.append((key, request, seed))
                 scheduled.add(key)
         registry.counter(
@@ -300,31 +318,32 @@ class SwapService:
                     self._cache.put(key, outcome)
 
         items: List[BatchItem] = []
-        for key in keys:
+        for key, request in zip(keys, requests):
             outcome = resolved[key]
             if isinstance(outcome, ServiceError):
-                items.append(
-                    BatchItem(
-                        key=key,
-                        ok=False,
-                        error=ServiceErrorInfo.from_exception(outcome),
-                        source="scalar",
-                    )
+                item = BatchItem(
+                    key=key,
+                    ok=False,
+                    error=ServiceErrorInfo.from_exception(outcome),
+                    source="scalar",
                 )
             else:
-                items.append(
-                    BatchItem(
-                        key=key,
-                        ok=True,
-                        value=outcome,
-                        cached=key in from_cache,
-                        source=(
-                            "surface"
-                            if key in from_surface
-                            else "cache" if key in from_cache else "scalar"
-                        ),
-                    )
+                item = BatchItem(
+                    key=key,
+                    ok=True,
+                    value=outcome,
+                    cached=key in from_cache,
+                    source=(
+                        "surface"
+                        if key in from_surface
+                        else "cache" if key in from_cache else "scalar"
+                    ),
                 )
+            if isinstance(request, SwapGraphRequest):
+                # counted here, in the serving process: solver-side
+                # metrics from pool workers never reach the exporter
+                observe_graph_request(item.source or "scalar")
+            items.append(item)
         return items
 
     def solve_batch(self, requests: Sequence[SolveRequest]) -> List[BatchItem]:
@@ -437,6 +456,24 @@ class SwapService:
         if params is None:
             params = SwapParameters.default()
         request = SolveRequest(pstar=pstar, collateral=collateral, params=params)
+        return self.run_batch([request])[0].unwrap()
+
+    def swap_graph(
+        self,
+        spec,
+        n_lattice: Optional[int] = None,
+        replay: bool = False,
+        replay_paths: int = 400,
+        seed: Optional[int] = None,
+    ) -> Result:
+        """Solve one swap graph through the cache (raises on failure)."""
+        request = SwapGraphRequest(
+            spec=spec,
+            n_lattice=n_lattice,
+            replay=replay,
+            replay_paths=replay_paths,
+            seed=seed,
+        )
         return self.run_batch([request])[0].unwrap()
 
     def success_rate(

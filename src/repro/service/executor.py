@@ -69,8 +69,16 @@ from repro.service.errors import (
     SolveFailedError,
     WorkerCrashedError,
 )
-from repro.service.requests import Request, SolveRequest, ValidateRequest
+from repro.service.requests import (
+    Request,
+    SolveRequest,
+    SwapGraphRequest,
+    ValidateRequest,
+)
 from repro.simulation.montecarlo import MonteCarloResult, empirical_success_rate
+from repro.swapgraph.replay import replay_swap_graph
+from repro.swapgraph.result import SwapGraphResult
+from repro.swapgraph.solver import solve_swap_graph
 
 __all__ = ["ValidationResult", "Result", "execute_request", "WorkerPool"]
 
@@ -89,7 +97,9 @@ class ValidationResult:
         return self.empirical.contains(self.analytic)
 
 
-Result = Union[SwapEquilibrium, CollateralEquilibrium, ValidationResult]
+Result = Union[
+    SwapEquilibrium, CollateralEquilibrium, ValidationResult, SwapGraphResult
+]
 
 
 def execute_request(request: Request, seed: Optional[int] = None) -> Result:
@@ -129,6 +139,18 @@ def execute_request(request: Request, seed: Optional[int] = None) -> Result:
             return ValidationResult(
                 empirical=empirical, analytic=analytic, seed_used=seed
             )
+        if isinstance(request, SwapGraphRequest):
+            equilibrium = solve_swap_graph(
+                request.spec, n_lattice=request.n_lattice
+            )
+            replay = None
+            if request.replay:
+                if seed is None:
+                    seed = request.seed if request.seed is not None else 0
+                replay = replay_swap_graph(
+                    equilibrium, n_paths=request.replay_paths, seed=seed
+                )
+            return SwapGraphResult(equilibrium=equilibrium, replay=replay)
     except ServiceError:
         raise
     except Exception as exc:  # solver/model failure, not a service bug

@@ -37,7 +37,11 @@ __all__ = ["KEY_VERSION", "canonical_payload", "request_key", "derive_seed"]
 # ``tolerance`` field (part of the canonical payload) and tolerant
 # requests may be answered by certified interpolation, so v2 entries
 # keyed on the old schema must miss.
-KEY_VERSION = 3
+# v4: the ``swap_graph`` request kind joined the schema (its spec and
+# replay knobs are part of the canonical payload), and seed derivation
+# now covers swap-graph replays; keys from the three-kind schema must
+# miss rather than alias the new request space.
+KEY_VERSION = 4
 
 
 def canonical_payload(request: Request) -> str:

@@ -1,14 +1,17 @@
 """Request types accepted by :class:`~repro.service.api.SwapService`.
 
-Two request kinds cover the library's whole analytic surface:
+Three request kinds cover the library's whole analytic surface:
 
 * :class:`SolveRequest` -- solve one swap game (basic for ``Q = 0``,
   the Section IV collateral game for ``Q > 0``) and return the full
   equilibrium object;
 * :class:`ValidateRequest` -- run the Monte Carlo validation of the
-  analytic success rate at one ``(params, P*, Q)`` point.
+  analytic success rate at one ``(params, P*, Q)`` point;
+* :class:`SwapGraphRequest` -- solve a multi-party / packetized swap
+  graph (:mod:`repro.swapgraph`), optionally replaying the equilibrium
+  on simulated chains.
 
-Both are frozen dataclasses with an exact ``to_dict``/``from_dict``
+All are frozen dataclasses with an exact ``to_dict``/``from_dict``
 round-trip, so they can be hashed into canonical cache keys
 (:mod:`repro.service.keys`), shipped to pool workers, and read from
 JSON-lines batch files.
@@ -22,8 +25,15 @@ from typing import Dict, Optional, Union
 
 from repro.core.parameters import SwapParameters
 from repro.service.errors import RequestValidationError
+from repro.swapgraph.spec import SwapGraphSpec
 
-__all__ = ["SolveRequest", "ValidateRequest", "Request", "parse_request"]
+__all__ = [
+    "SolveRequest",
+    "ValidateRequest",
+    "SwapGraphRequest",
+    "Request",
+    "parse_request",
+]
 
 
 def _check_pstar(pstar: float) -> float:
@@ -131,7 +141,58 @@ class ValidateRequest:
         }
 
 
-Request = Union[SolveRequest, ValidateRequest]
+@dataclass(frozen=True)
+class SwapGraphRequest:
+    """Solve a swap graph, optionally with a chain-substrate replay.
+
+    ``n_lattice=None`` lets the solver pick: closed-form delegation for
+    the paper-shaped ``k=1, n=2`` case, otherwise an adaptive lattice
+    within the state budget. ``replay=True`` re-runs the equilibrium
+    strategy on one simulated chain per edge (``replay_paths``
+    episodes); ``seed=None`` derives a deterministic replay seed from
+    the request's canonical key, like :class:`ValidateRequest`.
+    """
+
+    spec: SwapGraphSpec
+    n_lattice: Optional[int] = None
+    replay: bool = False
+    replay_paths: int = 400
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.spec, SwapGraphSpec):
+            raise RequestValidationError(
+                f"spec must be a SwapGraphSpec, got {type(self.spec).__name__}"
+            )
+        if self.n_lattice is not None:
+            n_lattice = int(self.n_lattice)
+            if n_lattice < 3:
+                raise RequestValidationError(
+                    f"n_lattice must be >= 3, got {n_lattice}"
+                )
+            object.__setattr__(self, "n_lattice", n_lattice)
+        object.__setattr__(self, "replay", bool(self.replay))
+        if int(self.replay_paths) < 1:
+            raise RequestValidationError(
+                f"replay_paths must be >= 1, got {self.replay_paths}"
+            )
+        object.__setattr__(self, "replay_paths", int(self.replay_paths))
+        if self.seed is not None:
+            object.__setattr__(self, "seed", int(self.seed))
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation (the batch-file line format)."""
+        return {
+            "kind": "swap_graph",
+            "spec": self.spec.to_dict(),
+            "n_lattice": self.n_lattice,
+            "replay": self.replay,
+            "replay_paths": self.replay_paths,
+            "seed": self.seed,
+        }
+
+
+Request = Union[SolveRequest, ValidateRequest, SwapGraphRequest]
 
 
 def _parse_params(raw: object) -> SwapParameters:
@@ -194,8 +255,30 @@ def parse_request(data: Dict[str, object]) -> Request:
                 protocol_level=data.get("protocol_level", False),  # type: ignore[arg-type]
                 params=_parse_params(data.get("params")),
             )
+        if kind == "swap_graph":
+            known_graph = {
+                "kind", "spec", "n_lattice", "replay", "replay_paths", "seed",
+            }
+            unknown = set(data) - known_graph
+            if unknown:
+                raise RequestValidationError(
+                    f"unknown swap_graph fields {sorted(unknown)}"
+                )
+            raw_spec = data.get("spec")
+            if not isinstance(raw_spec, dict):
+                raise RequestValidationError(
+                    "swap_graph requests need a 'spec' object"
+                )
+            return SwapGraphRequest(
+                spec=SwapGraphSpec.from_dict(raw_spec),
+                n_lattice=data.get("n_lattice"),  # type: ignore[arg-type]
+                replay=data.get("replay", False),  # type: ignore[arg-type]
+                replay_paths=data.get("replay_paths", 400),  # type: ignore[arg-type]
+                seed=data.get("seed"),  # type: ignore[arg-type]
+            )
     except (TypeError, ValueError) as exc:
         raise RequestValidationError(str(exc)) from exc
     raise RequestValidationError(
-        f"unknown request kind {kind!r} (expected 'solve' or 'validate')"
+        f"unknown request kind {kind!r} "
+        "(expected 'solve', 'validate' or 'swap_graph')"
     )

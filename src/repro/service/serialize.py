@@ -22,6 +22,7 @@ from repro.core.strategy import AliceStrategy, BobStrategy
 from repro.service.executor import Result, ValidationResult
 from repro.simulation.montecarlo import MonteCarloResult
 from repro.stochastic.rootfind import IntervalUnion
+from repro.swapgraph.result import SwapGraphResult
 
 __all__ = ["encode_result", "decode_result"]
 
@@ -82,6 +83,10 @@ def encode_result(result: Result) -> Dict[str, object]:
             "success_rate": result.success_rate,
             "initiated": result.initiated,
         }
+    if isinstance(result, SwapGraphResult):
+        payload = result.to_dict()
+        payload["kind"] = "swap_graph_result"
+        return payload
     if isinstance(result, ValidationResult):
         empirical = result.empirical
         return {
@@ -153,6 +158,8 @@ def decode_result(data: Dict[str, object]) -> Result:
             ),
             bob_strategy=BobStrategy(t2_region=region),
         )
+    if kind == "swap_graph_result":
+        return SwapGraphResult.from_dict(data)
     if kind == "validation":
         empirical = MonteCarloResult(
             pstar=float(data["pstar"]),  # type: ignore[arg-type]

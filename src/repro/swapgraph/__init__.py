@@ -1,0 +1,54 @@
+"""Multi-party and packetized swaps as extensive-form games.
+
+The paper analyzes one two-party HTLC swap; this package generalises
+its model to k-packet and n-party swap *graphs* (ROADMAP item 4,
+following Dubovitskaya et al., arXiv:2103.02056, and Clark et al.,
+arXiv:2403.03906) on the existing substrates:
+
+* :mod:`repro.swapgraph.spec` -- the typed :class:`SwapGraphSpec`;
+* :mod:`repro.swapgraph.model` / :mod:`repro.swapgraph.build` -- the
+  paper-convention payoff flows, unrolled into a recombining
+  :mod:`repro.games` DAG under the shared price lattice;
+* :mod:`repro.swapgraph.solver` -- backward induction to per-step
+  continuation thresholds, per-party utilities and the graph-level
+  success rate, with closed-form delegation for the degenerate
+  ``k=1, n=2`` paper game;
+* :mod:`repro.swapgraph.replay` -- protocol-level validation of the
+  equilibrium strategy on ``n`` simulated chains (:mod:`repro.chain`).
+
+Served end-to-end: ``repro.service`` (kind ``swap_graph``),
+``POST /v1/swap-graph`` on both server stacks, ``SwapClient.swap_graph``
+and the ``repro-swaps graph`` CLI subcommand.
+"""
+
+from repro.swapgraph.build import (
+    SwapGraphGame,
+    auto_lattice_size,
+    build_swap_graph_game,
+)
+from repro.swapgraph.model import GameStep, build_steps
+from repro.swapgraph.replay import SwapGraphReplay, replay_swap_graph
+from repro.swapgraph.result import SwapGraphResult
+from repro.swapgraph.solver import (
+    StepPolicy,
+    SwapGraphEquilibrium,
+    solve_swap_graph,
+)
+from repro.swapgraph.spec import GraphEdge, GraphParty, SwapGraphSpec
+
+__all__ = [
+    "GraphParty",
+    "GraphEdge",
+    "SwapGraphSpec",
+    "GameStep",
+    "build_steps",
+    "SwapGraphGame",
+    "build_swap_graph_game",
+    "auto_lattice_size",
+    "StepPolicy",
+    "SwapGraphEquilibrium",
+    "solve_swap_graph",
+    "SwapGraphReplay",
+    "replay_swap_graph",
+    "SwapGraphResult",
+]

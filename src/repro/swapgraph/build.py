@@ -1,0 +1,184 @@
+"""Unroll a :class:`SwapGraphSpec` into a recombining game DAG.
+
+The market clock advances by ``spec.dt`` between consecutive decision
+steps and the one-step price *growth factor* is discretised once
+(:func:`repro.games.lattice.discretize_law` on a unit-spot law), so a
+price state at step ``s`` is the multiset of factors drawn so far --
+``C(s + m - 1, m - 1)`` distinct states instead of ``m^s`` paths. Each
+state owns one :class:`~repro.games.tree.DecisionNode` (continue/stop
+by that step's actor) whose ``cont`` branch is a chance node fanning
+out to the ``m`` successor states of the next step; the nodes are
+shared, so the tree is a DAG and backward induction is linear in the
+number of distinct states.
+
+Mid-game claim flows (non-final reveals) ride on the ``cont`` action's
+``rewards``; stop and success payoffs live in terminals. See
+:mod:`repro.swapgraph.model` for the flow conventions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations_with_replacement
+from typing import Dict, Optional, Tuple
+
+from repro.games.lattice import LatticeTransition, discretize_law
+from repro.games.tree import ChanceNode, DecisionNode, GameNode, TerminalNode
+from repro.stochastic.lognormal import LognormalLaw
+from repro.swapgraph.model import (
+    REVEAL,
+    GameStep,
+    build_steps,
+    round_claim_flows,
+    stop_payoffs,
+    success_payoffs,
+)
+from repro.swapgraph.spec import SwapGraphSpec
+
+__all__ = [
+    "SwapGraphGame",
+    "build_swap_graph_game",
+    "auto_lattice_size",
+    "SUCCESS_LABEL",
+    "DEFAULT_STATE_BUDGET",
+    "MAX_STATES",
+]
+
+SUCCESS_LABEL = "success"
+
+#: Default budget on distinct decision states (``sum_s C(s+m-1, m-1)``)
+#: when no explicit lattice size is requested.
+DEFAULT_STATE_BUDGET = 40_000
+
+#: Hard cap on distinct decision states for explicit lattice sizes.
+MAX_STATES = 2_000_000
+
+_MIN_LATTICE = 3
+_MAX_LATTICE = 64
+
+
+def _total_states(n_steps: int, m: int) -> int:
+    """``sum_{s<n_steps} C(s+m-1, m-1) = C(n_steps-1+m, m)`` (hockey stick)."""
+    return math.comb(n_steps - 1 + m, m)
+
+
+def auto_lattice_size(n_steps: int, budget: int = DEFAULT_STATE_BUDGET) -> int:
+    """Largest per-step branching that keeps the DAG within ``budget``.
+
+    Shallow games (a 3-party single-packet cycle has 4 steps) get fine
+    lattices; deep packetized games trade price resolution for depth.
+    """
+    best = _MIN_LATTICE
+    for m in range(_MIN_LATTICE, _MAX_LATTICE + 1):
+        if _total_states(n_steps, m) > budget:
+            break
+        best = m
+    return best
+
+
+@dataclass(frozen=True)
+class SwapGraphGame:
+    """The unrolled game plus the structure needed to interpret it.
+
+    ``levels[s]`` maps a price state -- the sorted tuple of factor
+    indices drawn before step ``s`` -- to that state's decision node;
+    ``prices[s]`` holds the corresponding spot prices.
+    """
+
+    spec: SwapGraphSpec
+    steps: Tuple[GameStep, ...]
+    transition: LatticeTransition
+    root: GameNode
+    levels: Tuple[Dict[Tuple[int, ...], DecisionNode], ...]
+    prices: Tuple[Dict[Tuple[int, ...], float], ...]
+    n_lattice: int
+    node_count: int
+
+
+def build_swap_graph_game(
+    spec: SwapGraphSpec, n_lattice: Optional[int] = None
+) -> SwapGraphGame:
+    """Build the recombining continue/stop game for ``spec``."""
+    steps = build_steps(spec)
+    n_steps = len(steps)
+    if n_lattice is None:
+        m = auto_lattice_size(n_steps)
+    else:
+        m = int(n_lattice)
+        if m < _MIN_LATTICE:
+            raise ValueError(f"n_lattice must be >= {_MIN_LATTICE}, got {m}")
+        if _total_states(n_steps, m) > MAX_STATES:
+            raise ValueError(
+                f"n_lattice={m} over {n_steps} steps needs "
+                f"{_total_states(n_steps, m)} states (cap {MAX_STATES}); "
+                "use fewer packets/edges or a coarser lattice"
+            )
+
+    law = LognormalLaw(spot=1.0, mu=spec.mu, sigma=spec.sigma, tau=spec.dt)
+    transition = discretize_law(law, m)
+    factors = tuple(transition.points)
+    probs = tuple(transition.probabilities)
+
+    levels: list = []
+    prices: list = []
+    node_count = 0
+    next_level: Dict[Tuple[int, ...], DecisionNode] = {}
+
+    for s in reversed(range(n_steps)):
+        step = steps[s]
+        level: Dict[Tuple[int, ...], DecisionNode] = {}
+        level_prices: Dict[Tuple[int, ...], float] = {}
+        for state in combinations_with_replacement(range(m), s):
+            price = spec.p0
+            for i in state:
+                price *= factors[i]
+            level_prices[state] = price
+
+            stop_node = TerminalNode(
+                stop_payoffs(spec, steps, step, price),
+                label=f"stop@{s}",
+            )
+            node_count += 1
+
+            rewards = None
+            if s == n_steps - 1:
+                cont_child: GameNode = TerminalNode(
+                    success_payoffs(spec, steps, step, price),
+                    label=SUCCESS_LABEL,
+                )
+                node_count += 1
+            else:
+                branches = tuple(
+                    (probs[i], next_level[tuple(sorted(state + (i,)))])
+                    for i in range(m)
+                )
+                cont_child = ChanceNode(branches, label=f"price@{s + 1}")
+                node_count += 1
+                if step.kind == REVEAL:
+                    rewards = {"cont": round_claim_flows(spec, step, price)}
+
+            level[state] = DecisionNode(
+                player=step.actor,
+                actions={"cont": cont_child, "stop": stop_node},
+                label=f"s{s}",
+                rewards=rewards,
+            )
+            node_count += 1
+        levels.append(level)
+        prices.append(level_prices)
+        next_level = level
+
+    levels.reverse()
+    prices.reverse()
+    root = levels[0][()]
+    return SwapGraphGame(
+        spec=spec,
+        steps=steps,
+        transition=transition,
+        root=root,
+        levels=tuple(levels),
+        prices=tuple(prices),
+        n_lattice=m,
+        node_count=node_count,
+    )

@@ -1,0 +1,60 @@
+"""Metric instrumentation for swap-graph solves and replays.
+
+Same pattern as :func:`repro.core.solver.observe_solver`: counters are
+looked up on the *current* registry at call time, so pool workers and
+tests with swapped registries each observe into their own. The
+request-level counter ``repro_swapgraph_requests_total`` is incremented
+by the service batch path (the serving process), not here -- solver
+metrics from worker processes never reach the exporter.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "observe_graph_solve",
+    "observe_graph_replay",
+    "observe_graph_request",
+]
+
+_SOLVE_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+def observe_graph_solve(mode: str, seconds: float, nodes: int) -> None:
+    """Record one swap-graph solve (mode, latency, DAG size)."""
+    registry = get_registry()
+    registry.counter(
+        "repro_swapgraph_solves_total",
+        "Swap-graph solves by mode.",
+        labelnames=("mode",),
+    ).inc(mode=mode)
+    registry.histogram(
+        "repro_swapgraph_solve_seconds",
+        "Swap-graph solve latency in seconds.",
+        buckets=_SOLVE_BUCKETS,
+    ).observe(seconds)
+    registry.counter(
+        "repro_swapgraph_nodes_total",
+        "Distinct game nodes solved across swap-graph solves.",
+    ).inc(float(nodes))
+
+
+def observe_graph_replay(outcome: str) -> None:
+    """Record one chain-substrate replay validation (pass/fail)."""
+    get_registry().counter(
+        "repro_swapgraph_replays_total",
+        "Swap-graph chain replays by outcome.",
+        labelnames=("outcome",),
+    ).inc(outcome=outcome)
+
+
+def observe_graph_request(source: str) -> None:
+    """Record one served swap-graph request (cache/scalar source)."""
+    get_registry().counter(
+        "repro_swapgraph_requests_total",
+        "Swap-graph requests served, by result source.",
+        labelnames=("source",),
+    ).inc(source=source)

@@ -1,0 +1,282 @@
+"""Payoff model of the swap-graph game (paper conventions, graph-shaped).
+
+Utilities follow the two-party builder (:mod:`repro.games.builders`)
+exactly: each party's payoff is the value of their **final token
+holdings**, discounted to ``t = 0`` at their own rate ``r``, with the
+``(1 + alpha)`` success premium on claimed tokens and the GBM drift
+``e^{mu * dt}`` applied to the expected future price of volatile
+tokens. Every flow is therefore a deterministic function of the step
+index and the price *at that step*, which is what lets the unrolled
+game recombine into a lattice DAG.
+
+Round structure (``k = packets`` rounds over ``n = len(edges)``
+edges): round ``r`` runs one **lock** decision per edge in spec order
+(the seller decides whether to lock one packet of ``amount/k``), then
+one **reveal** decision by the leader (buyer of the last edge). A
+reveal triggers the round's claim cascade -- the leader claims
+directly (lag ``tau_e``), everyone else observes the preimage in the
+mempool and claims ``eps`` later (lag ``eps + tau_e``), the paper's
+``t4``/``t5``/``t6``. Claim flows of *non-final* rounds are booked as
+per-action ``rewards`` on the reveal decision; the last round's claims
+form the success terminal.
+
+Stop terminals book, from the stop point onward: refunds of the
+current round's already-locked packets (expected price drifted to the
+refund time, paper ``t7``/``t8``), the liquidation value of every
+never-locked packet at the stop time, and the collateral settlement
+(see :func:`collateral_flows`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.swapgraph.spec import SwapGraphSpec
+
+__all__ = [
+    "GameStep",
+    "build_steps",
+    "stop_payoffs",
+    "success_payoffs",
+    "round_claim_flows",
+    "claim_lag",
+]
+
+LOCK = "lock"
+REVEAL = "reveal"
+
+
+@dataclass(frozen=True)
+class GameStep:
+    """One decision step of the unrolled game."""
+
+    index: int
+    round: int
+    kind: str  # "lock" | "reveal"
+    actor: str
+    edge: Optional[int]  # edge being locked, None at reveal steps
+    time: float
+
+
+def build_steps(spec: SwapGraphSpec) -> Tuple[GameStep, ...]:
+    """The full decision schedule: ``packets * (n_edges + 1)`` steps."""
+    steps = []
+    dt = spec.dt
+    index = 0
+    for round_index in range(spec.packets):
+        for edge_index, edge in enumerate(spec.edges):
+            steps.append(
+                GameStep(
+                    index=index,
+                    round=round_index,
+                    kind=LOCK,
+                    actor=edge.seller,
+                    edge=edge_index,
+                    time=index * dt,
+                )
+            )
+            index += 1
+        steps.append(
+            GameStep(
+                index=index,
+                round=round_index,
+                kind=REVEAL,
+                actor=spec.leader,
+                edge=None,
+                time=index * dt,
+            )
+        )
+        index += 1
+    return tuple(steps)
+
+
+def _unit_value(spec: SwapGraphSpec, edge_index: int, price: float) -> float:
+    """Numeraire value of one token of edge ``edge_index`` at ``price``."""
+    return price if spec.edges[edge_index].volatile else 1.0
+
+
+def _drift(spec: SwapGraphSpec, edge_index: int, horizon: float) -> float:
+    """Expected price growth of the edge token over ``horizon``."""
+    if spec.edges[edge_index].volatile:
+        return math.exp(spec.mu * horizon)
+    return 1.0
+
+
+def claim_lag(spec: SwapGraphSpec, edge_index: int) -> float:
+    """Delay between a reveal and the claim of edge ``edge_index``.
+
+    The leader claims directly and publishes the secret (one
+    confirmation); everyone else observes it in the mempool ``eps``
+    later (the paper's ``t4``) before claiming.
+    """
+    edge = spec.edges[edge_index]
+    if edge.buyer == spec.leader:
+        return edge.tau
+    return spec.eps + edge.tau
+
+
+def round_claim_flows(
+    spec: SwapGraphSpec, step: GameStep, price: float
+) -> Dict[str, float]:
+    """Per-party claim flows triggered by a reveal at ``step``.
+
+    One packet per edge: the buyer receives ``(1 + alpha)`` times the
+    expected claim-time value, discounted to ``t = 0`` at their rate.
+    """
+    flows: Dict[str, float] = {}
+    packet = 1.0 / spec.packets
+    for edge_index, edge in enumerate(spec.edges):
+        buyer = spec.party(edge.buyer)
+        lag = claim_lag(spec, edge_index)
+        amount = edge.amount * packet
+        value = (
+            (1.0 + buyer.alpha)
+            * amount
+            * _unit_value(spec, edge_index, price)
+            * _drift(spec, edge_index, lag)
+            * math.exp(-buyer.r * (step.time + lag))
+        )
+        flows[buyer.name] = flows.get(buyer.name, 0.0) + value
+    return flows
+
+
+def collateral_flows(
+    spec: SwapGraphSpec,
+    stopper: Optional[str],
+    settle_times: Dict[int, float],
+    initiated: bool,
+) -> Dict[str, float]:
+    """Collateral settlement flows (Section IV mechanism, graph-shaped).
+
+    Every seller posts their outgoing edges' collateral at ``t = 0``
+    when the game initiates (cost ``-C``, undiscounted). On settlement
+    at ``settle_times[edge]`` the collateral returns to its seller --
+    unless the seller is the ``stopper``, in which case the buyer of
+    that edge receives it instead (no ``alpha`` premium: collateral is
+    numeraire compensation, not the token the buyer wanted).
+    """
+    flows: Dict[str, float] = {}
+    if not initiated:
+        return flows
+    for edge_index, edge in enumerate(spec.edges):
+        if edge.collateral <= 0.0:
+            continue
+        seller = spec.party(edge.seller)
+        when = settle_times[edge_index]
+        flows[seller.name] = flows.get(seller.name, 0.0) - edge.collateral
+        if stopper is not None and edge.seller == stopper:
+            buyer = spec.party(edge.buyer)
+            flows[buyer.name] = flows.get(buyer.name, 0.0) + (
+                edge.collateral * math.exp(-buyer.r * when)
+            )
+        else:
+            flows[seller.name] = flows.get(seller.name, 0.0) + (
+                edge.collateral * math.exp(-seller.r * when)
+            )
+    return flows
+
+
+def _locked_and_kept(
+    spec: SwapGraphSpec, step: GameStep
+) -> Tuple[Tuple[int, ...], Dict[int, int]]:
+    """State of every edge's packets when play stops at ``step``.
+
+    Returns ``(refunded_edges, kept_packets)``: the edges whose
+    current-round packet is locked but doomed (round incomplete), and
+    the number of never-locked packets each edge's seller keeps.
+    """
+    n_edges = len(spec.edges)
+    if step.kind == LOCK:
+        cutoff = step.edge if step.edge is not None else n_edges
+    else:
+        cutoff = n_edges
+    refunded = tuple(range(cutoff))
+    kept: Dict[int, int] = {}
+    for edge_index in range(n_edges):
+        locked_rounds = step.round + (1 if edge_index < cutoff else 0)
+        kept[edge_index] = spec.packets - locked_rounds
+    return refunded, kept
+
+
+def stop_payoffs(
+    spec: SwapGraphSpec,
+    steps: Tuple[GameStep, ...],
+    step: GameStep,
+    price: float,
+) -> Dict[str, float]:
+    """Terminal payoffs when ``step.actor`` stops at ``step``.
+
+    Claim flows of completed rounds are *not* included here -- they
+    were booked as rewards on the reveal decisions that triggered them.
+    """
+    payoffs: Dict[str, float] = {party.name: 0.0 for party in spec.parties}
+    packet = 1.0 / spec.packets
+    refunded, kept = _locked_and_kept(spec, step)
+    settle_times: Dict[int, float] = {}
+
+    for edge_index in refunded:
+        edge = spec.edges[edge_index]
+        seller = spec.party(edge.seller)
+        lock_time = steps[step.round * (len(spec.edges) + 1) + edge_index].time
+        expiry = lock_time + spec.edge_timelock(edge_index)
+        refund_time = expiry + edge.tau  # paper t7/t8: refund confirms tau later
+        amount = edge.amount * packet
+        payoffs[seller.name] += (
+            amount
+            * _unit_value(spec, edge_index, price)
+            * _drift(spec, edge_index, refund_time - step.time)
+            * math.exp(-seller.r * refund_time)
+        )
+        settle_times[edge_index] = refund_time
+
+    for edge_index, n_kept in kept.items():
+        if n_kept <= 0:
+            if edge_index not in settle_times:
+                settle_times[edge_index] = step.time
+            continue
+        edge = spec.edges[edge_index]
+        seller = spec.party(edge.seller)
+        amount = edge.amount * packet * n_kept
+        payoffs[seller.name] += (
+            amount
+            * _unit_value(spec, edge_index, price)
+            * math.exp(-seller.r * step.time)
+        )
+        if edge_index not in settle_times:
+            settle_times[edge_index] = step.time
+
+    for name, flow in collateral_flows(
+        spec,
+        stopper=step.actor,
+        settle_times=settle_times,
+        initiated=step.index > 0,
+    ).items():
+        payoffs[name] += flow
+    return payoffs
+
+
+def success_payoffs(
+    spec: SwapGraphSpec,
+    steps: Tuple[GameStep, ...],
+    step: GameStep,
+    price: float,
+) -> Dict[str, float]:
+    """Terminal payoffs when the final reveal goes through.
+
+    Only the last round's claim flows -- earlier rounds were booked as
+    rewards -- plus the collateral returns at each edge's settlement.
+    """
+    payoffs: Dict[str, float] = {party.name: 0.0 for party in spec.parties}
+    for name, flow in round_claim_flows(spec, step, price).items():
+        payoffs[name] += flow
+    settle_times = {
+        edge_index: step.time + claim_lag(spec, edge_index)
+        for edge_index in range(len(spec.edges))
+    }
+    for name, flow in collateral_flows(
+        spec, stopper=None, settle_times=settle_times, initiated=True
+    ).items():
+        payoffs[name] += flow
+    return payoffs

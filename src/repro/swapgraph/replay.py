@@ -1,0 +1,315 @@
+"""Protocol-level validation of a solved swap graph on simulated chains.
+
+:func:`replay_swap_graph` re-runs the solved equilibrium strategy as an
+actual HTLC protocol: one :class:`~repro.chain.chain.Blockchain` per
+edge on a shared clock, a fresh secret per packet round, real deploy /
+claim / refund transactions with the spec's confirmation times and the
+mempool preimage-observation channel (the paper's ``t4``). Prices are
+exogenous: lattice-mode equilibria sample paths from the *same
+discretised* one-step law the game was solved on (so the empirical
+success frequency is a pure Monte-Carlo estimate of the game's
+prediction, no discretisation gap), closed-form equilibria sample the
+continuous GBM at the paper's decision times.
+
+A path succeeds when every packet of every edge is actually CLAIMED on
+chain; a policy-complete path whose mechanics fail (a claim missing
+its timelock, say) counts as a mechanical failure, not a success --
+that is precisely the protocol-level bug this validator exists to
+catch. The root decision is forced to ``continue`` so the empirical
+rate estimates the success rate *conditional on initiation*, matching
+:attr:`SwapGraphEquilibrium.success_rate` (paper Eq. (31)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.chain import Blockchain, SimulationClock, new_secret
+from repro.chain.htlc import HTLC, HTLCState
+from repro.games.lattice import discretize_law
+from repro.stochastic.lognormal import LognormalLaw
+from repro.stochastic.rng import RandomState
+from repro.swapgraph.metrics import observe_graph_replay
+from repro.swapgraph.model import LOCK, REVEAL
+from repro.swapgraph.solver import SwapGraphEquilibrium
+from repro.swapgraph.spec import SwapGraphSpec
+
+__all__ = ["SwapGraphReplay", "replay_swap_graph"]
+
+DEFAULT_REPLAY_PATHS = 400
+
+
+@dataclass(frozen=True)
+class SwapGraphReplay:
+    """Monte-Carlo chain replay versus the game-theoretic prediction.
+
+    ``passed`` is a three-sigma binomial agreement check:
+    ``|empirical - predicted| <= 3 * sqrt(p(1-p)/n) + 1/n``.
+    """
+
+    n_paths: int
+    n_success: int
+    empirical_rate: float
+    predicted_rate: float
+    mechanical_failures: int
+    seed: int
+    passed: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "n_paths": self.n_paths,
+            "n_success": self.n_success,
+            "empirical_rate": self.empirical_rate,
+            "predicted_rate": self.predicted_rate,
+            "mechanical_failures": self.mechanical_failures,
+            "seed": self.seed,
+            "passed": self.passed,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "SwapGraphReplay":
+        return SwapGraphReplay(
+            n_paths=int(data["n_paths"]),  # type: ignore[arg-type]
+            n_success=int(data["n_success"]),  # type: ignore[arg-type]
+            empirical_rate=float(data["empirical_rate"]),  # type: ignore[arg-type]
+            predicted_rate=float(data["predicted_rate"]),  # type: ignore[arg-type]
+            mechanical_failures=int(data.get("mechanical_failures", 0)),  # type: ignore[arg-type]
+            seed=int(data["seed"]),  # type: ignore[arg-type]
+            passed=bool(data["passed"]),
+        )
+
+
+def replay_swap_graph(
+    equilibrium: SwapGraphEquilibrium,
+    n_paths: int = DEFAULT_REPLAY_PATHS,
+    seed: int = 0,
+) -> SwapGraphReplay:
+    """Replay the equilibrium strategy ``n_paths`` times on real chains."""
+    if n_paths < 1:
+        raise ValueError(f"n_paths must be >= 1, got {n_paths}")
+    spec = equilibrium.spec
+    rng = RandomState(seed)
+    sampler = _path_sampler(equilibrium)
+
+    n_success = 0
+    mechanical_failures = 0
+    for _ in range(n_paths):
+        prices = sampler(rng)
+        completed, mechanics_ok = _run_protocol(spec, equilibrium, prices, rng)
+        if completed and mechanics_ok:
+            n_success += 1
+        elif completed:
+            mechanical_failures += 1
+
+    empirical = n_success / n_paths
+    predicted = equilibrium.success_rate
+    tolerance = (
+        3.0 * math.sqrt(max(predicted * (1.0 - predicted), 0.0) / n_paths)
+        + 1.0 / n_paths
+    )
+    passed = mechanical_failures == 0 and abs(empirical - predicted) <= tolerance
+    observe_graph_replay("pass" if passed else "fail")
+    return SwapGraphReplay(
+        n_paths=n_paths,
+        n_success=n_success,
+        empirical_rate=empirical,
+        predicted_rate=predicted,
+        mechanical_failures=mechanical_failures,
+        seed=seed,
+        passed=passed,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# exogenous price paths
+# ---------------------------------------------------------------------- #
+
+
+def _path_sampler(equilibrium: SwapGraphEquilibrium):
+    """A ``rng -> per-step prices`` sampler matching the solve mode."""
+    spec = equilibrium.spec
+    times = [step.time for step in equilibrium.steps]
+    if equilibrium.mode == "lattice" and equilibrium.n_lattice is not None:
+        law = LognormalLaw(spot=1.0, mu=spec.mu, sigma=spec.sigma, tau=spec.dt)
+        transition = discretize_law(law, equilibrium.n_lattice)
+        factors = tuple(transition.points)
+        cumulative = []
+        acc = 0.0
+        for p in transition.probabilities:
+            acc += p
+            cumulative.append(acc)
+        cumulative[-1] = 1.0
+
+        def sample_lattice(rng: RandomState) -> List[float]:
+            prices = [spec.p0]
+            price = spec.p0
+            for _ in range(len(times) - 1):
+                u = float(rng.uniform())
+                index = _bisect(cumulative, u)
+                price *= factors[index]
+                prices.append(price)
+            return prices
+
+        return sample_lattice
+
+    def sample_gbm(rng: RandomState) -> List[float]:
+        prices = [spec.p0]
+        price = spec.p0
+        for previous, current in zip(times, times[1:]):
+            dt = current - previous
+            z = float(rng.standard_normal())
+            price *= math.exp(
+                (spec.mu - 0.5 * spec.sigma**2) * dt
+                + spec.sigma * math.sqrt(dt) * z
+            )
+            prices.append(price)
+        return prices
+
+    return sample_gbm
+
+
+def _bisect(cumulative: List[float], u: float) -> int:
+    lo, hi = 0, len(cumulative) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if u <= cumulative[mid]:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+# ---------------------------------------------------------------------- #
+# one protocol episode on n chains
+# ---------------------------------------------------------------------- #
+
+
+def _run_protocol(
+    spec: SwapGraphSpec,
+    equilibrium: SwapGraphEquilibrium,
+    prices: List[float],
+    rng: RandomState,
+) -> Tuple[bool, bool]:
+    """Execute one episode; returns ``(policy_completed, mechanics_ok)``.
+
+    ``mechanics_ok`` checks that every deployed contract resolved the
+    way the game model assumes: claimed for completed rounds, refunded
+    for the doomed locks of an abandoned round.
+    """
+    clock = SimulationClock()
+    chains = []
+    for index, edge in enumerate(spec.edges):
+        mempool_delay = spec.eps if spec.eps < edge.tau else 0.5 * edge.tau
+        chain = Blockchain(
+            name=f"chain-{index}",
+            token=f"token-{index}",
+            clock=clock,
+            confirmation_time=edge.tau,
+            mempool_delay=mempool_delay,
+        )
+        for party in spec.parties:
+            chain.open_account(
+                party.name,
+                balance=edge.amount if party.name == edge.seller else 0.0,
+            )
+        chains.append(chain)
+
+    packet = 1.0 / spec.packets
+    contracts: List[Tuple[int, int, HTLC]] = []  # (round, edge, contract)
+    revealed_rounds = set()
+    secret = None
+    completed = True
+
+    for policy in equilibrium.steps:
+        clock.advance_to(policy.time)
+        price = prices[policy.step]
+        # the root decision is forced: the empirical rate estimates the
+        # success probability conditional on initiation (Eq. (31))
+        if policy.step > 0 and not policy.continues_at(price):
+            completed = False
+            break
+        if policy.kind == LOCK and policy.edge is not None:
+            edge = spec.edges[policy.edge]
+            if policy.edge == 0:
+                secret = new_secret(rng)  # fresh hashlock per packet round
+            assert secret is not None
+            _tx, contract = chains[policy.edge].deploy_htlc(
+                sender=edge.seller,
+                recipient=edge.buyer,
+                amount=edge.amount * packet,
+                hashlock=secret.hashlock,
+                expiry=policy.time + spec.edge_timelock(policy.edge),
+            )
+            contracts.append((policy.round, policy.edge, contract))
+        elif policy.kind == REVEAL:
+            assert secret is not None
+            _run_claims(spec, chains, contracts, policy.round, secret, clock)
+            revealed_rounds.add(policy.round)
+
+    clock.run_until_idle()
+    mechanics_ok = _check_mechanics(contracts, revealed_rounds)
+    return completed, mechanics_ok
+
+
+def _run_claims(
+    spec: SwapGraphSpec,
+    chains: List[Blockchain],
+    contracts: List[Tuple[int, int, HTLC]],
+    round_index: int,
+    secret,
+    clock: SimulationClock,
+) -> None:
+    """The round's claim cascade: leader directly, others via mempool."""
+    round_contracts = [
+        (edge_index, contract)
+        for r, edge_index, contract in contracts
+        if r == round_index
+    ]
+    leader = spec.leader
+    observers: List[Tuple[int, HTLC]] = []
+    for edge_index, contract in round_contracts:
+        if spec.edges[edge_index].buyer == leader:
+            chains[edge_index].claim_htlc(contract, leader, secret.preimage)
+        else:
+            observers.append((edge_index, contract))
+
+    if not observers:
+        return
+    hashlock = secret.hashlock
+    observe_at = clock.now + spec.eps
+
+    def cascade() -> None:
+        preimage = None
+        for chain in chains:
+            preimage = chain.observe_preimage(hashlock)
+            if preimage is not None:
+                break
+        if preimage is None:
+            return  # nothing revealed; contracts will refund at expiry
+        for edge_index, contract in observers:
+            buyer = spec.edges[edge_index].buyer
+            chains[edge_index].claim_htlc(contract, buyer, preimage)
+
+    clock.schedule(observe_at, cascade)
+
+
+def _check_mechanics(
+    contracts: List[Tuple[int, int, HTLC]],
+    revealed_rounds,
+) -> bool:
+    """Every contract must resolve as the game model assumed.
+
+    Contracts of a round whose reveal happened must end CLAIMED; locks
+    of an abandoned (never-revealed) round must end REFUNDED.
+    """
+    for round_index, _edge_index, contract in contracts:
+        expected = (
+            HTLCState.CLAIMED
+            if round_index in revealed_rounds
+            else HTLCState.REFUNDED
+        )
+        if contract.state is not expected:
+            return False
+    return True

@@ -1,0 +1,33 @@
+"""The served swap-graph result: equilibrium plus optional chain replay."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.swapgraph.replay import SwapGraphReplay
+from repro.swapgraph.solver import SwapGraphEquilibrium
+
+__all__ = ["SwapGraphResult"]
+
+
+@dataclass(frozen=True)
+class SwapGraphResult:
+    """What ``POST /v1/swap-graph`` (and the service batch path) returns."""
+
+    equilibrium: SwapGraphEquilibrium
+    replay: Optional[SwapGraphReplay] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "equilibrium": self.equilibrium.to_dict(),
+            "replay": None if self.replay is None else self.replay.to_dict(),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "SwapGraphResult":
+        replay = data.get("replay")
+        return SwapGraphResult(
+            equilibrium=SwapGraphEquilibrium.from_dict(data["equilibrium"]),  # type: ignore[arg-type]
+            replay=None if replay is None else SwapGraphReplay.from_dict(replay),  # type: ignore[arg-type]
+        )

@@ -1,0 +1,398 @@
+"""Solve a swap graph: equilibrium utilities, thresholds, success rate.
+
+:func:`solve_swap_graph` has two modes:
+
+* ``closed_form`` -- specs that are exactly the paper's two-party game
+  (:meth:`SwapGraphSpec.is_paper_shape`) delegate to the analytic
+  solver :func:`repro.core.solver.solve_swap_game`, so the degenerate
+  ``k=1, n=2`` case reproduces the paper's thresholds and utilities to
+  machine precision (pinned to ``<= 1e-9`` in
+  ``tests/swapgraph/test_parity.py``);
+* ``lattice`` -- everything else unrolls into the recombining DAG of
+  :mod:`repro.swapgraph.build` and is solved by generic backward
+  induction (:func:`repro.games.solver.solve_game`).
+
+Per-step policies are reported as *continuation intervals* in price:
+within one lattice level the equilibrium action is monotone-ish in
+price, so maximal runs of ``cont`` states become intervals whose
+boundaries sit at the geometric midpoint between adjacent lattice
+prices (safely away from the lattice points themselves -- the chain
+replay in :mod:`repro.swapgraph.replay` re-evaluates the policy from
+these intervals and must reproduce the solver's decisions exactly on
+lattice-sampled paths). The graph-level success rate is the
+policy-following probability of reaching the success terminal,
+conditional on the first actor continuing at the root -- the graph
+analogue of the paper's Eq. (31).
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.solver import solve_swap_game
+from repro.games.solver import SolvedGame, solve_game
+from repro.games.tree import ChanceNode, DecisionNode, GameNode, TerminalNode
+from repro.swapgraph.build import SUCCESS_LABEL, SwapGraphGame, build_swap_graph_game
+from repro.swapgraph.metrics import observe_graph_solve
+from repro.swapgraph.model import LOCK, REVEAL
+from repro.swapgraph.spec import SwapGraphSpec
+
+__all__ = ["StepPolicy", "SwapGraphEquilibrium", "solve_swap_graph"]
+
+CLOSED_FORM = "closed_form"
+LATTICE = "lattice"
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class StepPolicy:
+    """Equilibrium policy of one decision step.
+
+    ``cont_intervals`` is the union of price intervals on which the
+    actor continues (``hi`` may be ``inf``); ``threshold`` is the lower
+    endpoint when the region is a single upper ray, the common case
+    matching the paper's reveal threshold, else ``None``.
+    """
+
+    step: int
+    round: int
+    kind: str  # "lock" | "reveal"
+    actor: str
+    edge: Optional[int]
+    time: float
+    threshold: Optional[float]
+    cont_intervals: Tuple[Tuple[float, float], ...]
+
+    def continues_at(self, price: float) -> bool:
+        """Whether the equilibrium action at ``price`` is ``cont``."""
+        for lo, hi in self.cont_intervals:
+            if lo <= price <= hi:
+                return True
+        return False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "step": self.step,
+            "round": self.round,
+            "kind": self.kind,
+            "actor": self.actor,
+            "edge": self.edge,
+            "time": self.time,
+            "threshold": self.threshold,
+            "cont_intervals": [
+                [lo, None if math.isinf(hi) else hi]
+                for lo, hi in self.cont_intervals
+            ],
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "StepPolicy":
+        threshold = data.get("threshold")
+        edge = data.get("edge")
+        return StepPolicy(
+            step=int(data["step"]),  # type: ignore[arg-type]
+            round=int(data["round"]),  # type: ignore[arg-type]
+            kind=str(data["kind"]),
+            actor=str(data["actor"]),
+            edge=None if edge is None else int(edge),  # type: ignore[arg-type]
+            time=float(data["time"]),  # type: ignore[arg-type]
+            threshold=None if threshold is None else float(threshold),  # type: ignore[arg-type]
+            cont_intervals=tuple(
+                (float(lo), _INF if hi is None else float(hi))
+                for lo, hi in data.get("cont_intervals", ())  # type: ignore[union-attr]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class SwapGraphEquilibrium:
+    """Solved swap graph.
+
+    Attributes
+    ----------
+    spec:
+        The graph that was solved.
+    mode:
+        ``"closed_form"`` (paper-shaped delegation) or ``"lattice"``.
+    utilities:
+        Party name -> equilibrium expected utility at the root.
+    success_rate:
+        Probability of full completion (every packet of every edge
+        claimed), conditional on the root actor continuing.
+    initiated:
+        Whether the root actor continues in equilibrium.
+    steps:
+        Per-step equilibrium policies, in step order.
+    n_lattice:
+        Per-step branching of the price lattice (``None`` closed-form).
+    node_count:
+        Distinct game nodes solved (``0`` closed-form).
+    """
+
+    spec: SwapGraphSpec
+    mode: str
+    utilities: Dict[str, float]
+    success_rate: float
+    initiated: bool
+    steps: Tuple[StepPolicy, ...]
+    n_lattice: Optional[int]
+    node_count: int
+
+    @property
+    def unconditional_success_rate(self) -> float:
+        """Success probability without conditioning on initiation."""
+        return self.success_rate if self.initiated else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec.to_dict(),
+            "mode": self.mode,
+            "utilities": dict(self.utilities),
+            "success_rate": self.success_rate,
+            "initiated": self.initiated,
+            "steps": [step.to_dict() for step in self.steps],
+            "n_lattice": self.n_lattice,
+            "node_count": self.node_count,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "SwapGraphEquilibrium":
+        n_lattice = data.get("n_lattice")
+        return SwapGraphEquilibrium(
+            spec=SwapGraphSpec.from_dict(data["spec"]),  # type: ignore[arg-type]
+            mode=str(data["mode"]),
+            utilities={
+                str(name): float(value)  # type: ignore[arg-type]
+                for name, value in dict(data["utilities"]).items()  # type: ignore[arg-type]
+            },
+            success_rate=float(data["success_rate"]),  # type: ignore[arg-type]
+            initiated=bool(data["initiated"]),
+            steps=tuple(
+                StepPolicy.from_dict(step) for step in data.get("steps", ())  # type: ignore[union-attr]
+            ),
+            n_lattice=None if n_lattice is None else int(n_lattice),  # type: ignore[arg-type]
+            node_count=int(data.get("node_count", 0)),  # type: ignore[arg-type]
+        )
+
+
+def solve_swap_graph(
+    spec: SwapGraphSpec, n_lattice: Optional[int] = None
+) -> SwapGraphEquilibrium:
+    """Solve ``spec`` (closed form when paper-shaped, else lattice)."""
+    start = _time.perf_counter()
+    if n_lattice is None and spec.is_paper_shape():
+        result = _solve_closed_form(spec)
+    else:
+        result = _solve_lattice(spec, n_lattice)
+    observe_graph_solve(
+        mode=result.mode,
+        seconds=_time.perf_counter() - start,
+        nodes=result.node_count,
+    )
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# closed-form delegation (the paper's two-party game)
+# ---------------------------------------------------------------------- #
+
+
+def _solve_closed_form(spec: SwapGraphSpec) -> SwapGraphEquilibrium:
+    params = spec.to_swap_parameters()
+    pstar = spec.edges[0].amount
+    equilibrium = solve_swap_game(params, pstar=pstar)
+    grid = params.grid
+    alice = spec.parties[0].name
+    bob = spec.parties[1].name
+
+    if equilibrium.initiated:
+        utilities = {
+            alice: equilibrium.alice_t1.cont,
+            bob: equilibrium.bob_t1.cont,
+        }
+        root_intervals: Tuple[Tuple[float, float], ...] = ((0.0, _INF),)
+        root_threshold: Optional[float] = 0.0
+    else:
+        utilities = {
+            alice: equilibrium.alice_t1.stop,
+            bob: equilibrium.bob_t1.stop,
+        }
+        root_intervals = ()
+        root_threshold = None
+
+    bob_intervals = tuple(equilibrium.bob_t2_region.intervals)
+    steps = (
+        StepPolicy(
+            step=0,
+            round=0,
+            kind=LOCK,
+            actor=alice,
+            edge=0,
+            time=grid.t1,
+            threshold=root_threshold,
+            cont_intervals=root_intervals,
+        ),
+        StepPolicy(
+            step=1,
+            round=0,
+            kind=LOCK,
+            actor=bob,
+            edge=1,
+            time=grid.t2,
+            threshold=_ray_threshold(bob_intervals),
+            cont_intervals=bob_intervals,
+        ),
+        StepPolicy(
+            step=2,
+            round=0,
+            kind=REVEAL,
+            actor=alice,
+            edge=None,
+            time=grid.t3,
+            threshold=equilibrium.p3_threshold,
+            cont_intervals=((equilibrium.p3_threshold, _INF),),
+        ),
+    )
+    return SwapGraphEquilibrium(
+        spec=spec,
+        mode=CLOSED_FORM,
+        utilities=utilities,
+        success_rate=equilibrium.success_rate,
+        initiated=equilibrium.initiated,
+        steps=steps,
+        n_lattice=None,
+        node_count=0,
+    )
+
+
+def _ray_threshold(
+    intervals: Tuple[Tuple[float, float], ...]
+) -> Optional[float]:
+    """Lower endpoint when the region is a single upper ray."""
+    if len(intervals) == 1 and math.isinf(intervals[0][1]):
+        return intervals[0][0]
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# lattice backward induction
+# ---------------------------------------------------------------------- #
+
+
+def _solve_lattice(
+    spec: SwapGraphSpec, n_lattice: Optional[int]
+) -> SwapGraphEquilibrium:
+    game = build_swap_graph_game(spec, n_lattice=n_lattice)
+    solved = solve_game(game.root)
+    initiated = solved.policy[id(game.root)] == "cont"
+    utilities = {
+        party.name: solved.values[id(game.root)].get(party.name, 0.0)
+        for party in spec.parties
+    }
+    steps = tuple(
+        _step_policy(game, solved, s) for s in range(len(game.steps))
+    )
+    return SwapGraphEquilibrium(
+        spec=spec,
+        mode=LATTICE,
+        utilities=utilities,
+        success_rate=_success_probability(game.root, solved),
+        initiated=initiated,
+        steps=steps,
+        n_lattice=game.n_lattice,
+        node_count=game.node_count,
+    )
+
+
+def _step_policy(game: SwapGraphGame, solved: SolvedGame, s: int) -> StepPolicy:
+    step = game.steps[s]
+    pairs = sorted(
+        (game.prices[s][state], solved.policy[id(node)] == "cont")
+        for state, node in game.levels[s].items()
+    )
+    intervals = _cont_intervals(pairs)
+    return StepPolicy(
+        step=step.index,
+        round=step.round,
+        kind=step.kind,
+        actor=step.actor,
+        edge=step.edge,
+        time=step.time,
+        threshold=_ray_threshold(intervals),
+        cont_intervals=intervals,
+    )
+
+
+def _cont_intervals(
+    pairs: List[Tuple[float, bool]]
+) -> Tuple[Tuple[float, float], ...]:
+    """Merge sorted ``(price, continues)`` samples into price intervals.
+
+    Boundaries between a stop state and an adjacent cont state sit at
+    their geometric midpoint; runs touching the extremes extend to
+    ``0`` / ``inf`` so the policy generalises off-lattice.
+    """
+    intervals: List[Tuple[float, float]] = []
+    run_start: Optional[int] = None
+    for index in range(len(pairs) + 1):
+        continuing = index < len(pairs) and pairs[index][1]
+        if continuing and run_start is None:
+            run_start = index
+        elif not continuing and run_start is not None:
+            lo = (
+                0.0
+                if run_start == 0
+                else math.sqrt(pairs[run_start - 1][0] * pairs[run_start][0])
+            )
+            hi = (
+                _INF
+                if index == len(pairs)
+                else math.sqrt(pairs[index - 1][0] * pairs[index][0])
+            )
+            intervals.append((lo, hi))
+            run_start = None
+    return tuple(intervals)
+
+
+def _success_probability(root: GameNode, solved: SolvedGame) -> float:
+    """Policy-following probability of the success terminal.
+
+    The root decision is forced to ``cont`` (conditional-on-initiation,
+    the paper's Eq. (31) convention); all other decisions follow the
+    solved policy. Iterative over the DAG with memoisation.
+    """
+    prob: Dict[int, float] = {}
+    stack: List[Tuple[GameNode, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if id(node) in prob:
+            continue
+        if isinstance(node, TerminalNode):
+            prob[id(node)] = 1.0 if node.label == SUCCESS_LABEL else 0.0
+            continue
+        if isinstance(node, DecisionNode):
+            action = "cont" if node is root else solved.policy[id(node)]
+            child = node.actions[action]
+            if not expanded:
+                stack.append((node, True))
+                if id(child) not in prob:
+                    stack.append((child, False))
+                continue
+            prob[id(node)] = prob[id(child)]
+        else:
+            if not expanded:
+                stack.append((node, True))
+                stack.extend(
+                    (child, False)
+                    for _p, child in node.branches
+                    if id(child) not in prob
+                )
+                continue
+            prob[id(node)] = sum(
+                p * prob[id(child)] for p, child in node.branches
+            )
+    return prob[id(root)]

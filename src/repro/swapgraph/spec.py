@@ -1,0 +1,460 @@
+"""Typed specification of a multi-party / packetized swap graph.
+
+A :class:`SwapGraphSpec` describes one generalized HTLC swap as a
+digraph: ``parties`` (each with the paper's ``(alpha, r)`` preference
+pair) and ordered ``edges`` (seller locks an asset for buyer, on that
+edge's own chain), executed in ``packets`` rounds of ``amount/packets``
+each. The edge order *is* the locking order of every round -- the
+paper's two-party game is the two-edge instance (Alice locks Token_a,
+then Bob locks Token_b), and Clark-et-al. cycle swaps are the
+``n``-edge instance where every party sells to the next.
+
+Asset values are driven by the shared price law: a ``volatile`` edge's
+token follows the GBM ``(p0, mu, sigma)`` (the paper's Token_b), a
+non-volatile edge's token is the numeraire (Token_a). Each round runs
+one lock decision per edge in order, then one reveal decision by the
+*leader* -- the buyer of the last edge -- after which the remaining
+claims are dominant and cascade via mempool preimage observation
+(delay ``eps``), exactly the paper's ``t4``.
+
+The spec is a frozen value object with an exact ``to_dict`` /
+``from_dict`` round-trip, so it keys the service cache canonically and
+ships over the JSON wire unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.parameters import AgentParameters, SwapParameters
+
+__all__ = ["GraphParty", "GraphEdge", "SwapGraphSpec", "MAX_DECISION_STEPS"]
+
+#: Hard bound on ``packets * (n_edges + 1)`` decision steps -- beyond
+#: this the recombining lattice would be enormous and a spec error is
+#: far more likely than a real workload.
+MAX_DECISION_STEPS = 64
+
+
+@dataclass(frozen=True)
+class GraphParty:
+    """One participant: the paper's ``(alpha, r)`` preference pair."""
+
+    name: str
+    alpha: float = 0.3
+    r: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"party name must be a non-empty string, got {self.name!r}")
+        if self.alpha < 0.0 or not math.isfinite(self.alpha):
+            raise ValueError(f"alpha must be finite and >= 0, got {self.alpha}")
+        if not self.r > 0.0 or not math.isfinite(self.r):
+            raise ValueError(f"r must be finite and > 0, got {self.r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "alpha": self.alpha, "r": self.r}
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "GraphParty":
+        return GraphParty(
+            name=str(data["name"]),
+            alpha=float(data.get("alpha", 0.3)),  # type: ignore[arg-type]
+            r=float(data.get("r", 0.01)),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class GraphEdge:
+    """One asset transfer: ``seller`` locks ``amount`` for ``buyer``.
+
+    Parameters
+    ----------
+    seller, buyer:
+        Party names (must exist in the spec, must differ).
+    amount:
+        Total amount over all packets, in the edge token's own units.
+    volatile:
+        Whether the token's numeraire value follows the shared GBM
+        (the paper's Token_b) or is constant (Token_a).
+    tau:
+        Confirmation time of this edge's chain (hours).
+    timelock:
+        Refund span of each packet contract, measured from its lock
+        time. ``None`` derives the canonical safe schedule (enough to
+        survive the round's reveal cascade, staggered by edge order).
+    collateral:
+        Deposit posted upfront by the seller for this edge; a party
+        that *stops* forfeits its outgoing collateral to its buyers
+        (the Section IV mechanism, graph-shaped). ``0`` disables.
+    """
+
+    seller: str
+    buyer: str
+    amount: float
+    volatile: bool = False
+    tau: float = 3.0
+    timelock: Optional[float] = None
+    collateral: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.seller == self.buyer:
+            raise ValueError(f"edge cannot be a self-loop ({self.seller!r})")
+        if not (math.isfinite(self.amount) and self.amount > 0.0):
+            raise ValueError(f"amount must be finite and > 0, got {self.amount}")
+        if not (math.isfinite(self.tau) and self.tau > 0.0):
+            raise ValueError(f"tau must be finite and > 0, got {self.tau}")
+        if self.timelock is not None and not (
+            math.isfinite(self.timelock) and self.timelock > 0.0
+        ):
+            raise ValueError(
+                f"timelock must be finite and > 0 (or None), got {self.timelock}"
+            )
+        if not (math.isfinite(self.collateral) and self.collateral >= 0.0):
+            raise ValueError(
+                f"collateral must be finite and >= 0, got {self.collateral}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seller": self.seller,
+            "buyer": self.buyer,
+            "amount": self.amount,
+            "volatile": self.volatile,
+            "tau": self.tau,
+            "timelock": self.timelock,
+            "collateral": self.collateral,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "GraphEdge":
+        timelock = data.get("timelock")
+        return GraphEdge(
+            seller=str(data["seller"]),
+            buyer=str(data["buyer"]),
+            amount=float(data["amount"]),  # type: ignore[arg-type]
+            volatile=bool(data.get("volatile", False)),
+            tau=float(data.get("tau", 3.0)),  # type: ignore[arg-type]
+            timelock=None if timelock is None else float(timelock),  # type: ignore[arg-type]
+            collateral=float(data.get("collateral", 0.0)),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class SwapGraphSpec:
+    """A k-packet, n-party swap digraph under one shared price law.
+
+    Attributes
+    ----------
+    parties, edges:
+        The digraph. Edge order is the per-round locking order; the
+        buyer of the last edge is the *leader* who reveals the secret.
+    packets:
+        Number of rounds ``k``; each round swaps ``amount/k`` per edge.
+    p0, mu, sigma:
+        The shared GBM price law of volatile tokens (paper Eq. (1)).
+    eps:
+        Mempool preimage-observation delay for the claim cascade
+        (the paper's ``eps_b``).
+    step_time:
+        Market-clock advance between consecutive decision steps.
+        ``None`` uses the slowest edge confirmation time (the paper's
+        confirmation-driven gaps, made uniform so the price lattice
+        recombines -- see DESIGN.md section 9).
+    """
+
+    parties: Tuple[GraphParty, ...]
+    edges: Tuple[GraphEdge, ...]
+    packets: int = 1
+    p0: float = 2.0
+    mu: float = 0.002
+    sigma: float = 0.1
+    eps: float = 1.0
+    step_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parties", tuple(self.parties))
+        object.__setattr__(self, "edges", tuple(self.edges))
+        object.__setattr__(self, "packets", int(self.packets))
+        if len(self.parties) < 2:
+            raise ValueError(f"need at least 2 parties, got {len(self.parties)}")
+        names = [party.name for party in self.parties]
+        if len(set(names)) != len(names):
+            raise ValueError(f"party names must be unique, got {names}")
+        if len(self.edges) < 2:
+            raise ValueError(f"need at least 2 edges, got {len(self.edges)}")
+        known = set(names)
+        for index, edge in enumerate(self.edges):
+            if edge.seller not in known:
+                raise ValueError(f"edge {index} seller {edge.seller!r} is not a party")
+            if edge.buyer not in known:
+                raise ValueError(f"edge {index} buyer {edge.buyer!r} is not a party")
+        if self.packets < 1:
+            raise ValueError(f"packets must be >= 1, got {self.packets}")
+        steps = self.packets * (len(self.edges) + 1)
+        if steps > MAX_DECISION_STEPS:
+            raise ValueError(
+                f"spec unrolls into {steps} decision steps; the bound is "
+                f"{MAX_DECISION_STEPS} (packets * (n_edges + 1))"
+            )
+        if not (math.isfinite(self.p0) and self.p0 > 0.0):
+            raise ValueError(f"p0 must be finite and > 0, got {self.p0}")
+        if not math.isfinite(self.mu):
+            raise ValueError(f"mu must be finite, got {self.mu}")
+        if not (math.isfinite(self.sigma) and self.sigma > 0.0):
+            raise ValueError(f"sigma must be finite and > 0, got {self.sigma}")
+        max_tau = max(edge.tau for edge in self.edges)
+        if not (math.isfinite(self.eps) and 0.0 < self.eps < max_tau):
+            raise ValueError(
+                f"need 0 < eps < max edge tau ({max_tau}), got {self.eps}"
+            )
+        if self.step_time is not None and not (
+            math.isfinite(self.step_time) and self.step_time > 0.0
+        ):
+            raise ValueError(
+                f"step_time must be finite and > 0 (or None), got {self.step_time}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # derived structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_parties(self) -> int:
+        return len(self.parties)
+
+    @property
+    def leader(self) -> str:
+        """The revealer: buyer of the last edge (the paper's Alice)."""
+        return self.edges[-1].buyer
+
+    @property
+    def dt(self) -> float:
+        """Effective market step: ``step_time`` or the slowest ``tau``."""
+        if self.step_time is not None:
+            return self.step_time
+        return max(edge.tau for edge in self.edges)
+
+    def party(self, name: str) -> GraphParty:
+        for party in self.parties:
+            if party.name == name:
+                return party
+        raise KeyError(name)
+
+    def agent(self, name: str) -> AgentParameters:
+        party = self.party(name)
+        return AgentParameters(alpha=party.alpha, r=party.r)
+
+    def edge_timelock(self, index: int) -> float:
+        """Refund span of edge ``index``'s packet contracts.
+
+        Explicit ``timelock`` wins; the default survives the whole
+        round -- the remaining locks, the reveal, the observation lag,
+        and two confirmations -- staggered so earlier-locked contracts
+        expire later (the paper's ``t8 > t7`` ordering).
+        """
+        edge = self.edges[index]
+        if edge.timelock is not None:
+            return edge.timelock
+        remaining_steps = len(self.edges) - index
+        return remaining_steps * self.dt + self.eps + 2.0 * edge.tau
+
+    # ------------------------------------------------------------------ #
+    # the paper's two-party game as a degenerate spec
+    # ------------------------------------------------------------------ #
+
+    def is_paper_shape(self) -> bool:
+        """Whether this is exactly the paper's Section III game.
+
+        Two parties, one packet, the canonical two edges (numeraire
+        first, one unit of the volatile token back), no collateral, no
+        schedule overrides -- the closed-form solver then applies
+        verbatim and the swap-graph solve must match it to <= 1e-9.
+        """
+        if len(self.parties) != 2 or len(self.edges) != 2 or self.packets != 1:
+            return False
+        if self.step_time is not None:
+            return False
+        first, second = self.edges
+        alice, bob = self.parties[0].name, self.parties[1].name
+        return (
+            first.seller == alice
+            and first.buyer == bob
+            and not first.volatile
+            and first.timelock is None
+            and first.collateral == 0.0
+            and second.seller == bob
+            and second.buyer == alice
+            and second.volatile
+            and second.amount == 1.0
+            and second.timelock is None
+            and second.collateral == 0.0
+            and 0.0 < self.eps < second.tau
+        )
+
+    def to_swap_parameters(self) -> SwapParameters:
+        """The equivalent :class:`SwapParameters` (paper-shaped specs)."""
+        if not self.is_paper_shape():
+            raise ValueError("spec is not the paper's two-party shape")
+        first, second = self.edges
+        return SwapParameters(
+            alice=self.agent(self.parties[0].name),
+            bob=self.agent(self.parties[1].name),
+            tau_a=first.tau,
+            tau_b=second.tau,
+            eps_b=self.eps,
+            p0=self.p0,
+            mu=self.mu,
+            sigma=self.sigma,
+        )
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def two_party(
+        params: Optional[SwapParameters] = None,
+        pstar: float = 2.0,
+        packets: int = 1,
+        collateral: float = 0.0,
+    ) -> "SwapGraphSpec":
+        """The paper's game (optionally packetized) as a graph spec.
+
+        ``packets=1, collateral=0`` yields a spec for which
+        :meth:`is_paper_shape` holds, so solves delegate to the
+        closed-form solver and reproduce it exactly.
+        """
+        if params is None:
+            params = SwapParameters.default()
+        if not (math.isfinite(pstar) and pstar > 0.0):
+            raise ValueError(f"pstar must be finite and > 0, got {pstar}")
+        return SwapGraphSpec(
+            parties=(
+                GraphParty("alice", alpha=params.alice.alpha, r=params.alice.r),
+                GraphParty("bob", alpha=params.bob.alpha, r=params.bob.r),
+            ),
+            edges=(
+                GraphEdge(
+                    seller="alice",
+                    buyer="bob",
+                    amount=float(pstar),
+                    volatile=False,
+                    tau=params.tau_a,
+                    collateral=collateral,
+                ),
+                GraphEdge(
+                    seller="bob",
+                    buyer="alice",
+                    amount=1.0,
+                    volatile=True,
+                    tau=params.tau_b,
+                    collateral=collateral,
+                ),
+            ),
+            packets=packets,
+            p0=params.p0,
+            mu=params.mu,
+            sigma=params.sigma,
+            eps=params.eps_b,
+        )
+
+    @staticmethod
+    def cycle(
+        n_parties: int,
+        amount: float = 1.0,
+        packets: int = 1,
+        alpha: float = 0.3,
+        r: float = 0.01,
+        tau: float = 3.0,
+        p0: float = 2.0,
+        mu: float = 0.002,
+        sigma: float = 0.1,
+        eps: float = 1.0,
+        collateral: float = 0.0,
+    ) -> "SwapGraphSpec":
+        """An ``n``-party cycle: party ``i`` sells to party ``i+1``.
+
+        The last edge (claimed by the leader ``P0``) carries the
+        volatile token; the others are numeraire-valued, so the cycle
+        generalises the paper's stable-for-volatile trade. The volatile
+        edge's amount is ``amount / p0`` so every leg is worth
+        ``amount`` at the starting price -- an unbalanced cycle is
+        never initiated by the losing party.
+        """
+        if n_parties < 2:
+            raise ValueError(f"a cycle needs >= 2 parties, got {n_parties}")
+        names = [f"P{i}" for i in range(n_parties)]
+        parties = tuple(GraphParty(name, alpha=alpha, r=r) for name in names)
+        edges = tuple(
+            GraphEdge(
+                seller=names[i],
+                buyer=names[(i + 1) % n_parties],
+                amount=amount / p0 if i == n_parties - 1 else amount,
+                volatile=(i == n_parties - 1),
+                tau=tau,
+                collateral=collateral,
+            )
+            for i in range(n_parties)
+        )
+        return SwapGraphSpec(
+            parties=parties,
+            edges=edges,
+            packets=packets,
+            p0=p0,
+            mu=mu,
+            sigma=sigma,
+            eps=eps,
+        )
+
+    def replace(self, **overrides) -> "SwapGraphSpec":
+        """A copy with top-level fields replaced."""
+        return replace(self, **overrides)
+
+    # ------------------------------------------------------------------ #
+    # serialization (exact round-trip; keys the service cache)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        """Exact, JSON-safe representation (canonical wire/cache form)."""
+        return {
+            "parties": [party.to_dict() for party in self.parties],
+            "edges": [edge.to_dict() for edge in self.edges],
+            "packets": self.packets,
+            "p0": self.p0,
+            "mu": self.mu,
+            "sigma": self.sigma,
+            "eps": self.eps,
+            "step_time": self.step_time,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "SwapGraphSpec":
+        """Rebuild from a :meth:`to_dict` payload."""
+        if not isinstance(data, dict):
+            raise ValueError(f"spec must be an object, got {type(data).__name__}")
+        known = {
+            "parties", "edges", "packets", "p0", "mu", "sigma", "eps", "step_time",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown spec fields {sorted(unknown)}")
+        raw_parties = data.get("parties")
+        raw_edges = data.get("edges")
+        if not isinstance(raw_parties, (list, tuple)):
+            raise ValueError("spec needs a 'parties' array")
+        if not isinstance(raw_edges, (list, tuple)):
+            raise ValueError("spec needs an 'edges' array")
+        step_time = data.get("step_time")
+        return SwapGraphSpec(
+            parties=tuple(GraphParty.from_dict(p) for p in raw_parties),
+            edges=tuple(GraphEdge.from_dict(e) for e in raw_edges),
+            packets=int(data.get("packets", 1)),  # type: ignore[arg-type]
+            p0=float(data.get("p0", 2.0)),  # type: ignore[arg-type]
+            mu=float(data.get("mu", 0.002)),  # type: ignore[arg-type]
+            sigma=float(data.get("sigma", 0.1)),  # type: ignore[arg-type]
+            eps=float(data.get("eps", 1.0)),  # type: ignore[arg-type]
+            step_time=None if step_time is None else float(step_time),  # type: ignore[arg-type]
+        )

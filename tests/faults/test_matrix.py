@@ -93,11 +93,14 @@ class TestServiceMatrix:
         surface_kinds = {"surface_corrupt", "surface_io_error"}
         # replica_down is router-side chaos: tests/server/test_router.py
         router_kinds = {"replica_down"}
+        # swap-graph hooks are exercised in tests/swapgraph/test_service.py
+        swapgraph_kinds = {"swapgraph_error", "swapgraph_slow"}
         covered = (
             set(SERVICE_KINDS)
             | http_kinds
             | surface_kinds
             | router_kinds
+            | swapgraph_kinds
             | {"engine_error", "oracle_outage"}
         )
         assert covered == set(FAULT_KINDS)

@@ -1,0 +1,231 @@
+"""Property tests for generic backward induction on random game trees.
+
+Two contracts of :func:`repro.games.solver.solve_game` are pinned here
+(satellite of the swap-graph PR, and relied on by its lattice solver):
+
+* **Tie-break is canonical.** When several actions give the moving
+  player the same value, ``"stop"`` (:data:`INDIFFERENT_ACTION`) wins
+  if present, else the lexicographically smallest label -- the paper's
+  best responses require a *strict* improvement to continue.
+* **Order invariance.** Solved values and the equilibrium policy are
+  exactly stable under permutation of the action insertion order at
+  every decision node.
+
+Trees are drawn as plain data ("specs") and materialised into node
+objects so the same random game can be rebuilt with a different action
+ordering. Payoffs are integer-valued floats so ties occur often and
+comparisons are exact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.equilibrium import INDIFFERENT_ACTION
+from repro.games.solver import solve_game
+from repro.games.tree import ChanceNode, DecisionNode, TerminalNode
+
+PLAYERS = ("alice", "bob", "carol")
+LABELS = ("stop", "cont", "lock", "reveal", "abort")
+
+payoff_vectors = st.fixed_dictionaries(
+    {player: st.integers(-4, 4).map(float) for player in PLAYERS}
+)
+
+terminal_specs = st.tuples(st.just("terminal"), payoff_vectors)
+
+
+def _decision_specs(children):
+    action_entries = st.tuples(
+        st.sampled_from(LABELS),
+        st.one_of(st.none(), payoff_vectors),  # optional per-action rewards
+        children,
+    )
+    return st.tuples(
+        st.just("decision"),
+        st.sampled_from(PLAYERS),
+        st.lists(
+            action_entries, min_size=1, max_size=4, unique_by=lambda e: e[0]
+        ),
+    )
+
+
+def _chance_specs(children):
+    return st.tuples(
+        st.just("chance"), st.lists(children, min_size=1, max_size=3)
+    )
+
+
+tree_specs = st.recursive(
+    terminal_specs,
+    lambda children: st.one_of(
+        _decision_specs(children), _chance_specs(children)
+    ),
+    max_leaves=25,
+)
+
+
+def materialize(spec, reverse: bool = False):
+    """Build the node graph for ``spec``.
+
+    ``reverse`` flips the insertion order of every decision node's
+    actions; chance branch order is kept fixed so expectation sums are
+    bitwise identical and any value difference is the solver's fault.
+    """
+    kind = spec[0]
+    if kind == "terminal":
+        return TerminalNode(payoffs=dict(spec[1]))
+    if kind == "decision":
+        _kind, player, entries = spec
+        items = list(reversed(entries)) if reverse else list(entries)
+        actions = {
+            label: materialize(child, reverse) for label, _r, child in items
+        }
+        rewards = {
+            label: dict(flows) for label, flows, _c in items if flows is not None
+        }
+        return DecisionNode(
+            player=player, actions=actions, rewards=rewards or None
+        )
+    _kind, branch_specs = spec
+    prob = 1.0 / len(branch_specs)
+    return ChanceNode(
+        branches=tuple(
+            (prob, materialize(child, reverse)) for child in branch_specs
+        )
+    )
+
+
+def walk_policies(spec, node_a, node_b, solved_a, solved_b):
+    """Yield the equilibrium action pairs of corresponding decision nodes."""
+    kind = spec[0]
+    if kind == "terminal":
+        return
+    if kind == "decision":
+        yield solved_a.action_at(node_a), solved_b.action_at(node_b)
+        for label, _r, child_spec in spec[2]:
+            yield from walk_policies(
+                child_spec,
+                node_a.actions[label],
+                node_b.actions[label],
+                solved_a,
+                solved_b,
+            )
+        return
+    for child_spec, (_pa, child_a), (_pb, child_b) in zip(
+        spec[1], node_a.branches, node_b.branches
+    ):
+        yield from walk_policies(child_spec, child_a, child_b, solved_a, solved_b)
+
+
+class TestTieBreak:
+    @given(
+        labels=st.lists(
+            st.sampled_from(LABELS), min_size=2, max_size=5, unique=True
+        ),
+        payoffs=payoff_vectors,
+        player=st.sampled_from(PLAYERS),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_stop_wins_every_tie_it_is_part_of(self, labels, payoffs, player):
+        # every action leads to the same payoff vector => total tie
+        if INDIFFERENT_ACTION not in labels:
+            labels.append(INDIFFERENT_ACTION)
+        node = DecisionNode(
+            player=player,
+            actions={label: TerminalNode(payoffs=payoffs) for label in labels},
+        )
+        assert solve_game(node).action_at(node) == INDIFFERENT_ACTION
+
+    @given(
+        labels=st.lists(
+            st.sampled_from([l for l in LABELS if l != INDIFFERENT_ACTION]),
+            min_size=2,
+            max_size=4,
+            unique=True,
+        ),
+        payoffs=payoff_vectors,
+        player=st.sampled_from(PLAYERS),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lexicographic_without_stop(self, labels, payoffs, player):
+        node = DecisionNode(
+            player=player,
+            actions={label: TerminalNode(payoffs=payoffs) for label in labels},
+        )
+        assert solve_game(node).action_at(node) == min(labels)
+
+    @given(payoffs=payoff_vectors, reward=st.integers(1, 3).map(float))
+    @settings(max_examples=40, deadline=None)
+    def test_strict_improvement_beats_stop(self, payoffs, reward):
+        # a strictly better action must displace "stop" -- the tie-break
+        # never overrides a real preference
+        node = DecisionNode(
+            player="alice",
+            actions={
+                "stop": TerminalNode(payoffs=payoffs),
+                "cont": TerminalNode(payoffs=payoffs),
+            },
+            rewards={"cont": {"alice": reward}},
+        )
+        solved = solve_game(node)
+        assert solved.action_at(node) == "cont"
+        assert solved.root_value("alice") == payoffs["alice"] + reward
+
+
+class TestOrderInvariance:
+    @given(spec=tree_specs)
+    @settings(max_examples=80, deadline=None)
+    def test_values_and_policy_survive_action_permutation(self, spec):
+        forward = materialize(spec, reverse=False)
+        backward = materialize(spec, reverse=True)
+        solved_f = solve_game(forward)
+        solved_b = solve_game(backward)
+        assert solved_f.value_of(forward) == solved_b.value_of(backward)
+        for action_f, action_b in walk_policies(
+            spec, forward, backward, solved_f, solved_b
+        ):
+            assert action_f == action_b
+
+    @given(spec=tree_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_solving_is_deterministic(self, spec):
+        node = materialize(spec)
+        assert solve_game(node).value_of(node) == solve_game(node).value_of(node)
+
+
+class TestConsistency:
+    @given(spec=tree_specs)
+    @settings(max_examples=60, deadline=None)
+    def test_decision_values_are_best_responses(self, spec):
+        """At every decision node the solved own-value equals the max
+        over actions of (child value + reward), and the policy attains it."""
+        root = materialize(spec)
+        solved = solve_game(root)
+        stack = [root]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if isinstance(node, DecisionNode):
+                combined = {}
+                for action, child in node.actions.items():
+                    value = dict(solved.value_of(child))
+                    flows = node.rewards.get(action) if node.rewards else None
+                    for player, flow in (flows or {}).items():
+                        value[player] = value.get(player, 0.0) + flow
+                    combined[action] = value.get(node.player, 0.0)
+                chosen = solved.action_at(node)
+                own = solved.value_of(node)[node.player]
+                assert own == max(combined.values())
+                assert combined[chosen] == own
+                stack.extend(node.actions.values())
+            elif isinstance(node, ChanceNode):
+                stack.extend(child for _p, child in node.branches)

@@ -1,0 +1,79 @@
+"""Regression pin: k=1 / n=2 swap graphs reproduce the paper solver.
+
+The swap-graph subsystem must not drift from the closed-form
+three-stage solver it generalises. A paper-shaped spec (two parties,
+two edges, one packet, no collateral) is *required* to agree with
+:func:`repro.core.solver.solve_swap_game` to <= 1e-9 on every number
+the two share: per-party equilibrium utilities, the success rate, the
+t3 reveal threshold, and Bob's t2 continuation region.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import SwapParameters
+from repro.core.solver import solve_swap_game
+from repro.swapgraph import SwapGraphSpec, solve_swap_graph
+
+TOL = 1e-9
+PSTARS = (1.7, 2.0, 2.4)
+
+
+@pytest.mark.parametrize("pstar", PSTARS)
+class TestClosedFormParity:
+    def test_utilities_match(self, pstar):
+        params = SwapParameters.default()
+        reference = solve_swap_game(params, pstar)
+        eq = solve_swap_graph(SwapGraphSpec.two_party(params, pstar=pstar))
+        assert eq.mode == "closed_form"
+        expected_alice = (
+            reference.alice_t1.cont
+            if reference.initiated
+            else reference.alice_t1.stop
+        )
+        expected_bob = (
+            reference.bob_t1.cont
+            if reference.initiated
+            else reference.bob_t1.stop
+        )
+        assert abs(eq.utilities["alice"] - expected_alice) <= TOL
+        assert abs(eq.utilities["bob"] - expected_bob) <= TOL
+
+    def test_success_rate_matches(self, pstar):
+        params = SwapParameters.default()
+        reference = solve_swap_game(params, pstar)
+        eq = solve_swap_graph(SwapGraphSpec.two_party(params, pstar=pstar))
+        assert abs(eq.success_rate - reference.success_rate) <= TOL
+        assert eq.initiated == reference.initiated
+
+    def test_thresholds_match(self, pstar):
+        params = SwapParameters.default()
+        reference = solve_swap_game(params, pstar)
+        eq = solve_swap_graph(SwapGraphSpec.two_party(params, pstar=pstar))
+        reveal = eq.steps[-1]
+        assert reveal.kind == "reveal"
+        assert abs(reveal.threshold - reference.p3_threshold) <= TOL
+        bob_lock = eq.steps[1]
+        assert bob_lock.cont_intervals == tuple(
+            reference.bob_t2_region.intervals
+        )
+
+
+def test_lattice_mode_approximates_closed_form():
+    """Forcing the lattice on a paper-shaped spec lands near the exact
+    answer -- the discretised game is the same game."""
+    params = SwapParameters.default()
+    spec = SwapGraphSpec.two_party(params)
+    exact = solve_swap_graph(spec)
+    lattice = solve_swap_graph(spec, n_lattice=64)
+    assert lattice.mode == "lattice"
+    assert exact.mode == "closed_form"
+    assert lattice.initiated == exact.initiated
+    assert lattice.success_rate == pytest.approx(
+        exact.success_rate, abs=0.05
+    )
+    for name in ("alice", "bob"):
+        assert lattice.utilities[name] == pytest.approx(
+            exact.utilities[name], rel=0.05
+        )

@@ -1,0 +1,121 @@
+"""Lattice solves: cycles, packetization, equilibrium round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import SwapParameters
+from repro.swapgraph import (
+    SwapGraphEquilibrium,
+    SwapGraphSpec,
+    auto_lattice_size,
+    build_swap_graph_game,
+    solve_swap_graph,
+)
+from repro.swapgraph.spec import GraphEdge, GraphParty
+
+
+class TestCycles:
+    def test_three_party_cycle_solves(self):
+        spec = SwapGraphSpec.cycle(3)
+        eq = solve_swap_graph(spec)
+        assert eq.mode == "lattice"
+        assert eq.initiated
+        assert 0.0 < eq.success_rate < 1.0
+        assert sorted(eq.utilities) == ["P0", "P1", "P2"]
+        # one lock step per edge plus one reveal step, per round
+        assert len(eq.steps) == 4
+
+    def test_longer_cycles_fail_more(self):
+        # every extra leg adds a defection point and more discounting;
+        # the equilibrium success rate must fall with cycle length
+        rates = [
+            solve_swap_graph(SwapGraphSpec.cycle(n, ), n_lattice=9).success_rate
+            for n in (2, 3, 4)
+        ]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_unbalanced_cycle_is_not_initiated(self):
+        # all legs amount 1.0 with a volatile last edge worth p0=2 in
+        # the numeraire: the volatile seller would pay double, so the
+        # graph never starts
+        parties = tuple(GraphParty(f"P{i}") for i in range(3))
+        edges = (
+            GraphEdge("P0", "P1", 1.0),
+            GraphEdge("P1", "P2", 1.0),
+            GraphEdge("P2", "P0", 1.0, volatile=True),
+        )
+        eq = solve_swap_graph(
+            SwapGraphSpec(parties=parties, edges=edges), n_lattice=9
+        )
+        assert not eq.initiated
+        assert eq.unconditional_success_rate == 0.0
+
+
+class TestPacketization:
+    def test_packetized_swap_solves(self):
+        spec = SwapGraphSpec.two_party(
+            SwapParameters.default(), packets=4
+        ).replace(step_time=1.0)
+        eq = solve_swap_graph(spec)
+        assert eq.mode == "lattice"
+        assert eq.initiated
+        assert len(eq.steps) == 4 * 3  # k rounds of (2 locks + 1 reveal)
+        assert 0.0 < eq.success_rate < 1.0
+
+    def test_packetization_costs_success(self):
+        # each extra packet adds defection points and time discounting;
+        # under a fixed step time the success rate declines in k
+        def rate(k: int) -> float:
+            spec = SwapGraphSpec.two_party(
+                SwapParameters.default(), packets=k
+            ).replace(step_time=1.0)
+            return solve_swap_graph(spec, n_lattice=5).success_rate
+
+        assert rate(2) > rate(4) > rate(8)
+
+
+class TestLattice:
+    def test_auto_lattice_respects_budget(self):
+        import math
+
+        for n_steps in (3, 6, 12, 24):
+            m = auto_lattice_size(n_steps, budget=40_000)
+            assert 3 <= m <= 64
+            assert math.comb(n_steps - 1 + m, m) <= 40_000 or m == 3
+
+    def test_explicit_lattice_size_caps_states(self):
+        spec = SwapGraphSpec.two_party(SwapParameters.default(), packets=8)
+        with pytest.raises(ValueError, match="states"):
+            build_swap_graph_game(spec, n_lattice=64)
+
+    def test_node_count_reported(self):
+        spec = SwapGraphSpec.cycle(3)
+        eq = solve_swap_graph(spec, n_lattice=5)
+        assert eq.node_count > 0
+        assert eq.n_lattice == 5
+
+
+class TestRoundTrip:
+    def test_equilibrium_dict_round_trip(self):
+        eq = solve_swap_graph(SwapGraphSpec.cycle(3), n_lattice=7)
+        rebuilt = SwapGraphEquilibrium.from_dict(eq.to_dict())
+        assert rebuilt == eq
+
+    def test_closed_form_dict_round_trip(self):
+        eq = solve_swap_graph(SwapGraphSpec.two_party(SwapParameters.default()))
+        rebuilt = SwapGraphEquilibrium.from_dict(eq.to_dict())
+        assert rebuilt == eq
+
+    def test_policy_continues_at_respects_intervals(self):
+        eq = solve_swap_graph(SwapGraphSpec.cycle(3), n_lattice=7)
+        for policy in eq.steps:
+            if not policy.cont_intervals:
+                assert not policy.continues_at(2.0)
+                continue
+            lo, hi = policy.cont_intervals[0]
+            if hi == float("inf"):
+                inside = max(lo, 0.5) * 2.0
+            else:
+                inside = (max(lo, hi / 4.0) + hi) / 2.0
+            assert policy.continues_at(inside)

@@ -1,0 +1,139 @@
+"""SwapGraphSpec: validation, constructors, exact dict round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import SwapParameters
+from repro.swapgraph import SwapGraphSpec
+from repro.swapgraph.spec import MAX_DECISION_STEPS, GraphEdge, GraphParty
+
+
+def default_two_party(**overrides) -> SwapGraphSpec:
+    spec = SwapGraphSpec.two_party(SwapParameters.default())
+    return spec.replace(**overrides) if overrides else spec
+
+
+class TestValidation:
+    def test_needs_two_parties(self):
+        with pytest.raises(ValueError, match="parties"):
+            SwapGraphSpec(
+                parties=(GraphParty("solo"),),
+                edges=(
+                    GraphEdge("solo", "other", 1.0),
+                    GraphEdge("other", "solo", 1.0),
+                ),
+            )
+
+    def test_rejects_duplicate_party_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            SwapGraphSpec(
+                parties=(GraphParty("a"), GraphParty("a")),
+                edges=(
+                    GraphEdge("a", "b", 1.0),
+                    GraphEdge("b", "a", 1.0),
+                ),
+            )
+
+    def test_rejects_unknown_endpoint(self):
+        with pytest.raises(ValueError, match="not a party"):
+            SwapGraphSpec(
+                parties=(GraphParty("a"), GraphParty("b")),
+                edges=(
+                    GraphEdge("a", "b", 1.0),
+                    GraphEdge("b", "ghost", 1.0),
+                ),
+            )
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            GraphEdge("a", "a", 1.0)
+
+    def test_rejects_too_many_steps(self):
+        # packets * (edges + 1) must stay within the decision-step cap
+        packets = MAX_DECISION_STEPS // 3 + 1
+        with pytest.raises(ValueError, match="decision steps"):
+            SwapGraphSpec.cycle(2, packets=packets)
+
+    def test_rejects_eps_at_or_over_tau(self):
+        with pytest.raises(ValueError, match="eps"):
+            default_two_party(eps=10.0)
+
+    def test_rejects_nonpositive_amount(self):
+        with pytest.raises(ValueError, match="amount"):
+            GraphEdge("a", "b", 0.0)
+
+
+class TestConstructors:
+    def test_two_party_is_paper_shape(self):
+        spec = default_two_party()
+        assert spec.is_paper_shape()
+        assert len(spec.parties) == 2
+        assert len(spec.edges) == 2
+        assert spec.edges[1].volatile
+
+    def test_packets_break_paper_shape(self):
+        spec = SwapGraphSpec.two_party(SwapParameters.default(), packets=2)
+        assert not spec.is_paper_shape()
+
+    def test_cycle_shape(self):
+        spec = SwapGraphSpec.cycle(4)
+        assert [p.name for p in spec.parties] == ["P0", "P1", "P2", "P3"]
+        assert len(spec.edges) == 4
+        # exactly the last edge is volatile, and its amount is rebased
+        # by 1/p0 so every leg is worth the same at the starting price
+        assert [e.volatile for e in spec.edges] == [False, False, False, True]
+        assert spec.edges[-1].amount * spec.p0 == pytest.approx(
+            spec.edges[0].amount
+        )
+
+    def test_cycle_leader_is_last_buyer(self):
+        spec = SwapGraphSpec.cycle(3)
+        assert spec.leader == spec.edges[-1].buyer
+
+    def test_to_swap_parameters_inverts_two_party(self):
+        params = SwapParameters.default()
+        rebuilt = SwapGraphSpec.two_party(params).to_swap_parameters()
+        assert rebuilt.to_dict() == params.to_dict()
+
+
+class TestTimelocks:
+    def test_default_timelocks_nest(self):
+        # earlier edges must outlive later ones: a refund window that
+        # closes before a downstream reveal would let the leader steal
+        spec = SwapGraphSpec.cycle(3)
+        locks = [spec.edge_timelock(i) for i in range(len(spec.edges))]
+        assert locks == sorted(locks, reverse=True)
+
+    def test_explicit_timelock_wins(self):
+        import dataclasses
+
+        spec = default_two_party()
+        edges = (
+            spec.edges[0],
+            dataclasses.replace(spec.edges[1], timelock=99.0),
+        )
+        spec = spec.replace(edges=edges)
+        assert spec.edge_timelock(1) == 99.0
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            default_two_party(),
+            SwapGraphSpec.cycle(3, packets=2, collateral=0.25),
+            SwapGraphSpec.two_party(
+                SwapParameters.default(), packets=4
+            ).replace(step_time=1.0),
+        ],
+        ids=["two-party", "cycle-collateral", "packetized"],
+    )
+    def test_exact_round_trip(self, spec):
+        assert SwapGraphSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = default_two_party().to_dict()
+        data["bogus"] = 1
+        with pytest.raises(ValueError, match="bogus"):
+            SwapGraphSpec.from_dict(data)
