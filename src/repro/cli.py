@@ -6,8 +6,11 @@ Usage::
     repro-swaps table3
     repro-swaps figure3 ... figure9
     repro-swaps solve --pstar 2.0 [--collateral 0.5]
+    repro-swaps solve --pstar 2.0 --law merton:jump_intensity=0.05
     repro-swaps sweep --pstars 1.6,2.0,2.4 [--legacy]
+    repro-swaps sweep --law regime:sigma_turbulent=0.2
     repro-swaps validate --pstar 2.0 --paths 50000
+    repro-swaps backtest --market jumps --law merton
     repro-swaps graph --parties 3 --replay
     repro-swaps graph --parties 2 --packets 4 --step-time 1.0
     repro-swaps graph --spec spec.json --n-lattice 9
@@ -116,11 +119,27 @@ def _artifact_commands() -> Dict[str, Callable[[], str]]:
     }
 
 
+def _params_with_law(args: argparse.Namespace) -> SwapParameters:
+    """Default parameters, with ``--law`` applied when given.
+
+    ``parse_law`` raises ``ValueError`` for unknown kinds or malformed
+    ``kind:key=value,...`` tokens, which :func:`main` turns into a
+    clean one-line error.
+    """
+    params = SwapParameters.default()
+    law = getattr(args, "law", None)
+    if law:
+        from repro.stochastic.law import parse_law
+
+        params = params.replace(law=parse_law(law))
+    return params
+
+
 def _cmd_solve(args: argparse.Namespace) -> str:
     from repro.api import solve
     from repro.service.requests import SolveRequest
 
-    params = SwapParameters.default()
+    params = _params_with_law(args)
     # constructing the request validates pstar/collateral with clean errors
     request = SolveRequest(
         pstar=args.pstar, collateral=args.collateral, params=params
@@ -149,7 +168,7 @@ def _cmd_sweep(args: argparse.Namespace) -> object:
     induction per point -- the reference path the grid engine is
     property-tested against; the two outputs agree to ~1e-12.
     """
-    params = SwapParameters.default()
+    params = _params_with_law(args)
     if args.pstars is not None:
         try:
             pstars = [float(token) for token in args.pstars.split(",") if token.strip()]
@@ -182,7 +201,10 @@ def _cmd_sweep(args: argparse.Namespace) -> object:
         if tolerance is None:  # pointing at a surface opts in; use its default
             tolerance = service.surface.spec.default_tolerance
         items = service.sweep(
-            pstars, collateral=args.collateral, tolerance=tolerance
+            pstars,
+            params=params,
+            collateral=args.collateral,
+            tolerance=tolerance,
         )
         rates = [float(item.unwrap().success_rate) for item in items]
         return {
@@ -226,7 +248,7 @@ def _cmd_validate(args: argparse.Namespace) -> str:
     from repro.api import validate as validate_point
     from repro.service.requests import ValidateRequest
 
-    params = SwapParameters.default()
+    params = _params_with_law(args)
     ValidateRequest(  # validates pstar/collateral/paths with clean errors
         pstar=args.pstar,
         collateral=args.collateral,
@@ -280,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve = sub.add_parser("solve", parents=[common], help="solve one swap game")
     solve.add_argument("--pstar", type=float, default=2.0)
     solve.add_argument("--collateral", type=float, default=0.0)
+    _add_law_argument(solve)
 
     sweep = sub.add_parser(
         "sweep",
@@ -316,6 +339,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="interpolation error budget for --surface (default: the "
         "artifact's); 0 demands exactness",
     )
+    _add_law_argument(sweep)
 
     validate = sub.add_parser(
         "validate", parents=[common], help="Monte Carlo vs analytic SR"
@@ -325,6 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--seed", type=int, default=0)
     validate.add_argument("--collateral", type=float, default=0.0)
     validate.add_argument("--protocol-level", action="store_true")
+    _add_law_argument(validate)
 
     graph = sub.add_parser(
         "graph",
@@ -388,6 +413,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     backtest.add_argument(
         "--market", choices=["gbm", "regime", "jumps"], default="gbm"
+    )
+    backtest.add_argument(
+        "--law",
+        choices=["lognormal", "merton", "regime"],
+        default="lognormal",
+        help="price law each rolling window is calibrated to "
+        "(lognormal = the paper's GBM estimator)",
     )
     backtest.add_argument("--hours", type=int, default=1200)
     backtest.add_argument("--seed", type=int, default=0)
@@ -590,6 +622,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_law_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--law",
+        default=None,
+        metavar="KIND[:K=V,...]",
+        help="price law for the swap (default lognormal); e.g. "
+        "'merton:jump_intensity=0.05,jump_mean=-0.08' or "
+        "'regime:sigma_turbulent=0.2'",
+    )
+
+
 def _add_surface_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--surface",
@@ -751,8 +794,13 @@ def _cmd_backtest(args: argparse.Namespace) -> str:
         series, _regimes = RegimeSwitchingGenerator().generate(2.0, args.hours, rng)
     else:
         series = JumpDiffusionGenerator().generate(2.0, args.hours, rng)
-    report = SwapBacktester(SwapParameters.default(), window=168, step=24).run(series)
-    return f"backtest on {args.market} market:\n{report.describe()}"
+    report = SwapBacktester(
+        SwapParameters.default(), window=168, step=24, law_kind=args.law
+    ).run(series)
+    return (
+        f"backtest on {args.market} market ({args.law} calibration):\n"
+        f"{report.describe()}"
+    )
 
 
 def _cmd_market(args: argparse.Namespace) -> str:

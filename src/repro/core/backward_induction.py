@@ -30,7 +30,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.parameters import SwapParameters
-from repro.stochastic.lognormal import LognormalLaw, norm_cdf, transition_pieces
+from repro.stochastic.law import step_kernel
 from repro.stochastic.quadrature import DEFAULT_QUAD_ORDER, expectation_on_interval
 from repro.stochastic.rootfind import IntervalUnion, bracketed_root
 
@@ -71,6 +71,7 @@ class BackwardInduction:
         self.quad_order = quad_order
         self.scan_points = scan_points
         self._bob_t2_region: Optional[IntervalUnion] = None
+        self._kernels: dict = {}
 
     # ------------------------------------------------------------------ #
     # shared shorthands
@@ -84,8 +85,17 @@ class BackwardInduction:
     def _bob(self):
         return self.params.bob
 
-    def _law(self, spot: float, tau: float) -> LognormalLaw:
-        return LognormalLaw(spot=spot, mu=self.params.mu, sigma=self.params.sigma, tau=tau)
+    def _kernel(self, tau: float):
+        """The one-step transition kernel for horizon ``tau`` (cached)."""
+        kernel = self._kernels.get(tau)
+        if kernel is None:
+            p = self.params
+            kernel = step_kernel(p.law, p.mu, p.sigma, tau)
+            self._kernels[tau] = kernel
+        return kernel
+
+    def _law(self, spot: float, tau: float):
+        return self._kernel(tau).law(spot)
 
     # ------------------------------------------------------------------ #
     # stage t3: Alice reveals the secret or waives (Eqs. (14)-(19))
@@ -157,15 +167,15 @@ class BackwardInduction:
         Returns ``(cdf_at_threshold, survival, partial_below)`` of the
         price at ``t3`` given ``P_{t2} = p2``, all evaluated at the
         ``t3`` threshold, vectorised over ``p2``. Thin view over the
-        array kernel :func:`repro.stochastic.lognormal.transition_pieces`
-        (shared with the grid engine, so scalar and vectorised solves
-        evaluate the identical formulas); ``k <= 0`` degenerates to the
-        collateral extension's "Alice continues at any price" pieces.
+        law's step kernel (shared with the grid engine, so scalar and
+        vectorised solves evaluate the identical formulas; under the
+        default law this is exactly
+        :func:`repro.stochastic.lognormal.transition_pieces`);
+        ``k <= 0`` degenerates to the collateral extension's "Alice
+        continues at any price" pieces.
         """
         p = self.params
-        return transition_pieces(
-            _as_array(p2), p.mu, p.sigma, p.tau_b, self.p3_threshold()
-        )
+        return self._kernel(p.tau_b).pieces(_as_array(p2), self.p3_threshold())
 
     def alice_t2_cont(self, p2):
         """Eq. (20): Alice's expected utility at ``t2`` if Bob continues.
@@ -347,12 +357,11 @@ class BackwardInduction:
         if k <= 0.0:
             # Alice continues at any t3 price: SR is just the region mass
             return region.probability(law)
-        s = p.sigma * math.sqrt(p.tau_b)
-        drift = (p.mu - 0.5 * p.sigma**2) * p.tau_b
+        kernel_b = self._kernel(p.tau_b)
+        log_k = math.log(k)
 
         def survive(x: np.ndarray) -> np.ndarray:
-            z = (math.log(k) - np.log(x) - drift) / s
-            return norm_cdf(-z)
+            return kernel_b.survival_from_logs(np.log(x), log_k)
 
         return sum(
             expectation_on_interval(law, survive, lo, hi, self.quad_order)

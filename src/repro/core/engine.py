@@ -7,8 +7,8 @@ of Section IV -- is a *grid* evaluation, yet the scalar solvers
 collateral subclass) rebuild the whole threshold structure one exchange
 rate at a time. :class:`GridSolver` evaluates the entire grid at once:
 
-* one shared ``t1`` law ``LognormalLaw(p0, mu, sigma, tau_a)`` and one
-  Gauss--Legendre node set serve every point;
+* one shared ``t1`` law (``params.law`` stepped over ``tau_a`` from
+  ``p0``) and one Gauss--Legendre node set serve every point;
 * the ``t3`` thresholds, the ``t2`` scan grids, Bob's advantage
   function, the endpoint roots, and all three ``t1`` quadratures are
   computed as broadcast NumPy operations over the ``P*`` axis.
@@ -41,7 +41,7 @@ from repro.core.equilibrium import StageUtilities, SwapEquilibrium
 from repro.core.parameters import SwapParameters
 from repro.core.strategy import AliceStrategy, BobStrategy
 from repro.obs.metrics import get_registry
-from repro.stochastic.lognormal import LognormalLaw, norm_cdf, transition_pieces
+from repro.stochastic.law import observe_law, step_kernel
 from repro.stochastic.quadrature import (
     DEFAULT_QUAD_ORDER,
     expectation_on_intervals,
@@ -187,10 +187,13 @@ class GridSolver:
         self.collateral = float(collateral)
         self.quad_order = quad_order
         self.scan_points = scan_points
-        # the t1 law is identical for every grid point: built once here
-        self._t1_law = LognormalLaw(
-            spot=params.p0, mu=params.mu, sigma=params.sigma, tau=params.tau_a
-        )
+        # both transition kernels are identical for every grid point:
+        # built once here (under the default law these delegate to the
+        # exact lognormal closed forms, keeping historical bit-parity)
+        self._kernel_b = step_kernel(params.law, params.mu, params.sigma, params.tau_b)
+        self._t1_law = step_kernel(
+            params.law, params.mu, params.sigma, params.tau_a
+        ).law(params.p0)
 
     # ------------------------------------------------------------------ #
     # stage kernels (broadcast over the P* axis)
@@ -212,9 +215,7 @@ class GridSolver:
         """Eq. (21)/(35) kernel; ``k``/``bob_t3_cont`` broadcast against ``x``."""
         p = self.params
         b = p.bob
-        cdf, survival, partial_below = transition_pieces(
-            x, p.mu, p.sigma, p.tau_b, k
-        )
+        cdf, survival, partial_below = self._kernel_b.pieces(x, k)
         upper = survival * bob_t3_cont
         lower = math.exp(2.0 * (p.mu - b.r) * p.tau_b) * partial_below
         out = (upper + lower) * math.exp(-b.r * p.tau_b)
@@ -230,9 +231,7 @@ class GridSolver:
         """Eq. (20)/(35) kernel; per-point constants broadcast against ``x``."""
         p = self.params
         a = p.alice
-        cdf, survival, partial_below = transition_pieces(
-            x, p.mu, p.sigma, p.tau_b, k
-        )
+        cdf, survival, partial_below = self._kernel_b.pieces(x, k)
         mean = x * math.exp(p.mu * p.tau_b)
         partial_above = np.maximum(mean - partial_below, 0.0)
         upper = (1.0 + a.alpha) * math.exp((p.mu - a.r) * p.tau_b) * partial_above
@@ -385,13 +384,11 @@ class GridSolver:
         bob_t1_stop = np.full(n, p.p0 + q)
 
         # --- success rate (Eq. (31)/(40)) with the scalar survive kernel
-        s = p.sigma * math.sqrt(p.tau_b)
-        drift = (p.mu - 0.5 * p.sigma**2) * p.tau_b
+        kernel_b = self._kernel_b
         log_k_iv = np.log(np.where(k3 > 0.0, k3, 1.0))[iv_rows][:, None]
 
         def survive(x: np.ndarray) -> np.ndarray:
-            z = (log_k_iv - np.log(x) - drift) / s
-            return norm_cdf(-z)
+            return kernel_b.survival_from_logs(np.log(x), log_k_iv)
 
         sr_quad = np.bincount(
             iv_rows,
@@ -416,6 +413,7 @@ class GridSolver:
             success_rate=success,
         )
         self._observe(n, time.perf_counter() - started)
+        observe_law(p.law.kind, "grid")
         return result
 
     @staticmethod

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.stochastic.gbm import GeometricBrownianMotion
+from repro.stochastic.law import LOGNORMAL, LawSpec
 from repro.stochastic.paths import DecisionTimeGrid
 
 __all__ = ["AgentParameters", "SwapParameters"]
@@ -81,6 +82,11 @@ class SwapParameters:
     mu, sigma:
         GBM drift (per hour) and volatility (per sqrt-hour) of the
         Token_b price (paper Eq. (1)).
+    law:
+        The price law (default: the paper's lognormal/GBM Assumption 4).
+        Non-default laws (``merton``, ``regime``) reuse ``mu`` as the
+        total expected growth rate; the regime law carries its own
+        volatilities and ignores ``sigma``.
     """
 
     alice: AgentParameters
@@ -91,6 +97,7 @@ class SwapParameters:
     p0: float
     mu: float
     sigma: float
+    law: LawSpec = LOGNORMAL
 
     def __post_init__(self) -> None:
         if not self.tau_a > 0.0:
@@ -108,6 +115,10 @@ class SwapParameters:
             raise ValueError(f"sigma must be positive, got {self.sigma}")
         if not math.isfinite(self.mu):
             raise ValueError(f"mu must be finite, got {self.mu}")
+        if not isinstance(self.law, LawSpec):
+            raise ValueError(
+                f"law must be a LawSpec, got {type(self.law).__name__}"
+            )
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -131,10 +142,13 @@ class SwapParameters:
         """A copy with top-level fields replaced.
 
         Agent fields can be overridden with the shorthand keys
-        ``alpha_a``, ``alpha_b``, ``r_a``, ``r_b``.
+        ``alpha_a``, ``alpha_b``, ``r_a``, ``r_b``. ``law`` accepts a
+        :class:`LawSpec`, a spec dict, or the CLI shorthand string.
         """
         agent_keys = {"alpha_a", "alpha_b", "r_a", "r_b"}
         plain = {k: v for k, v in overrides.items() if k not in agent_keys}
+        if "law" in plain:
+            plain["law"] = _coerce_law(plain["law"])
         params = dataclasses.replace(self, **plain)
         alice, bob = params.alice, params.bob
         if "alpha_a" in overrides:
@@ -188,8 +202,12 @@ class SwapParameters:
         reproduces every field bit-for-bit. This is the configuration
         format used by the service layer's request keys and by exported
         reports.
+
+        The ``law`` key is emitted only for non-default laws, so every
+        historical lognormal payload -- and therefore every historical
+        request key and cached wire response -- is unchanged.
         """
-        return {
+        out: Dict[str, object] = {
             "alice": self.alice.to_dict(),
             "bob": self.bob.to_dict(),
             "tau_a": self.tau_a,
@@ -199,6 +217,9 @@ class SwapParameters:
             "mu": self.mu,
             "sigma": self.sigma,
         }
+        if not self.law.is_lognormal:
+            out["law"] = self.law.to_dict()
+        return out
 
     @staticmethod
     def from_dict(data: Dict[str, object]) -> "SwapParameters":
@@ -233,13 +254,32 @@ class SwapParameters:
                 p0=float(data.get("p0", base.p0)),
                 mu=float(data.get("mu", base.mu)),
                 sigma=float(data.get("sigma", base.sigma)),
+                law=_coerce_law(data.get("law", LOGNORMAL)),
             )
-        allowed = set(SwapParameters.default().as_dict())
+        allowed = set(SwapParameters.default().as_dict()) | {"law"}
         unknown = set(data) - allowed
         if unknown:
             raise ValueError(
                 f"unknown parameter keys {sorted(unknown)}; allowed: {sorted(allowed)}"
             )
         return SwapParameters.default().replace(
-            **{k: float(v) for k, v in data.items()}  # type: ignore[arg-type]
+            **{
+                k: (_coerce_law(v) if k == "law" else float(v))  # type: ignore[arg-type]
+                for k, v in data.items()
+            }
         )
+
+
+def _coerce_law(value) -> LawSpec:
+    """Accept a LawSpec, a spec dict, or the CLI shorthand string."""
+    if isinstance(value, LawSpec):
+        return value
+    if isinstance(value, str):
+        from repro.stochastic.law import parse_law
+
+        return parse_law(value)
+    if isinstance(value, dict):
+        return LawSpec.from_dict(value)
+    raise ValueError(
+        f"law must be a LawSpec, dict, or shorthand string, got {type(value).__name__}"
+    )

@@ -27,7 +27,7 @@ from repro.core.parameters import SwapParameters
 from repro.games.lattice import LatticeTransition, discretize_law
 from repro.games.solver import SolvedGame, solve_game
 from repro.games.tree import ChanceNode, DecisionNode, GameNode, TerminalNode
-from repro.stochastic.lognormal import LognormalLaw
+from repro.stochastic.law import step_kernel
 
 __all__ = ["SwapGameTree", "build_swap_game", "lattice_equilibrium_summary"]
 
@@ -108,10 +108,9 @@ def build_swap_game(
     """
     if not pstar > 0.0:
         raise ValueError(f"pstar must be positive, got {pstar}")
-    law_t2 = LognormalLaw(
-        spot=params.p0, mu=params.mu, sigma=params.sigma, tau=params.tau_a
-    )
-    t2_lattice = discretize_law(law_t2, n_lattice)
+    kernel_a = step_kernel(params.law, params.mu, params.sigma, params.tau_a)
+    kernel_b = step_kernel(params.law, params.mu, params.sigma, params.tau_b)
+    t2_lattice = discretize_law(kernel_a.law(params.p0), n_lattice)
 
     bob_nodes: List[DecisionNode] = []
     alice_t3_nodes: List[Tuple[DecisionNode, ...]] = []
@@ -119,10 +118,7 @@ def build_swap_game(
     t2_branches: List[Tuple[float, GameNode]] = []
 
     for p2, prob2 in zip(t2_lattice.points, t2_lattice.probabilities):
-        law_t3 = LognormalLaw(
-            spot=p2, mu=params.mu, sigma=params.sigma, tau=params.tau_b
-        )
-        t3_lattice = discretize_law(law_t3, n_lattice)
+        t3_lattice = discretize_law(kernel_b.law(p2), n_lattice)
         t3_lattices.append(t3_lattice)
 
         alice_nodes_here: List[DecisionNode] = []

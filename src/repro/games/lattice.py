@@ -18,7 +18,6 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.stochastic.lognormal import LognormalLaw
 
 __all__ = ["LatticeTransition", "discretize_law"]
 
@@ -53,11 +52,16 @@ class LatticeTransition:
 
 
 def discretize_law(
-    law: LognormalLaw,
+    law,
     n: int,
     tail_mass: float = 1e-6,
 ) -> LatticeTransition:
     """Discretise ``law`` into ``n`` conditional-mean buckets.
+
+    ``law`` is any price-law distribution exposing ``quantile``,
+    ``cdf``, ``mean`` and ``partial_expectation_below``
+    (:class:`~repro.stochastic.lognormal.LognormalLaw`,
+    :class:`~repro.stochastic.law.MixtureLaw`, ...).
 
     The two extreme buckets absorb the tails beyond the
     ``tail_mass`` / ``1 - tail_mass`` quantiles, so no probability is

@@ -10,14 +10,18 @@ about (see DESIGN.md, substitutions):
   log-returns, rolling realized volatility and drift estimation;
 * :mod:`repro.marketdata.synthetic` -- seeded generators: plain GBM,
   regime-switching GBM (calm/turbulent), and Merton jump-diffusion;
+* :mod:`repro.marketdata.calibrate` -- per-law estimators
+  (lognormal closed form, Merton mixture MLE, regime Baum--Welch EM)
+  returning a fitted :class:`~repro.stochastic.law.LawSpec`;
 * :mod:`repro.marketdata.backtest` -- a walk-forward backtester: at
-  each decision time it estimates ``(mu, sigma)`` from trailing data,
+  each decision time it calibrates the chosen law from trailing data,
   picks the SR-maximising ``P*``, predicts the success rate, then
   plays the swap out against the *realized* future prices and compares
   prediction with outcome.
 """
 
 from repro.marketdata.backtest import BacktestReport, SwapBacktester
+from repro.marketdata.calibrate import LawCalibration, calibrate_law
 from repro.marketdata.series import PriceSeries, estimate_gbm_parameters
 from repro.marketdata.synthetic import (
     JumpDiffusionGenerator,
@@ -28,6 +32,8 @@ from repro.marketdata.synthetic import (
 __all__ = [
     "PriceSeries",
     "estimate_gbm_parameters",
+    "LawCalibration",
+    "calibrate_law",
     "PlainGBMGenerator",
     "RegimeSwitchingGenerator",
     "JumpDiffusionGenerator",

@@ -25,7 +25,8 @@ from typing import List, Optional, Tuple
 from repro.core.backward_induction import BackwardInduction
 from repro.core.parameters import SwapParameters
 from repro.core.success_rate import max_success_rate
-from repro.marketdata.series import PriceSeries, estimate_gbm_parameters
+from repro.marketdata.calibrate import calibrate_law
+from repro.marketdata.series import PriceSeries
 
 __all__ = ["AttemptRecord", "BacktestReport", "SwapBacktester"]
 
@@ -128,6 +129,11 @@ class SwapBacktester:
     rate_policy:
         ``"optimal"`` picks the SR-maximising ``P*`` per attempt;
         ``"spot"`` uses the current price as the rate when feasible.
+    law_kind:
+        Which price law to calibrate and solve under per attempt
+        (``"lognormal"``, ``"merton"`` or ``"regime"``); each window is
+        fitted by that law's own estimator
+        (:func:`~repro.marketdata.calibrate.calibrate_law`).
     """
 
     def __init__(
@@ -136,6 +142,7 @@ class SwapBacktester:
         window: int = 168,
         step: int = 24,
         rate_policy: str = "optimal",
+        law_kind: str = "lognormal",
     ) -> None:
         if window < 8:
             raise ValueError(f"window must be >= 8 observations, got {window}")
@@ -147,6 +154,7 @@ class SwapBacktester:
         self.window = window
         self.step = step
         self.rate_policy = rate_policy
+        self.law_kind = law_kind
 
     def _offsets(self, dt: float) -> Tuple[int, int]:
         """Observation offsets of ``t2`` and ``t3`` from the attempt time."""
@@ -171,10 +179,12 @@ class SwapBacktester:
     def _attempt(
         self, series: PriceSeries, i: int, off2: int, off3: int
     ) -> AttemptRecord:
-        estimate = estimate_gbm_parameters(series.window(i - self.window, self.window))
+        estimate = calibrate_law(
+            series.window(i - self.window, self.window), self.law_kind
+        )
         spot = series.price_at(i)
         params = self.base_params.replace(
-            p0=spot, mu=estimate.mu, sigma=estimate.sigma
+            p0=spot, mu=estimate.mu, sigma=estimate.sigma, law=estimate.law
         )
 
         pstar = self._choose_rate(params)

@@ -89,6 +89,7 @@ from repro.server.wire import (
 )
 from repro.service.errors import ServiceErrorInfo
 from repro.service.keys import KEY_VERSION
+from repro.stochastic.law import registered_laws
 from repro.swapgraph.metrics import observe_graph_request
 
 __all__ = ["RouterServer", "serve_sharded"]
@@ -469,6 +470,7 @@ class RouterServer:
                         "version": _package_version(),
                         "key_version": KEY_VERSION,
                         "surface": None,
+                        "laws": registered_laws(),
                         "role": "router",
                         "replicas": len(self._names),
                     }
@@ -576,6 +578,7 @@ class RouterServer:
                     "ok": True,
                     "status": "ready",
                     "surface": None,
+                    "laws": registered_laws(),
                     "replicas": [
                         {"name": name, "url": url}
                         for name, url in zip(self._names, self.replica_urls)

@@ -81,11 +81,13 @@ from repro.server.wire import (
     queue_full_error,
     status_for,
 )
+from repro.core.parameters import SwapParameters
 from repro.service.api import SwapService
 from repro.service.errors import ServiceError, ServiceErrorInfo
 from repro.service.jsonl import render_records, serve_lines
 from repro.service.keys import KEY_VERSION
 from repro.service.requests import parse_request
+from repro.stochastic.law import parse_law, registered_laws
 
 __all__ = ["AdmissionGate", "SwapServer", "serve"]
 
@@ -434,6 +436,12 @@ class _Handler(BaseHTTPRequestHandler):
             tolerance = (
                 float(raw_tolerance) if raw_tolerance is not None else None
             )
+            raw_law = query.get("law", [None])[0]
+            params = (
+                SwapParameters.default().replace(law=parse_law(raw_law))
+                if raw_law
+                else None
+            )
         except ValueError as exc:
             raise _WireError(
                 ServiceErrorInfo(code="invalid_request", message=str(exc))
@@ -447,7 +455,7 @@ class _Handler(BaseHTTPRequestHandler):
             )
         items = self._with_deadline(
             lambda: self.owner.service.sweep(
-                pstars, collateral=collateral, tolerance=tolerance
+                pstars, params=params, collateral=collateral, tolerance=tolerance
             )
         )
         self._send_json(200, SweepReply.from_items(pstars, items).to_dict())
@@ -469,13 +477,15 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         # the surface info lets operators verify *which* artifact this
-        # replica answers from (axes, checksum) straight off the probe
+        # replica answers from (axes, checksum) straight off the probe;
+        # the law map, which price laws this build can solve under
         self._send_json(
             200,
             {
                 "ok": True,
                 "status": "ready",
                 "surface": owner.service.surface_info(),
+                "laws": registered_laws(),
             },
         )
 
@@ -488,6 +498,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "version": _package_version(),
                 "key_version": KEY_VERSION,
                 "surface": self.owner.service.surface_info(),
+                "laws": registered_laws(),
             },
         )
 

@@ -54,6 +54,7 @@ from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor
 from concurrent.futures import wait as _futures_wait
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import quote
 
 from repro.faults.injector import build_injector
 from repro.server.circuit import CircuitBreaker
@@ -648,9 +649,16 @@ class SwapClient:
         pstar: float = 2.0,
         collateral: float = 0.0,
         params: Optional[dict] = None,
+        law: Optional[str] = None,
     ):
-        """``POST /v1/solve``; returns the decoded equilibrium object."""
+        """``POST /v1/solve``; returns the decoded equilibrium object.
+
+        ``law`` is the CLI shorthand (``"merton:jump_intensity=0.05"``)
+        or a ``{"kind", "params"}`` dict; it is merged into ``params``
+        (an explicit ``params["law"]`` wins).
+        """
         payload: dict = {"kind": "solve", "pstar": pstar, "collateral": collateral}
+        params = _merge_law(params, law)
         if params is not None:
             payload["params"] = params
         reply = ResultReply.from_dict(self._json("POST", "/v1/solve", payload))
@@ -663,8 +671,13 @@ class SwapClient:
         n_paths: int = 20_000,
         seed: Optional[int] = None,
         params: Optional[dict] = None,
+        law: Optional[str] = None,
     ):
-        """``POST /v1/validate``; returns the decoded validation result."""
+        """``POST /v1/validate``; returns the decoded validation result.
+
+        ``law`` follows the same shorthand-merge convention as
+        :meth:`solve`.
+        """
         payload: dict = {
             "kind": "validate",
             "pstar": pstar,
@@ -673,6 +686,7 @@ class SwapClient:
         }
         if seed is not None:
             payload["seed"] = seed
+        params = _merge_law(params, law)
         if params is not None:
             payload["params"] = params
         reply = ResultReply.from_dict(
@@ -729,17 +743,22 @@ class SwapClient:
         pstars: Sequence[float],
         collateral: float = 0.0,
         tolerance: Optional[float] = None,
+        law: Optional[str] = None,
     ) -> List[dict]:
         """``GET /v1/sweep``; one ``{pstar, success_rate, ...}`` per point.
 
         ``tolerance`` opts the sweep into the server's surface tier:
         points certified within it come back with ``source="surface"``
         and their ``bound``; ``tolerance=0.0`` demands exact answers.
+        ``law`` sweeps under a non-default price law (CLI shorthand,
+        e.g. ``"merton:jump_intensity=0.05"``).
         """
         query = ",".join(repr(float(p)) for p in pstars)
         url = f"/v1/sweep?pstars={query}&collateral={collateral!r}"
         if tolerance is not None:
             url += f"&tolerance={tolerance!r}"
+        if law is not None:
+            url += f"&law={quote(law, safe='')}"
         reply = SweepReply.from_dict(self._json("GET", url))
         # callers get plain dicts (the wire form); the round-trip through
         # the typed schema is the client-side conformance check
@@ -781,12 +800,22 @@ class SwapClient:
             "version": document.get("version"),
             "key_version": document.get("key_version"),
             "surface": document.get("surface"),
+            "laws": document.get("laws"),
         }
 
     def metrics(self) -> str:
         """The live Prometheus text exposition from ``/metrics``."""
         _status, raw = self._request("GET", "/metrics")
         return raw.decode("utf-8")
+
+
+def _merge_law(params: Optional[dict], law: Optional[str]) -> Optional[dict]:
+    """Fold a ``law`` shorthand into a wire params dict (explicit wins)."""
+    if law is None:
+        return params
+    merged = dict(params) if params is not None else {}
+    merged.setdefault("law", law)
+    return merged
 
 
 def _envelope_error(payload: bytes) -> Dict[str, object]:

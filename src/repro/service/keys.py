@@ -41,7 +41,11 @@ __all__ = ["KEY_VERSION", "canonical_payload", "request_key", "derive_seed"]
 # replay knobs are part of the canonical payload), and seed derivation
 # now covers swap-graph replays; keys from the three-kind schema must
 # miss rather than alias the new request space.
-KEY_VERSION = 4
+# v5: pluggable price laws -- ``params``/``spec`` payloads may carry a
+# ``law`` object ({"kind", "params"}), absent for the default lognormal
+# law (so lognormal payloads are byte-identical to v4's), and solver
+# results now depend on the law; pre-law cache entries must miss.
+KEY_VERSION = 5
 
 
 def canonical_payload(request: Request) -> str:

@@ -25,10 +25,24 @@ from repro.core.backward_induction import BackwardInduction
 from repro.core.parameters import SwapParameters
 from repro.simulation.engine import EpisodeConfig, run_episode
 from repro.simulation.results import BatchSummary, wilson_interval
-from repro.stochastic.paths import sample_decision_prices
+from repro.stochastic.law import observe_law
+from repro.stochastic.paths import sample_decision_prices_for_law
 from repro.stochastic.rng import RandomState
 
 __all__ = ["MonteCarloResult", "empirical_success_rate", "validate_against_analytic"]
+
+
+def _decision_prices(
+    params: SwapParameters,
+    rng: RandomState,
+    n_paths: int,
+    antithetic: bool,
+) -> np.ndarray:
+    """Sample ``(P_t1, P_t2, P_t3)`` under the parameter set's price law."""
+    return sample_decision_prices_for_law(
+        params.law, params.mu, params.sigma, params.p0, params.grid,
+        rng, n_paths, antithetic=antithetic,
+    )
 
 
 @dataclass(frozen=True)
@@ -68,9 +82,7 @@ def _strategy_level_counts(
     if not initiate:
         return 0, 0, n_paths
 
-    prices = sample_decision_prices(
-        params.process, params.p0, params.grid, rng, n_paths, antithetic=antithetic
-    )
+    prices = _decision_prices(params, rng, n_paths, antithetic)
     p2 = prices[:, 1]
     p3 = prices[:, 2]
     region = solver.bob_t2_region()
@@ -115,10 +127,7 @@ def empirical_success_rate(
             bob=bob,
         )
         price_rng, secret_rng = rng.spawn(2)
-        prices = sample_decision_prices(
-            params.process, params.p0, params.grid, price_rng, n_paths,
-            antithetic=antithetic,
-        )
+        prices = _decision_prices(params, price_rng, n_paths, antithetic)
         summary = BatchSummary()
         for i in range(n_paths):
             record = run_episode(config, secret_rng, decision_prices=prices[i])
@@ -132,6 +141,7 @@ def empirical_success_rate(
 
     elapsed = time.perf_counter() - mc_started
     level = "protocol" if protocol_level else "strategy"
+    observe_law(params.law.kind, "montecarlo")
     registry = get_registry()
     registry.counter(
         "repro_mc_paths_total",

@@ -20,7 +20,17 @@ Monte Carlo engine need from probability theory and numerical analysis:
 """
 
 from repro.stochastic.gbm import GeometricBrownianMotion
+from repro.stochastic.law import (
+    LawSpec,
+    LognormalStepKernel,
+    MixtureLaw,
+    MixtureStepKernel,
+    parse_law,
+    registered_laws,
+    step_kernel,
+)
 from repro.stochastic.lognormal import LognormalLaw, transition_pieces
+from repro.stochastic.mathkit import norm_cdf, norm_ppf
 from repro.stochastic.paths import DecisionTimeGrid, sample_decision_prices
 from repro.stochastic.quadrature import (
     expectation_on_interval,
@@ -39,7 +49,16 @@ from repro.stochastic.rootfind import (
 
 __all__ = [
     "GeometricBrownianMotion",
+    "LawSpec",
     "LognormalLaw",
+    "LognormalStepKernel",
+    "MixtureLaw",
+    "MixtureStepKernel",
+    "norm_cdf",
+    "norm_ppf",
+    "parse_law",
+    "registered_laws",
+    "step_kernel",
     "transition_pieces",
     "DecisionTimeGrid",
     "sample_decision_prices",

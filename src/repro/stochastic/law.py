@@ -1,0 +1,653 @@
+"""Pluggable price laws: one interface, many transition kernels.
+
+The paper's equilibrium analysis hardwires Assumption 4 -- prices follow
+GBM, so every one-step transition is lognormal. This module turns that
+assumption into an interface so the same backward induction can run
+under fat-tailed and regime-dependent dynamics:
+
+* :class:`LawSpec` -- a small serializable description of a law
+  (``kind`` + named float parameters), with a versioned registry, JSON
+  round-tripping, and a CLI shorthand parser
+  (``merton:jump_intensity=0.05``).
+* :class:`StepKernel` -- the protocol the solvers consume: the
+  ``(cdf, survival, partial_below)`` threshold pieces of one transition,
+  a log-space survival kernel, a per-spot distribution object for
+  quadrature, and sampling hooks for Monte Carlo.
+* :class:`LognormalStepKernel` -- the GBM kernel. It delegates to the
+  exact closed forms in :mod:`repro.stochastic.lognormal`, so solving
+  under the default law is *bit-identical* to the pre-refactor code.
+* :class:`MixtureStepKernel` / :class:`MixtureLaw` -- a finite mixture
+  of lognormal components over one step. Both non-GBM laws (Merton
+  jump-diffusion, 2-state regime switching) reduce to this shape, so the
+  generic machinery is written once.
+
+Every registered kernel preserves the paper's mean identity
+:math:`E[P_{t+\\tau} | P_t] = P_t e^{\\mu \\tau}` **exactly** (the
+mixture constructors compensate their components to make it hold), so
+the closed-form drift factors baked into the stage utilities (e.g. the
+:math:`(1+\\alpha) e^{(\\mu - r) \\tau_b}` factor of Equation (21))
+remain valid under every law.
+
+Law degeneracies are exact, not approximate: a Merton spec with
+``jump_intensity == 0`` and a regime spec with equal volatilities both
+*return* a :class:`LognormalStepKernel`, so their results match the
+default law to the last bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.stochastic.lognormal import LognormalLaw, transition_pieces
+from repro.stochastic.mathkit import norm_cdf, norm_ppf
+
+__all__ = [
+    "LawSpec",
+    "LawInfo",
+    "LognormalStepKernel",
+    "MixtureStepKernel",
+    "MixtureLaw",
+    "step_kernel",
+    "observe_law",
+    "register_law",
+    "registered_laws",
+    "law_registry",
+    "parse_law",
+    "LOGNORMAL",
+]
+
+_LOG_SQRT_2PI = np.sqrt(2.0 * np.pi)
+
+
+# --------------------------------------------------------------------- #
+# LawSpec: the serializable description
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class LawSpec:
+    """A serializable description of a price law.
+
+    ``kind`` names a registered law; ``params`` holds its named float
+    parameters as a sorted tuple of ``(name, value)`` pairs (a tuple so
+    the spec is hashable and usable inside frozen dataclasses like
+    ``SwapParameters``). Use :meth:`make` / :meth:`from_dict` /
+    :func:`parse_law` rather than the raw constructor -- they validate
+    against the registry and fill defaults, producing a canonical form.
+    """
+
+    kind: str = "lognormal"
+    params: Tuple[Tuple[str, float], ...] = ()
+
+    # -- constructors -------------------------------------------------- #
+
+    @staticmethod
+    def lognormal() -> "LawSpec":
+        return LawSpec()
+
+    @staticmethod
+    def make(kind: str, **params: float) -> "LawSpec":
+        """Build a validated, canonical spec for a registered ``kind``."""
+        info = law_registry().get(kind)
+        if info is None:
+            known = ", ".join(sorted(law_registry()))
+            raise ValueError(f"unknown law kind {kind!r} (known: {known})")
+        merged = dict(info.defaults)
+        for name, value in params.items():
+            if name not in merged:
+                allowed = ", ".join(info.param_names) or "(none)"
+                raise ValueError(
+                    f"law {kind!r} has no parameter {name!r} (allowed: {allowed})"
+                )
+            merged[name] = float(value)
+        info.validate(merged)
+        return LawSpec(kind=kind, params=tuple(sorted(merged.items())))
+
+    # -- views --------------------------------------------------------- #
+
+    @property
+    def is_lognormal(self) -> bool:
+        return self.kind == "lognormal"
+
+    def param_dict(self) -> Dict[str, float]:
+        return dict(self.params)
+
+    def describe(self) -> str:
+        """Human-oriented one-liner, e.g. ``merton(jump_intensity=0.05, ...)``."""
+        if not self.params:
+            return self.kind
+        inner = ", ".join(f"{k}={v:g}" for k, v in self.params)
+        return f"{self.kind}({inner})"
+
+    # -- serialization ------------------------------------------------- #
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON form: ``kind`` plus the *full* parameter set."""
+        out: Dict[str, object] = {"kind": self.kind}
+        if self.params:
+            out["params"] = {k: float(v) for k, v in self.params}
+        return out
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "LawSpec":
+        if not isinstance(data, Mapping):
+            raise ValueError(f"law spec must be a mapping, got {type(data).__name__}")
+        unknown = set(data) - {"kind", "params"}
+        if unknown:
+            raise ValueError(f"unknown law spec fields: {sorted(unknown)}")
+        kind = data.get("kind")
+        if not isinstance(kind, str):
+            raise ValueError("law spec requires a string 'kind'")
+        params = data.get("params", {})
+        if not isinstance(params, Mapping):
+            raise ValueError("law spec 'params' must be a mapping of name -> float")
+        return LawSpec.make(kind, **{str(k): float(v) for k, v in params.items()})
+
+
+def parse_law(text: str) -> LawSpec:
+    """Parse the CLI shorthand ``kind[:name=value,name=value,...]``.
+
+    Examples::
+
+        lognormal
+        merton:jump_intensity=0.05,jump_mean=-0.05,jump_std=0.1
+        regime:sigma_calm=0.05,sigma_turbulent=0.2
+
+    Unspecified parameters take the registered defaults.
+    """
+    text = text.strip()
+    if not text:
+        raise ValueError("empty law shorthand")
+    kind, _, rest = text.partition(":")
+    params: Dict[str, float] = {}
+    if rest:
+        for item in rest.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            name, sep, value = item.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"bad law parameter {item!r}: expected name=value"
+                )
+            try:
+                params[name.strip()] = float(value)
+            except ValueError:
+                raise ValueError(f"bad float in law parameter {item!r}") from None
+    return LawSpec.make(kind.strip(), **params)
+
+
+LOGNORMAL = LawSpec()
+
+
+# --------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class LawInfo:
+    """Registry entry for one law kind."""
+
+    kind: str
+    version: int
+    param_names: Tuple[str, ...]
+    defaults: Dict[str, float]
+    validate: Callable[[Mapping[str, float]], None]
+    build: Callable[[Mapping[str, float], float, float, float], "StepKernel"]
+
+
+_REGISTRY: Dict[str, LawInfo] = {}
+
+
+def register_law(
+    kind: str,
+    *,
+    version: int,
+    defaults: Mapping[str, float],
+    validate: Callable[[Mapping[str, float]], None],
+    build: Callable[[Mapping[str, float], float, float, float], "StepKernel"],
+) -> None:
+    """Register a law kind. Re-registering a kind is an error."""
+    if kind in _REGISTRY:
+        raise ValueError(f"law kind {kind!r} already registered")
+    _REGISTRY[kind] = LawInfo(
+        kind=kind,
+        version=int(version),
+        param_names=tuple(sorted(defaults)),
+        defaults={k: float(v) for k, v in defaults.items()},
+        validate=validate,
+        build=build,
+    )
+
+
+def law_registry() -> Dict[str, LawInfo]:
+    """The registry mapping ``kind -> LawInfo`` (live view)."""
+    return _REGISTRY
+
+
+def registered_laws() -> Dict[str, int]:
+    """``{kind: version}`` for discovery endpoints (``/version``, ``/readyz``)."""
+    return {kind: info.version for kind, info in sorted(_REGISTRY.items())}
+
+
+def observe_law(kind: str, layer: str) -> None:
+    """Record one solve/sample pass under a law at a solver layer.
+
+    Looked up on the *current* metrics registry at call time, matching
+    the convention of :func:`repro.core.solver.observe_solver`.
+    """
+    from repro.obs.metrics import get_registry
+
+    get_registry().counter(
+        "repro_law_solves_total",
+        "Solver passes by price law and layer.",
+        labelnames=("law", "layer"),
+    ).inc(law=kind, layer=layer)
+
+
+def step_kernel(spec: LawSpec, mu: float, sigma: float, tau: float) -> "StepKernel":
+    """Build the one-step transition kernel for ``spec`` over horizon ``tau``.
+
+    ``mu`` and ``sigma`` are the swap's drift/volatility parameters; how a
+    law uses ``sigma`` is its own business (the regime law replaces it
+    with its per-state volatilities), but every kernel preserves
+    ``E[P_{t+tau} | P_t] = P_t e^{mu tau}`` exactly.
+    """
+    info = _REGISTRY.get(spec.kind)
+    if info is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown law kind {spec.kind!r} (known: {known})")
+    return info.build(spec.param_dict(), float(mu), float(sigma), float(tau))
+
+
+# --------------------------------------------------------------------- #
+# kernels
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class LognormalStepKernel:
+    """The GBM one-step kernel (Assumption 4).
+
+    Every method delegates to the closed forms in
+    :mod:`repro.stochastic.lognormal` with the exact operation order the
+    pre-refactor solvers used, so results under this kernel are
+    bit-identical to the historical lognormal-only code path.
+    """
+
+    mu: float
+    sigma: float
+    tau: float
+
+    kind = "lognormal"
+    is_lognormal = True
+
+    def pieces(self, spot, k):
+        """``(cdf, survival, partial_below)`` at threshold ``k``."""
+        return transition_pieces(spot, self.mu, self.sigma, self.tau, k)
+
+    def survival_from_logs(self, log_x, log_k):
+        """``P[P' > k | P = x]`` from log prices, broadcast."""
+        s = self.sigma * math.sqrt(self.tau)
+        drift = (self.mu - 0.5 * self.sigma**2) * self.tau
+        z = (np.asarray(log_k, dtype=float) - np.asarray(log_x, dtype=float) - drift) / s
+        return norm_cdf(-z)
+
+    @property
+    def mean_factor(self) -> float:
+        """``E[P'|P] / P`` -- exactly ``e^{mu tau}``."""
+        return math.exp(self.mu * self.tau)
+
+    def law(self, spot: float) -> LognormalLaw:
+        return LognormalLaw(spot=float(spot), mu=self.mu, sigma=self.sigma, tau=self.tau)
+
+    def sample_from_normal(self, spot, u, z):
+        """Map pre-drawn uniforms/normals to prices (``u`` unused here).
+
+        Sharing the signature with the mixture kernel lets Monte Carlo
+        implement antithetic variates uniformly: mirror ``z``, keep ``u``.
+        """
+        drift = (self.mu - 0.5 * self.sigma**2) * self.tau
+        s = self.sigma * math.sqrt(self.tau)
+        return np.asarray(spot, dtype=float) * np.exp(drift + s * np.asarray(z, dtype=float))
+
+
+@dataclass(frozen=True)
+class MixtureStepKernel:
+    """A finite mixture of lognormal components over one step.
+
+    Conditional on component ``j`` (probability ``weights[j]``),
+
+        ``ln P' = ln P + Normal(log_drifts[j], log_stds[j]^2)``.
+
+    Constructors must arrange ``sum_j w_j e^{a_j + s_j^2/2} = e^{mu tau}``
+    so the paper's mean identity holds exactly; :func:`_compensate`
+    does this by shifting all component drifts by a common constant.
+    """
+
+    kind: str
+    mu: float
+    tau: float
+    weights: Tuple[float, ...]
+    log_drifts: Tuple[float, ...]
+    log_stds: Tuple[float, ...]
+
+    is_lognormal = False
+
+    def __post_init__(self) -> None:
+        if not (len(self.weights) == len(self.log_drifts) == len(self.log_stds)):
+            raise ValueError("mixture component arrays must have equal length")
+        if len(self.weights) == 0:
+            raise ValueError("mixture must have at least one component")
+        if any(s <= 0.0 for s in self.log_stds):
+            raise ValueError("mixture component log-stds must be positive")
+
+    # cached array views -------------------------------------------------
+
+    @property
+    def _w(self) -> np.ndarray:
+        return np.asarray(self.weights, dtype=float)
+
+    @property
+    def _a(self) -> np.ndarray:
+        return np.asarray(self.log_drifts, dtype=float)
+
+    @property
+    def _s(self) -> np.ndarray:
+        return np.asarray(self.log_stds, dtype=float)
+
+    @property
+    def mean_factor(self) -> float:
+        return math.exp(self.mu * self.tau)
+
+    # solver interface ---------------------------------------------------
+
+    def pieces(self, spot, k):
+        """``(cdf, survival, partial_below)`` at threshold ``k``, broadcast.
+
+        Mirrors :func:`repro.stochastic.lognormal.transition_pieces`
+        piecewise semantics: for ``k <= 0`` the pieces degenerate to
+        ``(0, 1, 0)``.
+        """
+        spot = np.asarray(spot, dtype=float)
+        k = np.asarray(k, dtype=float)
+        spot_b, k_b = np.broadcast_arrays(spot, k)
+        log_spot = np.log(spot_b)[..., None]
+        pos = k_b > 0.0
+        log_k = np.log(np.where(pos, k_b, 1.0))[..., None]
+        w, a, s = self._w, self._a, self._s
+        z = (log_k - log_spot - a) / s
+        cdf = np.where(pos, (norm_cdf(z) * w).sum(axis=-1), 0.0)
+        survival = np.where(pos, (norm_cdf(-z) * w).sum(axis=-1), 1.0)
+        comp_mean = np.exp(log_spot + a + 0.5 * s * s)
+        d1 = (log_spot + a + s * s - log_k) / s
+        partial_above = (w * comp_mean * norm_cdf(d1)).sum(axis=-1)
+        mean = spot_b * self.mean_factor
+        partial_below = np.where(pos, np.maximum(mean - partial_above, 0.0), 0.0)
+        return cdf, survival, partial_below
+
+    def survival_from_logs(self, log_x, log_k):
+        log_x = np.asarray(log_x, dtype=float)
+        log_k = np.asarray(log_k, dtype=float)
+        lx, lk = np.broadcast_arrays(log_x, log_k)
+        z = (lk[..., None] - lx[..., None] - self._a) / self._s
+        return (norm_cdf(-z) * self._w).sum(axis=-1)
+
+    def law(self, spot: float) -> "MixtureLaw":
+        spot = float(spot)
+        if not spot > 0.0:
+            raise ValueError(f"spot must be positive, got {spot}")
+        return MixtureLaw(
+            spot=spot,
+            weights=self.weights,
+            log_means=tuple(math.log(spot) + a for a in self.log_drifts),
+            log_stds=self.log_stds,
+        )
+
+    def sample_from_normal(self, spot, u, z):
+        """Map pre-drawn ``Uniform(0,1)`` / standard-normal draws to prices.
+
+        ``u`` selects the mixture component (inverse-CDF on the weights);
+        ``z`` is the within-component normal. Antithetic pairs share
+        ``u`` and mirror ``z``, so the component choice is common to the
+        pair and only the diffusion is reflected.
+        """
+        u = np.asarray(u, dtype=float)
+        z = np.asarray(z, dtype=float)
+        cum = np.cumsum(self._w)
+        cum[-1] = 1.0
+        idx = np.searchsorted(cum, u, side="right")
+        idx = np.minimum(idx, len(self.weights) - 1)
+        a = self._a[idx]
+        s = self._s[idx]
+        return np.asarray(spot, dtype=float) * np.exp(a + s * z)
+
+
+def _compensate(
+    kind: str,
+    mu: float,
+    tau: float,
+    weights: np.ndarray,
+    bases: np.ndarray,
+    stds: np.ndarray,
+) -> MixtureStepKernel:
+    """Normalise weights and shift drifts so the mean identity is exact.
+
+    Adds the constant ``c = mu tau - ln(sum_j w_j e^{b_j + s_j^2/2})`` to
+    every component drift, making ``E[P'/P] = e^{mu tau}`` hold to the
+    last bit regardless of truncation error in the component weights.
+    """
+    w = np.asarray(weights, dtype=float)
+    w = w / w.sum()
+    b = np.asarray(bases, dtype=float)
+    s = np.asarray(stds, dtype=float)
+    # log-sum-exp for numerical safety
+    ex = b + 0.5 * s * s
+    m = float(np.max(ex))
+    log_mean = m + math.log(float(np.sum(w * np.exp(ex - m))))
+    c = mu * tau - log_mean
+    return MixtureStepKernel(
+        kind=kind,
+        mu=mu,
+        tau=tau,
+        weights=tuple(float(x) for x in w),
+        log_drifts=tuple(float(x) for x in (b + c)),
+        log_stds=tuple(float(x) for x in s),
+    )
+
+
+# --------------------------------------------------------------------- #
+# MixtureLaw: the per-spot distribution object
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class MixtureLaw:
+    """Law of ``P'`` given one spot under a mixture kernel.
+
+    Implements the same duck interface as :class:`LognormalLaw` (mean,
+    pdf/cdf/survival, partial expectations, quantile, effective support,
+    sampling, log-space density), so the quadrature, root finding and
+    lattice discretisation work unchanged.
+    """
+
+    spot: float
+    weights: Tuple[float, ...]
+    log_means: Tuple[float, ...]
+    log_stds: Tuple[float, ...]
+
+    @property
+    def _w(self) -> np.ndarray:
+        return np.asarray(self.weights, dtype=float)
+
+    @property
+    def _m(self) -> np.ndarray:
+        return np.asarray(self.log_means, dtype=float)
+
+    @property
+    def _s(self) -> np.ndarray:
+        return np.asarray(self.log_stds, dtype=float)
+
+    def mean(self) -> float:
+        return float(np.sum(self._w * np.exp(self._m + 0.5 * self._s**2)))
+
+    def logspace_density(self, y):
+        """Density of ``ln P'`` at ``y`` (the quadrature integrand weight)."""
+        y = np.asarray(y, dtype=float)
+        z = (y[..., None] - self._m) / self._s
+        phi = np.exp(-0.5 * z * z) / (self._s * _LOG_SQRT_2PI)
+        out = (phi * self._w).sum(axis=-1)
+        return out if out.ndim else float(out)
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        pos = x > 0.0
+        if np.any(pos):
+            out[pos] = self.logspace_density(np.log(x[pos])) / x[pos]
+        return out if out.ndim else float(out)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        pos = x > 0.0
+        if np.any(pos):
+            z = (np.log(x[pos])[..., None] - self._m) / self._s
+            out[pos] = (norm_cdf(z) * self._w).sum(axis=-1)
+        return out if out.ndim else float(out)
+
+    def survival(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.ones_like(x)
+        pos = x > 0.0
+        if np.any(pos):
+            z = (np.log(x[pos])[..., None] - self._m) / self._s
+            out[pos] = (norm_cdf(-z) * self._w).sum(axis=-1)
+        return out if out.ndim else float(out)
+
+    def partial_expectation_above(self, k):
+        k = np.asarray(k, dtype=float)
+        out = np.full_like(k, self.mean())
+        pos = k > 0.0
+        if np.any(pos):
+            log_k = np.log(k[pos])[..., None]
+            comp_mean = np.exp(self._m + 0.5 * self._s**2)
+            d1 = (self._m + self._s**2 - log_k) / self._s
+            out[pos] = (self._w * comp_mean * norm_cdf(d1)).sum(axis=-1)
+        return out if out.ndim else float(out)
+
+    def partial_expectation_below(self, k):
+        k = np.asarray(k, dtype=float)
+        out = np.maximum(self.mean() - np.asarray(self.partial_expectation_above(k)), 0.0)
+        return out if out.ndim else float(out)
+
+    def partial_expectation_between(self, lo, hi) -> float:
+        lo_f = float(lo)
+        hi_f = float(hi)
+        if lo_f > hi_f:
+            raise ValueError(f"empty interval: lo={lo_f} > hi={hi_f}")
+        return max(
+            float(self.partial_expectation_above(lo_f))
+            - float(self.partial_expectation_above(hi_f)),
+            0.0,
+        )
+
+    def probability_between(self, lo, hi) -> float:
+        lo_f = float(lo)
+        hi_f = float(hi)
+        if lo_f > hi_f:
+            raise ValueError(f"empty interval: lo={lo_f} > hi={hi_f}")
+        return max(float(self.cdf(hi_f)) - float(self.cdf(lo_f)), 0.0)
+
+    def quantile(self, q):
+        """Inverse CDF by bisection between component quantile envelopes."""
+        q = np.asarray(q, dtype=float)
+        if np.any((q <= 0.0) | (q >= 1.0)):
+            raise ValueError("quantile argument must lie strictly in (0, 1)")
+        z = np.asarray(norm_ppf(q), dtype=float)
+        # the mixture quantile lies between the min and max component quantiles
+        comp = np.exp(z[..., None] * self._s + self._m)
+        lo = comp.min(axis=-1)
+        hi = comp.max(axis=-1)
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            below = np.asarray(self.cdf(mid)) < q
+            lo = np.where(below, mid, lo)
+            hi = np.where(below, hi, mid)
+            if np.max(hi - lo) <= 1e-14 * np.max(hi):
+                break
+        out = 0.5 * (lo + hi)
+        return out if out.ndim else float(out)
+
+    def effective_support(self, tail_mass: float = 1e-12):
+        """A ``(lo, hi)`` interval carrying all but ``2 * tail_mass`` mass.
+
+        Uses the min/max of the component quantiles -- conservative (the
+        enclosed mass is at least the target) and cheap.
+        """
+        if not 0.0 < tail_mass < 0.5:
+            raise ValueError(f"tail_mass must be in (0, 0.5), got {tail_mass}")
+        z_lo = float(norm_ppf(tail_mass))
+        z_hi = float(norm_ppf(1.0 - tail_mass))
+        lo = float(np.min(np.exp(self._m + self._s * z_lo)))
+        hi = float(np.max(np.exp(self._m + self._s * z_hi)))
+        return lo, hi
+
+    def sample(self, rng, size=None) -> np.ndarray:
+        u = rng.uniform(size=size)
+        z = rng.standard_normal(size)
+        cum = np.cumsum(self._w)
+        cum[-1] = 1.0
+        idx = np.minimum(
+            np.searchsorted(cum, np.asarray(u, dtype=float), side="right"),
+            len(self.weights) - 1,
+        )
+        return np.exp(self._m[idx] + self._s[idx] * np.asarray(z, dtype=float))
+
+
+# --------------------------------------------------------------------- #
+# lognormal registration
+# --------------------------------------------------------------------- #
+
+
+def _validate_lognormal(params: Mapping[str, float]) -> None:
+    if params:
+        raise ValueError("lognormal law takes no parameters")
+
+
+def _build_lognormal(
+    params: Mapping[str, float], mu: float, sigma: float, tau: float
+) -> LognormalStepKernel:
+    return LognormalStepKernel(mu=mu, sigma=sigma, tau=tau)
+
+
+register_law(
+    "lognormal",
+    version=1,
+    defaults={},
+    validate=_validate_lognormal,
+    build=_build_lognormal,
+)
+
+
+# StepKernel is a duck-typed protocol: LognormalStepKernel | MixtureStepKernel.
+# Both expose pieces / survival_from_logs / mean_factor / law /
+# sample_from_normal / kind / is_lognormal.
+try:  # typing-only alias; avoids a hard typing_extensions dependency
+    from typing import Union
+
+    StepKernel = Union[LognormalStepKernel, MixtureStepKernel]
+except Exception:  # pragma: no cover
+    StepKernel = object  # type: ignore[assignment]
+
+
+# Importing the implementations registers "merton" and "regime"; they
+# import back from this module, which is safe because every name they
+# need is defined above.
+from repro.stochastic import jumpdiffusion as _jumpdiffusion  # noqa: E402,F401
+from repro.stochastic import regime as _regime  # noqa: E402,F401

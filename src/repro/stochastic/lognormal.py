@@ -29,28 +29,10 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.special import erfc, erfcinv
+
+from repro.stochastic.mathkit import norm_cdf, norm_ppf
 
 __all__ = ["LognormalLaw", "norm_cdf", "norm_ppf", "transition_pieces"]
-
-_SQRT2 = math.sqrt(2.0)
-
-
-def norm_cdf(x):
-    """Standard normal CDF, vectorised, via the complementary error function.
-
-    The paper writes its price CDF (Section III-A) directly in terms of
-    ``erfc``; we keep the same formulation.
-    """
-    return 0.5 * erfc(-np.asarray(x, dtype=float) / _SQRT2)
-
-
-def norm_ppf(q):
-    """Standard normal quantile function (inverse of :func:`norm_cdf`)."""
-    q = np.asarray(q, dtype=float)
-    if np.any((q <= 0.0) | (q >= 1.0)):
-        raise ValueError("quantile argument must lie strictly in (0, 1)")
-    return -_SQRT2 * erfcinv(2.0 * q)
 
 
 def transition_pieces(spot, mu: float, sigma: float, tau: float, k):
@@ -138,6 +120,17 @@ class LognormalLaw:
     def mean(self) -> float:
         """:math:`\\mathcal{E}(P_t, tau) = P_t e^{mu tau}` (paper, Sec. III-A)."""
         return self.spot * math.exp(self.mu * self.tau)
+
+    def logspace_density(self, y):
+        """Density of ``ln P_{t+tau}`` at ``y`` (the quadrature weight).
+
+        This is the exact expression the Gauss--Legendre integrals in
+        :mod:`repro.stochastic.quadrature` evaluate, factored out so
+        mixture laws can supply their own.
+        """
+        y = np.asarray(y, dtype=float)
+        z = (y - self.log_mean) / self.log_std
+        return np.exp(-0.5 * z * z) / (self.log_std * np.sqrt(2.0 * np.pi))
 
     def pdf(self, x):
         """:math:`\\mathcal{P}(x, P_t, tau)`, the lognormal density at ``x``.

@@ -1,0 +1,62 @@
+"""Shared numerical primitives for the stochastic layer.
+
+One home for the helpers that used to be duplicated between
+``core/engine.py``, ``stochastic/lognormal.py`` and
+``stochastic/quadrature.py``:
+
+* ``norm_cdf`` / ``norm_ppf`` -- the standard normal CDF and quantile,
+  written via ``erfc``/``erfcinv`` exactly as the paper writes its price
+  CDF (Section III-A);
+* ``gauss_legendre_nodes`` -- cached Gauss--Legendre rules shared by the
+  scalar and batched expectation integrals;
+* ``DEFAULT_QUAD_ORDER`` -- the repo-wide default quadrature order.
+
+``lognormal.py`` and ``quadrature.py`` re-export these names so existing
+imports keep working.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+from scipy.special import erfc, erfcinv
+
+__all__ = [
+    "norm_cdf",
+    "norm_ppf",
+    "gauss_legendre_nodes",
+    "DEFAULT_QUAD_ORDER",
+]
+
+_SQRT2 = math.sqrt(2.0)
+
+DEFAULT_QUAD_ORDER = 96
+
+
+def norm_cdf(x):
+    """Standard normal CDF, vectorised, via the complementary error function.
+
+    The paper writes its price CDF (Section III-A) directly in terms of
+    ``erfc``; we keep the same formulation.
+    """
+    return 0.5 * erfc(-np.asarray(x, dtype=float) / _SQRT2)
+
+
+def norm_ppf(q):
+    """Standard normal quantile function (inverse of :func:`norm_cdf`)."""
+    q = np.asarray(q, dtype=float)
+    if np.any((q <= 0.0) | (q >= 1.0)):
+        raise ValueError("quantile argument must lie strictly in (0, 1)")
+    return -_SQRT2 * erfcinv(2.0 * q)
+
+
+@lru_cache(maxsize=32)
+def gauss_legendre_nodes(order: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Gauss--Legendre nodes and weights on ``[-1, 1]`` (cached)."""
+    if order < 1:
+        raise ValueError(f"quadrature order must be >= 1, got {order}")
+    nodes, weights = np.polynomial.legendre.leggauss(order)
+    return nodes, weights

@@ -25,9 +25,14 @@ from typing import Tuple
 import numpy as np
 
 from repro.stochastic.gbm import GeometricBrownianMotion
+from repro.stochastic.law import LawSpec, step_kernel
 from repro.stochastic.rng import RandomState
 
-__all__ = ["DecisionTimeGrid", "sample_decision_prices"]
+__all__ = [
+    "DecisionTimeGrid",
+    "sample_decision_prices",
+    "sample_decision_prices_for_law",
+]
 
 
 @dataclass(frozen=True)
@@ -146,3 +151,48 @@ def sample_decision_prices(
     first = np.full((paths.shape[0], 1), float(spot))
     del t1  # always zero by construction
     return np.hstack([first, paths])
+
+
+def sample_decision_prices_for_law(
+    law: LawSpec,
+    mu: float,
+    sigma: float,
+    spot: float,
+    grid: DecisionTimeGrid,
+    rng: RandomState,
+    n_paths: int,
+    antithetic: bool = False,
+) -> np.ndarray:
+    """Law-aware :func:`sample_decision_prices`.
+
+    The lognormal spec delegates to the GBM path sampler, drawing from
+    ``rng`` in the exact order the pre-law code did, so seeded runs under
+    the default law are byte-identical. Any other law samples each
+    decision step from its one-step transition kernel: a uniform selects
+    the mixture component and a normal the within-component increment.
+    Antithetic pairs mirror the normal and share the component pick, so
+    the variance-reduction pairing survives under mixtures.
+    """
+    if law.is_lognormal:
+        process = GeometricBrownianMotion(mu=mu, sigma=sigma)
+        return sample_decision_prices(
+            process, spot, grid, rng, n_paths, antithetic=antithetic
+        )
+    if n_paths < 1:
+        raise ValueError(f"n_paths must be >= 1, got {n_paths}")
+    if antithetic and n_paths % 2 != 0:
+        raise ValueError("antithetic sampling requires an even n_paths")
+    if not spot > 0.0:
+        raise ValueError(f"spot must be positive, got {spot}")
+    kernel_a = step_kernel(law, mu, sigma, grid.tau_a)
+    kernel_b = step_kernel(law, mu, sigma, grid.tau_b)
+    n_draw = n_paths // 2 if antithetic else n_paths
+    u = rng.uniform(size=(n_draw, 2))
+    z = rng.standard_normal((n_draw, 2))
+    if antithetic:
+        u = np.vstack([u, u])
+        z = np.vstack([z, -z])
+    p2 = kernel_a.sample_from_normal(spot, u[:, 0], z[:, 0])
+    p3 = kernel_b.sample_from_normal(p2, u[:, 1], z[:, 1])
+    first = np.full(n_paths, float(spot))
+    return np.column_stack([first, p2, p3])

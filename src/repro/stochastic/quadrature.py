@@ -5,7 +5,7 @@ The paper's stage utilities (Equations (20), (21), (25), (26), (31),
 
     integral over a price interval of  pdf(x) * g(x) dx
 
-with ``pdf`` a lognormal density and ``g`` a bounded, smooth stage
+with ``pdf`` a price-law density and ``g`` a bounded, smooth stage
 payoff. We evaluate these with fixed-order Gauss--Legendre quadrature in
 *log-price* space, which removes the lognormal's sharp peak near zero
 and makes 64--128 nodes accurate to ~1e-12 for the payoffs at hand.
@@ -16,12 +16,11 @@ mass (see :meth:`LognormalLaw.effective_support`).
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import Callable, Tuple
+from typing import Callable
 
 import numpy as np
 
-from repro.stochastic.lognormal import LognormalLaw
+from repro.stochastic.mathkit import DEFAULT_QUAD_ORDER, gauss_legendre_nodes
 
 __all__ = [
     "gauss_legendre_nodes",
@@ -32,21 +31,11 @@ __all__ = [
     "DEFAULT_QUAD_ORDER",
 ]
 
-DEFAULT_QUAD_ORDER = 96
 _TAIL_MASS = 1e-13
 
 
-@lru_cache(maxsize=32)
-def gauss_legendre_nodes(order: int) -> Tuple[np.ndarray, np.ndarray]:
-    """Gauss--Legendre nodes and weights on ``[-1, 1]`` (cached)."""
-    if order < 1:
-        raise ValueError(f"quadrature order must be >= 1, got {order}")
-    nodes, weights = np.polynomial.legendre.leggauss(order)
-    return nodes, weights
-
-
 def _transformed_integral(
-    law: LognormalLaw,
+    law,
     g: Callable[[np.ndarray], np.ndarray],
     lo: float,
     hi: float,
@@ -64,14 +53,13 @@ def _transformed_integral(
     nodes, weights = gauss_legendre_nodes(order)
     y = 0.5 * (b - a) * nodes + 0.5 * (b + a)
     x = np.exp(y)
-    z = (y - law.log_mean) / law.log_std
-    phi = np.exp(-0.5 * z * z) / (law.log_std * np.sqrt(2.0 * np.pi))
+    phi = law.logspace_density(y)
     values = phi * np.asarray(g(x), dtype=float)
     return float(0.5 * (b - a) * np.dot(weights, values))
 
 
 def expectation_on_interval(
-    law: LognormalLaw,
+    law,
     g: Callable[[np.ndarray], np.ndarray],
     lo: float,
     hi: float,
@@ -96,7 +84,7 @@ def expectation_on_interval(
 
 
 def expectation_on_intervals(
-    law: LognormalLaw,
+    law,
     g: Callable[[np.ndarray], np.ndarray],
     lo,
     hi,
@@ -133,15 +121,14 @@ def expectation_on_intervals(
     nodes, weights = gauss_legendre_nodes(order)
     y = 0.5 * (b - a) * nodes + 0.5 * (b + a)
     x = np.exp(y)
-    z = (y - law.log_mean) / law.log_std
-    phi = np.exp(-0.5 * z * z) / (law.log_std * np.sqrt(2.0 * np.pi))
+    phi = law.logspace_density(y)
     values = phi * np.asarray(g(x), dtype=float)
     out = 0.5 * (b[:, 0] - a[:, 0]) * (values @ weights)
     return np.where(active, out, 0.0)
 
 
 def expectation_above(
-    law: LognormalLaw,
+    law,
     g: Callable[[np.ndarray], np.ndarray],
     lo: float,
     order: int = DEFAULT_QUAD_ORDER,
@@ -152,7 +139,7 @@ def expectation_above(
 
 
 def expectation_below(
-    law: LognormalLaw,
+    law,
     g: Callable[[np.ndarray], np.ndarray],
     hi: float,
     order: int = DEFAULT_QUAD_ORDER,

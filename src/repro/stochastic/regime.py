@@ -1,0 +1,139 @@
+"""2-state regime-switching price law (calm / turbulent volatility).
+
+A hidden 2-state Markov chain modulates the diffusion volatility: state
+``calm`` has ``sigma_calm``, state ``turbulent`` has ``sigma_turbulent``,
+with per-unit-time switching probabilities ``p_calm_to_turbulent`` and
+``p_turbulent_to_calm``. The chain starts each decision step from its
+stationary distribution (and is re-drawn independently per step), which
+keeps the swap game Markov in the price alone -- the solvers need no
+belief state, and Monte Carlo uses the same convention.
+
+Over a step of length ``tau`` we unroll the chain on ``m = round(tau)``
+unit sub-steps (clamped to ``[1, 64]``) and integrate out the hidden
+path: conditional on spending ``k`` of ``m`` sub-steps turbulent, the
+log increment is normal with variance
+
+    s_k^2 = (k sigma_t^2 + (m - k) sigma_c^2) * (tau / m),
+
+so the transition is a phase-type mixture of ``m + 1`` lognormals whose
+weights are the occupation-time distribution of the chain (computed by
+an exact DP over ``(state, k)``). Per-component drifts are set to
+``mu tau - s_k^2 / 2`` so each component -- and therefore the mixture --
+preserves ``E[P_{t+tau}|P_t] = P_t e^{mu tau}`` exactly.
+
+This law *ignores* the swap's ambient ``sigma``: its volatility comes
+entirely from ``sigma_calm`` / ``sigma_turbulent``.
+
+Degeneracy: ``sigma_calm == sigma_turbulent`` *returns the lognormal
+kernel* at that volatility, so a collapsed regime matches GBM to the
+last bit.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Tuple, Union
+
+import numpy as np
+
+from repro.stochastic.law import (
+    LognormalStepKernel,
+    MixtureStepKernel,
+    _compensate,
+    register_law,
+)
+
+__all__ = ["regime_step_kernel", "occupation_weights", "MAX_SUBSTEPS"]
+
+MAX_SUBSTEPS = 64
+
+DEFAULTS = {
+    # match repro.marketdata.synthetic.RegimeSwitchingGenerator's defaults
+    "sigma_calm": 0.05,
+    "sigma_turbulent": 0.2,
+    "p_calm_to_turbulent": 0.02,
+    "p_turbulent_to_calm": 0.1,
+}
+
+
+def _validate(params: Mapping[str, float]) -> None:
+    for name in ("sigma_calm", "sigma_turbulent"):
+        if not params[name] > 0.0:
+            raise ValueError(f"{name} must be positive, got {params[name]}")
+    for name in ("p_calm_to_turbulent", "p_turbulent_to_calm"):
+        p = params[name]
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"{name} must lie in [0, 1], got {p}")
+
+
+def stationary_turbulent_probability(p_ct: float, p_tc: float) -> float:
+    """Stationary probability of the turbulent state (calm if frozen chain)."""
+    total = p_ct + p_tc
+    if total <= 0.0:
+        return 0.0
+    return p_ct / total
+
+
+def occupation_weights(m: int, p_ct: float, p_tc: float) -> np.ndarray:
+    """``P[k of m sub-steps are turbulent]`` for ``k = 0..m``.
+
+    Exact DP over ``(current state, turbulent count)``; the initial
+    state is drawn from the stationary distribution, and the state of
+    each sub-step is the state the chain is *in* during that sub-step.
+    """
+    if m < 1:
+        raise ValueError(f"need at least one sub-step, got {m}")
+    pi_t = stationary_turbulent_probability(p_ct, p_tc)
+    # calm[k] / turb[k]: P[entering the next sub-step in that state with
+    # k turbulent sub-steps spent so far]
+    calm = np.zeros(m + 1)
+    turb = np.zeros(m + 1)
+    calm[0] = 1.0 - pi_t
+    turb[0] = pi_t
+    for _ in range(m):
+        # spend this sub-step: a turbulent sub-step increments the count
+        turb = np.roll(turb, 1)
+        turb[0] = 0.0
+        # then the chain transitions into the next sub-step's state
+        calm, turb = (
+            calm * (1.0 - p_ct) + turb * p_tc,
+            turb * (1.0 - p_tc) + calm * p_ct,
+        )
+    weights = calm + turb
+    total = weights.sum()
+    if not np.isfinite(total) or total <= 0.0:
+        raise ValueError("degenerate occupation-time distribution")
+    return weights / total
+
+
+def regime_step_kernel(
+    params: Mapping[str, float], mu: float, sigma: float, tau: float
+) -> Union[LognormalStepKernel, MixtureStepKernel]:
+    """Build the regime one-step kernel (or the GBM kernel if regimes agree).
+
+    ``sigma`` (the swap's ambient volatility) is unused -- the regime law
+    carries its own volatilities.
+    """
+    sigma_c = float(params["sigma_calm"])
+    sigma_t = float(params["sigma_turbulent"])
+    p_ct = float(params["p_calm_to_turbulent"])
+    p_tc = float(params["p_turbulent_to_calm"])
+    if sigma_c == sigma_t:
+        return LognormalStepKernel(mu=mu, sigma=sigma_c, tau=tau)
+    m = int(np.clip(round(tau), 1, MAX_SUBSTEPS))
+    w = occupation_weights(m, p_ct, p_tc)
+    k = np.arange(m + 1, dtype=float)
+    variances = (k * sigma_t**2 + (m - k) * sigma_c**2) * (tau / m)
+    stds = np.sqrt(variances)
+    bases = mu * tau - 0.5 * variances
+    # drop zero-weight components (e.g. p_ct == 0 pins the chain calm)
+    keep = w > 0.0
+    return _compensate("regime", mu, tau, w[keep], bases[keep], stds[keep])
+
+
+register_law(
+    "regime",
+    version=1,
+    defaults=DEFAULTS,
+    validate=_validate,
+    build=regime_step_kernel,
+)

@@ -176,6 +176,7 @@ class Surface:
             "collateral": self.spec.collateral,
             "default_tolerance": self.spec.default_tolerance,
             "max_bound": self.max_bound,
+            "law": self.spec.params.law.describe(),
         }
 
     # ------------------------------------------------------------- matching
@@ -195,11 +196,16 @@ class Surface:
 
         The returned list has one entry per axis in storage order, with
         ``None`` at the ``pstar`` axis (filled per point by the
-        caller). Off-surface means: a frozen parameter differs from the
+        caller). Off-surface means: the request's price law differs
+        from the artifact's, a frozen parameter differs from the
         artifact's, a paired axis (``alpha``/``r``) is asked for
         unequal agent values, or a fixed coordinate falls outside its
         axis range.
         """
+        # the law is not part of the flat float map; compare it first so
+        # a surface never answers for a different transition kernel
+        if params.law != self.spec.params.law:
+            return None
         flat = dict(params.as_dict())
         flat["collateral"] = float(collateral)
         coords: List[Optional[float]] = []

@@ -2,7 +2,9 @@
 
 The market clock advances by ``spec.dt`` between consecutive decision
 steps and the one-step price *growth factor* is discretised once
-(:func:`repro.games.lattice.discretize_law` on a unit-spot law), so a
+(:func:`repro.games.lattice.discretize_law` on a unit-spot law built
+from ``spec.law`` -- lognormal by default, or any registered price
+law), so a
 price state at step ``s`` is the multiset of factors drawn so far --
 ``C(s + m - 1, m - 1)`` distinct states instead of ``m^s`` paths. Each
 state owns one :class:`~repro.games.tree.DecisionNode` (continue/stop
@@ -25,7 +27,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.games.lattice import LatticeTransition, discretize_law
 from repro.games.tree import ChanceNode, DecisionNode, GameNode, TerminalNode
-from repro.stochastic.lognormal import LognormalLaw
+from repro.stochastic.law import observe_law, step_kernel
 from repro.swapgraph.model import (
     REVEAL,
     GameStep,
@@ -115,8 +117,9 @@ def build_swap_graph_game(
                 "use fewer packets/edges or a coarser lattice"
             )
 
-    law = LognormalLaw(spot=1.0, mu=spec.mu, sigma=spec.sigma, tau=spec.dt)
+    law = step_kernel(spec.law, spec.mu, spec.sigma, spec.dt).law(1.0)
     transition = discretize_law(law, m)
+    observe_law(spec.law.kind, "lattice")
     factors = tuple(transition.points)
     probs = tuple(transition.probabilities)
 

@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.chain import Blockchain, SimulationClock, new_secret
 from repro.chain.htlc import HTLC, HTLCState
 from repro.games.lattice import discretize_law
-from repro.stochastic.lognormal import LognormalLaw
+from repro.stochastic.law import step_kernel
 from repro.stochastic.rng import RandomState
 from repro.swapgraph.metrics import observe_graph_replay
 from repro.swapgraph.model import LOCK, REVEAL
@@ -132,7 +132,7 @@ def _path_sampler(equilibrium: SwapGraphEquilibrium):
     spec = equilibrium.spec
     times = [step.time for step in equilibrium.steps]
     if equilibrium.mode == "lattice" and equilibrium.n_lattice is not None:
-        law = LognormalLaw(spot=1.0, mu=spec.mu, sigma=spec.sigma, tau=spec.dt)
+        law = step_kernel(spec.law, spec.mu, spec.sigma, spec.dt).law(1.0)
         transition = discretize_law(law, equilibrium.n_lattice)
         factors = tuple(transition.points)
         cumulative = []

@@ -28,7 +28,8 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.parameters import AgentParameters, SwapParameters
+from repro.core.parameters import AgentParameters, SwapParameters, _coerce_law
+from repro.stochastic.law import LOGNORMAL, LawSpec
 
 __all__ = ["GraphParty", "GraphEdge", "SwapGraphSpec", "MAX_DECISION_STEPS"]
 
@@ -154,7 +155,10 @@ class SwapGraphSpec:
     packets:
         Number of rounds ``k``; each round swaps ``amount/k`` per edge.
     p0, mu, sigma:
-        The shared GBM price law of volatile tokens (paper Eq. (1)).
+        The shared price dynamics of volatile tokens (paper Eq. (1)).
+    law:
+        The price law of the volatile token (default lognormal/GBM;
+        ``merton`` and ``regime`` swap the lattice's transition law).
     eps:
         Mempool preimage-observation delay for the claim cascade
         (the paper's ``eps_b``).
@@ -173,6 +177,7 @@ class SwapGraphSpec:
     sigma: float = 0.1
     eps: float = 1.0
     step_time: Optional[float] = None
+    law: LawSpec = LOGNORMAL
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "parties", tuple(self.parties))
@@ -216,6 +221,8 @@ class SwapGraphSpec:
             raise ValueError(
                 f"step_time must be finite and > 0 (or None), got {self.step_time}"
             )
+        if not isinstance(self.law, LawSpec):
+            raise ValueError(f"law must be a LawSpec, got {type(self.law).__name__}")
 
     # ------------------------------------------------------------------ #
     # derived structure
@@ -277,6 +284,10 @@ class SwapGraphSpec:
             return False
         if self.step_time is not None:
             return False
+        if not self.law.is_lognormal:
+            # closed-form delegation is a lognormal-only shortcut; other
+            # laws take the generic lattice path
+            return False
         first, second = self.edges
         alice, bob = self.parties[0].name, self.parties[1].name
         return (
@@ -308,6 +319,7 @@ class SwapGraphSpec:
             p0=self.p0,
             mu=self.mu,
             sigma=self.sigma,
+            law=self.law,
         )
 
     # ------------------------------------------------------------------ #
@@ -359,6 +371,7 @@ class SwapGraphSpec:
             mu=params.mu,
             sigma=params.sigma,
             eps=params.eps_b,
+            law=params.law,
         )
 
     @staticmethod
@@ -374,6 +387,7 @@ class SwapGraphSpec:
         sigma: float = 0.1,
         eps: float = 1.0,
         collateral: float = 0.0,
+        law: Optional[LawSpec] = None,
     ) -> "SwapGraphSpec":
         """An ``n``-party cycle: party ``i`` sells to party ``i+1``.
 
@@ -407,10 +421,17 @@ class SwapGraphSpec:
             mu=mu,
             sigma=sigma,
             eps=eps,
+            law=LOGNORMAL if law is None else _coerce_law(law),
         )
 
     def replace(self, **overrides) -> "SwapGraphSpec":
-        """A copy with top-level fields replaced."""
+        """A copy with top-level fields replaced.
+
+        ``law`` accepts a :class:`LawSpec`, spec dict, or shorthand string.
+        """
+        if "law" in overrides:
+            overrides = dict(overrides)
+            overrides["law"] = _coerce_law(overrides["law"])
         return replace(self, **overrides)
 
     # ------------------------------------------------------------------ #
@@ -418,8 +439,12 @@ class SwapGraphSpec:
     # ------------------------------------------------------------------ #
 
     def to_dict(self) -> Dict[str, object]:
-        """Exact, JSON-safe representation (canonical wire/cache form)."""
-        return {
+        """Exact, JSON-safe representation (canonical wire/cache form).
+
+        ``law`` is emitted only for non-default laws so historical
+        lognormal payloads (and their request keys) are unchanged.
+        """
+        out: Dict[str, object] = {
             "parties": [party.to_dict() for party in self.parties],
             "edges": [edge.to_dict() for edge in self.edges],
             "packets": self.packets,
@@ -429,6 +454,9 @@ class SwapGraphSpec:
             "eps": self.eps,
             "step_time": self.step_time,
         }
+        if not self.law.is_lognormal:
+            out["law"] = self.law.to_dict()
+        return out
 
     @staticmethod
     def from_dict(data: Dict[str, object]) -> "SwapGraphSpec":
@@ -437,6 +465,7 @@ class SwapGraphSpec:
             raise ValueError(f"spec must be an object, got {type(data).__name__}")
         known = {
             "parties", "edges", "packets", "p0", "mu", "sigma", "eps", "step_time",
+            "law",
         }
         unknown = set(data) - known
         if unknown:
@@ -457,4 +486,5 @@ class SwapGraphSpec:
             sigma=float(data.get("sigma", 0.1)),  # type: ignore[arg-type]
             eps=float(data.get("eps", 1.0)),  # type: ignore[arg-type]
             step_time=None if step_time is None else float(step_time),  # type: ignore[arg-type]
+            law=_coerce_law(data.get("law", LOGNORMAL)),
         )

@@ -1,0 +1,125 @@
+"""Degenerate laws reproduce the lognormal answers at every layer.
+
+A Merton law with ``jump_intensity = 0`` and a regime law with equal
+state volatilities build the *same* step kernel as the default
+lognormal law, so the scalar solver, the vectorised grid engine, the
+surface builder, and the swap-graph lattice must all return the
+baseline answers to well under the 1e-9 acceptance tolerance. A second
+group pins the converse: genuinely non-degenerate laws move the
+equilibrium, so the plumbing cannot be silently ignoring ``law``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.backward_induction import BackwardInduction
+from repro.core.engine import solve_grid
+from repro.core.parameters import SwapParameters
+from repro.stochastic.law import LOGNORMAL, LawSpec
+from repro.surface import AxisSpec, SurfaceSpec
+from repro.surface.builder import build_surface
+from repro.swapgraph import SwapGraphSpec, solve_swap_graph
+
+# the Figure 6 P* grid (success rate against the strike ratio)
+PSTARS = [1.4, 1.6, 1.8, 2.0, 2.2, 2.4, 2.6]
+
+DEGENERATE = [
+    LawSpec.make("merton", jump_intensity=0.0, jump_mean=-0.3, jump_std=0.2),
+    # the regime law ignores the ambient sigma; matching the default
+    # parameters' sigma=0.1 makes the collapse land on the same GBM
+    LawSpec.make("regime", sigma_calm=0.1, sigma_turbulent=0.1),
+]
+
+IDS = [spec.kind for spec in DEGENERATE]
+
+
+@pytest.fixture(scope="module")
+def base() -> SwapParameters:
+    return SwapParameters.default()
+
+
+class TestDegenerateParity:
+    @pytest.mark.parametrize("law", DEGENERATE, ids=IDS)
+    def test_scalar_solver(self, base, law):
+        for pstar in PSTARS:
+            expected = BackwardInduction(base, pstar).success_rate()
+            got = BackwardInduction(base.replace(law=law), pstar).success_rate()
+            assert got == pytest.approx(expected, abs=1e-9)
+
+    @pytest.mark.parametrize("law", DEGENERATE, ids=IDS)
+    @pytest.mark.parametrize("collateral", [0.0, 0.5])
+    def test_grid_engine(self, base, law, collateral):
+        expected = solve_grid(base, PSTARS, collateral=collateral)
+        got = solve_grid(base.replace(law=law), PSTARS, collateral=collateral)
+        np.testing.assert_allclose(
+            got.success_rate, expected.success_rate, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            got.p3_threshold, expected.p3_threshold, atol=1e-9
+        )
+
+    @pytest.mark.parametrize("law", DEGENERATE, ids=IDS)
+    def test_surface_builder(self, base, law):
+        axes = (AxisSpec(name="pstar", lo=1.6, hi=2.4, points=5),)
+        baseline = build_surface(
+            SurfaceSpec(axes=axes, params=base), scan_points=128
+        )
+        degenerate = build_surface(
+            SurfaceSpec(axes=axes, params=base.replace(law=law)),
+            scan_points=128,
+        )
+        np.testing.assert_allclose(
+            degenerate.values, baseline.values, atol=1e-9
+        )
+
+    @pytest.mark.parametrize("law", DEGENERATE, ids=IDS)
+    def test_swap_graph_lattice(self, base, law):
+        spec = SwapGraphSpec.two_party(base, pstar=2.0)
+        # force lattice mode for the baseline too: a non-lognormal law
+        # (even a degenerate one) never takes the closed-form shortcut,
+        # so the apples-to-apples comparison is lattice vs lattice
+        expected = solve_swap_graph(spec, n_lattice=9)
+        got = solve_swap_graph(spec.replace(law=law), n_lattice=9)
+        assert got.mode == expected.mode == "lattice"
+        assert got.success_rate == pytest.approx(
+            expected.success_rate, abs=1e-9
+        )
+        for name, utility in expected.utilities.items():
+            assert got.utilities[name] == pytest.approx(utility, abs=1e-9)
+
+
+class TestLawsActuallyBite:
+    """Non-degenerate laws change the answers -- law is not ignored."""
+
+    def test_merton_jump_risk_lowers_success(self, base):
+        jumpy = base.replace(
+            law=LawSpec.make(
+                "merton", jump_intensity=0.2, jump_mean=-0.15, jump_std=0.15
+            )
+        )
+        baseline = solve_grid(base, PSTARS).success_rate
+        shocked = solve_grid(jumpy, PSTARS).success_rate
+        assert np.max(np.abs(shocked - baseline)) > 1e-3
+
+    def test_regime_turbulence_changes_thresholds(self, base):
+        stormy = base.replace(law=LawSpec.make("regime"))
+        a = BackwardInduction(base, 2.0)
+        b = BackwardInduction(stormy, 2.0)
+        assert abs(a.success_rate() - b.success_rate()) > 1e-3
+
+    def test_degenerate_spec_is_still_not_the_default_law(self, base):
+        """Kind survives on the parameters even when the kernel collapses."""
+        params = base.replace(law="merton:jump_intensity=0")
+        assert params.law.kind == "merton"
+        assert params.law != LOGNORMAL
+        assert "law" in params.to_dict()
+
+    def test_lognormal_params_serialise_without_law(self, base):
+        assert "law" not in base.to_dict()
+        assert SwapParameters.from_dict(base.to_dict()) == base
+
+    def test_law_round_trips_through_params_dict(self, base):
+        params = base.replace(law=LawSpec.make("regime", sigma_turbulent=0.3))
+        assert SwapParameters.from_dict(params.to_dict()) == params

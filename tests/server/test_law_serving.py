@@ -1,0 +1,175 @@
+"""Price laws over the wire: solve/validate/sweep, discovery, parity.
+
+The law rides inside the ``params`` payload (or the ``law`` query
+parameter on sweeps). These tests pin four contracts: non-default laws
+reach the solver and change answers; law-less requests stay
+byte-identical to the pre-law wire format (same canonical payload,
+same key digest, so caches keep hitting); both discovery endpoints
+advertise the registered laws; and a loaded surface refuses to answer
+for a law it was not built under.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.backward_induction import BackwardInduction
+from repro.core.parameters import SwapParameters
+from repro.service.keys import KEY_VERSION, canonical_payload, request_key
+from repro.service.requests import SolveRequest, parse_request
+from repro.stochastic.law import LawSpec
+
+JUMPY = "merton:jump_intensity=0.2,jump_mean=-0.15,jump_std=0.15"
+
+
+def _get(server, path: str):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{server.port}{path}", timeout=10.0
+    ) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestSolveWithLaw:
+    def test_law_changes_the_answer(self, make_server, make_client):
+        client = make_client(make_server())
+        baseline = client.solve(pstar=2.0)
+        jumpy = client.solve(pstar=2.0, law=JUMPY)
+        assert abs(jumpy.success_rate - baseline.success_rate) > 1e-3
+
+    def test_matches_in_process_solver(self, make_server, make_client):
+        client = make_client(make_server())
+        eq = client.solve(pstar=2.0, law=JUMPY)
+        params = SwapParameters.default().replace(law=JUMPY)
+        expected = BackwardInduction(params, 2.0).success_rate()
+        assert eq.success_rate == pytest.approx(expected, abs=1e-12)
+
+    def test_explicit_params_law_wins_over_shorthand(
+        self, make_server, make_client
+    ):
+        client = make_client(make_server())
+        via_params = client.solve(
+            pstar=2.0, params={"law": JUMPY}, law="regime"
+        )
+        via_shorthand = client.solve(pstar=2.0, law=JUMPY)
+        assert via_params.success_rate == via_shorthand.success_rate
+
+    def test_bad_law_is_a_clean_client_error(self, make_server, make_client):
+        from repro.server.client import ClientError
+
+        client = make_client(make_server())
+        with pytest.raises(ClientError) as excinfo:
+            client.solve(pstar=2.0, law="ghost")
+        assert excinfo.value.status == 400
+
+    def test_validate_with_law(self, make_server, make_client):
+        client = make_client(make_server())
+        outcome = client.validate(
+            pstar=2.0, n_paths=4000, seed=3, law=JUMPY
+        )
+        assert 0.0 <= outcome.empirical.success_rate <= 1.0
+
+
+class TestSweepWithLaw:
+    def test_sweep_law_reaches_the_grid_engine(
+        self, make_server, make_client
+    ):
+        client = make_client(make_server())
+        pstars = [1.8, 2.0, 2.2]
+        baseline = client.sweep(pstars)
+        jumpy = client.sweep(pstars, law=JUMPY)
+        a = np.array([row["success_rate"] for row in baseline])
+        b = np.array([row["success_rate"] for row in jumpy])
+        assert np.max(np.abs(a - b)) > 1e-3
+
+    def test_sweep_bad_law_is_400(self, make_server):
+        server = make_server()
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server, "/v1/sweep?pstars=2.0&law=ghost")
+        assert excinfo.value.code == 400
+
+
+class TestWireParity:
+    """Law-less payloads are byte-identical to the pre-law schema."""
+
+    def test_lognormal_payload_has_no_law_field(self, params):
+        request = SolveRequest(pstar=2.0, params=params)
+        assert '"law"' not in canonical_payload(request)
+
+    def test_lognormal_key_matches_pre_law_digest(self, params):
+        """Same canonical bytes as v4 -- only the version prefix moved."""
+        import hashlib
+
+        request = SolveRequest(pstar=2.0, params=params)
+        digest = hashlib.sha256(
+            canonical_payload(request).encode("utf-8")
+        ).hexdigest()
+        assert request_key(request) == f"v{KEY_VERSION}-{digest}"
+        assert KEY_VERSION == 5
+
+    def test_law_is_part_of_the_key(self, params):
+        plain = SolveRequest(pstar=2.0, params=params)
+        lawful = SolveRequest(
+            pstar=2.0, params=params.replace(law=JUMPY)
+        )
+        assert request_key(plain) != request_key(lawful)
+
+    def test_parse_request_accepts_law_object(self, params):
+        payload = {"kind": "solve", "pstar": 2.0, "params": params.to_dict()}
+        payload["params"]["law"] = LawSpec.make("regime").to_dict()
+        request = parse_request(payload)
+        assert request.params.law.kind == "regime"
+
+    def test_law_survives_request_round_trip(self, params):
+        request = SolveRequest(
+            pstar=2.0, params=params.replace(law=JUMPY)
+        )
+        assert parse_request(request.to_dict()) == request
+
+
+class TestDiscovery:
+    def test_version_lists_registered_laws(self, make_server):
+        server = make_server()
+        _, document = _get(server, "/version")
+        assert document["laws"] == {"lognormal": 1, "merton": 1, "regime": 1}
+
+    def test_readyz_lists_registered_laws(self, make_server):
+        server = make_server()
+        _, document = _get(server, "/readyz")
+        assert document["laws"] == {"lognormal": 1, "merton": 1, "regime": 1}
+
+    def test_client_server_info_carries_laws(self, make_server, make_client):
+        info = make_client(make_server()).server_info()
+        assert info["laws"] == {"lognormal": 1, "merton": 1, "regime": 1}
+
+
+class TestSurfaceLawGate:
+    def test_surface_refuses_other_laws(self, tmp_path, params):
+        from repro.surface import AxisSpec, SurfaceSpec
+        from repro.surface.builder import build_surface
+
+        axes = (AxisSpec(name="pstar", lo=1.6, hi=2.4, points=5),)
+        surface = build_surface(
+            SurfaceSpec(axes=axes, params=params), scan_points=128
+        )
+        on_surface = surface.lookup(params, [2.0], tolerance=1.0)
+        assert not on_surface.off_surface
+        mismatched = surface.lookup(
+            params.replace(law=JUMPY), [2.0], tolerance=1.0
+        )
+        assert mismatched.off_surface
+        assert not mismatched.answered.any()
+
+    def test_surface_info_names_its_law(self, params):
+        from repro.surface import AxisSpec, SurfaceSpec
+        from repro.surface.builder import build_surface
+
+        axes = (AxisSpec(name="pstar", lo=1.6, hi=2.4, points=3),)
+        lawful = params.replace(law=LawSpec.make("regime"))
+        surface = build_surface(
+            SurfaceSpec(axes=axes, params=lawful), scan_points=64
+        )
+        assert surface.info()["law"].startswith("regime(")

@@ -1,0 +1,240 @@
+"""Unit + property tests for the pluggable price-law layer.
+
+Covers the serializable :class:`LawSpec` / registry / CLI shorthand,
+the exact degeneracies (Merton at ``lambda = 0`` and a collapsed regime
+*are* the lognormal kernel, not merely close to it), and the mixture
+kernels' distributional invariants: the paper's mean identity, CDF /
+quantile consistency, and partial-expectation bookkeeping.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stochastic.law import (
+    LOGNORMAL,
+    LawSpec,
+    LognormalStepKernel,
+    MixtureStepKernel,
+    law_registry,
+    parse_law,
+    register_law,
+    registered_laws,
+    step_kernel,
+)
+from repro.stochastic.lognormal import transition_pieces
+from repro.stochastic.rng import RandomState
+
+MU, SIGMA = 0.002, 0.1
+
+merton_params = st.fixed_dictionaries(
+    {
+        "jump_intensity": st.floats(min_value=0.001, max_value=0.5),
+        "jump_mean": st.floats(min_value=-0.3, max_value=0.3),
+        "jump_std": st.floats(min_value=0.01, max_value=0.4),
+    }
+)
+
+regime_params = st.fixed_dictionaries(
+    {
+        "sigma_calm": st.floats(min_value=0.02, max_value=0.12),
+        "sigma_turbulent": st.floats(min_value=0.13, max_value=0.5),
+        "p_calm_to_turbulent": st.floats(min_value=0.0, max_value=1.0),
+        "p_turbulent_to_calm": st.floats(min_value=0.0, max_value=1.0),
+    }
+)
+
+any_mixture_spec = st.one_of(
+    merton_params.map(lambda p: LawSpec.make("merton", **p)),
+    regime_params.map(lambda p: LawSpec.make("regime", **p)),
+)
+
+taus = st.floats(min_value=0.5, max_value=24.0)
+spots = st.floats(min_value=0.2, max_value=20.0)
+
+
+class TestLawSpec:
+    def test_default_is_lognormal(self):
+        assert LOGNORMAL.is_lognormal
+        assert LawSpec.lognormal() == LOGNORMAL
+        assert LOGNORMAL.to_dict() == {"kind": "lognormal"}
+
+    def test_make_fills_defaults_and_sorts(self):
+        spec = LawSpec.make("merton", jump_intensity=0.07)
+        params = spec.param_dict()
+        assert params["jump_intensity"] == 0.07
+        assert set(params) == {"jump_intensity", "jump_mean", "jump_std"}
+        assert list(dict(spec.params)) == sorted(dict(spec.params))
+
+    def test_make_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown law kind"):
+            LawSpec.make("weird")
+
+    def test_make_rejects_unknown_parameter(self):
+        with pytest.raises(ValueError, match="no parameter"):
+            LawSpec.make("merton", intensity=0.1)
+
+    def test_make_validates_values(self):
+        with pytest.raises(ValueError, match="jump_intensity"):
+            LawSpec.make("merton", jump_intensity=-1.0)
+        with pytest.raises(ValueError, match="sigma_calm"):
+            LawSpec.make("regime", sigma_calm=0.0)
+
+    def test_round_trip_dict(self):
+        spec = LawSpec.make("regime", sigma_turbulent=0.3)
+        assert LawSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_junk(self):
+        with pytest.raises(ValueError, match="unknown law spec fields"):
+            LawSpec.from_dict({"kind": "merton", "extra": 1})
+        with pytest.raises(ValueError, match="string 'kind'"):
+            LawSpec.from_dict({"params": {}})
+
+    def test_specs_are_hashable(self):
+        assert len({LawSpec.make("merton"), LawSpec.make("merton")}) == 1
+
+
+class TestParseShorthand:
+    def test_bare_kind(self):
+        assert parse_law("lognormal") == LOGNORMAL
+        assert parse_law("merton") == LawSpec.make("merton")
+
+    def test_with_parameters(self):
+        spec = parse_law("merton:jump_intensity=0.05,jump_mean=-0.08")
+        params = spec.param_dict()
+        assert params["jump_intensity"] == 0.05
+        assert params["jump_mean"] == -0.08
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError, match="empty"):
+            parse_law("  ")
+        with pytest.raises(ValueError, match="name=value"):
+            parse_law("merton:jump_intensity")
+        with pytest.raises(ValueError, match="bad float"):
+            parse_law("merton:jump_intensity=abc")
+
+
+class TestRegistry:
+    def test_all_three_laws_registered(self):
+        assert registered_laws() == {"lognormal": 1, "merton": 1, "regime": 1}
+
+    def test_reregistration_is_an_error(self):
+        info = law_registry()["merton"]
+        with pytest.raises(ValueError, match="already registered"):
+            register_law(
+                "merton",
+                version=2,
+                defaults=info.defaults,
+                validate=info.validate,
+                build=info.build,
+            )
+
+    def test_unknown_kind_refused_by_step_kernel(self):
+        with pytest.raises(ValueError, match="unknown law kind"):
+            step_kernel(LawSpec(kind="ghost"), MU, SIGMA, 4.0)
+
+
+class TestDegeneracy:
+    """The degenerate laws *are* the lognormal kernel, bit for bit."""
+
+    @given(st.floats(min_value=-0.3, max_value=0.3),
+           st.floats(min_value=0.01, max_value=0.4), taus)
+    @settings(max_examples=40, deadline=None)
+    def test_merton_without_jumps(self, gamma, delta, tau):
+        spec = LawSpec.make(
+            "merton", jump_intensity=0.0, jump_mean=gamma, jump_std=delta
+        )
+        kernel = step_kernel(spec, MU, SIGMA, tau)
+        assert kernel == LognormalStepKernel(mu=MU, sigma=SIGMA, tau=tau)
+
+    def test_merton_with_null_jumps(self):
+        spec = LawSpec.make(
+            "merton", jump_intensity=0.3, jump_mean=0.0, jump_std=0.0
+        )
+        kernel = step_kernel(spec, MU, SIGMA, 4.0)
+        assert kernel == LognormalStepKernel(mu=MU, sigma=SIGMA, tau=4.0)
+
+    @given(st.floats(min_value=0.02, max_value=0.4), taus)
+    @settings(max_examples=40, deadline=None)
+    def test_collapsed_regime(self, sigma, tau):
+        spec = LawSpec.make(
+            "regime", sigma_calm=sigma, sigma_turbulent=sigma
+        )
+        kernel = step_kernel(spec, MU, SIGMA, tau)
+        # the regime law carries its own volatility; ambient SIGMA is unused
+        assert kernel == LognormalStepKernel(mu=MU, sigma=sigma, tau=tau)
+
+    def test_lognormal_kernel_matches_closed_forms(self):
+        kernel = step_kernel(LOGNORMAL, MU, SIGMA, 4.0)
+        expected = transition_pieces(2.0, MU, SIGMA, 4.0, 1.8)
+        assert kernel.pieces(2.0, 1.8) == expected
+
+
+class TestMixtureKernelInvariants:
+    @given(any_mixture_spec, taus, spots)
+    @settings(max_examples=60, deadline=None)
+    def test_mean_identity_exact(self, spec, tau, spot):
+        kernel = step_kernel(spec, MU, SIGMA, tau)
+        law = kernel.law(spot)
+        assert law.mean() == pytest.approx(spot * math.exp(MU * tau), rel=1e-12)
+
+    @given(any_mixture_spec, taus, spots)
+    @settings(max_examples=60, deadline=None)
+    def test_pieces_partition(self, spec, tau, spot):
+        """cdf + survival = 1 and the partial expectations split the mean."""
+        kernel = step_kernel(spec, MU, SIGMA, tau)
+        k = np.array([0.5 * spot, spot, 2.0 * spot])
+        cdf, survival, partial_below = kernel.pieces(spot, k)
+        np.testing.assert_allclose(cdf + survival, 1.0, atol=1e-12)
+        law = kernel.law(spot)
+        np.testing.assert_allclose(
+            partial_below + law.partial_expectation_above(k),
+            law.mean(),
+            rtol=1e-10,
+        )
+
+    @given(any_mixture_spec, taus, spots,
+           st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=60, deadline=None)
+    def test_quantile_inverts_cdf(self, spec, tau, spot, q):
+        law = step_kernel(spec, MU, SIGMA, tau).law(spot)
+        assert law.cdf(law.quantile(q)) == pytest.approx(q, abs=1e-9)
+
+    @given(any_mixture_spec, taus)
+    @settings(max_examples=40, deadline=None)
+    def test_survival_from_logs_agrees_with_pieces(self, spec, tau):
+        kernel = step_kernel(spec, MU, SIGMA, tau)
+        spot, k = 2.0, 1.7
+        _, survival, _ = kernel.pieces(spot, k)
+        via_logs = kernel.survival_from_logs(math.log(spot), math.log(k))
+        assert via_logs == pytest.approx(float(survival), abs=1e-14)
+
+    def test_sampling_matches_cdf(self):
+        """Empirical CDF of kernel draws matches the analytic mixture CDF."""
+        spec = LawSpec.make("merton", jump_intensity=0.08)
+        kernel = step_kernel(spec, MU, SIGMA, 4.0)
+        assert isinstance(kernel, MixtureStepKernel)
+        rng = RandomState(7).generator
+        n = 200_000
+        draws = kernel.sample_from_normal(
+            2.0, rng.uniform(size=n), rng.standard_normal(n)
+        )
+        law = kernel.law(2.0)
+        for k in (1.6, 1.9, 2.0, 2.1, 2.5):
+            empirical = float(np.mean(draws <= k))
+            assert empirical == pytest.approx(float(law.cdf(k)), abs=0.005)
+        assert float(draws.mean()) == pytest.approx(law.mean(), rel=0.01)
+
+    def test_merton_jump_risk_fattens_the_lower_tail(self):
+        """Negative-mean jumps shift mass below the GBM quantile."""
+        jumpy = step_kernel(
+            LawSpec.make("merton", jump_intensity=0.2, jump_mean=-0.2),
+            MU, SIGMA, 4.0,
+        ).law(2.0)
+        gbm = step_kernel(LOGNORMAL, MU, SIGMA, 4.0).law(2.0)
+        assert jumpy.cdf(1.5) > float(gbm.cdf(1.5))
