@@ -1,0 +1,189 @@
+"""Benchmark S7: the self-healing control plane under closed-loop load.
+
+Not a paper artifact -- this prices the robustness story end to end.
+A closed-loop harness (keep-alive workers, next request the instant
+the previous answers) drives warm solves through the sharded tier
+while the run injects the two control-plane events that matter in
+production, in sequence:
+
+1. ``kill -9`` one replica subprocess mid-run -- the probe must eject
+   it, the supervisor must respawn it (fresh pid, replayed announce
+   handshake) and readmit it to the ring once ``/readyz`` passes;
+2. ``admin add`` a brand-new replica mid-run -- the ring grows under
+   traffic, and consistent hashing means keys move *only to the
+   newcomer* (the survivors' caches stay hot).
+
+The acceptance gates encode the PR contract: **zero failed requests**
+across both events (the closed loop hard-fails on any non-200), the
+supervisor restores the killed replica within its budget, the reshard
+is keyslice-stable, and the p99 over the whole disrupted run stays
+bounded. Under ``REPRO_BENCH_SMOKE=1`` the timing floors relax; the
+zero-failure and topology assertions remain.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import statistics
+import threading
+import time
+
+from benchmarks.conftest import emit
+from benchmarks.test_bench_sharded import (
+    BODIES,
+    _fmt,
+    _NoDelayConnection,
+    _warm,
+)
+from repro.server import RouterServer, ServerConfig
+from repro.server.client import SwapClient
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+CONCURRENCY = 4
+RESTORE_BUDGET = 15.0 if SMOKE else 5.0
+STABLE_KEYS = [f"bench-{i}" for i in range(400)]
+
+
+def test_selfheal_closed_loop_survives_kill9_and_live_reshard():
+    import json
+
+    config = dict(
+        workers=2,
+        queue_depth=64,
+        probe_interval=0.1,
+        probe_failures=2,
+        restart_backoff=0.1,
+        restart_backoff_cap=0.5,
+        admin_token="bench",
+    )
+    router = RouterServer(ServerConfig(port=0, replicas=2, **config))
+    stop = threading.Event()
+    latencies: list = []
+    failures: list = []
+    lock = threading.Lock()
+
+    def worker(offset: int) -> None:
+        connection = _NoDelayConnection("127.0.0.1", router.port, timeout=60)
+        mine = []
+        i = 0
+        try:
+            while not stop.is_set():
+                body = BODIES[(offset + i) % len(BODIES)]
+                i += 1
+                t0 = time.perf_counter()
+                connection.request(
+                    "POST",
+                    "/v1/solve",
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                payload = response.read()
+                if response.status != 200 or not json.loads(payload)["ok"]:
+                    failures.append((response.status, payload[:200]))
+                    return
+                mine.append(time.perf_counter() - t0)
+        finally:
+            connection.close()
+            with lock:
+                latencies.extend(mine)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(CONCURRENCY)
+    ]
+    try:
+        router.start()
+        _warm(router.port)
+        for thread in threads:
+            thread.start()
+        time.sleep(0.3)  # the closed loop is established
+
+        # -- event 1: kill -9 a replica; the tier must self-heal ------- #
+        victim = router._replica_set.process("replica-0")
+        old_pid = victim.pid
+        killed_at = time.monotonic()
+        os.kill(old_pid, signal.SIGKILL)
+        restored = None
+        while time.monotonic() - killed_at < RESTORE_BUDGET:
+            fresh = router._replica_set.process("replica-0")
+            if (
+                fresh.alive
+                and fresh.pid != old_pid
+                and "replica-0" in router.ring.nodes
+            ):
+                restored = time.monotonic() - killed_at
+                break
+            time.sleep(0.05)
+        assert restored is not None, (
+            f"replica-0 not restored within {RESTORE_BUDGET:g}s"
+        )
+
+        # -- event 2: grow the fleet live via the admin surface -------- #
+        admin = SwapClient(
+            f"http://127.0.0.1:{router.port}",
+            timeout=60.0,
+            admin_token="bench",
+        )
+        before = {key: router.ring.node_for(key) for key in STABLE_KEYS}
+        reply = admin.admin_add()  # a freshly spawned, supervised replica
+        assert reply["ok"] is True
+        newcomer = reply["name"]
+        after = {key: router.ring.node_for(key) for key in STABLE_KEYS}
+        moved = 0
+        for key in STABLE_KEYS:
+            if after[key] != before[key]:
+                # keyslice stability: keys only ever move TO the newcomer
+                assert after[key] == newcomer, (key, before[key], after[key])
+                moved += 1
+        assert 0 < moved < len(STABLE_KEYS) / 2  # a sliver, not a reshuffle
+
+        time.sleep(0.5)  # traffic flows on the three-way topology
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=60.0)
+
+        # -- the contract ---------------------------------------------- #
+        assert not failures, f"self-heal run saw failures: {failures[:3]}"
+        topology = admin.admin_topology()
+        assert len(topology["ring"]) == 3
+        assert topology["epoch"] >= 3  # eject + readmit + admin add
+        metrics_text = admin.metrics()
+        restarts = [
+            line
+            for line in metrics_text.splitlines()
+            if line.startswith("repro_supervisor_restarts_total")
+            and 'replica="replica-0"' in line
+        ]
+        assert restarts and float(restarts[0].rsplit(" ", 1)[1]) == 1.0
+
+        ordered = sorted(latencies)
+        p50 = statistics.median(ordered)
+        p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+        wall = time.monotonic() - killed_at
+        emit(
+            "S7 self-heal (kill -9 + live reshard, closed loop)",
+            "\n".join(
+                [
+                    _fmt(
+                        f"disrupted run c={CONCURRENCY}",
+                        len(ordered) / wall,
+                        p50,
+                        p99,
+                    ),
+                    f"requests answered: {len(ordered)}  failed: 0",
+                    f"supervisor restore: {restored:.2f}s "
+                    f"(budget {RESTORE_BUDGET:g}s)",
+                    f"reshard moved {moved}/{len(STABLE_KEYS)} keys "
+                    f"-> {newcomer} only",
+                    f"final topology: ring={sorted(topology['ring'])} "
+                    f"epoch={topology['epoch']}",
+                ]
+            ),
+        )
+        if not SMOKE:
+            assert restored <= 5.0
+            assert p99 < 0.5  # bounded through kill, respawn and reshard
+    finally:
+        stop.set()
+        router.shutdown(drain=False)

@@ -573,7 +573,99 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="consecutive probe failures before a replica is ejected",
     )
+    serve.add_argument(
+        "--no-supervise",
+        dest="supervise",
+        action="store_false",
+        help="sharded tier: do not restart replicas that die "
+        "(default: the router supervises its own replicas)",
+    )
+    serve.add_argument(
+        "--restart-backoff",
+        type=float,
+        default=0.5,
+        help="supervisor: base restart delay, doubled per consecutive "
+        "death up to --restart-backoff-cap, with jitter",
+    )
+    serve.add_argument(
+        "--restart-backoff-cap",
+        type=float,
+        default=10.0,
+        help="supervisor: ceiling on the restart backoff delay",
+    )
+    serve.add_argument(
+        "--flap-limit",
+        type=int,
+        default=5,
+        help="supervisor: deaths within --flap-window before a "
+        "crash-looping replica is parked (no more restarts)",
+    )
+    serve.add_argument(
+        "--flap-window",
+        type=float,
+        default=30.0,
+        help="supervisor: sliding window (seconds) for the flap detector",
+    )
+    serve.add_argument(
+        "--admin-token",
+        default=None,
+        metavar="TOKEN",
+        help="enable the router's /admin/v1/* control surface, "
+        "authenticated by this bearer token (default: disabled)",
+    )
+    serve.add_argument(
+        "--router-cache",
+        type=int,
+        default=0,
+        help="router-side hot-key response cache capacity (entries; "
+        "0 = off, invalidated on every topology change)",
+    )
+    serve.add_argument(
+        "--overload-target",
+        type=float,
+        default=None,
+        help="admission gate: sliding-p95 latency (seconds) above which "
+        "load is shed pre-deadline (default: deadline / 2)",
+    )
     _add_surface_arguments(serve)
+
+    admin = sub.add_parser(
+        "admin",
+        parents=[common],
+        help="drive a running router's /admin/v1/* control surface",
+    )
+    admin.add_argument(
+        "action",
+        choices=("topology", "add", "remove"),
+        help="topology: print ring + replica states; add: grow the "
+        "fleet by one replica; remove: drain and stop one replica",
+    )
+    admin.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="replica name (required for remove; optional label for "
+        "add with --replica-url)",
+    )
+    admin.add_argument(
+        "--url",
+        required=True,
+        metavar="URL",
+        help="the router's base URL, e.g. http://127.0.0.1:8100",
+    )
+    admin.add_argument(
+        "--token",
+        default=None,
+        metavar="TOKEN",
+        help="bearer token (must match the router's --admin-token)",
+    )
+    admin.add_argument(
+        "--replica-url",
+        default=None,
+        metavar="URL",
+        help="add: adopt an externally managed replica at this URL "
+        "instead of spawning a supervised subprocess",
+    )
 
     warm = sub.add_parser(
         "warm",
@@ -971,9 +1063,35 @@ def _cmd_serve(args: argparse.Namespace) -> CommandOutcome:
         replicas=args.replicas,
         probe_interval=args.probe_interval,
         probe_failures=args.probe_failures,
+        supervise=args.supervise,
+        restart_backoff=args.restart_backoff,
+        restart_backoff_cap=args.restart_backoff_cap,
+        flap_limit=args.flap_limit,
+        flap_window=args.flap_window,
+        admin_token=args.admin_token,
+        router_cache=args.router_cache,
+        overload_target=args.overload_target,
     )
     status = serve(config)
     return status, {"ok": status == 0, "drained": status == 0}
+
+
+def _cmd_admin(args: argparse.Namespace) -> CommandOutcome:
+    """Drive a running router's admin surface over HTTP."""
+    from repro.server.client import ServerReplyError, SwapClient
+
+    client = SwapClient(args.url, admin_token=args.token)
+    try:
+        if args.action == "topology":
+            return 0, client.admin_topology()
+        if args.action == "add":
+            return 0, client.admin_add(url=args.replica_url, name=args.name)
+        if args.name is None:
+            raise ValueError("admin remove needs a replica name")
+        return 0, client.admin_remove(args.name)
+    except ServerReplyError as exc:
+        # the router's typed envelope, surfaced as a clean CLI error
+        raise ValueError(str(exc)) from None
 
 
 def _cmd_warm(args: argparse.Namespace) -> object:
@@ -1087,6 +1205,8 @@ def _dispatch(args: argparse.Namespace) -> CommandOutcome:
         return _cmd_stats(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "admin":
+        return _cmd_admin(args)
     if args.command == "warm":
         return 0, _cmd_warm(args)
     raise ValueError(f"unknown command {args.command!r}")

@@ -47,6 +47,13 @@ kind                injected behaviour (hook site)
                       (``SwapService.run_batch``)
 ``swapgraph_slow``    a swap-graph request stalls ``delay`` seconds at
                       dispatch (``SwapService.run_batch``)
+``replica_crash_loop``  a just-restarted replica is killed before its
+                        announce, exercising the supervisor's backoff
+                        and flap detector (``server.replica``; key =
+                        replica name)
+``admin_partition``   the router's ``/admin/v1/*`` surface answers a
+                      retryable ``503 admin_unavailable``
+                      (``server.aio``; key = admin path)
 ==================  ====================================================
 """
 
@@ -74,6 +81,8 @@ FAULT_KINDS: Tuple[str, ...] = (
     "replica_down",
     "swapgraph_error",
     "swapgraph_slow",
+    "replica_crash_loop",
+    "admin_partition",
 )
 
 

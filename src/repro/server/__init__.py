@@ -45,13 +45,16 @@ from repro.server.circuit import CircuitBreaker
 from repro.server.client import (
     CircuitOpenError,
     ClientError,
+    HedgePolicy,
     RetriesExhaustedError,
     RetryPolicy,
     ServerReplyError,
     SwapClient,
 )
 from repro.server.config import ServerConfig
-from repro.server.metrics import HTTPMetrics
+from repro.server.metrics import HTTPMetrics, SupervisorMetrics
+from repro.server.overload import CostAwareGate, route_weight
+from repro.server.replica import ReplicaSupervisor
 from repro.server.wire import (
     STATUS_BY_CODE,
     DeadlineExceededError,
@@ -66,7 +69,12 @@ __all__ = [
     "serve_sharded",
     "RouterServer",
     "AdmissionGate",
+    "CostAwareGate",
+    "route_weight",
+    "ReplicaSupervisor",
+    "SupervisorMetrics",
     "SwapClient",
+    "HedgePolicy",
     "RetryPolicy",
     "ClientError",
     "ServerReplyError",

@@ -60,23 +60,28 @@ import os
 import signal
 import threading
 import time
+from collections import OrderedDict
 from hashlib import blake2b
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
 
 from repro.faults.injector import NULL_INJECTOR, build_injector
 from repro.obs.exporters import to_prometheus_text, write_metrics
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
-from repro.server.app import _API_ROUTES, _KNOWN_PATHS, AdmissionGate
+from repro.server.app import _API_ROUTES, _KNOWN_PATHS
 from repro.server.circuit import CircuitBreaker
 from repro.server.config import ServerConfig
-from repro.server.metrics import HTTPMetrics, RouterMetrics
-from repro.server.replica import ReplicaSet
+from repro.server.metrics import HTTPMetrics, RouterMetrics, SupervisorMetrics
+from repro.server.overload import CostAwareGate, route_weight
+from repro.server.replica import ReplicaSet, ReplicaSupervisor
 from repro.server.router import HashRing, routing_key
 from repro.server.wire import (
     DeadlineExceededError,
+    admin_unavailable_error,
     body_too_large_error,
     chunked_body_error,
+    conflict_error,
     deadline_message,
     draining_error,
     envelope_bytes,
@@ -86,6 +91,7 @@ from repro.server.wire import (
     no_replica_error,
     not_found_error,
     queue_full_error,
+    unauthorized_error,
 )
 from repro.service.errors import ServiceErrorInfo
 from repro.service.keys import KEY_VERSION
@@ -95,14 +101,19 @@ from repro.swapgraph.metrics import observe_graph_request
 __all__ = ["RouterServer", "serve_sharded"]
 
 _REASONS = {
-    200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 411: "Length Required",
+    200: "OK", 400: "Bad Request", 403: "Forbidden", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 411: "Length Required",
     413: "Request Entity Too Large", 429: "Too Many Requests",
     500: "Internal Server Error", 503: "Service Unavailable",
     504: "Gateway Timeout",
 }
 _MAX_IDLE_PER_REPLICA = 64
 _DEADLINE_GRACE = 1.0  # let the replica's own 504 win the race
+# idempotent routes the router-side response LRU may serve without
+# proxying; /v1/batch is excluded (large bodies, in-band errors)
+_CACHEABLE_PATHS = ("/v1/solve", "/v1/validate", "/v1/sweep", "/v1/swap-graph")
+_SUPERVISE_TICK = 0.1  # how often the supervisor polls for dead replicas
+_READMIT_PROBES = 50  # /readyz attempts (0.1s apart) before giving up
 
 
 def _package_version() -> str:
@@ -118,6 +129,7 @@ class _ReplicaLink:
         self.name = name
         self.host = host
         self.port = port
+        self.inflight = 0  # proxies currently on the wire to this shard
         self.breaker = CircuitBreaker(
             failure_threshold=3,
             reset_timeout=5.0,
@@ -202,14 +214,39 @@ class RouterServer:
                 raise ValueError("endpoints must be non-empty")
         self.metrics = HTTPMetrics()
         self.router_metrics = RouterMetrics(names)
-        self.gate = AdmissionGate(self.config.queue_depth)
+        self.supervisor_metrics = SupervisorMetrics(names)
+        target = self.config.overload_target
+        if target is None and self.config.deadline is not None:
+            target = self.config.deadline / 2.0
+        self.gate = CostAwareGate(self.config.queue_depth, target=target)
         self.ring = HashRing(names)
         # request -> routing-key cache: canonicalising a body costs
         # ~25us (JSON parse + service key), a digest lookup ~1us; hot
         # keys repeat by design, so this wins exactly when it matters
         self._route_keys: Dict[Tuple[str, str, bytes], str] = {}
+        # the hot-key response LRU (off unless config.router_cache > 0):
+        # exact-key 200 replies served without a proxy hop, invalidated
+        # wholesale on every topology epoch change
+        self._cache_capacity = self.config.router_cache
+        self._response_cache: "OrderedDict[Tuple[str, str, bytes], Tuple[int, str, bytes]]" = (
+            OrderedDict()
+        )
+        self._epoch = 1
         self._names = names
         self._links: Dict[str, _ReplicaLink] = {}
+        self._ejected: Dict[str, float] = {}  # name -> eject time
+        self._removing: set = set()  # admin removals mid-drain
+        self._probe_tasks: Dict[str, asyncio.Task] = {}
+        self._supervisor: Optional[ReplicaSupervisor] = None
+        if self._replica_set is not None and self.config.supervise:
+            self._supervisor = ReplicaSupervisor(
+                self._replica_set,
+                backoff=self.config.restart_backoff,
+                cap=self.config.restart_backoff_cap,
+                flap_limit=self.config.flap_limit,
+                flap_window=self.config.flap_window,
+                faults=self.faults,
+            )
         self._draining = threading.Event()
         self._ready = threading.Event()
         self._closed = False
@@ -239,6 +276,11 @@ class RouterServer:
     @property
     def ready(self) -> bool:
         return self._ready.is_set() and not self.draining
+
+    @property
+    def epoch(self) -> int:
+        """The topology version; bumps on every ring membership change."""
+        return self._epoch
 
     @property
     def replica_urls(self) -> List[str]:
@@ -296,17 +338,25 @@ class RouterServer:
         self._host, self._port = sockname[0], sockname[1]
         self._stop_future = self._loop.create_future()
         self._ready.set()
-        probe_task: Optional[asyncio.Task] = None
         if self.config.probe_interval is not None:
-            probe_task = self._loop.create_task(self._probe_loop())
+            for name in list(self._names):
+                self._start_probe(name)
+        supervise_task: Optional[asyncio.Task] = None
+        if self._supervisor is not None:
+            supervise_task = self._loop.create_task(self._supervise_loop())
         try:
             async with self._server:
                 await self._stop_future
         finally:
-            if probe_task is not None:
-                probe_task.cancel()
+            tasks = list(self._probe_tasks.values())
+            self._probe_tasks.clear()
+            if supervise_task is not None:
+                tasks.append(supervise_task)
+            for task in tasks:
+                task.cancel()
+            for task in tasks:
                 try:
-                    await probe_task
+                    await task
                 except asyncio.CancelledError:
                     pass
 
@@ -377,7 +427,12 @@ class RouterServer:
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
-            writer.close()
+            try:
+                writer.close()
+            except RuntimeError:
+                # a hard shutdown can close the loop while this handler
+                # is mid-await; the transport is gone either way
+                pass
 
     @staticmethod
     def _parse_head(
@@ -484,6 +539,11 @@ class RouterServer:
                 content_type="text/plain; version=0.0.4; charset=utf-8",
             )
 
+        if path.startswith("/admin/"):
+            return await self._admin(
+                send, send_error, reader, method, path, headers
+            )
+
         if (method, path) not in _API_ROUTES:
             if path in _KNOWN_PATHS:
                 return await send_error(method_not_allowed_error(method, path))
@@ -518,25 +578,44 @@ class RouterServer:
             self.metrics.rejected.inc(reason="draining")
             self.router_metrics.rejected.inc(reason="draining")
             return await send_error(draining_error(), keep_alive=False)
-        if not self.gate.try_enter():
-            self.metrics.rejected.inc(reason="queue_full")
-            self.router_metrics.rejected.inc(reason="queue_full")
+        token = (method, target, blake2b(body, digest_size=16).digest())
+        if self._cache_capacity and path in _CACHEABLE_PATHS:
+            hit = self._response_cache.get(token)
+            if hit is not None:
+                # exact-key hot-path: answered from the router without
+                # admission or a proxy hop (a hit costs microseconds)
+                self._response_cache.move_to_end(token)
+                self.router_metrics.cache_events.inc(event="hit")
+                status, content_type, payload = hit
+                return await send(status, payload, content_type=content_type)
+            self.router_metrics.cache_events.inc(event="miss")
+        shed = self.gate.admit(route, target)
+        if shed is not None:
+            self.metrics.rejected.inc(reason=shed)
+            self.router_metrics.rejected.inc(reason=shed)
+            # overload shedding wears the same envelope as queue_full:
+            # both mean "capacity, retry later", and parity with the
+            # threaded stack's 429 bytes is a design invariant
             return await send_error(
                 queue_full_error(self.config.queue_depth),
                 extra={"Retry-After": "1"},
             )
+        cost = route_weight(route, target)
         self.metrics.inflight.inc()
         self.router_metrics.inflight.inc()
+        admitted = time.perf_counter()
         try:
             deadline = self.config.deadline
             try:
                 if deadline is None:
                     outcome = await self._route_and_proxy(
-                        method, target, headers, body
+                        method, target, headers, body, token, started
                     )
                 else:
                     outcome = await asyncio.wait_for(
-                        self._route_and_proxy(method, target, headers, body),
+                        self._route_and_proxy(
+                            method, target, headers, body, token, started
+                        ),
                         timeout=deadline + _DEADLINE_GRACE,
                     )
             except asyncio.TimeoutError:
@@ -555,13 +634,20 @@ class RouterServer:
                 # registry this /metrics cannot see; count the proxied
                 # request here so the family exports on the router too
                 observe_graph_request("router")
+            if (
+                self._cache_capacity
+                and status == 200
+                and path in _CACHEABLE_PATHS
+            ):
+                self._cache_store(token, status, content_type, payload)
             return await send(
                 status, payload, content_type=content_type, extra=extra
             )
         finally:
             self.metrics.inflight.dec()
             self.router_metrics.inflight.dec()
-            self.gate.leave()
+            self.gate.leave(cost)
+            self.gate.observe(route, time.perf_counter() - admitted)
 
     async def _ops_readyz(self, send, send_error) -> bool:
         if self.draining:
@@ -571,6 +657,7 @@ class RouterServer:
                 ),
                 keep_alive=False,
             )
+        members = set(self.ring.nodes)
         return await send(
             200,
             _json_bytes(
@@ -579,9 +666,11 @@ class RouterServer:
                     "status": "ready",
                     "surface": None,
                     "laws": registered_laws(),
+                    "epoch": self._epoch,
                     "replicas": [
                         {"name": name, "url": url}
                         for name, url in zip(self._names, self.replica_urls)
+                        if name in members
                     ],
                 }
             ),
@@ -622,50 +711,471 @@ class RouterServer:
         finally:
             writer.close()
 
-    async def _probe_loop(self) -> None:
-        """Actively probe every replica; eject/readmit on the ring.
+    @staticmethod
+    def _probe_phase(name: str) -> float:
+        """This replica's fixed probe phase offset in [0, 1) intervals.
+
+        Derived from the name, not drawn at random: restarts keep the
+        same stagger, and N replicas spread over the whole interval
+        instead of firing their probes in lockstep (the thundering
+        herd would hit every accept queue at the same instant)."""
+        digest = blake2b(name.encode("utf-8"), digest_size=4).digest()
+        return int.from_bytes(digest, "big") / 2.0 ** 32
+
+    def _start_probe(self, name: str) -> None:
+        if self.config.probe_interval is None or name in self._probe_tasks:
+            return
+        self._probe_tasks[name] = self._loop.create_task(
+            self._probe_replica(name)
+        )
+
+    def _stop_probe(self, name: str) -> None:
+        task = self._probe_tasks.pop(name, None)
+        if task is not None:
+            task.cancel()
+
+    async def _probe_replica(self, name: str) -> None:
+        """One replica's probe loop; ejects/readmits on the ring.
 
         Runs on the event loop, so ring mutation needs no locking --
         the routed proxy only reads the ring from the same loop.
         """
         interval = self.config.probe_interval
         threshold = self.config.probe_failures
-        failures = {name: 0 for name in self._names}
-        ejected: set = set()
+        await asyncio.sleep(self._probe_phase(name) * interval)
+        failures = 0
         while not self.draining:
-            for name in self._names:
-                ok = await self._probe_once(self._links[name])
-                if ok:
-                    failures[name] = 0
-                    self.router_metrics.probes.inc(
-                        replica=name, outcome="ok"
-                    )
-                    if name in ejected:
-                        ejected.discard(name)
-                        self.ring.add(name)
-                        self.router_metrics.probes.inc(
-                            replica=name, outcome="readmit"
-                        )
-                        self.router_metrics.replicas.set(len(self.ring))
-                        get_logger().log("router_readmit", replica=name)
-                else:
-                    failures[name] += 1
-                    self.router_metrics.probes.inc(
-                        replica=name, outcome="fail"
-                    )
-                    if failures[name] >= threshold and name not in ejected:
-                        ejected.add(name)
-                        self.ring.remove(name)
-                        self.router_metrics.probes.inc(
-                            replica=name, outcome="eject"
-                        )
-                        self.router_metrics.replicas.set(len(self.ring))
-                        get_logger().log(
-                            "router_eject",
-                            replica=name,
-                            failures=failures[name],
-                        )
+            link = self._links.get(name)
+            if link is None:
+                return  # replica left the topology
+            if name in self._removing:
+                await asyncio.sleep(interval)
+                continue
+            ok = await self._probe_once(link)
+            if ok:
+                failures = 0
+                self.router_metrics.probes.inc(replica=name, outcome="ok")
+                restart_pending = (
+                    self._supervisor is not None
+                    and self._supervisor.pending(name)
+                )
+                if name in self._ejected and not restart_pending:
+                    # supervisor-restarted replicas readmit through the
+                    # supervisor's own /readyz gate, not the probe loop
+                    self._readmit(name)
+            else:
+                failures += 1
+                self.router_metrics.probes.inc(replica=name, outcome="fail")
+                if failures >= threshold and name in self.ring.nodes:
+                    self._eject(name, reason="probe")
             await asyncio.sleep(interval)
+
+    # -- topology: epochs, eject/readmit, the response cache ------------- #
+
+    def _bump_epoch(self, reason: str) -> None:
+        """Advance the topology version (always on the event loop).
+
+        Every ring membership change lands here: the epoch is what the
+        hedging client keys its re-discovery on, and the response cache
+        is invalidated wholesale -- a cached reply may belong to a
+        keyslice that just re-homed.
+        """
+        self._epoch += 1
+        self.router_metrics.epoch.set(self._epoch)
+        self.router_metrics.replicas.set(len(self.ring))
+        if self._response_cache:
+            self.router_metrics.cache_events.inc(
+                len(self._response_cache), event="invalidate"
+            )
+            self._response_cache.clear()
+        self.router_metrics.cache_entries.set(0)
+        get_logger().log(
+            "router_epoch",
+            epoch=self._epoch,
+            reason=reason,
+            ring=self.ring.nodes,
+        )
+
+    def _cache_store(
+        self, token, status: int, content_type: str, payload: bytes
+    ) -> None:
+        cache = self._response_cache
+        cache[token] = (status, content_type, payload)
+        cache.move_to_end(token)
+        while len(cache) > self._cache_capacity:
+            cache.popitem(last=False)
+            self.router_metrics.cache_events.inc(event="evict")
+        self.router_metrics.cache_entries.set(len(cache))
+
+    def _eject(self, name: str, reason: str) -> None:
+        """Take a replica off the ring (its keyslice re-homes wholesale)."""
+        if name not in self.ring.nodes:
+            return
+        self.ring.remove(name)
+        self._ejected[name] = time.monotonic()
+        self.router_metrics.probes.inc(replica=name, outcome="eject")
+        self._bump_epoch(f"eject:{reason}")
+        get_logger().log("router_eject", replica=name, reason=reason)
+
+    def _readmit(self, name: str) -> None:
+        """Put a healthy replica back on the ring."""
+        if name in self.ring.nodes:
+            return
+        self.ring.add(name)
+        self._ejected.pop(name, None)
+        self.router_metrics.probes.inc(replica=name, outcome="readmit")
+        self._bump_epoch("readmit")
+        get_logger().log("router_readmit", replica=name)
+
+    # -- the replica supervisor ------------------------------------------ #
+
+    def _note_death(self, name: str) -> None:
+        """Record one detected death with the supervisor's policy."""
+        assert self._supervisor is not None
+        delay = self._supervisor.note_failure(name)
+        if delay is None:
+            self.supervisor_metrics.parked.set(1, replica=name)
+            self.supervisor_metrics.backoff.set(0, replica=name)
+            get_logger().log("supervisor_parked", replica=name)
+        else:
+            self.supervisor_metrics.backoff.set(delay, replica=name)
+            get_logger().log(
+                "supervisor_backoff", replica=name, delay=round(delay, 4)
+            )
+
+    async def _supervise_loop(self) -> None:
+        """Detect dead replicas, restart them, readmit after /readyz.
+
+        Death is either process exit (``poll()``) or a probe ejection
+        that outlives a full eject cycle (a live-but-wedged process the
+        restart also heals, since respawn reaps the old subprocess).
+        """
+        assert self._supervisor is not None and self._replica_set is not None
+        sup = self._supervisor
+        probe_grace: Optional[float] = None
+        if self.config.probe_interval is not None:
+            probe_grace = (
+                2.0 * self.config.probe_interval * self.config.probe_failures
+            )
+        while not self.draining:
+            await asyncio.sleep(_SUPERVISE_TICK)
+            for name in list(self._replica_set.names):
+                if name in self._removing or sup.parked(name):
+                    continue
+                try:
+                    process = self._replica_set.process(name)
+                except KeyError:
+                    continue
+                dead = not process.alive
+                stuck = (
+                    probe_grace is not None
+                    and name in self._ejected
+                    and time.monotonic() - self._ejected[name] > probe_grace
+                )
+                if (dead or stuck) and not sup.pending(name):
+                    self._eject(name, reason="death" if dead else "stuck")
+                    self._note_death(name)
+                    continue
+                if sup.due(name):
+                    await self._restart_replica(name)
+
+    async def _restart_replica(self, name: str) -> None:
+        """One supervised restart: respawn, handshake, /readyz, readmit."""
+        assert self._supervisor is not None
+        sup = self._supervisor
+        try:
+            host, port = await self._loop.run_in_executor(
+                None, sup.restart, name
+            )
+        except (RuntimeError, KeyError) as exc:
+            # the fresh process died before announcing: another death
+            self.supervisor_metrics.failures.inc(replica=name)
+            get_logger().log(
+                "supervisor_restart_failed", replica=name, error=str(exc)
+            )
+            sup.note_restarted(name)
+            self._note_death(name)
+            return
+        old = self._links.get(name)
+        if old is not None:
+            old.close_all()
+        link = _ReplicaLink(name, host, port, self.router_metrics)
+        self._links[name] = link
+        ready = False
+        for _attempt in range(_READMIT_PROBES):
+            if await self._probe_once(link):
+                ready = True
+                break
+            await asyncio.sleep(0.1)
+        if not ready:
+            # announced but never turned ready: treat as another death
+            self.supervisor_metrics.failures.inc(replica=name)
+            get_logger().log("supervisor_not_ready", replica=name)
+            sup.note_restarted(name)
+            self._note_death(name)
+            return
+        sup.note_restarted(name)
+        self.supervisor_metrics.restarts.inc(replica=name)
+        self.supervisor_metrics.backoff.set(0, replica=name)
+        self._readmit(name)
+        get_logger().log(
+            "supervisor_restarted", replica=name, host=host, port=port
+        )
+
+    # -- the admin surface: live resharding ------------------------------ #
+
+    async def _admin(
+        self, send, send_error, reader, method: str, path: str, headers
+    ) -> bool:
+        """Authenticated control-plane routes (``/admin/v1/*``).
+
+        Never gated: resharding must work *because* the data plane is
+        saturated, not only when it is idle. The body is read before
+        any rejection so keep-alive framing survives a 403.
+        """
+        body = b""
+        if method == "POST":
+            raw_length = headers.get("content-length")
+            if raw_length is None:
+                return await send_error(missing_length_error())
+            try:
+                length = int(raw_length)
+            except ValueError:
+                return await send_error(malformed_length_error(raw_length))
+            limit = self.config.max_body_bytes
+            if length > limit:
+                self.metrics.rejected.inc(reason="body_too_large")
+                return await send_error(
+                    body_too_large_error(length, limit), keep_alive=False
+                )
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                return False
+        token = self.config.admin_token
+        if token is None:
+            return await send_error(
+                unauthorized_error(
+                    "admin surface disabled; start the router with "
+                    "--admin-token"
+                )
+            )
+        if headers.get("authorization", "") != f"Bearer {token}":
+            return await send_error(
+                unauthorized_error("bad or missing bearer token")
+            )
+        if self.faults.enabled and self.faults.fires(
+            "admin_partition", key=path
+        ):
+            return await send_error(admin_unavailable_error())
+        if path == "/admin/v1/topology" and method == "GET":
+            return await send(200, _json_bytes(self._topology_document()))
+        if path == "/admin/v1/replicas" and method == "POST":
+            try:
+                data = json.loads(body.decode("utf-8"))
+                if not isinstance(data, dict):
+                    raise ValueError("body must be a JSON object")
+            except (ValueError, UnicodeDecodeError) as exc:
+                return await send_error(
+                    ServiceErrorInfo(code="invalid_request", message=str(exc))
+                )
+            action = data.get("action")
+            if action == "add":
+                return await self._admin_add(send, send_error, data)
+            if action == "remove":
+                return await self._admin_remove(send, send_error, data)
+            return await send_error(
+                ServiceErrorInfo(
+                    code="invalid_request",
+                    message=f"action must be 'add' or 'remove', got {action!r}",
+                )
+            )
+        if path in ("/admin/v1/topology", "/admin/v1/replicas"):
+            return await send_error(method_not_allowed_error(method, path))
+        return await send_error(not_found_error(path))
+
+    def _topology_document(self) -> dict:
+        members = set(self.ring.nodes)
+        replicas = []
+        for name in self._names:
+            link = self._links[name]
+            entry: Dict[str, object] = {
+                "name": name,
+                "url": f"http://{link.host}:{link.port}",
+                "on_ring": name in members,
+                "draining": name in self._removing,
+            }
+            if self._replica_set is not None:
+                try:
+                    process = self._replica_set.process(name)
+                except KeyError:
+                    pass
+                else:
+                    entry["pid"] = process.pid
+                    entry["alive"] = process.alive
+            if self._supervisor is not None:
+                entry["supervisor"] = self._supervisor.state(name)
+            replicas.append(entry)
+        return {
+            "ok": True,
+            "epoch": self._epoch,
+            "ring": self.ring.nodes,
+            "replicas": replicas,
+            "admission": self.gate.snapshot(),
+        }
+
+    async def _admin_add(self, send, send_error, data: dict) -> bool:
+        url = data.get("url")
+        if url is not None:
+            # externally managed replica (tests, exotic deployments):
+            # the router routes to it but never supervises it
+            parts = urlsplit(str(url))
+            if parts.hostname is None or parts.port is None:
+                return await send_error(
+                    ServiceErrorInfo(
+                        code="invalid_request",
+                        message=f"url must be http://host:port, got {url!r}",
+                    )
+                )
+            name = data.get("name")
+            if name is None:
+                index = len(self._names)
+                while f"replica-{index}" in self._links:
+                    index += 1
+                name = f"replica-{index}"
+            name = str(name)
+            if name in self._links:
+                return await send_error(
+                    conflict_error(f"replica {name!r} already exists")
+                )
+            host, port = parts.hostname, int(parts.port)
+        else:
+            if self._replica_set is None:
+                return await send_error(
+                    ServiceErrorInfo(
+                        code="invalid_request",
+                        message="router does not own its replicas; pass url",
+                    )
+                )
+            try:
+                name, host, port = await self._loop.run_in_executor(
+                    None, self._replica_set.add_process
+                )
+            except (RuntimeError, ValueError) as exc:
+                return await send_error(
+                    ServiceErrorInfo(
+                        code="internal_error",
+                        message=f"replica spawn failed: {exc}",
+                    )
+                )
+        link = _ReplicaLink(name, host, port, self.router_metrics)
+        self._links[name] = link
+        self._names.append(name)
+        self.router_metrics.add_replica(name)
+        self.supervisor_metrics.add_replica(name)
+        # the ring only grows once the newcomer itself answers /readyz
+        ready = False
+        for _attempt in range(_READMIT_PROBES):
+            if await self._probe_once(link):
+                ready = True
+                break
+            await asyncio.sleep(0.1)
+        if not ready:
+            self._links.pop(name, None)
+            self._names.remove(name)
+            if self._replica_set is not None and url is None:
+                await self._loop.run_in_executor(
+                    None, lambda: self._replica_set.remove_process(name, False)
+                )
+            return await send_error(
+                ServiceErrorInfo(
+                    code="internal_error",
+                    message=f"replica {name} never passed /readyz",
+                )
+            )
+        self.ring.add(name)
+        self._bump_epoch("admin_add")
+        self._start_probe(name)
+        get_logger().log(
+            "admin_add", replica=name, url=f"http://{host}:{port}"
+        )
+        return await send(
+            200,
+            _json_bytes(
+                {
+                    "ok": True,
+                    "name": name,
+                    "url": f"http://{host}:{port}",
+                    "epoch": self._epoch,
+                }
+            ),
+        )
+
+    async def _admin_remove(self, send, send_error, data: dict) -> bool:
+        name = data.get("name")
+        if not isinstance(name, str) or name not in self._links:
+            return await send_error(
+                ServiceErrorInfo(
+                    code="invalid_request",
+                    message=f"unknown replica {name!r}",
+                )
+            )
+        if name in self._removing:
+            return await send_error(
+                conflict_error(f"replica {name!r} is already draining")
+            )
+        on_ring = name in self.ring.nodes
+        if on_ring and len(self.ring) <= 1:
+            return await send_error(
+                conflict_error("cannot remove the last replica on the ring")
+            )
+        self._removing.add(name)
+        try:
+            # phase one: stop routing new keys to the shard
+            self._stop_probe(name)
+            if on_ring:
+                self.ring.remove(name)
+                self._bump_epoch("admin_remove")
+            if self._supervisor is not None:
+                self._supervisor.forget(name)
+            # phase two: wait out in-flight proxies on the pooled
+            # connections, then SIGTERM (the replica drains internally)
+            link = self._links[name]
+            drain_deadline = time.monotonic() + self.config.drain_timeout
+            while link.inflight > 0 and time.monotonic() < drain_deadline:
+                await asyncio.sleep(0.02)
+            drained = link.inflight == 0
+            link.close_all()
+            self._links.pop(name, None)
+            self._names.remove(name)
+            self._ejected.pop(name, None)
+            exit_code: Optional[int] = None
+            if (
+                self._replica_set is not None
+                and name in self._replica_set.names
+            ):
+                exit_code = await self._loop.run_in_executor(
+                    None, lambda: self._replica_set.remove_process(name, True)
+                )
+            get_logger().log(
+                "admin_remove",
+                replica=name,
+                drained=drained,
+                exit_code=exit_code,
+            )
+            return await send(
+                200,
+                _json_bytes(
+                    {
+                        "ok": True,
+                        "name": name,
+                        "drained": drained,
+                        "epoch": self._epoch,
+                    }
+                ),
+            )
+        finally:
+            self._removing.discard(name)
 
     # -- the routed proxy ----------------------------------------------- #
 
@@ -675,21 +1185,25 @@ class RouterServer:
         target: str,
         headers: Dict[str, str],
         body: bytes,
+        token: Tuple[str, str, bytes],
+        started: float,
     ) -> Optional[Tuple[int, str, Dict[str, str], bytes]]:
         """Proxy to the key's home shard, failing over in ring order.
 
         ``None`` means every replica refused -- the caller answers
         ``503 no_replica``.
         """
-        token = (method, target, blake2b(body, digest_size=16).digest())
         key = self._route_keys.get(token)
         if key is None:
             key = routing_key(method, target, body)
             if len(self._route_keys) >= 4096:
                 self._route_keys.clear()  # bounded; refills with hot keys
             self._route_keys[token] = key
+        deadline = self.config.deadline
         for position, name in enumerate(self.ring.nodes_for(key)):
-            link = self._links[name]
+            link = self._links.get(name)
+            if link is None:
+                continue  # removed from the topology mid-walk
             if self.faults.enabled and self.faults.fires(
                 "replica_down", key=name
             ):
@@ -702,10 +1216,17 @@ class RouterServer:
             if not link.breaker.allow():
                 self.router_metrics.reroutes.inc(reason="circuit_open")
                 continue
+            # forward the remaining deadline budget: a replica seeing a
+            # burnt budget rejects in microseconds instead of solving a
+            # request the router will 504 anyway
+            budget: Optional[float] = None
+            if deadline is not None:
+                budget = max(0.0, deadline - (time.perf_counter() - started))
             proxy_started = time.perf_counter()
+            link.inflight += 1
             try:
                 outcome = await self._proxy_once(
-                    link, method, target, headers, body
+                    link, method, target, headers, body, budget
                 )
             except (ConnectionError, OSError, asyncio.IncompleteReadError):
                 link.breaker.record_failure()
@@ -713,6 +1234,8 @@ class RouterServer:
                     reason="connect_failed" if position == 0 else "proxy_failed"
                 )
                 continue
+            finally:
+                link.inflight -= 1
             link.breaker.record_success()
             self.router_metrics.requests.inc(replica=name)
             self.router_metrics.proxy_seconds.observe(
@@ -728,6 +1251,7 @@ class RouterServer:
         target: str,
         headers: Dict[str, str],
         body: bytes,
+        budget: Optional[float] = None,
     ) -> Tuple[int, str, Dict[str, str], bytes]:
         """One request over one (pooled) replica connection.
 
@@ -743,6 +1267,8 @@ class RouterServer:
                 f"Content-Length: {len(body)}",
                 "Connection: keep-alive",
             ]
+            if budget is not None:
+                request_lines.append(f"X-Repro-Deadline: {budget:.6f}")
             content_type = headers.get("content-type")
             if content_type:
                 request_lines.append(f"Content-Type: {content_type}")

@@ -274,20 +274,51 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
 
     def _api(self, method: str, path: str) -> None:
+        from repro.server.overload import route_weight
+
         owner = self.owner
         if owner.draining:
             owner.metrics.rejected.inc(reason="draining")
             self.close_connection = True
             self._send_error(draining_error())
             return
-        if not owner.gate.try_enter():
-            owner.metrics.rejected.inc(reason="queue_full")
+        # the router forwards its remaining deadline budget; a request
+        # whose budget is provably insufficient is refused here in
+        # microseconds instead of burning a worker and 504ing anyway
+        self._budget = None
+        raw_budget = self.headers.get("X-Repro-Deadline")
+        if raw_budget is not None:
+            try:
+                self._budget = max(0.0, float(raw_budget))
+            except ValueError:
+                self._budget = None
+        shed = owner.gate.admit(path, self.path, self._budget)
+        if shed == "deadline":
+            owner.metrics.rejected.inc(reason="deadline")
+            seconds = (
+                owner.config.deadline
+                if owner.config.deadline is not None
+                else self._budget or 0.0
+            )
+            self._send_error(
+                ServiceErrorInfo.from_exception(
+                    DeadlineExceededError(deadline_message(seconds))
+                )
+            )
+            return
+        if shed is not None:
+            # overload shedding wears the same envelope as queue_full:
+            # both mean "capacity, retry later", and the parity suite
+            # holds both front ends to identical 429 bytes
+            owner.metrics.rejected.inc(reason=shed)
             self._send_error(
                 queue_full_error(owner.config.queue_depth),
                 headers={"Retry-After": "1"},
             )
             return
+        cost = route_weight(path, self.path)
         owner.metrics.inflight.inc()
+        admitted = time.perf_counter()
         try:
             if owner.faults.enabled:
                 if owner.faults.fires("http_drop", key=self._route):
@@ -305,7 +336,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error(ServiceErrorInfo.from_exception(exc))
         finally:
             owner.metrics.inflight.dec()
-            owner.gate.leave()
+            owner.gate.leave(cost)
+            owner.gate.observe(path, time.perf_counter() - admitted)
 
     def _read_body(self) -> bytes:
         """The request body, bounded by ``max_body_bytes``."""
@@ -348,11 +380,16 @@ class _Handler(BaseHTTPRequestHandler):
 
         The worker thread is left to finish and its result discarded --
         the stdlib offers no safe preemption -- so a deadline protects
-        the *caller's* latency budget, not the server's CPU.
+        the *caller's* latency budget, not the server's CPU. A
+        forwarded router budget tightens the timer (never the envelope:
+        the 504 message always quotes the configured deadline, which
+        the parity suite compares byte-for-byte).
         """
         deadline = self.owner.config.deadline
         if deadline is None:
             return fn()
+        budget = getattr(self, "_budget", None)
+        timer = deadline if budget is None else min(deadline, budget)
         box: dict = {}
         done = threading.Event()
 
@@ -368,7 +405,7 @@ class _Handler(BaseHTTPRequestHandler):
             target=_run, name="repro-http-deadline", daemon=True
         )
         worker.start()
-        if not done.wait(deadline):
+        if not done.wait(timer):
             self.owner.metrics.rejected.inc(reason="deadline")
             raise DeadlineExceededError(deadline_message(deadline))
         if "error" in box:
@@ -564,8 +601,15 @@ class SwapServer:
                 tolerance=self.config.tolerance,
             )
         )
+        # imported here: overload builds on AdmissionGate above, so a
+        # module-level import would be circular
+        from repro.server.overload import CostAwareGate
+
         self.metrics = HTTPMetrics()
-        self.gate = AdmissionGate(self.config.queue_depth)
+        target = self.config.overload_target
+        if target is None and self.config.deadline is not None:
+            target = self.config.deadline / 2.0
+        self.gate = CostAwareGate(self.config.queue_depth, target=target)
         self._draining = threading.Event()
         self._ready = threading.Event()
         self._closed = False

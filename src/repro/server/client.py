@@ -252,9 +252,22 @@ class SwapClient:
         When True, read the replica topology from ``base_url``'s
         ``/readyz`` document (the sharded router publishes one); a
         plain threaded server publishes none and the client stays
-        single-endpoint. Re-run via :meth:`discover_replicas`.
+        single-endpoint. The topology is re-read automatically --
+        every ``discover_interval`` seconds, and immediately (throttled)
+        when every replica breaker refuses or a transport failure
+        suggests the fleet moved -- and reinstalled only when the
+        router's topology *epoch* actually changed, so a live reshard
+        reaches the client without a restart. Re-run manually via
+        :meth:`discover_replicas`.
+    discover_interval:
+        Seconds between periodic topology refreshes (``None``: only
+        the failure-triggered refreshes run).
     hedge:
         Optional :class:`HedgePolicy`; needs >= 2 replicas to act.
+    admin_token:
+        Bearer token for the router's ``/admin/v1/*`` control surface
+        (:meth:`admin_topology` / :meth:`admin_add` /
+        :meth:`admin_remove`).
     """
 
     def __init__(
@@ -268,7 +281,9 @@ class SwapClient:
         faults=None,
         replicas: Optional[Sequence[str]] = None,
         discover: bool = False,
+        discover_interval: Optional[float] = None,
         hedge: Optional[HedgePolicy] = None,
+        admin_token: Optional[str] = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
@@ -278,6 +293,7 @@ class SwapClient:
         self._sleep = sleep
         self._rng = rng if rng is not None else random.Random()
         self.hedge = hedge
+        self.admin_token = admin_token
         self._hedge_metrics = None
         self._latencies: deque = deque(
             maxlen=hedge.window if hedge is not None else 128
@@ -285,6 +301,12 @@ class SwapClient:
         self._endpoints: List[_Endpoint] = []
         self._rotation = 0
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._discover = bool(discover)
+        self._discover_interval = (
+            float(discover_interval) if discover_interval is not None else None
+        )
+        self._topology_epoch: Optional[int] = None
+        self._last_discovery = 0.0
         if replicas is not None:
             self.set_replicas(replicas)
         if discover:
@@ -324,12 +346,17 @@ class SwapClient:
         """Refresh the replica set from ``base_url``'s ``/readyz``.
 
         Returns the discovered URLs; an empty list (a server that
-        publishes no topology) leaves the client single-endpoint.
+        publishes no topology) leaves the client single-endpoint. The
+        document's topology ``epoch`` is remembered: a refresh that
+        comes back with the epoch already installed changes nothing
+        (surviving breakers keep their failure history either way).
         """
+        self._last_discovery = time.monotonic()
         document = self._json("GET", "/readyz")
         entries = document.get("replicas")
         if not isinstance(entries, list):
             return []
+        epoch = document.get("epoch")
         urls = [
             str(entry["url"])
             for entry in entries
@@ -340,9 +367,42 @@ class SwapClient:
             for entry in entries
             if isinstance(entry, dict) and "url" in entry
         ]
-        if urls:
+        if urls and (
+            not isinstance(epoch, int)
+            or epoch != self._topology_epoch
+            or not self._endpoints
+        ):
             self.set_replicas(urls, names)
+        if isinstance(epoch, int):
+            self._topology_epoch = epoch
         return urls
+
+    @property
+    def topology_epoch(self) -> Optional[int]:
+        """The router topology epoch last seen by discovery."""
+        return self._topology_epoch
+
+    def _maybe_rediscover(self, force: bool = False) -> None:
+        """Opportunistic topology refresh; never raises.
+
+        ``force`` is the failure path (all breakers refusing, or a
+        transport error that smells like a moved fleet) and is
+        throttled to twice a second so a hard outage cannot turn into
+        a /readyz stampede.
+        """
+        if not self._discover:
+            return
+        now = time.monotonic()
+        since = now - self._last_discovery
+        due = force and since >= 0.5
+        if not due and self._discover_interval is not None:
+            due = since >= self._discover_interval
+        if not due:
+            return
+        try:
+            self.discover_replicas()
+        except ClientError:
+            pass  # the router itself is unreachable; retries handle it
 
     # ------------------------------------------------------------------ #
     # transport with retry
@@ -437,6 +497,8 @@ class SwapClient:
         )
         if body is not None:
             request.add_header("Content-Type", content_type)
+        if self.admin_token is not None and path.startswith("/admin/"):
+            request.add_header("Authorization", f"Bearer {self.admin_token}")
         started = time.perf_counter()
         try:
             if self.faults.enabled:
@@ -489,8 +551,14 @@ class SwapClient:
         """
         budget = attempts if attempts is not None else self.retry.max_attempts
         last: Exception = ClientError("no attempt made")
+        self._maybe_rediscover()
         for attempt in range(budget):
             endpoint = self._next_endpoint()
+            if endpoint is None:
+                # every breaker refuses: the topology may have moved
+                # out from under us -- re-read it before giving up
+                self._maybe_rediscover(force=True)
+                endpoint = self._next_endpoint()
             if endpoint is None:
                 raise CircuitOpenError("open")
             backup = (
@@ -522,6 +590,9 @@ class SwapClient:
                 if backup is None:
                     endpoint.breaker.record_failure()
                 last = exc
+                # a dropped connection on the replicated path often
+                # means the replica was restarted or removed
+                self._maybe_rediscover(force=True)
             if attempt + 1 < budget:
                 self._sleep(self.retry.delay(attempt, self._rng, retry_after))
         raise RetriesExhaustedError(budget, last)
@@ -807,6 +878,37 @@ class SwapClient:
         """The live Prometheus text exposition from ``/metrics``."""
         _status, raw = self._request("GET", "/metrics")
         return raw.decode("utf-8")
+
+    # ------------------------------------------------------------------ #
+    # the router's admin control surface (needs ``admin_token``)
+    # ------------------------------------------------------------------ #
+
+    def admin_topology(self) -> dict:
+        """``GET /admin/v1/topology``: ring, replicas, admission state."""
+        return self._json("GET", "/admin/v1/topology")
+
+    def admin_add(
+        self, url: Optional[str] = None, name: Optional[str] = None
+    ) -> dict:
+        """``POST /admin/v1/replicas`` (add): grow the fleet live.
+
+        Without ``url`` the router spawns and supervises a fresh
+        replica subprocess; with one it adopts an externally managed
+        endpoint (routed to, never supervised).
+        """
+        payload: dict = {"action": "add"}
+        if url is not None:
+            payload["url"] = url
+        if name is not None:
+            payload["name"] = name
+        return self._json("POST", "/admin/v1/replicas", payload)
+
+    def admin_remove(self, name: str) -> dict:
+        """``POST /admin/v1/replicas`` (remove): two-phase drain, then
+        stop. The reply says whether in-flight work drained in time."""
+        return self._json(
+            "POST", "/admin/v1/replicas", {"action": "remove", "name": name}
+        )
 
 
 def _merge_law(params: Optional[dict], law: Optional[str]) -> Optional[dict]:

@@ -93,10 +93,39 @@ class ServerConfig:
         Sharded tier only: seconds between active ``/readyz`` probes of
         each replica. ``None`` (default) disables active probing and
         leaves health detection to the passive per-replica circuit
-        breaker alone.
+        breaker alone. Probes are phase-staggered per replica so N
+        probes never fire in lockstep.
     probe_failures:
         Consecutive probe failures after which a replica is ejected
         from the hash ring (readmitted on the next probe success).
+    supervise:
+        Sharded tier only: when the router owns its replica
+        subprocesses, restart one that dies (process exit, or probe
+        ejection that outlives the probe cycle) with capped exponential
+        backoff, readmitting it to the ring only after ``/readyz``
+        passes. ``False`` restores the frozen-topology behaviour.
+    restart_backoff, restart_backoff_cap:
+        Supervisor restart delay: ``backoff * 2**n`` seconds after the
+        n-th recent death, jittered, capped at ``restart_backoff_cap``.
+    flap_limit, flap_window:
+        The flap detector: a replica that dies ``flap_limit`` times
+        within ``flap_window`` seconds is *parked* -- the supervisor
+        gives up on it (``repro_supervisor_parked``) until an operator
+        intervenes via the admin surface.
+    admin_token:
+        Bearer token guarding the router's ``/admin/v1/*`` surface
+        (live resharding). ``None`` (default) disables the surface
+        entirely -- admin requests answer 403.
+    router_cache:
+        Sharded tier only: capacity of the router-side exact-key
+        response LRU (200-responses of idempotent routes). ``0``
+        (default) disables it; every request is proxied to its home
+        shard. The cache is invalidated wholesale on every topology
+        epoch change.
+    overload_target:
+        Cost-aware admission: the p95 latency (seconds) above which the
+        gate starts CoDel-style shedding at half capacity. ``None``
+        (default) derives ``deadline / 2`` when a deadline is set.
     """
 
     host: str = "127.0.0.1"
@@ -118,6 +147,14 @@ class ServerConfig:
     surface_tolerance: Optional[float] = None
     probe_interval: Optional[float] = None
     probe_failures: int = 3
+    supervise: bool = True
+    restart_backoff: float = 0.5
+    restart_backoff_cap: float = 10.0
+    flap_limit: int = 5
+    flap_window: float = 30.0
+    admin_token: Optional[str] = None
+    router_cache: int = 0
+    overload_target: Optional[float] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "port", int(self.port))
@@ -163,6 +200,32 @@ class ServerConfig:
             self,
             "probe_failures",
             _check_positive_int("probe_failures", self.probe_failures),
+        )
+        object.__setattr__(self, "supervise", bool(self.supervise))
+        backoff = _check_positive_seconds("restart_backoff", self.restart_backoff)
+        object.__setattr__(self, "restart_backoff", backoff)
+        cap = _check_positive_seconds(
+            "restart_backoff_cap", self.restart_backoff_cap
+        )
+        object.__setattr__(self, "restart_backoff_cap", cap)
+        object.__setattr__(
+            self, "flap_limit", _check_positive_int("flap_limit", self.flap_limit)
+        )
+        object.__setattr__(
+            self,
+            "flap_window",
+            _check_positive_seconds("flap_window", self.flap_window),
+        )
+        router_cache = int(self.router_cache)
+        if router_cache < 0:
+            raise ValueError(
+                f"router_cache must be >= 0, got {router_cache}"
+            )
+        object.__setattr__(self, "router_cache", router_cache)
+        object.__setattr__(
+            self,
+            "overload_target",
+            _check_positive_seconds("overload_target", self.overload_target),
         )
         if self.surface_tolerance is not None:
             warn_once(

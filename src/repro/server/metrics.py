@@ -27,6 +27,7 @@ __all__ = [
     "HTTPMetrics",
     "RouterMetrics",
     "HedgeMetrics",
+    "SupervisorMetrics",
     "RESPONSE_BYTE_BUCKETS",
     "PROXY_SECOND_BUCKETS",
 ]
@@ -70,7 +71,8 @@ class HTTPMetrics:
         )
         # materialise the shed reasons so /metrics always exports the
         # family, even on a server that has never shed load
-        for reason in ("queue_full", "body_too_large", "draining", "deadline"):
+        for reason in ("queue_full", "body_too_large", "draining", "deadline",
+                       "overload"):
             self.rejected.inc(0, reason=reason)
 
     def observe(
@@ -139,17 +141,79 @@ class RouterMetrics:
             "(ok, fail, eject, readmit).",
             labelnames=("replica", "outcome"),
         )
+        self.epoch = registry.gauge(
+            "repro_router_topology_epoch",
+            help="Monotonic topology version; bumps on every ring change.",
+        )
+        self.cache_events = registry.counter(
+            "repro_router_cache_events_total",
+            help="Router-side response-cache traffic, by event "
+            "(hit, miss, evict, invalidate).",
+            labelnames=("event",),
+        )
+        self.cache_entries = registry.gauge(
+            "repro_router_cache_entries",
+            help="Entries currently in the router-side response cache.",
+        )
         for name in replica_names:
-            self.requests.inc(0, replica=name)
-            self.replica_state.set(0, replica=name)
-            for outcome in ("ok", "fail", "eject", "readmit"):
-                self.probes.inc(0, replica=name, outcome=outcome)
+            self.add_replica(name)
         for reason in ("replica_down", "connect_failed", "proxy_failed"):
             self.reroutes.inc(0, reason=reason)
         for reason in ("queue_full", "body_too_large", "draining", "deadline",
-                       "no_replica"):
+                       "no_replica", "overload"):
             self.rejected.inc(0, reason=reason)
+        for event in ("hit", "miss", "evict", "invalidate"):
+            self.cache_events.inc(0, event=event)
+        self.epoch.set(1)
         self.replicas.set(len(replica_names))
+
+    def add_replica(self, name: str) -> None:
+        """Materialise the per-replica series of a (new) replica at
+        zero, so ``/metrics`` exports it from the next scrape."""
+        self.requests.inc(0, replica=name)
+        self.replica_state.set(0, replica=name)
+        for outcome in ("ok", "fail", "eject", "readmit"):
+            self.probes.inc(0, replica=name, outcome=outcome)
+
+
+class SupervisorMetrics:
+    """The replica supervisor's instruments (``repro_supervisor_*``).
+
+    One series set per supervised replica, materialised at zero the
+    moment the replica is known -- a fleet that has never crashed still
+    exports ``repro_supervisor_restarts_total 0``.
+    """
+
+    def __init__(self, replica_names: Sequence[str] = ()) -> None:
+        registry = get_registry()
+        self.restarts = registry.counter(
+            "repro_supervisor_restarts_total",
+            help="Successful supervisor restarts, by replica.",
+            labelnames=("replica",),
+        )
+        self.failures = registry.counter(
+            "repro_supervisor_restart_failures_total",
+            help="Restart attempts that died before readmission, by replica.",
+            labelnames=("replica",),
+        )
+        self.backoff = registry.gauge(
+            "repro_supervisor_backoff_seconds",
+            help="Current restart backoff delay, by replica (0 = healthy).",
+            labelnames=("replica",),
+        )
+        self.parked = registry.gauge(
+            "repro_supervisor_parked",
+            help="1 when the flap detector gave up on the replica.",
+            labelnames=("replica",),
+        )
+        for name in replica_names:
+            self.add_replica(name)
+
+    def add_replica(self, name: str) -> None:
+        self.restarts.inc(0, replica=name)
+        self.failures.inc(0, replica=name)
+        self.backoff.set(0, replica=name)
+        self.parked.set(0, replica=name)
 
 
 class HedgeMetrics:

@@ -62,6 +62,9 @@ __all__ = [
     "draining_error",
     "deadline_message",
     "no_replica_error",
+    "unauthorized_error",
+    "conflict_error",
+    "admin_unavailable_error",
 ]
 
 
@@ -81,6 +84,9 @@ STATUS_BY_CODE: Dict[str, int] = {
     "length_required": 411,
     "body_too_large": 413,
     "queue_full": 429,
+    "unauthorized": 403,
+    "conflict": 409,
+    "admin_unavailable": 503,
     "solve_failed": 500,
     "internal_error": 500,
     "worker_crashed": 500,
@@ -396,5 +402,24 @@ def no_replica_error(attempts: int) -> ServiceErrorInfo:
     return ServiceErrorInfo(
         code="no_replica",
         message=f"no replica answered after {attempts} attempts; retry later",
+        retryable=True,
+    )
+
+
+def unauthorized_error(message: str) -> ServiceErrorInfo:
+    """403: the admin surface refused the caller's credentials."""
+    return ServiceErrorInfo(code="unauthorized", message=message)
+
+
+def conflict_error(message: str) -> ServiceErrorInfo:
+    """409: the admin operation races another in-flight change."""
+    return ServiceErrorInfo(code="conflict", message=message)
+
+
+def admin_unavailable_error() -> ServiceErrorInfo:
+    """503: the admin surface is partitioned away (chaos plans)."""
+    return ServiceErrorInfo(
+        code="admin_unavailable",
+        message="admin surface unreachable; retry later",
         retryable=True,
     )

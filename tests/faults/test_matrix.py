@@ -91,8 +91,11 @@ class TestServiceMatrix:
         http_kinds = {"http_drop", "http_slow"}
         # the surface kinds are exercised in tests/surface/test_faults.py
         surface_kinds = {"surface_corrupt", "surface_io_error"}
-        # replica_down is router-side chaos: tests/server/test_router.py
-        router_kinds = {"replica_down"}
+        # replica_down is router-side chaos: tests/server/test_router.py;
+        # the control-plane kinds live in tests/server/test_supervisor.py
+        # (replica_crash_loop) and tests/server/test_admin.py
+        # (admin_partition)
+        router_kinds = {"replica_down", "replica_crash_loop", "admin_partition"}
         # swap-graph hooks are exercised in tests/swapgraph/test_service.py
         swapgraph_kinds = {"swapgraph_error", "swapgraph_slow"}
         covered = (
